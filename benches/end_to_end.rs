@@ -1,0 +1,78 @@
+//! Workspace-level end-to-end benchmarks: the full offline pipeline (the
+//! paper's 1438-minute offline run, scaled down) and the online answer path
+//! through the facade API.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use kbqa::prelude::*;
+
+fn bench_offline_pipeline(c: &mut Criterion) {
+    let world = World::generate(WorldConfig::tiny(42));
+    let mut group = c.benchmark_group("offline_pipeline");
+    group.sample_size(10);
+    for &pairs in &[500usize, 2_000] {
+        let corpus = QaCorpus::generate(&world, &CorpusConfig::with_pairs(1, pairs));
+        let ner = GazetteerNer::from_store(&world.store);
+        let pair_refs: Vec<(&str, &str)> = corpus
+            .pairs
+            .iter()
+            .map(|p| (p.question.as_str(), p.answer.as_str()))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("learn", pairs), &pair_refs, |b, refs| {
+            let learner = Learner::new(
+                &world.store,
+                &world.conceptualizer,
+                &ner,
+                &world.predicate_classes,
+            );
+            b.iter(|| learner.learn(std::hint::black_box(refs), &LearnerConfig::default()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_online_answer(c: &mut Criterion) {
+    let world = World::generate(WorldConfig::small(42));
+    let corpus = QaCorpus::generate(&world, &CorpusConfig::with_pairs(1, 3_000));
+    let ner = GazetteerNer::from_store(&world.store);
+    let learner = Learner::new(
+        &world.store,
+        &world.conceptualizer,
+        &ner,
+        &world.predicate_classes,
+    );
+    let pairs: Vec<(&str, &str)> = corpus
+        .pairs
+        .iter()
+        .map(|p| (p.question.as_str(), p.answer.as_str()))
+        .collect();
+    let (model, _) = learner.learn(&pairs, &LearnerConfig::default());
+    let index = PatternIndex::build(corpus.pairs.iter().map(|p| p.question.as_str()), &ner);
+    let engine = QaEngine::new(&world.store, &world.conceptualizer, &model)
+        .with_pattern_index(index);
+
+    let intent = world.intent_by_name("city_population").unwrap();
+    let city = world
+        .subjects_of(intent)
+        .iter()
+        .copied()
+        .find(|&c| !world.gold_values(intent, c).is_empty())
+        .unwrap();
+    let bfq = format!(
+        "how many people are there in {}",
+        world.store.surface(city)
+    );
+    c.bench_function("online_bfq_answer", |b| {
+        b.iter(|| engine.answer_bfq(std::hint::black_box(&bfq)))
+    });
+
+    if let Some(complex) = benchmark::complex_suite(&world).first() {
+        let q = complex.question.clone();
+        c.bench_function("online_complex_answer", |b| {
+            b.iter(|| QaSystem::answer(&engine, std::hint::black_box(&q)))
+        });
+    }
+}
+
+criterion_group!(benches, bench_offline_pipeline, bench_online_answer);
+criterion_main!(benches);

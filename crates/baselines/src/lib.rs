@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! Baseline QA systems for the KBQA reproduction.
+//!
+//! The paper (Sec 1.2, Sec 8) organizes prior knowledge-base QA into three
+//! families by how they identify the predicate; each family is rebuilt here
+//! behind the shared [`kbqa_core::QaSystem`] trait so every evaluation
+//! harness treats KBQA and the baselines identically:
+//!
+//! * [`rule::RuleBasedQa`] — canned syntactic rules ("What is the `<x>` of
+//!   `<entity>`?" → predicate `<x>`), after Ou et al. High precision,
+//!   minimal recall.
+//! * [`keyword::KeywordQa`] — maps content keywords onto predicate names by
+//!   lexical overlap. Cannot bridge `how many people …` → `population`.
+//! * [`synonym::SynonymQa`] — DEANNA-style: scores predicates through a
+//!   synonym lexicon learned from declarative text; broader than keywords
+//!   but still phrase-bound.
+//! * [`bootstrap`] — the BOA-style pattern learner producing that lexicon,
+//!   and the coverage comparator for Table 12.
+
+pub mod bootstrap;
+pub mod keyword;
+pub mod rule;
+pub mod synonym;
+
+pub use bootstrap::{learn_boa, BoaLexicon, BoaStats};
+pub use keyword::KeywordQa;
+pub use rule::RuleBasedQa;
+pub use synonym::SynonymQa;

@@ -1,0 +1,143 @@
+//! Rule-based QA (paper Sec 1.2 category 1, after Ou et al. \[23\]).
+//!
+//! Understands a small set of canned question forms and maps the slot
+//! word(s) directly onto a predicate name:
+//!
+//! * `what/who is the <x> of <entity>` → predicate `<x>`
+//! * `what is <entity> 's <x>` → predicate `<x>`
+//!
+//! Exactly as the paper argues, this yields high precision (the rule is
+//! explicit) and low recall (anything off-pattern is refused).
+
+use kbqa_core::engine::{QaSystem, SystemAnswer};
+use kbqa_nlp::{tokenize, GazetteerNer};
+use kbqa_rdf::TripleStore;
+
+/// The rule-based system.
+pub struct RuleBasedQa<'a> {
+    store: &'a TripleStore,
+    ner: GazetteerNer,
+}
+
+impl<'a> RuleBasedQa<'a> {
+    /// Build over a store (the gazetteer grounds the entity slot).
+    pub fn new(store: &'a TripleStore) -> Self {
+        Self {
+            store,
+            ner: GazetteerNer::from_store(store),
+        }
+    }
+
+    /// Try the canned forms; return the predicate word and entity window.
+    fn parse(&self, words: &[&str]) -> Option<(String, usize, usize)> {
+        let n = words.len();
+        // Form 1: (what|who) is the <x> of <entity...>
+        if n >= 6
+            && matches!(words[0], "what" | "who")
+            && words[1] == "is"
+            && words[2] == "the"
+        {
+            if let Some(of_pos) = words.iter().position(|&w| w == "of") {
+                if of_pos > 3 && of_pos + 1 < n {
+                    let pred = words[3..of_pos].join("_");
+                    return Some((pred, of_pos + 1, n));
+                }
+            }
+        }
+        // Form 2: what is <entity...> 's <x...>
+        if n >= 5 && words[0] == "what" && words[1] == "is" {
+            if let Some(pos_pos) = words.iter().position(|&w| w == "'s") {
+                if pos_pos > 2 && pos_pos + 1 < n {
+                    let pred = words[pos_pos + 1..].join("_");
+                    return Some((pred, 2, pos_pos));
+                }
+            }
+        }
+        None
+    }
+}
+
+impl QaSystem for RuleBasedQa<'_> {
+    fn name(&self) -> &str {
+        "RuleQA"
+    }
+
+    fn answer(&self, question: &str) -> Option<SystemAnswer> {
+        let tokens = tokenize(question);
+        let words = tokens.words();
+        let (pred_word, ent_start, ent_end) = self.parse(&words)?;
+        let predicate = self.store.dict().find_predicate(&pred_word)?;
+        let mention = tokens.join(ent_start, ent_end);
+        let entities = self.ner.ground(&mention);
+        let entity = *entities.first()?;
+        let values: Vec<(String, f64)> = self
+            .store
+            .objects(entity, predicate)
+            .map(|o| (self.store.surface(o), 1.0))
+            .collect();
+        if values.is_empty() {
+            None
+        } else {
+            Some(SystemAnswer { values })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kbqa_rdf::GraphBuilder;
+
+    fn store() -> TripleStore {
+        let mut b = GraphBuilder::new();
+        let honolulu = b.resource("honolulu");
+        let mayor = b.resource("mayor1");
+        b.name(honolulu, "Honolulu");
+        b.name(mayor, "Rick Blangiardi");
+        b.fact_int(honolulu, "population", 390_000);
+        b.link(honolulu, "mayor", mayor);
+        b.build()
+    }
+
+    #[test]
+    fn answers_canned_what_is_the_x_of() {
+        let store = store();
+        let qa = RuleBasedQa::new(&store);
+        let a = qa.answer("What is the population of Honolulu?").unwrap();
+        assert_eq!(a.top(), Some("390000"));
+    }
+
+    #[test]
+    fn entity_valued_predicates_render_names() {
+        let store = store();
+        let qa = RuleBasedQa::new(&store);
+        let a = qa.answer("Who is the mayor of Honolulu?").unwrap();
+        assert_eq!(a.top(), Some("Rick Blangiardi"));
+    }
+
+    #[test]
+    fn possessive_form() {
+        let store = store();
+        let qa = RuleBasedQa::new(&store);
+        let a = qa.answer("What is Honolulu's population?").unwrap();
+        assert_eq!(a.top(), Some("390000"));
+    }
+
+    #[test]
+    fn off_pattern_questions_are_refused() {
+        let store = store();
+        let qa = RuleBasedQa::new(&store);
+        // The paper's motivating case: no rule matches this phrasing.
+        assert!(qa.answer("How many people are there in Honolulu?").is_none());
+        assert!(qa.answer("population please").is_none());
+    }
+
+    #[test]
+    fn unknown_predicate_or_entity_refused() {
+        let store = store();
+        let qa = RuleBasedQa::new(&store);
+        assert!(qa.answer("What is the altitude of Honolulu?").is_none());
+        assert!(qa.answer("What is the population of Atlantis?").is_none());
+        assert_eq!(qa.name(), "RuleQA");
+    }
+}

@@ -1,0 +1,64 @@
+//! The Sec 5.3 complexity claim: decomposition is O(|q|⁴) in question
+//! length. We time Algorithm 2 on questions padded to increasing lengths;
+//! the growth should be polynomial and the absolute cost negligible for
+//! the <23-word questions that dominate real corpora.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use kbqa_bench::Session;
+use kbqa_core::decompose;
+
+fn bench_decomposition(c: &mut Criterion) {
+    let session = Session::build("bench", kbqa_corpus::WorldConfig::tiny(42), 1200);
+    let engine = session.engine();
+    let index = &session.pattern_index;
+
+    // A real complex question from the world, padded with filler clauses to
+    // reach each target length.
+    let cap = session.world.intent_by_name("country_capital").unwrap();
+    let country = session
+        .world
+        .subjects_of(cap)
+        .iter()
+        .copied()
+        .find(|&s| !session.world.gold_values(cap, s).is_empty())
+        .expect("country with capital");
+    let base = format!(
+        "how many people live in the capital of {}",
+        session.world.store.surface(country)
+    );
+
+    let mut group = c.benchmark_group("decomposition_dp");
+    group.sample_size(20);
+    for &target_len in &[10usize, 14, 18, 22] {
+        let mut question = base.clone();
+        while question.split_whitespace().count() < target_len {
+            question.push_str(" these days");
+        }
+        group.bench_with_input(
+            BenchmarkId::new("tokens", target_len),
+            &question,
+            |b, q| b.iter(|| decompose::decompose(&engine, index, std::hint::black_box(q))),
+        );
+    }
+    group.finish();
+
+    // Pattern-index construction cost (one-time, offline).
+    let questions: Vec<&str> = session
+        .corpus
+        .pairs
+        .iter()
+        .map(|p| p.question.as_str())
+        .collect();
+    c.bench_function("pattern_index_build", |b| {
+        b.iter(|| {
+            decompose::PatternIndex::build(
+                std::hint::black_box(questions.iter().copied()),
+                engine.ner(),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_decomposition);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Algorithm 1's O(km) claim: EM cost per iteration is linear in the
+//! observation count m, with constant per-observation work (the Eq 24
+//! pruning). We scale m and fix k; the per-iteration time should scale
+//! linearly, and the parallel E-step should beat sequential on large m.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use kbqa_core::catalog::PredId;
+use kbqa_core::em::{estimate, EmConfig};
+use kbqa_core::extraction::Observation;
+use kbqa_core::template::TemplateId;
+use kbqa_rdf::NodeId;
+
+/// Synthetic observations with realistic fan-out (2 templates × ≤3
+/// predicates per observation).
+fn observations(m: usize, templates: usize, predicates: usize) -> Vec<Observation> {
+    (0..m)
+        .map(|i| {
+            let t0 = (i % templates) as u32;
+            let t1 = ((i + 1) % templates) as u32;
+            let p0 = (i % predicates) as u32;
+            let p1 = ((i * 7 + 1) % predicates) as u32;
+            Observation {
+                pair_index: i,
+                entity: NodeId::new((i % 97) as u32),
+                value: NodeId::new((i % 89) as u32),
+                p_entity: 0.5,
+                templates: vec![(TemplateId::new(t0), 0.7), (TemplateId::new(t1), 0.3)],
+                predicates: if i % 3 == 0 {
+                    vec![(PredId::new(p0), 1.0)]
+                } else {
+                    vec![(PredId::new(p0), 0.5), (PredId::new(p1), 0.5)]
+                },
+            }
+        })
+        .collect()
+}
+
+fn bench_em(c: &mut Criterion) {
+    let mut group = c.benchmark_group("em_throughput");
+    group.sample_size(10);
+    for &m in &[2_000usize, 8_000, 32_000] {
+        let obs = observations(m, 200, 60);
+        group.throughput(Throughput::Elements(m as u64));
+        group.bench_with_input(BenchmarkId::new("sequential", m), &obs, |b, obs| {
+            let config = EmConfig {
+                max_iterations: 5,
+                threads: 1,
+                ..Default::default()
+            };
+            b.iter(|| estimate(std::hint::black_box(obs), 200, &config))
+        });
+        group.bench_with_input(BenchmarkId::new("parallel4", m), &obs, |b, obs| {
+            let config = EmConfig {
+                max_iterations: 5,
+                threads: 4,
+                ..Default::default()
+            };
+            b.iter(|| estimate(std::hint::black_box(obs), 200, &config))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_em);
+criterion_main!(benches);

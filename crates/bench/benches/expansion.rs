@@ -1,0 +1,56 @@
+//! Sec 6.2's scan-join BFS: cost should be k scans over the triple log plus
+//! join work proportional to the frontier, NOT per-node graph traversals.
+//! We scale the path-length cap k and the source-set size independently.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use kbqa_common::hash::FxHashSet;
+use kbqa_core::expansion::{expand, valid_k, ExpansionConfig};
+use kbqa_corpus::{World, WorldConfig};
+use kbqa_rdf::NodeId;
+
+fn bench_expansion(c: &mut Criterion) {
+    let world = World::generate(WorldConfig::small(42));
+    let store = &world.store;
+    // Sources: the first N resources with out-edges.
+    let all_sources: Vec<NodeId> = store
+        .dict()
+        .nodes()
+        .filter(|&n| store.dict().node_term(n).is_resource() && !store.out_edges(n).is_empty())
+        .collect();
+
+    let mut group = c.benchmark_group("expansion_bfs");
+    group.sample_size(20);
+    for &k in &[1usize, 2, 3] {
+        let sources: FxHashSet<NodeId> = all_sources.iter().copied().take(200).collect();
+        let config = ExpansionConfig {
+            max_len: k,
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::new("max_len", k), &config, |b, cfg| {
+            b.iter(|| expand(store, std::hint::black_box(&sources), cfg))
+        });
+    }
+    for &n in &[50usize, 200, 800] {
+        let sources: FxHashSet<NodeId> = all_sources.iter().copied().take(n).collect();
+        group.bench_with_input(BenchmarkId::new("sources", n), &sources, |b, s| {
+            b.iter(|| expand(store, std::hint::black_box(s), &ExpansionConfig::default()))
+        });
+    }
+    group.finish();
+
+    // Table 4's estimator end to end.
+    c.bench_function("valid_k_top200", |b| {
+        b.iter(|| {
+            valid_k(
+                store,
+                std::hint::black_box(&world.infobox),
+                200,
+                &ExpansionConfig::default(),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_expansion);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Table 14: online answering latency, KBQA vs baselines.
+//!
+//! The paper reports 79 ms/question for KBQA vs 990 ms (gAnswer) and
+//! 7738 ms (DEANNA); the claim to check is *shape*: KBQA's probabilistic
+//! inference stays within interactive bounds and scales O(|P|), while the
+//! baselines do less work per question (they understand less).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use kbqa_baselines::{KeywordQa, RuleBasedQa, SynonymQa};
+use kbqa_bench::{tables, Session};
+use kbqa_core::engine::QaSystem;
+use kbqa_corpus::benchmark;
+
+fn bench_online(c: &mut Criterion) {
+    let session = Session::build("bench", kbqa_corpus::WorldConfig::small(42), 3000);
+    let bench = benchmark::qald_like(&session.world, "latency", 40, 30, 0.2, 75);
+    let questions: Vec<String> = bench.questions.iter().map(|q| q.question.clone()).collect();
+
+    let engine = session.engine();
+    let rule = RuleBasedQa::new(&session.world.store);
+    let keyword = KeywordQa::new(&session.world.store);
+    let boa = tables::boa_artifacts(&session, 30);
+    let synonym = SynonymQa::new(&session.world.store, &boa.lexicon, &boa.expansion.catalog);
+
+    let mut group = c.benchmark_group("online_latency");
+    group.sample_size(20);
+    let systems: Vec<(&str, &dyn QaSystem)> = vec![
+        ("kbqa", &engine),
+        ("rule", &rule),
+        ("keyword", &keyword),
+        ("synonym", &synonym),
+    ];
+    for (name, system) in systems {
+        group.bench_with_input(BenchmarkId::new("answer_suite", name), &questions, |b, qs| {
+            b.iter(|| {
+                let mut answered = 0usize;
+                for q in qs {
+                    if system.answer(std::hint::black_box(q)).is_some() {
+                        answered += 1;
+                    }
+                }
+                answered
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_online);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Substrate microbenchmarks: the store's index lookups, path traversal,
+//! mention matching and conceptualization — the per-question constants the
+//! paper's O(|P|) online bound stands on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use kbqa_corpus::{World, WorldConfig};
+use kbqa_nlp::{tokenize, GazetteerNer};
+use kbqa_rdf::path::objects_via_path;
+
+fn bench_substrate(c: &mut Criterion) {
+    let world = World::generate(WorldConfig::small(42));
+    let store = &world.store;
+    let ner = GazetteerNer::from_store(store);
+
+    let pop_intent = world.intent_by_name("city_population").unwrap();
+    let city = world
+        .subjects_of(pop_intent)
+        .iter()
+        .copied()
+        .find(|&s| !world.gold_values(pop_intent, s).is_empty())
+        .expect("city with population");
+    let pop_pred = store.dict().find_predicate("population").unwrap();
+
+    c.bench_function("store_objects_lookup", |b| {
+        b.iter(|| {
+            store
+                .objects(std::hint::black_box(city), pop_pred)
+                .count()
+        })
+    });
+
+    let spouse = world.intent_by_name("person_spouse").unwrap();
+    let married = world
+        .subjects_of(spouse)
+        .iter()
+        .copied()
+        .find(|&s| !world.gold_values(spouse, s).is_empty())
+        .expect("married person");
+    c.bench_function("path_traversal_3_edges", |b| {
+        b.iter(|| objects_via_path(store, std::hint::black_box(married), &spouse.path))
+    });
+
+    let question = format!(
+        "how many people are there in {}",
+        store.surface(city)
+    );
+    c.bench_function("tokenize_question", |b| {
+        b.iter(|| tokenize(std::hint::black_box(&question)))
+    });
+
+    let tokens = tokenize(&question);
+    c.bench_function("ner_find_all_mentions", |b| {
+        b.iter(|| ner.find_all_mentions(std::hint::black_box(&tokens)))
+    });
+
+    let context: Vec<&str> = tokens.words().into_iter().take(6).collect();
+    c.bench_function("conceptualize_in_context", |b| {
+        b.iter(|| {
+            world
+                .conceptualizer
+                .conceptualize(std::hint::black_box(city), &context)
+        })
+    });
+
+    c.bench_function("entities_named_lookup", |b| {
+        let name = store.surface(city).to_lowercase();
+        b.iter(|| store.entities_named(std::hint::black_box(&name)).len())
+    });
+}
+
+criterion_group!(benches, bench_substrate);
+criterion_main!(benches);

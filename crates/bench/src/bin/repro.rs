@@ -1,0 +1,162 @@
+//! `repro` — regenerate the paper's tables over the substrate worlds.
+//!
+//! ```text
+//! repro [--scale quick|full] [--json DIR] <target>...
+//! targets: table4 table5 table6 table7 table8 table9 table10 table11
+//!          table12 table13 table14 table15 table16 table17 table18
+//!          sec75 ablations kbstats all
+//! ```
+//!
+//! `quick` (default) runs small worlds in seconds; `full` runs the
+//! KBA/Freebase/DBpedia-like presets used in EXPERIMENTS.md.
+
+use std::cell::OnceCell;
+use std::io::Write;
+
+use kbqa_bench::{ablation, format::Table, session::Scale, tables, Session};
+
+struct Sessions {
+    scale: Scale,
+    kba: OnceCell<Session>,
+    freebase: OnceCell<Session>,
+    dbpedia: OnceCell<Session>,
+}
+
+impl Sessions {
+    fn new(scale: Scale) -> Self {
+        Self {
+            scale,
+            kba: OnceCell::new(),
+            freebase: OnceCell::new(),
+            dbpedia: OnceCell::new(),
+        }
+    }
+
+    fn kba(&self) -> &Session {
+        self.kba.get_or_init(|| {
+            eprintln!("[repro] building KBA-like session…");
+            Session::standard(self.scale, "kba")
+        })
+    }
+
+    fn freebase(&self) -> &Session {
+        self.freebase.get_or_init(|| {
+            eprintln!("[repro] building Freebase-like session…");
+            Session::standard(self.scale, "freebase")
+        })
+    }
+
+    fn dbpedia(&self) -> &Session {
+        self.dbpedia.get_or_init(|| {
+            eprintln!("[repro] building DBpedia-like session…");
+            Session::standard(self.scale, "dbpedia")
+        })
+    }
+
+    fn all(&self) -> Vec<&Session> {
+        vec![self.kba(), self.freebase(), self.dbpedia()]
+    }
+}
+
+const ALL_TARGETS: &[&str] = &[
+    "kbstats", "table4", "table5", "table6", "table7", "table8", "table9", "table10",
+    "table11", "table12", "table13", "table14", "table15", "table16", "table17", "table18",
+    "sec75", "ablations", "variants", "report",
+];
+
+fn run_target(target: &str, sessions: &Sessions, scale: Scale) -> Vec<Table> {
+    match target {
+        "kbstats" => vec![tables::kb_stats(&sessions.all())],
+        "table4" => vec![tables::table4(scale)],
+        "table5" => vec![tables::table5(sessions.kba(), scale)],
+        "table6" => vec![tables::table6(sessions.kba())],
+        "table7" => vec![tables::table7(&sessions.all())],
+        "table8" => vec![tables::table8(&sessions.all())],
+        "table9" => vec![tables::table9(&sessions.all())],
+        "table10" => vec![tables::table10(sessions.kba(), scale)],
+        "table11" => vec![tables::table11(sessions.kba())],
+        "table12" => vec![tables::table12(&sessions.all())],
+        "table13" => vec![tables::table13(sessions.kba())],
+        "table14" => vec![tables::table14(sessions.kba())],
+        "table15" => vec![tables::table15(sessions.kba())],
+        "table16" => vec![tables::table16(sessions.kba())],
+        "table17" => vec![tables::table17(sessions.kba())],
+        "table18" => vec![tables::table18(sessions.kba())],
+        "sec75" => vec![ablation::entity_identification(sessions.kba(), 50)],
+        "variants" => vec![tables::variants_extension(sessions.kba())],
+        "report" => {
+            // Model introspection dump (inspect API); not a paper table.
+            let session = sessions.kba();
+            print!(
+                "{}",
+                kbqa_core::inspect::report(&session.model, &session.world.store, 3)
+            );
+            Vec::new()
+        }
+        "ablations" => vec![
+            ablation::refinement_ablation(sessions.kba(), 400),
+            ablation::uniform_theta_ablation(sessions.kba()),
+            ablation::decomposition_ablation(sessions.kba()),
+        ],
+        other => {
+            eprintln!("[repro] unknown target: {other}");
+            Vec::new()
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Quick;
+    let mut json_dir: Option<String> = None;
+    let mut targets: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = args
+                    .get(i)
+                    .and_then(|s| Scale::parse(s))
+                    .unwrap_or_else(|| {
+                        eprintln!("usage: repro [--scale quick|full] [--json DIR] <target>…");
+                        std::process::exit(2);
+                    });
+            }
+            "--json" => {
+                i += 1;
+                json_dir = args.get(i).cloned();
+            }
+            other => targets.push(other.to_owned()),
+        }
+        i += 1;
+    }
+    if targets.is_empty() {
+        eprintln!("usage: repro [--scale quick|full] [--json DIR] <target>…");
+        eprintln!("targets: {} all", ALL_TARGETS.join(" "));
+        std::process::exit(2);
+    }
+    if targets.iter().any(|t| t == "all") {
+        targets = ALL_TARGETS.iter().map(|s| (*s).to_owned()).collect();
+    }
+
+    let sessions = Sessions::new(scale);
+    let mut produced: Vec<Table> = Vec::new();
+    for target in &targets {
+        let start = std::time::Instant::now();
+        for table in run_target(target, &sessions, scale) {
+            println!("{table}");
+            produced.push(table);
+        }
+        eprintln!("[repro] {target} done in {:.1}s", start.elapsed().as_secs_f64());
+    }
+
+    if let Some(dir) = json_dir {
+        std::fs::create_dir_all(&dir).expect("create json dir");
+        let path = format!("{dir}/results.json");
+        let mut file = std::fs::File::create(&path).expect("create results.json");
+        let json = serde_json::to_string_pretty(&produced).expect("serialize tables");
+        file.write_all(json.as_bytes()).expect("write results.json");
+        eprintln!("[repro] wrote {path}");
+    }
+}

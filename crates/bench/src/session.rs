@@ -1,0 +1,165 @@
+//! Session: the cached expensive artifacts behind every experiment.
+//!
+//! A [`Session`] bundles one knowledge-base preset's world, QA corpus,
+//! learned model, expansion result and decomposition pattern index — i.e.
+//! the paper's full offline procedure output. Tables share sessions so the
+//! offline pipeline runs once per KB preset, not once per table.
+
+use kbqa_core::decompose::PatternIndex;
+use kbqa_core::engine::{EngineConfig, QaEngine};
+use kbqa_core::expansion::ExpansionResult;
+use kbqa_core::learner::{LearnedModel, Learner, LearnerConfig};
+use kbqa_corpus::{CorpusConfig, QaCorpus, World, WorldConfig};
+use kbqa_nlp::GazetteerNer;
+
+/// Experiment scale: quick (seconds; CI) or full (the EXPERIMENTS.md runs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Small worlds, thousands of QA pairs. Seconds per table.
+    Quick,
+    /// The KBA/Freebase/DBpedia-like presets with a large corpus.
+    Full,
+}
+
+impl Scale {
+    /// Parse from a CLI string.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "quick" => Some(Self::Quick),
+            "full" => Some(Self::Full),
+            _ => None,
+        }
+    }
+
+    /// QA corpus size for this scale.
+    pub fn corpus_pairs(self) -> usize {
+        match self {
+            Self::Quick => 4_000,
+            Self::Full => 30_000,
+        }
+    }
+
+    /// World preset for a KB name (`kba`, `freebase`, `dbpedia`).
+    pub fn world_config(self, kb: &str, seed: u64) -> WorldConfig {
+        match (self, kb) {
+            (Self::Quick, "kba") => WorldConfig::small(seed),
+            (Self::Quick, "freebase") => WorldConfig::small(seed.wrapping_add(1)),
+            (Self::Quick, "dbpedia") => WorldConfig::tiny(seed.wrapping_add(2)),
+            (Self::Full, "kba") => WorldConfig::kba_like(seed),
+            (Self::Full, "freebase") => WorldConfig::freebase_like(seed.wrapping_add(1)),
+            (Self::Full, "dbpedia") => WorldConfig::dbpedia_like(seed.wrapping_add(2)),
+            _ => WorldConfig::small(seed),
+        }
+    }
+}
+
+/// One KB preset's offline artifacts.
+pub struct Session {
+    /// Display name of the KB preset (`KBA-like`, …).
+    pub kb_name: String,
+    /// The generated world.
+    pub world: World,
+    /// The QA training corpus.
+    pub corpus: QaCorpus,
+    /// The learned model.
+    pub model: LearnedModel,
+    /// The expansion result (feeds Tables 4/16 and the baselines).
+    pub expansion: ExpansionResult,
+    /// The decomposition pattern index.
+    pub pattern_index: PatternIndex,
+}
+
+impl Session {
+    /// Run the full offline pipeline for a preset.
+    pub fn build(kb_name: &str, world_config: WorldConfig, corpus_pairs: usize) -> Self {
+        let world = World::generate(world_config);
+        let corpus = QaCorpus::generate(&world, &CorpusConfig::with_pairs(17, corpus_pairs));
+        let ner = GazetteerNer::from_store(&world.store);
+        let learner = Learner::new(
+            &world.store,
+            &world.conceptualizer,
+            &ner,
+            &world.predicate_classes,
+        );
+        let pairs: Vec<(&str, &str)> = corpus
+            .pairs
+            .iter()
+            .map(|p| (p.question.as_str(), p.answer.as_str()))
+            .collect();
+        let config = LearnerConfig {
+            em: kbqa_core::EmConfig {
+                threads: std::thread::available_parallelism()
+                    .map(|n| n.get().min(8))
+                    .unwrap_or(1),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let (model, expansion) = learner.learn(&pairs, &config);
+        let pattern_index =
+            PatternIndex::build(corpus.pairs.iter().map(|p| p.question.as_str()), &ner);
+        Self {
+            kb_name: kb_name.to_owned(),
+            world,
+            corpus,
+            model,
+            expansion,
+            pattern_index,
+        }
+    }
+
+    /// Build the standard session for a scale and KB name.
+    pub fn standard(scale: Scale, kb: &str) -> Self {
+        let name = match kb {
+            "kba" => "KBA-like",
+            "freebase" => "Freebase-like",
+            "dbpedia" => "DBpedia-like",
+            other => other,
+        };
+        Self::build(name, scale.world_config(kb, 42), scale.corpus_pairs())
+    }
+
+    /// A fresh online engine over this session's artifacts.
+    pub fn engine(&self) -> QaEngine<'_> {
+        QaEngine::new(&self.world.store, &self.world.conceptualizer, &self.model)
+            .with_pattern_index(self.pattern_index.clone())
+    }
+
+    /// An engine with a custom configuration.
+    pub fn engine_with(&self, config: EngineConfig) -> QaEngine<'_> {
+        self.engine().with_config(config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_session_builds_and_answers() {
+        let session = Session::build("test", kbqa_corpus::WorldConfig::tiny(42), 500);
+        assert!(session.model.stats.observations > 50);
+        let engine = session.engine();
+        let pop = session.world.intent_by_name("city_population").unwrap();
+        let city = session
+            .world
+            .subjects_of(pop)
+            .iter()
+            .copied()
+            .find(|&c| !session.world.gold_values(pop, c).is_empty())
+            .unwrap();
+        let q = format!(
+            "what is the population of {}",
+            session.world.store.surface(city)
+        );
+        assert!(!engine.answer_bfq(&q).is_empty());
+    }
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(Scale::parse("quick"), Some(Scale::Quick));
+        assert_eq!(Scale::parse("full"), Some(Scale::Full));
+        assert_eq!(Scale::parse("other"), None);
+        assert!(Scale::Quick.corpus_pairs() < Scale::Full.corpus_pairs());
+    }
+}

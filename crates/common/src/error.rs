@@ -1,0 +1,85 @@
+//! Workspace-wide error type.
+//!
+//! The KBQA pipeline has a small number of genuinely recoverable failure
+//! classes (unknown entity, unanswerable question, malformed corpus record,
+//! configuration mistakes); everything else is a programming error and
+//! panics. We keep a single enum rather than per-crate error hierarchies —
+//! the crates form one system, and callers (examples, harness, tests) want a
+//! uniform `Result` type.
+
+use std::fmt;
+
+/// Result alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, KbqaError>;
+
+/// Error cases surfaced by the KBQA system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KbqaError {
+    /// A name was looked up in the knowledge base dictionary and not found.
+    UnknownEntity(String),
+    /// A predicate name was looked up and not found.
+    UnknownPredicate(String),
+    /// The question could not be mapped to any (entity, template, predicate)
+    /// combination — the system returns "no answer" rather than guessing.
+    Unanswerable(String),
+    /// A corpus record was structurally invalid (e.g. empty question).
+    MalformedRecord(String),
+    /// Configuration error (bad parameter ranges, inconsistent sizes).
+    InvalidConfig(String),
+    /// I/O or serialization failure in the harness layer.
+    Io(String),
+}
+
+impl fmt::Display for KbqaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownEntity(name) => write!(f, "unknown entity: {name:?}"),
+            Self::UnknownPredicate(name) => write!(f, "unknown predicate: {name:?}"),
+            Self::Unanswerable(q) => write!(f, "unanswerable question: {q:?}"),
+            Self::MalformedRecord(why) => write!(f, "malformed corpus record: {why}"),
+            Self::InvalidConfig(why) => write!(f, "invalid configuration: {why}"),
+            Self::Io(why) => write!(f, "i/o error: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for KbqaError {}
+
+impl From<std::io::Error> for KbqaError {
+    fn from(err: std::io::Error) -> Self {
+        Self::Io(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = KbqaError::UnknownEntity("Atlantis".into());
+        assert!(err.to_string().contains("Atlantis"));
+        let err = KbqaError::Unanswerable("why?".into());
+        assert!(err.to_string().contains("why?"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let err: KbqaError = io.into();
+        assert!(matches!(err, KbqaError::Io(_)));
+        assert!(err.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            KbqaError::UnknownPredicate("dob".into()),
+            KbqaError::UnknownPredicate("dob".into())
+        );
+        assert_ne!(
+            KbqaError::UnknownPredicate("dob".into()),
+            KbqaError::UnknownEntity("dob".into())
+        );
+    }
+}

@@ -1,0 +1,208 @@
+//! Floating-point helpers for the probabilistic model.
+//!
+//! The EM learner and the online inference engine rank and sum probabilities
+//! constantly; this module provides a total-order wrapper for use in heaps
+//! and sorts, plus numerically careful summation.
+
+use std::cmp::Ordering;
+
+use serde::{Deserialize, Serialize};
+
+/// An `f64` with a total order (NaN sorts below everything, matching
+/// `f64::total_cmp` semantics for the non-NaN range we actually use).
+///
+/// Probabilities in this workspace are finite by construction; the wrapper
+/// exists so scores can key `BinaryHeap`s and `sort` calls without `unwrap`.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct OrderedF64(pub f64);
+
+impl OrderedF64 {
+    /// The wrapped value.
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl PartialEq for OrderedF64 {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.total_cmp(&other.0) == Ordering::Equal
+    }
+}
+
+impl Eq for OrderedF64 {}
+
+impl PartialOrd for OrderedF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrderedF64 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl From<f64> for OrderedF64 {
+    fn from(v: f64) -> Self {
+        Self(v)
+    }
+}
+
+/// Kahan-compensated sum. The EM E-step accumulates millions of small
+/// posterior masses; naive summation loses enough precision to perturb
+/// convergence checks on large corpora.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct KahanSum {
+    sum: f64,
+    compensation: f64,
+}
+
+impl KahanSum {
+    /// Start a fresh accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one term.
+    #[inline]
+    pub fn add(&mut self, value: f64) {
+        let y = value - self.compensation;
+        let t = self.sum + y;
+        self.compensation = (t - self.sum) - y;
+        self.sum = t;
+    }
+
+    /// The compensated total.
+    #[inline]
+    pub fn total(&self) -> f64 {
+        self.sum
+    }
+}
+
+impl Extend<f64> for KahanSum {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for v in iter {
+            self.add(v);
+        }
+    }
+}
+
+/// `log(Σ exp(x_i))` computed stably. Used when comparing log-likelihoods
+/// across EM iterations.
+pub fn log_sum_exp(values: &[f64]) -> f64 {
+    let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if !max.is_finite() {
+        return max;
+    }
+    let sum: f64 = values.iter().map(|&v| (v - max).exp()).sum();
+    max + sum.ln()
+}
+
+/// Normalize a slice in place so it sums to 1. Returns `false` (leaving the
+/// slice untouched) when the mass is zero or non-finite.
+pub fn normalize_in_place(values: &mut [f64]) -> bool {
+    let mut sum = KahanSum::new();
+    for &v in values.iter() {
+        sum.add(v);
+    }
+    let total = sum.total();
+    if !(total.is_finite() && total > 0.0) {
+        return false;
+    }
+    for v in values.iter_mut() {
+        *v /= total;
+    }
+    true
+}
+
+/// Relative approximate equality for test assertions on probabilities.
+pub fn approx_eq(a: f64, b: f64, epsilon: f64) -> bool {
+    let diff = (a - b).abs();
+    if diff <= epsilon {
+        return true;
+    }
+    diff <= epsilon * a.abs().max(b.abs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordered_f64_sorts() {
+        let mut v = [OrderedF64(0.5), OrderedF64(0.1), OrderedF64(0.9)];
+        v.sort();
+        assert_eq!(v[0].get(), 0.1);
+        assert_eq!(v[2].get(), 0.9);
+    }
+
+    #[test]
+    fn ordered_f64_in_heap() {
+        let mut heap = std::collections::BinaryHeap::new();
+        heap.push(OrderedF64(0.3));
+        heap.push(OrderedF64(0.7));
+        heap.push(OrderedF64(0.5));
+        assert_eq!(heap.pop().unwrap().get(), 0.7);
+    }
+
+    #[test]
+    fn kahan_beats_naive_on_adversarial_input() {
+        // 1.0 followed by many tiny values that naive f64 addition drops.
+        let tiny = 1e-16;
+        let n = 100_000;
+        let mut kahan = KahanSum::new();
+        kahan.add(1.0);
+        let mut naive = 1.0f64;
+        for _ in 0..n {
+            kahan.add(tiny);
+            naive += tiny;
+        }
+        let expected = 1.0 + tiny * n as f64;
+        assert!((kahan.total() - expected).abs() < (naive - expected).abs());
+        assert!(approx_eq(kahan.total(), expected, 1e-12));
+    }
+
+    #[test]
+    fn log_sum_exp_matches_direct_computation() {
+        let values = [-1.0, -2.0, -3.0];
+        let direct: f64 = values.iter().map(|v: &f64| v.exp()).sum::<f64>().ln();
+        assert!(approx_eq(log_sum_exp(&values), direct, 1e-12));
+    }
+
+    #[test]
+    fn log_sum_exp_stable_for_large_magnitudes() {
+        // Direct computation overflows; LSE must not.
+        let values = [1000.0, 999.0];
+        let result = log_sum_exp(&values);
+        assert!(approx_eq(result, 1000.0 + (1.0 + (-1.0f64).exp()).ln(), 1e-12));
+    }
+
+    #[test]
+    fn log_sum_exp_of_empty_is_neg_infinity() {
+        assert_eq!(log_sum_exp(&[]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn normalize_in_place_produces_distribution() {
+        let mut v = [2.0, 6.0, 2.0];
+        assert!(normalize_in_place(&mut v));
+        assert!(approx_eq(v.iter().sum::<f64>(), 1.0, 1e-12));
+        assert!(approx_eq(v[1], 0.6, 1e-12));
+    }
+
+    #[test]
+    fn normalize_rejects_zero_mass() {
+        let mut v = [0.0, 0.0];
+        assert!(!normalize_in_place(&mut v));
+        assert_eq!(v, [0.0, 0.0]);
+    }
+
+    #[test]
+    fn extend_accumulates() {
+        let mut sum = KahanSum::new();
+        sum.extend([1.0, 2.0, 3.0]);
+        assert_eq!(sum.total(), 6.0);
+    }
+}

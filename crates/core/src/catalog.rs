@@ -1,0 +1,152 @@
+//! Predicate catalog: dense interning of expanded predicates.
+//!
+//! The EM tables and the online engine address predicates (single-edge and
+//! expanded alike) through dense [`PredId`]s; the catalog owns the
+//! id ⇄ [`ExpandedPredicate`] mapping. Single-edge predicates and paths
+//! share one id space, matching the paper's uniform treatment after Sec 6.1
+//! ("the KBQA model … is flexible for expanded predicates; we only need some
+//! slight changes").
+
+use kbqa_common::define_id;
+use kbqa_common::hash::FxHashMap;
+use serde::{Deserialize, Serialize};
+
+use kbqa_rdf::{ExpandedPredicate, PredicateId, TripleStore};
+
+define_id!(
+    /// Dense id of an interned (possibly expanded) predicate.
+    pub struct PredId
+);
+
+/// Bidirectional `ExpandedPredicate ⇄ PredId` catalog.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct PredicateCatalog {
+    paths: Vec<ExpandedPredicate>,
+    #[serde(skip)]
+    ids: FxHashMap<ExpandedPredicate, PredId>,
+}
+
+impl PredicateCatalog {
+    /// Empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a predicate path.
+    pub fn intern(&mut self, path: ExpandedPredicate) -> PredId {
+        if let Some(&id) = self.ids.get(&path) {
+            return id;
+        }
+        let id = PredId::new(u32::try_from(self.paths.len()).expect("pred id overflow"));
+        self.ids.insert(path.clone(), id);
+        self.paths.push(path);
+        id
+    }
+
+    /// Intern a single-edge predicate.
+    pub fn intern_single(&mut self, p: PredicateId) -> PredId {
+        self.intern(ExpandedPredicate::single(p))
+    }
+
+    /// Look up without interning.
+    pub fn get(&self, path: &ExpandedPredicate) -> Option<PredId> {
+        self.ids.get(path).copied()
+    }
+
+    /// Resolve an id to its path.
+    pub fn resolve(&self, id: PredId) -> &ExpandedPredicate {
+        &self.paths[id.index()]
+    }
+
+    /// Render an id through the store's dictionary (`marriage→person→name`).
+    pub fn render(&self, id: PredId, store: &TripleStore) -> String {
+        self.resolve(id).render(store)
+    }
+
+    /// Number of interned predicates.
+    pub fn len(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+
+    /// Iterate all `(id, path)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (PredId, &ExpandedPredicate)> {
+        self.paths
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (PredId::new(i as u32), p))
+    }
+
+    /// Rebuild the lookup map after deserialization.
+    pub fn rebuild_index(&mut self) {
+        self.ids = self
+            .paths
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.clone(), PredId::new(i as u32)))
+            .collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kbqa_rdf::GraphBuilder;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut b = GraphBuilder::new();
+        let p1 = b.predicate("population");
+        let p2 = b.predicate("dob");
+        let mut catalog = PredicateCatalog::new();
+        let a = catalog.intern_single(p1);
+        let b2 = catalog.intern_single(p1);
+        let c = catalog.intern_single(p2);
+        assert_eq!(a, b2);
+        assert_ne!(a, c);
+        assert_eq!(catalog.len(), 2);
+    }
+
+    #[test]
+    fn paths_and_singles_share_id_space() {
+        let mut b = GraphBuilder::new();
+        let marriage = b.predicate("marriage");
+        let person = b.predicate("person");
+        let name = b.predicate("name");
+        let mut catalog = PredicateCatalog::new();
+        let single = catalog.intern_single(marriage);
+        let path = catalog.intern(ExpandedPredicate::new(vec![marriage, person, name]));
+        assert_ne!(single, path);
+        assert_eq!(catalog.resolve(path).len(), 3);
+        assert_eq!(catalog.resolve(single).len(), 1);
+    }
+
+    #[test]
+    fn render_through_store() {
+        let mut b = GraphBuilder::new();
+        let marriage = b.predicate("marriage");
+        let person = b.predicate("person");
+        let mut catalog = PredicateCatalog::new();
+        let id = catalog.intern(ExpandedPredicate::new(vec![marriage, person]));
+        let store = b.build();
+        assert_eq!(catalog.render(id, &store), "marriage→person");
+    }
+
+    #[test]
+    fn rebuild_index_restores_lookups() {
+        let mut b = GraphBuilder::new();
+        let p = b.predicate("x");
+        let mut catalog = PredicateCatalog::new();
+        let id = catalog.intern_single(p);
+        let mut stripped = PredicateCatalog {
+            paths: catalog.paths.clone(),
+            ids: Default::default(),
+        };
+        stripped.rebuild_index();
+        assert_eq!(stripped.get(&ExpandedPredicate::single(p)), Some(id));
+    }
+}

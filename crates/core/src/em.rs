@@ -1,0 +1,503 @@
+//! EM estimation of `θ = P(p|t)` (paper Sec 4.2–4.3, Algorithm 1).
+//!
+//! The latent variable `zᵢ = (p, t)` says which predicate and template
+//! generated observation `xᵢ = (qᵢ, eᵢ, vᵢ)`. Per Eq (18),
+//! `P(xᵢ, zᵢ|θ) = f(xᵢ, zᵢ)·θ_pt` with the fixed factor `f` precomputed by
+//! extraction. The E-step computes the posterior responsibility of each
+//! `(p, t)` per observation (Eq 21, normalized — the paper's formula elides
+//! the per-observation normalizer, which standard EM requires and which the
+//! M-step ratio of Eq 22 does not cancel); the M-step renormalizes the
+//! accumulated responsibilities per template (Eq 22).
+//!
+//! The paper's pruning (Eq 24) is inherited structurally: each observation
+//! stores only the templates with `P(t|e,q) > 0` and the predicates with
+//! `P(v|e,p) > 0`, so an E-step pass is `O(m)` with constant per-observation
+//! work — Algorithm 1's overall `O(km)`.
+//!
+//! The E-step is embarrassingly parallel over observations; with
+//! `threads > 1` it fans out over crossbeam scoped threads and merges the
+//! per-thread accumulators.
+
+use kbqa_common::float::KahanSum;
+use kbqa_common::hash::FxHashMap;
+use serde::{Deserialize, Serialize};
+
+use crate::catalog::PredId;
+use crate::extraction::Observation;
+use crate::template::TemplateId;
+
+/// EM hyperparameters.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EmConfig {
+    /// Iteration cap (`k` in the paper's O(km)).
+    pub max_iterations: usize,
+    /// Convergence threshold on `max |θ⁽ˢ⁺¹⁾ - θ⁽ˢ⁾|`.
+    pub tolerance: f64,
+    /// E-step worker threads (1 = sequential).
+    pub threads: usize,
+}
+
+impl Default for EmConfig {
+    fn default() -> Self {
+        Self {
+            max_iterations: 50,
+            tolerance: 1e-6,
+            threads: 1,
+        }
+    }
+}
+
+/// Convergence diagnostics.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct EmStats {
+    /// Iterations actually run.
+    pub iterations: usize,
+    /// Log-likelihood trace, one entry per iteration.
+    pub log_likelihood: Vec<f64>,
+    /// Observation count `m`.
+    pub observations: usize,
+    /// Whether the tolerance was reached before the iteration cap.
+    pub converged: bool,
+}
+
+/// The learned distribution `P(p|t)`: per template, predicates with
+/// probabilities sorted descending.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Theta {
+    per_template: Vec<Vec<(PredId, f64)>>,
+}
+
+impl Theta {
+    /// `P(·|t)` — sorted descending; empty for templates never observed.
+    pub fn predicates_for(&self, t: TemplateId) -> &[(PredId, f64)] {
+        self.per_template
+            .get(t.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The argmax predicate for a template.
+    pub fn top_predicate(&self, t: TemplateId) -> Option<(PredId, f64)> {
+        self.predicates_for(t).first().copied()
+    }
+
+    /// `P(p|t)` point lookup.
+    pub fn probability(&self, t: TemplateId, p: PredId) -> f64 {
+        self.predicates_for(t)
+            .iter()
+            .find(|(pp, _)| *pp == p)
+            .map(|(_, prob)| *prob)
+            .unwrap_or(0.0)
+    }
+
+    /// Number of template rows (== template catalog size at learning time).
+    pub fn template_count(&self) -> usize {
+        self.per_template.len()
+    }
+
+    /// Templates with at least one predicate.
+    pub fn supported_templates(&self) -> usize {
+        self.per_template.iter().filter(|v| !v.is_empty()).count()
+    }
+
+    /// Distinct predicates appearing in any template row.
+    pub fn distinct_predicates(&self) -> usize {
+        let mut seen: std::collections::BTreeSet<PredId> = Default::default();
+        for row in &self.per_template {
+            for &(p, _) in row {
+                seen.insert(p);
+            }
+        }
+        seen.len()
+    }
+
+    /// Iterate `(template, row)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (TemplateId, &[(PredId, f64)])> {
+        self.per_template
+            .iter()
+            .enumerate()
+            .map(|(i, row)| (TemplateId::new(i as u32), row.as_slice()))
+    }
+
+    /// A copy keeping only the rows whose template satisfies `keep`; other
+    /// rows become empty (ids stay stable).
+    pub fn retained(&self, keep: impl Fn(TemplateId) -> bool) -> Theta {
+        let per_template = self
+            .per_template
+            .iter()
+            .enumerate()
+            .map(|(i, row)| {
+                if keep(TemplateId::new(i as u32)) {
+                    row.clone()
+                } else {
+                    Vec::new()
+                }
+            })
+            .collect();
+        Theta { per_template }
+    }
+
+    /// A copy with every row flattened to the uniform distribution over its
+    /// co-occurring predicates — the "no EM" ablation (what initialization
+    /// Eq 23 alone would give; isolates the value of the iterations).
+    pub fn uniformized(&self) -> Theta {
+        let per_template = self
+            .per_template
+            .iter()
+            .map(|row| {
+                if row.is_empty() {
+                    return Vec::new();
+                }
+                let u = 1.0 / row.len() as f64;
+                let mut flat: Vec<(PredId, f64)> = row.iter().map(|&(p, _)| (p, u)).collect();
+                flat.sort_by_key(|&(p, _)| p);
+                flat
+            })
+            .collect();
+        Theta { per_template }
+    }
+}
+
+/// Sparse working accumulator: per-template predicate mass.
+type Accumulator = Vec<FxHashMap<PredId, f64>>;
+
+/// Run EM. `n_templates` must cover every `TemplateId` in the observations.
+pub fn estimate(
+    observations: &[Observation],
+    n_templates: usize,
+    config: &EmConfig,
+) -> (Theta, EmStats) {
+    let mut stats = EmStats {
+        observations: observations.len(),
+        ..Default::default()
+    };
+    if observations.is_empty() || n_templates == 0 {
+        return (Theta::default(), stats);
+    }
+
+    // ---- initialization (Eq 23): uniform over co-occurring predicates.
+    let mut theta: Accumulator = vec![FxHashMap::default(); n_templates];
+    for obs in observations {
+        for &(t, _) in &obs.templates {
+            let row = &mut theta[t.index()];
+            for &(p, _) in &obs.predicates {
+                row.entry(p).or_insert(0.0);
+            }
+        }
+    }
+    for row in theta.iter_mut() {
+        let n = row.len();
+        if n > 0 {
+            let u = 1.0 / n as f64;
+            for v in row.values_mut() {
+                *v = u;
+            }
+        }
+    }
+
+    // ---- iterate.
+    for iteration in 0..config.max_iterations {
+        let (acc, ll) = e_step(observations, &theta, n_templates, config.threads);
+        let delta = m_step(&mut theta, acc);
+        stats.iterations = iteration + 1;
+        stats.log_likelihood.push(ll);
+        if delta < config.tolerance {
+            stats.converged = true;
+            break;
+        }
+    }
+
+    // ---- freeze into sorted rows.
+    let per_template: Vec<Vec<(PredId, f64)>> = theta
+        .into_iter()
+        .map(|row| {
+            let mut v: Vec<(PredId, f64)> = row.into_iter().collect();
+            v.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+            v
+        })
+        .collect();
+    (Theta { per_template }, stats)
+}
+
+/// E-step: accumulate normalized responsibilities; returns (acc, log-lik).
+fn e_step(
+    observations: &[Observation],
+    theta: &Accumulator,
+    n_templates: usize,
+    threads: usize,
+) -> (Accumulator, f64) {
+    if threads <= 1 || observations.len() < 1024 {
+        return e_step_chunk(observations, theta, n_templates);
+    }
+    let chunk_size = observations.len().div_ceil(threads);
+    let results: Vec<(Accumulator, f64)> = crossbeam::scope(|scope| {
+        let handles: Vec<_> = observations
+            .chunks(chunk_size)
+            .map(|chunk| scope.spawn(move |_| e_step_chunk(chunk, theta, n_templates)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("E-step worker panicked"))
+            .collect()
+    })
+    .expect("crossbeam scope");
+
+    // Merge.
+    let mut acc: Accumulator = vec![FxHashMap::default(); n_templates];
+    let mut ll = KahanSum::new();
+    for (partial, partial_ll) in results {
+        ll.add(partial_ll);
+        for (row, partial_row) in acc.iter_mut().zip(partial) {
+            for (p, w) in partial_row {
+                *row.entry(p).or_insert(0.0) += w;
+            }
+        }
+    }
+    (acc, ll.total())
+}
+
+fn e_step_chunk(
+    observations: &[Observation],
+    theta: &Accumulator,
+    n_templates: usize,
+) -> (Accumulator, f64) {
+    let mut acc: Accumulator = vec![FxHashMap::default(); n_templates];
+    let mut ll = KahanSum::new();
+    // Reused scratch for the per-observation joint weights.
+    let mut weights: Vec<(TemplateId, PredId, f64)> = Vec::new();
+    for obs in observations {
+        weights.clear();
+        let mut total = 0.0;
+        for &(t, pt) in &obs.templates {
+            let row = &theta[t.index()];
+            for &(p, pv) in &obs.predicates {
+                let Some(&th) = row.get(&p) else { continue };
+                if th <= 0.0 {
+                    continue;
+                }
+                let w = obs.p_entity * pt * pv * th;
+                if w > 0.0 {
+                    weights.push((t, p, w));
+                    total += w;
+                }
+            }
+        }
+        if total <= 0.0 {
+            continue;
+        }
+        ll.add(total.ln());
+        let inv = 1.0 / total;
+        for &(t, p, w) in &weights {
+            *acc[t.index()].entry(p).or_insert(0.0) += w * inv;
+        }
+    }
+    (acc, ll.total())
+}
+
+/// M-step (Eq 22): per-template renormalization. Returns `max |Δθ|`.
+fn m_step(theta: &mut Accumulator, acc: Accumulator) -> f64 {
+    let mut max_delta = 0.0f64;
+    for (row, acc_row) in theta.iter_mut().zip(acc) {
+        if row.is_empty() {
+            continue;
+        }
+        let total: f64 = acc_row.values().sum();
+        if total <= 0.0 {
+            // Template got no responsibility this round; leave θ unchanged
+            // (its observations were all claimed by other templates).
+            continue;
+        }
+        let inv = 1.0 / total;
+        for (p, old) in row.iter_mut() {
+            let new = acc_row.get(p).copied().unwrap_or(0.0) * inv;
+            max_delta = max_delta.max((new - *old).abs());
+            *old = new;
+        }
+    }
+    max_delta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> TemplateId {
+        TemplateId::new(i)
+    }
+    fn p(i: u32) -> PredId {
+        PredId::new(i)
+    }
+
+    /// Make an observation with a single template and the given predicates.
+    fn obs(template: u32, preds: &[(u32, f64)]) -> Observation {
+        Observation {
+            pair_index: 0,
+            entity: kbqa_rdf::NodeId::new(0),
+            value: kbqa_rdf::NodeId::new(1),
+            p_entity: 1.0,
+            templates: vec![(t(template), 1.0)],
+            predicates: preds.iter().map(|&(i, pv)| (p(i), pv)).collect(),
+        }
+    }
+
+    #[test]
+    fn unambiguous_observations_converge_to_certainty() {
+        // Template 0 always co-occurs with predicate 0 only.
+        let observations: Vec<Observation> =
+            (0..20).map(|_| obs(0, &[(0, 1.0)])).collect();
+        let (theta, stats) = estimate(&observations, 1, &EmConfig::default());
+        assert!(stats.converged);
+        let (top, prob) = theta.top_predicate(t(0)).unwrap();
+        assert_eq!(top, p(0));
+        assert!((prob - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn majority_predicate_wins() {
+        // The paper's core signal: most instances of a template share the
+        // same predicate. 15 observations connect to predicate 0 (and noise
+        // predicate 1 in 5 of them); predicate 0 must dominate.
+        let mut observations = Vec::new();
+        for _ in 0..10 {
+            observations.push(obs(0, &[(0, 1.0)]));
+        }
+        for _ in 0..5 {
+            observations.push(obs(0, &[(0, 1.0), (1, 1.0)]));
+        }
+        let (theta, _) = estimate(&observations, 1, &EmConfig::default());
+        let row = theta.predicates_for(t(0));
+        assert_eq!(row[0].0, p(0));
+        assert!(row[0].1 > 0.85, "θ = {row:?}");
+        assert!(theta.probability(t(0), p(1)) < 0.15);
+    }
+
+    #[test]
+    fn ambiguous_templates_disambiguate_via_shared_evidence() {
+        // Template 0 pairs with predicate 0 in clean observations.
+        // Template 1 is ambiguous between predicates 0 and 1 in joint
+        // observations — but template 1 also appears alone with predicate 1,
+        // so EM should attribute the joint mass mostly to predicate 1... and
+        // template 0's clean signal keeps it on predicate 0.
+        let mut observations = Vec::new();
+        for _ in 0..20 {
+            observations.push(obs(0, &[(0, 1.0)]));
+        }
+        for _ in 0..20 {
+            observations.push(obs(1, &[(1, 1.0)]));
+        }
+        for _ in 0..4 {
+            observations.push(obs(1, &[(0, 1.0), (1, 1.0)]));
+        }
+        let (theta, _) = estimate(&observations, 2, &EmConfig::default());
+        assert_eq!(theta.top_predicate(t(0)).unwrap().0, p(0));
+        assert_eq!(theta.top_predicate(t(1)).unwrap().0, p(1));
+        assert!(theta.probability(t(1), p(1)) > 0.8);
+    }
+
+    #[test]
+    fn log_likelihood_is_nondecreasing() {
+        let mut observations = Vec::new();
+        for i in 0..30 {
+            if i % 3 == 0 {
+                observations.push(obs(0, &[(0, 0.5), (1, 0.5)]));
+            } else {
+                observations.push(obs(0, &[(0, 1.0)]));
+            }
+        }
+        let (_, stats) = estimate(&observations, 1, &EmConfig::default());
+        for pair in stats.log_likelihood.windows(2) {
+            assert!(
+                pair[1] >= pair[0] - 1e-9,
+                "LL decreased: {} → {}",
+                pair[0],
+                pair[1]
+            );
+        }
+    }
+
+    #[test]
+    fn rows_are_normalized_distributions() {
+        let observations = vec![
+            obs(0, &[(0, 1.0), (1, 0.5)]),
+            obs(0, &[(1, 1.0)]),
+            obs(0, &[(2, 0.25)]),
+        ];
+        let (theta, _) = estimate(&observations, 1, &EmConfig::default());
+        let total: f64 = theta.predicates_for(t(0)).iter().map(|(_, v)| v).sum();
+        assert!((total - 1.0).abs() < 1e-9, "row mass {total}");
+        // Sorted descending.
+        let row = theta.predicates_for(t(0));
+        for w in row.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty_theta() {
+        let (theta, stats) = estimate(&[], 0, &EmConfig::default());
+        assert_eq!(theta.template_count(), 0);
+        assert_eq!(stats.iterations, 0);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let mut observations = Vec::new();
+        for i in 0..3000u32 {
+            let template = i % 7;
+            let preds: Vec<(u32, f64)> = match i % 3 {
+                0 => vec![(template, 1.0)],
+                1 => vec![(template, 1.0), ((template + 1) % 7, 0.5)],
+                _ => vec![((template + 1) % 7, 1.0)],
+            };
+            observations.push(obs(template, &preds));
+        }
+        let seq_cfg = EmConfig {
+            threads: 1,
+            ..Default::default()
+        };
+        let par_cfg = EmConfig {
+            threads: 4,
+            ..Default::default()
+        };
+        let (theta_seq, stats_seq) = estimate(&observations, 7, &seq_cfg);
+        let (theta_par, stats_par) = estimate(&observations, 7, &par_cfg);
+        assert_eq!(stats_seq.iterations, stats_par.iterations);
+        for i in 0..7 {
+            let a = theta_seq.predicates_for(t(i));
+            let b = theta_par.predicates_for(t(i));
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.0, y.0);
+                assert!((x.1 - y.1).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn template_statistics() {
+        let observations = vec![obs(0, &[(0, 1.0)]), obs(2, &[(1, 1.0)])];
+        let (theta, _) = estimate(&observations, 3, &EmConfig::default());
+        assert_eq!(theta.template_count(), 3);
+        assert_eq!(theta.supported_templates(), 2);
+        assert_eq!(theta.distinct_predicates(), 2);
+        assert!(theta.predicates_for(t(1)).is_empty());
+        assert_eq!(theta.top_predicate(t(1)), None);
+    }
+
+    #[test]
+    fn soft_template_distributions_share_mass() {
+        // One observation with two templates (person 0.75 / politician 0.25)
+        // and one predicate: both templates learn the predicate.
+        let o = Observation {
+            pair_index: 0,
+            entity: kbqa_rdf::NodeId::new(0),
+            value: kbqa_rdf::NodeId::new(1),
+            p_entity: 1.0,
+            templates: vec![(t(0), 0.75), (t(1), 0.25)],
+            predicates: vec![(p(0), 1.0)],
+        };
+        let (theta, _) = estimate(&[o], 2, &EmConfig::default());
+        assert_eq!(theta.top_predicate(t(0)).unwrap().0, p(0));
+        assert_eq!(theta.top_predicate(t(1)).unwrap().0, p(0));
+    }
+}

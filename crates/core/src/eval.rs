@@ -1,0 +1,323 @@
+//! Evaluation metrics (paper Sec 7.3).
+//!
+//! QALD-style accounting: `#pro` (questions the system processed, i.e.
+//! returned a non-null answer), `#ri` (right answers), `#par` (partially
+//! right answers), from which precision `P = #ri/#pro`, partial precision
+//! `P* = (#ri+#par)/#pro`, recall `R = #ri/#total`, `R* `, and the
+//! BFQ-restricted recalls `R_BFQ`, `R*_BFQ` are derived.
+//!
+//! "Right" = the system's top answer matches a gold answer (normalized
+//! token-wise). "Partially right" = some gold answer appears in the
+//! remaining ranked answers, or — for multi-gold questions — the returned
+//! set covers only part of the gold set.
+//!
+//! WebQuestions-style accounting (Table 10): averaged precision / recall /
+//! F1 over per-question answer sets plus `P@1`, matching the official
+//! evaluation script's shape.
+
+use serde::{Deserialize, Serialize};
+
+use kbqa_nlp::tokenize;
+
+use crate::engine::QaSystem;
+
+/// One evaluation question: text, acceptable answers, BFQ flag.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EvalQuestion {
+    /// Question text.
+    pub question: String,
+    /// Acceptable gold answers (surface strings); empty = no factoid answer.
+    pub gold: Vec<String>,
+    /// Whether the question is a BFQ (drives `R_BFQ`).
+    pub is_bfq: bool,
+}
+
+/// QALD-style tallies and derived metrics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct QaldOutcome {
+    /// Total questions.
+    pub total: usize,
+    /// BFQ questions.
+    pub bfq_total: usize,
+    /// Questions answered (non-null).
+    pub processed: usize,
+    /// Right answers.
+    pub right: usize,
+    /// Partially right answers.
+    pub partial: usize,
+}
+
+impl QaldOutcome {
+    /// `P = #ri / #pro`.
+    pub fn precision(&self) -> f64 {
+        ratio(self.right, self.processed)
+    }
+
+    /// `P* = (#ri + #par) / #pro`.
+    pub fn partial_precision(&self) -> f64 {
+        ratio(self.right + self.partial, self.processed)
+    }
+
+    /// `R = #ri / #total`.
+    pub fn recall(&self) -> f64 {
+        ratio(self.right, self.total)
+    }
+
+    /// `R* = (#ri + #par) / #total`.
+    pub fn partial_recall(&self) -> f64 {
+        ratio(self.right + self.partial, self.total)
+    }
+
+    /// `R_BFQ = #ri / #BFQ`.
+    pub fn recall_bfq(&self) -> f64 {
+        ratio(self.right, self.bfq_total)
+    }
+
+    /// `R*_BFQ = (#ri + #par) / #BFQ`.
+    pub fn partial_recall_bfq(&self) -> f64 {
+        ratio(self.right + self.partial, self.bfq_total)
+    }
+}
+
+/// WebQuestions-style averaged metrics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct WebqOutcome {
+    /// Average precision over answered questions.
+    pub precision: f64,
+    /// Fraction of all questions whose top answer is right.
+    pub p_at_1: f64,
+    /// Average recall over all questions.
+    pub recall: f64,
+    /// Average per-question F1 over all questions.
+    pub f1: f64,
+}
+
+fn ratio(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Normalize an answer string for comparison: strip digit-group separators
+/// (`390,000` ≡ `390000`), then tokenize, lowercase and join.
+pub fn normalize_answer(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut cleaned = String::with_capacity(s.len());
+    for (i, c) in s.char_indices() {
+        if c == ',' {
+            let prev_digit = i > 0 && bytes[i - 1].is_ascii_digit();
+            let next_digit = bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit());
+            if prev_digit && next_digit {
+                continue;
+            }
+        }
+        cleaned.push(c);
+    }
+    tokenize(&cleaned).joined()
+}
+
+/// Does `answer` match any gold answer?
+pub fn matches_gold(answer: &str, gold: &[String]) -> bool {
+    let norm = normalize_answer(answer);
+    gold.iter().any(|g| normalize_answer(g) == norm)
+}
+
+/// Evaluate a system under QALD-style accounting.
+pub fn evaluate_qald(system: &dyn QaSystem, questions: &[EvalQuestion]) -> QaldOutcome {
+    let mut outcome = QaldOutcome {
+        total: questions.len(),
+        bfq_total: questions.iter().filter(|q| q.is_bfq).count(),
+        ..Default::default()
+    };
+    for q in questions {
+        let Some(answer) = system.answer(&q.question) else {
+            continue;
+        };
+        if answer.values.is_empty() {
+            continue;
+        }
+        outcome.processed += 1;
+        let values = answer.value_strings();
+        let top_right = matches_gold(values[0], &q.gold);
+        if top_right {
+            // Multi-gold questions where the system returns only a strict
+            // subset count as right on the top answer — QALD grading accepts
+            // any correct answer entity; set coverage shows up in WebQ F1.
+            outcome.right += 1;
+        } else if values.iter().skip(1).any(|v| matches_gold(v, &q.gold)) {
+            outcome.partial += 1;
+        }
+    }
+    outcome
+}
+
+/// Evaluate a system under WebQuestions-style averaged P/R/F1 + P@1.
+pub fn evaluate_webquestions(system: &dyn QaSystem, questions: &[EvalQuestion]) -> WebqOutcome {
+    let mut sum_precision = 0.0;
+    let mut answered = 0usize;
+    let mut sum_recall = 0.0;
+    let mut sum_f1 = 0.0;
+    let mut top1_right = 0usize;
+    for q in questions {
+        let gold: Vec<String> = q.gold.iter().map(|g| normalize_answer(g)).collect();
+        let Some(answer) = system.answer(&q.question) else {
+            continue;
+        };
+        if answer.values.is_empty() {
+            continue;
+        }
+        answered += 1;
+        let returned: Vec<String> = answer
+            .values
+            .iter()
+            .map(|(v, _)| normalize_answer(v))
+            .collect();
+        let hits = returned.iter().filter(|r| gold.contains(r)).count();
+        let p = ratio(hits, returned.len());
+        let r = ratio(hits, gold.len().max(1));
+        sum_precision += p;
+        sum_recall += r;
+        if p + r > 0.0 {
+            sum_f1 += 2.0 * p * r / (p + r);
+        }
+        if gold.contains(&returned[0]) {
+            top1_right += 1;
+        }
+    }
+    let total = questions.len();
+    WebqOutcome {
+        precision: if answered == 0 {
+            0.0
+        } else {
+            sum_precision / answered as f64
+        },
+        p_at_1: ratio(top1_right, total),
+        recall: if total == 0 { 0.0 } else { sum_recall / total as f64 },
+        f1: if total == 0 { 0.0 } else { sum_f1 / total as f64 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::SystemAnswer;
+
+    /// Scripted system: a fixed map from question to ranked answers.
+    struct Scripted(Vec<(&'static str, Vec<&'static str>)>);
+
+    impl QaSystem for Scripted {
+        fn name(&self) -> &str {
+            "scripted"
+        }
+        fn answer(&self, question: &str) -> Option<SystemAnswer> {
+            self.0.iter().find(|(q, _)| *q == question).map(|(_, vs)| {
+                SystemAnswer {
+                    values: vs
+                        .iter()
+                        .enumerate()
+                        .map(|(i, v)| ((*v).to_owned(), 1.0 / (i + 1) as f64))
+                        .collect(),
+                }
+            })
+        }
+    }
+
+    fn questions() -> Vec<EvalQuestion> {
+        vec![
+            EvalQuestion {
+                question: "q1".into(),
+                gold: vec!["alpha".into()],
+                is_bfq: true,
+            },
+            EvalQuestion {
+                question: "q2".into(),
+                gold: vec!["beta".into()],
+                is_bfq: true,
+            },
+            EvalQuestion {
+                question: "q3".into(),
+                gold: vec!["gamma".into()],
+                is_bfq: false,
+            },
+            EvalQuestion {
+                question: "q4".into(),
+                gold: vec!["delta".into()],
+                is_bfq: true,
+            },
+        ]
+    }
+
+    #[test]
+    fn qald_metrics_add_up() {
+        // q1 right, q2 partial (gold at rank 2), q3 wrong, q4 unanswered.
+        let system = Scripted(vec![
+            ("q1", vec!["alpha"]),
+            ("q2", vec!["nope", "beta"]),
+            ("q3", vec!["wrong"]),
+        ]);
+        let outcome = evaluate_qald(&system, &questions());
+        assert_eq!(outcome.total, 4);
+        assert_eq!(outcome.bfq_total, 3);
+        assert_eq!(outcome.processed, 3);
+        assert_eq!(outcome.right, 1);
+        assert_eq!(outcome.partial, 1);
+        assert!((outcome.precision() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((outcome.partial_precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((outcome.recall() - 0.25).abs() < 1e-12);
+        assert!((outcome.recall_bfq() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((outcome.partial_recall() - 0.5).abs() < 1e-12);
+        assert!((outcome.partial_recall_bfq() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn refusals_do_not_hurt_precision() {
+        let refuser = Scripted(vec![("q1", vec!["alpha"])]);
+        let outcome = evaluate_qald(&refuser, &questions());
+        assert_eq!(outcome.processed, 1);
+        assert_eq!(outcome.precision(), 1.0);
+        assert!(outcome.recall() < 0.5);
+    }
+
+    #[test]
+    fn matching_is_normalized() {
+        assert!(matches_gold("Barack Obama", &["barack obama".into()]));
+        assert!(matches_gold("390,000", &["390000".into()]));
+        assert!(!matches_gold("obama", &["barack obama".into()]));
+    }
+
+    #[test]
+    fn webq_metrics_reward_set_coverage() {
+        let questions = vec![
+            EvalQuestion {
+                question: "members".into(),
+                gold: vec!["ann".into(), "bob".into()],
+                is_bfq: true,
+            },
+            EvalQuestion {
+                question: "other".into(),
+                gold: vec!["x".into()],
+                is_bfq: true,
+            },
+        ];
+        // Returns half the member set; skips the other question.
+        let system = Scripted(vec![("members", vec!["ann"])]);
+        let outcome = evaluate_webquestions(&system, &questions);
+        assert!((outcome.precision - 1.0).abs() < 1e-12);
+        assert!((outcome.recall - 0.25).abs() < 1e-12); // 0.5 for q1, 0 for q2
+        assert!((outcome.p_at_1 - 0.5).abs() < 1e-12);
+        let f1_q1 = 2.0 * 1.0 * 0.5 / 1.5;
+        assert!((outcome.f1 - f1_q1 / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs_are_safe() {
+        let system = Scripted(vec![]);
+        let outcome = evaluate_qald(&system, &[]);
+        assert_eq!(outcome.precision(), 0.0);
+        assert_eq!(outcome.recall(), 0.0);
+        let webq = evaluate_webquestions(&system, &[]);
+        assert_eq!(webq.f1, 0.0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Hybrid QA systems (paper Sec 7.3.1, Table 11).
+//!
+//! KBQA is a high-precision, refusal-prone component: *"first, the user
+//! question is fed into KBQA. If KBQA gives no reply — which means the
+//! question is very likely a non-BFQ — we feed the question into the
+//! baseline system."* The combinator is generic over any two
+//! [`QaSystem`]s, so the Table 11 harness can wrap every baseline.
+
+use crate::engine::{QaSystem, SystemAnswer};
+
+/// Primary-with-fallback composition of two QA systems.
+pub struct HybridSystem<P, F> {
+    primary: P,
+    fallback: F,
+    name: String,
+}
+
+impl<P: QaSystem, F: QaSystem> HybridSystem<P, F> {
+    /// Compose `primary` (tried first) with `fallback`.
+    pub fn new(primary: P, fallback: F) -> Self {
+        let name = format!("{}+{}", primary.name(), fallback.name());
+        Self {
+            primary,
+            fallback,
+            name,
+        }
+    }
+
+    /// The primary system.
+    pub fn primary(&self) -> &P {
+        &self.primary
+    }
+
+    /// The fallback system.
+    pub fn fallback(&self) -> &F {
+        &self.fallback
+    }
+}
+
+impl<P: QaSystem, F: QaSystem> QaSystem for HybridSystem<P, F> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn answer(&self, question: &str) -> Option<SystemAnswer> {
+        self.primary
+            .answer(question)
+            .or_else(|| self.fallback.answer(question))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A scripted system answering only questions containing its keyword.
+    struct Scripted {
+        name: &'static str,
+        keyword: &'static str,
+        reply: &'static str,
+    }
+
+    impl QaSystem for Scripted {
+        fn name(&self) -> &str {
+            self.name
+        }
+        fn answer(&self, question: &str) -> Option<SystemAnswer> {
+            question.contains(self.keyword).then(|| SystemAnswer {
+                values: vec![(self.reply.to_owned(), 1.0)],
+            })
+        }
+    }
+
+    fn hybrid() -> HybridSystem<Scripted, Scripted> {
+        HybridSystem::new(
+            Scripted {
+                name: "KBQA",
+                keyword: "population",
+                reply: "390000",
+            },
+            Scripted {
+                name: "SWIP",
+                keyword: "why",
+                reply: "because",
+            },
+        )
+    }
+
+    #[test]
+    fn primary_wins_when_it_answers() {
+        let h = hybrid();
+        let a = h.answer("what is the population of honolulu").unwrap();
+        assert_eq!(a.top(), Some("390000"));
+    }
+
+    #[test]
+    fn fallback_catches_refusals() {
+        let h = hybrid();
+        let a = h.answer("why is the sky blue").unwrap();
+        assert_eq!(a.top(), Some("because"));
+    }
+
+    #[test]
+    fn both_refuse_means_refusal() {
+        let h = hybrid();
+        assert!(h.answer("how do magnets work").is_none());
+    }
+
+    #[test]
+    fn name_is_composed() {
+        assert_eq!(hybrid().name(), "KBQA+SWIP");
+    }
+}

@@ -1,0 +1,209 @@
+//! Learned-model introspection.
+//!
+//! The paper's case studies (Table 17: templates learned for
+//! `marriage→person→name`; Table 18: example expanded predicates) are
+//! queries over the learned model; this module makes them a library API so
+//! operators can audit what a model knows without the experiment harness.
+
+use kbqa_rdf::{ExpandedPredicate, TripleStore};
+
+use crate::catalog::PredId;
+use crate::learner::LearnedModel;
+use crate::template::TemplateId;
+
+/// Templates whose argmax predicate is `path`, ranked by `support · θ`
+/// (well-evidenced, confident templates first). Returns
+/// `(template id, canonical string, support, θ)`.
+pub fn templates_for_predicate<'m>(
+    model: &'m LearnedModel,
+    path: &ExpandedPredicate,
+) -> Vec<(TemplateId, &'m str, u32, f64)> {
+    let Some(target) = model.predicates.get(path) else {
+        return Vec::new();
+    };
+    let mut rows: Vec<(TemplateId, &str, u32, f64)> = Vec::new();
+    for (tid, support) in model.templates_by_support() {
+        if support == 0 {
+            continue;
+        }
+        if let Some((top, theta)) = model.theta.top_predicate(tid) {
+            if top == target {
+                rows.push((tid, model.templates.resolve(tid), support, theta));
+            }
+        }
+    }
+    rows.sort_by(|a, b| {
+        let score_a = a.2 as f64 * a.3;
+        let score_b = b.2 as f64 * b.3;
+        score_b.total_cmp(&score_a).then(a.0.cmp(&b.0))
+    });
+    rows
+}
+
+/// Predicates ranked by total template support (how much of the model's
+/// evidence flows through each), restricted to paths of length ≥ `min_len`.
+/// Returns `(predicate id, path, total support)`.
+pub fn top_predicates(
+    model: &LearnedModel,
+    min_len: usize,
+) -> Vec<(PredId, ExpandedPredicate, u32)> {
+    let mut support: kbqa_common::hash::FxHashMap<PredId, u32> = Default::default();
+    for (tid, s) in model.templates_by_support() {
+        if let Some((p, _)) = model.theta.top_predicate(tid) {
+            *support.entry(p).or_default() += s;
+        }
+    }
+    let mut rows: Vec<(PredId, ExpandedPredicate, u32)> = support
+        .into_iter()
+        .filter(|&(p, _)| model.predicates.resolve(p).len() >= min_len)
+        .map(|(p, s)| (p, model.predicates.resolve(p).clone(), s))
+        .collect();
+    rows.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)));
+    rows
+}
+
+/// One-line-per-fact model summary for logs and tooling.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ModelSummary {
+    /// Templates with θ mass.
+    pub templates: usize,
+    /// Distinct predicates referenced by θ.
+    pub predicates: usize,
+    /// Templates whose argmax predicate is a single edge.
+    pub direct_templates: usize,
+    /// Templates whose argmax predicate is a multi-edge path.
+    pub expanded_templates: usize,
+    /// Observations consumed during learning.
+    pub observations: usize,
+}
+
+/// Compute the summary.
+pub fn summary(model: &LearnedModel) -> ModelSummary {
+    let mut direct = 0;
+    let mut expanded = 0;
+    for (tid, row) in model.theta.iter() {
+        if row.is_empty() {
+            continue;
+        }
+        let _ = tid;
+        let (p, _) = row[0];
+        if model.predicates.resolve(p).len() == 1 {
+            direct += 1;
+        } else {
+            expanded += 1;
+        }
+    }
+    ModelSummary {
+        templates: model.theta.supported_templates(),
+        predicates: model.theta.distinct_predicates(),
+        direct_templates: direct,
+        expanded_templates: expanded,
+        observations: model.stats.observations,
+    }
+}
+
+/// Render a human-readable model report (top templates per predicate).
+pub fn report(model: &LearnedModel, store: &TripleStore, per_predicate: usize) -> String {
+    let mut out = String::new();
+    let s = summary(model);
+    out.push_str(&format!(
+        "model: {} templates over {} predicates ({} direct / {} expanded), {} observations\n",
+        s.templates, s.predicates, s.direct_templates, s.expanded_templates, s.observations
+    ));
+    for (pred, path, support) in top_predicates(model, 1) {
+        out.push_str(&format!("\n{} (support {}):\n", path.render(store), support));
+        let _ = pred;
+        for (_, canonical, sup, theta) in
+            templates_for_predicate(model, &path).into_iter().take(per_predicate)
+        {
+            out.push_str(&format!("  {canonical}  (n={sup}, θ={theta:.2})\n"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kbqa_corpus::{CorpusConfig, QaCorpus, World, WorldConfig};
+    use kbqa_nlp::GazetteerNer;
+
+    use crate::learner::{Learner, LearnerConfig};
+
+    fn learned() -> (World, LearnedModel) {
+        let world = World::generate(WorldConfig::tiny(42));
+        let corpus = QaCorpus::generate(&world, &CorpusConfig::with_pairs(1, 700));
+        let ner = GazetteerNer::from_store(&world.store);
+        let learner = Learner::new(
+            &world.store,
+            &world.conceptualizer,
+            &ner,
+            &world.predicate_classes,
+        );
+        let pairs: Vec<(&str, &str)> = corpus
+            .pairs
+            .iter()
+            .map(|p| (p.question.as_str(), p.answer.as_str()))
+            .collect();
+        let (model, _) = learner.learn(&pairs, &LearnerConfig::default());
+        (world, model)
+    }
+
+    #[test]
+    fn spouse_templates_are_retrievable() {
+        let (world, model) = learned();
+        let spouse = world.intent_by_name("person_spouse").unwrap();
+        let rows = templates_for_predicate(&model, &spouse.path);
+        assert!(!rows.is_empty(), "no spouse templates");
+        for (_, canonical, support, theta) in &rows {
+            assert!(canonical.contains('$'));
+            assert!(*support > 0);
+            assert!(*theta > 0.0);
+        }
+        // Ranked by support·θ descending.
+        for w in rows.windows(2) {
+            assert!(w[0].2 as f64 * w[0].3 >= w[1].2 as f64 * w[1].3 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn unknown_predicate_yields_empty() {
+        let (world, model) = learned();
+        let date = world.store.dict().find_predicate("date").unwrap();
+        let never_learned = ExpandedPredicate::new(vec![date, date, date]);
+        assert!(templates_for_predicate(&model, &never_learned).is_empty());
+    }
+
+    #[test]
+    fn top_predicates_respects_min_len() {
+        let (_world, model) = learned();
+        let all = top_predicates(&model, 1);
+        let multi = top_predicates(&model, 2);
+        assert!(all.len() > multi.len());
+        for (_, path, _) in &multi {
+            assert!(path.len() >= 2);
+        }
+        // Sorted descending by support.
+        for w in all.windows(2) {
+            assert!(w[0].2 >= w[1].2);
+        }
+    }
+
+    #[test]
+    fn summary_accounts_for_every_supported_template() {
+        let (_world, model) = learned();
+        let s = summary(&model);
+        assert_eq!(s.templates, s.direct_templates + s.expanded_templates);
+        assert!(s.expanded_templates > 0, "no expanded-predicate templates");
+        assert_eq!(s.observations, model.stats.observations);
+    }
+
+    #[test]
+    fn report_renders() {
+        let (world, model) = learned();
+        let text = report(&model, &world.store, 2);
+        assert!(text.contains("model:"));
+        assert!(text.contains("θ="));
+        assert!(text.contains('→'), "no expanded predicate in report");
+    }
+}

@@ -1,0 +1,319 @@
+//! The offline learning pipeline (paper Fig. 3, offline procedure).
+//!
+//! Wires the three offline stages in order:
+//!
+//! 1. **Predicate expansion** (Sec 6) from the entities that occur in corpus
+//!    questions (the Sec 6.2 "reduction on s"),
+//! 2. **Entity–value extraction** (Sec 4.1) over every QA pair,
+//! 3. **EM estimation** of `P(p|t)` (Sec 4.2–4.3).
+//!
+//! The output [`LearnedModel`] is everything the online engine needs:
+//! template catalog, predicate catalog, and θ.
+
+use std::time::Instant;
+
+use kbqa_common::hash::{FxHashMap, FxHashSet};
+use serde::{Deserialize, Serialize};
+
+use kbqa_nlp::{tokenize, AnswerClass, GazetteerNer};
+use kbqa_rdf::{ExpandedPredicate, NodeId, TripleStore};
+use kbqa_taxonomy::Conceptualizer;
+
+use crate::catalog::PredicateCatalog;
+use crate::em::{self, EmConfig, EmStats, Theta};
+use crate::expansion::{self, ExpansionConfig, ExpansionResult};
+use crate::extraction::{ExtractionConfig, Extractor};
+use crate::template::TemplateCatalog;
+
+/// Configuration of the full offline pipeline.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct LearnerConfig {
+    /// Predicate expansion parameters (Sec 6).
+    pub expansion: ExpansionConfig,
+    /// Extraction parameters (Sec 4.1).
+    pub extraction: ExtractionConfig,
+    /// EM parameters (Sec 4.2–4.3).
+    pub em: EmConfig,
+}
+
+/// Offline statistics, reported by the harness next to each experiment.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct LearnStats {
+    /// QA pairs consumed.
+    pub pairs: usize,
+    /// Question-entity source set size (expansion's "reduction on s").
+    pub source_entities: usize,
+    /// Emitted `(s, p⁺, o)` records per path length.
+    pub emitted_by_length: Vec<usize>,
+    /// Extracted observations (`m` in the paper).
+    pub observations: usize,
+    /// Distinct templates learned.
+    pub distinct_templates: usize,
+    /// Distinct predicates with probability mass.
+    pub distinct_predicates: usize,
+    /// EM diagnostics.
+    pub em: EmStats,
+    /// Wall-clock of the whole offline run, in milliseconds.
+    pub offline_millis: u128,
+}
+
+/// The learned model: what the online procedure consults.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct LearnedModel {
+    /// Template catalog (canonical string ⇄ id).
+    pub templates: TemplateCatalog,
+    /// Predicate catalog (expanded-predicate path ⇄ id) — shared id space
+    /// with the expansion that produced the observations.
+    pub predicates: PredicateCatalog,
+    /// `P(p|t)`.
+    pub theta: Theta,
+    /// Observation count per template (frequency; drives Table 13's
+    /// "top templates" selection).
+    pub template_support: Vec<u32>,
+    /// Offline statistics.
+    pub stats: LearnStats,
+}
+
+impl LearnedModel {
+    /// Templates sorted by descending support, as `(id, support)`.
+    pub fn templates_by_support(&self) -> Vec<(crate::template::TemplateId, u32)> {
+        let mut v: Vec<(crate::template::TemplateId, u32)> = self
+            .template_support
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (crate::template::TemplateId::new(i as u32), s))
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Rebuild derived lookup tables after deserialization.
+    pub fn rebuild_index(&mut self) {
+        self.templates.rebuild_index();
+        self.predicates.rebuild_index();
+    }
+
+    /// A copy with θ rows of templates below `min_support` dropped.
+    ///
+    /// The paper's model keeps 27M templates; deployments prune the long
+    /// tail (the Table 13 analysis already notes that single-occurrence
+    /// templates "usually have very vague meanings"). Template ids stay
+    /// stable — pruned rows become empty rather than re-numbered — so
+    /// catalogs and provenance remain valid.
+    pub fn pruned(&self, min_support: u32) -> LearnedModel {
+        let mut model = self.clone();
+        let keep: Vec<bool> = self
+            .template_support
+            .iter()
+            .map(|&s| s >= min_support)
+            .collect();
+        model.theta = self.theta.retained(|t| keep.get(t.index()).copied().unwrap_or(false));
+        model.stats.distinct_templates = model.theta.supported_templates();
+        model.stats.distinct_predicates = model.theta.distinct_predicates();
+        model
+    }
+}
+
+/// The offline learner.
+pub struct Learner<'a> {
+    store: &'a TripleStore,
+    conceptualizer: &'a Conceptualizer,
+    ner: &'a GazetteerNer,
+    predicate_classes: &'a FxHashMap<ExpandedPredicate, AnswerClass>,
+}
+
+impl<'a> Learner<'a> {
+    /// Construct a learner over a knowledge base and its taxonomy.
+    pub fn new(
+        store: &'a TripleStore,
+        conceptualizer: &'a Conceptualizer,
+        ner: &'a GazetteerNer,
+        predicate_classes: &'a FxHashMap<ExpandedPredicate, AnswerClass>,
+    ) -> Self {
+        Self {
+            store,
+            conceptualizer,
+            ner,
+            predicate_classes,
+        }
+    }
+
+    /// Entities mentioned in corpus questions — the expansion source set.
+    pub fn question_entities<'q>(
+        &self,
+        questions: impl IntoIterator<Item = &'q str>,
+    ) -> FxHashSet<NodeId> {
+        let mut sources: FxHashSet<NodeId> = FxHashSet::default();
+        for q in questions {
+            let tokens = tokenize(q);
+            for mention in self.ner.find_all_mentions(&tokens) {
+                sources.extend(mention.nodes.iter().copied());
+            }
+        }
+        sources
+    }
+
+    /// Run the full offline pipeline over `(question, answer)` pairs.
+    /// Returns the learned model and the expansion result (the latter feeds
+    /// the Table 4/16 harnesses).
+    pub fn learn(
+        &self,
+        pairs: &[(&str, &str)],
+        config: &LearnerConfig,
+    ) -> (LearnedModel, ExpansionResult) {
+        let start = Instant::now();
+
+        // 1. Expansion from question entities.
+        let sources = self.question_entities(pairs.iter().map(|(q, _)| *q));
+        let expansion = expansion::expand(self.store, &sources, &config.expansion);
+
+        // 2. Extraction.
+        let extractor = Extractor::new(
+            self.store,
+            self.conceptualizer,
+            self.ner,
+            &expansion,
+            self.predicate_classes,
+            config.extraction.clone(),
+        );
+        let mut templates = TemplateCatalog::new();
+        let observations =
+            extractor.extract_corpus(pairs.iter().copied(), &mut templates);
+
+        // 3. EM.
+        let (theta, em_stats) = em::estimate(&observations, templates.len(), &config.em);
+
+        // Template support counts (observations mentioning the template).
+        let mut template_support = vec![0u32; templates.len()];
+        for obs in &observations {
+            for &(t, _) in &obs.templates {
+                template_support[t.index()] += 1;
+            }
+        }
+
+        let stats = LearnStats {
+            pairs: pairs.len(),
+            source_entities: sources.len(),
+            emitted_by_length: expansion.emitted_by_length.clone(),
+            observations: observations.len(),
+            distinct_templates: theta.supported_templates(),
+            distinct_predicates: theta.distinct_predicates(),
+            em: em_stats,
+            offline_millis: start.elapsed().as_millis(),
+        };
+        let model = LearnedModel {
+            templates,
+            predicates: expansion.catalog.clone(),
+            theta,
+            template_support,
+            stats,
+        };
+        (model, expansion)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kbqa_corpus::{CorpusConfig, QaCorpus, World, WorldConfig};
+
+    fn learn_tiny() -> (World, LearnedModel) {
+        let world = World::generate(WorldConfig::tiny(42));
+        let corpus = QaCorpus::generate(&world, &CorpusConfig::with_pairs(1, 600));
+        let ner = GazetteerNer::from_store(&world.store);
+        let learner = Learner::new(
+            &world.store,
+            &world.conceptualizer,
+            &ner,
+            &world.predicate_classes,
+        );
+        let pairs: Vec<(&str, &str)> = corpus
+            .pairs
+            .iter()
+            .map(|p| (p.question.as_str(), p.answer.as_str()))
+            .collect();
+        let (model, _) = learner.learn(&pairs, &LearnerConfig::default());
+        (world, model)
+    }
+
+    #[test]
+    fn pipeline_learns_templates_and_predicates() {
+        let (_world, model) = learn_tiny();
+        assert!(model.stats.observations > 100, "{:?}", model.stats);
+        assert!(
+            model.stats.distinct_templates > 30,
+            "templates: {}",
+            model.stats.distinct_templates
+        );
+        assert!(
+            model.stats.distinct_predicates >= 10,
+            "predicates: {}",
+            model.stats.distinct_predicates
+        );
+        assert!(model.stats.em.iterations >= 1);
+    }
+
+    #[test]
+    fn population_template_maps_to_population_predicate() {
+        let (world, model) = learn_tiny();
+        let template =
+            crate::template::Template::from_canonical("how many people are there in $city");
+        let tid = model
+            .templates
+            .get(&template)
+            .expect("population template learned");
+        let (top, prob) = model.theta.top_predicate(tid).expect("θ row exists");
+        let path = model.predicates.resolve(top);
+        assert_eq!(path.render(&world.store), "population", "θ={prob}");
+        assert!(prob > 0.5, "P(population|t) = {prob}");
+    }
+
+    #[test]
+    fn spouse_template_maps_to_marriage_path() {
+        let (world, model) = learn_tiny();
+        // Any of the spouse paraphrases may appear; check the most common.
+        for canonical in [
+            "who is $person married to",
+            "who is the wife of $person",
+            "who is $person 's wife",
+        ] {
+            let template = crate::template::Template::from_canonical(canonical);
+            if let Some(tid) = model.templates.get(&template) {
+                if let Some((top, _)) = model.theta.top_predicate(tid) {
+                    let rendered = model.predicates.resolve(top).render(&world.store);
+                    assert_eq!(rendered, "marriage→person→name", "template {canonical}");
+                    return;
+                }
+            }
+        }
+        panic!("no spouse template was learned");
+    }
+
+    #[test]
+    fn templates_by_support_is_sorted() {
+        let (_world, model) = learn_tiny();
+        let ranked = model.templates_by_support();
+        for w in ranked.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+        assert!(ranked[0].1 > 0);
+    }
+
+    #[test]
+    fn question_entities_ground_against_store() {
+        let world = World::generate(WorldConfig::tiny(42));
+        let ner = GazetteerNer::from_store(&world.store);
+        let learner = Learner::new(
+            &world.store,
+            &world.conceptualizer,
+            &ner,
+            &world.predicate_classes,
+        );
+        let pop = world.intent_by_name("city_population").unwrap();
+        let city = world.subjects_of(pop)[0];
+        let name = world.store.surface(city);
+        let q = format!("what is the population of {name}");
+        let sources = learner.question_entities([q.as_str()]);
+        assert!(sources.contains(&city));
+    }
+}

@@ -1,0 +1,180 @@
+//! The fixed probability terms of the generative model (paper Sec 3.2).
+//!
+//! The generative chain (Fig. 4) is
+//! `P(q, e, t, p, v) = P(q)·P(e|q)·P(t|e,q)·P(p|t)·P(v|e,p)` (Eq 2).
+//! `P(p|t)` is the learned parameter (see [`crate::em`]); everything else is
+//! computed directly:
+//!
+//! * `P(q)` — constant `α` (Eq 11), dropped from all argmax computations.
+//! * `P(e|q)` — uniform over the candidate entities (offline: entities in
+//!   the extracted EV set, Eq 4; online: entities recognized in the
+//!   question).
+//! * `P(t|e,q) = P(c|e,q)` — the conceptualizer's context-aware concept
+//!   distribution (Eq 5).
+//! * `P(v|e,p)` — uniform over `V(e, p)` (Eq 6), generalized to expanded
+//!   predicates by path traversal (Sec 6.1).
+
+use kbqa_nlp::{Mention, TokenizedText};
+use kbqa_rdf::{ExpandedPredicate, NodeId, TripleStore};
+use kbqa_taxonomy::Conceptualizer;
+
+use crate::template::Template;
+
+/// Derive the template distribution `P(t|e,q)` for a grounded mention:
+/// one template per candidate concept, weighted by `P(c|e, context)`.
+///
+/// `max_concepts` bounds the per-entity concept fan-out (the paper treats
+/// concepts-per-entity as a constant in the complexity analysis, Sec 3.3).
+pub fn templates_for_mention(
+    question: &TokenizedText,
+    mention: &Mention,
+    entity: NodeId,
+    conceptualizer: &Conceptualizer,
+    max_concepts: usize,
+) -> Vec<(Template, f64)> {
+    // Context = question tokens outside the mention window.
+    let context: Vec<&str> = question
+        .tokens
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i < mention.start || *i >= mention.end)
+        .map(|(_, t)| t.text.as_str())
+        .collect();
+    let dist = conceptualizer.conceptualize(entity, &context);
+    dist.iter()
+        .take(max_concepts)
+        .map(|(concept, prob)| {
+            let name = conceptualizer.network().concept_name(concept);
+            (
+                Template::derive(question, mention.start, mention.end, name),
+                prob,
+            )
+        })
+        .collect()
+}
+
+/// `P(v|e,p)` by live path traversal (Eq 6 / Sec 6.1): `1/|V(e,p)|` when
+/// `v ∈ V(e,p)`, else 0.
+pub fn value_probability(
+    store: &TripleStore,
+    entity: NodeId,
+    path: &ExpandedPredicate,
+    value: NodeId,
+) -> f64 {
+    let values = kbqa_rdf::path::objects_via_path(store, entity, path);
+    if values.contains(&value) {
+        1.0 / values.len() as f64
+    } else {
+        0.0
+    }
+}
+
+/// All `(value, P(v|e,p))` pairs for an entity and predicate path — the
+/// online engine's value enumeration.
+pub fn value_distribution(
+    store: &TripleStore,
+    entity: NodeId,
+    path: &ExpandedPredicate,
+) -> Vec<(NodeId, f64)> {
+    let values = kbqa_rdf::path::objects_via_path(store, entity, path);
+    if values.is_empty() {
+        return Vec::new();
+    }
+    let p = 1.0 / values.len() as f64;
+    values.into_iter().map(|v| (v, p)).collect()
+}
+
+/// Uniform `P(e|q)` over `n` candidate entities (Eq 4's denominator).
+pub fn entity_probability(n_candidates: usize) -> f64 {
+    if n_candidates == 0 {
+        0.0
+    } else {
+        1.0 / n_candidates as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kbqa_nlp::tokenize;
+    use kbqa_rdf::GraphBuilder;
+    use kbqa_taxonomy::NetworkBuilder;
+
+    fn setup() -> (TripleStore, Conceptualizer, NodeId) {
+        let mut b = GraphBuilder::new();
+        let honolulu = b.resource("honolulu");
+        b.name(honolulu, "Honolulu");
+        b.fact_int(honolulu, "population", 390_000);
+        let store = b.build();
+
+        let mut nb = NetworkBuilder::new();
+        let city = nb.concept("city");
+        let location = nb.concept("location");
+        nb.is_a(honolulu, city, 0.7);
+        nb.is_a(honolulu, location, 0.3);
+        nb.context_evidence(city, "population", 5.0);
+        nb.context_evidence(location, "near", 5.0);
+        (store, Conceptualizer::new(nb.build()), honolulu)
+    }
+
+    #[test]
+    fn templates_weighted_by_concept_distribution() {
+        let (_store, conceptualizer, honolulu) = setup();
+        let q = tokenize("what is the population of Honolulu");
+        let mention = Mention {
+            start: 5,
+            end: 6,
+            nodes: vec![honolulu],
+        };
+        let templates = templates_for_mention(&q, &mention, honolulu, &conceptualizer, 4);
+        assert_eq!(templates.len(), 2);
+        // "population" context pulls toward $city.
+        assert_eq!(templates[0].0.as_str(), "what is the population of $city");
+        assert!(templates[0].1 > templates[1].1);
+        let total: f64 = templates.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_concepts_truncates() {
+        let (_store, conceptualizer, honolulu) = setup();
+        let q = tokenize("what is the population of Honolulu");
+        let mention = Mention {
+            start: 5,
+            end: 6,
+            nodes: vec![honolulu],
+        };
+        let templates = templates_for_mention(&q, &mention, honolulu, &conceptualizer, 1);
+        assert_eq!(templates.len(), 1);
+    }
+
+    #[test]
+    fn value_probability_is_uniform_over_values() {
+        let (store, _c, honolulu) = setup();
+        let pop = store.dict().find_predicate("population").unwrap();
+        let path = ExpandedPredicate::single(pop);
+        let v = store
+            .dict()
+            .find_term(kbqa_rdf::Term::Literal(kbqa_rdf::Literal::Int(390_000)))
+            .unwrap();
+        assert_eq!(value_probability(&store, honolulu, &path, v), 1.0);
+        // A non-value gets probability zero.
+        let name = store.dict().find_str_literal("Honolulu").unwrap();
+        assert_eq!(value_probability(&store, honolulu, &path, name), 0.0);
+    }
+
+    #[test]
+    fn value_distribution_sums_to_one() {
+        let (store, _c, honolulu) = setup();
+        let pop = store.dict().find_predicate("population").unwrap();
+        let dist = value_distribution(&store, honolulu, &ExpandedPredicate::single(pop));
+        let total: f64 = dist.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entity_probability_uniform() {
+        assert_eq!(entity_probability(4), 0.25);
+        assert_eq!(entity_probability(0), 0.0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Model persistence.
+//!
+//! The paper's offline procedure takes 1438 minutes; nobody re-learns on
+//! every process start. This module saves and loads the [`LearnedModel`]
+//! (and any other serde-serializable artifact) as JSON through buffered
+//! file I/O, rebuilding the derived lookup tables on load.
+//!
+//! JSON rather than a bespoke binary format: the artifacts are inspectable,
+//! diffable in experiments, and the workspace already carries `serde`. A
+//! binary codec would only matter at scales our worlds never reach.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::Path;
+
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+use kbqa_common::error::{KbqaError, Result};
+
+use crate::learner::LearnedModel;
+
+/// Save any serializable artifact as JSON.
+pub fn save_json<T: Serialize>(value: &T, path: &Path) -> Result<()> {
+    let file = File::create(path)?;
+    let writer = BufWriter::new(file);
+    serde_json::to_writer(writer, value)
+        .map_err(|e| KbqaError::Io(format!("serialize {}: {e}", path.display())))
+}
+
+/// Load a JSON artifact.
+pub fn load_json<T: DeserializeOwned>(path: &Path) -> Result<T> {
+    let file = File::open(path)?;
+    let reader = BufReader::new(file);
+    serde_json::from_reader(reader)
+        .map_err(|e| KbqaError::Io(format!("deserialize {}: {e}", path.display())))
+}
+
+/// Save a learned model.
+pub fn save_model(model: &LearnedModel, path: &Path) -> Result<()> {
+    save_json(model, path)
+}
+
+/// Load a learned model, rebuilding its derived indexes.
+pub fn load_model(path: &Path) -> Result<LearnedModel> {
+    let mut model: LearnedModel = load_json(path)?;
+    model.rebuild_index();
+    Ok(model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use kbqa_corpus::{CorpusConfig, QaCorpus, World, WorldConfig};
+    use kbqa_nlp::GazetteerNer;
+
+    use crate::learner::{Learner, LearnerConfig};
+    use crate::template::Template;
+
+    #[test]
+    fn model_save_load_roundtrip() {
+        let world = World::generate(WorldConfig::tiny(42));
+        let corpus = QaCorpus::generate(&world, &CorpusConfig::with_pairs(1, 400));
+        let ner = GazetteerNer::from_store(&world.store);
+        let learner = Learner::new(
+            &world.store,
+            &world.conceptualizer,
+            &ner,
+            &world.predicate_classes,
+        );
+        let pairs: Vec<(&str, &str)> = corpus
+            .pairs
+            .iter()
+            .map(|p| (p.question.as_str(), p.answer.as_str()))
+            .collect();
+        let (model, _) = learner.learn(&pairs, &LearnerConfig::default());
+
+        let dir = std::env::temp_dir().join("kbqa-persist-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        save_model(&model, &path).unwrap();
+        let restored = load_model(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        assert_eq!(model.templates.len(), restored.templates.len());
+        assert_eq!(model.stats.observations, restored.stats.observations);
+        assert_eq!(model.stats.distinct_templates, restored.stats.distinct_templates);
+        assert_eq!(model.stats.em.iterations, restored.stats.em.iterations);
+        // Derived indexes were rebuilt: template lookup works.
+        let t = Template::from_canonical("when was $person born");
+        assert_eq!(model.templates.get(&t), restored.templates.get(&t));
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        let result = load_model(Path::new("/nonexistent/kbqa/model.json"));
+        assert!(matches!(result, Err(KbqaError::Io(_))));
+    }
+
+    #[test]
+    fn load_corrupt_file_errors() {
+        let dir = std::env::temp_dir().join("kbqa-persist-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corrupt.json");
+        std::fs::write(&path, b"{ not json").unwrap();
+        let result: Result<LearnedModel> = load_json(&path);
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(result, Err(KbqaError::Io(_))));
+    }
+}

@@ -1,0 +1,418 @@
+//! BFQ-variant questions: ranking, comparison, listing (paper Sec 1).
+//!
+//! The paper's opening claim: *"If we can answer BFQs, then we will be able
+//! to answer other types of questions, such as 1) ranking questions: which
+//! city has the 3rd largest population?; 2) comparison questions: which city
+//! has more people, Honolulu or New Jersey?; 3) listing questions: list
+//! cities ordered by population"*. This module cashes that claim in: each
+//! variant is compiled into a set of *probe BFQs* answered by the learned
+//! engine, then aggregated (ranked / compared / listed) numerically.
+//!
+//! The probes go through the full template machinery — `what is the
+//! population of X?`, `how many people are there in X?` — so the variant
+//! layer inherits KBQA's paraphrase coverage instead of hard-coding
+//! predicate names.
+
+use serde::{Deserialize, Serialize};
+
+use kbqa_nlp::tokenize;
+use kbqa_rdf::NodeId;
+
+use crate::engine::{QaEngine, QaSystem, SystemAnswer};
+
+/// Variant-answering parameters.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VariantConfig {
+    /// Maximum entities enumerated per concept (guards degenerate worlds).
+    pub max_entities: usize,
+    /// Entries returned by listing questions.
+    pub list_limit: usize,
+}
+
+impl Default for VariantConfig {
+    fn default() -> Self {
+        Self {
+            max_entities: 5_000,
+            list_limit: 5,
+        }
+    }
+}
+
+/// A parsed variant question.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VariantQuestion {
+    /// `which <concept> has the <k> largest <attr>` (k = 1-based).
+    Ranking {
+        /// Subject concept word (`city`).
+        concept: String,
+        /// 1-based rank.
+        k: usize,
+        /// Ascending (`smallest`) or descending (`largest`).
+        descending: bool,
+        /// Attribute phrase (`population`).
+        attribute: String,
+    },
+    /// `which <concept> has more <attr> , <a> or <b>`.
+    Comparison {
+        /// Subject concept word.
+        concept: String,
+        /// Attribute phrase (`people`).
+        attribute: String,
+        /// First entity mention.
+        left: String,
+        /// Second entity mention.
+        right: String,
+        /// `more` (descending) or `less/fewer`.
+        more: bool,
+    },
+    /// `list <concept-plural> ordered by <attr>`.
+    Listing {
+        /// Subject concept word, singularized.
+        concept: String,
+        /// Attribute phrase.
+        attribute: String,
+    },
+}
+
+/// Parse an ordinal token: `1st`/`2nd`/`3rd`/`4th`…, `second`, `third`, …
+fn parse_ordinal(word: &str) -> Option<usize> {
+    match word {
+        "first" => return Some(1),
+        "second" => return Some(2),
+        "third" => return Some(3),
+        "fourth" => return Some(4),
+        "fifth" => return Some(5),
+        _ => {}
+    }
+    for suffix in ["st", "nd", "rd", "th"] {
+        if let Some(digits) = word.strip_suffix(suffix) {
+            if !digits.is_empty() && digits.bytes().all(|b| b.is_ascii_digit()) {
+                return digits.parse().ok();
+            }
+        }
+    }
+    None
+}
+
+/// Singularize a plural concept word (`cities` → `city`, `bands` → `band`).
+fn singularize(word: &str) -> String {
+    if let Some(stem) = word.strip_suffix("ies") {
+        format!("{stem}y")
+    } else if let Some(stem) = word.strip_suffix('s') {
+        stem.to_owned()
+    } else {
+        word.to_owned()
+    }
+}
+
+/// Parse a question into a variant form, if it is one.
+pub fn parse_variant(question: &str) -> Option<VariantQuestion> {
+    let tokens = tokenize(question);
+    let words = tokens.words();
+    let n = words.len();
+    if n < 4 {
+        return None;
+    }
+
+    // Listing: list <concept> ordered by <attr…>
+    if words[0] == "list" && n >= 5 {
+        if let Some(by_pos) = words.iter().position(|&w| w == "by") {
+            if by_pos >= 3 && words[by_pos - 1] == "ordered" && by_pos + 1 < n {
+                return Some(VariantQuestion::Listing {
+                    concept: singularize(words[1]),
+                    attribute: words[by_pos + 1..].join(" "),
+                });
+            }
+        }
+    }
+
+    // Ranking: which <concept> has the <ordinal> largest|smallest <attr…>
+    if words[0] == "which" && n >= 7 && words[2] == "has" && words[3] == "the" {
+        if let Some(k) = parse_ordinal(words[4]) {
+            let descending = matches!(words[5], "largest" | "biggest" | "highest" | "most");
+            let ascending = matches!(words[5], "smallest" | "lowest" | "fewest" | "least");
+            if (descending || ascending) && n > 6 {
+                return Some(VariantQuestion::Ranking {
+                    concept: words[1].to_owned(),
+                    k,
+                    descending,
+                    attribute: words[6..].join(" "),
+                });
+            }
+        }
+    }
+
+    // Comparison: which <concept> has more|less|fewer <attr…> <a> or <b>
+    if words[0] == "which" && n >= 7 && words[2] == "has" {
+        let more = matches!(words[3], "more");
+        let less = matches!(words[3], "less" | "fewer");
+        if more || less {
+            if let Some(or_pos) = words.iter().rposition(|&w| w == "or") {
+                if or_pos > 5 && or_pos + 1 < n {
+                    // Attribute runs from word 4 up to the start of the first
+                    // mention; without a parser we split at the point where
+                    // the remaining words before "or" form the left mention.
+                    // Heuristic: attribute is a single token (matches the
+                    // paper's examples: "more people").
+                    let attribute = words[4].to_owned();
+                    let left = words[5..or_pos].join(" ");
+                    let right = words[or_pos + 1..].join(" ");
+                    if !left.is_empty() && !right.is_empty() {
+                        return Some(VariantQuestion::Comparison {
+                            concept: words[1].to_owned(),
+                            attribute,
+                            left,
+                            right,
+                            more,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Answer variant questions by probing the BFQ engine.
+pub struct VariantQa<'a, 'w> {
+    engine: &'a QaEngine<'w>,
+    config: VariantConfig,
+}
+
+impl<'a, 'w> VariantQa<'a, 'w> {
+    /// Wrap an engine.
+    pub fn new(engine: &'a QaEngine<'w>) -> Self {
+        Self {
+            engine,
+            config: VariantConfig::default(),
+        }
+    }
+
+    /// Override the configuration.
+    pub fn with_config(mut self, config: VariantConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Entities whose `category` matches the concept word.
+    fn entities_of_concept(&self, concept: &str) -> Vec<NodeId> {
+        let store = self.engine.store();
+        let Some(category) = store.dict().find_predicate("category") else {
+            return Vec::new();
+        };
+        // Category values are capitalized words ("City"); try both forms.
+        let mut out = Vec::new();
+        for form in [capitalize(concept), concept.to_owned()] {
+            if let Some(lit) = store.dict().find_str_literal(&form) {
+                out.extend(store.subjects(category, lit));
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out.truncate(self.config.max_entities);
+        out
+    }
+
+    /// Probe the BFQ engine for a numeric attribute of one entity.
+    fn probe_numeric(&self, attribute: &str, entity_name: &str) -> Option<i64> {
+        // Probe phrasings, most specific first; each goes through the full
+        // learned-template machinery.
+        let probes = [
+            format!("what is the {attribute} of {entity_name}"),
+            format!("how many {attribute} are there in {entity_name}"),
+            format!("how many {attribute} does {entity_name} have"),
+        ];
+        for probe in &probes {
+            for answer in self.engine.answer_bfq(probe) {
+                if let Ok(v) = answer.value.parse::<i64>() {
+                    return Some(v);
+                }
+            }
+        }
+        None
+    }
+
+    /// Score every entity of a concept on an attribute. Entities whose name
+    /// grounds ambiguously are skipped: a probe BFQ about "Springfield"
+    /// would mix the values of several Springfields and corrupt the ranking.
+    fn scored_entities(&self, concept: &str, attribute: &str) -> Vec<(i64, String)> {
+        let store = self.engine.store();
+        let mut scored = Vec::new();
+        for entity in self.entities_of_concept(concept) {
+            let name = store.surface(entity);
+            if store.entities_named(&name).len() != 1 {
+                continue;
+            }
+            if let Some(v) = self.probe_numeric(attribute, &name) {
+                scored.push((v, name));
+            }
+        }
+        scored
+    }
+
+    /// Answer a parsed variant question.
+    pub fn answer_variant(&self, variant: &VariantQuestion) -> Option<SystemAnswer> {
+        match variant {
+            VariantQuestion::Ranking {
+                concept,
+                k,
+                descending,
+                attribute,
+            } => {
+                let mut scored = self.scored_entities(concept, attribute);
+                if *descending {
+                    scored.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+                } else {
+                    scored.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+                }
+                let (_value, name) = scored.into_iter().nth(k.checked_sub(1)?)?;
+                Some(SystemAnswer {
+                    values: vec![(name, 1.0)],
+                })
+            }
+            VariantQuestion::Comparison {
+                attribute,
+                left,
+                right,
+                more,
+                ..
+            } => {
+                let lv = self.probe_numeric(attribute, left)?;
+                let rv = self.probe_numeric(attribute, right)?;
+                if lv == rv {
+                    return None; // genuinely tied — refuse rather than guess
+                }
+                let winner = if (lv > rv) == *more { left } else { right };
+                // Return the canonical surface form, not the lowercased
+                // mention, when the name grounds uniquely.
+                let store = self.engine.store();
+                let canonical = match store.entities_named(winner) {
+                    [node] => store.surface(*node),
+                    _ => winner.clone(),
+                };
+                Some(SystemAnswer {
+                    values: vec![(canonical, 1.0)],
+                })
+            }
+            VariantQuestion::Listing { concept, attribute } => {
+                let mut scored = self.scored_entities(concept, attribute);
+                scored.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+                scored.truncate(self.config.list_limit);
+                if scored.is_empty() {
+                    return None;
+                }
+                let n = scored.len() as f64;
+                Some(SystemAnswer {
+                    values: scored
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, (_, name))| (name, 1.0 - i as f64 / n))
+                        .collect(),
+                })
+            }
+        }
+    }
+}
+
+impl QaSystem for VariantQa<'_, '_> {
+    fn name(&self) -> &str {
+        "KBQA-variants"
+    }
+
+    fn answer(&self, question: &str) -> Option<SystemAnswer> {
+        let variant = parse_variant(question)?;
+        self.answer_variant(&variant)
+    }
+}
+
+fn capitalize(word: &str) -> String {
+    let mut chars = word.chars();
+    match chars.next() {
+        Some(first) => first.to_uppercase().collect::<String>() + chars.as_str(),
+        None => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_ranking_questions() {
+        let v = parse_variant("which city has the 3rd largest population").unwrap();
+        assert_eq!(
+            v,
+            VariantQuestion::Ranking {
+                concept: "city".into(),
+                k: 3,
+                descending: true,
+                attribute: "population".into(),
+            }
+        );
+        let v = parse_variant("which country has the second smallest area").unwrap();
+        assert_eq!(
+            v,
+            VariantQuestion::Ranking {
+                concept: "country".into(),
+                k: 2,
+                descending: false,
+                attribute: "area".into(),
+            }
+        );
+    }
+
+    #[test]
+    fn parses_comparison_questions() {
+        let v = parse_variant("which city has more people , Honolulu or New Jersey").unwrap();
+        assert_eq!(
+            v,
+            VariantQuestion::Comparison {
+                concept: "city".into(),
+                attribute: "people".into(),
+                left: "honolulu".into(),
+                right: "new jersey".into(),
+                more: true,
+            }
+        );
+    }
+
+    #[test]
+    fn parses_listing_questions() {
+        let v = parse_variant("list cities ordered by population").unwrap();
+        assert_eq!(
+            v,
+            VariantQuestion::Listing {
+                concept: "city".into(),
+                attribute: "population".into(),
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_plain_bfqs_and_noise() {
+        assert!(parse_variant("what is the population of Honolulu").is_none());
+        assert!(parse_variant("why is the sky blue").is_none());
+        assert!(parse_variant("").is_none());
+        assert!(parse_variant("which city has the best food").is_none());
+    }
+
+    #[test]
+    fn ordinal_parsing() {
+        assert_eq!(parse_ordinal("1st"), Some(1));
+        assert_eq!(parse_ordinal("2nd"), Some(2));
+        assert_eq!(parse_ordinal("3rd"), Some(3));
+        assert_eq!(parse_ordinal("12th"), Some(12));
+        assert_eq!(parse_ordinal("third"), Some(3));
+        assert_eq!(parse_ordinal("rd"), None);
+        assert_eq!(parse_ordinal("fast"), None);
+        assert_eq!(parse_ordinal("x1st"), None);
+    }
+
+    #[test]
+    fn singularization() {
+        assert_eq!(singularize("cities"), "city");
+        assert_eq!(singularize("bands"), "band");
+        assert_eq!(singularize("countries"), "country");
+        assert_eq!(singularize("person"), "person");
+    }
+}

@@ -1,0 +1,129 @@
+//! Property tests for predicate expansion: everything the BFS emits must be
+//! independently verifiable by path traversal, and the accounting must be
+//! internally consistent.
+
+use proptest::prelude::*;
+
+use kbqa_common::hash::FxHashSet;
+use kbqa_core::expansion::{expand, valid_k, ExpansionConfig};
+use kbqa_rdf::path::path_connects;
+use kbqa_rdf::{GraphBuilder, NodeId, TripleStore};
+
+fn arbitrary_store(links: &[(u8, u8, u8)], names: &[(u8, String)]) -> TripleStore {
+    let mut b = GraphBuilder::new();
+    let nodes: Vec<NodeId> = (0..10).map(|i| b.resource(&format!("n{i}"))).collect();
+    let preds = ["p0", "p1", "p2", "p3"];
+    for &(s, p, o) in links {
+        let pid = b.predicate(preds[(p % 4) as usize]);
+        b.triple(nodes[(s % 10) as usize], pid, nodes[(o % 10) as usize]);
+    }
+    for (s, name) in names {
+        b.name(nodes[(*s % 10) as usize], name);
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every emitted (s, p⁺, o) is connected in the graph per Definition 1.
+    #[test]
+    fn emitted_records_are_path_connected(
+        links in proptest::collection::vec((0u8..10, 0u8..4, 0u8..10), 1..50),
+        names in proptest::collection::vec((0u8..10, "[a-z]{3,8}"), 0..5),
+        require_name in any::<bool>(),
+    ) {
+        let store = arbitrary_store(&links, &names);
+        let sources: FxHashSet<NodeId> = store
+            .dict()
+            .nodes()
+            .filter(|&n| store.dict().node_term(n).is_resource())
+            .collect();
+        let config = ExpansionConfig {
+            max_len: 3,
+            require_name_terminal: require_name,
+            max_emitted: 0,
+        };
+        let result = expand(&store, &sources, &config);
+        for (&s, entries) in &result.by_subject {
+            for &(pred, o) in entries {
+                let path = result.catalog.resolve(pred);
+                prop_assert!(
+                    path_connects(&store, s, path, o),
+                    "emitted but not connected: {} →{:?}→ {}",
+                    store.dict().render(s),
+                    path.render(&store),
+                    store.dict().render(o)
+                );
+                prop_assert!(path.len() <= 3);
+                // Self-loops are never emitted.
+                prop_assert_ne!(s, o);
+            }
+        }
+    }
+
+    /// The three count views agree: Σ per-length == Σ by_subject ==
+    /// Σ pair_predicates == Σ value_counts.
+    #[test]
+    fn accounting_is_consistent(
+        links in proptest::collection::vec((0u8..10, 0u8..4, 0u8..10), 1..50),
+        names in proptest::collection::vec((0u8..10, "[a-z]{3,8}"), 0..5),
+    ) {
+        let store = arbitrary_store(&links, &names);
+        let sources: FxHashSet<NodeId> = store
+            .dict()
+            .nodes()
+            .filter(|&n| store.dict().node_term(n).is_resource())
+            .collect();
+        let result = expand(&store, &sources, &ExpansionConfig::default());
+        let total = result.emitted();
+        let by_subject: usize = result.by_subject.values().map(Vec::len).sum();
+        let by_pair: usize = result.pair_predicates.values().map(Vec::len).sum();
+        let by_value_count: usize = result.value_counts.values().map(|&c| c as usize).sum();
+        prop_assert_eq!(total, by_subject);
+        prop_assert_eq!(total, by_pair);
+        prop_assert_eq!(total, by_value_count);
+    }
+
+    /// valid(k) never counts more than it emits, and larger k never shrinks
+    /// the emission at smaller lengths.
+    #[test]
+    fn valid_k_is_bounded_by_emissions(
+        links in proptest::collection::vec((0u8..10, 0u8..4, 0u8..10), 1..50),
+        names in proptest::collection::vec((0u8..10, "[a-z]{3,8}"), 1..5),
+        gold in proptest::collection::vec((0u8..10, 0u8..10), 0..10),
+    ) {
+        let store = arbitrary_store(&links, &names);
+        let infobox: FxHashSet<(NodeId, NodeId)> = gold
+            .iter()
+            .map(|&(a, b)| (NodeId::new(u32::from(a % 10)), NodeId::new(u32::from(b % 10))))
+            .collect();
+        let rows = valid_k(&store, &infobox, 10, &ExpansionConfig::default());
+        for row in &rows {
+            prop_assert!(row.valid <= row.emitted, "{row:?}");
+        }
+    }
+
+    /// Shrinking the source set never grows the result.
+    #[test]
+    fn monotone_in_sources(
+        links in proptest::collection::vec((0u8..10, 0u8..4, 0u8..10), 1..40),
+    ) {
+        let store = arbitrary_store(&links, &[]);
+        let all: Vec<NodeId> = store
+            .dict()
+            .nodes()
+            .filter(|&n| store.dict().node_term(n).is_resource())
+            .collect();
+        let full: FxHashSet<NodeId> = all.iter().copied().collect();
+        let half: FxHashSet<NodeId> = all.iter().copied().take(all.len() / 2).collect();
+        let config = ExpansionConfig::default();
+        let full_result = expand(&store, &full, &config);
+        let half_result = expand(&store, &half, &config);
+        prop_assert!(half_result.emitted() <= full_result.emitted());
+        for (&s, entries) in &half_result.by_subject {
+            let full_entries = &full_result.by_subject[&s];
+            prop_assert!(entries.len() <= full_entries.len());
+        }
+    }
+}

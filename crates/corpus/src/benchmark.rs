@@ -1,0 +1,582 @@
+//! Evaluation benchmarks.
+//!
+//! Generates QALD-like and WebQuestions-like test sets with controlled
+//! BFQ/non-BFQ composition (paper Table 5), plus the fixed suite of eight
+//! complex questions evaluated in Table 15. Benchmark questions are *not*
+//! drawn from the training corpus: entities are re-sampled, and a configured
+//! fraction of BFQs uses *hard paraphrases* that never occur in any corpus
+//! pool — reproducing the paper's failure analysis ("a rare predicate is
+//! matched against a rare question template", 12 of 15 QALD-3 BFQ misses).
+
+use kbqa_common::rng::substream;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use kbqa_rdf::NodeId;
+
+use crate::world::{IntentId, World};
+
+/// The kind of a benchmark question, driving what systems *should* do.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum QuestionKind {
+    /// A binary factoid question — KBQA's home turf.
+    Bfq,
+    /// A BFQ phrased with a template absent from every training pool.
+    HardBfq,
+    /// Ranking ("which city has the 3rd largest population").
+    Ranking,
+    /// Comparison between two entities.
+    Comparison,
+    /// Listing / ordering request.
+    Listing,
+    /// Descriptive why/how — out of scope for factoid QA.
+    Descriptive,
+}
+
+impl QuestionKind {
+    /// Whether the paper counts this kind as a BFQ (`#BFQ` in Table 5).
+    pub fn is_bfq(self) -> bool {
+        matches!(self, QuestionKind::Bfq | QuestionKind::HardBfq)
+    }
+}
+
+/// One benchmark question with gold answers.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BenchmarkQuestion {
+    /// The question text.
+    pub question: String,
+    /// Acceptable answer surface strings (any match counts as right; empty
+    /// means no factoid answer exists).
+    pub gold_answers: Vec<String>,
+    /// Question kind.
+    pub kind: QuestionKind,
+    /// Gold intent, when the question is a BFQ.
+    pub gold_intent: Option<IntentId>,
+}
+
+/// A named benchmark.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Benchmark {
+    /// Display name (e.g. `QALD-5-like`).
+    pub name: String,
+    /// The questions.
+    pub questions: Vec<BenchmarkQuestion>,
+}
+
+impl Benchmark {
+    /// Total question count (`#total`).
+    pub fn total(&self) -> usize {
+        self.questions.len()
+    }
+
+    /// BFQ count (`#BFQ`).
+    pub fn bfq_count(&self) -> usize {
+        self.questions.iter().filter(|q| q.kind.is_bfq()).count()
+    }
+}
+
+/// Hard paraphrases per intent: valid phrasings that never occur in the
+/// training pools, so no template can have been learned for them.
+fn hard_paraphrases(intent_name: &str) -> &'static [&'static str] {
+    match intent_name {
+        "city_population" => &["what is the headcount of $e", "number of inhabitants of $e"],
+        "country_population" => &["what is the headcount of $e"],
+        "person_dob" => &["in what year did $e come into the world"],
+        "company_founded" => &["how long has $e been around"],
+        "book_author" => &["who penned $e"],
+        "city_mayor" => &["who holds the mayor office in $e"],
+        "country_capital" => &["which city serves as seat of government of $e"],
+        "person_spouse" => &["with whom did $e tie the knot"],
+        "company_ceo" => &["who sits at the top of $e"],
+        _ => &[],
+    }
+}
+
+/// Generate a QALD-like benchmark: `total` questions of which `bfqs` are
+/// factoid; `hard_rate` of the BFQs use unseen paraphrases.
+pub fn qald_like(
+    world: &World,
+    name: &str,
+    total: usize,
+    bfqs: usize,
+    hard_rate: f64,
+    seed: u64,
+) -> Benchmark {
+    assert!(bfqs <= total, "bfqs must not exceed total");
+    let mut rng = substream(seed, "benchmark/qald");
+    let mut questions = Vec::with_capacity(total);
+
+    // --- BFQs -----------------------------------------------------------
+    let weights: Vec<f64> = world.intents.iter().map(|i| i.popularity).collect();
+    let mut guard = 0;
+    while questions.len() < bfqs && guard < bfqs * 50 {
+        guard += 1;
+        let idx = kbqa_common::rng::choose_weighted_index(&mut rng, &weights).unwrap_or(0);
+        let intent = &world.intents[idx];
+        let subjects = world.subjects_of(intent);
+        if subjects.is_empty() {
+            continue;
+        }
+        let entity = subjects[rng.gen_range(0..subjects.len())];
+        let gold = world.gold_values(intent, entity);
+        if gold.is_empty() {
+            continue;
+        }
+        let name_str = world.store.surface(entity);
+        let hard_pool = hard_paraphrases(&intent.name);
+        let (question, kind) = if !hard_pool.is_empty() && rng.gen_bool(hard_rate) {
+            let p = hard_pool[rng.gen_range(0..hard_pool.len())];
+            (p.replace("$e", &name_str), QuestionKind::HardBfq)
+        } else {
+            let p = &intent.paraphrases[rng.gen_range(0..intent.paraphrases.len())];
+            (p.instantiate(&name_str), QuestionKind::Bfq)
+        };
+        questions.push(BenchmarkQuestion {
+            question,
+            gold_answers: gold,
+            kind,
+            gold_intent: Some(intent.id),
+        });
+    }
+
+    // --- non-BFQs ---------------------------------------------------------
+    let non_bfq = total - questions.len();
+    for i in 0..non_bfq {
+        questions.push(non_bfq_question(world, i, &mut rng));
+    }
+    Benchmark {
+        name: name.to_owned(),
+        questions,
+    }
+}
+
+/// Generate a WebQuestions-like benchmark: larger, organic mix with a
+/// minority of answerable BFQs (the paper's Table 10 setting: KBQA attains
+/// high precision but low recall because most questions are non-BFQ).
+pub fn webquestions_like(world: &World, total: usize, seed: u64) -> Benchmark {
+    let bfqs = (total as f64 * 0.30).round() as usize;
+    let mut bench = qald_like(world, "WebQuestions-like", total, bfqs, 0.15, seed);
+    bench.name = "WebQuestions-like".to_owned();
+    bench
+}
+
+fn non_bfq_question(
+    world: &World,
+    index: usize,
+    rng: &mut kbqa_common::rng::DetRng,
+) -> BenchmarkQuestion {
+    let city_concept = world
+        .conceptualizer
+        .network()
+        .find_concept("city")
+        .expect("city concept");
+    let cities = world
+        .entities_by_concept
+        .get(&city_concept)
+        .cloned()
+        .unwrap_or_default();
+    let pop_intent = world.intent_by_name("city_population");
+
+    // Population lookup for ranking/comparison gold.
+    let population_of = |node: NodeId| -> Option<i64> {
+        let pop = world.store.dict().find_predicate("population")?;
+        world.store.objects(node, pop).next().and_then(|o| {
+            match world.store.dict().node_term(o) {
+                kbqa_rdf::Term::Literal(kbqa_rdf::Literal::Int(v)) => Some(v),
+                _ => None,
+            }
+        })
+    };
+
+    match index % 4 {
+        0 if cities.len() >= 3 => {
+            // Ranking.
+            let k = rng.gen_range(2..=3usize);
+            let mut ranked: Vec<(i64, NodeId)> = cities
+                .iter()
+                .filter_map(|&c| population_of(c).map(|p| (p, c)))
+                .collect();
+            ranked.sort_by_key(|r| std::cmp::Reverse(r.0));
+            let gold = ranked
+                .get(k - 1)
+                .map(|&(_, c)| vec![world.store.surface(c)])
+                .unwrap_or_default();
+            BenchmarkQuestion {
+                question: format!(
+                    "which city has the {}{} largest population",
+                    k,
+                    if k == 2 { "nd" } else { "rd" }
+                ),
+                gold_answers: gold,
+                kind: QuestionKind::Ranking,
+                gold_intent: None,
+            }
+        }
+        1 if cities.len() >= 2 => {
+            // Comparison.
+            let a = cities[rng.gen_range(0..cities.len())];
+            let mut b = cities[rng.gen_range(0..cities.len())];
+            if b == a {
+                b = cities[(rng.gen_range(0..cities.len()) + 1) % cities.len()];
+            }
+            let (pa, pb) = (
+                population_of(a).unwrap_or(0),
+                population_of(b).unwrap_or(0),
+            );
+            let winner = if pa >= pb { a } else { b };
+            BenchmarkQuestion {
+                question: format!(
+                    "which city has more people , {} or {}",
+                    world.store.surface(a),
+                    world.store.surface(b)
+                ),
+                gold_answers: vec![world.store.surface(winner)],
+                kind: QuestionKind::Comparison,
+                gold_intent: None,
+            }
+        }
+        2 if !cities.is_empty() && pop_intent.is_some() => {
+            // Listing.
+            let mut ranked: Vec<(i64, NodeId)> = cities
+                .iter()
+                .filter_map(|&c| population_of(c).map(|p| (p, c)))
+                .collect();
+            ranked.sort_by_key(|r| std::cmp::Reverse(r.0));
+            let gold: Vec<String> = ranked
+                .iter()
+                .take(5)
+                .map(|&(_, c)| world.store.surface(c))
+                .collect();
+            BenchmarkQuestion {
+                question: "list cities ordered by population".to_owned(),
+                gold_answers: gold,
+                kind: QuestionKind::Listing,
+                gold_intent: None,
+            }
+        }
+        _ => {
+            // Descriptive (no factoid gold).
+            let topics = [
+                "why do people move to big cities",
+                "how does a company go public",
+                "why are some books more popular than others",
+                "how do bands stay together for decades",
+            ];
+            BenchmarkQuestion {
+                question: topics[rng.gen_range(0..topics.len())].to_owned(),
+                gold_answers: Vec::new(),
+                kind: QuestionKind::Descriptive,
+                gold_intent: None,
+            }
+        }
+    }
+}
+
+/// One Table 15 complex question: text, gold answers, and a short label.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ComplexQuestion {
+    /// Stable label mirroring the paper's row.
+    pub label: String,
+    /// The question text (instantiated over this world).
+    pub question: String,
+    /// Acceptable answers (surfaces of the terminal values).
+    pub gold_answers: Vec<String>,
+}
+
+/// Instantiate the paper's eight Table 15 complex questions over this world.
+/// Entities are chosen deterministically: the first subject whose full fact
+/// chain exists and whose names ground unambiguously.
+pub fn complex_suite(world: &World) -> Vec<ComplexQuestion> {
+    let store = &world.store;
+    let dict = store.dict();
+    let pred = |name: &str| dict.find_predicate(name);
+    let mut out = Vec::new();
+
+    let unambiguous = |node: NodeId| -> bool {
+        let name = store.surface(node);
+        store.entities_named(&name).len() == 1
+    };
+    // Chain helper: objects of `a --p-->`.
+    let step = |node: NodeId, p: &str| -> Vec<NodeId> {
+        match pred(p) {
+            Some(pid) => store.objects(node, pid).collect(),
+            None => Vec::new(),
+        }
+    };
+    let surfaces = |nodes: &[NodeId]| -> Vec<String> {
+        nodes.iter().map(|&n| store.surface(n)).collect()
+    };
+
+    // 1 & 4 & 5: country → capital → {population, area}.
+    let country_concept = world.conceptualizer.network().find_concept("country");
+    let countries: Vec<NodeId> = country_concept
+        .and_then(|c| world.entities_by_concept.get(&c).cloned())
+        .unwrap_or_default();
+    for (label, question_fmt, value_pred) in [
+        (
+            "population-of-capital",
+            "how many people live in the capital of {}",
+            "population",
+        ),
+        (
+            "area-of-capital",
+            "what is the area of the capital of {}",
+            "area",
+        ),
+        (
+            "size-of-capital",
+            "how large is the capital of {}",
+            "area",
+        ),
+    ] {
+        if let Some((country, values)) = countries.iter().find_map(|&c| {
+            if !unambiguous(c) {
+                return None;
+            }
+            let capitals = step(c, "capital");
+            let capital = *capitals.first()?;
+            if !unambiguous(capital) {
+                return None;
+            }
+            let values = step(capital, value_pred);
+            (!values.is_empty()).then_some((c, values))
+        }) {
+            out.push(ComplexQuestion {
+                label: label.to_owned(),
+                question: question_fmt.replace("{}", &store.surface(country)),
+                gold_answers: surfaces(&values),
+            });
+        }
+    }
+
+    // 2: person → spouse → dob.
+    let person_concept = world.conceptualizer.network().find_concept("person");
+    let people: Vec<NodeId> = person_concept
+        .and_then(|c| world.entities_by_concept.get(&c).cloned())
+        .unwrap_or_default();
+    if let Some((person, dobs)) = people.iter().find_map(|&p| {
+        if !unambiguous(p) {
+            return None;
+        }
+        let spouses: Vec<NodeId> = step(p, "marriage")
+            .into_iter()
+            .flat_map(|cvt| step(cvt, "person"))
+            .collect();
+        let spouse = *spouses.first()?;
+        if !unambiguous(spouse) {
+            return None;
+        }
+        let dobs = step(spouse, "dob");
+        (!dobs.is_empty()).then_some((p, dobs))
+    }) {
+        out.push(ComplexQuestion {
+            label: "spouse-dob".to_owned(),
+            question: format!("when was {} 's wife born", store.surface(person)),
+            gold_answers: surfaces(&dobs),
+        });
+    }
+
+    // 3: book → author → works.
+    let book_concept = world.conceptualizer.network().find_concept("book");
+    let books: Vec<NodeId> = book_concept
+        .and_then(|c| world.entities_by_concept.get(&c).cloned())
+        .unwrap_or_default();
+    if let Some((book, works)) = books.iter().find_map(|&b| {
+        if !unambiguous(b) {
+            return None;
+        }
+        let authors = step(b, "author");
+        let author = *authors.first()?;
+        if !unambiguous(author) {
+            return None;
+        }
+        let works: Vec<NodeId> = step(author, "work")
+            .into_iter()
+            .filter(|&w| w != b)
+            .collect();
+        (!works.is_empty()).then_some((b, works))
+    }) {
+        out.push(ComplexQuestion {
+            label: "books-by-author-of".to_owned(),
+            question: format!(
+                "what are books written by the author of {}",
+                store.surface(book)
+            ),
+            gold_answers: surfaces(&works),
+        });
+    }
+
+    // 6: band → members → instrument.
+    let band_concept = world.conceptualizer.network().find_concept("band");
+    let bands: Vec<NodeId> = band_concept
+        .and_then(|c| world.entities_by_concept.get(&c).cloned())
+        .unwrap_or_default();
+    if let Some((band, instruments)) = bands.iter().find_map(|&b| {
+        if !unambiguous(b) {
+            return None;
+        }
+        let members: Vec<NodeId> = step(b, "group_member")
+            .into_iter()
+            .flat_map(|cvt| step(cvt, "member"))
+            .collect();
+        if members.is_empty() || !members.iter().all(|&m| unambiguous(m)) {
+            return None;
+        }
+        let instruments: Vec<NodeId> = members
+            .iter()
+            .flat_map(|&m| step(m, "instrument"))
+            .collect();
+        (!instruments.is_empty()).then_some((b, instruments))
+    }) {
+        out.push(ComplexQuestion {
+            label: "instruments-of-members".to_owned(),
+            question: format!(
+                "what instrument do members of {} play",
+                store.surface(band)
+            ),
+            gold_answers: surfaces(&instruments),
+        });
+    }
+
+    // 7 & 8: company → {ceo → dob, hq → country}.
+    let company_concept = world.conceptualizer.network().find_concept("company");
+    let companies: Vec<NodeId> = company_concept
+        .and_then(|c| world.entities_by_concept.get(&c).cloned())
+        .unwrap_or_default();
+    if let Some((company, dobs)) = companies.iter().find_map(|&c| {
+        if !unambiguous(c) {
+            return None;
+        }
+        let ceos = step(c, "ceo");
+        let ceo = *ceos.first()?;
+        if !unambiguous(ceo) {
+            return None;
+        }
+        let dobs = step(ceo, "dob");
+        (!dobs.is_empty()).then_some((c, dobs))
+    }) {
+        out.push(ComplexQuestion {
+            label: "ceo-birthday".to_owned(),
+            question: format!(
+                "what is the birthday of the ceo of {}",
+                store.surface(company)
+            ),
+            gold_answers: surfaces(&dobs),
+        });
+    }
+    if let Some((company, countries_of_hq)) = companies.iter().find_map(|&c| {
+        if !unambiguous(c) {
+            return None;
+        }
+        let hqs = step(c, "hq");
+        let hq = *hqs.first()?;
+        if !unambiguous(hq) {
+            return None;
+        }
+        let cs = step(hq, "country");
+        (!cs.is_empty()).then_some((c, cs))
+    }) {
+        out.push(ComplexQuestion {
+            label: "country-of-headquarter".to_owned(),
+            question: format!(
+                "in which country is the headquarter of {} located",
+                store.surface(company)
+            ),
+            gold_answers: surfaces(&countries_of_hq),
+        });
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::WorldConfig;
+
+    fn world() -> World {
+        World::generate(WorldConfig::tiny(42))
+    }
+
+    #[test]
+    fn qald_like_respects_composition() {
+        let w = world();
+        let bench = qald_like(&w, "QALD-3-like", 40, 16, 0.2, 9);
+        assert_eq!(bench.total(), 40);
+        assert_eq!(bench.bfq_count(), 16);
+        // BFQs carry gold intents; non-BFQs don't.
+        for q in &bench.questions {
+            if q.kind.is_bfq() {
+                assert!(q.gold_intent.is_some());
+                assert!(!q.gold_answers.is_empty());
+            } else {
+                assert!(q.gold_intent.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn benchmark_is_deterministic() {
+        let w = world();
+        let a = qald_like(&w, "x", 30, 12, 0.2, 5);
+        let b = qald_like(&w, "x", 30, 12, 0.2, 5);
+        assert_eq!(a.questions, b.questions);
+    }
+
+    #[test]
+    fn hard_rate_one_yields_hard_bfqs() {
+        let w = world();
+        let bench = qald_like(&w, "hard", 30, 30, 1.0, 6);
+        let hard = bench
+            .questions
+            .iter()
+            .filter(|q| q.kind == QuestionKind::HardBfq)
+            .count();
+        // Intents without a hard pool fall back to normal paraphrases, so
+        // not all 30 are hard — but a substantial fraction must be.
+        assert!(hard >= 10, "only {hard} hard BFQs");
+    }
+
+    #[test]
+    fn webquestions_like_is_mostly_non_bfq() {
+        let w = world();
+        let bench = webquestions_like(&w, 200, 7);
+        assert_eq!(bench.total(), 200);
+        let ratio = bench.bfq_count() as f64 / bench.total() as f64;
+        assert!((0.2..0.45).contains(&ratio), "bfq ratio {ratio}");
+    }
+
+    #[test]
+    fn complex_suite_covers_the_table15_shapes() {
+        let w = world();
+        let suite = complex_suite(&w);
+        // The tiny world may miss a shape or two (e.g. no married couple with
+        // recorded dob), but most must instantiate.
+        assert!(suite.len() >= 5, "only {} complex questions", suite.len());
+        for q in &suite {
+            assert!(!q.gold_answers.is_empty(), "{} has no gold", q.label);
+            assert!(q.question.contains(' '));
+        }
+    }
+
+    #[test]
+    fn complex_suite_is_deterministic() {
+        let w = world();
+        assert_eq!(complex_suite(&w), complex_suite(&w));
+    }
+
+    #[test]
+    fn ranking_questions_have_computed_gold() {
+        let w = world();
+        let bench = qald_like(&w, "r", 20, 0, 0.0, 11);
+        let ranking: Vec<_> = bench
+            .questions
+            .iter()
+            .filter(|q| q.kind == QuestionKind::Ranking)
+            .collect();
+        assert!(!ranking.is_empty());
+        for q in ranking {
+            assert_eq!(q.gold_answers.len(), 1);
+        }
+    }
+}

@@ -1,0 +1,424 @@
+//! QA corpus generation.
+//!
+//! Stands in for the paper's 41M Yahoo! Answers pairs. Each generated pair
+//! is a natural-language question (an intent paraphrase instantiated with an
+//! entity) and a *reply sentence* that embeds the answer value among other
+//! tokens — the learner never sees clean values, exactly as in Sec 4.1's
+//! setting ("an answer in QA is usually a complicated natural language
+//! sentence containing the exact value and many other tokens").
+//!
+//! Controlled noise reproduces the corpus pathologies the paper's machinery
+//! exists to survive:
+//!
+//! * **wrong answers** (`wrong_answer_rate`) — the reply names a value of
+//!   the right type but the wrong entity;
+//! * **chatter** (`chatter_rate`) — non-factoid pairs with no KB grounding;
+//! * **co-facts** (`co_fact_rate`) — the reply also mentions a *different*
+//!   true fact of the same entity (Example 2's "politician" noise), which
+//!   the Sec 4.1.1 refinement filter must reject;
+//! * **entity skew** (`entity_zipf`) — popular entities are asked about far
+//!   more often, giving rare templates the thin support the paper's recall
+//!   analysis complains about.
+//!
+//! Every non-chatter pair retains a [`GoldInfo`] record (intent, entity,
+//! value). Gold is *never* shown to the learner; it exists so evaluation can
+//! grade template→predicate inference (Table 13) and extraction (Sec 7.5).
+
+use kbqa_common::rng::{substream, DetRng};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use kbqa_rdf::NodeId;
+
+use crate::world::{IntentId, World};
+
+/// Knobs for corpus generation.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CorpusConfig {
+    /// Seed (independent of the world seed).
+    pub seed: u64,
+    /// Number of QA pairs to generate.
+    pub pairs: usize,
+    /// Probability a reply carries a wrong (type-consistent) value.
+    pub wrong_answer_rate: f64,
+    /// Probability of a non-factoid chatter pair.
+    pub chatter_rate: f64,
+    /// Probability the reply also embeds a second true fact of the entity.
+    pub co_fact_rate: f64,
+    /// Zipf-ish exponent skewing entity popularity (0 = uniform).
+    pub entity_zipf: f64,
+    /// Probability a question is typed in all-lowercase (community-QA users
+    /// rarely bother with capitalization — the reason the paper's
+    /// capitalization-trained NER only reaches 30% on QA pairs, Sec 7.5).
+    pub sloppy_casing_rate: f64,
+}
+
+impl CorpusConfig {
+    /// Defaults mirroring a plausible community-QA noise profile.
+    pub fn with_pairs(seed: u64, pairs: usize) -> Self {
+        Self {
+            seed,
+            pairs,
+            wrong_answer_rate: 0.06,
+            chatter_rate: 0.08,
+            co_fact_rate: 0.15,
+            entity_zipf: 0.7,
+            sloppy_casing_rate: 0.5,
+        }
+    }
+
+    /// Noise-free corpus (ablations and focused unit tests).
+    pub fn clean(seed: u64, pairs: usize) -> Self {
+        Self {
+            seed,
+            pairs,
+            wrong_answer_rate: 0.0,
+            chatter_rate: 0.0,
+            co_fact_rate: 0.0,
+            entity_zipf: 0.0,
+            sloppy_casing_rate: 0.0,
+        }
+    }
+}
+
+/// Ground truth retained per generated pair (evaluation only).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GoldInfo {
+    /// The generating intent.
+    pub intent: IntentId,
+    /// The subject entity.
+    pub entity: NodeId,
+    /// Surface form of the (correct) value.
+    pub value_surface: String,
+    /// Index of the paraphrase used.
+    pub paraphrase: usize,
+    /// Whether the reply deliberately carries a wrong value.
+    pub wrong_answer: bool,
+}
+
+/// One question–answer pair.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct QaPair {
+    /// The question text (entity name in original casing).
+    pub question: String,
+    /// The reply sentence(s).
+    pub answer: String,
+    /// Gold record; `None` for chatter pairs.
+    pub gold: Option<GoldInfo>,
+}
+
+/// A generated corpus.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct QaCorpus {
+    /// The pairs, in generation order.
+    pub pairs: Vec<QaPair>,
+}
+
+const CHATTER: &[(&str, &str)] = &[
+    ("why is the sky blue", "something about light scattering"),
+    ("how do i fix my bike chain", "take it to a shop honestly"),
+    ("what should i cook tonight", "pasta never fails"),
+    ("is it going to rain tomorrow", "check a weather site"),
+    ("how do i learn guitar fast", "practice every day and be patient"),
+    ("what is the meaning of life", "forty two obviously"),
+    ("can someone recommend a good movie", "depends what you like"),
+    ("my laptop is slow what do i do", "close some tabs and restart it"),
+];
+
+impl QaCorpus {
+    /// Generate a corpus against a world. Deterministic in `config.seed`.
+    pub fn generate(world: &World, config: &CorpusConfig) -> Self {
+        let mut rng = substream(config.seed, "corpus/main");
+        let intent_weights: Vec<f64> = world.intents.iter().map(|i| i.popularity).collect();
+        let mut pairs = Vec::with_capacity(config.pairs);
+        while pairs.len() < config.pairs {
+            if rng.gen_bool(config.chatter_rate) {
+                let (q, a) = CHATTER[rng.gen_range(0..CHATTER.len())];
+                pairs.push(QaPair {
+                    question: q.to_owned(),
+                    answer: a.to_owned(),
+                    gold: None,
+                });
+                continue;
+            }
+            if let Some(pair) = generate_factoid(world, config, &intent_weights, &mut rng) {
+                pairs.push(pair);
+            } else {
+                // Extremely sparse world (dropout removed the sampled fact);
+                // emit chatter to keep the corpus at its configured size.
+                let (q, a) = CHATTER[rng.gen_range(0..CHATTER.len())];
+                pairs.push(QaPair {
+                    question: q.to_owned(),
+                    answer: a.to_owned(),
+                    gold: None,
+                });
+            }
+        }
+        Self { pairs }
+    }
+
+    /// Number of pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether the corpus is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Iterate pairs.
+    pub fn iter(&self) -> impl Iterator<Item = &QaPair> {
+        self.pairs.iter()
+    }
+
+    /// Pairs with gold (the factoid subset).
+    pub fn factoid_pairs(&self) -> impl Iterator<Item = &QaPair> {
+        self.pairs.iter().filter(|p| p.gold.is_some())
+    }
+}
+
+/// Zipf-skewed index into a pool: index 0 is the most popular.
+fn zipf_index(rng: &mut DetRng, len: usize, exponent: f64) -> usize {
+    if len <= 1 {
+        return 0;
+    }
+    if exponent <= 0.0 {
+        return rng.gen_range(0..len);
+    }
+    // Inverse-CDF sampling of a truncated power law via rejection-free
+    // approximation: u^(1/(1-s)) concentrates mass at small indices.
+    let u: f64 = rng.gen_range(0.0f64..1.0).max(1e-12);
+    let skew = u.powf(1.0 + exponent);
+    ((skew * len as f64) as usize).min(len - 1)
+}
+
+fn generate_factoid(
+    world: &World,
+    config: &CorpusConfig,
+    intent_weights: &[f64],
+    rng: &mut DetRng,
+) -> Option<QaPair> {
+    // A few retries paper over fact dropout.
+    for _ in 0..8 {
+        let intent_idx =
+            kbqa_common::rng::choose_weighted_index(rng, intent_weights).unwrap_or(0);
+        let intent = &world.intents[intent_idx];
+        let subjects = world.subjects_of(intent);
+        if subjects.is_empty() {
+            continue;
+        }
+        let entity = subjects[zipf_index(rng, subjects.len(), config.entity_zipf)];
+        let values = world.gold_values(intent, entity);
+        let Some(value) = values.first() else { continue };
+
+        let paraphrase_idx = rng.gen_range(0..intent.paraphrases.len());
+        let entity_name = world.store.surface(entity);
+        let mut question = intent.paraphrases[paraphrase_idx].instantiate(&entity_name);
+        if rng.gen_bool(config.sloppy_casing_rate) {
+            question = question.to_lowercase();
+        }
+
+        // Reply value: correct, or a type-consistent wrong one.
+        let wrong = rng.gen_bool(config.wrong_answer_rate);
+        let reply_value = if wrong {
+            wrong_value(world, intent_idx, entity, rng).unwrap_or_else(|| value.clone())
+        } else {
+            value.clone()
+        };
+
+        let pattern = &intent.answer_patterns[rng.gen_range(0..intent.answer_patterns.len())];
+        let mut answer = pattern
+            .replace("$v", &reply_value)
+            .replace("$e", &entity_name);
+
+        // Co-fact noise: append a second true fact of the same entity.
+        if rng.gen_bool(config.co_fact_rate) {
+            if let Some(extra) = co_fact_sentence(world, intent_idx, entity, rng) {
+                answer.push_str(" . ");
+                answer.push_str(&extra);
+            }
+        }
+
+        return Some(QaPair {
+            question,
+            answer,
+            gold: Some(GoldInfo {
+                intent: intent.id,
+                entity,
+                value_surface: value.clone(),
+                paraphrase: paraphrase_idx,
+                wrong_answer: wrong,
+            }),
+        });
+    }
+    None
+}
+
+/// A value of the same intent taken from a different entity (type-consistent
+/// wrongness, the hardest kind for naive learners).
+fn wrong_value(
+    world: &World,
+    intent_idx: usize,
+    entity: NodeId,
+    rng: &mut DetRng,
+) -> Option<String> {
+    let intent = &world.intents[intent_idx];
+    let subjects = world.subjects_of(intent);
+    for _ in 0..4 {
+        let other = subjects[rng.gen_range(0..subjects.len())];
+        if other == entity {
+            continue;
+        }
+        if let Some(v) = world.gold_values(intent, other).into_iter().next() {
+            return Some(v);
+        }
+    }
+    None
+}
+
+/// A sentence stating another true fact of `entity` (Sec 4.1.1's noise:
+/// extraction will pick this value up; refinement should often reject it).
+fn co_fact_sentence(
+    world: &World,
+    skip_intent: usize,
+    entity: NodeId,
+    rng: &mut DetRng,
+) -> Option<String> {
+    let n = world.intents.len();
+    let start = rng.gen_range(0..n);
+    for off in 0..n {
+        let idx = (start + off) % n;
+        if idx == skip_intent {
+            continue;
+        }
+        let intent = &world.intents[idx];
+        let applies = world.subjects_of(intent).contains(&entity);
+        if !applies {
+            continue;
+        }
+        if let Some(v) = world.gold_values(intent, entity).into_iter().next() {
+            return Some(format!("also fwiw {v} comes to mind"));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::WorldConfig;
+
+    fn world() -> World {
+        World::generate(WorldConfig::tiny(42))
+    }
+
+    #[test]
+    fn corpus_has_requested_size_and_is_deterministic() {
+        let w = world();
+        let cfg = CorpusConfig::with_pairs(1, 200);
+        let a = QaCorpus::generate(&w, &cfg);
+        let b = QaCorpus::generate(&w, &cfg);
+        assert_eq!(a.len(), 200);
+        assert_eq!(a.pairs, b.pairs);
+    }
+
+    #[test]
+    fn factoid_pairs_embed_the_value_in_the_answer() {
+        let w = world();
+        let corpus = QaCorpus::generate(&w, &CorpusConfig::clean(2, 100));
+        let mut checked = 0;
+        for pair in corpus.factoid_pairs() {
+            let gold = pair.gold.as_ref().unwrap();
+            assert!(
+                pair.answer.contains(&gold.value_surface),
+                "answer {:?} missing value {:?}",
+                pair.answer,
+                gold.value_surface
+            );
+            checked += 1;
+        }
+        assert_eq!(checked, 100, "clean corpus must be all factoid");
+    }
+
+    #[test]
+    fn questions_mention_the_entity() {
+        let w = world();
+        let corpus = QaCorpus::generate(&w, &CorpusConfig::clean(3, 50));
+        for pair in corpus.factoid_pairs() {
+            let gold = pair.gold.as_ref().unwrap();
+            let name = w.store.surface(gold.entity);
+            assert!(
+                pair.question.contains(&name),
+                "question {:?} missing entity {:?}",
+                pair.question,
+                name
+            );
+        }
+    }
+
+    #[test]
+    fn chatter_rate_produces_goldless_pairs() {
+        let w = world();
+        let mut cfg = CorpusConfig::with_pairs(4, 300);
+        cfg.chatter_rate = 0.5;
+        let corpus = QaCorpus::generate(&w, &cfg);
+        let chatter = corpus.pairs.iter().filter(|p| p.gold.is_none()).count();
+        assert!(chatter > 90, "expected lots of chatter, got {chatter}");
+        assert!(chatter < 220, "chatter dominated: {chatter}");
+    }
+
+    #[test]
+    fn wrong_answers_are_flagged_in_gold() {
+        let w = world();
+        let mut cfg = CorpusConfig::with_pairs(5, 400);
+        cfg.wrong_answer_rate = 0.5;
+        let corpus = QaCorpus::generate(&w, &cfg);
+        let wrong = corpus
+            .factoid_pairs()
+            .filter(|p| p.gold.as_ref().unwrap().wrong_answer)
+            .count();
+        assert!(wrong > 100, "only {wrong} wrong answers at 50% rate");
+    }
+
+    #[test]
+    fn zipf_skews_entity_frequency() {
+        let w = world();
+        let mut cfg = CorpusConfig::clean(6, 500);
+        cfg.entity_zipf = 1.0;
+        let corpus = QaCorpus::generate(&w, &cfg);
+        let mut counts: std::collections::HashMap<NodeId, usize> = Default::default();
+        for p in corpus.factoid_pairs() {
+            *counts.entry(p.gold.as_ref().unwrap().entity).or_default() += 1;
+        }
+        let max = counts.values().copied().max().unwrap();
+        let mean = corpus.len() as f64 / counts.len() as f64;
+        assert!(
+            max as f64 > 2.0 * mean,
+            "no skew: max {max}, mean {mean:.1}"
+        );
+    }
+
+    #[test]
+    fn co_facts_append_extra_sentences() {
+        let w = world();
+        let mut cfg = CorpusConfig::clean(7, 300);
+        cfg.co_fact_rate = 1.0;
+        let corpus = QaCorpus::generate(&w, &cfg);
+        let with_extra = corpus
+            .factoid_pairs()
+            .filter(|p| p.answer.contains("comes to mind"))
+            .count();
+        assert!(with_extra > 200, "co-facts rarely applied: {with_extra}");
+    }
+
+    #[test]
+    fn zipf_index_bounds() {
+        let mut rng = kbqa_common::rng::rng(1);
+        for _ in 0..100 {
+            assert!(zipf_index(&mut rng, 10, 0.9) < 10);
+        }
+        assert_eq!(zipf_index(&mut rng, 1, 0.9), 0);
+        assert_eq!(zipf_index(&mut rng, 0, 0.9), 0);
+    }
+}

@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! Synthetic data substrate for the KBQA reproduction.
+//!
+//! The paper's raw materials — a billion-triple proprietary KB, 41M Yahoo!
+//! Answers pairs, the QALD/WebQuestions test sets, and a web-document corpus
+//! for the bootstrapping comparator — are all unavailable. This crate
+//! generates working replacements whose *statistical structure* matches what
+//! the KBQA algorithms exploit (see DESIGN.md §2 for the substitution
+//! argument per artifact):
+//!
+//! * [`world`] — a deterministic, seeded world: entities across six domains,
+//!   an RDF store with CVT-mediated multi-edge facts, a taxonomy with
+//!   context evidence, predicate answer-class labels, and an Infobox-style
+//!   gold fact table (for Table 4's `valid(k)`).
+//! * [`paraphrase`] — per-intent pools of question patterns; the ground
+//!   truth behind templates (`how many people are there in $e?` …).
+//! * [`generator`] — QA corpus generation with controllable noise: answers
+//!   are full reply sentences embedding the value, wrong answers and
+//!   chatter pairs appear at configurable rates.
+//! * [`benchmark`] — QALD-like and WebQuestions-like evaluation sets with
+//!   controlled BFQ ratios (paper Table 5), plus the Table 15 complex
+//!   questions instantiated over the world.
+//! * [`docs`] — declarative sentences derived from KB facts, the input for
+//!   the BOA-style bootstrapping baseline (Table 12 comparator).
+
+pub mod benchmark;
+pub mod docs;
+pub mod generator;
+pub mod names;
+pub mod paraphrase;
+pub mod world;
+
+pub use generator::{CorpusConfig, GoldInfo, QaCorpus, QaPair};
+pub use paraphrase::ParaphrasePattern;
+pub use world::{Intent, IntentId, World, WorldConfig};

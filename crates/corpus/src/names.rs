@@ -1,0 +1,186 @@
+//! Deterministic name generation.
+//!
+//! Entities need pronounceable, mostly unique surface names so that mention
+//! matching, ambiguity, and noisy answers behave like they do on real data.
+//! Names are built from syllable inventories per domain; generation is fully
+//! determined by the caller's RNG, so a seed reproduces the same world.
+
+use rand::Rng;
+
+const ONSETS: &[&str] = &[
+    "b", "br", "c", "ch", "d", "dr", "f", "g", "gr", "h", "j", "k", "kr", "l", "m", "n", "p",
+    "pr", "r", "s", "sh", "st", "t", "tr", "v", "w", "z",
+];
+const VOWELS: &[&str] = &["a", "e", "i", "o", "u", "ai", "ei", "ia", "io", "ou"];
+const CODAS: &[&str] = &["", "l", "n", "r", "s", "t", "m", "k", "nd", "rn", "st", "x"];
+
+const CITY_SUFFIXES: &[&str] = &[
+    "ville", "burg", "ton", "ford", "haven", "port", "field", "dale", "mouth", "stad",
+];
+const COUNTRY_SUFFIXES: &[&str] = &["ia", "land", "stan", "ora", "avia"];
+const COMPANY_SUFFIXES: &[&str] = &["corp", "soft", "tech", "works", "labs", "systems", "dyne"];
+const BAND_PREFIX: &[&str] = &["The", "Electric", "Midnight", "Crimson", "Silent", "Neon"];
+const BAND_NOUNS: &[&str] = &[
+    "Wolves", "Echoes", "Harbors", "Pilots", "Lanterns", "Owls", "Rivers", "Machines",
+    "Sparrows", "Comets",
+];
+const BOOK_STARTS: &[&str] = &[
+    "Shadow of", "Return to", "Letters from", "Beyond", "Songs of", "A History of",
+    "The Last", "Winter in",
+];
+const INSTRUMENTS: &[&str] = &[
+    "guitar", "bass", "drums", "piano", "violin", "saxophone", "trumpet", "cello", "flute",
+    "synthesizer",
+];
+const CURRENCIES: &[&str] = &[
+    "crown", "mark", "peso", "dinar", "franc", "shilling", "rand", "koruna", "lev", "taler",
+];
+
+fn capitalize(s: &str) -> String {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(first) => first.to_uppercase().collect::<String>() + chars.as_str(),
+        None => String::new(),
+    }
+}
+
+/// A pronounceable lowercase stem of 2–3 syllables.
+pub fn stem<R: Rng>(rng: &mut R) -> String {
+    let syllables = rng.gen_range(2..=3);
+    let mut s = String::new();
+    for i in 0..syllables {
+        s.push_str(ONSETS[rng.gen_range(0..ONSETS.len())]);
+        s.push_str(VOWELS[rng.gen_range(0..VOWELS.len())]);
+        if i + 1 == syllables {
+            s.push_str(CODAS[rng.gen_range(0..CODAS.len())]);
+        }
+    }
+    s
+}
+
+/// A city name, e.g. `Brenaville`, `Kroton`.
+pub fn city<R: Rng>(rng: &mut R) -> String {
+    let base = stem(rng);
+    if rng.gen_bool(0.7) {
+        capitalize(&format!(
+            "{base}{}",
+            CITY_SUFFIXES[rng.gen_range(0..CITY_SUFFIXES.len())]
+        ))
+    } else {
+        capitalize(&base)
+    }
+}
+
+/// A country name, e.g. `Vostora`, `Grenland`.
+pub fn country<R: Rng>(rng: &mut R) -> String {
+    let base = stem(rng);
+    capitalize(&format!(
+        "{base}{}",
+        COUNTRY_SUFFIXES[rng.gen_range(0..COUNTRY_SUFFIXES.len())]
+    ))
+}
+
+/// A person name: capitalized given + family name.
+pub fn person<R: Rng>(rng: &mut R) -> String {
+    format!("{} {}", capitalize(&stem(rng)), capitalize(&stem(rng)))
+}
+
+/// A company name, e.g. `Trelacorp`.
+pub fn company<R: Rng>(rng: &mut R) -> String {
+    let base = stem(rng);
+    capitalize(&format!(
+        "{base}{}",
+        COMPANY_SUFFIXES[rng.gen_range(0..COMPANY_SUFFIXES.len())]
+    ))
+}
+
+/// A band name, e.g. `The Crimson Owls`.
+pub fn band<R: Rng>(rng: &mut R) -> String {
+    format!(
+        "{} {}",
+        BAND_PREFIX[rng.gen_range(0..BAND_PREFIX.len())],
+        BAND_NOUNS[rng.gen_range(0..BAND_NOUNS.len())]
+    )
+}
+
+/// A book title, e.g. `Shadow of Krona`.
+pub fn book<R: Rng>(rng: &mut R) -> String {
+    format!(
+        "{} {}",
+        BOOK_STARTS[rng.gen_range(0..BOOK_STARTS.len())],
+        capitalize(&stem(rng))
+    )
+}
+
+/// A musical instrument (small closed inventory; instruments repeat across
+/// band members like in real data).
+pub fn instrument<R: Rng>(rng: &mut R) -> &'static str {
+    INSTRUMENTS[rng.gen_range(0..INSTRUMENTS.len())]
+}
+
+/// A currency name.
+pub fn currency<R: Rng>(rng: &mut R) -> String {
+    format!(
+        "{} {}",
+        capitalize(&stem(rng)),
+        CURRENCIES[rng.gen_range(0..CURRENCIES.len())]
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kbqa_common::rng::rng;
+
+    #[test]
+    fn names_are_deterministic_per_seed() {
+        let a: Vec<String> = {
+            let mut r = rng(11);
+            (0..10).map(|_| city(&mut r)).collect()
+        };
+        let b: Vec<String> = {
+            let mut r = rng(11);
+            (0..10).map(|_| city(&mut r)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn names_are_mostly_unique() {
+        let mut r = rng(5);
+        let names: std::collections::BTreeSet<String> =
+            (0..500).map(|_| person(&mut r)).collect();
+        // Some collisions are expected (and wanted) but the bulk must be
+        // distinct or the world degenerates.
+        assert!(names.len() > 450, "only {} unique names", names.len());
+    }
+
+    #[test]
+    fn names_are_capitalized_and_tokenizable() {
+        let mut r = rng(6);
+        for _ in 0..50 {
+            let p = person(&mut r);
+            assert!(p.chars().next().unwrap().is_uppercase());
+            assert_eq!(p.split_whitespace().count(), 2);
+            let c = country(&mut r);
+            assert!(c.chars().next().unwrap().is_uppercase());
+        }
+    }
+
+    #[test]
+    fn closed_inventories_stay_closed() {
+        let mut r = rng(7);
+        for _ in 0..20 {
+            assert!(INSTRUMENTS.contains(&instrument(&mut r)));
+        }
+    }
+
+    #[test]
+    fn books_and_bands_have_multiword_names() {
+        let mut r = rng(8);
+        assert!(book(&mut r).contains(' '));
+        assert!(band(&mut r).contains(' '));
+        assert!(currency(&mut r).contains(' '));
+        assert!(!company(&mut r).contains(' '));
+    }
+}

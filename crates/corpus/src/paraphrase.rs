@@ -1,0 +1,105 @@
+//! Question paraphrase patterns.
+//!
+//! Each intent owns a pool of natural-language question patterns with an
+//! entity slot (`$e`) — the ground truth that template learning is supposed
+//! to rediscover. Pools are intentionally diverse in the way the paper
+//! motivates: the *population* intent includes phrasings with no lexical
+//! overlap with the predicate name (`how many people are there in $e?`),
+//! which is exactly what defeats keyword/synonym baselines.
+
+use serde::{Deserialize, Serialize};
+
+/// A question pattern with exactly one `$e` entity slot.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ParaphrasePattern {
+    /// The pattern text, lowercase, containing the literal token `$e`.
+    pub pattern: String,
+}
+
+impl ParaphrasePattern {
+    /// Construct, validating the slot.
+    ///
+    /// # Panics
+    /// Panics if the pattern does not contain exactly one `$e` slot.
+    pub fn new(pattern: &str) -> Self {
+        let occurrences = pattern.matches("$e").count();
+        assert_eq!(
+            occurrences, 1,
+            "paraphrase pattern must contain exactly one $e slot: {pattern:?}"
+        );
+        Self {
+            pattern: pattern.to_owned(),
+        }
+    }
+
+    /// Instantiate with an entity's surface name.
+    pub fn instantiate(&self, entity_name: &str) -> String {
+        self.pattern.replace("$e", entity_name)
+    }
+
+    /// The pattern split into tokens, with the slot as its own `$e` token.
+    /// (All pool patterns keep `$e` whitespace-separated, so a plain split
+    /// suffices and avoids tokenizer round-trips.)
+    pub fn slot_tokens(&self) -> Vec<&str> {
+        self.pattern.split_whitespace().collect()
+    }
+
+    /// Content words of the pattern (everything except the slot), for
+    /// building concept context evidence.
+    pub fn content_words(&self) -> impl Iterator<Item = &str> {
+        self.pattern.split_whitespace().filter(|w| *w != "$e")
+    }
+}
+
+/// Convenience constructor for a pool of patterns.
+pub fn pool(patterns: &[&str]) -> Vec<ParaphrasePattern> {
+    patterns.iter().map(|p| ParaphrasePattern::new(p)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instantiate_replaces_slot() {
+        let p = ParaphrasePattern::new("how many people are there in $e");
+        assert_eq!(
+            p.instantiate("Honolulu"),
+            "how many people are there in Honolulu"
+        );
+    }
+
+    #[test]
+    fn slot_tokens_keep_slot() {
+        let p = ParaphrasePattern::new("what is the population of $e");
+        assert_eq!(
+            p.slot_tokens(),
+            vec!["what", "is", "the", "population", "of", "$e"]
+        );
+    }
+
+    #[test]
+    fn content_words_exclude_slot() {
+        let p = ParaphrasePattern::new("when was $e born");
+        let words: Vec<&str> = p.content_words().collect();
+        assert_eq!(words, vec!["when", "was", "born"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly one $e slot")]
+    fn missing_slot_rejected() {
+        let _ = ParaphrasePattern::new("what is the population of honolulu");
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly one $e slot")]
+    fn double_slot_rejected() {
+        let _ = ParaphrasePattern::new("is $e bigger than $e");
+    }
+
+    #[test]
+    fn pool_builds_many() {
+        let ps = pool(&["who is $e", "tell me about $e"]);
+        assert_eq!(ps.len(), 2);
+    }
+}

@@ -1,0 +1,1245 @@
+//! Synthetic world generation.
+//!
+//! A *world* bundles everything the paper's pipeline consumes: an RDF store,
+//! a taxonomy with context evidence, per-predicate answer-class labels
+//! (Sec 4.1.1's "manually labeled" predicate categories), an Infobox-style
+//! gold fact table (Sec 6.3), and the ground-truth *intents* — (predicate
+//! path, subject concept, paraphrase pool) triples — that the QA corpus
+//! generator speaks through and that evaluation grades against.
+//!
+//! Structural properties intentionally mirrored from the paper:
+//!
+//! * **Most intents are multi-edge.** Entity-valued intents terminate in a
+//!   `name` edge (`mayor→name`), and two are CVT-mediated three-edge paths
+//!   (`marriage→person→name`, `group_member→member→name`) — the paper found
+//!   >98% of intents map to complex structures.
+//! * **The template→predicate mapping is n:1.** Every intent owns many
+//!   paraphrases, several with zero lexical overlap with the predicate name.
+//! * **Ambiguity exists at both levels.** Some surface names are shared
+//!   across entities of different concepts, and some paraphrases are shared
+//!   across intents (`who runs $e` for mayors and CEOs), so the probabilistic
+//!   machinery has real uncertainty to resolve (paper Table 6).
+
+use kbqa_common::hash::{FxHashMap, FxHashSet};
+use kbqa_common::rng::{substream, DetRng};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use kbqa_nlp::AnswerClass;
+use kbqa_rdf::{ExpandedPredicate, GraphBuilder, NodeId, TripleStore};
+use kbqa_taxonomy::{ConceptId, Conceptualizer, NetworkBuilder};
+
+use crate::names;
+use crate::paraphrase::{pool, ParaphrasePattern};
+
+kbqa_common::define_id!(
+    /// Identifies a ground-truth intent within a [`World`].
+    pub struct IntentId
+);
+
+/// A ground-truth question intent.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Intent {
+    /// Dense id within the world.
+    pub id: IntentId,
+    /// Human-readable name, e.g. `city_population`.
+    pub name: String,
+    /// The KB realization: a predicate path of length 1–3.
+    pub path: ExpandedPredicate,
+    /// Concept filling the subject slot (e.g. `city`).
+    pub subject_concept: ConceptId,
+    /// Expected answer class (UIUC).
+    pub answer_class: AnswerClass,
+    /// Question paraphrase pool.
+    pub paraphrases: Vec<ParaphrasePattern>,
+    /// Reply sentence patterns containing `$v`.
+    pub answer_patterns: Vec<String>,
+    /// Relative sampling weight in the corpus (Zipf-ish across intents).
+    pub popularity: f64,
+}
+
+/// Size and noise knobs for world generation.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WorldConfig {
+    /// Master seed; every derived stream is a substream of it.
+    pub seed: u64,
+    /// Number of countries.
+    pub countries: usize,
+    /// Number of cities.
+    pub cities: usize,
+    /// Number of people.
+    pub people: usize,
+    /// Number of companies.
+    pub companies: usize,
+    /// Number of bands.
+    pub bands: usize,
+    /// Number of books.
+    pub books: usize,
+    /// Probability that an entity shares its name with another entity of a
+    /// different concept (drives conceptualization ambiguity).
+    pub ambiguous_name_rate: f64,
+    /// Probability that any single generated fact is dropped (KB
+    /// incompleteness, one of the paper's motivating noise sources).
+    pub fact_dropout: f64,
+    /// Probability that a person gets a single-token alias (their family
+    /// name), creating nested/ambiguous mentions.
+    pub alias_rate: f64,
+}
+
+impl WorldConfig {
+    /// Minimal world for unit tests (fast, still covers every domain).
+    pub fn tiny(seed: u64) -> Self {
+        Self {
+            seed,
+            countries: 4,
+            cities: 12,
+            people: 30,
+            companies: 8,
+            bands: 4,
+            books: 10,
+            ambiguous_name_rate: 0.05,
+            fact_dropout: 0.0,
+            alias_rate: 0.2,
+        }
+    }
+
+    /// Small world for integration tests and examples.
+    pub fn small(seed: u64) -> Self {
+        Self {
+            countries: 10,
+            cities: 60,
+            people: 200,
+            companies: 40,
+            bands: 15,
+            books: 50,
+            fact_dropout: 0.02,
+            ..Self::tiny(seed)
+        }
+    }
+
+    /// Medium world for end-to-end experiment runs.
+    pub fn medium(seed: u64) -> Self {
+        Self {
+            countries: 30,
+            cities: 400,
+            people: 1500,
+            companies: 250,
+            bands: 60,
+            books: 300,
+            fact_dropout: 0.03,
+            ..Self::tiny(seed)
+        }
+    }
+
+    /// "KBA-like": the largest stand-in, used where the paper reports KBA.
+    pub fn kba_like(seed: u64) -> Self {
+        Self {
+            countries: 60,
+            cities: 1200,
+            people: 5000,
+            companies: 800,
+            bands: 150,
+            books: 900,
+            fact_dropout: 0.03,
+            ..Self::tiny(seed)
+        }
+    }
+
+    /// "Freebase-like": mid-sized public-KB stand-in.
+    pub fn freebase_like(seed: u64) -> Self {
+        Self {
+            countries: 40,
+            cities: 700,
+            people: 2800,
+            companies: 450,
+            bands: 90,
+            books: 500,
+            fact_dropout: 0.05,
+            ..Self::tiny(seed)
+        }
+    }
+
+    /// "DBpedia-like": the smallest public-KB stand-in (but the cleanest —
+    /// QALD is designed for DBpedia, which the paper's Sec 7.3 leans on).
+    pub fn dbpedia_like(seed: u64) -> Self {
+        Self {
+            countries: 25,
+            cities: 350,
+            people: 1200,
+            companies: 200,
+            bands: 50,
+            books: 250,
+            fact_dropout: 0.01,
+            ..Self::tiny(seed)
+        }
+    }
+
+    fn validate(&self) {
+        assert!(self.countries > 0 && self.cities > 0 && self.people > 0);
+        assert!((0.0..=1.0).contains(&self.ambiguous_name_rate));
+        assert!((0.0..=1.0).contains(&self.fact_dropout));
+        assert!((0.0..=1.0).contains(&self.alias_rate));
+    }
+}
+
+/// A fully generated world.
+#[derive(Debug)]
+pub struct World {
+    /// The knowledge base.
+    pub store: TripleStore,
+    /// Context-aware conceptualizer (Probase stand-in).
+    pub conceptualizer: Conceptualizer,
+    /// Ground-truth intents.
+    pub intents: Vec<Intent>,
+    /// Answer-class labels per predicate path (the paper's manual predicate
+    /// categorization; Sec 4.1.1).
+    pub predicate_classes: FxHashMap<ExpandedPredicate, AnswerClass>,
+    /// Infobox-style gold `(subject, object)` fact pairs (Sec 6.3).
+    pub infobox: FxHashSet<(NodeId, NodeId)>,
+    /// Entities by primary concept (sampling pools for the generator).
+    pub entities_by_concept: FxHashMap<ConceptId, Vec<NodeId>>,
+    /// The generating configuration.
+    pub config: WorldConfig,
+}
+
+impl World {
+    /// Generate a world from a configuration. Deterministic in `config.seed`.
+    pub fn generate(config: WorldConfig) -> Self {
+        config.validate();
+        Builder::new(config).build()
+    }
+
+    /// Look up an intent by name.
+    pub fn intent_by_name(&self, name: &str) -> Option<&Intent> {
+        self.intents.iter().find(|i| i.name == name)
+    }
+
+    /// Entities whose primary concept matches the intent's subject.
+    /// Profession sub-concepts (musician, author, …) are not registration
+    /// keys; their members live in the person pool.
+    pub fn subjects_of(&self, intent: &Intent) -> &[NodeId] {
+        if let Some(nodes) = self.entities_by_concept.get(&intent.subject_concept) {
+            return nodes;
+        }
+        self.conceptualizer
+            .network()
+            .find_concept("person")
+            .and_then(|person| self.entities_by_concept.get(&person))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Gold values (surface forms) of applying an intent to a subject.
+    pub fn gold_values(&self, intent: &Intent, subject: NodeId) -> Vec<String> {
+        kbqa_rdf::path::objects_via_path(&self.store, subject, &intent.path)
+            .into_iter()
+            .map(|o| self.store.surface(o))
+            .collect()
+    }
+
+    /// The expected answer class of a predicate path, when labeled.
+    pub fn class_of_path(&self, path: &ExpandedPredicate) -> Option<AnswerClass> {
+        self.predicate_classes.get(path).copied()
+    }
+
+    /// Concept name lookup convenience.
+    pub fn concept_name(&self, c: ConceptId) -> &str {
+        self.conceptualizer.network().concept_name(c)
+    }
+}
+
+/// Static description of one intent, materialized during the build.
+struct IntentSpec {
+    name: &'static str,
+    path: &'static [&'static str],
+    subject: &'static str,
+    class: AnswerClass,
+    paraphrases: &'static [&'static str],
+    answers: &'static [&'static str],
+    popularity: f64,
+}
+
+/// Generic reply patterns usable for any intent (appended to each pool).
+const GENERIC_ANSWERS: &[&str] = &[
+    "it 's $v",
+    "i think it is $v",
+    "$v",
+    "the answer is $v",
+    "$v , if i remember correctly",
+    "pretty sure it 's $v",
+    "as far as i know , $v",
+];
+
+/// The ground-truth intent inventory. Paraphrase pools deliberately include
+/// phrasings with no lexical overlap with the predicate (the paper's
+/// motivating `how many people are there in $city` ↛ `population` gap), and
+/// noun-phrase forms (`the capital of $e`) that the complex-question
+/// decomposition needs as primitive BFQs.
+fn intent_specs() -> Vec<IntentSpec> {
+    use AnswerClass::*;
+    vec![
+        IntentSpec {
+            name: "city_population",
+            path: &["population"],
+            subject: "city",
+            class: Numeric,
+            paraphrases: &[
+                "how many people are there in $e",
+                "what is the population of $e",
+                "what is the total number of people in $e",
+                "how many people live in $e",
+                "how big is the population of $e",
+                "population of $e",
+                "how many residents does $e have",
+                "how populous is $e",
+            ],
+            answers: &["about $v people live there", "the population is $v"],
+            popularity: 10.0,
+        },
+        IntentSpec {
+            name: "city_area",
+            path: &["area"],
+            subject: "city",
+            class: Numeric,
+            paraphrases: &[
+                "what is the area of $e",
+                "how large is $e",
+                "how big is $e",
+                "what is the size of $e",
+                "how much area does $e cover",
+                "the area of $e",
+            ],
+            answers: &["it covers $v square kilometers", "the area is $v"],
+            popularity: 5.0,
+        },
+        IntentSpec {
+            name: "city_mayor",
+            path: &["mayor", "name"],
+            subject: "city",
+            class: Human,
+            paraphrases: &[
+                "who is the mayor of $e",
+                "who runs $e",
+                "who governs $e",
+                "what is the name of the mayor of $e",
+                "who is $e 's mayor",
+                "the mayor of $e",
+            ],
+            answers: &["the mayor is $v", "$v is the mayor there"],
+            popularity: 4.0,
+        },
+        IntentSpec {
+            name: "city_country",
+            path: &["country", "name"],
+            subject: "city",
+            class: Location,
+            paraphrases: &[
+                "in which country is $e",
+                "which country is $e in",
+                "what country does $e belong to",
+                "where is $e located",
+                "where is $e",
+                "in which country is $e located",
+            ],
+            answers: &["it is in $v", "$v"],
+            popularity: 6.0,
+        },
+        IntentSpec {
+            name: "country_capital",
+            path: &["capital", "name"],
+            subject: "country",
+            class: Location,
+            paraphrases: &[
+                "what is the capital of $e",
+                "what is the capital city of $e",
+                "which city is the capital of $e",
+                "name the capital of $e",
+                "the capital of $e",
+                "capital of $e",
+            ],
+            answers: &["the capital is $v", "$v is the capital"],
+            popularity: 9.0,
+        },
+        IntentSpec {
+            name: "country_population",
+            path: &["population"],
+            subject: "country",
+            class: Numeric,
+            paraphrases: &[
+                "how many people are there in $e",
+                "what is the population of $e",
+                "how many people live in $e",
+                "population of $e",
+                "how many citizens does $e have",
+            ],
+            answers: &["roughly $v people", "the population is $v"],
+            popularity: 6.0,
+        },
+        IntentSpec {
+            name: "country_area",
+            path: &["area"],
+            subject: "country",
+            class: Numeric,
+            paraphrases: &[
+                "what is the area of $e",
+                "how large is $e",
+                "how big is $e",
+                "what is the total area of $e",
+            ],
+            answers: &["about $v square kilometers"],
+            popularity: 3.0,
+        },
+        IntentSpec {
+            name: "country_currency",
+            path: &["currency"],
+            subject: "country",
+            class: Entity,
+            paraphrases: &[
+                "what currency is used in $e",
+                "what is the currency of $e",
+                "what money do they use in $e",
+                "which currency does $e use",
+            ],
+            answers: &["they pay with the $v", "the currency is the $v"],
+            popularity: 2.0,
+        },
+        IntentSpec {
+            name: "person_dob",
+            path: &["dob"],
+            subject: "person",
+            class: Numeric,
+            paraphrases: &[
+                "when was $e born",
+                "what year was $e born",
+                "what is the birthday of $e",
+                "what is $e 's birthday",
+                "when is the birthday of $e",
+                "what is the birth year of $e",
+            ],
+            answers: &["he was born in $v", "she was born in $v", "born in $v"],
+            popularity: 8.0,
+        },
+        IntentSpec {
+            name: "person_pob",
+            path: &["pob", "name"],
+            subject: "person",
+            class: Location,
+            paraphrases: &[
+                "where was $e born",
+                "in which city was $e born",
+                "what is the birthplace of $e",
+                "where is $e from",
+            ],
+            answers: &["he was born in $v", "she comes from $v", "$v"],
+            popularity: 5.0,
+        },
+        IntentSpec {
+            name: "person_spouse",
+            path: &["marriage", "person", "name"],
+            subject: "person",
+            class: Human,
+            paraphrases: &[
+                "who is $e married to",
+                "who is $e 's wife",
+                "who is $e 's husband",
+                "who is the wife of $e",
+                "who is the husband of $e",
+                "what is $e 's wife 's name",
+                "who is the spouse of $e",
+                "who is marry to $e",
+                "$e 's wife",
+            ],
+            answers: &["$e is married to $v", "the spouse is $v", "$v"],
+            popularity: 6.0,
+        },
+        IntentSpec {
+            name: "person_height",
+            path: &["height"],
+            subject: "person",
+            class: Numeric,
+            paraphrases: &[
+                "how tall is $e",
+                "what is the height of $e",
+                "what is $e 's height",
+            ],
+            answers: &["$v centimeters", "about $v cm tall"],
+            popularity: 2.0,
+        },
+        IntentSpec {
+            name: "person_instrument",
+            path: &["instrument"],
+            subject: "musician",
+            class: Entity,
+            paraphrases: &[
+                "what instrument does $e play",
+                "which instrument does $e play",
+                "what does $e play",
+                "what instrument do $e play",
+            ],
+            answers: &["$v", "the $v mostly", "plays the $v"],
+            popularity: 2.0,
+        },
+        IntentSpec {
+            name: "person_works",
+            path: &["work", "name"],
+            subject: "author",
+            class: Entity,
+            paraphrases: &[
+                "what are books written by $e",
+                "what books did $e write",
+                "which books did $e write",
+                "what did $e write",
+                "books written by $e",
+            ],
+            answers: &["$v", "for example $v"],
+            popularity: 2.0,
+        },
+        IntentSpec {
+            name: "company_hq",
+            path: &["hq", "name"],
+            subject: "company",
+            class: Location,
+            paraphrases: &[
+                "where is the headquarter of $e",
+                "where is $e headquartered",
+                "what is the headquarter of $e",
+                "where is $e based",
+                "the headquarter of $e",
+            ],
+            answers: &["the headquarters are in $v", "$v"],
+            popularity: 4.0,
+        },
+        IntentSpec {
+            name: "company_ceo",
+            path: &["ceo", "name"],
+            subject: "company",
+            class: Human,
+            paraphrases: &[
+                "who is the ceo of $e",
+                "who leads $e",
+                "who is the chief executive of $e",
+                "what is the name of the ceo of $e",
+                "who runs $e",
+                "the ceo of $e",
+            ],
+            answers: &["the ceo is $v", "$v runs it"],
+            popularity: 4.0,
+        },
+        IntentSpec {
+            name: "company_founded",
+            path: &["founded"],
+            subject: "company",
+            class: Numeric,
+            paraphrases: &[
+                "when was $e founded",
+                "what year was $e founded",
+                "when was $e established",
+                "when did $e start",
+            ],
+            answers: &["it was founded in $v", "founded in $v"],
+            popularity: 3.0,
+        },
+        IntentSpec {
+            name: "company_revenue",
+            path: &["revenue"],
+            subject: "company",
+            class: Numeric,
+            paraphrases: &[
+                "what is the revenue of $e",
+                "how much money does $e make",
+                "how much does $e earn",
+            ],
+            answers: &["around $v million", "$v million a year"],
+            popularity: 1.5,
+        },
+        IntentSpec {
+            name: "band_members",
+            path: &["group_member", "member", "name"],
+            subject: "band",
+            class: Human,
+            paraphrases: &[
+                "who are the members of $e",
+                "who plays in $e",
+                "who is in $e",
+                "name the members of $e",
+                "which musicians are in $e",
+                "members of $e",
+            ],
+            answers: &["$v among others", "$v plays there", "$v"],
+            popularity: 3.0,
+        },
+        IntentSpec {
+            name: "band_formed",
+            path: &["formed"],
+            subject: "band",
+            class: Numeric,
+            paraphrases: &[
+                "when was $e formed",
+                "when did $e form",
+                "what year did $e get together",
+            ],
+            answers: &["they formed in $v", "$v"],
+            popularity: 1.5,
+        },
+        IntentSpec {
+            name: "book_author",
+            path: &["author", "name"],
+            subject: "book",
+            class: Human,
+            paraphrases: &[
+                "who wrote $e",
+                "who is the author of $e",
+                "what is the name of the author of $e",
+                "by whom was $e written",
+                "author of $e",
+                "the author of $e",
+            ],
+            answers: &["it was written by $v", "$v wrote it"],
+            popularity: 4.0,
+        },
+        IntentSpec {
+            name: "book_published",
+            path: &["published"],
+            subject: "book",
+            class: Numeric,
+            paraphrases: &[
+                "when was $e published",
+                "what year was $e published",
+                "when did $e come out",
+            ],
+            answers: &["it came out in $v", "published in $v"],
+            popularity: 2.0,
+        },
+    ]
+}
+
+struct Builder {
+    config: WorldConfig,
+    graph: GraphBuilder,
+    taxonomy: NetworkBuilder,
+    /// Primary concept name → entity nodes.
+    by_concept: FxHashMap<String, Vec<NodeId>>,
+    /// Names already used, for ambiguity bookkeeping.
+    used_names: Vec<String>,
+    rng_names: DetRng,
+    rng_facts: DetRng,
+}
+
+impl Builder {
+    fn new(config: WorldConfig) -> Self {
+        let seed = config.seed;
+        Self {
+            config,
+            graph: GraphBuilder::new(),
+            taxonomy: NetworkBuilder::new(),
+            by_concept: FxHashMap::default(),
+            used_names: Vec::new(),
+            rng_names: substream(seed, "world/names"),
+            rng_facts: substream(seed, "world/facts"),
+        }
+    }
+
+    fn keep_fact(&mut self) -> bool {
+        !self.rng_facts.gen_bool(self.config.fact_dropout)
+    }
+
+    /// Pick a fresh or (rarely) deliberately reused name.
+    fn pick_name(&mut self, mut fresh: impl FnMut(&mut DetRng) -> String) -> String {
+        if !self.used_names.is_empty() && self.rng_names.gen_bool(self.config.ambiguous_name_rate)
+        {
+            let i = self.rng_names.gen_range(0..self.used_names.len());
+            return self.used_names[i].clone();
+        }
+        let name = fresh(&mut self.rng_names);
+        self.used_names.push(name.clone());
+        name
+    }
+
+    fn register(&mut self, concept: &str, node: NodeId) {
+        self.by_concept.entry(concept.to_owned()).or_default().push(node);
+    }
+
+    fn build(mut self) -> World {
+        // ---- concepts -------------------------------------------------
+        let concept_specs: &[(&str, &[(&str, f64)])] = &[
+            // primary concept → (taxonomy concept, weight) memberships
+            ("city", &[("city", 0.7), ("location", 0.3)]),
+            ("country", &[("country", 0.7), ("location", 0.3)]),
+            ("person", &[("person", 1.0)]),
+            ("company", &[("company", 0.7), ("organization", 0.3)]),
+            ("band", &[("band", 0.7), ("organization", 0.3)]),
+            ("book", &[("book", 1.0)]),
+        ];
+        for (_, members) in concept_specs {
+            for (c, _) in members.iter() {
+                self.taxonomy.concept(c);
+            }
+        }
+        // Profession sub-concepts of person.
+        for c in ["politician", "author", "musician", "business person"] {
+            self.taxonomy.concept(c);
+        }
+
+        // ---- countries ------------------------------------------------
+        let n_countries = self.config.countries;
+        let mut countries = Vec::with_capacity(n_countries);
+        for i in 0..n_countries {
+            let name = self.pick_name(names::country);
+            let node = self.graph.resource(&format!("country/{i}"));
+            self.graph.name(node, &name);
+            self.graph.fact_str(node, "category", "Country");
+            if self.keep_fact() {
+                let pop = self.rng_facts.gen_range(1_000_000i64..900_000_000);
+                self.graph.fact_int(node, "population", pop);
+            }
+            if self.keep_fact() {
+                let area = self.rng_facts.gen_range(10_000i64..9_000_000);
+                self.graph.fact_int(node, "area", area);
+            }
+            if self.keep_fact() {
+                let currency = names::currency(&mut self.rng_names);
+                self.graph.fact_str(node, "currency", &currency);
+            }
+            self.attach_concepts(node, "country", concept_specs);
+            self.register("country", node);
+            countries.push(node);
+        }
+
+        // ---- cities ---------------------------------------------------
+        let n_cities = self.config.cities;
+        let mut cities = Vec::with_capacity(n_cities);
+        let mut cities_of_country: FxHashMap<NodeId, Vec<NodeId>> = FxHashMap::default();
+        for i in 0..n_cities {
+            let name = self.pick_name(names::city);
+            let node = self.graph.resource(&format!("city/{i}"));
+            self.graph.name(node, &name);
+            self.graph.fact_str(node, "category", "City");
+            if self.keep_fact() {
+                let pop = self.rng_facts.gen_range(10_000i64..20_000_000);
+                self.graph.fact_int(node, "population", pop);
+            }
+            if self.keep_fact() {
+                let area = self.rng_facts.gen_range(50i64..5_000);
+                self.graph.fact_int(node, "area", area);
+            }
+            let country = countries[self.rng_facts.gen_range(0..countries.len())];
+            if self.keep_fact() {
+                self.graph.link(node, "country", country);
+            }
+            cities_of_country.entry(country).or_default().push(node);
+            self.attach_concepts(node, "city", concept_specs);
+            self.register("city", node);
+            cities.push(node);
+        }
+        // Capitals: one city of each country (when it has any).
+        for &country in &countries {
+            if let Some(list) = cities_of_country.get(&country) {
+                let capital = list[self.rng_facts.gen_range(0..list.len())];
+                self.graph.link(country, "capital", capital);
+            }
+        }
+
+        // ---- people ---------------------------------------------------
+        let n_people = self.config.people;
+        let mut people = Vec::with_capacity(n_people);
+        let professions = ["politician", "author", "musician", "business person"];
+        let mut people_by_profession: FxHashMap<&str, Vec<NodeId>> = FxHashMap::default();
+        for i in 0..n_people {
+            let name = self.pick_name(names::person);
+            let node = self.graph.resource(&format!("person/{i}"));
+            self.graph.name(node, &name);
+            self.graph.fact_str(node, "category", "Person");
+            if self.rng_names.gen_bool(self.config.alias_rate) {
+                if let Some(family) = name.split_whitespace().nth(1) {
+                    self.graph.alias(node, family);
+                }
+            }
+            if self.keep_fact() {
+                let dob = self.rng_facts.gen_range(1920..2006);
+                self.graph.fact_year(node, "dob", dob);
+            }
+            if self.keep_fact() {
+                let pob = cities[self.rng_facts.gen_range(0..cities.len())];
+                self.graph.link(node, "pob", pob);
+            }
+            if self.keep_fact() {
+                let height = self.rng_facts.gen_range(150i64..211);
+                self.graph.fact_int(node, "height", height);
+            }
+            let profession = professions[self.rng_facts.gen_range(0..professions.len())];
+            self.graph
+                .fact_str(node, "category", &capitalize_words(profession));
+            // Taxonomy: person prior + profession sub-concept.
+            let person_c = self.taxonomy.concept("person");
+            let prof_c = self.taxonomy.concept(profession);
+            self.taxonomy.is_a(node, person_c, 0.6);
+            self.taxonomy.is_a(node, prof_c, 0.4);
+            people_by_profession.entry(profession).or_default().push(node);
+            self.register("person", node);
+            people.push(node);
+        }
+        // Spouses: pair consecutive people with ~50% probability, one
+        // marriage CVT per direction (as in Freebase-style CVTs).
+        let mut marriage_counter = 0usize;
+        let mut j = 0;
+        while j + 1 < people.len() {
+            if self.rng_facts.gen_bool(0.5) {
+                let a = people[j];
+                let b = people[j + 1];
+                for (s, o) in [(a, b), (b, a)] {
+                    let cvt = self
+                        .graph
+                        .resource(&format!("marriage/{marriage_counter}"));
+                    marriage_counter += 1;
+                    self.graph.link(s, "marriage", cvt);
+                    self.graph.link(cvt, "person", o);
+                    let year = self.rng_facts.gen_range(1950..2020);
+                    self.graph.fact_year(cvt, "date", year);
+                    self.graph.fact_str(cvt, "category", "Event");
+                }
+            }
+            j += 2;
+        }
+        // Mayors: each city gets a politician (cycled).
+        let politicians = people_by_profession
+            .get("politician")
+            .cloned()
+            .unwrap_or_default();
+        if !politicians.is_empty() {
+            for (i, &city) in cities.iter().enumerate() {
+                if self.rng_facts.gen_bool(1.0 - self.config.fact_dropout) {
+                    let mayor = politicians[i % politicians.len()];
+                    self.graph.link(city, "mayor", mayor);
+                }
+            }
+        }
+
+        // ---- companies --------------------------------------------------
+        let n_companies = self.config.companies;
+        let business_people = people_by_profession
+            .get("business person")
+            .cloned()
+            .unwrap_or_default();
+        for i in 0..n_companies {
+            let name = self.pick_name(names::company);
+            let node = self.graph.resource(&format!("company/{i}"));
+            self.graph.name(node, &name);
+            self.graph.fact_str(node, "category", "Company");
+            if self.keep_fact() {
+                let hq = cities[self.rng_facts.gen_range(0..cities.len())];
+                self.graph.link(node, "hq", hq);
+            }
+            if !business_people.is_empty() && self.keep_fact() {
+                let ceo = business_people[i % business_people.len()];
+                self.graph.link(node, "ceo", ceo);
+            }
+            if self.keep_fact() {
+                let founded = self.rng_facts.gen_range(1850..2022);
+                self.graph.fact_year(node, "founded", founded);
+            }
+            if self.keep_fact() {
+                let revenue = self.rng_facts.gen_range(1i64..90_000);
+                self.graph.fact_int(node, "revenue", revenue);
+            }
+            self.attach_concepts(node, "company", concept_specs);
+            self.register("company", node);
+        }
+
+        // ---- bands ------------------------------------------------------
+        let n_bands = self.config.bands;
+        let musicians = people_by_profession
+            .get("musician")
+            .cloned()
+            .unwrap_or_default();
+        let mut membership_counter = 0usize;
+        for i in 0..n_bands {
+            let name = self.pick_name(names::band);
+            let node = self.graph.resource(&format!("band/{i}"));
+            self.graph.name(node, &name);
+            self.graph.fact_str(node, "category", "Band");
+            if self.keep_fact() {
+                let formed = self.rng_facts.gen_range(1960..2022);
+                self.graph.fact_year(node, "formed", formed);
+            }
+            if !musicians.is_empty() {
+                let member_count = self.rng_facts.gen_range(2..=4usize);
+                for m in 0..member_count {
+                    let member = musicians[(i * 3 + m) % musicians.len()];
+                    let cvt = self
+                        .graph
+                        .resource(&format!("membership/{membership_counter}"));
+                    membership_counter += 1;
+                    self.graph.link(node, "group_member", cvt);
+                    self.graph.link(cvt, "member", member);
+                    let instrument = names::instrument(&mut self.rng_facts);
+                    self.graph.fact_str(member, "instrument", instrument);
+                }
+            }
+            self.attach_concepts(node, "band", concept_specs);
+            self.register("band", node);
+        }
+
+        // ---- books ------------------------------------------------------
+        let n_books = self.config.books;
+        let authors = people_by_profession
+            .get("author")
+            .cloned()
+            .unwrap_or_default();
+        for i in 0..n_books {
+            let title = self.pick_name(names::book);
+            let node = self.graph.resource(&format!("book/{i}"));
+            self.graph.name(node, &title);
+            self.graph.fact_str(node, "category", "Book");
+            if self.keep_fact() {
+                let published = self.rng_facts.gen_range(1900..2024);
+                self.graph.fact_year(node, "published", published);
+            }
+            if !authors.is_empty() {
+                let author = authors[i % authors.len()];
+                self.graph.link(node, "author", author);
+                self.graph.link(author, "work", node);
+            }
+            self.attach_concepts(node, "book", concept_specs);
+            self.register("book", node);
+        }
+
+        // ---- finalize -----------------------------------------------------
+        let specs = intent_specs();
+
+        // Pre-register every intent predicate: a sparse world may have
+        // produced no musicians (no `instrument` facts) or no married
+        // couples (no `marriage` edges), but the predicate itself must
+        // exist so intents materialize — a predicate with zero triples is
+        // perfectly valid RDF.
+        for spec in &specs {
+            for pred in spec.path {
+                self.graph.predicate(pred);
+            }
+        }
+
+        // Context evidence: each paraphrase's content words are evidence for
+        // the intent's subject concept (and weak evidence for the answer
+        // pattern words), mirroring how Probase gathers mention contexts.
+        for spec in &specs {
+            let concept = self.taxonomy.concept(spec.subject);
+            for pattern in spec.paraphrases {
+                let p = ParaphrasePattern::new(pattern);
+                for word in p.content_words() {
+                    if !kbqa_nlp::token::is_stopword(word) {
+                        self.taxonomy.context_evidence(concept, word, 1.0);
+                    }
+                }
+            }
+        }
+
+        let store = self.graph.build();
+        let network = self.taxonomy.build();
+        let conceptualizer = Conceptualizer::new(network);
+
+        // Materialize intents with resolved predicate ids.
+        let mut intents = Vec::with_capacity(specs.len());
+        let mut predicate_classes: FxHashMap<ExpandedPredicate, AnswerClass> =
+            FxHashMap::default();
+        for (idx, spec) in specs.iter().enumerate() {
+            let edges: Vec<_> = spec
+                .path
+                .iter()
+                .map(|p| {
+                    store
+                        .dict()
+                        .find_predicate(p)
+                        .unwrap_or_else(|| panic!("predicate {p} not in store"))
+                })
+                .collect();
+            let path = ExpandedPredicate::new(edges);
+            let subject_concept = conceptualizer
+                .network()
+                .find_concept(spec.subject)
+                .expect("subject concept exists");
+            let mut answer_patterns: Vec<String> =
+                spec.answers.iter().map(|s| (*s).to_owned()).collect();
+            answer_patterns.extend(GENERIC_ANSWERS.iter().map(|s| (*s).to_owned()));
+            predicate_classes.insert(path.clone(), spec.class);
+            intents.push(Intent {
+                id: IntentId::new(idx as u32),
+                name: spec.name.to_owned(),
+                path,
+                subject_concept,
+                answer_class: spec.class,
+                paraphrases: pool(spec.paraphrases),
+                answer_patterns,
+                popularity: spec.popularity,
+            });
+        }
+        // Alias-terminated variants of name-terminated intent paths denote
+        // the same relation (the paper labels such predicates identically).
+        let alias_pred = store.dict().find_predicate("alias");
+        let name_pred = store.dict().find_predicate("name");
+        if let (Some(alias_p), Some(name_p)) = (alias_pred, name_pred) {
+            let variants: Vec<(ExpandedPredicate, AnswerClass)> = predicate_classes
+                .iter()
+                .filter(|(path, _)| path.len() >= 2 && path.last_edge() == name_p)
+                .map(|(path, &class)| {
+                    let mut edges = path.edges().to_vec();
+                    *edges.last_mut().expect("non-empty") = alias_p;
+                    (ExpandedPredicate::new(edges), class)
+                })
+                .collect();
+            predicate_classes.extend(variants);
+        }
+        // Label the bookkeeping predicates so the refinement filter can
+        // reject name/alias/category echoes (Sec 4.1.1, Example 2's
+        // "politician" noise value).
+        for (pred, class) in [
+            ("name", AnswerClass::Entity),
+            ("alias", AnswerClass::Entity),
+            ("category", AnswerClass::Description),
+            ("date", AnswerClass::Description),
+        ] {
+            if let Some(p) = store.dict().find_predicate(pred) {
+                predicate_classes.insert(ExpandedPredicate::single(p), class);
+            }
+        }
+
+        // Infobox gold: every (subject, terminal object) pair of every
+        // intent path — the "meaningful facts" of Sec 6.3.
+        let mut infobox: FxHashSet<(NodeId, NodeId)> = FxHashSet::default();
+        let by_concept_resolved: FxHashMap<ConceptId, Vec<NodeId>> = self
+            .by_concept
+            .iter()
+            .map(|(name, nodes)| {
+                let c = conceptualizer
+                    .network()
+                    .find_concept(name)
+                    .expect("registered concept exists");
+                (c, nodes.clone())
+            })
+            .collect();
+        for intent in &intents {
+            // Subjects are *all* entities of the subject concept's domain —
+            // including profession sub-concepts of person.
+            let subject_pool = subjects_for_infobox(&by_concept_resolved, &conceptualizer, intent);
+            for &s in subject_pool {
+                for o in kbqa_rdf::path::objects_via_path(&store, s, &intent.path) {
+                    infobox.insert((s, o));
+                }
+            }
+        }
+
+        World {
+            store,
+            conceptualizer,
+            intents,
+            predicate_classes,
+            infobox,
+            entities_by_concept: by_concept_resolved,
+            config: self.config,
+        }
+    }
+
+    fn attach_concepts(
+        &mut self,
+        node: NodeId,
+        primary: &str,
+        concept_specs: &[(&str, &[(&str, f64)])],
+    ) {
+        let members = concept_specs
+            .iter()
+            .find(|(name, _)| *name == primary)
+            .map(|(_, m)| *m)
+            .expect("known primary concept");
+        for (concept, weight) in members {
+            let c = self.taxonomy.concept(concept);
+            self.taxonomy.is_a(node, c, *weight);
+        }
+    }
+}
+
+/// Subjects of an intent for infobox purposes: entities registered under the
+/// subject concept, falling back to `person` for profession sub-concepts.
+fn subjects_for_infobox<'a>(
+    by_concept: &'a FxHashMap<ConceptId, Vec<NodeId>>,
+    conceptualizer: &Conceptualizer,
+    intent: &Intent,
+) -> &'a [NodeId] {
+    if let Some(nodes) = by_concept.get(&intent.subject_concept) {
+        return nodes;
+    }
+    // Profession concepts (musician, author) are not registration keys;
+    // their members live in the person pool.
+    conceptualizer
+        .network()
+        .find_concept("person")
+        .and_then(|person| by_concept.get(&person))
+        .map(Vec::as_slice)
+        .unwrap_or(&[])
+}
+
+fn capitalize_words(s: &str) -> String {
+    s.split_whitespace()
+        .map(|w| {
+            let mut chars = w.chars();
+            match chars.next() {
+                Some(first) => first.to_uppercase().collect::<String>() + chars.as_str(),
+                None => String::new(),
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_world() -> World {
+        World::generate(WorldConfig::tiny(42))
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = tiny_world();
+        let b = tiny_world();
+        assert_eq!(a.store.len(), b.store.len());
+        assert_eq!(a.intents.len(), b.intents.len());
+        assert_eq!(a.infobox.len(), b.infobox.len());
+    }
+
+    #[test]
+    fn all_domains_are_populated() {
+        let w = tiny_world();
+        for concept in ["city", "country", "person", "company", "band", "book"] {
+            let c = w.conceptualizer.network().find_concept(concept).unwrap();
+            assert!(
+                !w.entities_by_concept.get(&c).unwrap().is_empty(),
+                "no entities for {concept}"
+            );
+        }
+    }
+
+    #[test]
+    fn intents_resolve_paths() {
+        let w = tiny_world();
+        assert!(w.intents.len() >= 20);
+        let spouse = w.intent_by_name("person_spouse").unwrap();
+        assert_eq!(spouse.path.len(), 3);
+        assert_eq!(spouse.path.render(&w.store), "marriage→person→name");
+        let pop = w.intent_by_name("city_population").unwrap();
+        assert_eq!(pop.path.len(), 1);
+    }
+
+    #[test]
+    fn many_intents_are_multi_edge() {
+        // The paper: >98% of intents map to complex KB structures. Our world
+        // keeps every entity-valued intent multi-edge (10 of 22); numeric
+        // literals are inherently single-edge.
+        let w = tiny_world();
+        let multi = w.intents.iter().filter(|i| i.path.len() > 1).count();
+        assert!(
+            multi * 5 >= w.intents.len() * 2,
+            "{multi}/{}",
+            w.intents.len()
+        );
+        // And the two CVT-mediated three-edge paths exist.
+        let three = w.intents.iter().filter(|i| i.path.len() == 3).count();
+        assert!(three >= 2, "expected ≥2 three-edge intents, got {three}");
+    }
+
+    #[test]
+    fn gold_values_exist_for_most_subjects() {
+        let w = tiny_world();
+        let pop = w.intent_by_name("city_population").unwrap();
+        let subjects = w.subjects_of(pop);
+        assert!(!subjects.is_empty());
+        let with_values = subjects
+            .iter()
+            .filter(|&&s| !w.gold_values(pop, s).is_empty())
+            .count();
+        assert!(with_values * 10 >= subjects.len() * 8);
+    }
+
+    #[test]
+    fn spouse_path_produces_names() {
+        let w = tiny_world();
+        let spouse = w.intent_by_name("person_spouse").unwrap();
+        let married: Vec<_> = w
+            .subjects_of(spouse)
+            .iter()
+            .filter(|&&s| !w.gold_values(spouse, s).is_empty())
+            .collect();
+        assert!(!married.is_empty(), "nobody is married in the tiny world");
+        let values = w.gold_values(spouse, *married[0]);
+        // Spouse names are person names: two capitalized tokens.
+        assert!(values[0].split_whitespace().count() == 2, "{values:?}");
+    }
+
+    #[test]
+    fn infobox_contains_direct_and_path_facts() {
+        let w = tiny_world();
+        assert!(!w.infobox.is_empty());
+        // Every intent should contribute at least one gold pair in a world
+        // with all domains populated.
+        let pop = w.intent_by_name("city_population").unwrap();
+        let city = w.subjects_of(pop)[0];
+        let objects = kbqa_rdf::path::objects_via_path(&w.store, city, &pop.path);
+        if let Some(&o) = objects.first() {
+            assert!(w.infobox.contains(&(city, o)));
+        }
+    }
+
+    #[test]
+    fn predicate_classes_label_intents_and_bookkeeping() {
+        let w = tiny_world();
+        let pop = w.intent_by_name("city_population").unwrap();
+        assert_eq!(w.class_of_path(&pop.path), Some(AnswerClass::Numeric));
+        let name_p = w.store.dict().find_predicate("name").unwrap();
+        assert_eq!(
+            w.class_of_path(&ExpandedPredicate::single(name_p)),
+            Some(AnswerClass::Entity)
+        );
+    }
+
+    #[test]
+    fn shared_paraphrases_across_intents_exist() {
+        // "how many people are there in $e" serves city & country population;
+        // "who runs $e" serves mayors & CEOs. This ambiguity is required for
+        // the probabilistic framework to have something to do (Table 6).
+        let w = tiny_world();
+        let phrase = "how many people are there in $e";
+        let sharing = w
+            .intents
+            .iter()
+            .filter(|i| i.paraphrases.iter().any(|p| p.pattern == phrase))
+            .count();
+        assert!(sharing >= 2);
+    }
+
+    #[test]
+    fn conceptualizer_covers_generated_entities() {
+        let w = tiny_world();
+        let c = w.conceptualizer.network().find_concept("city").unwrap();
+        let city = w.entities_by_concept[&c][0];
+        let dist = w.conceptualizer.prior(city);
+        assert!(!dist.is_empty());
+        // Cities are multi-granular: city + location.
+        assert!(dist.len() >= 2);
+    }
+
+    #[test]
+    fn subjects_for_profession_intents_fall_back_to_people() {
+        let w = tiny_world();
+        let instrument = w.intent_by_name("person_instrument").unwrap();
+        assert!(!w.subjects_of(instrument).is_empty() || {
+            // fallback path returns the person pool through gold_values
+            let person = w.conceptualizer.network().find_concept("person").unwrap();
+            !w.entities_by_concept[&person].is_empty()
+        });
+    }
+
+    #[test]
+    fn larger_configs_scale_up() {
+        let small = World::generate(WorldConfig::small(7));
+        let tiny = tiny_world();
+        assert!(small.store.len() > tiny.store.len());
+    }
+}

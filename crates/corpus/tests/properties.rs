@@ -1,0 +1,95 @@
+//! Property tests for the data generators: invariants must hold across the
+//! whole configuration space, not just the preset worlds.
+
+use proptest::prelude::*;
+
+use kbqa_corpus::{CorpusConfig, QaCorpus, World, WorldConfig};
+
+fn world_config(seed: u64, scale: u8) -> WorldConfig {
+    // Scale the tiny preset between 1× and 3×.
+    let f = 1 + (scale % 3) as usize;
+    WorldConfig {
+        seed,
+        countries: 3 * f,
+        cities: 8 * f,
+        people: 20 * f,
+        companies: 5 * f,
+        bands: 3 * f,
+        books: 6 * f,
+        ambiguous_name_rate: 0.05,
+        fact_dropout: 0.05,
+        alias_rate: 0.2,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Worlds always materialize every intent with resolvable paths, and the
+    /// infobox only contains KB-supported pairs.
+    #[test]
+    fn world_invariants(seed in 0u64..5000, scale in 0u8..3) {
+        let world = World::generate(world_config(seed, scale));
+        prop_assert!(world.intents.len() >= 20);
+        for intent in &world.intents {
+            prop_assert!((1..=3).contains(&intent.path.len()));
+            prop_assert!(!intent.paraphrases.is_empty());
+            // The path's predicates all exist in the store dictionary.
+            for &p in intent.path.edges() {
+                prop_assert!(p.index() < world.store.dict().predicate_count());
+            }
+        }
+        for &(s, o) in world.infobox.iter().take(200) {
+            // Every infobox pair is reachable via some intent path.
+            let reachable = world.intents.iter().any(|i| {
+                kbqa_rdf::path::path_connects(&world.store, s, &i.path, o)
+            });
+            prop_assert!(reachable, "orphan infobox pair");
+        }
+    }
+
+    /// Clean corpora: every pair is factoid, the value is embedded in the
+    /// reply, and the entity is mentioned in the question.
+    #[test]
+    fn clean_corpus_invariants(seed in 0u64..5000, pairs in 20usize..120) {
+        let world = World::generate(world_config(seed, 0));
+        let corpus = QaCorpus::generate(&world, &CorpusConfig::clean(seed, pairs));
+        prop_assert_eq!(corpus.len(), pairs);
+        for pair in corpus.iter() {
+            let gold = pair.gold.as_ref().expect("clean corpus is all factoid");
+            prop_assert!(pair.answer.contains(&gold.value_surface));
+            let name = world.store.surface(gold.entity);
+            prop_assert!(pair.question.contains(&name));
+            prop_assert!(!gold.wrong_answer);
+        }
+    }
+
+    /// Noise rates hold approximately at configured levels.
+    #[test]
+    fn noise_rates_are_respected(seed in 0u64..2000) {
+        let world = World::generate(world_config(seed, 1));
+        let mut config = CorpusConfig::with_pairs(seed, 400);
+        config.chatter_rate = 0.2;
+        let corpus = QaCorpus::generate(&world, &config);
+        let chatter = corpus.iter().filter(|p| p.gold.is_none()).count();
+        let rate = chatter as f64 / corpus.len() as f64;
+        prop_assert!((0.08..0.40).contains(&rate), "chatter rate {rate}");
+    }
+
+    /// Benchmarks respect their composition for arbitrary sizes.
+    #[test]
+    fn benchmark_composition(seed in 0u64..2000, total in 10usize..60, bfq_frac in 0.0f64..1.0) {
+        let world = World::generate(world_config(seed, 0));
+        let bfqs = ((total as f64) * bfq_frac) as usize;
+        let bench = kbqa_corpus::benchmark::qald_like(&world, "prop", total, bfqs, 0.2, seed);
+        prop_assert_eq!(bench.total(), total);
+        // BFQ generation can fall short only if the world lacks facts, in
+        // which case the generator backfills with non-BFQs.
+        prop_assert!(bench.bfq_count() <= bfqs);
+        for q in &bench.questions {
+            if q.kind.is_bfq() {
+                prop_assert!(!q.gold_answers.is_empty());
+            }
+        }
+    }
+}

@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+
+//! Natural-language plumbing for the KBQA reproduction.
+//!
+//! The paper leans on three off-the-shelf NLP components; each is rebuilt
+//! here at the fidelity KBQA actually requires:
+//!
+//! * [`token`] — a deterministic tokenizer with byte spans. Questions and
+//!   answers are compared token-wise everywhere (template matching, mention
+//!   replacement, substring enumeration in the decomposition DP).
+//! * [`ner`] — entity recognition. [`ner::GazetteerNer`] grounds mentions
+//!   against the knowledge base's name index (the paper's condition (b):
+//!   *"it is an entity's name in the knowledge base"*);
+//!   [`ner::HeuristicNer`] is the deliberately fallible capitalization-based
+//!   recognizer standing in for Stanford NER in the Sec 7.5 comparison.
+//! * [`question_class`] — the UIUC-taxonomy question classifier used by the
+//!   entity–value refinement filter (Sec 4.1.1): the answer value's category
+//!   must agree with the question's expected answer type.
+
+pub mod ner;
+pub mod question_class;
+pub mod token;
+
+pub use ner::{GazetteerNer, HeuristicNer, Mention};
+pub use question_class::{classify_question, AnswerClass};
+pub use token::{tokenize, TokenizedText};

@@ -1,0 +1,325 @@
+//! Entity recognition.
+//!
+//! Two recognizers with deliberately different quality profiles:
+//!
+//! * [`GazetteerNer`] — grounds token windows against the knowledge base's
+//!   name index. This is the production path: the paper's entity candidates
+//!   must satisfy *"(a) it is an entity in the question; (b) it is in the
+//!   knowledge base"*, and (b) makes KB-backed matching the reference
+//!   behaviour.
+//! * [`HeuristicNer`] — a capitalization-run recognizer standing in for
+//!   Stanford NER in the Sec 7.5 comparison. It is *supposed* to be fallible
+//!   in realistic ways (misses lowercased mentions, swallows sentence-initial
+//!   words) so the corpus-based joint extraction has something real to beat.
+
+use kbqa_common::hash::FxHashMap;
+use serde::{Deserialize, Serialize};
+
+use kbqa_rdf::{NodeId, TripleStore};
+
+use crate::token::TokenizedText;
+
+/// A recognized entity mention: token window plus candidate KB nodes.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Mention {
+    /// First token index (inclusive).
+    pub start: usize,
+    /// One past the last token index.
+    pub end: usize,
+    /// KB nodes whose name matches the mention (usually 1; ambiguous names
+    /// like "Springfield" yield several).
+    pub nodes: Vec<NodeId>,
+}
+
+impl Mention {
+    /// Window length in tokens.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the window is empty (never produced by the recognizers).
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// KB-backed longest-match recognizer.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct GazetteerNer {
+    /// Canonical (tokenized, lowercased, space-joined) name → nodes.
+    names: FxHashMap<String, Vec<NodeId>>,
+    /// Longest name length in tokens, bounding the match window.
+    max_tokens: usize,
+}
+
+impl GazetteerNer {
+    /// Build from a store's name index. Names are re-tokenized so that
+    /// punctuation differences ("St. Louis" vs "st louis") do not break
+    /// matching.
+    pub fn from_store(store: &TripleStore) -> Self {
+        let mut names: FxHashMap<String, Vec<NodeId>> = FxHashMap::default();
+        let mut max_tokens = 0;
+        for (name, nodes) in store.name_entries() {
+            let tokenized = crate::token::tokenize(name);
+            if tokenized.is_empty() {
+                continue;
+            }
+            max_tokens = max_tokens.max(tokenized.len());
+            let canonical = tokenized.joined();
+            let entry = names.entry(canonical).or_default();
+            for &n in nodes {
+                if !entry.contains(&n) {
+                    entry.push(n);
+                }
+            }
+        }
+        Self { names, max_tokens }
+    }
+
+    /// Number of distinct canonical names.
+    pub fn name_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// All mentions, including overlapping ones — the candidate set behind
+    /// `P(e|q)`'s uniform distribution (paper Sec 3.2; Table 6 reports 18.7
+    /// candidates per question on average).
+    pub fn find_all_mentions(&self, text: &TokenizedText) -> Vec<Mention> {
+        let n = text.len();
+        let mut mentions = Vec::new();
+        for start in 0..n {
+            let max_end = (start + self.max_tokens).min(n);
+            for end in (start + 1..=max_end).rev() {
+                let window = text.join(start, end);
+                if let Some(nodes) = self.names.get(&window) {
+                    mentions.push(Mention {
+                        start,
+                        end,
+                        nodes: nodes.clone(),
+                    });
+                }
+            }
+        }
+        mentions
+    }
+
+    /// Greedy longest non-overlapping mentions, scanning left to right —
+    /// the deterministic single-reading used when one grounding is needed.
+    pub fn find_longest_mentions(&self, text: &TokenizedText) -> Vec<Mention> {
+        let n = text.len();
+        let mut mentions = Vec::new();
+        let mut start = 0;
+        while start < n {
+            let max_end = (start + self.max_tokens).min(n);
+            let mut matched = None;
+            for end in (start + 1..=max_end).rev() {
+                let window = text.join(start, end);
+                if let Some(nodes) = self.names.get(&window) {
+                    matched = Some(Mention {
+                        start,
+                        end,
+                        nodes: nodes.clone(),
+                    });
+                    break;
+                }
+            }
+            match matched {
+                Some(m) => {
+                    start = m.end;
+                    mentions.push(m);
+                }
+                None => start += 1,
+            }
+        }
+        mentions
+    }
+
+    /// Ground a whole string (e.g. a benchmark's gold mention) to nodes.
+    pub fn ground(&self, phrase: &str) -> &[NodeId] {
+        let canonical = crate::token::tokenize(phrase).joined();
+        self.names
+            .get(&canonical)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+}
+
+/// Capitalization-run recognizer (the "independent NER" baseline).
+///
+/// Marks maximal runs of capitalized alphabetic tokens, skipping the first
+/// token of the text when it is capitalized only positionally. No KB
+/// verification — mentions carry no candidate nodes.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HeuristicNer;
+
+impl HeuristicNer {
+    /// Recognize capitalized runs. Returned mentions have empty `nodes`.
+    pub fn find_mentions(&self, text: &TokenizedText) -> Vec<Mention> {
+        let n = text.len();
+        let mut mentions = Vec::new();
+        let mut i = 0;
+        while i < n {
+            let original = text.original(i);
+            let capitalized = original
+                .chars()
+                .next()
+                .map(|c| c.is_uppercase())
+                .unwrap_or(false)
+                && original.chars().any(|c| c.is_alphabetic());
+            // Sentence-initial capitalization is positional, not evidential —
+            // a realistic NER failure mode the paper's joint extraction
+            // avoids by using the answer as extra signal.
+            if capitalized && i > 0 {
+                let start = i;
+                while i < n {
+                    let tok = text.original(i);
+                    let cap = tok.chars().next().map(|c| c.is_uppercase()).unwrap_or(false);
+                    if cap {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                mentions.push(Mention {
+                    start,
+                    end: i,
+                    nodes: Vec::new(),
+                });
+            } else {
+                i += 1;
+            }
+        }
+        mentions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::tokenize;
+    use kbqa_rdf::GraphBuilder;
+
+    fn sample_store() -> (TripleStore, NodeId, NodeId, NodeId) {
+        let mut b = GraphBuilder::new();
+        let obama = b.resource("res/obama");
+        let michelle = b.resource("res/michelle");
+        let honolulu = b.resource("res/honolulu");
+        b.name(obama, "Barack Obama");
+        b.name(michelle, "Michelle Obama");
+        b.name(honolulu, "Honolulu");
+        // Short name nested inside a longer one.
+        b.alias(obama, "Obama");
+        (b.build(), obama, michelle, honolulu)
+    }
+
+    #[test]
+    fn longest_match_wins() {
+        let (store, obama, _m, _h) = sample_store();
+        let ner = GazetteerNer::from_store(&store);
+        let text = tokenize("When was Barack Obama born?");
+        let mentions = ner.find_longest_mentions(&text);
+        assert_eq!(mentions.len(), 1);
+        assert_eq!(mentions[0].start, 2);
+        assert_eq!(mentions[0].end, 4);
+        assert_eq!(mentions[0].nodes, vec![obama]);
+        assert_eq!(mentions[0].len(), 2);
+    }
+
+    #[test]
+    fn all_mentions_include_nested() {
+        let (store, obama, _m, _h) = sample_store();
+        let ner = GazetteerNer::from_store(&store);
+        let text = tokenize("When was Barack Obama born?");
+        let mentions = ner.find_all_mentions(&text);
+        // "barack obama" (full) and nested alias "obama".
+        assert_eq!(mentions.len(), 2);
+        assert!(mentions.iter().all(|m| m.nodes == vec![obama]));
+    }
+
+    #[test]
+    fn possessive_mention_is_found() {
+        let (store, obama, _m, _h) = sample_store();
+        let ner = GazetteerNer::from_store(&store);
+        let text = tokenize("When was Barack Obama's wife born?");
+        let mentions = ner.find_longest_mentions(&text);
+        assert_eq!(mentions[0].nodes, vec![obama]);
+        assert_eq!(text.join(mentions[0].start, mentions[0].end), "barack obama");
+    }
+
+    #[test]
+    fn lowercase_question_still_grounds() {
+        let (store, _o, _m, honolulu) = sample_store();
+        let ner = GazetteerNer::from_store(&store);
+        let text = tokenize("how many people are there in honolulu");
+        let mentions = ner.find_longest_mentions(&text);
+        assert_eq!(mentions.len(), 1);
+        assert_eq!(mentions[0].nodes, vec![honolulu]);
+    }
+
+    #[test]
+    fn ground_whole_phrase() {
+        let (store, _o, michelle, _h) = sample_store();
+        let ner = GazetteerNer::from_store(&store);
+        assert_eq!(ner.ground("Michelle Obama"), &[michelle]);
+        assert_eq!(ner.ground("MICHELLE OBAMA"), &[michelle]);
+        assert!(ner.ground("Nobody Special").is_empty());
+    }
+
+    #[test]
+    fn no_match_returns_empty() {
+        let (store, ..) = sample_store();
+        let ner = GazetteerNer::from_store(&store);
+        let text = tokenize("what is the answer to everything");
+        assert!(ner.find_longest_mentions(&text).is_empty());
+        assert!(ner.find_all_mentions(&text).is_empty());
+    }
+
+    #[test]
+    fn heuristic_ner_finds_capitalized_run() {
+        let text = tokenize("When was Barack Obama born?");
+        let mentions = HeuristicNer.find_mentions(&text);
+        assert_eq!(mentions.len(), 1);
+        assert_eq!((mentions[0].start, mentions[0].end), (2, 4));
+    }
+
+    #[test]
+    fn heuristic_ner_misses_lowercase_mentions() {
+        // The characteristic failure the paper's joint extraction fixes.
+        let text = tokenize("how many people live in honolulu");
+        assert!(HeuristicNer.find_mentions(&text).is_empty());
+    }
+
+    #[test]
+    fn heuristic_ner_skips_sentence_initial_word() {
+        let text = tokenize("Honolulu is a city");
+        assert!(HeuristicNer.find_mentions(&text).is_empty());
+    }
+
+    #[test]
+    fn ambiguous_name_returns_all_candidates() {
+        let mut b = GraphBuilder::new();
+        let s1 = b.resource("res/springfield_il");
+        let s2 = b.resource("res/springfield_ma");
+        b.name(s1, "Springfield");
+        b.name(s2, "Springfield");
+        let store = b.build();
+        let ner = GazetteerNer::from_store(&store);
+        let text = tokenize("how big is Springfield");
+        let mentions = ner.find_longest_mentions(&text);
+        assert_eq!(mentions.len(), 1);
+        assert_eq!(mentions[0].nodes.len(), 2);
+    }
+
+    #[test]
+    fn punctuated_names_are_canonicalized() {
+        let mut b = GraphBuilder::new();
+        let st_louis = b.resource("res/st_louis");
+        b.name(st_louis, "St. Louis");
+        let store = b.build();
+        let ner = GazetteerNer::from_store(&store);
+        let text = tokenize("population of st louis please");
+        let mentions = ner.find_longest_mentions(&text);
+        assert_eq!(mentions.len(), 1);
+        assert_eq!(mentions[0].nodes, vec![st_louis]);
+    }
+}

@@ -1,0 +1,266 @@
+//! Question classification over the UIUC answer-type taxonomy.
+//!
+//! Paper Sec 4.1.1: noisy entity–value pairs are filtered by requiring that
+//! *"the correct value and the question should have the same category"*,
+//! where question categories follow the UIUC taxonomy \[20\] and values take
+//! the (manually labeled) category of their predicate. This module provides
+//! the question side: a rule-based classifier over the six UIUC coarse
+//! classes — amply precise for the filter, which only needs to separate
+//! numbers from humans from locations.
+
+use serde::{Deserialize, Serialize};
+
+use crate::token::TokenizedText;
+
+/// UIUC coarse answer classes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AnswerClass {
+    /// Abbreviations and expansions.
+    Abbreviation,
+    /// Definitions, reasons, descriptions.
+    Description,
+    /// Entities: things, products, works, instruments, …
+    Entity,
+    /// Humans: persons, groups, roles.
+    Human,
+    /// Locations: cities, countries, places.
+    Location,
+    /// Numeric values: counts, dates, sizes, money.
+    Numeric,
+}
+
+impl AnswerClass {
+    /// All classes, for exhaustive iteration in tests and tables.
+    pub const ALL: [AnswerClass; 6] = [
+        AnswerClass::Abbreviation,
+        AnswerClass::Description,
+        AnswerClass::Entity,
+        AnswerClass::Human,
+        AnswerClass::Location,
+        AnswerClass::Numeric,
+    ];
+
+    /// Short UIUC-style tag.
+    pub fn tag(self) -> &'static str {
+        match self {
+            AnswerClass::Abbreviation => "ABBR",
+            AnswerClass::Description => "DESC",
+            AnswerClass::Entity => "ENTY",
+            AnswerClass::Human => "HUM",
+            AnswerClass::Location => "LOC",
+            AnswerClass::Numeric => "NUM",
+        }
+    }
+}
+
+impl std::fmt::Display for AnswerClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+/// Head nouns that pin `what/which …` questions to a class. Falls back to a
+/// singularized form (`instruments` → `instrument`) when the exact word is
+/// unknown.
+fn head_noun_class(word: &str) -> Option<AnswerClass> {
+    if let Some(class) = head_noun_class_exact(word) {
+        return Some(class);
+    }
+    // `cities` → `city`.
+    if let Some(stem) = word.strip_suffix("ies") {
+        if stem.len() >= 2 {
+            if let Some(class) = head_noun_class_exact(&format!("{stem}y")) {
+                return Some(class);
+            }
+        }
+    }
+    // `instruments` → `instrument`.
+    word.strip_suffix('s')
+        .filter(|w| w.len() >= 3)
+        .and_then(head_noun_class_exact)
+}
+
+fn head_noun_class_exact(word: &str) -> Option<AnswerClass> {
+    Some(match word {
+        "city" | "country" | "place" | "state" | "capital" | "town" | "location" | "river"
+        | "continent" | "island" | "headquarter" | "headquarters" | "birthplace" => {
+            AnswerClass::Location
+        }
+        "person" | "president" | "author" | "writer" | "ceo" | "founder" | "leader" | "mayor"
+        | "wife" | "husband" | "spouse" | "member" | "members" | "players" | "player"
+        | "band" | "politician" | "actor" | "director" | "singer" | "musician"
+        | "musicians" => AnswerClass::Human,
+        "year" | "population" | "number" | "area" | "height" | "length" | "size" | "age"
+        | "date" | "birthday" | "cost" | "price" | "revenue" | "income" => AnswerClass::Numeric,
+        "abbreviation" | "acronym" => AnswerClass::Abbreviation,
+        "book" | "movie" | "film" | "song" | "instrument" | "company" | "organization"
+        | "language" | "color" | "animal" | "sport" | "game" | "food" | "currency" => {
+            AnswerClass::Entity
+        }
+        _ => return None,
+    })
+}
+
+/// Classify a question into its expected answer class.
+///
+/// Rules (checked in order):
+/// 1. `when …` / `how many|much|long|old|tall|big|large|far …` → NUM
+/// 2. `who|whom|whose …` → HUM
+/// 3. `where …` → LOC
+/// 4. `why …` / bare `how …` → DESC
+/// 5. `what|which …` → the class of the first recognized head noun,
+///    scanning the whole question (covers `what is the population of …` and
+///    `what is the name of the mayor of …`).
+/// 6. fallback → ENTY
+pub fn classify_question(text: &TokenizedText) -> AnswerClass {
+    let words = text.words();
+    let Some(&first) = words.first() else {
+        return AnswerClass::Entity;
+    };
+    match first {
+        "when" => AnswerClass::Numeric,
+        "who" | "whom" | "whose" => AnswerClass::Human,
+        "where" => AnswerClass::Location,
+        "why" => AnswerClass::Description,
+        "how" => match words.get(1).copied() {
+            Some("many" | "much" | "long" | "old" | "tall" | "big" | "large" | "far") => {
+                AnswerClass::Numeric
+            }
+            _ => AnswerClass::Description,
+        },
+        "what" | "which" | "name" | "list" | "give" | "in" => {
+            // Scan left to right for the first classifying head noun:
+            // "what is the population of …", "which city has …",
+            // "in which country is …", "what is the name of the mayor of …".
+            for &w in words.iter().skip(1) {
+                if let Some(class) = head_noun_class(w) {
+                    return class;
+                }
+            }
+            AnswerClass::Entity
+        }
+        _ => {
+            // Declarative-ish BFQ ("Barack Obama's wife"): look for a head
+            // noun anywhere.
+            for &w in &words {
+                if let Some(class) = head_noun_class(w) {
+                    return class;
+                }
+            }
+            AnswerClass::Entity
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::tokenize;
+
+    fn class_of(q: &str) -> AnswerClass {
+        classify_question(&tokenize(q))
+    }
+
+    #[test]
+    fn when_questions_are_numeric() {
+        assert_eq!(class_of("When was Barack Obama born?"), AnswerClass::Numeric);
+    }
+
+    #[test]
+    fn how_many_is_numeric() {
+        assert_eq!(
+            class_of("How many people are there in Honolulu?"),
+            AnswerClass::Numeric
+        );
+        assert_eq!(class_of("How large is the capital of Germany?"), AnswerClass::Numeric);
+        assert_eq!(class_of("How old is Michelle Obama?"), AnswerClass::Numeric);
+    }
+
+    #[test]
+    fn bare_how_is_description() {
+        assert_eq!(class_of("How does photosynthesis work?"), AnswerClass::Description);
+        assert_eq!(class_of("Why is the sky blue?"), AnswerClass::Description);
+    }
+
+    #[test]
+    fn who_is_human() {
+        assert_eq!(class_of("Who is the wife of Barack Obama?"), AnswerClass::Human);
+        assert_eq!(class_of("Whose idea was it?"), AnswerClass::Human);
+    }
+
+    #[test]
+    fn where_is_location() {
+        assert_eq!(class_of("Where was Barack Obama born?"), AnswerClass::Location);
+    }
+
+    #[test]
+    fn what_with_head_noun() {
+        assert_eq!(
+            class_of("What is the population of Honolulu?"),
+            AnswerClass::Numeric
+        );
+        assert_eq!(class_of("Which city has more people?"), AnswerClass::Location);
+        assert_eq!(class_of("What instrument do members play?"), AnswerClass::Entity);
+        assert_eq!(class_of("What is the capital of Japan?"), AnswerClass::Location);
+    }
+
+    #[test]
+    fn in_which_country_is_location() {
+        assert_eq!(
+            class_of("In which country is the headquarter of Google located?"),
+            AnswerClass::Location
+        );
+    }
+
+    #[test]
+    fn declarative_bfq_uses_head_noun() {
+        assert_eq!(class_of("Barack Obama's wife"), AnswerClass::Human);
+    }
+
+    #[test]
+    fn fallback_is_entity() {
+        assert_eq!(class_of("What do pandas eat?"), AnswerClass::Entity);
+        assert_eq!(class_of(""), AnswerClass::Entity);
+    }
+
+    #[test]
+    fn plural_head_nouns_singularize() {
+        assert_eq!(class_of("what instruments do they play?"), AnswerClass::Entity);
+        assert_eq!(class_of("which countries border it?"), AnswerClass::Location);
+        assert_eq!(class_of("what books did she write?"), AnswerClass::Entity);
+    }
+
+    #[test]
+    fn members_and_headquarter_classify() {
+        assert_eq!(
+            class_of("who are the members of Coldplay?"),
+            AnswerClass::Human
+        );
+        assert_eq!(class_of("members of Coldplay"), AnswerClass::Human);
+        assert_eq!(
+            class_of("what is the headquarter of Google?"),
+            AnswerClass::Location
+        );
+        assert_eq!(class_of("the headquarter of Google"), AnswerClass::Location);
+    }
+
+    #[test]
+    fn deep_head_noun_is_found() {
+        // The head noun sits beyond any short scan window.
+        assert_eq!(
+            class_of("what is the name of the mayor of Honolulu?"),
+            AnswerClass::Human
+        );
+        assert_eq!(
+            class_of("what is the name of the author of that book?"),
+            AnswerClass::Human
+        );
+    }
+
+    #[test]
+    fn tags_are_uiuc_style() {
+        assert_eq!(AnswerClass::Numeric.tag(), "NUM");
+        assert_eq!(AnswerClass::Human.to_string(), "HUM");
+        assert_eq!(AnswerClass::ALL.len(), 6);
+    }
+}

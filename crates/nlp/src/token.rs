@@ -1,0 +1,239 @@
+//! Tokenization.
+//!
+//! A small, deterministic tokenizer tuned for factoid questions:
+//!
+//! * splits on whitespace and punctuation (punctuation is dropped),
+//! * lowercases (the store's name index is lowercased too),
+//! * splits possessives: `Obama's` → `obama` + `'s`, so mention matching can
+//!   see `barack obama` inside `Barack Obama's wife`,
+//! * keeps digit runs as single tokens (`390000`, `1961`).
+//!
+//! Spans are byte offsets into the original string, so the original casing
+//! remains recoverable (the heuristic NER needs it).
+
+use serde::{Deserialize, Serialize};
+
+/// One token: lowercased text plus its byte span in the source.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Token {
+    /// Lowercased token text (`'s` for possessive markers).
+    pub text: String,
+    /// Byte offset of the token start in the original string.
+    pub start: usize,
+    /// Byte offset one past the token end.
+    pub end: usize,
+}
+
+/// A tokenized string with helpers for slicing and joining.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TokenizedText {
+    /// The original input.
+    pub raw: String,
+    /// Tokens in order.
+    pub tokens: Vec<Token>,
+}
+
+impl TokenizedText {
+    /// Number of tokens.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Whether there are no tokens.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// Lowercased token texts.
+    pub fn words(&self) -> Vec<&str> {
+        self.tokens.iter().map(|t| t.text.as_str()).collect()
+    }
+
+    /// The original (un-lowercased) text of token `i`.
+    pub fn original(&self, i: usize) -> &str {
+        let t = &self.tokens[i];
+        &self.raw[t.start..t.end]
+    }
+
+    /// Join tokens `range` with single spaces (lowercased canonical form).
+    pub fn join(&self, start: usize, end: usize) -> String {
+        join_words(
+            self.tokens[start..end]
+                .iter()
+                .map(|t| t.text.as_str()),
+        )
+    }
+
+    /// Canonical form of the full token sequence.
+    pub fn joined(&self) -> String {
+        self.join(0, self.tokens.len())
+    }
+}
+
+/// Join an iterator of words with single spaces.
+pub fn join_words<'a>(words: impl IntoIterator<Item = &'a str>) -> String {
+    let mut out = String::new();
+    for w in words {
+        if !out.is_empty() {
+            out.push(' ');
+        }
+        out.push_str(w);
+    }
+    out
+}
+
+/// Tokenize a string. Deterministic; never fails.
+pub fn tokenize(input: &str) -> TokenizedText {
+    let mut tokens = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = input[i..].chars().next().expect("in-bounds char");
+        if c.is_alphanumeric() {
+            let start = i;
+            let mut end = i;
+            for (off, ch) in input[i..].char_indices() {
+                if ch.is_alphanumeric() {
+                    end = i + off + ch.len_utf8();
+                } else {
+                    break;
+                }
+            }
+            tokens.push(Token {
+                text: input[start..end].to_lowercase(),
+                start,
+                end,
+            });
+            i = end;
+        } else if c == '\'' {
+            // Possessive / contraction marker: attach following letters as a
+            // clitic token ('s, 're, …) rather than fusing with the noun.
+            let start = i;
+            let mut end = i + 1;
+            for (off, ch) in input[i + 1..].char_indices() {
+                if ch.is_alphabetic() {
+                    end = i + 1 + off + ch.len_utf8();
+                } else {
+                    break;
+                }
+            }
+            if end > i + 1 {
+                tokens.push(Token {
+                    text: input[start..end].to_lowercase(),
+                    start,
+                    end,
+                });
+            }
+            i = end.max(i + 1);
+        } else {
+            i += c.len_utf8();
+        }
+    }
+    TokenizedText {
+        raw: input.to_owned(),
+        tokens,
+    }
+}
+
+/// English stopwords relevant to factoid questions. Used when selecting
+/// conceptualization context and by the keyword baseline.
+pub fn is_stopword(word: &str) -> bool {
+    matches!(
+        word,
+        "a" | "an" | "the" | "is" | "are" | "was" | "were" | "be" | "been" | "do" | "does"
+            | "did" | "of" | "in" | "on" | "at" | "to" | "for" | "from" | "by" | "with"
+            | "and" | "or" | "there" | "it" | "its" | "'s" | "s" | "that" | "this" | "these"
+            | "his" | "her" | "their" | "my" | "your" | "our"
+    )
+}
+
+/// Question function words (wh-words and auxiliaries) that shape intent but
+/// are not content keywords.
+pub fn is_question_word(word: &str) -> bool {
+    matches!(
+        word,
+        "who" | "whom" | "whose" | "what" | "which" | "when" | "where" | "why" | "how"
+            | "many" | "much" | "name" | "list" | "give" | "tell" | "me"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_tokenization() {
+        let t = tokenize("How many people are there in Honolulu?");
+        assert_eq!(
+            t.words(),
+            vec!["how", "many", "people", "are", "there", "in", "honolulu"]
+        );
+    }
+
+    #[test]
+    fn possessive_splits() {
+        let t = tokenize("When was Barack Obama's wife born?");
+        assert_eq!(
+            t.words(),
+            vec!["when", "was", "barack", "obama", "'s", "wife", "born"]
+        );
+    }
+
+    #[test]
+    fn digits_survive() {
+        let t = tokenize("It's 390000.");
+        assert_eq!(t.words(), vec!["it", "'s", "390000"]);
+    }
+
+    #[test]
+    fn spans_recover_original_case() {
+        let t = tokenize("Barack Obama was born in 1961.");
+        assert_eq!(t.original(0), "Barack");
+        assert_eq!(t.original(1), "Obama");
+        assert_eq!(t.original(5), "1961");
+    }
+
+    #[test]
+    fn join_produces_canonical_form() {
+        let t = tokenize("What is   the population, of Honolulu?");
+        assert_eq!(t.joined(), "what is the population of honolulu");
+        assert_eq!(t.join(3, 4), "population");
+        assert_eq!(t.join(0, 0), "");
+    }
+
+    #[test]
+    fn empty_and_punctuation_only() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("?!,.").is_empty());
+        assert_eq!(tokenize("?!,.").len(), 0);
+    }
+
+    #[test]
+    fn unicode_does_not_panic() {
+        let t = tokenize("Tōkyō’s 区 population?");
+        assert!(t.len() >= 2);
+        assert!(t.words().contains(&"tōkyō"));
+    }
+
+    #[test]
+    fn hyphen_splits_words() {
+        let t = tokenize("vice-president");
+        assert_eq!(t.words(), vec!["vice", "president"]);
+    }
+
+    #[test]
+    fn stopwords_and_question_words() {
+        assert!(is_stopword("the"));
+        assert!(is_stopword("'s"));
+        assert!(!is_stopword("population"));
+        assert!(is_question_word("how"));
+        assert!(is_question_word("many"));
+        assert!(!is_question_word("people"));
+    }
+
+    #[test]
+    fn apostrophe_without_letters_is_dropped() {
+        let t = tokenize("rock ' roll");
+        assert_eq!(t.words(), vec!["rock", "roll"]);
+    }
+}

@@ -1,0 +1,270 @@
+//! Term dictionary: string/term interning for the store.
+//!
+//! Classic dictionary encoding: every distinct [`Term`] gets a dense
+//! [`NodeId`], every distinct predicate name a dense [`PredicateId`], and the
+//! triple arrays then hold only 12-byte id triples. The dictionary also owns
+//! the string table shared by resource IRIs and string literals.
+
+use kbqa_common::hash::FxHashMap;
+use kbqa_common::interner::Interner;
+use serde::{Deserialize, Serialize};
+
+use crate::term::{Literal, Term};
+use crate::triple::{NodeId, PredicateId};
+
+/// Bidirectional term ⇄ id and predicate ⇄ id mapping.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Dictionary {
+    strings: Interner,
+    terms: Vec<Term>,
+    #[serde(skip)]
+    term_ids: FxHashMap<Term, NodeId>,
+    predicates: Vec<u32>,
+    #[serde(skip)]
+    predicate_ids: FxHashMap<u32, PredicateId>,
+}
+
+impl Dictionary {
+    /// Create an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a resource by its IRI/local name.
+    pub fn resource(&mut self, iri: &str) -> NodeId {
+        let sym = self.strings.intern(iri);
+        self.term(Term::Resource(sym))
+    }
+
+    /// Intern a string literal.
+    pub fn str_literal(&mut self, value: &str) -> NodeId {
+        let sym = self.strings.intern(value);
+        self.term(Term::Literal(Literal::Str(sym)))
+    }
+
+    /// Intern an integer literal.
+    pub fn int_literal(&mut self, value: i64) -> NodeId {
+        self.term(Term::Literal(Literal::Int(value)))
+    }
+
+    /// Intern a year literal.
+    pub fn year_literal(&mut self, year: i32) -> NodeId {
+        self.term(Term::Literal(Literal::Year(year)))
+    }
+
+    /// Intern an arbitrary term.
+    pub fn term(&mut self, term: Term) -> NodeId {
+        if let Some(&id) = self.term_ids.get(&term) {
+            return id;
+        }
+        let id = NodeId::new(u32::try_from(self.terms.len()).expect("node id overflow"));
+        self.terms.push(term);
+        self.term_ids.insert(term, id);
+        id
+    }
+
+    /// Intern a predicate name.
+    pub fn predicate(&mut self, name: &str) -> PredicateId {
+        let sym = self.strings.intern(name);
+        if let Some(&id) = self.predicate_ids.get(&sym) {
+            return id;
+        }
+        let id =
+            PredicateId::new(u32::try_from(self.predicates.len()).expect("predicate overflow"));
+        self.predicates.push(sym);
+        self.predicate_ids.insert(sym, id);
+        id
+    }
+
+    /// Look up a resource id without interning.
+    pub fn find_resource(&self, iri: &str) -> Option<NodeId> {
+        let sym = self.strings.get(iri)?;
+        self.term_ids.get(&Term::Resource(sym)).copied()
+    }
+
+    /// Look up a string-literal node without interning.
+    pub fn find_str_literal(&self, value: &str) -> Option<NodeId> {
+        let sym = self.strings.get(value)?;
+        self.term_ids.get(&Term::Literal(Literal::Str(sym))).copied()
+    }
+
+    /// Look up an arbitrary term without interning.
+    pub fn find_term(&self, term: Term) -> Option<NodeId> {
+        self.term_ids.get(&term).copied()
+    }
+
+    /// Look up a predicate id by name without interning.
+    pub fn find_predicate(&self, name: &str) -> Option<PredicateId> {
+        let sym = self.strings.get(name)?;
+        self.predicate_ids.get(&sym).copied()
+    }
+
+    /// The term behind a node id.
+    pub fn node_term(&self, id: NodeId) -> Term {
+        self.terms[id.index()]
+    }
+
+    /// The name of a predicate id.
+    pub fn predicate_name(&self, id: PredicateId) -> &str {
+        self.strings.resolve(self.predicates[id.index()])
+    }
+
+    /// Render a node's surface form: literals render their value; resources
+    /// render their IRI (callers wanting the *human* name of an entity must
+    /// go through the store's name index, since names are graph edges).
+    pub fn render(&self, id: NodeId) -> String {
+        match self.node_term(id) {
+            Term::Resource(sym) => self.strings.resolve(sym).to_owned(),
+            Term::Literal(Literal::Str(sym)) => self.strings.resolve(sym).to_owned(),
+            Term::Literal(Literal::Int(v)) => v.to_string(),
+            Term::Literal(Literal::Year(y)) => y.to_string(),
+        }
+    }
+
+    /// Borrowed fast path of [`render`](Self::render) for textual nodes.
+    pub fn render_str(&self, id: NodeId) -> Option<&str> {
+        match self.node_term(id) {
+            Term::Resource(sym) | Term::Literal(Literal::Str(sym)) => {
+                Some(self.strings.resolve(sym))
+            }
+            _ => None,
+        }
+    }
+
+    /// Number of distinct nodes.
+    pub fn node_count(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Number of distinct predicates.
+    pub fn predicate_count(&self) -> usize {
+        self.predicates.len()
+    }
+
+    /// Iterate all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.terms.len()).map(|i| NodeId::new(i as u32))
+    }
+
+    /// Iterate all predicate ids.
+    pub fn predicates(&self) -> impl Iterator<Item = PredicateId> + '_ {
+        (0..self.predicates.len()).map(|i| PredicateId::new(i as u32))
+    }
+
+    /// Rebuild derived lookup maps after deserialization.
+    pub fn rebuild_index(&mut self) {
+        self.strings.rebuild_index();
+        self.term_ids = self
+            .terms
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (t, NodeId::new(i as u32)))
+            .collect();
+        self.predicate_ids = self
+            .predicates
+            .iter()
+            .enumerate()
+            .map(|(i, &sym)| (sym, PredicateId::new(i as u32)))
+            .collect();
+    }
+
+    /// Access the shared string interner (for tokenizer reuse).
+    pub fn strings(&self) -> &Interner {
+        &self.strings
+    }
+
+    /// Mutable access to the shared string interner.
+    pub fn strings_mut(&mut self) -> &mut Interner {
+        &mut self.strings
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_across_kinds() {
+        let mut dict = Dictionary::new();
+        let a = dict.resource("barack_obama");
+        let b = dict.resource("barack_obama");
+        assert_eq!(a, b);
+
+        // A resource and a string literal with the same spelling are
+        // *different* nodes.
+        let lit = dict.str_literal("barack_obama");
+        assert_ne!(a, lit);
+    }
+
+    #[test]
+    fn literal_kinds_do_not_collide() {
+        let mut dict = Dictionary::new();
+        let int_node = dict.int_literal(1961);
+        let year_node = dict.year_literal(1961);
+        assert_ne!(int_node, year_node);
+        assert_eq!(dict.render(int_node), "1961");
+        assert_eq!(dict.render(year_node), "1961");
+    }
+
+    #[test]
+    fn predicate_interning() {
+        let mut dict = Dictionary::new();
+        let p1 = dict.predicate("population");
+        let p2 = dict.predicate("population");
+        let p3 = dict.predicate("dob");
+        assert_eq!(p1, p2);
+        assert_ne!(p1, p3);
+        assert_eq!(dict.predicate_name(p1), "population");
+        assert_eq!(dict.find_predicate("dob"), Some(p3));
+        assert_eq!(dict.find_predicate("missing"), None);
+    }
+
+    #[test]
+    fn find_does_not_intern() {
+        let dict = Dictionary::new();
+        assert_eq!(dict.find_resource("nobody"), None);
+        assert_eq!(dict.find_str_literal("nothing"), None);
+    }
+
+    #[test]
+    fn render_produces_surface_forms() {
+        let mut dict = Dictionary::new();
+        let r = dict.resource("honolulu");
+        let s = dict.str_literal("Honolulu");
+        let i = dict.int_literal(390_000);
+        assert_eq!(dict.render(r), "honolulu");
+        assert_eq!(dict.render(s), "Honolulu");
+        assert_eq!(dict.render(i), "390000");
+        assert_eq!(dict.render_str(r), Some("honolulu"));
+        assert_eq!(dict.render_str(i), None);
+    }
+
+    #[test]
+    fn rebuild_index_restores_lookups() {
+        let mut dict = Dictionary::new();
+        let r = dict.resource("fudan");
+        let p = dict.predicate("founded");
+        let mut stripped = Dictionary {
+            strings: dict.strings.clone(),
+            terms: dict.terms.clone(),
+            term_ids: Default::default(),
+            predicates: dict.predicates.clone(),
+            predicate_ids: Default::default(),
+        };
+        stripped.rebuild_index();
+        assert_eq!(stripped.find_resource("fudan"), Some(r));
+        assert_eq!(stripped.find_predicate("founded"), Some(p));
+    }
+
+    #[test]
+    fn node_and_predicate_iteration_is_dense() {
+        let mut dict = Dictionary::new();
+        dict.resource("a");
+        dict.resource("b");
+        dict.predicate("p");
+        assert_eq!(dict.nodes().count(), 2);
+        assert_eq!(dict.predicates().count(), 1);
+        assert_eq!(dict.node_count(), 2);
+        assert_eq!(dict.predicate_count(), 1);
+    }
+}

@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+
+//! RDF triple-store substrate for the KBQA reproduction.
+//!
+//! The paper runs over Trinity.RDF with KBA/Freebase/DBpedia behind it; this
+//! crate provides the equivalent surface the KBQA algorithms actually touch:
+//!
+//! * a dictionary-encoded store of `(s, p, o)` triples ([`store::TripleStore`]),
+//! * point and range lookups through four sorted indexes (SPO/SOP/POS/OPS),
+//! * a sequential [`scan`](store::TripleStore::scan) over all triples in
+//!   insertion order — the stand-in for the disk scans that Sec 6.2's
+//!   memory-efficient BFS is built around,
+//! * N-Triples-style [`ntriples::import`]/[`ntriples::export`] for dump
+//!   interchange,
+//! * conjunctive basic-graph-pattern queries ([`query::evaluate`]) — the
+//!   "answer can be trivially found from the RDF knowledge base" step,
+//! * multi-edge path traversal for *expanded predicates*
+//!   ([`path::ExpandedPredicate`], Definition 1 in the paper),
+//! * a name index so questions can be grounded to entities by surface string
+//!   (`P(e|q)` needs "is it an entity's name in the knowledge base?").
+//!
+//! Layout follows the usual column-store recipe: terms are interned to dense
+//! `u32` ids once, and every index is a sorted `Vec<Triple>` queried by
+//! binary-searched ranges, which keeps the store compact and scan-friendly.
+
+pub mod builder;
+pub mod dictionary;
+pub mod ntriples;
+pub mod path;
+pub mod query;
+pub mod stats;
+pub mod store;
+pub mod term;
+pub mod triple;
+
+pub use builder::GraphBuilder;
+pub use dictionary::Dictionary;
+pub use path::ExpandedPredicate;
+pub use stats::StoreStats;
+pub use store::TripleStore;
+pub use term::{Literal, Term};
+pub use triple::{NodeId, PredicateId, Triple};

@@ -1,0 +1,348 @@
+//! Basic graph pattern (BGP) queries.
+//!
+//! The paper evaluates structured queries over Trinity.RDF; once KBQA picks
+//! a predicate, *"the answer can be trivially found from the RDF knowledge
+//! base"* (Sec 7.3.1). This module supplies that query surface: conjunctive
+//! triple patterns with named variables, evaluated by iterative binding
+//! extension (index-backed, most-selective-first ordering).
+//!
+//! ```
+//! use kbqa_rdf::{GraphBuilder, query::{Pattern, PatternTerm, evaluate}};
+//! let mut b = GraphBuilder::new();
+//! let obama = b.resource("obama");
+//! let honolulu = b.resource("honolulu");
+//! b.link(obama, "pob", honolulu);
+//! b.fact_int(honolulu, "population", 390000);
+//! let store = b.build();
+//!
+//! // SELECT ?pop WHERE { obama pob ?city . ?city population ?pop }
+//! let pob = store.dict().find_predicate("pob").unwrap();
+//! let population = store.dict().find_predicate("population").unwrap();
+//! let rows = evaluate(&store, &[
+//!     Pattern::new(PatternTerm::Node(obama), pob, PatternTerm::Var("city")),
+//!     Pattern::new(PatternTerm::Var("city"), population, PatternTerm::Var("pop")),
+//! ]);
+//! assert_eq!(rows.len(), 1);
+//! let pop = rows[0].get("pop").unwrap();
+//! assert_eq!(store.dict().render(pop), "390000");
+//! ```
+
+use kbqa_common::hash::FxHashMap;
+
+use crate::store::TripleStore;
+use crate::triple::{NodeId, PredicateId};
+
+/// A subject/object position in a pattern: a constant node or a variable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PatternTerm<'a> {
+    /// A bound constant.
+    Node(NodeId),
+    /// A named variable.
+    Var(&'a str),
+}
+
+/// One triple pattern; the predicate must be constant (KBQA's queries always
+/// know the predicate — it is what the model infers).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Pattern<'a> {
+    /// Subject position.
+    pub s: PatternTerm<'a>,
+    /// Predicate (constant).
+    pub p: PredicateId,
+    /// Object position.
+    pub o: PatternTerm<'a>,
+}
+
+impl<'a> Pattern<'a> {
+    /// Construct a pattern.
+    pub fn new(s: PatternTerm<'a>, p: PredicateId, o: PatternTerm<'a>) -> Self {
+        Self { s, p, o }
+    }
+}
+
+/// A row of variable bindings.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Bindings<'a> {
+    map: FxHashMap<&'a str, NodeId>,
+}
+
+impl<'a> Bindings<'a> {
+    /// Value bound to a variable.
+    pub fn get(&self, var: &str) -> Option<NodeId> {
+        self.map.get(var).copied()
+    }
+
+    /// Number of bound variables.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no variable is bound.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterate `(variable, node)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&'a str, NodeId)> + '_ {
+        self.map.iter().map(|(&k, &v)| (k, v))
+    }
+}
+
+/// Resolve a pattern term under current bindings.
+fn resolve<'a>(term: PatternTerm<'a>, bindings: &Bindings<'a>) -> PatternTerm<'a> {
+    match term {
+        PatternTerm::Var(v) => bindings
+            .get(v)
+            .map(PatternTerm::Node)
+            .unwrap_or(term),
+        node => node,
+    }
+}
+
+/// Rough selectivity of a pattern under current bindings (lower = earlier).
+fn selectivity(store: &TripleStore, pattern: &Pattern<'_>, bindings: &Bindings<'_>) -> usize {
+    match (resolve(pattern.s, bindings), resolve(pattern.o, bindings)) {
+        (PatternTerm::Node(s), PatternTerm::Node(_)) => {
+            store.object_count(s, pattern.p).min(1)
+        }
+        (PatternTerm::Node(s), PatternTerm::Var(_)) => store.object_count(s, pattern.p),
+        (PatternTerm::Var(_), PatternTerm::Node(o)) => {
+            store.subjects(pattern.p, o).count()
+        }
+        (PatternTerm::Var(_), PatternTerm::Var(_)) => {
+            store.triples_for_predicate(pattern.p).len()
+        }
+    }
+}
+
+/// Evaluate a conjunction of patterns; returns all variable-binding rows.
+///
+/// Order-insensitive: patterns are re-ordered greedily by selectivity as
+/// bindings accumulate (the textbook index-nested-loop strategy).
+pub fn evaluate<'a>(store: &TripleStore, patterns: &[Pattern<'a>]) -> Vec<Bindings<'a>> {
+    let mut rows = vec![Bindings::default()];
+    let mut remaining: Vec<Pattern<'a>> = patterns.to_vec();
+    while !remaining.is_empty() {
+        if rows.is_empty() {
+            return rows;
+        }
+        // Pick the most selective pattern under the first row's bindings
+        // (all rows bind the same variable set, so any row works).
+        let probe = &rows[0];
+        let (idx, _) = remaining
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, p)| selectivity(store, p, probe))
+            .expect("non-empty remaining");
+        let pattern = remaining.swap_remove(idx);
+
+        let mut next: Vec<Bindings<'a>> = Vec::new();
+        for row in &rows {
+            extend_row(store, &pattern, row, &mut next);
+        }
+        rows = next;
+    }
+    rows
+}
+
+/// Extend one binding row with all matches of `pattern`.
+fn extend_row<'a>(
+    store: &TripleStore,
+    pattern: &Pattern<'a>,
+    row: &Bindings<'a>,
+    out: &mut Vec<Bindings<'a>>,
+) {
+    let s = resolve(pattern.s, row);
+    let o = resolve(pattern.o, row);
+    match (s, o) {
+        (PatternTerm::Node(s), PatternTerm::Node(o)) => {
+            if store.contains(s, pattern.p, o) {
+                out.push(row.clone());
+            }
+        }
+        (PatternTerm::Node(s), PatternTerm::Var(var)) => {
+            for object in store.objects(s, pattern.p) {
+                let mut extended = row.clone();
+                extended.map.insert(var, object);
+                out.push(extended);
+            }
+        }
+        (PatternTerm::Var(var), PatternTerm::Node(o)) => {
+            for subject in store.subjects(pattern.p, o) {
+                let mut extended = row.clone();
+                extended.map.insert(var, subject);
+                out.push(extended);
+            }
+        }
+        (PatternTerm::Var(sv), PatternTerm::Var(ov)) => {
+            if sv == ov {
+                // ?x p ?x — self loops only.
+                for t in store.triples_for_predicate(pattern.p) {
+                    if t.s == t.o {
+                        let mut extended = row.clone();
+                        extended.map.insert(sv, t.s);
+                        out.push(extended);
+                    }
+                }
+            } else {
+                for t in store.triples_for_predicate(pattern.p) {
+                    let mut extended = row.clone();
+                    extended.map.insert(sv, t.s);
+                    extended.map.insert(ov, t.o);
+                    out.push(extended);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn family_store() -> (TripleStore, NodeId, NodeId, NodeId) {
+        let mut b = GraphBuilder::new();
+        let obama = b.resource("obama");
+        let marriage = b.resource("m1");
+        let michelle = b.resource("michelle");
+        let honolulu = b.resource("honolulu");
+        b.name(obama, "Barack Obama");
+        b.name(michelle, "Michelle Obama");
+        b.link(obama, "marriage", marriage);
+        b.link(marriage, "person", michelle);
+        b.link(obama, "pob", honolulu);
+        b.fact_int(honolulu, "population", 390_000);
+        b.fact_year(michelle, "dob", 1964);
+        (b.build(), obama, michelle, honolulu)
+    }
+
+    #[test]
+    fn single_pattern_object_variable() {
+        let (store, obama, _, honolulu) = family_store();
+        let pob = store.dict().find_predicate("pob").unwrap();
+        let rows = evaluate(
+            &store,
+            &[Pattern::new(
+                PatternTerm::Node(obama),
+                pob,
+                PatternTerm::Var("where"),
+            )],
+        );
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get("where"), Some(honolulu));
+        assert_eq!(rows[0].len(), 1);
+    }
+
+    #[test]
+    fn chained_join_through_shared_variable() {
+        // The paper's spouse-dob chain as a BGP:
+        // obama marriage ?m . ?m person ?spouse . ?spouse dob ?year
+        let (store, obama, michelle, _) = family_store();
+        let p = |n: &str| store.dict().find_predicate(n).unwrap();
+        let rows = evaluate(
+            &store,
+            &[
+                Pattern::new(PatternTerm::Node(obama), p("marriage"), PatternTerm::Var("m")),
+                Pattern::new(PatternTerm::Var("m"), p("person"), PatternTerm::Var("spouse")),
+                Pattern::new(PatternTerm::Var("spouse"), p("dob"), PatternTerm::Var("year")),
+            ],
+        );
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get("spouse"), Some(michelle));
+        assert_eq!(store.dict().render(rows[0].get("year").unwrap()), "1964");
+    }
+
+    #[test]
+    fn subject_variable_reverse_lookup() {
+        let (store, obama, _, honolulu) = family_store();
+        let pob = store.dict().find_predicate("pob").unwrap();
+        let rows = evaluate(
+            &store,
+            &[Pattern::new(
+                PatternTerm::Var("who"),
+                pob,
+                PatternTerm::Node(honolulu),
+            )],
+        );
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get("who"), Some(obama));
+    }
+
+    #[test]
+    fn unsatisfiable_conjunction_is_empty() {
+        let (store, obama, michelle, _) = family_store();
+        let pob = store.dict().find_predicate("pob").unwrap();
+        let rows = evaluate(
+            &store,
+            &[Pattern::new(
+                PatternTerm::Node(michelle),
+                pob,
+                PatternTerm::Node(obama),
+            )],
+        );
+        assert!(rows.is_empty());
+    }
+
+    #[test]
+    fn both_variables_enumerates_predicate_extent() {
+        let (store, ..) = family_store();
+        let name = store.dict().find_predicate("name").unwrap();
+        let rows = evaluate(
+            &store,
+            &[Pattern::new(
+                PatternTerm::Var("e"),
+                name,
+                PatternTerm::Var("n"),
+            )],
+        );
+        assert_eq!(rows.len(), 2); // two named entities
+        for row in &rows {
+            assert!(row.get("e").is_some() && row.get("n").is_some());
+        }
+    }
+
+    #[test]
+    fn pattern_order_does_not_matter() {
+        let (store, obama, ..) = family_store();
+        let p = |n: &str| store.dict().find_predicate(n).unwrap();
+        let forward = [
+            Pattern::new(PatternTerm::Node(obama), p("marriage"), PatternTerm::Var("m")),
+            Pattern::new(PatternTerm::Var("m"), p("person"), PatternTerm::Var("s")),
+        ];
+        let backward = [forward[1], forward[0]];
+        let a = evaluate(&store, &forward);
+        let b = evaluate(&store, &backward);
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0].get("s"), b[0].get("s"));
+    }
+
+    #[test]
+    fn empty_pattern_list_yields_one_empty_row() {
+        let (store, ..) = family_store();
+        let rows = evaluate(&store, &[]);
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].is_empty());
+    }
+
+    #[test]
+    fn repeated_variable_requires_self_loop() {
+        let mut b = GraphBuilder::new();
+        let a = b.resource("a");
+        let c = b.resource("c");
+        b.link(a, "knows", c);
+        b.link(a, "knows", a); // self-loop
+        let store = b.build();
+        let knows = store.dict().find_predicate("knows").unwrap();
+        let rows = evaluate(
+            &store,
+            &[Pattern::new(
+                PatternTerm::Var("x"),
+                knows,
+                PatternTerm::Var("x"),
+            )],
+        );
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get("x"), Some(a));
+    }
+}

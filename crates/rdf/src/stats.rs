@@ -1,0 +1,114 @@
+//! Store statistics for the experiment harness.
+//!
+//! The paper reports its knowledge bases by entity/triple/predicate/category
+//! counts (Sec 7.1); the harness prints the same shape for our generated
+//! worlds so EXPERIMENTS.md can record the substrate scale next to each
+//! result.
+
+use serde::{Deserialize, Serialize};
+
+use crate::store::TripleStore;
+use crate::term::Term;
+
+/// Aggregate statistics of a [`TripleStore`].
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoreStats {
+    /// Distinct graph nodes of any kind.
+    pub nodes: usize,
+    /// Distinct resource (entity/CVT) nodes.
+    pub resources: usize,
+    /// Distinct literal nodes.
+    pub literals: usize,
+    /// Stored triples (deduplicated).
+    pub triples: usize,
+    /// Distinct predicates.
+    pub predicates: usize,
+    /// Distinct category values (objects of `category` edges).
+    pub categories: usize,
+    /// Distinct surface names in the name index.
+    pub names: usize,
+}
+
+impl StoreStats {
+    /// Compute statistics for a store.
+    pub fn of(store: &TripleStore) -> Self {
+        let dict = store.dict();
+        let mut resources = 0usize;
+        let mut literals = 0usize;
+        for node in dict.nodes() {
+            match dict.node_term(node) {
+                Term::Resource(_) => resources += 1,
+                Term::Literal(_) => literals += 1,
+            }
+        }
+        let categories = dict
+            .find_predicate(crate::builder::CATEGORY_PREDICATE)
+            .map(|cat| {
+                let mut values: Vec<_> = store
+                    .triples_for_predicate(cat)
+                    .iter()
+                    .map(|t| t.o)
+                    .collect();
+                values.sort_unstable();
+                values.dedup();
+                values.len()
+            })
+            .unwrap_or(0);
+        Self {
+            nodes: dict.node_count(),
+            resources,
+            literals,
+            triples: store.len(),
+            predicates: dict.predicate_count(),
+            categories,
+            names: store.name_entries().count(),
+        }
+    }
+}
+
+impl std::fmt::Display for StoreStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} triples, {} nodes ({} resources, {} literals), {} predicates, {} categories, {} names",
+            self.triples, self.nodes, self.resources, self.literals, self.predicates,
+            self.categories, self.names
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    #[test]
+    fn stats_count_correctly() {
+        let mut b = GraphBuilder::new();
+        let city = b.resource("res/springfield");
+        b.name(city, "Springfield");
+        b.fact_int(city, "population", 116_000);
+        b.fact_str(city, "category", "City");
+        let store = b.build();
+        let stats = StoreStats::of(&store);
+        assert_eq!(stats.triples, 3);
+        assert_eq!(stats.resources, 1);
+        // literals: name string, population int, category string.
+        assert_eq!(stats.literals, 3);
+        assert_eq!(stats.categories, 1);
+        assert_eq!(stats.names, 1);
+        // name + alias (pre-registered) + population + category.
+        assert_eq!(stats.predicates, 4);
+        let rendered = stats.to_string();
+        assert!(rendered.contains("3 triples"));
+    }
+
+    #[test]
+    fn empty_store_stats() {
+        let store = GraphBuilder::new().build();
+        let stats = StoreStats::of(&store);
+        assert_eq!(stats.triples, 0);
+        assert_eq!(stats.nodes, 0);
+        assert_eq!(stats.categories, 0);
+    }
+}

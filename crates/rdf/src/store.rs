@@ -1,0 +1,429 @@
+//! The triple store: sorted-array indexes over dictionary-encoded triples.
+//!
+//! Four index orders cover every access pattern KBQA issues:
+//!
+//! | index | sorted by | answers |
+//! |-------|-----------|---------|
+//! | SPO   | (s, p, o) | `V(e, p)` value lookups (Eq 6), out-edges |
+//! | SOP   | (s, o, p) | "which predicates connect e and v?" (Eq 8) |
+//! | POS   | (p, o, s) | per-predicate extents, reverse lookups |
+//! | OPS   | (o, p, s) | in-edges, value→entity grounding |
+//!
+//! Additionally, the store keeps the original insertion order (`log`) and
+//! exposes it via [`TripleStore::scan`]: the predicate-expansion BFS of
+//! Sec 6.2 is defined in terms of *sequential scans over the on-disk triple
+//! file* joined against an in-memory frontier, and the harness counts scan
+//! passes through this API to validate the O(k·|K|) claim.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use kbqa_common::hash::FxHashMap;
+use serde::{Deserialize, Serialize};
+
+use crate::dictionary::Dictionary;
+use crate::term::Term;
+use crate::triple::{NodeId, PredicateId, Triple};
+
+/// An immutable, fully indexed RDF store. Construct via
+/// [`crate::GraphBuilder`].
+#[derive(Debug, Serialize, Deserialize)]
+pub struct TripleStore {
+    dict: Dictionary,
+    /// Insertion ("disk") order.
+    log: Vec<Triple>,
+    spo: Vec<Triple>,
+    sop: Vec<Triple>,
+    pos: Vec<Triple>,
+    ops: Vec<Triple>,
+    /// Predicates whose objects are treated as human-readable names
+    /// (`name`, `alias`, …) for entity grounding.
+    name_predicates: Vec<PredicateId>,
+    /// Lowercased surface name → resource nodes bearing it.
+    name_index: FxHashMap<String, Vec<NodeId>>,
+    /// Scan-pass telemetry (not persisted; diagnostic only).
+    #[serde(skip)]
+    scan_passes: AtomicU64,
+}
+
+impl TripleStore {
+    /// Build a store from interned triples. Deduplicates; `name_predicates`
+    /// drive the entity-name index.
+    pub(crate) fn build(
+        dict: Dictionary,
+        mut triples: Vec<Triple>,
+        name_predicates: Vec<PredicateId>,
+    ) -> Self {
+        // Deduplicate while preserving first-seen ("disk") order.
+        let mut seen = kbqa_common::hash::FxHashSet::default();
+        triples.retain(|t| seen.insert(*t));
+
+        let log = triples;
+        let mut spo = log.clone();
+        spo.sort_unstable_by_key(Triple::spo_key);
+        let mut sop = log.clone();
+        sop.sort_unstable_by_key(Triple::sop_key);
+        let mut pos = log.clone();
+        pos.sort_unstable_by_key(Triple::pos_key);
+        let mut ops = log.clone();
+        ops.sort_unstable_by_key(Triple::ops_key);
+
+        let mut store = Self {
+            dict,
+            log,
+            spo,
+            sop,
+            pos,
+            ops,
+            name_predicates,
+            name_index: FxHashMap::default(),
+            scan_passes: AtomicU64::new(0),
+        };
+        store.build_name_index();
+        store
+    }
+
+    fn build_name_index(&mut self) {
+        let mut index: FxHashMap<String, Vec<NodeId>> = FxHashMap::default();
+        for &p in &self.name_predicates {
+            for t in self.triples_for_predicate(p) {
+                if let Some(name) = self.dict.render_str(t.o) {
+                    let key = name.to_lowercase();
+                    let nodes = index.entry(key).or_default();
+                    if !nodes.contains(&t.s) {
+                        nodes.push(t.s);
+                    }
+                }
+            }
+        }
+        self.name_index = index;
+    }
+
+    /// The dictionary backing this store.
+    pub fn dict(&self) -> &Dictionary {
+        &self.dict
+    }
+
+    /// Total number of stored (distinct) triples.
+    pub fn len(&self) -> usize {
+        self.log.len()
+    }
+
+    /// Whether the store holds no triples.
+    pub fn is_empty(&self) -> bool {
+        self.log.is_empty()
+    }
+
+    /// Sequential scan in insertion order — the "read the KB file once"
+    /// primitive of Sec 6.2. Each call counts as one scan pass.
+    pub fn scan(&self) -> &[Triple] {
+        self.scan_passes.fetch_add(1, Ordering::Relaxed);
+        &self.log
+    }
+
+    /// How many full scans have been issued (telemetry for the expansion
+    /// harness).
+    pub fn scan_passes(&self) -> u64 {
+        self.scan_passes.load(Ordering::Relaxed)
+    }
+
+    /// All triples with subject `s` (SPO range).
+    pub fn out_edges(&self, s: NodeId) -> &[Triple] {
+        range_by(&self.spo, |t| t.s.cmp(&s))
+    }
+
+    /// All triples with object `o` (OPS range).
+    pub fn in_edges(&self, o: NodeId) -> &[Triple] {
+        range_by(&self.ops, |t| t.o.cmp(&o))
+    }
+
+    /// All triples with predicate `p` (POS range).
+    pub fn triples_for_predicate(&self, p: PredicateId) -> &[Triple] {
+        range_by(&self.pos, |t| t.p.cmp(&p))
+    }
+
+    /// `V(e, p)` — objects reachable from `s` via `p` (paper Table 2).
+    pub fn objects(&self, s: NodeId, p: PredicateId) -> impl Iterator<Item = NodeId> + '_ {
+        range_by(&self.spo, move |t| (t.s, t.p).cmp(&(s, p)))
+            .iter()
+            .map(|t| t.o)
+    }
+
+    /// `|V(e, p)|` without materializing, for `P(v|e,p)` (Eq 6).
+    pub fn object_count(&self, s: NodeId, p: PredicateId) -> usize {
+        range_by(&self.spo, move |t| (t.s, t.p).cmp(&(s, p))).len()
+    }
+
+    /// Subjects `s` with `(s, p, o)` in the store.
+    pub fn subjects(&self, p: PredicateId, o: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        range_by(&self.pos, move |t| (t.p, t.o).cmp(&(p, o)))
+            .iter()
+            .map(|t| t.s)
+    }
+
+    /// Predicates directly connecting `s` to `o` — the Eq (8) probe
+    /// `∃p, (e, p, v) ∈ K`.
+    pub fn predicates_between(
+        &self,
+        s: NodeId,
+        o: NodeId,
+    ) -> impl Iterator<Item = PredicateId> + '_ {
+        range_by(&self.sop, move |t| (t.s, t.o).cmp(&(s, o)))
+            .iter()
+            .map(|t| t.p)
+    }
+
+    /// Membership test.
+    pub fn contains(&self, s: NodeId, p: PredicateId, o: NodeId) -> bool {
+        self.spo
+            .binary_search_by(|t| t.spo_key().cmp(&(s, p, o)))
+            .is_ok()
+    }
+
+    /// The configured name predicates.
+    pub fn name_predicates(&self) -> &[PredicateId] {
+        &self.name_predicates
+    }
+
+    /// Resources whose name matches `name` case-insensitively — the KB-side
+    /// check of the paper's entity identification ("is it an entity's name in
+    /// the knowledge base?").
+    pub fn entities_named(&self, name: &str) -> &[NodeId] {
+        // Fast path: already lowercase (tokenizer output), no allocation.
+        if name.chars().all(|c| !c.is_uppercase()) {
+            return self
+                .name_index
+                .get(name)
+                .map(Vec::as_slice)
+                .unwrap_or(&[]);
+        }
+        self.name_index
+            .get(&name.to_lowercase())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// All names of a resource (objects of its name-predicate edges).
+    pub fn names_of(&self, node: NodeId) -> Vec<&str> {
+        let mut names = Vec::new();
+        for &p in &self.name_predicates {
+            for t in range_by(&self.spo, move |t| (t.s, t.p).cmp(&(node, p))) {
+                if let Some(s) = self.dict.render_str(t.o) {
+                    names.push(s);
+                }
+            }
+        }
+        names
+    }
+
+    /// Human-facing surface form: literals render directly; resources render
+    /// their first name, falling back to the IRI.
+    pub fn surface(&self, node: NodeId) -> String {
+        match self.dict.node_term(node) {
+            Term::Literal(_) => self.dict.render(node),
+            Term::Resource(_) => self
+                .names_of(node)
+                .first()
+                .map(|s| (*s).to_owned())
+                .unwrap_or_else(|| self.dict.render(node)),
+        }
+    }
+
+    /// Iterate every distinct `(name, nodes)` pair in the name index
+    /// (gazetteer construction).
+    pub fn name_entries(&self) -> impl Iterator<Item = (&str, &[NodeId])> {
+        self.name_index.iter().map(|(k, v)| (k.as_str(), v.as_slice()))
+    }
+
+    /// Rebuild derived state after deserialization.
+    pub fn rebuild_index(&mut self) {
+        self.dict.rebuild_index();
+        self.build_name_index();
+    }
+}
+
+/// Binary-search the contiguous run of `sorted` where `cmp` returns `Equal`.
+/// `cmp` must be monotone w.r.t. the slice's sort order (compare a prefix of
+/// the sort key against a fixed probe).
+fn range_by<F>(sorted: &[Triple], cmp: F) -> &[Triple]
+where
+    F: Fn(&Triple) -> std::cmp::Ordering,
+{
+    let start = sorted.partition_point(|t| cmp(t) == std::cmp::Ordering::Less);
+    let rest = &sorted[start..];
+    let len = rest.partition_point(|t| cmp(t) == std::cmp::Ordering::Equal);
+    &rest[..len]
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::GraphBuilder;
+    use crate::triple::NodeId;
+
+    /// Build the paper's Fig. 1 toy KB.
+    fn toy_kb() -> (crate::TripleStore, ToyIds) {
+        let mut b = GraphBuilder::new();
+        let obama = b.resource("res/barack_obama");
+        let marriage = b.resource("res/marriage_1");
+        let michelle = b.resource("res/michelle_obama");
+        let honolulu = b.resource("res/honolulu");
+
+        b.name(obama, "Barack Obama");
+        b.name(michelle, "Michelle Obama");
+        b.name(honolulu, "Honolulu");
+
+        b.fact_year(obama, "dob", 1961);
+        b.fact_str(obama, "category", "Person");
+        b.fact_str(obama, "category", "Politician");
+        b.link(obama, "marriage", marriage);
+        b.fact_year(marriage, "date", 1992);
+        b.fact_str(marriage, "category", "Event");
+        b.link(marriage, "person", michelle);
+        b.fact_year(michelle, "dob", 1964);
+        b.fact_str(michelle, "category", "Person");
+        b.link(obama, "pob", honolulu);
+        b.fact_int(honolulu, "population", 390_000);
+        b.fact_str(honolulu, "category", "City");
+
+        let ids = ToyIds {
+            obama,
+            marriage,
+            michelle,
+            honolulu,
+        };
+        (b.build(), ids)
+    }
+
+    struct ToyIds {
+        obama: NodeId,
+        marriage: NodeId,
+        michelle: NodeId,
+        honolulu: NodeId,
+    }
+
+    #[test]
+    fn objects_returns_values() {
+        let (store, ids) = toy_kb();
+        let dob = store.dict().find_predicate("dob").unwrap();
+        let values: Vec<String> = store
+            .objects(ids.obama, dob)
+            .map(|o| store.dict().render(o))
+            .collect();
+        assert_eq!(values, vec!["1961"]);
+        assert_eq!(store.object_count(ids.obama, dob), 1);
+    }
+
+    #[test]
+    fn predicates_between_finds_the_connection() {
+        let (store, ids) = toy_kb();
+        let pop_val = store.dict().find_term(crate::Term::Literal(crate::Literal::Int(390_000)));
+        let preds: Vec<&str> = store
+            .predicates_between(ids.honolulu, pop_val.unwrap())
+            .map(|p| store.dict().predicate_name(p))
+            .collect();
+        assert_eq!(preds, vec!["population"]);
+    }
+
+    #[test]
+    fn no_direct_edge_between_obama_and_michelle_name() {
+        // The "spouse of" intent is a path, not an edge — exactly the gap
+        // predicate expansion closes.
+        let (store, ids) = toy_kb();
+        let michelle_name = store.dict().find_str_literal("Michelle Obama").unwrap();
+        assert_eq!(store.predicates_between(ids.obama, michelle_name).count(), 0);
+    }
+
+    #[test]
+    fn name_grounding_is_case_insensitive() {
+        let (store, ids) = toy_kb();
+        assert_eq!(store.entities_named("barack obama"), &[ids.obama]);
+        assert_eq!(store.entities_named("Barack Obama"), &[ids.obama]);
+        assert_eq!(store.entities_named("BARACK OBAMA"), &[ids.obama]);
+        assert!(store.entities_named("nobody").is_empty());
+    }
+
+    #[test]
+    fn surface_prefers_names_for_resources() {
+        let (store, ids) = toy_kb();
+        assert_eq!(store.surface(ids.michelle), "Michelle Obama");
+        // CVT node has no name; falls back to IRI.
+        assert_eq!(store.surface(ids.marriage), "res/marriage_1");
+    }
+
+    #[test]
+    fn in_and_out_edges() {
+        let (store, ids) = toy_kb();
+        // obama: dob, category x2, marriage, pob, name = 6 out-edges.
+        assert_eq!(store.out_edges(ids.obama).len(), 6);
+        let michelle_in = store.in_edges(ids.michelle);
+        assert_eq!(michelle_in.len(), 1);
+        assert_eq!(michelle_in[0].s, ids.marriage);
+    }
+
+    #[test]
+    fn contains_and_dedup() {
+        let (store, ids) = toy_kb();
+        let dob = store.dict().find_predicate("dob").unwrap();
+        let y1961 = store
+            .dict()
+            .find_term(crate::Term::Literal(crate::Literal::Year(1961)))
+            .unwrap();
+        assert!(store.contains(ids.obama, dob, y1961));
+        assert!(!store.contains(ids.michelle, dob, y1961));
+    }
+
+    #[test]
+    fn duplicate_triples_are_stored_once() {
+        let mut b = GraphBuilder::new();
+        let a = b.resource("a");
+        b.fact_int(a, "x", 1);
+        b.fact_int(a, "x", 1);
+        let store = b.build();
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn scan_counts_passes() {
+        let (store, _) = toy_kb();
+        assert_eq!(store.scan_passes(), 0);
+        let n = store.scan().len();
+        assert_eq!(n, store.len());
+        store.scan();
+        assert_eq!(store.scan_passes(), 2);
+    }
+
+    #[test]
+    fn multi_valued_predicates_enumerate_all_values() {
+        let (store, ids) = toy_kb();
+        let cat = store.dict().find_predicate("category").unwrap();
+        let cats: Vec<String> = store
+            .objects(ids.obama, cat)
+            .map(|o| store.dict().render(o))
+            .collect();
+        assert_eq!(cats.len(), 2);
+        assert!(cats.contains(&"Person".to_owned()));
+        assert!(cats.contains(&"Politician".to_owned()));
+    }
+
+    #[test]
+    fn subjects_reverse_lookup() {
+        let (store, ids) = toy_kb();
+        let cat = store.dict().find_predicate("category").unwrap();
+        let person = store.dict().find_str_literal("Person").unwrap();
+        let people: Vec<NodeId> = store.subjects(cat, person).collect();
+        assert_eq!(people.len(), 2);
+        assert!(people.contains(&ids.obama));
+        assert!(people.contains(&ids.michelle));
+    }
+
+    #[test]
+    fn shared_name_maps_to_multiple_entities() {
+        let mut b = GraphBuilder::new();
+        let springfield_il = b.resource("res/springfield_il");
+        let springfield_ma = b.resource("res/springfield_ma");
+        b.name(springfield_il, "Springfield");
+        b.name(springfield_ma, "Springfield");
+        let store = b.build();
+        let hits = store.entities_named("springfield");
+        assert_eq!(hits.len(), 2);
+    }
+}

@@ -1,0 +1,39 @@
+//! Concept identity.
+
+use kbqa_common::define_id;
+
+define_id!(
+    /// A concept (category) in the isA network, e.g. `city`, `person`,
+    /// `politician`. Dense, assigned by the [`crate::ConceptNetwork`].
+    pub struct ConceptId
+);
+
+/// Render a concept name as a template slot, e.g. `city` → `$city`.
+pub fn slot_form(concept_name: &str) -> String {
+    let mut s = String::with_capacity(concept_name.len() + 1);
+    s.push('$');
+    // Multi-word concepts become underscore-joined slots: `$movie_director`.
+    for part in concept_name.split_whitespace() {
+        if s.len() > 1 {
+            s.push('_');
+        }
+        s.push_str(part);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_form_simple() {
+        assert_eq!(slot_form("city"), "$city");
+        assert_eq!(slot_form("person"), "$person");
+    }
+
+    #[test]
+    fn slot_form_multiword() {
+        assert_eq!(slot_form("movie director"), "$movie_director");
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests for conceptualization: distributions normalize, context
+//! reweighting never invents concepts, and priors are respected in the
+//! no-signal limit.
+
+use proptest::prelude::*;
+
+use kbqa_rdf::NodeId;
+use kbqa_taxonomy::{Conceptualizer, NetworkBuilder};
+
+/// Build a network from (entity, concept, weight) triples plus context
+/// evidence (concept, word, count).
+fn build(
+    memberships: &[(u8, u8, f64)],
+    evidence: &[(u8, String, f64)],
+) -> Conceptualizer {
+    let mut b = NetworkBuilder::new();
+    let concepts: Vec<_> = (0..6).map(|i| b.concept(&format!("c{i}"))).collect();
+    for &(e, c, w) in memberships {
+        b.is_a(NodeId::new(u32::from(e % 8)), concepts[(c % 6) as usize], w.max(1e-6));
+    }
+    for (c, word, count) in evidence {
+        b.context_evidence(concepts[(*c % 6) as usize], word, count.max(1e-6));
+    }
+    Conceptualizer::new(b.build())
+}
+
+proptest! {
+    /// Conceptualization output is a normalized, descending distribution
+    /// over exactly the entity's prior concepts.
+    #[test]
+    fn output_is_a_distribution(
+        memberships in proptest::collection::vec((0u8..8, 0u8..6, 0.01f64..10.0), 1..20),
+        evidence in proptest::collection::vec((0u8..6, "[a-z]{2,6}", 0.1f64..10.0), 0..20),
+        context in proptest::collection::vec("[a-z]{2,6}", 0..6),
+    ) {
+        let conceptualizer = build(&memberships, &evidence);
+        for e in 0..8u32 {
+            let entity = NodeId::new(e);
+            let prior = conceptualizer.prior(entity);
+            let dist = conceptualizer.conceptualize(
+                entity,
+                &context.iter().map(String::as_str).collect::<Vec<_>>(),
+            );
+            prop_assert_eq!(dist.len(), prior.len(), "concept set changed");
+            if !dist.is_empty() {
+                let total: f64 = dist.iter().map(|(_, p)| p).sum();
+                prop_assert!((total - 1.0).abs() < 1e-6, "mass {total}");
+                for w in dist.entries.windows(2) {
+                    prop_assert!(w[0].1 >= w[1].1 - 1e-12);
+                }
+                for (_, p) in dist.iter() {
+                    prop_assert!(p > 0.0, "zero-probability concept survived");
+                }
+            }
+        }
+    }
+
+    /// With no signal-bearing context words, the output equals the prior.
+    #[test]
+    fn no_signal_reduces_to_prior(
+        memberships in proptest::collection::vec((0u8..8, 0u8..6, 0.01f64..10.0), 1..20),
+        evidence in proptest::collection::vec((0u8..6, "[a-z]{2,6}", 0.1f64..10.0), 0..20),
+    ) {
+        let conceptualizer = build(&memberships, &evidence);
+        // Digits never appear in evidence words ([a-z] only).
+        let context = ["123", "456"];
+        for e in 0..8u32 {
+            let entity = NodeId::new(e);
+            let prior = conceptualizer.prior(entity);
+            let dist = conceptualizer.conceptualize(entity, &context);
+            for (c, p) in prior.iter() {
+                prop_assert!((dist.probability(c) - p).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// Context likelihoods are valid probabilities and sensitive to
+    /// observed evidence.
+    #[test]
+    fn context_likelihood_bounds(
+        evidence in proptest::collection::vec((0u8..6, "[a-z]{2,6}", 0.1f64..10.0), 1..20),
+    ) {
+        let conceptualizer = build(&[(0, 0, 1.0)], &evidence);
+        let network = conceptualizer.network();
+        for c in network.concepts() {
+            for (_, word, _) in &evidence {
+                let p = network.context_likelihood(c, word, 0.1);
+                prop_assert!(p > 0.0 && p <= 1.0, "likelihood {p}");
+            }
+        }
+    }
+}

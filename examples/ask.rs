@@ -1,0 +1,128 @@
+//! Interactive QA shell: learn once, then answer questions from stdin.
+//!
+//! ```sh
+//! cargo run --release --example ask
+//! # then type questions; empty line or Ctrl-D exits.
+//! ```
+//!
+//! Type `:entities` to sample askable entity names, `:intents` to list the
+//! world's intents (what the corpus can teach), `:stats <question>` for the
+//! Table 6 uncertainty profile of a question.
+
+use std::io::{self, BufRead, Write};
+
+use kbqa::prelude::*;
+
+fn main() {
+    println!("building world, corpus and model (a few seconds)…");
+    let world = World::generate(WorldConfig::small(42));
+    let corpus = QaCorpus::generate(&world, &CorpusConfig::with_pairs(7, 6_000));
+    let ner = GazetteerNer::from_store(&world.store);
+    let learner = Learner::new(
+        &world.store,
+        &world.conceptualizer,
+        &ner,
+        &world.predicate_classes,
+    );
+    let pairs: Vec<(&str, &str)> = corpus
+        .pairs
+        .iter()
+        .map(|p| (p.question.as_str(), p.answer.as_str()))
+        .collect();
+    let (model, _) = learner.learn(&pairs, &LearnerConfig::default());
+    let index = PatternIndex::build(corpus.pairs.iter().map(|p| p.question.as_str()), &ner);
+    let engine = QaEngine::new(&world.store, &world.conceptualizer, &model)
+        .with_pattern_index(index);
+
+    println!(
+        "ready: {} templates over {} predicates. Ask away (`:entities` for names).\n",
+        model.stats.distinct_templates, model.stats.distinct_predicates
+    );
+
+    let stdin = io::stdin();
+    let mut stdout = io::stdout();
+    loop {
+        print!("? ");
+        stdout.flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+        let question = line.trim();
+        if question.is_empty() {
+            break;
+        }
+        if question == ":entities" {
+            let pop = world.intent_by_name("city_population").unwrap();
+            let names: Vec<String> = world
+                .subjects_of(pop)
+                .iter()
+                .take(8)
+                .map(|&c| world.store.surface(c))
+                .collect();
+            println!("some cities: {}", names.join(", "));
+            let spouse = world.intent_by_name("person_spouse").unwrap();
+            let names: Vec<String> = world
+                .subjects_of(spouse)
+                .iter()
+                .filter(|&&p| !world.gold_values(spouse, p).is_empty())
+                .take(5)
+                .map(|&p| world.store.surface(p))
+                .collect();
+            println!("some married people: {}", names.join(", "));
+            continue;
+        }
+        if question == ":intents" {
+            for intent in &world.intents {
+                println!(
+                    "  {:<20} {} ({})",
+                    intent.name,
+                    intent.path.render(&world.store),
+                    intent.answer_class
+                );
+            }
+            continue;
+        }
+        if let Some(q) = question.strip_prefix(":stats ") {
+            let stats = engine.question_statistics(q);
+            println!(
+                "entities: {}  templates/pair: {:.1}  predicates/template: {:.1}  values/(e,p): {:.1}",
+                stats.entities,
+                stats.templates_per_pair,
+                stats.predicates_per_template,
+                stats.values_per_pair
+            );
+            continue;
+        }
+        let answers = engine.answer_bfq(question);
+        if !answers.is_empty() {
+            for (rank, a) in answers.iter().take(3).enumerate() {
+                println!(
+                    "{}. {}   [entity {}, template “{}”, predicate {}, score {:.4}]",
+                    rank + 1,
+                    a.value,
+                    a.entity,
+                    a.template,
+                    a.predicate,
+                    a.score
+                );
+            }
+        } else if let Some(answer) = QaSystem::answer(&engine, question) {
+            println!(
+                "(via decomposition) {}",
+                answer
+                    .values
+                    .iter()
+                    .take(3)
+                    .map(|(v, _)| v.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+        } else {
+            println!("<no answer — not a BFQ I have a template for>");
+        }
+    }
+    println!("bye");
+}

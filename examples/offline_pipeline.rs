@@ -1,0 +1,113 @@
+//! A guided walk through the offline procedure (paper Fig. 3, bottom half),
+//! printing what each stage produces: expansion records, extracted
+//! entity-value observations, EM convergence, and the final P(p|t) rows.
+//!
+//! ```sh
+//! cargo run --release --example offline_pipeline
+//! ```
+
+use kbqa::core::expansion::{expand, ExpansionConfig};
+use kbqa::core::extraction::{ExtractionConfig, Extractor};
+use kbqa::core::template::TemplateCatalog;
+use kbqa::prelude::*;
+
+fn main() {
+    let world = World::generate(WorldConfig::small(42));
+    let corpus = QaCorpus::generate(&world, &CorpusConfig::with_pairs(7, 4_000));
+    let ner = GazetteerNer::from_store(&world.store);
+
+    // ---- Stage 1: predicate expansion (Sec 6) -------------------------
+    println!("— stage 1: predicate expansion (Sec 6) —");
+    let learner = Learner::new(
+        &world.store,
+        &world.conceptualizer,
+        &ner,
+        &world.predicate_classes,
+    );
+    let sources = learner.question_entities(corpus.pairs.iter().map(|p| p.question.as_str()));
+    println!("  source entities (reduction on s): {}", sources.len());
+    let scan_before = world.store.scan_passes();
+    let expansion = expand(&world.store, &sources, &ExpansionConfig::default());
+    println!(
+        "  scan passes over the triple log: {}",
+        world.store.scan_passes() - scan_before
+    );
+    for (len, count) in expansion.emitted_by_length.iter().enumerate().skip(1) {
+        println!("  emitted (s, p⁺, o) at length {len}: {count}");
+    }
+
+    // ---- Stage 2: entity–value extraction (Sec 4.1) --------------------
+    println!("\n— stage 2: entity–value extraction (Sec 4.1) —");
+    let extractor = Extractor::new(
+        &world.store,
+        &world.conceptualizer,
+        &ner,
+        &expansion,
+        &world.predicate_classes,
+        ExtractionConfig::default(),
+    );
+    let mut templates = TemplateCatalog::new();
+    let observations = extractor.extract_corpus(
+        corpus
+            .pairs
+            .iter()
+            .map(|p| (p.question.as_str(), p.answer.as_str())),
+        &mut templates,
+    );
+    println!(
+        "  {} QA pairs → {} (q, e, v) observations, {} distinct templates",
+        corpus.len(),
+        observations.len(),
+        templates.len()
+    );
+    if let Some(obs) = observations.first() {
+        let pair = &corpus.pairs[obs.pair_index];
+        println!("  example observation:");
+        println!("    question: {:?}", pair.question);
+        println!("    answer:   {:?}", pair.answer);
+        println!(
+            "    entity:   {}   value: {}",
+            world.store.surface(obs.entity),
+            world.store.surface(obs.value)
+        );
+        for &(p, pv) in &obs.predicates {
+            println!(
+                "    candidate predicate: {}  (P(v|e,p) = {pv:.2})",
+                expansion.catalog.render(p, &world.store)
+            );
+        }
+    }
+
+    // ---- Stage 3: EM (Sec 4.2–4.3) --------------------------------------
+    println!("\n— stage 3: EM estimation of P(p|t) (Algorithm 1) —");
+    let (theta, stats) =
+        kbqa::core::em::estimate(&observations, templates.len(), &Default::default());
+    println!(
+        "  converged: {} after {} iterations",
+        stats.converged, stats.iterations
+    );
+    if stats.log_likelihood.len() >= 2 {
+        println!(
+            "  log-likelihood: {:.1} → {:.1}",
+            stats.log_likelihood.first().unwrap(),
+            stats.log_likelihood.last().unwrap()
+        );
+    }
+    println!("\n  sample learned rows (template → argmax predicate):");
+    let mut shown = 0;
+    for (tid, row) in theta.iter() {
+        if row.is_empty() || shown >= 8 {
+            continue;
+        }
+        let (p, prob) = row[0];
+        // Show confident, well-supported rows.
+        if prob > 0.8 {
+            println!(
+                "    {:<55} → {} (θ = {prob:.2})",
+                templates.resolve(tid),
+                expansion.catalog.render(p, &world.store)
+            );
+            shown += 1;
+        }
+    }
+}

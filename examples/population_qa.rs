@@ -1,0 +1,90 @@
+//! The paper's §1 motivating scenario: one *intent* (population), many
+//! phrasings — including ones with zero lexical overlap with the predicate —
+//! answered through learned templates, where keyword and synonym systems
+//! fail.
+//!
+//! ```sh
+//! cargo run --release --example population_qa
+//! ```
+
+use kbqa::prelude::*;
+
+fn main() {
+    let world = World::generate(WorldConfig::small(42));
+    let corpus = QaCorpus::generate(&world, &CorpusConfig::with_pairs(7, 5_000));
+    let ner = GazetteerNer::from_store(&world.store);
+    let learner = Learner::new(
+        &world.store,
+        &world.conceptualizer,
+        &ner,
+        &world.predicate_classes,
+    );
+    let pairs: Vec<(&str, &str)> = corpus
+        .pairs
+        .iter()
+        .map(|p| (p.question.as_str(), p.answer.as_str()))
+        .collect();
+    let (model, expansion) = learner.learn(&pairs, &LearnerConfig::default());
+    let engine = QaEngine::new(&world.store, &world.conceptualizer, &model);
+
+    // Competing systems from the paper's taxonomy of prior work.
+    let rule = RuleBasedQa::new(&world.store);
+    let keyword = KeywordQa::new(&world.store);
+    let docs = kbqa::corpus::docs::declarative_corpus(&world, 40, 99);
+    let (lexicon, _) = kbqa::baselines::learn_boa(
+        &world.store,
+        &ner,
+        &expansion,
+        docs.iter().map(|d| d.text.as_str()),
+    );
+    let synonym = SynonymQa::new(&world.store, &lexicon, &expansion.catalog);
+
+    let intent = world.intent_by_name("city_population").expect("intent");
+    let city = world
+        .subjects_of(intent)
+        .iter()
+        .copied()
+        .find(|&c| !world.gold_values(intent, c).is_empty())
+        .expect("city with population");
+    let name = world.store.surface(city);
+    let gold = world.gold_values(intent, city);
+    println!("city: {name}   gold population: {}\n", gold[0]);
+
+    let phrasings = [
+        format!("what is the population of {name}"), // predicate named → easy
+        format!("how many people are there in {name}"), // paper's case (a)
+        format!("what is the total number of people in {name}"), // case (c)
+        format!("how populous is {name}"),
+        format!("how many residents does {name} have"),
+    ];
+    let systems: Vec<(&str, &dyn QaSystem)> = vec![
+        ("RuleQA", &rule),
+        ("KeywordQA", &keyword),
+        ("SynonymQA", &synonym),
+        ("KBQA", &engine),
+    ];
+
+    println!(
+        "{:<55} {:>10} {:>10} {:>10} {:>10}",
+        "question", "RuleQA", "KeywordQA", "SynonymQA", "KBQA"
+    );
+    for q in &phrasings {
+        print!("{q:<55}");
+        for (_, system) in &systems {
+            let verdict = match system.answer(q) {
+                Some(a) if a.top().map(|v| gold.contains(&v.to_owned())).unwrap_or(false) => "✓",
+                Some(_) => "✗ wrong",
+                None => "— refuse",
+            };
+            print!(" {verdict:>10}");
+        }
+        println!();
+    }
+
+    println!(
+        "\nKBQA's learned mapping: every phrasing above is a distinct template\n\
+         whose P(p|t) concentrates on `population`; rule/keyword/synonym\n\
+         systems only reach the phrasings that mention the predicate (or a\n\
+         declarative-text synonym of it)."
+    );
+}

@@ -1,0 +1,86 @@
+//! Quickstart: build a world, learn the model offline, ask questions online.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use kbqa::prelude::*;
+
+fn main() {
+    // 1. A deterministic world: RDF store + taxonomy + intents, standing in
+    //    for the paper's knowledge base, and a synthetic community-QA corpus
+    //    standing in for Yahoo! Answers.
+    println!("generating world and corpus…");
+    let world = World::generate(WorldConfig::small(42));
+    let corpus = QaCorpus::generate(&world, &CorpusConfig::with_pairs(7, 5_000));
+    println!(
+        "  world: {}\n  corpus: {} QA pairs",
+        kbqa::rdf::StoreStats::of(&world.store),
+        corpus.len()
+    );
+
+    // 2. Offline procedure (paper Fig. 3): predicate expansion → entity-value
+    //    extraction → EM estimation of P(p|t).
+    println!("\nrunning the offline pipeline…");
+    let ner = GazetteerNer::from_store(&world.store);
+    let learner = Learner::new(
+        &world.store,
+        &world.conceptualizer,
+        &ner,
+        &world.predicate_classes,
+    );
+    let pairs: Vec<(&str, &str)> = corpus
+        .pairs
+        .iter()
+        .map(|p| (p.question.as_str(), p.answer.as_str()))
+        .collect();
+    let (model, _expansion) = learner.learn(&pairs, &LearnerConfig::default());
+    let stats = &model.stats;
+    println!(
+        "  {} observations → {} templates over {} predicates ({} EM iterations, {} ms)",
+        stats.observations,
+        stats.distinct_templates,
+        stats.distinct_predicates,
+        stats.em.iterations,
+        stats.offline_millis
+    );
+
+    // 3. Online procedure: probabilistic inference over the learned model.
+    let index = PatternIndex::build(corpus.pairs.iter().map(|p| p.question.as_str()), &ner);
+    let engine = QaEngine::new(&world.store, &world.conceptualizer, &model)
+        .with_pattern_index(index);
+
+    let intent = world.intent_by_name("city_population").expect("intent");
+    let city = world
+        .subjects_of(intent)
+        .iter()
+        .copied()
+        .find(|&c| !world.gold_values(intent, c).is_empty())
+        .expect("city with a population fact");
+    let city_name = world.store.surface(city);
+
+    println!("\nasking about {city_name}:");
+    for question in [
+        format!("how many people are there in {city_name}"),
+        format!("what is the population of {city_name}"),
+        format!("what is the total number of people in {city_name}"),
+    ] {
+        match engine.answer_bfq(&question) {
+            answers if !answers.is_empty() => {
+                let a = &answers[0];
+                println!(
+                    "  Q: {question}\n  A: {} (template “{}” → predicate “{}”, score {:.4})",
+                    a.value, a.template, a.predicate, a.score
+                );
+            }
+            _ => println!("  Q: {question}\n  A: <no answer>"),
+        }
+    }
+
+    // Refusal on non-factoid input — precision over recall.
+    let off_topic = "why is the sky blue";
+    match QaSystem::answer(&engine, off_topic) {
+        Some(_) => println!("\n  Q: {off_topic}\n  A: (unexpected)"),
+        None => println!("\n  Q: {off_topic}\n  A: <refused — not a BFQ>"),
+    }
+}

@@ -1,0 +1,88 @@
+#![warn(missing_docs)]
+
+//! # kbqa — template-learning question answering over QA corpora and KBs
+//!
+//! A from-scratch Rust reproduction of **Cui, Xiao, Wang, Song, Hwang, Wang:
+//! "KBQA: Learning Question Answering over QA Corpora and Knowledge Bases",
+//! VLDB 2017** — the system that learns question *templates* (27M of them in
+//! the paper) from a community-QA corpus and maps them probabilistically to
+//! knowledge-base predicates, including multi-edge *expanded predicates*
+//! like `marriage→person→name`, then answers binary factoid questions and
+//! complex question chains over an RDF store.
+//!
+//! This crate is a facade re-exporting the workspace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`common`] | `kbqa-common` | ids, hashing, interning, numeric utilities |
+//! | [`rdf`] | `kbqa-rdf` | dictionary-encoded triple store, path traversal |
+//! | [`taxonomy`] | `kbqa-taxonomy` | Probase-like isA network, conceptualization |
+//! | [`nlp`] | `kbqa-nlp` | tokenizer, NER, UIUC question classification |
+//! | [`corpus`] | `kbqa-corpus` | synthetic worlds, QA corpora, benchmarks |
+//! | [`core`] | `kbqa-core` | templates, EM, online engine, decomposition, expansion |
+//! | [`baselines`] | `kbqa-baselines` | rule/keyword/synonym systems, BOA bootstrapping |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use kbqa::prelude::*;
+//!
+//! // A deterministic world standing in for the KB + Yahoo! Answers.
+//! let world = World::generate(WorldConfig::tiny(42));
+//! let corpus = QaCorpus::generate(&world, &CorpusConfig::with_pairs(1, 400));
+//!
+//! // Offline: expansion → extraction → EM (paper Sections 4 & 6).
+//! let ner = GazetteerNer::from_store(&world.store);
+//! let learner = Learner::new(
+//!     &world.store,
+//!     &world.conceptualizer,
+//!     &ner,
+//!     &world.predicate_classes,
+//! );
+//! let pairs: Vec<(&str, &str)> = corpus
+//!     .pairs
+//!     .iter()
+//!     .map(|p| (p.question.as_str(), p.answer.as_str()))
+//!     .collect();
+//! let (model, _expansion) = learner.learn(&pairs, &LearnerConfig::default());
+//!
+//! // Online: probabilistic inference (paper Section 3).
+//! let engine = QaEngine::new(&world.store, &world.conceptualizer, &model);
+//! let intent = world.intent_by_name("city_population").unwrap();
+//! let city = world
+//!     .subjects_of(intent)
+//!     .iter()
+//!     .copied()
+//!     .find(|&c| !world.gold_values(intent, c).is_empty())
+//!     .unwrap();
+//! let question = format!(
+//!     "how many people are there in {}",
+//!     world.store.surface(city)
+//! );
+//! let answers = engine.answer_bfq(&question);
+//! assert!(!answers.is_empty());
+//! ```
+
+pub use kbqa_baselines as baselines;
+pub use kbqa_common as common;
+pub use kbqa_core as core;
+pub use kbqa_corpus as corpus;
+pub use kbqa_nlp as nlp;
+pub use kbqa_rdf as rdf;
+pub use kbqa_taxonomy as taxonomy;
+
+/// The names most programs need, in one import.
+pub mod prelude {
+    pub use kbqa_baselines::{KeywordQa, RuleBasedQa, SynonymQa};
+    pub use kbqa_core::decompose::PatternIndex;
+    pub use kbqa_core::engine::{Answer, EngineConfig, QaEngine, QaSystem, SystemAnswer};
+    pub use kbqa_core::eval::{self, EvalQuestion};
+    pub use kbqa_core::expansion::ExpansionConfig;
+    pub use kbqa_core::hybrid::HybridSystem;
+    pub use kbqa_core::learner::{LearnedModel, Learner, LearnerConfig};
+    pub use kbqa_core::template::{Template, TemplateCatalog};
+    pub use kbqa_corpus::{benchmark, CorpusConfig, QaCorpus, World, WorldConfig};
+    pub use kbqa_nlp::{tokenize, GazetteerNer};
+    pub use kbqa_rdf::{ExpandedPredicate, GraphBuilder, TripleStore};
+    pub use kbqa_taxonomy::Conceptualizer;
+}

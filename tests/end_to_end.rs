@@ -1,0 +1,196 @@
+//! End-to-end integration: world → corpus → offline learning → online
+//! answering → evaluation, asserting the paper's headline *shape* claims on
+//! a small world.
+
+use kbqa::prelude::*;
+
+struct Pipeline {
+    world: World,
+    corpus: QaCorpus,
+    model: LearnedModel,
+    index: PatternIndex,
+}
+
+fn pipeline(seed: u64, pairs: usize) -> Pipeline {
+    let world = World::generate(WorldConfig::small(seed));
+    let corpus = QaCorpus::generate(&world, &CorpusConfig::with_pairs(seed + 1, pairs));
+    let ner = GazetteerNer::from_store(&world.store);
+    let learner = Learner::new(
+        &world.store,
+        &world.conceptualizer,
+        &ner,
+        &world.predicate_classes,
+    );
+    let pair_refs: Vec<(&str, &str)> = corpus
+        .pairs
+        .iter()
+        .map(|p| (p.question.as_str(), p.answer.as_str()))
+        .collect();
+    let (model, _) = learner.learn(&pair_refs, &LearnerConfig::default());
+    let index = PatternIndex::build(corpus.pairs.iter().map(|p| p.question.as_str()), &ner);
+    Pipeline {
+        world,
+        corpus,
+        model,
+        index,
+    }
+}
+
+fn eval_questions(world: &World) -> Vec<EvalQuestion> {
+    let bench = benchmark::qald_like(world, "it", 80, 50, 0.2, 55);
+    bench
+        .questions
+        .iter()
+        .map(|q| EvalQuestion {
+            question: q.question.clone(),
+            gold: q.gold_answers.clone(),
+            is_bfq: q.kind.is_bfq(),
+        })
+        .collect()
+}
+
+#[test]
+fn kbqa_beats_keyword_and_rule_baselines() {
+    let p = pipeline(42, 6_000);
+    let questions = eval_questions(&p.world);
+
+    let engine = QaEngine::new(&p.world.store, &p.world.conceptualizer, &p.model)
+        .with_pattern_index(p.index.clone());
+    let kbqa = eval::evaluate_qald(&engine, &questions);
+
+    let rule = RuleBasedQa::new(&p.world.store);
+    let rule_outcome = eval::evaluate_qald(&rule, &questions);
+    let keyword = KeywordQa::new(&p.world.store);
+    let keyword_outcome = eval::evaluate_qald(&keyword, &questions);
+
+    // Headline claims: KBQA wins recall by a wide margin at comparable or
+    // better precision.
+    assert!(
+        kbqa.recall_bfq() > rule_outcome.recall_bfq() + 0.2,
+        "KBQA R_BFQ {:.2} vs rule {:.2}",
+        kbqa.recall_bfq(),
+        rule_outcome.recall_bfq()
+    );
+    assert!(
+        kbqa.recall_bfq() > keyword_outcome.recall_bfq() + 0.2,
+        "KBQA R_BFQ {:.2} vs keyword {:.2}",
+        kbqa.recall_bfq(),
+        keyword_outcome.recall_bfq()
+    );
+    assert!(
+        kbqa.precision() > 0.7,
+        "KBQA precision {:.2} too low (processed {}, right {})",
+        kbqa.precision(),
+        kbqa.processed,
+        kbqa.right
+    );
+    assert!(
+        kbqa.recall_bfq() > 0.5,
+        "KBQA BFQ recall {:.2} too low",
+        kbqa.recall_bfq()
+    );
+}
+
+#[test]
+fn hybrid_lifts_recall_without_precision_collapse() {
+    let p = pipeline(42, 6_000);
+    let questions = eval_questions(&p.world);
+
+    let keyword = KeywordQa::new(&p.world.store);
+    let alone = eval::evaluate_qald(&keyword, &questions);
+
+    let engine = QaEngine::new(&p.world.store, &p.world.conceptualizer, &p.model)
+        .with_pattern_index(p.index.clone());
+    let hybrid = HybridSystem::new(engine, KeywordQa::new(&p.world.store));
+    let combined = eval::evaluate_qald(&hybrid, &questions);
+
+    assert!(
+        combined.recall() >= alone.recall(),
+        "hybrid recall {:.2} below baseline {:.2}",
+        combined.recall(),
+        alone.recall()
+    );
+    assert!(
+        combined.right >= alone.right,
+        "hybrid answered fewer right: {} vs {}",
+        combined.right,
+        alone.right
+    );
+}
+
+#[test]
+fn complex_suite_mostly_answered() {
+    let p = pipeline(42, 6_000);
+    let engine = QaEngine::new(&p.world.store, &p.world.conceptualizer, &p.model)
+        .with_pattern_index(p.index.clone());
+    let suite = benchmark::complex_suite(&p.world);
+    assert!(suite.len() >= 5, "suite too small: {}", suite.len());
+    let right = suite
+        .iter()
+        .filter(|q| {
+            engine
+                .answer(&q.question)
+                .map(|a| {
+                    a.value_strings()
+                        .iter()
+                        .any(|v| eval::matches_gold(v, &q.gold_answers))
+                })
+                .unwrap_or(false)
+        })
+        .count();
+    assert!(
+        right * 2 >= suite.len(),
+        "only {right}/{} complex questions answered right",
+        suite.len()
+    );
+}
+
+#[test]
+fn learned_intent_mappings_match_world_gold() {
+    let p = pipeline(42, 6_000);
+    // For each high-popularity intent, the most common paraphrase's template
+    // should argmax to the intent's gold path.
+    let mut checked = 0;
+    let mut right = 0;
+    for intent in &p.world.intents {
+        if intent.popularity < 4.0 {
+            continue;
+        }
+        let concept = p.world.concept_name(intent.subject_concept);
+        for paraphrase in intent.paraphrases.iter().take(2) {
+            let canonical = paraphrase.pattern.replace("$e", &format!("${concept}"));
+            let template = Template::from_canonical(&canonical);
+            let Some(tid) = p.model.templates.get(&template) else {
+                continue;
+            };
+            let Some((top, _)) = p.model.theta.top_predicate(tid) else {
+                continue;
+            };
+            checked += 1;
+            if p.model.predicates.resolve(top) == &intent.path {
+                right += 1;
+            }
+        }
+    }
+    assert!(checked >= 8, "too few templates checked: {checked}");
+    assert!(
+        right * 10 >= checked * 8,
+        "only {right}/{checked} intent mappings correct"
+    );
+}
+
+#[test]
+fn corpus_statistics_flow_into_model_stats() {
+    let p = pipeline(42, 3_000);
+    let stats = &p.model.stats;
+    assert_eq!(stats.pairs, p.corpus.len());
+    assert!(stats.observations > 500);
+    assert!(stats.source_entities > 50);
+    assert!(stats.distinct_templates > 100);
+    assert!(stats.em.iterations >= 2);
+    // Expanded predicates dominate the emitted records (Table 16's shape).
+    let len1 = stats.emitted_by_length[1];
+    let multi: usize = stats.emitted_by_length[2..].iter().sum();
+    assert!(multi > 0, "no expanded predicates emitted");
+    assert!(len1 > 0, "no direct predicates emitted");
+}

@@ -1,0 +1,95 @@
+//! Persistence: the learned model and the store survive a serde round-trip
+//! (with derived indexes rebuilt) and answer identically afterwards.
+
+use kbqa::prelude::*;
+
+#[test]
+fn learned_model_roundtrips_through_json() {
+    let world = World::generate(WorldConfig::tiny(42));
+    let corpus = QaCorpus::generate(&world, &CorpusConfig::with_pairs(1, 500));
+    let ner = GazetteerNer::from_store(&world.store);
+    let learner = Learner::new(
+        &world.store,
+        &world.conceptualizer,
+        &ner,
+        &world.predicate_classes,
+    );
+    let pairs: Vec<(&str, &str)> = corpus
+        .pairs
+        .iter()
+        .map(|p| (p.question.as_str(), p.answer.as_str()))
+        .collect();
+    let (model, _) = learner.learn(&pairs, &LearnerConfig::default());
+
+    let json = serde_json::to_string(&model).expect("serialize model");
+    let mut restored: LearnedModel = serde_json::from_str(&json).expect("deserialize model");
+    restored.rebuild_index();
+
+    assert_eq!(model.templates.len(), restored.templates.len());
+    assert_eq!(model.predicates.len(), restored.predicates.len());
+    assert_eq!(model.stats.observations, restored.stats.observations);
+
+    // Answers agree before/after.
+    let engine_a = QaEngine::new(&world.store, &world.conceptualizer, &model);
+    let engine_b = QaEngine::new(&world.store, &world.conceptualizer, &restored);
+    let intent = world.intent_by_name("city_population").unwrap();
+    for &city in world.subjects_of(intent).iter().take(5) {
+        let q = format!(
+            "what is the population of {}",
+            world.store.surface(city)
+        );
+        assert_eq!(engine_a.answer_bfq(&q), engine_b.answer_bfq(&q));
+    }
+}
+
+#[test]
+fn store_roundtrips_through_json() {
+    let world = World::generate(WorldConfig::tiny(42));
+    let json = serde_json::to_string(&world.store).expect("serialize store");
+    let mut restored: TripleStore = serde_json::from_str(&json).expect("deserialize store");
+    restored.rebuild_index();
+
+    assert_eq!(world.store.len(), restored.len());
+    // Name grounding works after the rebuild.
+    let intent = world.intent_by_name("city_population").unwrap();
+    let city = world.subjects_of(intent)[0];
+    let name = world.store.surface(city);
+    assert_eq!(
+        world.store.entities_named(&name),
+        restored.entities_named(&name)
+    );
+    // Lookups agree on a sample of triples.
+    for t in world.store.scan().iter().take(50) {
+        assert!(restored.contains(t.s, t.p, t.o));
+    }
+}
+
+#[test]
+fn theta_survives_roundtrip_numerically() {
+    let world = World::generate(WorldConfig::tiny(42));
+    let corpus = QaCorpus::generate(&world, &CorpusConfig::with_pairs(1, 400));
+    let ner = GazetteerNer::from_store(&world.store);
+    let learner = Learner::new(
+        &world.store,
+        &world.conceptualizer,
+        &ner,
+        &world.predicate_classes,
+    );
+    let pairs: Vec<(&str, &str)> = corpus
+        .pairs
+        .iter()
+        .map(|p| (p.question.as_str(), p.answer.as_str()))
+        .collect();
+    let (model, _) = learner.learn(&pairs, &LearnerConfig::default());
+
+    let json = serde_json::to_string(&model.theta).expect("serialize theta");
+    let restored: kbqa::core::em::Theta = serde_json::from_str(&json).expect("deserialize");
+    for (tid, row) in model.theta.iter() {
+        let other = restored.predicates_for(tid);
+        assert_eq!(row.len(), other.len());
+        for (a, b) in row.iter().zip(other) {
+            assert_eq!(a.0, b.0);
+            assert!((a.1 - b.1).abs() < 1e-15);
+        }
+    }
+}
