@@ -2,6 +2,8 @@
 //! paper's 1438-minute offline run, scaled down) and the online answer path
 //! through the facade API.
 
+use std::sync::Arc;
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use kbqa::prelude::*;
@@ -48,8 +50,13 @@ fn bench_online_answer(c: &mut Criterion) {
         .collect();
     let (model, _) = learner.learn(&pairs, &LearnerConfig::default());
     let index = PatternIndex::build(corpus.pairs.iter().map(|p| p.question.as_str()), &ner);
-    let engine = QaEngine::new(&world.store, &world.conceptualizer, &model)
-        .with_pattern_index(index);
+    let service = KbqaService::builder(
+        Arc::clone(&world.store),
+        Arc::clone(&world.conceptualizer),
+        Arc::new(model),
+    )
+    .pattern_index(Arc::new(index))
+    .build();
 
     let intent = world.intent_by_name("city_population").unwrap();
     let city = world
@@ -58,20 +65,31 @@ fn bench_online_answer(c: &mut Criterion) {
         .copied()
         .find(|&c| !world.gold_values(intent, c).is_empty())
         .unwrap();
-    let bfq = format!(
-        "how many people are there in {}",
-        world.store.surface(city)
-    );
+    let bfq = format!("how many people are there in {}", world.store.surface(city));
     c.bench_function("online_bfq_answer", |b| {
-        b.iter(|| engine.answer_bfq(std::hint::black_box(&bfq)))
+        b.iter(|| service.answer_text(std::hint::black_box(&bfq)))
     });
 
     if let Some(complex) = benchmark::complex_suite(&world).first() {
         let q = complex.question.clone();
         c.bench_function("online_complex_answer", |b| {
-            b.iter(|| QaSystem::answer(&engine, std::hint::black_box(&q)))
+            b.iter(|| service.answer_text(std::hint::black_box(&q)))
         });
     }
+
+    // The batch path: 64 mixed requests through the scoped pool.
+    let requests: Vec<QaRequest> = (0..64)
+        .map(|i| {
+            if i % 2 == 0 {
+                QaRequest::new(&bfq)
+            } else {
+                QaRequest::new("why is the sky blue")
+            }
+        })
+        .collect();
+    c.bench_function("online_batch_64", |b| {
+        b.iter(|| service.answer_batch(std::hint::black_box(&requests)))
+    });
 }
 
 criterion_group!(benches, bench_offline_pipeline, bench_online_answer);

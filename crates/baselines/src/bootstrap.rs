@@ -102,8 +102,7 @@ pub fn learn_boa<'s>(
                     let object_words = object_tokens.words();
                     // Locate the object after the mention (BOA's canonical
                     // subject-pattern-object shape).
-                    let Some(obj_pos) = find_subsequence(&words, &object_words, mention.end)
-                    else {
+                    let Some(obj_pos) = find_subsequence(&words, &object_words, mention.end) else {
                         continue;
                     };
                     let between = words[mention.end..obj_pos].join(" ");

@@ -6,7 +6,8 @@
 //! `population` appears) but — the paper's running point — has no way to map
 //! `how many people are there in X?` onto `population`.
 
-use kbqa_core::engine::{QaSystem, SystemAnswer};
+use kbqa_core::engine::Answer;
+use kbqa_core::service::{QaRequest, QaResponse, QaSystem, Refusal};
 use kbqa_nlp::token::{is_question_word, is_stopword};
 use kbqa_nlp::{tokenize, GazetteerNer};
 use kbqa_rdf::TripleStore;
@@ -32,11 +33,15 @@ impl QaSystem for KeywordQa<'_> {
         "KeywordQA"
     }
 
-    fn answer(&self, question: &str) -> Option<SystemAnswer> {
-        let tokens = tokenize(question);
+    fn answer(&self, request: &QaRequest) -> QaResponse {
+        let tokens = tokenize(&request.question);
         let mentions = self.ner.find_longest_mentions(&tokens);
-        let mention = mentions.first()?;
-        let entity = *mention.nodes.first()?;
+        let Some(mention) = mentions.first() else {
+            return QaResponse::refused(Refusal::NoEntityGrounded);
+        };
+        let Some(&entity) = mention.nodes.first() else {
+            return QaResponse::refused(Refusal::NoEntityGrounded);
+        };
 
         // Content keywords: outside the mention, not stopwords/wh-words.
         let keywords: Vec<&str> = tokens
@@ -48,7 +53,8 @@ impl QaSystem for KeywordQa<'_> {
             .filter(|w| !is_stopword(w) && !is_question_word(w))
             .collect();
         if keywords.is_empty() {
-            return None;
+            // No content words at all — nothing to match a predicate with.
+            return QaResponse::refused(Refusal::NoTemplateMatched);
         }
 
         // Score each direct predicate of the entity by keyword overlap with
@@ -74,16 +80,31 @@ impl QaSystem for KeywordQa<'_> {
                 best = Some((score, t.p));
             }
         }
-        let (score, predicate) = best?;
-        let values: Vec<(String, f64)> = self
+        let Some((score, predicate)) = best else {
+            // No predicate name overlapped the keywords — the lexical
+            // analogue of no predicate clearing θ.
+            return QaResponse::refused(Refusal::NoPredicateAboveTheta);
+        };
+        let entity_surface = self.store.surface(entity);
+        let predicate_name = self.store.dict().predicate_name(predicate).to_owned();
+        let template = format!("keywords:{}", keywords.join(" "));
+        let answers: Vec<Answer> = self
             .store
             .objects(entity, predicate)
-            .map(|o| (self.store.surface(o), score))
+            .map(|o| {
+                let mut a = Answer::ranked(self.store.surface(o), score).with_provenance(
+                    entity_surface.clone(),
+                    template.clone(),
+                    predicate_name.clone(),
+                );
+                a.node = Some(o);
+                a
+            })
             .collect();
-        if values.is_empty() {
-            None
+        if answers.is_empty() {
+            QaResponse::refused(Refusal::EmptyValueSet)
         } else {
-            Some(SystemAnswer { values })
+            QaResponse::from_answers(answers)
         }
     }
 }
@@ -109,28 +130,32 @@ mod tests {
     fn matches_predicate_named_in_question() {
         let store = store();
         let qa = KeywordQa::new(&store);
-        let a = qa.answer("what is the population of Honolulu").unwrap();
+        let a = qa.answer_text("what is the population of Honolulu");
         assert_eq!(a.top(), Some("390000"));
-        let a = qa.answer("tell me the area of Honolulu").unwrap();
+        assert_eq!(a.answers[0].entity, "Honolulu");
+        assert_eq!(a.answers[0].predicate, "population");
+        let a = qa.answer_text("tell me the area of Honolulu");
         assert_eq!(a.top(), Some("177"));
     }
 
     #[test]
     fn fails_on_paraphrases_without_lexical_overlap() {
-        // The paper's core criticism of keyword systems.
+        // The paper's core criticism of keyword systems — and the refusal
+        // names the predicate-matching stage.
         let store = store();
         let qa = KeywordQa::new(&store);
-        assert!(qa.answer("how many people are there in Honolulu").is_none());
-        assert!(qa
-            .answer("what is the total number of people in Honolulu")
-            .is_none());
+        let response = qa.answer_text("how many people are there in Honolulu");
+        assert_eq!(response.refusal, Some(Refusal::NoPredicateAboveTheta));
+        let response = qa.answer_text("what is the total number of people in Honolulu");
+        assert!(!response.answered());
     }
 
     #[test]
     fn requires_a_grounded_entity() {
         let store = store();
         let qa = KeywordQa::new(&store);
-        assert!(qa.answer("what is the population of Atlantis").is_none());
+        let response = qa.answer_text("what is the population of Atlantis");
+        assert_eq!(response.refusal, Some(Refusal::NoEntityGrounded));
         assert_eq!(qa.name(), "KeywordQA");
     }
 
@@ -138,6 +163,7 @@ mod tests {
     fn keyword_only_questions_refused() {
         let store = store();
         let qa = KeywordQa::new(&store);
-        assert!(qa.answer("Honolulu?").is_none());
+        let response = qa.answer_text("Honolulu?");
+        assert_eq!(response.refusal, Some(Refusal::NoTemplateMatched));
     }
 }

@@ -9,7 +9,8 @@
 //! Exactly as the paper argues, this yields high precision (the rule is
 //! explicit) and low recall (anything off-pattern is refused).
 
-use kbqa_core::engine::{QaSystem, SystemAnswer};
+use kbqa_core::engine::Answer;
+use kbqa_core::service::{QaRequest, QaResponse, QaSystem, Refusal};
 use kbqa_nlp::{tokenize, GazetteerNer};
 use kbqa_rdf::TripleStore;
 
@@ -32,11 +33,7 @@ impl<'a> RuleBasedQa<'a> {
     fn parse(&self, words: &[&str]) -> Option<(String, usize, usize)> {
         let n = words.len();
         // Form 1: (what|who) is the <x> of <entity...>
-        if n >= 6
-            && matches!(words[0], "what" | "who")
-            && words[1] == "is"
-            && words[2] == "the"
-        {
+        if n >= 6 && matches!(words[0], "what" | "who") && words[1] == "is" && words[2] == "the" {
             if let Some(of_pos) = words.iter().position(|&w| w == "of") {
                 if of_pos > 3 && of_pos + 1 < n {
                     let pred = words[3..of_pos].join("_");
@@ -62,23 +59,41 @@ impl QaSystem for RuleBasedQa<'_> {
         "RuleQA"
     }
 
-    fn answer(&self, question: &str) -> Option<SystemAnswer> {
-        let tokens = tokenize(question);
+    fn answer(&self, request: &QaRequest) -> QaResponse {
+        let tokens = tokenize(&request.question);
         let words = tokens.words();
-        let (pred_word, ent_start, ent_end) = self.parse(&words)?;
-        let predicate = self.store.dict().find_predicate(&pred_word)?;
+        let Some((pred_word, ent_start, ent_end)) = self.parse(&words) else {
+            // Off-pattern phrasing: no canned rule (template) applies.
+            return QaResponse::refused(Refusal::NoTemplateMatched);
+        };
+        let Some(predicate) = self.store.dict().find_predicate(&pred_word) else {
+            // Rule matched but the slot word names no KB predicate.
+            return QaResponse::refused(Refusal::NoPredicateAboveTheta);
+        };
         let mention = tokens.join(ent_start, ent_end);
         let entities = self.ner.ground(&mention);
-        let entity = *entities.first()?;
-        let values: Vec<(String, f64)> = self
+        let Some(&entity) = entities.first() else {
+            return QaResponse::refused(Refusal::NoEntityGrounded);
+        };
+        let entity_surface = self.store.surface(entity);
+        let template = format!("rule:what is the {pred_word} of $e");
+        let answers: Vec<Answer> = self
             .store
             .objects(entity, predicate)
-            .map(|o| (self.store.surface(o), 1.0))
+            .map(|o| {
+                let mut a = Answer::ranked(self.store.surface(o), 1.0).with_provenance(
+                    entity_surface.clone(),
+                    template.clone(),
+                    pred_word.clone(),
+                );
+                a.node = Some(o);
+                a
+            })
             .collect();
-        if values.is_empty() {
-            None
+        if answers.is_empty() {
+            QaResponse::refused(Refusal::EmptyValueSet)
         } else {
-            Some(SystemAnswer { values })
+            QaResponse::from_answers(answers)
         }
     }
 }
@@ -103,15 +118,16 @@ mod tests {
     fn answers_canned_what_is_the_x_of() {
         let store = store();
         let qa = RuleBasedQa::new(&store);
-        let a = qa.answer("What is the population of Honolulu?").unwrap();
+        let a = qa.answer_text("What is the population of Honolulu?");
         assert_eq!(a.top(), Some("390000"));
+        assert_eq!(a.answers[0].predicate, "population");
     }
 
     #[test]
     fn entity_valued_predicates_render_names() {
         let store = store();
         let qa = RuleBasedQa::new(&store);
-        let a = qa.answer("Who is the mayor of Honolulu?").unwrap();
+        let a = qa.answer_text("Who is the mayor of Honolulu?");
         assert_eq!(a.top(), Some("Rick Blangiardi"));
     }
 
@@ -119,7 +135,7 @@ mod tests {
     fn possessive_form() {
         let store = store();
         let qa = RuleBasedQa::new(&store);
-        let a = qa.answer("What is Honolulu's population?").unwrap();
+        let a = qa.answer_text("What is Honolulu's population?");
         assert_eq!(a.top(), Some("390000"));
     }
 
@@ -128,16 +144,19 @@ mod tests {
         let store = store();
         let qa = RuleBasedQa::new(&store);
         // The paper's motivating case: no rule matches this phrasing.
-        assert!(qa.answer("How many people are there in Honolulu?").is_none());
-        assert!(qa.answer("population please").is_none());
+        let response = qa.answer_text("How many people are there in Honolulu?");
+        assert_eq!(response.refusal, Some(Refusal::NoTemplateMatched));
+        assert!(!qa.answer_text("population please").answered());
     }
 
     #[test]
     fn unknown_predicate_or_entity_refused() {
         let store = store();
         let qa = RuleBasedQa::new(&store);
-        assert!(qa.answer("What is the altitude of Honolulu?").is_none());
-        assert!(qa.answer("What is the population of Atlantis?").is_none());
+        let response = qa.answer_text("What is the altitude of Honolulu?");
+        assert_eq!(response.refusal, Some(Refusal::NoPredicateAboveTheta));
+        let response = qa.answer_text("What is the population of Atlantis?");
+        assert_eq!(response.refusal, Some(Refusal::NoEntityGrounded));
         assert_eq!(qa.name(), "RuleQA");
     }
 }

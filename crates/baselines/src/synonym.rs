@@ -8,7 +8,8 @@
 //! reach, reproducing the paper's Table 1 case ⓐ failure.
 
 use kbqa_common::hash::FxHashSet;
-use kbqa_core::engine::{QaSystem, SystemAnswer};
+use kbqa_core::engine::Answer;
+use kbqa_core::service::{QaRequest, QaResponse, QaSystem, Refusal};
 use kbqa_nlp::token::{is_question_word, is_stopword};
 use kbqa_nlp::{tokenize, GazetteerNer};
 use kbqa_rdf::TripleStore;
@@ -46,10 +47,8 @@ impl<'a> SynonymQa<'a> {
     /// Weighted token-overlap similarity between the question phrase and a
     /// synonym pattern (Jaccard over content tokens).
     fn similarity(question_tokens: &FxHashSet<&str>, pattern: &str) -> f64 {
-        let pattern_tokens: FxHashSet<&str> = pattern
-            .split(' ')
-            .filter(|w| !is_stopword(w))
-            .collect();
+        let pattern_tokens: FxHashSet<&str> =
+            pattern.split(' ').filter(|w| !is_stopword(w)).collect();
         if pattern_tokens.is_empty() {
             return 0.0;
         }
@@ -71,11 +70,15 @@ impl QaSystem for SynonymQa<'_> {
         "SynonymQA"
     }
 
-    fn answer(&self, question: &str) -> Option<SystemAnswer> {
-        let tokens = tokenize(question);
+    fn answer(&self, request: &QaRequest) -> QaResponse {
+        let tokens = tokenize(&request.question);
         let mentions = self.ner.find_longest_mentions(&tokens);
-        let mention = mentions.first()?;
-        let entity = *mention.nodes.first()?;
+        let Some(mention) = mentions.first() else {
+            return QaResponse::refused(Refusal::NoEntityGrounded);
+        };
+        let Some(&entity) = mention.nodes.first() else {
+            return QaResponse::refused(Refusal::NoEntityGrounded);
+        };
 
         let content: FxHashSet<&str> = tokens
             .tokens
@@ -86,7 +89,7 @@ impl QaSystem for SynonymQa<'_> {
             .filter(|w| !is_stopword(w) && !is_question_word(w))
             .collect();
         if content.is_empty() {
-            return None;
+            return QaResponse::refused(Refusal::NoTemplateMatched);
         }
 
         // Score every lexicon predicate applicable to this entity.
@@ -105,17 +108,30 @@ impl QaSystem for SynonymQa<'_> {
                 best = Some((score, pred));
             }
         }
-        let (score, pred) = best?;
+        let Some((score, pred)) = best else {
+            // Nothing in the lexicon cleared the similarity bar — the
+            // synonym system's θ analogue.
+            return QaResponse::refused(Refusal::NoPredicateAboveTheta);
+        };
         let path = self.catalog.resolve(pred);
-        let values: Vec<(String, f64)> =
-            kbqa_rdf::path::objects_via_path(self.store, entity, path)
-                .into_iter()
-                .map(|o| (self.store.surface(o), score))
-                .collect();
-        if values.is_empty() {
-            None
+        let entity_surface = self.store.surface(entity);
+        let rendered_path = path.render(self.store);
+        let answers: Vec<Answer> = kbqa_rdf::path::objects_via_path(self.store, entity, path)
+            .into_iter()
+            .map(|o| {
+                let mut a = Answer::ranked(self.store.surface(o), score).with_provenance(
+                    entity_surface.clone(),
+                    "synonym-lexicon",
+                    rendered_path.clone(),
+                );
+                a.node = Some(o);
+                a
+            })
+            .collect();
+        if answers.is_empty() {
+            QaResponse::refused(Refusal::EmptyValueSet)
         } else {
-            Some(SystemAnswer { values })
+            QaResponse::from_answers(answers)
         }
     }
 }
@@ -140,8 +156,7 @@ mod tests {
         b.link(obama, "marriage", marriage);
         b.link(marriage, "person", michelle);
         let store = b.build();
-        let sources: kbqa_common::hash::FxHashSet<NodeId> =
-            [honolulu, obama].into_iter().collect();
+        let sources: kbqa_common::hash::FxHashSet<NodeId> = [honolulu, obama].into_iter().collect();
         let expansion = expand(&store, &sources, &ExpansionConfig::default());
         (store, expansion)
     }
@@ -162,13 +177,12 @@ mod tests {
         );
         let qa = SynonymQa::new(&store, &lexicon, &expansion.catalog);
         // "number of people" was learned as a synonym of population.
-        let a = qa
-            .answer("what is the total number of people in Honolulu")
-            .unwrap();
+        let a = qa.answer_text("what is the total number of people in Honolulu");
         assert_eq!(a.top(), Some("390000"));
         // Spouse through the expanded predicate's synonym "is married to".
-        let a = qa.answer("who is married to Barack Obama").unwrap();
+        let a = qa.answer_text("who is married to Barack Obama");
         assert_eq!(a.top(), Some("Michelle Obama"));
+        assert_eq!(a.answers[0].predicate, "marriage→person→name");
     }
 
     #[test]
@@ -184,7 +198,8 @@ mod tests {
         let qa = SynonymQa::new(&store, &lexicon, &expansion.catalog);
         // The paper's case ⓐ: nothing in "how many people are there"
         // overlaps "has a population of".
-        assert!(qa.answer("how many people are there in Honolulu").is_none());
+        let response = qa.answer_text("how many people are there in Honolulu");
+        assert_eq!(response.refusal, Some(Refusal::NoPredicateAboveTheta));
         assert_eq!(qa.name(), "SynonymQA");
     }
 
@@ -199,7 +214,9 @@ mod tests {
             ["Honolulu has a population of 390000"],
         );
         let qa = SynonymQa::new(&store, &lexicon, &expansion.catalog);
-        assert!(qa.answer("what about Atlantis").is_none());
-        assert!(qa.answer("Honolulu").is_none());
+        let response = qa.answer_text("what about Atlantis");
+        assert_eq!(response.refusal, Some(Refusal::NoEntityGrounded));
+        let response = qa.answer_text("Honolulu");
+        assert_eq!(response.refusal, Some(Refusal::NoTemplateMatched));
     }
 }

@@ -10,8 +10,7 @@ use kbqa_core::decompose;
 
 fn bench_decomposition(c: &mut Criterion) {
     let session = Session::build("bench", kbqa_corpus::WorldConfig::tiny(42), 1200);
-    let engine = session.engine();
-    let index = &session.pattern_index;
+    let service = session.service();
 
     // A real complex question from the world, padded with filler clauses to
     // reach each target length.
@@ -35,11 +34,9 @@ fn bench_decomposition(c: &mut Criterion) {
         while question.split_whitespace().count() < target_len {
             question.push_str(" these days");
         }
-        group.bench_with_input(
-            BenchmarkId::new("tokens", target_len),
-            &question,
-            |b, q| b.iter(|| decompose::decompose(&engine, index, std::hint::black_box(q))),
-        );
+        group.bench_with_input(BenchmarkId::new("tokens", target_len), &question, |b, q| {
+            b.iter(|| service.decompose(std::hint::black_box(q)))
+        });
     }
     group.finish();
 
@@ -54,7 +51,7 @@ fn bench_decomposition(c: &mut Criterion) {
         b.iter(|| {
             decompose::PatternIndex::build(
                 std::hint::black_box(questions.iter().copied()),
-                engine.ner(),
+                service.ner(),
             )
         })
     });

@@ -9,7 +9,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use kbqa_baselines::{KeywordQa, RuleBasedQa, SynonymQa};
 use kbqa_bench::{tables, Session};
-use kbqa_core::engine::QaSystem;
+use kbqa_core::service::QaSystem;
 use kbqa_corpus::benchmark;
 
 fn bench_online(c: &mut Criterion) {
@@ -17,7 +17,7 @@ fn bench_online(c: &mut Criterion) {
     let bench = benchmark::qald_like(&session.world, "latency", 40, 30, 0.2, 75);
     let questions: Vec<String> = bench.questions.iter().map(|q| q.question.clone()).collect();
 
-    let engine = session.engine();
+    let service = session.service();
     let rule = RuleBasedQa::new(&session.world.store);
     let keyword = KeywordQa::new(&session.world.store);
     let boa = tables::boa_artifacts(&session, 30);
@@ -26,23 +26,27 @@ fn bench_online(c: &mut Criterion) {
     let mut group = c.benchmark_group("online_latency");
     group.sample_size(20);
     let systems: Vec<(&str, &dyn QaSystem)> = vec![
-        ("kbqa", &engine),
+        ("kbqa", service),
         ("rule", &rule),
         ("keyword", &keyword),
         ("synonym", &synonym),
     ];
     for (name, system) in systems {
-        group.bench_with_input(BenchmarkId::new("answer_suite", name), &questions, |b, qs| {
-            b.iter(|| {
-                let mut answered = 0usize;
-                for q in qs {
-                    if system.answer(std::hint::black_box(q)).is_some() {
-                        answered += 1;
+        group.bench_with_input(
+            BenchmarkId::new("answer_suite", name),
+            &questions,
+            |b, qs| {
+                b.iter(|| {
+                    let mut answered = 0usize;
+                    for q in qs {
+                        if system.answer_text(std::hint::black_box(q)).answered() {
+                            answered += 1;
+                        }
                     }
-                }
-                answered
-            })
-        });
+                    answered
+                })
+            },
+        );
     }
     group.finish();
 }

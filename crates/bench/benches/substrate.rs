@@ -23,11 +23,7 @@ fn bench_substrate(c: &mut Criterion) {
     let pop_pred = store.dict().find_predicate("population").unwrap();
 
     c.bench_function("store_objects_lookup", |b| {
-        b.iter(|| {
-            store
-                .objects(std::hint::black_box(city), pop_pred)
-                .count()
-        })
+        b.iter(|| store.objects(std::hint::black_box(city), pop_pred).count())
     });
 
     let spouse = world.intent_by_name("person_spouse").unwrap();
@@ -41,10 +37,7 @@ fn bench_substrate(c: &mut Criterion) {
         b.iter(|| objects_via_path(store, std::hint::black_box(married), &spouse.path))
     });
 
-    let question = format!(
-        "how many people are there in {}",
-        store.surface(city)
-    );
+    let question = format!("how many people are there in {}", store.surface(city));
     c.bench_function("tokenize_question", |b| {
         b.iter(|| tokenize(std::hint::black_box(&question)))
     });

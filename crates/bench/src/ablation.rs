@@ -11,7 +11,6 @@
 //! * [`decomposition_ablation`] — complex-question success with and without
 //!   the Sec 5 DP decomposition.
 
-use kbqa_core::engine::{EngineConfig, QaSystem};
 use kbqa_core::eval;
 use kbqa_core::extraction::{ExtractionConfig, Extractor};
 use kbqa_core::template::TemplateCatalog;
@@ -50,10 +49,7 @@ pub fn entity_identification(session: &Session, sample: usize) -> Table {
         let tokens = kbqa_nlp::tokenize(&pair.question);
         let found = heuristic.find_mentions(&tokens).iter().any(|m| {
             let phrase = tokens.join(m.start, m.end);
-            world
-                .store
-                .entities_named(&phrase)
-                .contains(&gold.entity)
+            world.store.entities_named(&phrase).contains(&gold.entity)
         });
         if found {
             heuristic_right += 1;
@@ -143,8 +139,7 @@ pub fn uniform_theta_ablation(session: &Session) -> Table {
         &["model", "#pro", "#ri", "P", "R"],
     );
     // EM θ.
-    let engine = session.engine();
-    let o = eval::evaluate_qald(&engine, &questions);
+    let o = eval::evaluate_qald(session.service(), &questions);
     t.row(vec![
         "EM θ".into(),
         o.processed.to_string(),
@@ -152,15 +147,14 @@ pub fn uniform_theta_ablation(session: &Session) -> Table {
         f2(o.precision()),
         f2(o.recall()),
     ]);
-    // Uniform θ: same model with flattened rows.
-    let mut uniform_model = session.model.clone();
+    // Uniform θ: same model with flattened rows, behind a sibling service
+    // sharing every other artifact (no NER re-derivation).
+    let mut uniform_model = (*session.model).clone();
     uniform_model.theta = session.model.theta.uniformized();
-    let uniform_engine = kbqa_core::QaEngine::new(
-        &session.world.store,
-        &session.world.conceptualizer,
-        &uniform_model,
-    );
-    let o = eval::evaluate_qald(&uniform_engine, &questions);
+    let uniform_service = session
+        .service()
+        .with_model(std::sync::Arc::new(uniform_model));
+    let o = eval::evaluate_qald(&uniform_service, &questions);
     t.row(vec![
         "uniform θ".into(),
         o.processed.to_string(),
@@ -179,21 +173,17 @@ pub fn decomposition_ablation(session: &Session) -> Table {
         &["configuration", "#answered right", "#total"],
     );
     for (name, decompose) in [("DP decomposition", true), ("no decomposition", false)] {
-        let engine = session.engine_with(EngineConfig {
-            decompose,
-            ..Default::default()
-        });
+        // Per-request override: same service, no rebuilt engine.
+        let service = session.service();
         let right = suite
             .iter()
             .filter(|q| {
-                engine
-                    .answer(&q.question)
-                    .map(|a| {
-                        a.value_strings()
-                            .iter()
-                            .any(|v| eval::matches_gold(v, &q.gold_answers))
-                    })
-                    .unwrap_or(false)
+                let request = kbqa_core::QaRequest::new(&q.question).with_decompose(decompose);
+                service
+                    .answer(&request)
+                    .value_strings()
+                    .iter()
+                    .any(|v| eval::matches_gold(v, &q.gold_answers))
             })
             .count();
         t.row(vec![
@@ -229,7 +219,10 @@ mod tests {
         let t = refinement_ablation(&s, 200);
         let with: f64 = t.rows[0][2].parse().unwrap();
         let without: f64 = t.rows[1][2].parse().unwrap();
-        assert!(with >= without, "refinement hurt purity: {with} < {without}\n{t}");
+        assert!(
+            with >= without,
+            "refinement hurt purity: {with} < {without}\n{t}"
+        );
         let obs_with: usize = t.rows[0][1].parse().unwrap();
         let obs_without: usize = t.rows[1][1].parse().unwrap();
         assert!(obs_without >= obs_with, "filter added observations?\n{t}");

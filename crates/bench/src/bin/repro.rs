@@ -59,9 +59,26 @@ impl Sessions {
 }
 
 const ALL_TARGETS: &[&str] = &[
-    "kbstats", "table4", "table5", "table6", "table7", "table8", "table9", "table10",
-    "table11", "table12", "table13", "table14", "table15", "table16", "table17", "table18",
-    "sec75", "ablations", "variants", "report",
+    "kbstats",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+    "table8",
+    "table9",
+    "table10",
+    "table11",
+    "table12",
+    "table13",
+    "table14",
+    "table15",
+    "table16",
+    "table17",
+    "table18",
+    "sec75",
+    "ablations",
+    "variants",
+    "report",
 ];
 
 fn run_target(target: &str, sessions: &Sessions, scale: Scale) -> Vec<Table> {
@@ -148,7 +165,10 @@ fn main() {
             println!("{table}");
             produced.push(table);
         }
-        eprintln!("[repro] {target} done in {:.1}s", start.elapsed().as_secs_f64());
+        eprintln!(
+            "[repro] {target} done in {:.1}s",
+            start.elapsed().as_secs_f64()
+        );
     }
 
     if let Some(dir) = json_dir {

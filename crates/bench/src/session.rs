@@ -5,10 +5,12 @@
 //! the paper's full offline procedure output. Tables share sessions so the
 //! offline pipeline runs once per KB preset, not once per table.
 
+use std::sync::Arc;
+
 use kbqa_core::decompose::PatternIndex;
-use kbqa_core::engine::{EngineConfig, QaEngine};
 use kbqa_core::expansion::ExpansionResult;
 use kbqa_core::learner::{LearnedModel, Learner, LearnerConfig};
+use kbqa_core::service::KbqaService;
 use kbqa_corpus::{CorpusConfig, QaCorpus, World, WorldConfig};
 use kbqa_nlp::GazetteerNer;
 
@@ -62,11 +64,13 @@ pub struct Session {
     /// The QA training corpus.
     pub corpus: QaCorpus,
     /// The learned model.
-    pub model: LearnedModel,
+    pub model: Arc<LearnedModel>,
     /// The expansion result (feeds Tables 4/16 and the baselines).
     pub expansion: ExpansionResult,
     /// The decomposition pattern index.
-    pub pattern_index: PatternIndex,
+    pub pattern_index: Arc<PatternIndex>,
+    /// The serving handle over this session's artifacts (cheap to clone).
+    service: KbqaService,
 }
 
 impl Session {
@@ -74,7 +78,7 @@ impl Session {
     pub fn build(kb_name: &str, world_config: WorldConfig, corpus_pairs: usize) -> Self {
         let world = World::generate(world_config);
         let corpus = QaCorpus::generate(&world, &CorpusConfig::with_pairs(17, corpus_pairs));
-        let ner = GazetteerNer::from_store(&world.store);
+        let ner = Arc::new(GazetteerNer::from_store(&world.store));
         let learner = Learner::new(
             &world.store,
             &world.conceptualizer,
@@ -96,8 +100,19 @@ impl Session {
             ..Default::default()
         };
         let (model, expansion) = learner.learn(&pairs, &config);
-        let pattern_index =
-            PatternIndex::build(corpus.pairs.iter().map(|p| p.question.as_str()), &ner);
+        let model = Arc::new(model);
+        let pattern_index = Arc::new(PatternIndex::build(
+            corpus.pairs.iter().map(|p| p.question.as_str()),
+            &ner,
+        ));
+        let service = KbqaService::builder(
+            Arc::clone(&world.store),
+            Arc::clone(&world.conceptualizer),
+            Arc::clone(&model),
+        )
+        .ner(ner)
+        .pattern_index(Arc::clone(&pattern_index))
+        .build();
         Self {
             kb_name: kb_name.to_owned(),
             world,
@@ -105,6 +120,7 @@ impl Session {
             model,
             expansion,
             pattern_index,
+            service,
         }
     }
 
@@ -119,15 +135,9 @@ impl Session {
         Self::build(name, scale.world_config(kb, 42), scale.corpus_pairs())
     }
 
-    /// A fresh online engine over this session's artifacts.
-    pub fn engine(&self) -> QaEngine<'_> {
-        QaEngine::new(&self.world.store, &self.world.conceptualizer, &self.model)
-            .with_pattern_index(self.pattern_index.clone())
-    }
-
-    /// An engine with a custom configuration.
-    pub fn engine_with(&self, config: EngineConfig) -> QaEngine<'_> {
-        self.engine().with_config(config)
+    /// The serving handle over this session's artifacts.
+    pub fn service(&self) -> &KbqaService {
+        &self.service
     }
 }
 
@@ -139,7 +149,7 @@ mod tests {
     fn quick_session_builds_and_answers() {
         let session = Session::build("test", kbqa_corpus::WorldConfig::tiny(42), 500);
         assert!(session.model.stats.observations > 50);
-        let engine = session.engine();
+        let service = session.service();
         let pop = session.world.intent_by_name("city_population").unwrap();
         let city = session
             .world
@@ -152,7 +162,7 @@ mod tests {
             "what is the population of {}",
             session.world.store.surface(city)
         );
-        assert!(!engine.answer_bfq(&q).is_empty());
+        assert!(service.answer_text(&q).answered());
     }
 
     #[test]

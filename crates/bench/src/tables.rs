@@ -9,10 +9,10 @@ use std::time::Instant;
 
 use kbqa_baselines::{learn_boa, BoaLexicon, BoaStats, KeywordQa, RuleBasedQa, SynonymQa};
 use kbqa_common::hash::FxHashMap;
-use kbqa_core::engine::QaSystem;
 use kbqa_core::eval::{self, EvalQuestion};
 use kbqa_core::expansion::{self, ExpansionConfig, ExpansionResult};
 use kbqa_core::hybrid::HybridSystem;
+use kbqa_core::service::QaSystem;
 use kbqa_corpus::benchmark::{self, Benchmark};
 use kbqa_corpus::{docs, World, WorldConfig};
 use kbqa_nlp::GazetteerNer;
@@ -78,7 +78,15 @@ pub fn boa_artifacts(session: &Session, per_intent: usize) -> BoaArtifacts {
 pub fn kb_stats(sessions: &[&Session]) -> Table {
     let mut t = Table::new(
         "KB profile (Sec 7.1 stand-ins)",
-        &["KB", "triples", "resources", "literals", "predicates", "categories", "names"],
+        &[
+            "KB",
+            "triples",
+            "resources",
+            "literals",
+            "predicates",
+            "categories",
+            "names",
+        ],
     );
     for s in sessions {
         let stats = StoreStats::of(&s.world.store);
@@ -99,7 +107,15 @@ pub fn kb_stats(sessions: &[&Session]) -> Table {
 pub fn table4(scale: Scale) -> Table {
     let mut t = Table::new(
         "Table 4: valid(k) — Infobox-supported expanded predicates per length",
-        &["KB", "k=1", "k=2", "k=3", "emitted k=1", "emitted k=2", "emitted k=3"],
+        &[
+            "KB",
+            "k=1",
+            "k=2",
+            "k=3",
+            "emitted k=1",
+            "emitted k=2",
+            "emitted k=3",
+        ],
     );
     let presets: [(&str, WorldConfig); 2] = match scale {
         Scale::Quick => [
@@ -171,11 +187,11 @@ pub fn table5(session: &Session, scale: Scale) -> Table {
 
 /// Table 6: average number of choices per random variable.
 pub fn table6(session: &Session) -> Table {
-    let engine = session.engine();
+    let service = session.service();
     let mut sums = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
     let mut n = 0usize;
     for pair in session.corpus.factoid_pairs().take(300) {
-        let stats = engine.question_statistics(&pair.question);
+        let stats = service.question_statistics(&pair.question);
         if stats.entities == 0 {
             continue;
         }
@@ -236,11 +252,7 @@ const QALD_HEADER: [&str; 10] = [
 
 /// Tables 7/8/9 core: evaluate KBQA per KB session plus baselines on the
 /// first session.
-fn qald_table(
-    title: &str,
-    sessions: &[&Session],
-    bench_params: (usize, usize, f64, u64),
-) -> Table {
+fn qald_table(title: &str, sessions: &[&Session], bench_params: (usize, usize, f64, u64)) -> Table {
     let (total, bfqs, hard, seed) = bench_params;
     let mut t = Table::new(title, &QALD_HEADER);
     // Baselines over the first session's world.
@@ -258,26 +270,37 @@ fn qald_table(
     for session in sessions {
         let bench = benchmark::qald_like(&session.world, "bench", total, bfqs, hard, seed);
         let questions = to_eval(&bench);
-        let engine = session.engine();
         let label = format!("KBQA+{}", session.kb_name);
-        t.row(qald_row(&label, &engine, &questions));
+        t.row(qald_row(&label, session.service(), &questions));
     }
     t
 }
 
 /// Table 7: QALD-5-like results.
 pub fn table7(sessions: &[&Session]) -> Table {
-    qald_table("Table 7: results on QALD-5-like", sessions, (50, 12, 0.25, 72))
+    qald_table(
+        "Table 7: results on QALD-5-like",
+        sessions,
+        (50, 12, 0.25, 72),
+    )
 }
 
 /// Table 8: QALD-3-like results.
 pub fn table8(sessions: &[&Session]) -> Table {
-    qald_table("Table 8: results on QALD-3-like", sessions, (99, 41, 0.25, 73))
+    qald_table(
+        "Table 8: results on QALD-3-like",
+        sessions,
+        (99, 41, 0.25, 73),
+    )
 }
 
 /// Table 9: QALD-1-like results (KBQA vs the DEANNA-like synonym system).
 pub fn table9(sessions: &[&Session]) -> Table {
-    qald_table("Table 9: results on QALD-1-like", sessions, (50, 27, 0.20, 74))
+    qald_table(
+        "Table 9: results on QALD-1-like",
+        sessions,
+        (50, 27, 0.20, 74),
+    )
 }
 
 /// Table 10: WebQuestions-like results.
@@ -309,8 +332,7 @@ pub fn table10(session: &Session, scale: Scale) -> Table {
     let boa = boa_artifacts(session, 40);
     let synonym = SynonymQa::new(&session.world.store, &boa.lexicon, &boa.expansion.catalog);
     push("SynonymQA (DEANNA-like)", &synonym);
-    let engine = session.engine();
-    push("KBQA", &engine);
+    push("KBQA", session.service());
     t
 }
 
@@ -348,11 +370,11 @@ pub fn table11(session: &Session) -> Table {
                 B::Synonym(s) => s.name(),
             }
         }
-        fn answer(&self, q: &str) -> Option<kbqa_core::engine::SystemAnswer> {
+        fn answer(&self, request: &kbqa_core::QaRequest) -> kbqa_core::QaResponse {
             match self {
-                B::Rule(s) => s.answer(q),
-                B::Keyword(s) => s.answer(q),
-                B::Synonym(s) => s.answer(q),
+                B::Rule(s) => s.answer(request),
+                B::Keyword(s) => s.answer(request),
+                B::Synonym(s) => s.answer(request),
             }
         }
     }
@@ -365,7 +387,7 @@ pub fn table11(session: &Session) -> Table {
         let (r0, rs0, p0, ps0) = metrics(&baseline);
         let name = baseline.name().to_owned();
         t.row(vec![name.clone(), f2(r0), f2(rs0), f2(p0), f2(ps0)]);
-        let hybrid = HybridSystem::new(session.engine(), baseline);
+        let hybrid = HybridSystem::new(session.service().clone(), baseline);
         let (r1, rs1, p1, ps1) = metrics(&hybrid);
         t.row(vec![
             format!("KBQA+{name}"),
@@ -382,7 +404,13 @@ pub fn table11(session: &Session) -> Table {
 pub fn table12(sessions: &[&Session]) -> Table {
     let mut t = Table::new(
         "Table 12: coverage of predicate inference",
-        &["system", "corpus", "templates", "predicates", "templates/predicate"],
+        &[
+            "system",
+            "corpus",
+            "templates",
+            "predicates",
+            "templates/predicate",
+        ],
     );
     for session in sessions {
         let stats = &session.model.stats;
@@ -475,8 +503,7 @@ pub fn table13(session: &Session) -> Table {
     };
 
     let ranked = model.templates_by_support();
-    let top100: Vec<kbqa_core::TemplateId> =
-        ranked.iter().take(100).map(|&(t, _)| t).collect();
+    let top100: Vec<kbqa_core::TemplateId> = ranked.iter().take(100).map(|&(t, _)| t).collect();
     // "Random" 100: templates with support > 1, spread deterministically.
     let eligible: Vec<kbqa_core::TemplateId> = ranked
         .iter()
@@ -525,7 +552,7 @@ pub fn table14(session: &Session) -> Table {
         let start = Instant::now();
         let mut answered = 0usize;
         for q in &questions {
-            if system.answer(q).is_some() {
+            if system.answer_text(q).answered() {
                 answered += 1;
             }
         }
@@ -545,9 +572,18 @@ pub fn table14(session: &Session) -> Table {
     timed("KeywordQA", &keyword, "O(|q|·deg(e))", "O(deg(e))");
     let boa = boa_artifacts(session, 40);
     let synonym = SynonymQa::new(&session.world.store, &boa.lexicon, &boa.expansion.catalog);
-    timed("SynonymQA (DEANNA-like)", &synonym, "O(|q|·|lexicon|)", "O(|P|)");
-    let engine = session.engine();
-    timed("KBQA", &engine, "O(|q|^4) parse", "O(|P|) inference");
+    timed(
+        "SynonymQA (DEANNA-like)",
+        &synonym,
+        "O(|q|·|lexicon|)",
+        "O(|P|)",
+    );
+    timed(
+        "KBQA",
+        session.service(),
+        "O(|q|^4) parse",
+        "O(|P|) inference",
+    );
     t
 }
 
@@ -558,30 +594,26 @@ pub fn table15(session: &Session) -> Table {
         "Table 15: complex question answering",
         &["question", "KBQA", "RuleQA†", "SynonymQA†"],
     );
-    let engine = session.engine();
+    let service = session.service();
     let rule = RuleBasedQa::new(&session.world.store);
     let boa = boa_artifacts(session, 40);
     let synonym = SynonymQa::new(&session.world.store, &boa.lexicon, &boa.expansion.catalog);
     let verdict = |system: &dyn QaSystem, q: &benchmark::ComplexQuestion| -> &'static str {
-        match system.answer(&q.question) {
-            Some(a) => {
-                let right = a
-                    .value_strings()
-                    .iter()
-                    .any(|v| eval::matches_gold(v, &q.gold_answers));
-                if right {
-                    "Y"
-                } else {
-                    "N"
-                }
-            }
-            None => "N",
+        let response = system.answer_text(&q.question);
+        let right = response
+            .value_strings()
+            .iter()
+            .any(|v| eval::matches_gold(v, &q.gold_answers));
+        if right {
+            "Y"
+        } else {
+            "N"
         }
     };
     for q in &suite {
         t.row(vec![
             q.question.clone(),
-            verdict(&engine, q).to_owned(),
+            verdict(service, q).to_owned(),
             verdict(&rule, q).to_owned(),
             verdict(&synonym, q).to_owned(),
         ]);
@@ -620,7 +652,11 @@ pub fn table16(session: &Session) -> Table {
         &["length", "#templates", "#predicates"],
     );
     t.row(vec!["1".into(), t_len1.to_string(), p_len1.to_string()]);
-    t.row(vec!["2 to k".into(), t_multi.to_string(), p_multi.to_string()]);
+    t.row(vec![
+        "2 to k".into(),
+        t_multi.to_string(),
+        p_multi.to_string(),
+    ]);
     t.row(vec![
         "ratio".into(),
         f2(if t_len1 == 0 {
@@ -690,8 +726,7 @@ pub fn variants_extension(session: &Session) -> Table {
         "Extension: BFQ variants (ranking/comparison/listing, Sec 1)",
         &["system", "#pro", "#ri", "P", "R"],
     );
-    let engine = session.engine();
-    let o = eval::evaluate_qald(&engine, &questions);
+    let o = eval::evaluate_qald(session.service(), &questions);
     t.row(vec![
         "KBQA (BFQ only)".into(),
         o.processed.to_string(),
@@ -699,9 +734,8 @@ pub fn variants_extension(session: &Session) -> Table {
         f2(o.precision()),
         f2(o.recall()),
     ]);
-    let engine2 = session.engine();
-    let variants = kbqa_core::VariantQa::new(&engine2);
-    let extended = HybridSystem::new(session.engine(), variants);
+    let variants = kbqa_core::VariantQa::new(session.service().clone());
+    let extended = HybridSystem::new(session.service().clone(), variants);
     let o = eval::evaluate_qald(&extended, &questions);
     t.row(vec![
         "KBQA + variants".into(),
@@ -805,11 +839,7 @@ mod tests {
         let t = table15(&session);
         assert!(!t.rows.is_empty());
         let kbqa_yes = t.rows.iter().filter(|r| r[1] == "Y").count();
-        let baseline_yes = t
-            .rows
-            .iter()
-            .filter(|r| r[2] == "Y" || r[3] == "Y")
-            .count();
+        let baseline_yes = t.rows.iter().filter(|r| r[2] == "Y" || r[3] == "Y").count();
         assert!(
             kbqa_yes > baseline_yes,
             "KBQA {kbqa_yes} vs baselines {baseline_yes}\n{t}"

@@ -176,7 +176,11 @@ mod tests {
         // Direct computation overflows; LSE must not.
         let values = [1000.0, 999.0];
         let result = log_sum_exp(&values);
-        assert!(approx_eq(result, 1000.0 + (1.0 + (-1.0f64).exp()).ln(), 1e-12));
+        assert!(approx_eq(
+            result,
+            1000.0 + (1.0 + (-1.0f64).exp()).ln(),
+            1e-12
+        ));
     }
 
     #[test]

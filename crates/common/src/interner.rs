@@ -107,7 +107,10 @@ impl Interner {
         self.buckets.clear();
         self.buckets.reserve(self.strings.len());
         for (i, s) in self.strings.iter().enumerate() {
-            self.buckets.entry(fx_hash(&**s)).or_default().push(i as u32);
+            self.buckets
+                .entry(fx_hash(&**s))
+                .or_default()
+                .push(i as u32);
         }
     }
 }
@@ -182,8 +185,7 @@ mod tests {
         let mut interner = Interner::new();
         interner.intern("a");
         interner.intern("b");
-        let pairs: Vec<(u32, String)> =
-            interner.iter().map(|(s, w)| (s, w.to_owned())).collect();
+        let pairs: Vec<(u32, String)> = interner.iter().map(|(s, w)| (s, w.to_owned())).collect();
         assert_eq!(pairs, vec![(0, "a".to_owned()), (1, "b".to_owned())]);
     }
 }

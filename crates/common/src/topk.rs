@@ -85,7 +85,9 @@ impl<T> TopK<T> {
             })
             .collect();
         out.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
-        out.into_iter().map(|(s, _, item)| (s.get(), item)).collect()
+        out.into_iter()
+            .map(|(s, _, item)| (s.get(), item))
+            .collect()
     }
 }
 

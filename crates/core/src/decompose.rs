@@ -24,7 +24,7 @@ use serde::{Deserialize, Serialize};
 
 use kbqa_nlp::{tokenize, GazetteerNer, TokenizedText};
 
-use crate::engine::{QaEngine, SystemAnswer};
+use crate::engine::{Answer, QaEngine};
 
 /// Questions longer than this are not indexed or decomposed (the paper:
 /// over 99% of corpus questions have < 23 words).
@@ -44,10 +44,7 @@ pub struct PatternIndex {
 impl PatternIndex {
     /// Build from corpus questions, using the NER to decide which replaced
     /// substrings are valid entity mentions.
-    pub fn build<'q>(
-        questions: impl IntoIterator<Item = &'q str>,
-        ner: &GazetteerNer,
-    ) -> Self {
+    pub fn build<'q>(questions: impl IntoIterator<Item = &'q str>, ner: &GazetteerNer) -> Self {
         let mut counts: FxHashMap<u64, (u32, u32)> = FxHashMap::default();
         let mut questions_indexed = 0usize;
         // Patterns seen in the current question (counts are per question).
@@ -254,40 +251,44 @@ pub fn decompose(
 }
 
 /// Execute a decomposition: answer the primitive, then substitute into each
-/// pattern outward. Returns ranked final values.
-pub fn execute(engine: &QaEngine<'_>, decomposition: &Decomposition) -> Option<SystemAnswer> {
+/// pattern outward. Returns the final step's ranked answers — provenance
+/// (entity/template/predicate/node) is the last hop's, with scores
+/// accumulated along the chain.
+pub fn execute(engine: &QaEngine<'_>, decomposition: &Decomposition) -> Option<Vec<Answer>> {
     let width = engine.config().chain_width.max(1);
-    let mut carried: Vec<(String, f64)> = engine
+    let mut carried: Vec<Answer> = engine
         .answer_bfq(&decomposition.primitive)
         .into_iter()
         .take(width)
-        .map(|a| (a.value, a.score))
         .collect();
     if carried.is_empty() {
         return None;
     }
     for pattern in &decomposition.patterns {
-        let mut next: Vec<(String, f64)> = Vec::new();
-        for (value, carry_score) in &carried {
-            let question = pattern.replace("$e", value);
-            for a in engine.answer_bfq(&question).into_iter().take(width) {
-                next.push((a.value, a.score * carry_score));
+        let mut next: Vec<Answer> = Vec::new();
+        for previous in &carried {
+            let question = pattern.replace("$e", &previous.value);
+            for mut a in engine.answer_bfq(&question).into_iter().take(width) {
+                a.score *= previous.score;
+                next.push(a);
             }
         }
         // Merge duplicates, keep the best-scoring occurrence.
-        next.sort_by(|x, y| x.0.cmp(&y.0).then(y.1.total_cmp(&x.1)));
-        next.dedup_by(|a, b| a.0 == b.0 && {
-            b.1 = b.1.max(a.1);
-            true
+        next.sort_by(|x, y| x.value.cmp(&y.value).then(y.score.total_cmp(&x.score)));
+        next.dedup_by(|a, b| {
+            a.value == b.value && {
+                b.score = b.score.max(a.score);
+                true
+            }
         });
-        next.sort_by(|x, y| y.1.total_cmp(&x.1));
+        next.sort_by(|x, y| y.score.total_cmp(&x.score));
         next.truncate(width.max(8));
         if next.is_empty() {
             return None;
         }
         carried = next;
     }
-    Some(SystemAnswer { values: carried })
+    Some(carried)
 }
 
 /// Decompose-then-execute; the engine's fallback for non-primitive
@@ -296,7 +297,7 @@ pub fn answer_complex(
     engine: &QaEngine<'_>,
     index: &PatternIndex,
     question: &str,
-) -> Option<SystemAnswer> {
+) -> Option<Vec<Answer>> {
     let decomposition = decompose(engine, index, question)?;
     if decomposition.patterns.is_empty() {
         // Primitive — answer_bfq already failed upstream, but the DP may
@@ -305,15 +306,19 @@ pub fn answer_complex(
         if answers.is_empty() {
             return None;
         }
-        return Some(SystemAnswer {
-            values: answers.into_iter().map(|a| (a.value, a.score)).collect(),
-        });
+        return Some(answers);
     }
     execute(engine, &decomposition)
 }
 
 /// The pattern token list for replacing `[c, d)` inside `[a, b)`.
-fn replacement_pattern<'w>(words: &[&'w str], a: usize, b: usize, c: usize, d: usize) -> Vec<&'w str> {
+fn replacement_pattern<'w>(
+    words: &[&'w str],
+    a: usize,
+    b: usize,
+    c: usize,
+    d: usize,
+) -> Vec<&'w str> {
     let mut out: Vec<&str> = Vec::with_capacity(b - a - (d - c) + 1);
     out.extend_from_slice(&words[a..c]);
     out.push("$e");
@@ -389,8 +394,7 @@ mod tests {
     #[test]
     fn decomposes_capital_population_question() {
         let (world, model, index) = setup();
-        let engine =
-            crate::engine::QaEngine::new(&world.store, &world.conceptualizer, &model);
+        let engine = crate::engine::QaEngine::new(&world.store, &world.conceptualizer, &model);
         // Find a country whose capital exists.
         let cap_intent = world.intent_by_name("country_capital").unwrap();
         let country = world
@@ -399,11 +403,7 @@ mod tests {
             .copied()
             .find(|&c| {
                 !world.gold_values(cap_intent, c).is_empty()
-                    && world
-                        .store
-                        .entities_named(&world.store.surface(c))
-                        .len()
-                        == 1
+                    && world.store.entities_named(&world.store.surface(c)).len() == 1
             })
             .expect("a country with a capital");
         let q = format!(
@@ -420,18 +420,13 @@ mod tests {
             "primitive: {}",
             d.primitive
         );
-        assert!(
-            d.patterns[0].contains("$e"),
-            "pattern: {}",
-            d.patterns[0]
-        );
+        assert!(d.patterns[0].contains("$e"), "pattern: {}", d.patterns[0]);
     }
 
     #[test]
     fn executes_chained_answers() {
         let (world, model, index) = setup();
-        let engine =
-            crate::engine::QaEngine::new(&world.store, &world.conceptualizer, &model);
+        let engine = crate::engine::QaEngine::new(&world.store, &world.conceptualizer, &model);
         let cap_intent = world.intent_by_name("country_capital").unwrap();
         let pop_pred = world.store.dict().find_predicate("population").unwrap();
         let capital_pred = world.store.dict().find_predicate("capital").unwrap();
@@ -464,21 +459,20 @@ mod tests {
             world.store.surface(country)
         );
         let answer = answer_complex(&engine, &index, &q);
-        let Some(answer) = answer else {
+        let Some(answers) = answer else {
             panic!("complex question unanswered: {q:?}");
         };
+        let top = answers.first().map(|a| a.value.as_str());
         assert!(
-            gold.iter().any(|g| answer.top() == Some(g.as_str())),
-            "expected {gold:?}, got {:?}",
-            answer.values
+            gold.iter().any(|g| top == Some(g.as_str())),
+            "expected {gold:?}, got {answers:?}"
         );
     }
 
     #[test]
     fn primitive_question_decomposes_to_itself() {
         let (world, model, index) = setup();
-        let engine =
-            crate::engine::QaEngine::new(&world.store, &world.conceptualizer, &model);
+        let engine = crate::engine::QaEngine::new(&world.store, &world.conceptualizer, &model);
         let pop = world.intent_by_name("city_population").unwrap();
         let city = world
             .subjects_of(pop)
@@ -496,8 +490,7 @@ mod tests {
     #[test]
     fn undecomposable_question_returns_none() {
         let (world, model, index) = setup();
-        let engine =
-            crate::engine::QaEngine::new(&world.store, &world.conceptualizer, &model);
+        let engine = crate::engine::QaEngine::new(&world.store, &world.conceptualizer, &model);
         assert!(decompose(&engine, &index, "why is the sky blue").is_none());
         assert!(decompose(&engine, &index, "").is_none());
     }

@@ -230,17 +230,16 @@ fn e_step(
         return e_step_chunk(observations, theta, n_templates);
     }
     let chunk_size = observations.len().div_ceil(threads);
-    let results: Vec<(Accumulator, f64)> = crossbeam::scope(|scope| {
+    let results: Vec<(Accumulator, f64)> = std::thread::scope(|scope| {
         let handles: Vec<_> = observations
             .chunks(chunk_size)
-            .map(|chunk| scope.spawn(move |_| e_step_chunk(chunk, theta, n_templates)))
+            .map(|chunk| scope.spawn(move || e_step_chunk(chunk, theta, n_templates)))
             .collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("E-step worker panicked"))
             .collect()
-    })
-    .expect("crossbeam scope");
+    });
 
     // Merge.
     let mut acc: Accumulator = vec![FxHashMap::default(); n_templates];
@@ -343,8 +342,7 @@ mod tests {
     #[test]
     fn unambiguous_observations_converge_to_certainty() {
         // Template 0 always co-occurs with predicate 0 only.
-        let observations: Vec<Observation> =
-            (0..20).map(|_| obs(0, &[(0, 1.0)])).collect();
+        let observations: Vec<Observation> = (0..20).map(|_| obs(0, &[(0, 1.0)])).collect();
         let (theta, stats) = estimate(&observations, 1, &EmConfig::default());
         assert!(stats.converged);
         let (top, prob) = theta.top_predicate(t(0)).unwrap();

@@ -1,4 +1,4 @@
-//! The online answering procedure (paper Sec 3.3).
+//! The online answering procedure (paper Sec 3.3) — the inference kernel.
 //!
 //! Given a user question `q₀`, compute
 //! `P(v|q₀) = Σ_{e,t,p} P(v|e,p)·P(p|t)·P(t|e,q₀)·P(e|q₀)` (Eq 7) and return
@@ -7,9 +7,16 @@
 //! (entity, predicate) are bounded constants, so the run is `O(|P|)` in the
 //! number of predicates a template distributes over.
 //!
-//! The engine *refuses* (returns no answer) when no learned template
-//! matches — the behaviour behind the `#pro` column in the QALD tables: a
-//! high-precision system answers fewer questions rather than guessing.
+//! The engine *refuses* when any stage of the enumeration has no support —
+//! the behaviour behind the `#pro` column in the QALD tables: a
+//! high-precision system answers fewer questions rather than guessing. Each
+//! refusal carries its cause as a [`Refusal`].
+//!
+//! [`QaEngine`] borrows its substrate for a lifetime; it is the internal
+//! kernel that [`crate::service::KbqaService`] wraps for serving. New
+//! integrations should talk to the service, not the engine.
+
+use std::borrow::Cow;
 
 use kbqa_common::hash::FxHashMap;
 use kbqa_common::topk::TopK;
@@ -22,6 +29,7 @@ use kbqa_taxonomy::Conceptualizer;
 use crate::decompose::PatternIndex;
 use crate::learner::LearnedModel;
 use crate::model;
+use crate::service::{QaRequest, QaResponse, Refusal};
 
 /// Online engine parameters.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -59,44 +67,45 @@ impl Default for EngineConfig {
 pub struct Answer {
     /// The answer value's surface form.
     pub value: String,
-    /// The value node.
-    pub node: NodeId,
+    /// The value node, when the answer came from a KB lookup.
+    pub node: Option<NodeId>,
     /// Accumulated probability mass (unnormalized posterior).
     pub score: f64,
     /// Surface of the grounded question entity.
     pub entity: String,
-    /// Canonical template that matched.
+    /// Canonical template that matched (or a system-specific descriptor for
+    /// non-template systems).
     pub template: String,
     /// Rendered predicate path (`marriage→person→name`).
     pub predicate: String,
 }
 
-/// A system-level answer: ranked values (shared across KBQA and baselines).
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
-pub struct SystemAnswer {
-    /// `(value, score)` sorted by descending score.
-    pub values: Vec<(String, f64)>,
-}
-
-impl SystemAnswer {
-    /// The top-ranked value.
-    pub fn top(&self) -> Option<&str> {
-        self.values.first().map(|(v, _)| v.as_str())
+impl Answer {
+    /// A bare ranked value without provenance, for systems (or tests) that
+    /// only score surface strings.
+    pub fn ranked(value: impl Into<String>, score: f64) -> Self {
+        Self {
+            value: value.into(),
+            node: None,
+            score,
+            entity: String::new(),
+            template: String::new(),
+            predicate: String::new(),
+        }
     }
 
-    /// All value strings in rank order.
-    pub fn value_strings(&self) -> Vec<&str> {
-        self.values.iter().map(|(v, _)| v.as_str()).collect()
+    /// Attach provenance to a ranked value.
+    pub fn with_provenance(
+        mut self,
+        entity: impl Into<String>,
+        template: impl Into<String>,
+        predicate: impl Into<String>,
+    ) -> Self {
+        self.entity = entity.into();
+        self.template = template.into();
+        self.predicate = predicate.into();
+        self
     }
-}
-
-/// The interface shared by KBQA and every baseline system: answer a natural
-/// language question or refuse (`None`).
-pub trait QaSystem {
-    /// Short display name for result tables.
-    fn name(&self) -> &str;
-    /// Answer or refuse.
-    fn answer(&self, question: &str) -> Option<SystemAnswer>;
 }
 
 /// Per-question uncertainty statistics (paper Table 6).
@@ -112,19 +121,21 @@ pub struct ChoiceStats {
     pub values_per_pair: f64,
 }
 
-/// The KBQA online engine.
+/// The KBQA online engine (the inference kernel behind
+/// [`crate::service::KbqaService`]).
 pub struct QaEngine<'a> {
     store: &'a TripleStore,
     conceptualizer: &'a Conceptualizer,
     model: &'a LearnedModel,
-    ner: GazetteerNer,
-    pattern_index: Option<PatternIndex>,
+    ner: Cow<'a, GazetteerNer>,
+    pattern_index: Option<Cow<'a, PatternIndex>>,
     config: EngineConfig,
 }
 
 impl<'a> QaEngine<'a> {
     /// Build an engine over a store, taxonomy and learned model. The NER
-    /// gazetteer is derived from the store's name index.
+    /// gazetteer is derived from the store's name index — an O(names) cost;
+    /// services should derive it once and use [`QaEngine::with_shared`].
     pub fn new(
         store: &'a TripleStore,
         conceptualizer: &'a Conceptualizer,
@@ -134,7 +145,25 @@ impl<'a> QaEngine<'a> {
             store,
             conceptualizer,
             model,
-            ner: GazetteerNer::from_store(store),
+            ner: Cow::Owned(GazetteerNer::from_store(store)),
+            pattern_index: None,
+            config: EngineConfig::default(),
+        }
+    }
+
+    /// Build an engine borrowing every component — free construction over
+    /// pre-built artifacts.
+    pub fn with_shared(
+        store: &'a TripleStore,
+        conceptualizer: &'a Conceptualizer,
+        model: &'a LearnedModel,
+        ner: &'a GazetteerNer,
+    ) -> Self {
+        Self {
+            store,
+            conceptualizer,
+            model,
+            ner: Cow::Borrowed(ner),
             pattern_index: None,
             config: EngineConfig::default(),
         }
@@ -146,10 +175,16 @@ impl<'a> QaEngine<'a> {
         self
     }
 
-    /// Attach the corpus pattern index enabling complex-question
+    /// Attach an owned corpus pattern index enabling complex-question
     /// decomposition (Sec 5).
     pub fn with_pattern_index(mut self, index: PatternIndex) -> Self {
-        self.pattern_index = Some(index);
+        self.pattern_index = Some(Cow::Owned(index));
+        self
+    }
+
+    /// Attach a borrowed pattern index (the service path).
+    pub fn with_pattern_index_ref(mut self, index: &'a PatternIndex) -> Self {
+        self.pattern_index = Some(Cow::Borrowed(index));
         self
     }
 
@@ -160,7 +195,7 @@ impl<'a> QaEngine<'a> {
 
     /// The pattern index, when attached.
     pub fn pattern_index(&self) -> Option<&PatternIndex> {
-        self.pattern_index.as_ref()
+        self.pattern_index.as_deref()
     }
 
     /// The underlying store.
@@ -173,22 +208,47 @@ impl<'a> QaEngine<'a> {
         &self.ner
     }
 
+    /// A reborrowed engine running under a different configuration — how
+    /// per-request overrides run without touching shared state.
+    fn reconfigured(&self, config: EngineConfig) -> QaEngine<'_> {
+        QaEngine {
+            store: self.store,
+            conceptualizer: self.conceptualizer,
+            model: self.model,
+            ner: Cow::Borrowed(self.ner.as_ref()),
+            pattern_index: self.pattern_index.as_deref().map(Cow::Borrowed),
+            config,
+        }
+    }
+
     /// Answer a question as a BFQ: the Eq (7) enumeration. Returns ranked
-    /// answers with provenance; empty = refusal.
+    /// answers with provenance; empty = refusal (use
+    /// [`QaEngine::answer_bfq_explained`] for the cause).
     pub fn answer_bfq(&self, question: &str) -> Vec<Answer> {
+        self.answer_bfq_explained(question).unwrap_or_default()
+    }
+
+    /// BFQ answering with the refusal cause on the error path.
+    pub fn answer_bfq_explained(&self, question: &str) -> Result<Vec<Answer>, Refusal> {
         let tokens = tokenize(question);
-        self.answer_bfq_tokens(&tokens)
+        self.bfq_kernel(&tokens)
     }
 
     /// BFQ answering over pre-tokenized text (the decomposition DP calls
     /// this on substrings).
     pub fn answer_bfq_tokens(&self, tokens: &TokenizedText) -> Vec<Answer> {
+        self.bfq_kernel(tokens).unwrap_or_default()
+    }
+
+    /// The Eq (7) enumeration with refusal tracking: each stage that comes
+    /// up empty names itself, in pipeline order.
+    fn bfq_kernel(&self, tokens: &TokenizedText) -> Result<Vec<Answer>, Refusal> {
         if tokens.is_empty() {
-            return Vec::new();
+            return Err(Refusal::NoEntityGrounded);
         }
         let groundings = self.groundings(tokens);
         if groundings.is_empty() {
-            return Vec::new();
+            return Err(Refusal::NoEntityGrounded);
         }
         let p_entity = model::entity_probability(groundings.len());
 
@@ -200,6 +260,8 @@ impl<'a> QaEngine<'a> {
         }
         let mut scores: FxHashMap<NodeId, f64> = FxHashMap::default();
         let mut provenance: FxHashMap<NodeId, Best> = FxHashMap::default();
+        let mut any_template = false;
+        let mut any_predicate = false;
 
         for (entity, mention) in &groundings {
             let templates = model::templates_for_mention(
@@ -213,14 +275,14 @@ impl<'a> QaEngine<'a> {
                 let Some(tid) = self.model.templates.get(&template) else {
                     continue;
                 };
+                any_template = true;
                 for &(pred, theta) in self.model.theta.predicates_for(tid) {
                     if theta < self.config.min_theta {
                         break; // rows are sorted descending
                     }
+                    any_predicate = true;
                     let path = self.model.predicates.resolve(pred);
-                    for (value, p_value) in
-                        model::value_distribution(self.store, *entity, path)
-                    {
+                    for (value, p_value) in model::value_distribution(self.store, *entity, path) {
                         let contribution = p_entity * p_template * theta * p_value;
                         let total = scores.entry(value).or_insert(0.0);
                         *total += contribution;
@@ -244,24 +306,76 @@ impl<'a> QaEngine<'a> {
             }
         }
 
+        if scores.is_empty() {
+            return Err(if !any_template {
+                Refusal::NoTemplateMatched
+            } else if !any_predicate {
+                Refusal::NoPredicateAboveTheta
+            } else {
+                Refusal::EmptyValueSet
+            });
+        }
+
         let mut top = TopK::new(self.config.top_k);
         for (value, score) in scores {
             top.push(score, value);
         }
-        top.into_sorted_vec()
+        Ok(top
+            .into_sorted_vec()
             .into_iter()
             .map(|(score, node)| {
                 let best = &provenance[&node];
                 Answer {
                     value: self.store.surface(node),
-                    node,
+                    node: Some(node),
                     score,
                     entity: self.store.surface(best.entity),
                     template: self.model.templates.resolve(best.template).to_owned(),
                     predicate: self.model.predicates.render(best.pred, self.store),
                 }
             })
-            .collect()
+            .collect())
+    }
+
+    /// Answer a request: direct BFQ inference, decomposition fallback, and
+    /// per-request configuration overrides. This is the full online
+    /// procedure the service exposes.
+    pub fn answer_request(&self, request: &QaRequest) -> QaResponse {
+        let config = request.effective_config(&self.config);
+        let engine = self.reconfigured(config);
+        let tokens = tokenize(&request.question);
+        let mut response = match engine.bfq_kernel(&tokens) {
+            Ok(answers) => QaResponse::from_answers(answers),
+            Err(refusal) => {
+                let decomposed = if engine.config.decompose {
+                    engine.pattern_index().and_then(|index| {
+                        crate::decompose::answer_complex(&engine, index, &request.question)
+                    })
+                } else {
+                    None
+                };
+                match decomposed {
+                    Some(mut answers) if !answers.is_empty() => {
+                        // The chain executor carries up to chain_width
+                        // candidates; the response contract is top_k.
+                        answers.truncate(engine.config.top_k);
+                        QaResponse::from_answers(answers)
+                    }
+                    // Keep the direct-path cause: it names the first stage
+                    // that failed, which is the actionable signal.
+                    _ => QaResponse::refused(refusal),
+                }
+            }
+        };
+        if request.explain {
+            response.stats = Some(engine.question_statistics(&request.question));
+        }
+        response
+    }
+
+    /// Answer a bare question with this engine's defaults.
+    pub fn answer_question(&self, question: &str) -> QaResponse {
+        self.answer_request(&QaRequest::new(question))
     }
 
     /// Can this text be answered as a primitive BFQ? (The δ of Eq 28.)
@@ -313,9 +427,7 @@ impl<'a> QaEngine<'a> {
                     }
                     for &(pred, _) in row {
                         let path = self.model.predicates.resolve(pred);
-                        let n = kbqa_rdf::path::object_count_via_path(
-                            self.store, *entity, path,
-                        );
+                        let n = kbqa_rdf::path::object_count_via_path(self.store, *entity, path);
                         if n > 0 {
                             value_counts.push(n);
                         }
@@ -336,27 +448,6 @@ impl<'a> QaEngine<'a> {
             predicates_per_template: avg(&predicate_counts),
             values_per_pair: avg(&value_counts),
         }
-    }
-}
-
-impl QaSystem for QaEngine<'_> {
-    fn name(&self) -> &str {
-        "KBQA"
-    }
-
-    fn answer(&self, question: &str) -> Option<SystemAnswer> {
-        let direct = self.answer_bfq(question);
-        if !direct.is_empty() {
-            return Some(SystemAnswer {
-                values: direct.into_iter().map(|a| (a.value, a.score)).collect(),
-            });
-        }
-        if self.config.decompose {
-            if let Some(index) = &self.pattern_index {
-                return crate::decompose::answer_complex(self, index, question);
-            }
-        }
-        None
     }
 }
 
@@ -399,12 +490,13 @@ mod tests {
                 continue;
             }
             asked += 1;
-            let q = format!(
-                "how many people are there in {}",
-                world.store.surface(city)
-            );
+            let q = format!("how many people are there in {}", world.store.surface(city));
             let answers = engine.answer_bfq(&q);
-            if answers.first().map(|a| gold.contains(&a.value)).unwrap_or(false) {
+            if answers
+                .first()
+                .map(|a| gold.contains(&a.value))
+                .unwrap_or(false)
+            {
                 right += 1;
             }
         }
@@ -433,20 +525,27 @@ mod tests {
         assert_eq!(a.predicate, "population");
         assert!(a.template.contains('$'), "template: {}", a.template);
         assert_eq!(a.entity, world.store.surface(city));
+        assert!(a.node.is_some(), "engine answers carry the value node");
     }
 
     #[test]
-    fn refuses_unknown_questions() {
+    fn refuses_unknown_questions_with_cause() {
         let (world, model) = setup();
         let engine = QaEngine::new(&world.store, &world.conceptualizer, &model);
         assert!(engine.answer_bfq("what is the meaning of life").is_empty());
-        assert!(QaSystem::answer(&engine, "why is the sky blue").is_none());
+        // No mention of any KB entity: the earliest stage refuses.
+        assert_eq!(
+            engine.answer_bfq_explained("why is the sky blue"),
+            Err(Refusal::NoEntityGrounded)
+        );
+        assert!(!engine.answer_question("why is the sky blue").answered());
     }
 
     #[test]
-    fn unseen_paraphrase_is_refused() {
+    fn unseen_paraphrase_is_refused_as_unmatched_template() {
         // The benchmark "hard paraphrase" behaviour: a valid question whose
-        // template was never learned gets no answer (precision over recall).
+        // template was never learned gets no answer (precision over recall),
+        // and the refusal names the template stage.
         let (world, model) = setup();
         let engine = QaEngine::new(&world.store, &world.conceptualizer, &model);
         let pop = world.intent_by_name("city_population").unwrap();
@@ -455,7 +554,10 @@ mod tests {
             "please enumerate the inhabitant count of {}",
             world.store.surface(city)
         );
-        assert!(engine.answer_bfq(&q).is_empty());
+        assert_eq!(
+            engine.answer_bfq_explained(&q),
+            Err(Refusal::NoTemplateMatched)
+        );
     }
 
     #[test]
@@ -476,7 +578,11 @@ mod tests {
             let gold = world.gold_values(spouse, *person);
             let q = format!("who is {} married to", world.store.surface(*person));
             let answers = engine.answer_bfq(&q);
-            if answers.first().map(|a| gold.contains(&a.value)).unwrap_or(false) {
+            if answers
+                .first()
+                .map(|a| gold.contains(&a.value))
+                .unwrap_or(false)
+            {
                 right += 1;
             }
         }
@@ -500,10 +606,9 @@ mod tests {
     }
 
     #[test]
-    fn system_answer_interface() {
+    fn request_interface_answers_and_explains() {
         let (world, model) = setup();
         let engine = QaEngine::new(&world.store, &world.conceptualizer, &model);
-        assert_eq!(engine.name(), "KBQA");
         let pop = world.intent_by_name("city_population").unwrap();
         let city = world
             .subjects_of(pop)
@@ -512,27 +617,48 @@ mod tests {
             .find(|&c| !world.gold_values(pop, c).is_empty())
             .unwrap();
         let q = format!("population of {}", world.store.surface(city));
-        let answer = QaSystem::answer(&engine, &q);
-        assert!(answer.is_some());
-        let answer = answer.unwrap();
-        assert!(answer.top().is_some());
-        assert_eq!(answer.value_strings().len(), answer.values.len());
+        let response = engine.answer_request(&QaRequest::new(&q).with_explain(true));
+        assert!(response.answered());
+        assert!(response.top().is_some());
+        let stats = response.stats.as_ref().expect("explain attaches stats");
+        assert!(stats.entities >= 1);
+        assert_eq!(response.value_strings().len(), response.answers.len());
     }
 
     #[test]
     fn min_theta_gates_low_confidence_predicates() {
         let (world, model) = setup();
-        let strict = QaEngine::new(&world.store, &world.conceptualizer, &model).with_config(
-            EngineConfig {
+        let strict =
+            QaEngine::new(&world.store, &world.conceptualizer, &model).with_config(EngineConfig {
                 min_theta: 0.99,
                 ..Default::default()
-            },
-        );
+            });
         let pop = world.intent_by_name("city_population").unwrap();
         let city = world.subjects_of(pop)[0];
         let q = format!("how many people live in {}", world.store.surface(city));
         let lenient = QaEngine::new(&world.store, &world.conceptualizer, &model);
         // Strict answers ⊆ lenient answers.
         assert!(strict.answer_bfq(&q).len() <= lenient.answer_bfq(&q).len());
+    }
+
+    #[test]
+    fn per_request_config_matches_engine_config() {
+        let (world, model) = setup();
+        let engine = QaEngine::new(&world.store, &world.conceptualizer, &model);
+        let strict_engine =
+            QaEngine::new(&world.store, &world.conceptualizer, &model).with_config(EngineConfig {
+                min_theta: 0.99,
+                top_k: 1,
+                ..Default::default()
+            });
+        let pop = world.intent_by_name("city_population").unwrap();
+        let city = world.subjects_of(pop)[0];
+        let q = format!("how many people live in {}", world.store.surface(city));
+        // A per-request override must behave exactly like an engine built
+        // with that configuration.
+        let via_request =
+            engine.answer_request(&QaRequest::new(&q).with_min_theta(0.99).with_top_k(1));
+        let via_engine = strict_engine.answer_question(&q);
+        assert_eq!(via_request, via_engine);
     }
 }

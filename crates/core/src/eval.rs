@@ -19,7 +19,7 @@ use serde::{Deserialize, Serialize};
 
 use kbqa_nlp::tokenize;
 
-use crate::engine::QaSystem;
+use crate::service::{QaRequest, QaSystem};
 
 /// One evaluation question: text, acceptable answers, BFQ flag.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -132,14 +132,12 @@ pub fn evaluate_qald(system: &dyn QaSystem, questions: &[EvalQuestion]) -> QaldO
         ..Default::default()
     };
     for q in questions {
-        let Some(answer) = system.answer(&q.question) else {
-            continue;
-        };
-        if answer.values.is_empty() {
+        let response = system.answer(&QaRequest::new(&q.question));
+        if !response.answered() {
             continue;
         }
         outcome.processed += 1;
-        let values = answer.value_strings();
+        let values = response.value_strings();
         let top_right = matches_gold(values[0], &q.gold);
         if top_right {
             // Multi-gold questions where the system returns only a strict
@@ -162,17 +160,15 @@ pub fn evaluate_webquestions(system: &dyn QaSystem, questions: &[EvalQuestion]) 
     let mut top1_right = 0usize;
     for q in questions {
         let gold: Vec<String> = q.gold.iter().map(|g| normalize_answer(g)).collect();
-        let Some(answer) = system.answer(&q.question) else {
-            continue;
-        };
-        if answer.values.is_empty() {
+        let response = system.answer(&QaRequest::new(&q.question));
+        if !response.answered() {
             continue;
         }
         answered += 1;
-        let returned: Vec<String> = answer
-            .values
+        let returned: Vec<String> = response
+            .answers
             .iter()
-            .map(|(v, _)| normalize_answer(v))
+            .map(|a| normalize_answer(&a.value))
             .collect();
         let hits = returned.iter().filter(|r| gold.contains(r)).count();
         let p = ratio(hits, returned.len());
@@ -194,15 +190,24 @@ pub fn evaluate_webquestions(system: &dyn QaSystem, questions: &[EvalQuestion]) 
             sum_precision / answered as f64
         },
         p_at_1: ratio(top1_right, total),
-        recall: if total == 0 { 0.0 } else { sum_recall / total as f64 },
-        f1: if total == 0 { 0.0 } else { sum_f1 / total as f64 },
+        recall: if total == 0 {
+            0.0
+        } else {
+            sum_recall / total as f64
+        },
+        f1: if total == 0 {
+            0.0
+        } else {
+            sum_f1 / total as f64
+        },
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::SystemAnswer;
+    use crate::engine::Answer;
+    use crate::service::{QaResponse, Refusal};
 
     /// Scripted system: a fixed map from question to ranked answers.
     struct Scripted(Vec<(&'static str, Vec<&'static str>)>);
@@ -211,16 +216,16 @@ mod tests {
         fn name(&self) -> &str {
             "scripted"
         }
-        fn answer(&self, question: &str) -> Option<SystemAnswer> {
-            self.0.iter().find(|(q, _)| *q == question).map(|(_, vs)| {
-                SystemAnswer {
-                    values: vs
-                        .iter()
+        fn answer(&self, request: &QaRequest) -> QaResponse {
+            match self.0.iter().find(|(q, _)| *q == request.question) {
+                Some((_, vs)) => QaResponse::from_answers(
+                    vs.iter()
                         .enumerate()
-                        .map(|(i, v)| ((*v).to_owned(), 1.0 / (i + 1) as f64))
+                        .map(|(i, v)| Answer::ranked(*v, 1.0 / (i + 1) as f64))
                         .collect(),
-                }
-            })
+                ),
+                None => QaResponse::refused(Refusal::NoTemplateMatched),
+            }
         }
     }
 

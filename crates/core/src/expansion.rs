@@ -93,7 +93,10 @@ impl ExpansionResult {
 
     /// `|V(s, p⁺)|` per the emitted records.
     pub fn value_count(&self, s: NodeId, p: PredId) -> usize {
-        self.value_counts.get(&(s, p)).map(|&c| c as usize).unwrap_or(0)
+        self.value_counts
+            .get(&(s, p))
+            .map(|&c| c as usize)
+            .unwrap_or(0)
     }
 
     /// Distinct predicates emitted with the given path length.
@@ -124,8 +127,7 @@ pub fn expand(
     config: &ExpansionConfig,
 ) -> ExpansionResult {
     assert!(config.max_len >= 1, "max_len must be ≥ 1");
-    let name_preds: FxHashSet<PredicateId> =
-        store.name_predicates().iter().copied().collect();
+    let name_preds: FxHashSet<PredicateId> = store.name_predicates().iter().copied().collect();
 
     let mut result = ExpansionResult {
         emitted_by_length: vec![0; config.max_len + 1],
@@ -241,7 +243,11 @@ fn emit(
         return;
     }
     result.emitted_by_length[len] += 1;
-    result.by_subject.entry(origin).or_default().push((pred, object));
+    result
+        .by_subject
+        .entry(origin)
+        .or_default()
+        .push((pred, object));
     result
         .pair_predicates
         .entry((origin, object))
@@ -278,11 +284,9 @@ pub fn valid_k(
             *degree.entry(t.s).or_default() += 1;
         }
     }
-    let mut ranked: Vec<(usize, NodeId)> =
-        degree.into_iter().map(|(n, d)| (d, n)).collect();
+    let mut ranked: Vec<(usize, NodeId)> = degree.into_iter().map(|(n, d)| (d, n)).collect();
     ranked.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
-    let sources: FxHashSet<NodeId> =
-        ranked.iter().take(top_entities).map(|&(_, n)| n).collect();
+    let sources: FxHashSet<NodeId> = ranked.iter().take(top_entities).map(|&(_, n)| n).collect();
 
     let expansion = expand(store, &sources, config);
     let mut rows: Vec<ValidK> = (1..=config.max_len)
@@ -381,7 +385,10 @@ mod tests {
             .unwrap();
         let preds = result.predicates_between(obama, y1964);
         assert_eq!(preds.len(), 1);
-        assert_eq!(result.catalog.render(preds[0], &store), "marriage→person→dob");
+        assert_eq!(
+            result.catalog.render(preds[0], &store),
+            "marriage→person→dob"
+        );
     }
 
     #[test]
@@ -440,8 +447,9 @@ mod tests {
             .find_term(kbqa_rdf::Term::Literal(kbqa_rdf::Literal::Year(1961)))
             .unwrap();
         // Infobox: dob (len 1) and spouse (len 3) are meaningful.
-        let infobox: FxHashSet<(NodeId, NodeId)> =
-            [(obama, y1961), (obama, michelle_name)].into_iter().collect();
+        let infobox: FxHashSet<(NodeId, NodeId)> = [(obama, y1961), (obama, michelle_name)]
+            .into_iter()
+            .collect();
         let rows = valid_k(&store, &infobox, 10, &ExpansionConfig::default());
         assert_eq!(rows.len(), 3);
         assert_eq!(rows[0].k, 1);
@@ -454,7 +462,11 @@ mod tests {
     #[test]
     fn distinct_predicate_counting() {
         let (store, obama, michelle) = toy();
-        let result = expand(&store, &sources(&[obama, michelle]), &ExpansionConfig::default());
+        let result = expand(
+            &store,
+            &sources(&[obama, michelle]),
+            &ExpansionConfig::default(),
+        );
         assert!(result.distinct_predicates_of_length(1) >= 3);
         assert!(result.distinct_predicates_of_length(3) >= 1);
     }

@@ -167,8 +167,7 @@ impl<'a> Extractor<'a> {
             };
             // Group the (p⁺, o) records by o so each value yields one
             // observation with all its connecting predicates.
-            let mut by_value: FxHashMap<NodeId, Vec<crate::catalog::PredId>> =
-                FxHashMap::default();
+            let mut by_value: FxHashMap<NodeId, Vec<crate::catalog::PredId>> = FxHashMap::default();
             for &(pred, object) in neighbors {
                 by_value.entry(object).or_default().push(pred);
             }
@@ -191,8 +190,7 @@ impl<'a> Extractor<'a> {
                 let kept: Vec<(crate::catalog::PredId, f64)> = preds
                     .into_iter()
                     .filter(|&p| {
-                        !self.config.refine_by_class
-                            || self.class_allows(p, question_class)
+                        !self.config.refine_by_class || self.class_allows(p, question_class)
                     })
                     .map(|p| {
                         let count = self.expansion.value_count(entity, p).max(1);
@@ -219,8 +217,7 @@ impl<'a> Extractor<'a> {
         let p_entity = model::entity_probability(ev_entities.len());
 
         // Template distributions are shared per entity; compute once.
-        let mut template_cache: FxHashMap<NodeId, Vec<(TemplateId, f64)>> =
-            FxHashMap::default();
+        let mut template_cache: FxHashMap<NodeId, Vec<(TemplateId, f64)>> = FxHashMap::default();
         for candidate in candidates {
             let entry = template_cache.entry(candidate.entity).or_insert_with(|| {
                 let mention = &best_mention[&candidate.entity];
@@ -333,7 +330,10 @@ mod tests {
         let mut classes: FxHashMap<ExpandedPredicate, AnswerClass> = FxHashMap::default();
         let p = |name: &str| store.dict().find_predicate(name).unwrap();
         classes.insert(ExpandedPredicate::single(p("dob")), AnswerClass::Numeric);
-        classes.insert(ExpandedPredicate::single(p("category")), AnswerClass::Description);
+        classes.insert(
+            ExpandedPredicate::single(p("category")),
+            AnswerClass::Description,
+        );
         classes.insert(ExpandedPredicate::single(p("name")), AnswerClass::Entity);
         classes.insert(
             ExpandedPredicate::new(vec![p("marriage"), p("person"), p("name")]),
@@ -511,8 +511,8 @@ mod tests {
             &fx.classes,
             ExtractionConfig::default(),
         );
-        let entities = extractor
-            .extracted_entities("When was Barack Obama born?", "He was born in 1961.");
+        let entities =
+            extractor.extracted_entities("When was Barack Obama born?", "He was born in 1961.");
         assert_eq!(entities, vec![fx.obama]);
     }
 }

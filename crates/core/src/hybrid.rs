@@ -5,8 +5,13 @@
 //! question is very likely a non-BFQ — we feed the question into the
 //! baseline system."* The combinator is generic over any two
 //! [`QaSystem`]s, so the Table 11 harness can wrap every baseline.
+//!
+//! When **both** components refuse, the response carries the *primary*
+//! system's [`crate::service::Refusal`]: the high-precision component's
+//! diagnosis of where the pipeline lost the question is the actionable
+//! signal.
 
-use crate::engine::{QaSystem, SystemAnswer};
+use crate::service::{QaRequest, QaResponse, QaSystem};
 
 /// Primary-with-fallback composition of two QA systems.
 pub struct HybridSystem<P, F> {
@@ -42,32 +47,44 @@ impl<P: QaSystem, F: QaSystem> QaSystem for HybridSystem<P, F> {
         &self.name
     }
 
-    fn answer(&self, question: &str) -> Option<SystemAnswer> {
-        self.primary
-            .answer(question)
-            .or_else(|| self.fallback.answer(question))
+    fn answer(&self, request: &QaRequest) -> QaResponse {
+        let primary = self.primary.answer(request);
+        if primary.answered() {
+            return primary;
+        }
+        let fallback = self.fallback.answer(request);
+        if fallback.answered() {
+            fallback
+        } else {
+            primary
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::Answer;
+    use crate::service::Refusal;
 
     /// A scripted system answering only questions containing its keyword.
     struct Scripted {
         name: &'static str,
         keyword: &'static str,
         reply: &'static str,
+        refusal: Refusal,
     }
 
     impl QaSystem for Scripted {
         fn name(&self) -> &str {
             self.name
         }
-        fn answer(&self, question: &str) -> Option<SystemAnswer> {
-            question.contains(self.keyword).then(|| SystemAnswer {
-                values: vec![(self.reply.to_owned(), 1.0)],
-            })
+        fn answer(&self, request: &QaRequest) -> QaResponse {
+            if request.question.contains(self.keyword) {
+                QaResponse::from_answers(vec![Answer::ranked(self.reply, 1.0)])
+            } else {
+                QaResponse::refused(self.refusal)
+            }
         }
     }
 
@@ -77,11 +94,13 @@ mod tests {
                 name: "KBQA",
                 keyword: "population",
                 reply: "390000",
+                refusal: Refusal::NoTemplateMatched,
             },
             Scripted {
                 name: "SWIP",
                 keyword: "why",
                 reply: "because",
+                refusal: Refusal::NoEntityGrounded,
             },
         )
     }
@@ -89,21 +108,24 @@ mod tests {
     #[test]
     fn primary_wins_when_it_answers() {
         let h = hybrid();
-        let a = h.answer("what is the population of honolulu").unwrap();
+        let a = h.answer_text("what is the population of honolulu");
         assert_eq!(a.top(), Some("390000"));
     }
 
     #[test]
     fn fallback_catches_refusals() {
         let h = hybrid();
-        let a = h.answer("why is the sky blue").unwrap();
+        let a = h.answer_text("why is the sky blue");
         assert_eq!(a.top(), Some("because"));
+        assert!(a.refusal.is_none());
     }
 
     #[test]
-    fn both_refuse_means_refusal() {
+    fn both_refuse_keeps_primary_cause() {
         let h = hybrid();
-        assert!(h.answer("how do magnets work").is_none());
+        let response = h.answer_text("how do magnets work");
+        assert!(!response.answered());
+        assert_eq!(response.refusal, Some(Refusal::NoTemplateMatched));
     }
 
     #[test]

@@ -111,10 +111,15 @@ pub fn report(model: &LearnedModel, store: &TripleStore, per_predicate: usize) -
         s.templates, s.predicates, s.direct_templates, s.expanded_templates, s.observations
     ));
     for (pred, path, support) in top_predicates(model, 1) {
-        out.push_str(&format!("\n{} (support {}):\n", path.render(store), support));
+        out.push_str(&format!(
+            "\n{} (support {}):\n",
+            path.render(store),
+            support
+        ));
         let _ = pred;
-        for (_, canonical, sup, theta) in
-            templates_for_predicate(model, &path).into_iter().take(per_predicate)
+        for (_, canonical, sup, theta) in templates_for_predicate(model, &path)
+            .into_iter()
+            .take(per_predicate)
         {
             out.push_str(&format!("  {canonical}  (n={sup}, θ={theta:.2})\n"));
         }

@@ -107,7 +107,9 @@ impl LearnedModel {
             .iter()
             .map(|&s| s >= min_support)
             .collect();
-        model.theta = self.theta.retained(|t| keep.get(t.index()).copied().unwrap_or(false));
+        model.theta = self
+            .theta
+            .retained(|t| keep.get(t.index()).copied().unwrap_or(false));
         model.stats.distinct_templates = model.theta.supported_templates();
         model.stats.distinct_predicates = model.theta.distinct_predicates();
         model
@@ -177,8 +179,7 @@ impl<'a> Learner<'a> {
             config.extraction.clone(),
         );
         let mut templates = TemplateCatalog::new();
-        let observations =
-            extractor.extract_corpus(pairs.iter().copied(), &mut templates);
+        let observations = extractor.extract_corpus(pairs.iter().copied(), &mut templates);
 
         // 3. EM.
         let (theta, em_stats) = em::estimate(&observations, templates.len(), &config.em);

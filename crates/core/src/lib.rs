@@ -23,8 +23,12 @@
 //!   `P(v|e,p)` (Sec 3.2).
 //! * [`em`] — EM estimation of `θ = P(p|t)` (Sec 4.2–4.3, Algorithm 1).
 //! * [`learner`] — the offline pipeline wiring expansion → extraction → EM.
-//! * [`engine`] — the online answering procedure (Sec 3.3) and the
-//!   [`engine::QaSystem`] trait shared with baselines.
+//! * [`engine`] — the online answering procedure (Sec 3.3): the borrowed
+//!   inference kernel.
+//! * [`service`] — the serving API: the owned, thread-shareable
+//!   [`service::KbqaService`], typed [`service::QaRequest`] /
+//!   [`service::QaResponse`], the [`service::Refusal`] taxonomy, and the
+//!   [`service::QaSystem`] trait shared with baselines.
 //! * [`decompose`] — complex-question decomposition by dynamic programming
 //!   over substrings (Sec 5, Algorithm 2).
 //! * [`hybrid`] — KBQA as the high-precision component of a hybrid system
@@ -45,14 +49,16 @@ pub mod inspect;
 pub mod learner;
 pub mod model;
 pub mod persist;
+pub mod service;
 pub mod template;
 pub mod variants;
 
 pub use catalog::{PredId, PredicateCatalog};
 pub use em::{EmConfig, EmStats, Theta};
-pub use engine::{Answer, EngineConfig, QaEngine, QaSystem, SystemAnswer};
+pub use engine::{Answer, ChoiceStats, EngineConfig, QaEngine};
 pub use expansion::{ExpansionConfig, ExpansionResult};
 pub use extraction::{ExtractionConfig, Observation};
 pub use learner::{LearnedModel, Learner, LearnerConfig};
+pub use service::{KbqaService, QaRequest, QaResponse, QaSystem, Refusal};
 pub use template::{Template, TemplateCatalog, TemplateId};
 pub use variants::{VariantQa, VariantQuestion};

@@ -85,7 +85,10 @@ mod tests {
 
         assert_eq!(model.templates.len(), restored.templates.len());
         assert_eq!(model.stats.observations, restored.stats.observations);
-        assert_eq!(model.stats.distinct_templates, restored.stats.distinct_templates);
+        assert_eq!(
+            model.stats.distinct_templates,
+            restored.stats.distinct_templates
+        );
         assert_eq!(model.stats.em.iterations, restored.stats.em.iterations);
         // Derived indexes were rebuilt: template lookup works.
         let t = Template::from_canonical("when was $person born");

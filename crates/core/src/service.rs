@@ -1,0 +1,486 @@
+//! The serving API: owned, batch-first question answering.
+//!
+//! [`crate::engine::QaEngine`] is the *inference kernel*: it borrows the
+//! store, taxonomy and model for a lifetime, which is the right shape for
+//! the offline harness but the wrong shape for a server. This module wraps
+//! the kernel in a [`KbqaService`] that **owns** its substrate behind
+//! [`Arc`]s, so:
+//!
+//! * clones are cheap (reference-count bumps) and every clone can serve
+//!   requests from its own thread — the service is `Send + Sync`;
+//! * the NER gazetteer is derived from the store **once**, at build time,
+//!   instead of once per engine construction;
+//! * requests and responses are owned values ([`QaRequest`] /
+//!   [`QaResponse`]) that can cross thread and queue boundaries.
+//!
+//! The paper's online procedure refuses (returns nothing) whenever any stage
+//! of the Eq (7) enumeration comes up empty — the behaviour behind the
+//! `#pro` column of the QALD tables. A production system must distinguish
+//! *why* it refused; [`Refusal`] names the four causes, in pipeline order.
+//!
+//! [`KbqaService::answer_batch`] fans a slice of requests out across a
+//! `std::thread` scoped pool. Requests are independent, so batching is
+//! purely an amortization: one engine (and one NER borrow) per worker, and
+//! responses come back in request order, byte-identical to sequential
+//! single-request calls.
+
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use kbqa_nlp::GazetteerNer;
+use kbqa_rdf::TripleStore;
+use kbqa_taxonomy::Conceptualizer;
+
+use crate::decompose::{Decomposition, PatternIndex};
+use crate::engine::{Answer, ChoiceStats, EngineConfig, QaEngine};
+use crate::learner::LearnedModel;
+
+/// Why the system returned no answer (the paper's `#pro` refusal behaviour,
+/// made inspectable). Variants are ordered by pipeline stage: each one means
+/// every earlier stage succeeded.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Refusal {
+    /// No token window of the question grounded to a KB entity
+    /// (`P(e|q)` has no support).
+    NoEntityGrounded,
+    /// Entities grounded, but no derived template exists in the learned
+    /// catalog (`P(t|e,q)` has no support — the strict template matching
+    /// the paper credits for KBQA's precision).
+    NoTemplateMatched,
+    /// Templates matched, but every `P(p|t)` entry fell below the engine's
+    /// `min_theta` precision guard.
+    NoPredicateAboveTheta,
+    /// Confident predicates existed, but the KB holds no value for any
+    /// grounded `(entity, predicate)` pair (`P(v|e,p)` has no support).
+    EmptyValueSet,
+}
+
+impl std::fmt::Display for Refusal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let text = match self {
+            Refusal::NoEntityGrounded => "no entity grounded",
+            Refusal::NoTemplateMatched => "no template matched",
+            Refusal::NoPredicateAboveTheta => "no predicate above θ",
+            Refusal::EmptyValueSet => "empty value set",
+        };
+        f.write_str(text)
+    }
+}
+
+/// An owned question plus per-request overrides of the engine defaults.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct QaRequest {
+    /// The natural-language question.
+    pub question: String,
+    /// Override of [`EngineConfig::top_k`] for this request.
+    #[serde(default)]
+    pub top_k: Option<usize>,
+    /// Override of [`EngineConfig::min_theta`] for this request.
+    #[serde(default)]
+    pub min_theta: Option<f64>,
+    /// Override of [`EngineConfig::decompose`] for this request.
+    #[serde(default)]
+    pub decompose: Option<bool>,
+    /// Attach per-question [`ChoiceStats`] to the response (paper Table 6).
+    #[serde(default)]
+    pub explain: bool,
+}
+
+impl QaRequest {
+    /// A request with engine-default behaviour.
+    pub fn new(question: impl Into<String>) -> Self {
+        Self {
+            question: question.into(),
+            top_k: None,
+            min_theta: None,
+            decompose: None,
+            explain: false,
+        }
+    }
+
+    /// Request at most `k` ranked answers.
+    pub fn with_top_k(mut self, k: usize) -> Self {
+        self.top_k = Some(k);
+        self
+    }
+
+    /// Override the `P(p|t)` precision guard.
+    pub fn with_min_theta(mut self, theta: f64) -> Self {
+        self.min_theta = Some(theta);
+        self
+    }
+
+    /// Enable or disable complex-question decomposition.
+    pub fn with_decompose(mut self, decompose: bool) -> Self {
+        self.decompose = Some(decompose);
+        self
+    }
+
+    /// Attach uncertainty statistics to the response.
+    pub fn with_explain(mut self, explain: bool) -> Self {
+        self.explain = explain;
+        self
+    }
+
+    /// The engine configuration this request runs under.
+    pub fn effective_config(&self, base: &EngineConfig) -> EngineConfig {
+        EngineConfig {
+            top_k: self.top_k.unwrap_or(base.top_k),
+            min_theta: self.min_theta.unwrap_or(base.min_theta),
+            decompose: self.decompose.unwrap_or(base.decompose),
+            ..base.clone()
+        }
+    }
+}
+
+impl From<&str> for QaRequest {
+    fn from(question: &str) -> Self {
+        Self::new(question)
+    }
+}
+
+/// The outcome of one request: ranked answers with provenance, or a typed
+/// refusal; optionally the Table 6 uncertainty profile.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct QaResponse {
+    /// Ranked answers, best first. Empty iff `refusal` is set.
+    pub answers: Vec<Answer>,
+    /// Why the system refused, when it did.
+    pub refusal: Option<Refusal>,
+    /// Per-question choice statistics (when the request set `explain`).
+    pub stats: Option<ChoiceStats>,
+}
+
+impl QaResponse {
+    /// A successful response. An empty answer list is recorded as an
+    /// [`Refusal::EmptyValueSet`] refusal rather than a silent empty vec.
+    pub fn from_answers(answers: Vec<Answer>) -> Self {
+        if answers.is_empty() {
+            return Self::refused(Refusal::EmptyValueSet);
+        }
+        Self {
+            answers,
+            refusal: None,
+            stats: None,
+        }
+    }
+
+    /// A refusal.
+    pub fn refused(reason: Refusal) -> Self {
+        Self {
+            answers: Vec::new(),
+            refusal: Some(reason),
+            stats: None,
+        }
+    }
+
+    /// Did the system produce at least one answer?
+    pub fn answered(&self) -> bool {
+        !self.answers.is_empty()
+    }
+
+    /// The top-ranked answer value.
+    pub fn top(&self) -> Option<&str> {
+        self.answers.first().map(|a| a.value.as_str())
+    }
+
+    /// All answer values in rank order.
+    pub fn value_strings(&self) -> Vec<&str> {
+        self.answers.iter().map(|a| a.value.as_str()).collect()
+    }
+}
+
+/// The interface shared by KBQA and every baseline system: answer a typed
+/// request with a typed response. Refusal is an explicit outcome, not an
+/// empty collection.
+pub trait QaSystem {
+    /// Short display name for result tables.
+    fn name(&self) -> &str;
+
+    /// Answer or refuse.
+    fn answer(&self, request: &QaRequest) -> QaResponse;
+
+    /// Convenience: answer a bare question string with default options.
+    fn answer_text(&self, question: &str) -> QaResponse {
+        self.answer(&QaRequest::new(question))
+    }
+}
+
+/// Builder for [`KbqaService`].
+pub struct KbqaServiceBuilder {
+    store: Arc<TripleStore>,
+    conceptualizer: Arc<Conceptualizer>,
+    model: Arc<LearnedModel>,
+    ner: Option<Arc<GazetteerNer>>,
+    pattern_index: Option<Arc<PatternIndex>>,
+    config: EngineConfig,
+}
+
+impl KbqaServiceBuilder {
+    /// Use a pre-built NER instead of deriving one from the store.
+    pub fn ner(mut self, ner: Arc<GazetteerNer>) -> Self {
+        self.ner = Some(ner);
+        self
+    }
+
+    /// Attach a corpus pattern index, enabling complex-question
+    /// decomposition (paper Sec 5).
+    pub fn pattern_index(mut self, index: Arc<PatternIndex>) -> Self {
+        self.pattern_index = Some(index);
+        self
+    }
+
+    /// Default engine configuration (overridable per request).
+    pub fn config(mut self, config: EngineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Build the service. Derives the NER gazetteer from the store if none
+    /// was supplied — this is the one expensive step, paid once.
+    pub fn build(self) -> KbqaService {
+        let ner = self
+            .ner
+            .unwrap_or_else(|| Arc::new(GazetteerNer::from_store(&self.store)));
+        KbqaService {
+            store: self.store,
+            conceptualizer: self.conceptualizer,
+            model: self.model,
+            ner,
+            pattern_index: self.pattern_index,
+            config: self.config,
+        }
+    }
+}
+
+/// An owned, thread-shareable KBQA server: the online procedure (paper
+/// Sec 3.3) behind a request/response API.
+///
+/// Cloning is cheap (`Arc` bumps); a clone can be handed to another thread
+/// and both serve concurrently. See the module docs for the design.
+#[derive(Clone)]
+pub struct KbqaService {
+    store: Arc<TripleStore>,
+    conceptualizer: Arc<Conceptualizer>,
+    model: Arc<LearnedModel>,
+    ner: Arc<GazetteerNer>,
+    pattern_index: Option<Arc<PatternIndex>>,
+    config: EngineConfig,
+}
+
+impl KbqaService {
+    /// Start building a service over shared substrate artifacts.
+    pub fn builder(
+        store: Arc<TripleStore>,
+        conceptualizer: Arc<Conceptualizer>,
+        model: Arc<LearnedModel>,
+    ) -> KbqaServiceBuilder {
+        KbqaServiceBuilder {
+            store,
+            conceptualizer,
+            model,
+            ner: None,
+            pattern_index: None,
+            config: EngineConfig::default(),
+        }
+    }
+
+    /// A service with default configuration and a store-derived NER.
+    pub fn new(
+        store: Arc<TripleStore>,
+        conceptualizer: Arc<Conceptualizer>,
+        model: Arc<LearnedModel>,
+    ) -> Self {
+        Self::builder(store, conceptualizer, model).build()
+    }
+
+    /// Replace the default engine configuration.
+    pub fn with_config(mut self, config: EngineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// A sibling service serving a different model over the same store,
+    /// taxonomy, NER and pattern index — ablations and A/B model rollouts
+    /// without re-deriving any shared artifact.
+    pub fn with_model(&self, model: Arc<LearnedModel>) -> Self {
+        Self {
+            model,
+            ..self.clone()
+        }
+    }
+
+    /// The knowledge base.
+    pub fn store(&self) -> &TripleStore {
+        &self.store
+    }
+
+    /// The taxonomy.
+    pub fn conceptualizer(&self) -> &Conceptualizer {
+        &self.conceptualizer
+    }
+
+    /// The learned model.
+    pub fn model(&self) -> &LearnedModel {
+        &self.model
+    }
+
+    /// The NER gazetteer.
+    pub fn ner(&self) -> &GazetteerNer {
+        &self.ner
+    }
+
+    /// The pattern index, when attached.
+    pub fn pattern_index(&self) -> Option<&PatternIndex> {
+        self.pattern_index.as_deref()
+    }
+
+    /// The default engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The borrowed inference kernel over this service's artifacts.
+    /// Construction is free: every component is already built.
+    fn engine(&self) -> QaEngine<'_> {
+        let mut engine =
+            QaEngine::with_shared(&self.store, &self.conceptualizer, &self.model, &self.ner)
+                .with_config(self.config.clone());
+        if let Some(index) = self.pattern_index.as_deref() {
+            engine = engine.with_pattern_index_ref(index);
+        }
+        engine
+    }
+
+    /// Answer one request.
+    pub fn answer(&self, request: &QaRequest) -> QaResponse {
+        self.engine().answer_request(request)
+    }
+
+    /// Answer a bare question with default options.
+    pub fn answer_text(&self, question: &str) -> QaResponse {
+        self.answer(&QaRequest::new(question))
+    }
+
+    /// Answer a batch of requests, fanning out across a scoped thread pool.
+    ///
+    /// Responses are returned in request order and are identical to what
+    /// sequential [`KbqaService::answer`] calls would produce: requests are
+    /// independent, so the pool only amortizes engine setup and buys
+    /// wall-clock parallelism.
+    pub fn answer_batch(&self, requests: &[QaRequest]) -> Vec<QaResponse> {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(requests.len())
+            .min(16);
+        if workers <= 1 {
+            let engine = self.engine();
+            return requests.iter().map(|r| engine.answer_request(r)).collect();
+        }
+        let chunk_size = requests.len().div_ceil(workers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = requests
+                .chunks(chunk_size)
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        let engine = self.engine();
+                        chunk
+                            .iter()
+                            .map(|r| engine.answer_request(r))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("batch worker panicked"))
+                .collect()
+        })
+    }
+
+    /// Table 6 statistics for one question.
+    pub fn question_statistics(&self, question: &str) -> ChoiceStats {
+        self.engine().question_statistics(question)
+    }
+
+    /// Run the Sec 5 decomposition DP on a question (requires a pattern
+    /// index). Exposed for tooling; [`KbqaService::answer`] applies it
+    /// automatically as a fallback.
+    pub fn decompose(&self, question: &str) -> Option<Decomposition> {
+        let engine = self.engine();
+        let index = self.pattern_index.as_deref()?;
+        crate::decompose::decompose(&engine, index, question)
+    }
+
+    /// Execute a decomposition, returning ranked chained answers.
+    pub fn execute_decomposition(&self, decomposition: &Decomposition) -> Option<Vec<Answer>> {
+        crate::decompose::execute(&self.engine(), decomposition)
+    }
+}
+
+impl QaSystem for KbqaService {
+    fn name(&self) -> &str {
+        "KBQA"
+    }
+
+    fn answer(&self, request: &QaRequest) -> QaResponse {
+        KbqaService::answer(self, request)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // `KbqaService` must stay thread-shareable: this is a compile-time
+    // assertion, not a runtime check.
+    #[test]
+    fn service_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<KbqaService>();
+        assert_send_sync::<QaRequest>();
+        assert_send_sync::<QaResponse>();
+    }
+
+    #[test]
+    fn request_overrides_compose_over_base() {
+        let base = EngineConfig::default();
+        let request = QaRequest::new("q")
+            .with_top_k(11)
+            .with_min_theta(0.5)
+            .with_decompose(false);
+        let effective = request.effective_config(&base);
+        assert_eq!(effective.top_k, 11);
+        assert_eq!(effective.min_theta, 0.5);
+        assert!(!effective.decompose);
+        // Untouched knobs inherit the base.
+        assert_eq!(effective.max_concepts, base.max_concepts);
+        assert_eq!(effective.chain_width, base.chain_width);
+
+        let plain = QaRequest::new("q").effective_config(&base);
+        assert_eq!(plain, base);
+    }
+
+    #[test]
+    fn empty_answer_list_is_a_refusal() {
+        let response = QaResponse::from_answers(Vec::new());
+        assert!(!response.answered());
+        assert_eq!(response.refusal, Some(Refusal::EmptyValueSet));
+        assert_eq!(response.top(), None);
+    }
+
+    #[test]
+    fn refusal_displays_distinctly() {
+        let all = [
+            Refusal::NoEntityGrounded,
+            Refusal::NoTemplateMatched,
+            Refusal::NoPredicateAboveTheta,
+            Refusal::EmptyValueSet,
+        ];
+        let rendered: std::collections::BTreeSet<String> =
+            all.iter().map(|r| r.to_string()).collect();
+        assert_eq!(rendered.len(), all.len());
+    }
+}

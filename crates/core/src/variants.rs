@@ -18,7 +18,8 @@ use serde::{Deserialize, Serialize};
 use kbqa_nlp::tokenize;
 use kbqa_rdf::NodeId;
 
-use crate::engine::{QaEngine, QaSystem, SystemAnswer};
+use crate::engine::Answer;
+use crate::service::{KbqaService, QaRequest, QaResponse, QaSystem, Refusal};
 
 /// Variant-answering parameters.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -173,17 +174,19 @@ pub fn parse_variant(question: &str) -> Option<VariantQuestion> {
     None
 }
 
-/// Answer variant questions by probing the BFQ engine.
-pub struct VariantQa<'a, 'w> {
-    engine: &'a QaEngine<'w>,
+/// Answer variant questions by probing the BFQ service. Owns a (cheap)
+/// service clone, so the variant layer is itself `Send + Sync` and
+/// lifetime-free.
+pub struct VariantQa {
+    service: KbqaService,
     config: VariantConfig,
 }
 
-impl<'a, 'w> VariantQa<'a, 'w> {
-    /// Wrap an engine.
-    pub fn new(engine: &'a QaEngine<'w>) -> Self {
+impl VariantQa {
+    /// Wrap a service.
+    pub fn new(service: KbqaService) -> Self {
         Self {
-            engine,
+            service,
             config: VariantConfig::default(),
         }
     }
@@ -196,7 +199,7 @@ impl<'a, 'w> VariantQa<'a, 'w> {
 
     /// Entities whose `category` matches the concept word.
     fn entities_of_concept(&self, concept: &str) -> Vec<NodeId> {
-        let store = self.engine.store();
+        let store = self.service.store();
         let Some(category) = store.dict().find_predicate("category") else {
             return Vec::new();
         };
@@ -213,17 +216,19 @@ impl<'a, 'w> VariantQa<'a, 'w> {
         out
     }
 
-    /// Probe the BFQ engine for a numeric attribute of one entity.
+    /// Probe the BFQ service for a numeric attribute of one entity.
     fn probe_numeric(&self, attribute: &str, entity_name: &str) -> Option<i64> {
         // Probe phrasings, most specific first; each goes through the full
-        // learned-template machinery.
+        // learned-template machinery. Decomposition is disabled per request:
+        // a failed probe must fail fast, not run the Sec 5 DP.
         let probes = [
             format!("what is the {attribute} of {entity_name}"),
             format!("how many {attribute} are there in {entity_name}"),
             format!("how many {attribute} does {entity_name} have"),
         ];
         for probe in &probes {
-            for answer in self.engine.answer_bfq(probe) {
+            let request = QaRequest::new(probe.as_str()).with_decompose(false);
+            for answer in self.service.answer(&request).answers {
                 if let Ok(v) = answer.value.parse::<i64>() {
                     return Some(v);
                 }
@@ -236,7 +241,7 @@ impl<'a, 'w> VariantQa<'a, 'w> {
     /// grounds ambiguously are skipped: a probe BFQ about "Springfield"
     /// would mix the values of several Springfields and corrupt the ranking.
     fn scored_entities(&self, concept: &str, attribute: &str) -> Vec<(i64, String)> {
-        let store = self.engine.store();
+        let store = self.service.store();
         let mut scored = Vec::new();
         for entity in self.entities_of_concept(concept) {
             let name = store.surface(entity);
@@ -250,8 +255,23 @@ impl<'a, 'w> VariantQa<'a, 'w> {
         scored
     }
 
-    /// Answer a parsed variant question.
-    pub fn answer_variant(&self, variant: &VariantQuestion) -> Option<SystemAnswer> {
+    /// A ranked answer naming `name`, with variant-layer provenance and the
+    /// KB node when the name grounds uniquely.
+    fn named_answer(&self, name: String, score: f64, kind: &str, attribute: &str) -> Answer {
+        let store = self.service.store();
+        let node = match store.entities_named(&name) {
+            [node] => Some(*node),
+            _ => None,
+        };
+        let mut answer =
+            Answer::ranked(name, score).with_provenance("", format!("variant:{kind}"), attribute);
+        answer.node = node;
+        answer
+    }
+
+    /// Answer a parsed variant question. `None` = the probes produced no
+    /// usable numbers (or a genuine tie).
+    pub fn answer_variant(&self, variant: &VariantQuestion) -> Option<Vec<Answer>> {
         match variant {
             VariantQuestion::Ranking {
                 concept,
@@ -266,9 +286,7 @@ impl<'a, 'w> VariantQa<'a, 'w> {
                     scored.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
                 }
                 let (_value, name) = scored.into_iter().nth(k.checked_sub(1)?)?;
-                Some(SystemAnswer {
-                    values: vec![(name, 1.0)],
-                })
+                Some(vec![self.named_answer(name, 1.0, "ranking", attribute)])
             }
             VariantQuestion::Comparison {
                 attribute,
@@ -285,14 +303,17 @@ impl<'a, 'w> VariantQa<'a, 'w> {
                 let winner = if (lv > rv) == *more { left } else { right };
                 // Return the canonical surface form, not the lowercased
                 // mention, when the name grounds uniquely.
-                let store = self.engine.store();
+                let store = self.service.store();
                 let canonical = match store.entities_named(winner) {
                     [node] => store.surface(*node),
                     _ => winner.clone(),
                 };
-                Some(SystemAnswer {
-                    values: vec![(canonical, 1.0)],
-                })
+                Some(vec![self.named_answer(
+                    canonical,
+                    1.0,
+                    "comparison",
+                    attribute,
+                )])
             }
             VariantQuestion::Listing { concept, attribute } => {
                 let mut scored = self.scored_entities(concept, attribute);
@@ -302,26 +323,34 @@ impl<'a, 'w> VariantQa<'a, 'w> {
                     return None;
                 }
                 let n = scored.len() as f64;
-                Some(SystemAnswer {
-                    values: scored
+                Some(
+                    scored
                         .into_iter()
                         .enumerate()
-                        .map(|(i, (_, name))| (name, 1.0 - i as f64 / n))
+                        .map(|(i, (_, name))| {
+                            self.named_answer(name, 1.0 - i as f64 / n, "listing", attribute)
+                        })
                         .collect(),
-                })
+                )
             }
         }
     }
 }
 
-impl QaSystem for VariantQa<'_, '_> {
+impl QaSystem for VariantQa {
     fn name(&self) -> &str {
         "KBQA-variants"
     }
 
-    fn answer(&self, question: &str) -> Option<SystemAnswer> {
-        let variant = parse_variant(question)?;
-        self.answer_variant(&variant)
+    fn answer(&self, request: &QaRequest) -> QaResponse {
+        let Some(variant) = parse_variant(&request.question) else {
+            // Not a ranking/comparison/listing form at all.
+            return QaResponse::refused(Refusal::NoTemplateMatched);
+        };
+        match self.answer_variant(&variant) {
+            Some(answers) => QaResponse::from_answers(answers),
+            None => QaResponse::refused(Refusal::EmptyValueSet),
+        }
     }
 }
 

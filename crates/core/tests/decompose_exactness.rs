@@ -14,7 +14,11 @@ fn brute_force(engine: &QaEngine<'_>, index: &PatternIndex, words: &[&str]) -> f
         return 0.0;
     }
     let text = tokenize(&words.join(" "));
-    let mut best = if engine.is_answerable(&text) { 1.0 } else { 0.0 };
+    let mut best = if engine.is_answerable(&text) {
+        1.0
+    } else {
+        0.0
+    };
     let n = words.len();
     for c in 0..n {
         for d in (c + 1)..=n {

@@ -45,14 +45,14 @@ fn pruning_drops_rare_templates_but_keeps_answers() {
         .copied()
         .find(|&c| !world.gold_values(pop, c).is_empty())
         .unwrap();
-    let q = format!(
-        "what is the population of {}",
-        world.store.surface(city)
-    );
+    let q = format!("what is the population of {}", world.store.surface(city));
     let a_full = engine_full.answer_bfq(&q);
     let a_pruned = engine_pruned.answer_bfq(&q);
     assert!(!a_pruned.is_empty(), "pruned model lost a common template");
-    assert_eq!(a_full.first().map(|a| &a.value), a_pruned.first().map(|a| &a.value));
+    assert_eq!(
+        a_full.first().map(|a| &a.value),
+        a_pruned.first().map(|a| &a.value)
+    );
 }
 
 #[test]

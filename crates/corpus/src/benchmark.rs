@@ -178,15 +178,16 @@ fn non_bfq_question(
     let pop_intent = world.intent_by_name("city_population");
 
     // Population lookup for ranking/comparison gold.
-    let population_of = |node: NodeId| -> Option<i64> {
-        let pop = world.store.dict().find_predicate("population")?;
-        world.store.objects(node, pop).next().and_then(|o| {
-            match world.store.dict().node_term(o) {
-                kbqa_rdf::Term::Literal(kbqa_rdf::Literal::Int(v)) => Some(v),
-                _ => None,
-            }
-        })
-    };
+    let population_of =
+        |node: NodeId| -> Option<i64> {
+            let pop = world.store.dict().find_predicate("population")?;
+            world.store.objects(node, pop).next().and_then(|o| {
+                match world.store.dict().node_term(o) {
+                    kbqa_rdf::Term::Literal(kbqa_rdf::Literal::Int(v)) => Some(v),
+                    _ => None,
+                }
+            })
+        };
 
     match index % 4 {
         0 if cities.len() >= 3 => {
@@ -219,10 +220,7 @@ fn non_bfq_question(
             if b == a {
                 b = cities[(rng.gen_range(0..cities.len()) + 1) % cities.len()];
             }
-            let (pa, pb) = (
-                population_of(a).unwrap_or(0),
-                population_of(b).unwrap_or(0),
-            );
+            let (pa, pb) = (population_of(a).unwrap_or(0), population_of(b).unwrap_or(0));
             let winner = if pa >= pb { a } else { b };
             BenchmarkQuestion {
                 question: format!(
@@ -303,9 +301,8 @@ pub fn complex_suite(world: &World) -> Vec<ComplexQuestion> {
             None => Vec::new(),
         }
     };
-    let surfaces = |nodes: &[NodeId]| -> Vec<String> {
-        nodes.iter().map(|&n| store.surface(n)).collect()
-    };
+    let surfaces =
+        |nodes: &[NodeId]| -> Vec<String> { nodes.iter().map(|&n| store.surface(n)).collect() };
 
     // 1 & 4 & 5: country → capital → {population, area}.
     let country_concept = world.conceptualizer.network().find_concept("country");
@@ -323,11 +320,7 @@ pub fn complex_suite(world: &World) -> Vec<ComplexQuestion> {
             "what is the area of the capital of {}",
             "area",
         ),
-        (
-            "size-of-capital",
-            "how large is the capital of {}",
-            "area",
-        ),
+        ("size-of-capital", "how large is the capital of {}", "area"),
     ] {
         if let Some((country, values)) = countries.iter().find_map(|&c| {
             if !unambiguous(c) {
@@ -430,10 +423,7 @@ pub fn complex_suite(world: &World) -> Vec<ComplexQuestion> {
     }) {
         out.push(ComplexQuestion {
             label: "instruments-of-members".to_owned(),
-            question: format!(
-                "what instrument do members of {} play",
-                store.surface(band)
-            ),
+            question: format!("what instrument do members of {} play", store.surface(band)),
             gold_answers: surfaces(&instruments),
         });
     }

@@ -34,10 +34,9 @@ pub struct DocSentence {
 /// Declarative frames per intent (`$e` entity, `$v` value).
 fn declarative_frames(intent_name: &str) -> &'static [&'static str] {
     match intent_name {
-        "city_population" | "country_population" => &[
-            "$e has a population of $v",
-            "the population of $e is $v",
-        ],
+        "city_population" | "country_population" => {
+            &["$e has a population of $v", "the population of $e is $v"]
+        }
         "city_area" | "country_area" => &["$e covers an area of $v", "the area of $e is $v"],
         "city_mayor" => &["the mayor of $e is $v", "$v serves as mayor of $e"],
         "city_country" => &["$e is a city in $v", "$e lies in $v"],
@@ -49,7 +48,10 @@ fn declarative_frames(intent_name: &str) -> &'static [&'static str] {
         "person_height" => &["$e is $v centimeters tall"],
         "person_instrument" => &["$e plays the $v"],
         "person_works" => &["$e wrote $v", "$v was written by $e"],
-        "company_hq" => &["$e is headquartered in $v", "the headquarters of $e are in $v"],
+        "company_hq" => &[
+            "$e is headquartered in $v",
+            "the headquarters of $e are in $v",
+        ],
         "company_ceo" => &["the ceo of $e is $v", "$v leads $e"],
         "company_founded" => &["$e was founded in $v"],
         "company_revenue" => &["$e reported a revenue of $v million"],
@@ -77,7 +79,9 @@ pub fn declarative_corpus(world: &World, per_intent: usize, seed: u64) -> Vec<Do
             attempts += 1;
             let entity = subjects[rng.gen_range(0..subjects.len())];
             let values = world.gold_values(intent, entity);
-            let Some(value) = values.first() else { continue };
+            let Some(value) = values.first() else {
+                continue;
+            };
             let frame = frames[rng.gen_range(0..frames.len())];
             let entity_name = world.store.surface(entity);
             out.push(DocSentence {

@@ -119,10 +119,19 @@ const CHATTER: &[(&str, &str)] = &[
     ("how do i fix my bike chain", "take it to a shop honestly"),
     ("what should i cook tonight", "pasta never fails"),
     ("is it going to rain tomorrow", "check a weather site"),
-    ("how do i learn guitar fast", "practice every day and be patient"),
+    (
+        "how do i learn guitar fast",
+        "practice every day and be patient",
+    ),
     ("what is the meaning of life", "forty two obviously"),
-    ("can someone recommend a good movie", "depends what you like"),
-    ("my laptop is slow what do i do", "close some tabs and restart it"),
+    (
+        "can someone recommend a good movie",
+        "depends what you like",
+    ),
+    (
+        "my laptop is slow what do i do",
+        "close some tabs and restart it",
+    ),
 ];
 
 impl QaCorpus {
@@ -201,8 +210,7 @@ fn generate_factoid(
 ) -> Option<QaPair> {
     // A few retries paper over fact dropout.
     for _ in 0..8 {
-        let intent_idx =
-            kbqa_common::rng::choose_weighted_index(rng, intent_weights).unwrap_or(0);
+        let intent_idx = kbqa_common::rng::choose_weighted_index(rng, intent_weights).unwrap_or(0);
         let intent = &world.intents[intent_idx];
         let subjects = world.subjects_of(intent);
         if subjects.is_empty() {
@@ -210,7 +218,9 @@ fn generate_factoid(
         }
         let entity = subjects[zipf_index(rng, subjects.len(), config.entity_zipf)];
         let values = world.gold_values(intent, entity);
-        let Some(value) = values.first() else { continue };
+        let Some(value) = values.first() else {
+            continue;
+        };
 
         let paraphrase_idx = rng.gen_range(0..intent.paraphrases.len());
         let entity_name = world.store.surface(entity);

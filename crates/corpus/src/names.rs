@@ -8,8 +8,8 @@
 use rand::Rng;
 
 const ONSETS: &[&str] = &[
-    "b", "br", "c", "ch", "d", "dr", "f", "g", "gr", "h", "j", "k", "kr", "l", "m", "n", "p",
-    "pr", "r", "s", "sh", "st", "t", "tr", "v", "w", "z",
+    "b", "br", "c", "ch", "d", "dr", "f", "g", "gr", "h", "j", "k", "kr", "l", "m", "n", "p", "pr",
+    "r", "s", "sh", "st", "t", "tr", "v", "w", "z",
 ];
 const VOWELS: &[&str] = &["a", "e", "i", "o", "u", "ai", "ei", "ia", "io", "ou"];
 const CODAS: &[&str] = &["", "l", "n", "r", "s", "t", "m", "k", "nd", "rn", "st", "x"];
@@ -21,15 +21,29 @@ const COUNTRY_SUFFIXES: &[&str] = &["ia", "land", "stan", "ora", "avia"];
 const COMPANY_SUFFIXES: &[&str] = &["corp", "soft", "tech", "works", "labs", "systems", "dyne"];
 const BAND_PREFIX: &[&str] = &["The", "Electric", "Midnight", "Crimson", "Silent", "Neon"];
 const BAND_NOUNS: &[&str] = &[
-    "Wolves", "Echoes", "Harbors", "Pilots", "Lanterns", "Owls", "Rivers", "Machines",
-    "Sparrows", "Comets",
+    "Wolves", "Echoes", "Harbors", "Pilots", "Lanterns", "Owls", "Rivers", "Machines", "Sparrows",
+    "Comets",
 ];
 const BOOK_STARTS: &[&str] = &[
-    "Shadow of", "Return to", "Letters from", "Beyond", "Songs of", "A History of",
-    "The Last", "Winter in",
+    "Shadow of",
+    "Return to",
+    "Letters from",
+    "Beyond",
+    "Songs of",
+    "A History of",
+    "The Last",
+    "Winter in",
 ];
 const INSTRUMENTS: &[&str] = &[
-    "guitar", "bass", "drums", "piano", "violin", "saxophone", "trumpet", "cello", "flute",
+    "guitar",
+    "bass",
+    "drums",
+    "piano",
+    "violin",
+    "saxophone",
+    "trumpet",
+    "cello",
+    "flute",
     "synthesizer",
 ];
 const CURRENCIES: &[&str] = &[
@@ -148,8 +162,7 @@ mod tests {
     #[test]
     fn names_are_mostly_unique() {
         let mut r = rng(5);
-        let names: std::collections::BTreeSet<String> =
-            (0..500).map(|_| person(&mut r)).collect();
+        let names: std::collections::BTreeSet<String> = (0..500).map(|_| person(&mut r)).collect();
         // Some collisions are expected (and wanted) but the bulk must be
         // distinct or the world degenerates.
         assert!(names.len() > 450, "only {} unique names", names.len());

@@ -20,6 +20,8 @@
 //!   across intents (`who runs $e` for mayors and CEOs), so the probabilistic
 //!   machinery has real uncertainty to resolve (paper Table 6).
 
+use std::sync::Arc;
+
 use kbqa_common::hash::{FxHashMap, FxHashSet};
 use kbqa_common::rng::{substream, DetRng};
 use rand::Rng;
@@ -183,12 +185,16 @@ impl WorldConfig {
 }
 
 /// A fully generated world.
+///
+/// The knowledge base and taxonomy live behind [`Arc`]s so a serving layer
+/// (`kbqa-core`'s `KbqaService`) can share them across threads without
+/// copying; borrowing callers are unaffected (deref).
 #[derive(Debug)]
 pub struct World {
     /// The knowledge base.
-    pub store: TripleStore,
+    pub store: Arc<TripleStore>,
     /// Context-aware conceptualizer (Probase stand-in).
-    pub conceptualizer: Conceptualizer,
+    pub conceptualizer: Arc<Conceptualizer>,
     /// Ground-truth intents.
     pub intents: Vec<Intent>,
     /// Answer-class labels per predicate path (the paper's manual predicate
@@ -645,8 +651,7 @@ impl Builder {
 
     /// Pick a fresh or (rarely) deliberately reused name.
     fn pick_name(&mut self, mut fresh: impl FnMut(&mut DetRng) -> String) -> String {
-        if !self.used_names.is_empty() && self.rng_names.gen_bool(self.config.ambiguous_name_rate)
-        {
+        if !self.used_names.is_empty() && self.rng_names.gen_bool(self.config.ambiguous_name_rate) {
             let i = self.rng_names.gen_range(0..self.used_names.len());
             return self.used_names[i].clone();
         }
@@ -656,7 +661,10 @@ impl Builder {
     }
 
     fn register(&mut self, concept: &str, node: NodeId) {
-        self.by_concept.entry(concept.to_owned()).or_default().push(node);
+        self.by_concept
+            .entry(concept.to_owned())
+            .or_default()
+            .push(node);
     }
 
     fn build(mut self) -> World {
@@ -774,7 +782,10 @@ impl Builder {
             let prof_c = self.taxonomy.concept(profession);
             self.taxonomy.is_a(node, person_c, 0.6);
             self.taxonomy.is_a(node, prof_c, 0.4);
-            people_by_profession.entry(profession).or_default().push(node);
+            people_by_profession
+                .entry(profession)
+                .or_default()
+                .push(node);
             self.register("person", node);
             people.push(node);
         }
@@ -787,9 +798,7 @@ impl Builder {
                 let a = people[j];
                 let b = people[j + 1];
                 for (s, o) in [(a, b), (b, a)] {
-                    let cvt = self
-                        .graph
-                        .resource(&format!("marriage/{marriage_counter}"));
+                    let cvt = self.graph.resource(&format!("marriage/{marriage_counter}"));
                     marriage_counter += 1;
                     self.graph.link(s, "marriage", cvt);
                     self.graph.link(cvt, "person", o);
@@ -938,8 +947,7 @@ impl Builder {
 
         // Materialize intents with resolved predicate ids.
         let mut intents = Vec::with_capacity(specs.len());
-        let mut predicate_classes: FxHashMap<ExpandedPredicate, AnswerClass> =
-            FxHashMap::default();
+        let mut predicate_classes: FxHashMap<ExpandedPredicate, AnswerClass> = FxHashMap::default();
         for (idx, spec) in specs.iter().enumerate() {
             let edges: Vec<_> = spec
                 .path
@@ -1027,8 +1035,8 @@ impl Builder {
         }
 
         World {
-            store,
-            conceptualizer,
+            store: Arc::new(store),
+            conceptualizer: Arc::new(conceptualizer),
             intents,
             predicate_classes,
             infobox,
@@ -1229,11 +1237,13 @@ mod tests {
     fn subjects_for_profession_intents_fall_back_to_people() {
         let w = tiny_world();
         let instrument = w.intent_by_name("person_instrument").unwrap();
-        assert!(!w.subjects_of(instrument).is_empty() || {
-            // fallback path returns the person pool through gold_values
-            let person = w.conceptualizer.network().find_concept("person").unwrap();
-            !w.entities_by_concept[&person].is_empty()
-        });
+        assert!(
+            !w.subjects_of(instrument).is_empty() || {
+                // fallback path returns the person pool through gold_values
+                let person = w.conceptualizer.network().find_concept("person").unwrap();
+                !w.entities_by_concept[&person].is_empty()
+            }
+        );
     }
 
     #[test]

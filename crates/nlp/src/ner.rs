@@ -137,10 +137,7 @@ impl GazetteerNer {
     /// Ground a whole string (e.g. a benchmark's gold mention) to nodes.
     pub fn ground(&self, phrase: &str) -> &[NodeId] {
         let canonical = crate::token::tokenize(phrase).joined();
-        self.names
-            .get(&canonical)
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.names.get(&canonical).map(Vec::as_slice).unwrap_or(&[])
     }
 }
 
@@ -173,7 +170,11 @@ impl HeuristicNer {
                 let start = i;
                 while i < n {
                     let tok = text.original(i);
-                    let cap = tok.chars().next().map(|c| c.is_uppercase()).unwrap_or(false);
+                    let cap = tok
+                        .chars()
+                        .next()
+                        .map(|c| c.is_uppercase())
+                        .unwrap_or(false);
                     if cap {
                         i += 1;
                     } else {
@@ -243,7 +244,10 @@ mod tests {
         let text = tokenize("When was Barack Obama's wife born?");
         let mentions = ner.find_longest_mentions(&text);
         assert_eq!(mentions[0].nodes, vec![obama]);
-        assert_eq!(text.join(mentions[0].start, mentions[0].end), "barack obama");
+        assert_eq!(
+            text.join(mentions[0].start, mentions[0].end),
+            "barack obama"
+        );
     }
 
     #[test]

@@ -87,9 +87,10 @@ fn head_noun_class_exact(word: &str) -> Option<AnswerClass> {
             AnswerClass::Location
         }
         "person" | "president" | "author" | "writer" | "ceo" | "founder" | "leader" | "mayor"
-        | "wife" | "husband" | "spouse" | "member" | "members" | "players" | "player"
-        | "band" | "politician" | "actor" | "director" | "singer" | "musician"
-        | "musicians" => AnswerClass::Human,
+        | "wife" | "husband" | "spouse" | "member" | "members" | "players" | "player" | "band"
+        | "politician" | "actor" | "director" | "singer" | "musician" | "musicians" => {
+            AnswerClass::Human
+        }
         "year" | "population" | "number" | "area" | "height" | "length" | "size" | "age"
         | "date" | "birthday" | "cost" | "price" | "revenue" | "income" => AnswerClass::Numeric,
         "abbreviation" | "acronym" => AnswerClass::Abbreviation,
@@ -163,7 +164,10 @@ mod tests {
 
     #[test]
     fn when_questions_are_numeric() {
-        assert_eq!(class_of("When was Barack Obama born?"), AnswerClass::Numeric);
+        assert_eq!(
+            class_of("When was Barack Obama born?"),
+            AnswerClass::Numeric
+        );
     }
 
     #[test]
@@ -172,25 +176,37 @@ mod tests {
             class_of("How many people are there in Honolulu?"),
             AnswerClass::Numeric
         );
-        assert_eq!(class_of("How large is the capital of Germany?"), AnswerClass::Numeric);
+        assert_eq!(
+            class_of("How large is the capital of Germany?"),
+            AnswerClass::Numeric
+        );
         assert_eq!(class_of("How old is Michelle Obama?"), AnswerClass::Numeric);
     }
 
     #[test]
     fn bare_how_is_description() {
-        assert_eq!(class_of("How does photosynthesis work?"), AnswerClass::Description);
+        assert_eq!(
+            class_of("How does photosynthesis work?"),
+            AnswerClass::Description
+        );
         assert_eq!(class_of("Why is the sky blue?"), AnswerClass::Description);
     }
 
     #[test]
     fn who_is_human() {
-        assert_eq!(class_of("Who is the wife of Barack Obama?"), AnswerClass::Human);
+        assert_eq!(
+            class_of("Who is the wife of Barack Obama?"),
+            AnswerClass::Human
+        );
         assert_eq!(class_of("Whose idea was it?"), AnswerClass::Human);
     }
 
     #[test]
     fn where_is_location() {
-        assert_eq!(class_of("Where was Barack Obama born?"), AnswerClass::Location);
+        assert_eq!(
+            class_of("Where was Barack Obama born?"),
+            AnswerClass::Location
+        );
     }
 
     #[test]
@@ -199,9 +215,18 @@ mod tests {
             class_of("What is the population of Honolulu?"),
             AnswerClass::Numeric
         );
-        assert_eq!(class_of("Which city has more people?"), AnswerClass::Location);
-        assert_eq!(class_of("What instrument do members play?"), AnswerClass::Entity);
-        assert_eq!(class_of("What is the capital of Japan?"), AnswerClass::Location);
+        assert_eq!(
+            class_of("Which city has more people?"),
+            AnswerClass::Location
+        );
+        assert_eq!(
+            class_of("What instrument do members play?"),
+            AnswerClass::Entity
+        );
+        assert_eq!(
+            class_of("What is the capital of Japan?"),
+            AnswerClass::Location
+        );
     }
 
     #[test]
@@ -225,8 +250,14 @@ mod tests {
 
     #[test]
     fn plural_head_nouns_singularize() {
-        assert_eq!(class_of("what instruments do they play?"), AnswerClass::Entity);
-        assert_eq!(class_of("which countries border it?"), AnswerClass::Location);
+        assert_eq!(
+            class_of("what instruments do they play?"),
+            AnswerClass::Entity
+        );
+        assert_eq!(
+            class_of("which countries border it?"),
+            AnswerClass::Location
+        );
         assert_eq!(class_of("what books did she write?"), AnswerClass::Entity);
     }
 

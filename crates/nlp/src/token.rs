@@ -57,11 +57,7 @@ impl TokenizedText {
 
     /// Join tokens `range` with single spaces (lowercased canonical form).
     pub fn join(&self, start: usize, end: usize) -> String {
-        join_words(
-            self.tokens[start..end]
-                .iter()
-                .map(|t| t.text.as_str()),
-        )
+        join_words(self.tokens[start..end].iter().map(|t| t.text.as_str()))
     }
 
     /// Canonical form of the full token sequence.
@@ -140,10 +136,42 @@ pub fn tokenize(input: &str) -> TokenizedText {
 pub fn is_stopword(word: &str) -> bool {
     matches!(
         word,
-        "a" | "an" | "the" | "is" | "are" | "was" | "were" | "be" | "been" | "do" | "does"
-            | "did" | "of" | "in" | "on" | "at" | "to" | "for" | "from" | "by" | "with"
-            | "and" | "or" | "there" | "it" | "its" | "'s" | "s" | "that" | "this" | "these"
-            | "his" | "her" | "their" | "my" | "your" | "our"
+        "a" | "an"
+            | "the"
+            | "is"
+            | "are"
+            | "was"
+            | "were"
+            | "be"
+            | "been"
+            | "do"
+            | "does"
+            | "did"
+            | "of"
+            | "in"
+            | "on"
+            | "at"
+            | "to"
+            | "for"
+            | "from"
+            | "by"
+            | "with"
+            | "and"
+            | "or"
+            | "there"
+            | "it"
+            | "its"
+            | "'s"
+            | "s"
+            | "that"
+            | "this"
+            | "these"
+            | "his"
+            | "her"
+            | "their"
+            | "my"
+            | "your"
+            | "our"
     )
 }
 
@@ -152,8 +180,22 @@ pub fn is_stopword(word: &str) -> bool {
 pub fn is_question_word(word: &str) -> bool {
     matches!(
         word,
-        "who" | "whom" | "whose" | "what" | "which" | "when" | "where" | "why" | "how"
-            | "many" | "much" | "name" | "list" | "give" | "tell" | "me"
+        "who"
+            | "whom"
+            | "whose"
+            | "what"
+            | "which"
+            | "when"
+            | "where"
+            | "why"
+            | "how"
+            | "many"
+            | "much"
+            | "name"
+            | "list"
+            | "give"
+            | "tell"
+            | "me"
     )
 }
 

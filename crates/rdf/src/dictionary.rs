@@ -85,7 +85,9 @@ impl Dictionary {
     /// Look up a string-literal node without interning.
     pub fn find_str_literal(&self, value: &str) -> Option<NodeId> {
         let sym = self.strings.get(value)?;
-        self.term_ids.get(&Term::Literal(Literal::Str(sym))).copied()
+        self.term_ids
+            .get(&Term::Literal(Literal::Str(sym)))
+            .copied()
     }
 
     /// Look up an arbitrary term without interning.

@@ -113,7 +113,10 @@ fn parse_term(input: &str) -> Result<(ParsedTerm, &str)> {
         let end = rest
             .find('>')
             .ok_or_else(|| KbqaError::MalformedRecord("unterminated IRI".into()))?;
-        return Ok((ParsedTerm::Resource(rest[..end].to_owned()), &rest[end + 1..]));
+        return Ok((
+            ParsedTerm::Resource(rest[..end].to_owned()),
+            &rest[end + 1..],
+        ));
     }
     if let Some(rest) = input.strip_prefix('"') {
         // Find the closing unescaped quote.
@@ -224,8 +227,7 @@ mod tests {
         let mut again = Vec::new();
         export(&restored, &mut again).unwrap();
         let mut lines_a: Vec<&str> = text.lines().collect();
-        let mut lines_b: Vec<&str> =
-            std::str::from_utf8(&again).unwrap().lines().collect();
+        let mut lines_b: Vec<&str> = std::str::from_utf8(&again).unwrap().lines().collect();
         lines_a.sort_unstable();
         lines_b.sort_unstable();
         assert_eq!(lines_a, lines_b);
@@ -267,10 +269,7 @@ mod tests {
         let note = restored.dict().find_predicate("note").unwrap();
         let r2 = restored.dict().find_resource("weird").unwrap();
         let value = restored.objects(r2, note).next().unwrap();
-        assert_eq!(
-            restored.dict().render(value),
-            "line1\nline2 \\ \"quoted\""
-        );
+        assert_eq!(restored.dict().render(value), "line1\nline2 \\ \"quoted\"");
     }
 
     #[test]

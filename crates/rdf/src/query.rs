@@ -91,10 +91,7 @@ impl<'a> Bindings<'a> {
 /// Resolve a pattern term under current bindings.
 fn resolve<'a>(term: PatternTerm<'a>, bindings: &Bindings<'a>) -> PatternTerm<'a> {
     match term {
-        PatternTerm::Var(v) => bindings
-            .get(v)
-            .map(PatternTerm::Node)
-            .unwrap_or(term),
+        PatternTerm::Var(v) => bindings.get(v).map(PatternTerm::Node).unwrap_or(term),
         node => node,
     }
 }
@@ -102,16 +99,10 @@ fn resolve<'a>(term: PatternTerm<'a>, bindings: &Bindings<'a>) -> PatternTerm<'a
 /// Rough selectivity of a pattern under current bindings (lower = earlier).
 fn selectivity(store: &TripleStore, pattern: &Pattern<'_>, bindings: &Bindings<'_>) -> usize {
     match (resolve(pattern.s, bindings), resolve(pattern.o, bindings)) {
-        (PatternTerm::Node(s), PatternTerm::Node(_)) => {
-            store.object_count(s, pattern.p).min(1)
-        }
+        (PatternTerm::Node(s), PatternTerm::Node(_)) => store.object_count(s, pattern.p).min(1),
         (PatternTerm::Node(s), PatternTerm::Var(_)) => store.object_count(s, pattern.p),
-        (PatternTerm::Var(_), PatternTerm::Node(o)) => {
-            store.subjects(pattern.p, o).count()
-        }
-        (PatternTerm::Var(_), PatternTerm::Var(_)) => {
-            store.triples_for_predicate(pattern.p).len()
-        }
+        (PatternTerm::Var(_), PatternTerm::Node(o)) => store.subjects(pattern.p, o).count(),
+        (PatternTerm::Var(_), PatternTerm::Var(_)) => store.triples_for_predicate(pattern.p).len(),
     }
 }
 
@@ -243,9 +234,21 @@ mod tests {
         let rows = evaluate(
             &store,
             &[
-                Pattern::new(PatternTerm::Node(obama), p("marriage"), PatternTerm::Var("m")),
-                Pattern::new(PatternTerm::Var("m"), p("person"), PatternTerm::Var("spouse")),
-                Pattern::new(PatternTerm::Var("spouse"), p("dob"), PatternTerm::Var("year")),
+                Pattern::new(
+                    PatternTerm::Node(obama),
+                    p("marriage"),
+                    PatternTerm::Var("m"),
+                ),
+                Pattern::new(
+                    PatternTerm::Var("m"),
+                    p("person"),
+                    PatternTerm::Var("spouse"),
+                ),
+                Pattern::new(
+                    PatternTerm::Var("spouse"),
+                    p("dob"),
+                    PatternTerm::Var("year"),
+                ),
             ],
         );
         assert_eq!(rows.len(), 1);
@@ -307,7 +310,11 @@ mod tests {
         let (store, obama, ..) = family_store();
         let p = |n: &str| store.dict().find_predicate(n).unwrap();
         let forward = [
-            Pattern::new(PatternTerm::Node(obama), p("marriage"), PatternTerm::Var("m")),
+            Pattern::new(
+                PatternTerm::Node(obama),
+                p("marriage"),
+                PatternTerm::Var("m"),
+            ),
             Pattern::new(PatternTerm::Var("m"), p("person"), PatternTerm::Var("s")),
         ];
         let backward = [forward[1], forward[0]];

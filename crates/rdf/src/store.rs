@@ -190,11 +190,7 @@ impl TripleStore {
     pub fn entities_named(&self, name: &str) -> &[NodeId] {
         // Fast path: already lowercase (tokenizer output), no allocation.
         if name.chars().all(|c| !c.is_uppercase()) {
-            return self
-                .name_index
-                .get(name)
-                .map(Vec::as_slice)
-                .unwrap_or(&[]);
+            return self.name_index.get(name).map(Vec::as_slice).unwrap_or(&[]);
         }
         self.name_index
             .get(&name.to_lowercase())
@@ -231,7 +227,9 @@ impl TripleStore {
     /// Iterate every distinct `(name, nodes)` pair in the name index
     /// (gazetteer construction).
     pub fn name_entries(&self) -> impl Iterator<Item = (&str, &[NodeId])> {
-        self.name_index.iter().map(|(k, v)| (k.as_str(), v.as_slice()))
+        self.name_index
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_slice()))
     }
 
     /// Rebuild derived state after deserialization.
@@ -315,7 +313,9 @@ mod tests {
     #[test]
     fn predicates_between_finds_the_connection() {
         let (store, ids) = toy_kb();
-        let pop_val = store.dict().find_term(crate::Term::Literal(crate::Literal::Int(390_000)));
+        let pop_val = store
+            .dict()
+            .find_term(crate::Term::Literal(crate::Literal::Int(390_000)));
         let preds: Vec<&str> = store
             .predicates_between(ids.honolulu, pop_val.unwrap())
             .map(|p| store.dict().predicate_name(p))
@@ -329,7 +329,10 @@ mod tests {
         // predicate expansion closes.
         let (store, ids) = toy_kb();
         let michelle_name = store.dict().find_str_literal("Michelle Obama").unwrap();
-        assert_eq!(store.predicates_between(ids.obama, michelle_name).count(), 0);
+        assert_eq!(
+            store.predicates_between(ids.obama, michelle_name).count(),
+            0
+        );
     }
 
     #[test]

@@ -71,9 +71,21 @@ mod tests {
     #[test]
     fn sort_keys_project_correct_fields() {
         let t = Triple::new(NodeId::new(1), PredicateId::new(2), NodeId::new(3));
-        assert_eq!(t.spo_key(), (NodeId::new(1), PredicateId::new(2), NodeId::new(3)));
-        assert_eq!(t.sop_key(), (NodeId::new(1), NodeId::new(3), PredicateId::new(2)));
-        assert_eq!(t.pos_key(), (PredicateId::new(2), NodeId::new(3), NodeId::new(1)));
-        assert_eq!(t.ops_key(), (NodeId::new(3), PredicateId::new(2), NodeId::new(1)));
+        assert_eq!(
+            t.spo_key(),
+            (NodeId::new(1), PredicateId::new(2), NodeId::new(3))
+        );
+        assert_eq!(
+            t.sop_key(),
+            (NodeId::new(1), NodeId::new(3), PredicateId::new(2))
+        );
+        assert_eq!(
+            t.pos_key(),
+            (PredicateId::new(2), NodeId::new(3), NodeId::new(1))
+        );
+        assert_eq!(
+            t.ops_key(),
+            (NodeId::new(3), PredicateId::new(2), NodeId::new(1))
+        );
     }
 }

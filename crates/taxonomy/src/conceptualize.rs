@@ -123,10 +123,8 @@ impl Conceptualizer {
             .take(self.max_context_words)
             .collect();
 
-        let mut log_scores: Vec<(ConceptId, f64)> = prior
-            .iter()
-            .map(|&(c, p)| (c, p.ln()))
-            .collect();
+        let mut log_scores: Vec<(ConceptId, f64)> =
+            prior.iter().map(|&(c, p)| (c, p.ln())).collect();
         for word in &signal_words {
             for (c, score) in log_scores.iter_mut() {
                 *score += self.network.context_likelihood(*c, word, self.alpha).ln();

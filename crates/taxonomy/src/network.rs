@@ -132,7 +132,9 @@ impl NetworkBuilder {
     pub fn context_evidence(&mut self, concept: ConceptId, word: &str, count: f64) {
         assert!(count > 0.0, "context count must be positive");
         let sym = self.context_vocab.intern(word);
-        *self.context_counts[concept.index()].entry(sym).or_insert(0.0) += count;
+        *self.context_counts[concept.index()]
+            .entry(sym)
+            .or_insert(0.0) += count;
     }
 
     /// Freeze: normalize memberships to probability distributions and cache

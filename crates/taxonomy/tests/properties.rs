@@ -9,14 +9,15 @@ use kbqa_taxonomy::{Conceptualizer, NetworkBuilder};
 
 /// Build a network from (entity, concept, weight) triples plus context
 /// evidence (concept, word, count).
-fn build(
-    memberships: &[(u8, u8, f64)],
-    evidence: &[(u8, String, f64)],
-) -> Conceptualizer {
+fn build(memberships: &[(u8, u8, f64)], evidence: &[(u8, String, f64)]) -> Conceptualizer {
     let mut b = NetworkBuilder::new();
     let concepts: Vec<_> = (0..6).map(|i| b.concept(&format!("c{i}"))).collect();
     for &(e, c, w) in memberships {
-        b.is_a(NodeId::new(u32::from(e % 8)), concepts[(c % 6) as usize], w.max(1e-6));
+        b.is_a(
+            NodeId::new(u32::from(e % 8)),
+            concepts[(c % 6) as usize],
+            w.max(1e-6),
+        );
     }
     for (c, word, count) in evidence {
         b.context_evidence(concepts[(*c % 6) as usize], word, count.max(1e-6));

@@ -10,6 +10,7 @@
 //! Table 6 uncertainty profile of a question.
 
 use std::io::{self, BufRead, Write};
+use std::sync::Arc;
 
 use kbqa::prelude::*;
 
@@ -17,7 +18,7 @@ fn main() {
     println!("building world, corpus and model (a few seconds)…");
     let world = World::generate(WorldConfig::small(42));
     let corpus = QaCorpus::generate(&world, &CorpusConfig::with_pairs(7, 6_000));
-    let ner = GazetteerNer::from_store(&world.store);
+    let ner = Arc::new(GazetteerNer::from_store(&world.store));
     let learner = Learner::new(
         &world.store,
         &world.conceptualizer,
@@ -31,12 +32,19 @@ fn main() {
         .collect();
     let (model, _) = learner.learn(&pairs, &LearnerConfig::default());
     let index = PatternIndex::build(corpus.pairs.iter().map(|p| p.question.as_str()), &ner);
-    let engine = QaEngine::new(&world.store, &world.conceptualizer, &model)
-        .with_pattern_index(index);
+    let service = KbqaService::builder(
+        Arc::clone(&world.store),
+        Arc::clone(&world.conceptualizer),
+        Arc::new(model),
+    )
+    .ner(ner)
+    .pattern_index(Arc::new(index))
+    .build();
 
     println!(
         "ready: {} templates over {} predicates. Ask away (`:entities` for names).\n",
-        model.stats.distinct_templates, model.stats.distinct_predicates
+        service.model().stats.distinct_templates,
+        service.model().stats.distinct_predicates
     );
 
     let stdin = io::stdin();
@@ -86,7 +94,7 @@ fn main() {
             continue;
         }
         if let Some(q) = question.strip_prefix(":stats ") {
-            let stats = engine.question_statistics(q);
+            let stats = service.question_statistics(q);
             println!(
                 "entities: {}  templates/pair: {:.1}  predicates/template: {:.1}  values/(e,p): {:.1}",
                 stats.entities,
@@ -96,9 +104,9 @@ fn main() {
             );
             continue;
         }
-        let answers = engine.answer_bfq(question);
-        if !answers.is_empty() {
-            for (rank, a) in answers.iter().take(3).enumerate() {
+        let response = service.answer_text(question);
+        if response.answered() {
+            for (rank, a) in response.answers.iter().take(3).enumerate() {
                 println!(
                     "{}. {}   [entity {}, template “{}”, predicate {}, score {:.4}]",
                     rank + 1,
@@ -109,19 +117,12 @@ fn main() {
                     a.score
                 );
             }
-        } else if let Some(answer) = QaSystem::answer(&engine, question) {
-            println!(
-                "(via decomposition) {}",
-                answer
-                    .values
-                    .iter()
-                    .take(3)
-                    .map(|(v, _)| v.as_str())
-                    .collect::<Vec<_>>()
-                    .join(", ")
-            );
         } else {
-            println!("<no answer — not a BFQ I have a template for>");
+            let cause = response
+                .refusal
+                .map(|r| r.to_string())
+                .unwrap_or_else(|| "unknown".into());
+            println!("<no answer — {cause}>");
         }
     }
     println!("bye");

@@ -7,13 +7,14 @@
 //! cargo run --release --example complex_questions
 //! ```
 
-use kbqa::core::decompose;
+use std::sync::Arc;
+
 use kbqa::prelude::*;
 
 fn main() {
     let world = World::generate(WorldConfig::small(42));
     let corpus = QaCorpus::generate(&world, &CorpusConfig::with_pairs(7, 6_000));
-    let ner = GazetteerNer::from_store(&world.store);
+    let ner = Arc::new(GazetteerNer::from_store(&world.store));
     let learner = Learner::new(
         &world.store,
         &world.conceptualizer,
@@ -27,23 +28,29 @@ fn main() {
         .collect();
     let (model, _) = learner.learn(&pairs, &LearnerConfig::default());
     let index = PatternIndex::build(corpus.pairs.iter().map(|p| p.question.as_str()), &ner);
-    let engine = QaEngine::new(&world.store, &world.conceptualizer, &model)
-        .with_pattern_index(index.clone());
+    let service = KbqaService::builder(
+        Arc::clone(&world.store),
+        Arc::clone(&world.conceptualizer),
+        Arc::new(model),
+    )
+    .ner(ner)
+    .pattern_index(Arc::new(index))
+    .build();
 
     let suite = benchmark::complex_suite(&world);
     println!("Table 15 workload instantiated over this world:\n");
     for cq in &suite {
         println!("Q: {}", cq.question);
-        match decompose::decompose(&engine, &index, &cq.question) {
+        match service.decompose(&cq.question) {
             Some(d) => {
                 println!("  decomposition (P(A) = {:.3}):", d.probability);
                 println!("    q̌0 = {:?}", d.primitive);
                 for (i, p) in d.patterns.iter().enumerate() {
                     println!("    q̌{} = {:?}", i + 1, p);
                 }
-                match decompose::execute(&engine, &d) {
-                    Some(answer) => {
-                        let top = answer.top().unwrap_or("-");
+                match service.execute_decomposition(&d) {
+                    Some(answers) => {
+                        let top = answers.first().map(|a| a.value.as_str()).unwrap_or("-");
                         let ok = cq
                             .gold_answers
                             .iter()

@@ -7,12 +7,14 @@
 //! cargo run --release --example hybrid_system
 //! ```
 
+use std::sync::Arc;
+
 use kbqa::prelude::*;
 
 fn main() {
     let world = World::generate(WorldConfig::small(42));
     let corpus = QaCorpus::generate(&world, &CorpusConfig::with_pairs(7, 5_000));
-    let ner = GazetteerNer::from_store(&world.store);
+    let ner = Arc::new(GazetteerNer::from_store(&world.store));
     let learner = Learner::new(
         &world.store,
         &world.conceptualizer,
@@ -26,6 +28,14 @@ fn main() {
         .collect();
     let (model, _) = learner.learn(&pairs, &LearnerConfig::default());
     let index = PatternIndex::build(corpus.pairs.iter().map(|p| p.question.as_str()), &ner);
+    let service = KbqaService::builder(
+        Arc::clone(&world.store),
+        Arc::clone(&world.conceptualizer),
+        Arc::new(model),
+    )
+    .ner(ner)
+    .pattern_index(Arc::new(index))
+    .build();
 
     let bench = benchmark::qald_like(&world, "QALD-3-like", 99, 41, 0.25, 73);
     let questions: Vec<EvalQuestion> = bench
@@ -53,17 +63,13 @@ fn main() {
     println!("baseline alone vs hybrid (KBQA first, baseline on refusal):\n");
     let keyword = KeywordQa::new(&world.store);
     report("KeywordQA", &keyword);
-    let engine = QaEngine::new(&world.store, &world.conceptualizer, &model)
-        .with_pattern_index(index.clone());
-    let hybrid = HybridSystem::new(engine, keyword);
+    let hybrid = HybridSystem::new(service.clone(), keyword);
     report(hybrid.name(), &hybrid);
 
     println!();
     let rule = RuleBasedQa::new(&world.store);
     report("RuleQA", &rule);
-    let engine2 = QaEngine::new(&world.store, &world.conceptualizer, &model)
-        .with_pattern_index(index);
-    let hybrid2 = HybridSystem::new(engine2, rule);
+    let hybrid2 = HybridSystem::new(service, rule);
     report(hybrid2.name(), &hybrid2);
 
     println!(

@@ -7,12 +7,14 @@
 //! cargo run --release --example population_qa
 //! ```
 
+use std::sync::Arc;
+
 use kbqa::prelude::*;
 
 fn main() {
     let world = World::generate(WorldConfig::small(42));
     let corpus = QaCorpus::generate(&world, &CorpusConfig::with_pairs(7, 5_000));
-    let ner = GazetteerNer::from_store(&world.store);
+    let ner = Arc::new(GazetteerNer::from_store(&world.store));
     let learner = Learner::new(
         &world.store,
         &world.conceptualizer,
@@ -25,7 +27,13 @@ fn main() {
         .map(|p| (p.question.as_str(), p.answer.as_str()))
         .collect();
     let (model, expansion) = learner.learn(&pairs, &LearnerConfig::default());
-    let engine = QaEngine::new(&world.store, &world.conceptualizer, &model);
+    let service = KbqaService::builder(
+        Arc::clone(&world.store),
+        Arc::clone(&world.conceptualizer),
+        Arc::new(model),
+    )
+    .ner(Arc::clone(&ner))
+    .build();
 
     // Competing systems from the paper's taxonomy of prior work.
     let rule = RuleBasedQa::new(&world.store);
@@ -61,7 +69,7 @@ fn main() {
         ("RuleQA", &rule),
         ("KeywordQA", &keyword),
         ("SynonymQA", &synonym),
-        ("KBQA", &engine),
+        ("KBQA", &service),
     ];
 
     println!(
@@ -71,10 +79,17 @@ fn main() {
     for q in &phrasings {
         print!("{q:<55}");
         for (_, system) in &systems {
-            let verdict = match system.answer(q) {
-                Some(a) if a.top().map(|v| gold.contains(&v.to_owned())).unwrap_or(false) => "✓",
-                Some(_) => "✗ wrong",
-                None => "— refuse",
+            let response = system.answer_text(q);
+            let verdict = if response
+                .top()
+                .map(|v| gold.contains(&v.to_owned()))
+                .unwrap_or(false)
+            {
+                "✓"
+            } else if response.answered() {
+                "✗ wrong"
+            } else {
+                "— refuse"
             };
             print!(" {verdict:>10}");
         }

@@ -1,8 +1,11 @@
-//! Quickstart: build a world, learn the model offline, ask questions online.
+//! Quickstart: build a world, learn the model offline, then serve questions
+//! through the owned, batch-first [`KbqaService`] API.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
+
+use std::sync::Arc;
 
 use kbqa::prelude::*;
 
@@ -22,7 +25,7 @@ fn main() {
     // 2. Offline procedure (paper Fig. 3): predicate expansion → entity-value
     //    extraction → EM estimation of P(p|t).
     println!("\nrunning the offline pipeline…");
-    let ner = GazetteerNer::from_store(&world.store);
+    let ner = Arc::new(GazetteerNer::from_store(&world.store));
     let learner = Learner::new(
         &world.store,
         &world.conceptualizer,
@@ -35,7 +38,7 @@ fn main() {
         .map(|p| (p.question.as_str(), p.answer.as_str()))
         .collect();
     let (model, _expansion) = learner.learn(&pairs, &LearnerConfig::default());
-    let stats = &model.stats;
+    let stats = model.stats.clone();
     println!(
         "  {} observations → {} templates over {} predicates ({} EM iterations, {} ms)",
         stats.observations,
@@ -45,10 +48,18 @@ fn main() {
         stats.offline_millis
     );
 
-    // 3. Online procedure: probabilistic inference over the learned model.
+    // 3. Online serving: one owned service over shared (Arc) artifacts. The
+    //    NER gazetteer is derived once, here; clones of the service are
+    //    reference bumps and can be handed to worker threads.
     let index = PatternIndex::build(corpus.pairs.iter().map(|p| p.question.as_str()), &ner);
-    let engine = QaEngine::new(&world.store, &world.conceptualizer, &model)
-        .with_pattern_index(index);
+    let service = KbqaService::builder(
+        Arc::clone(&world.store),
+        Arc::clone(&world.conceptualizer),
+        Arc::new(model),
+    )
+    .ner(ner)
+    .pattern_index(Arc::new(index))
+    .build();
 
     let intent = world.intent_by_name("city_population").expect("intent");
     let city = world
@@ -59,28 +70,62 @@ fn main() {
         .expect("city with a population fact");
     let city_name = world.store.surface(city);
 
-    println!("\nasking about {city_name}:");
-    for question in [
+    // A batch of phrasings — paraphrases with zero lexical overlap with the
+    // predicate included — answered in one call. Responses keep request
+    // order and are identical to sequential `service.answer` calls.
+    println!("\nasking about {city_name} (batched):");
+    let requests: Vec<QaRequest> = [
         format!("how many people are there in {city_name}"),
         format!("what is the population of {city_name}"),
         format!("what is the total number of people in {city_name}"),
-    ] {
-        match engine.answer_bfq(&question) {
-            answers if !answers.is_empty() => {
-                let a = &answers[0];
-                println!(
-                    "  Q: {question}\n  A: {} (template “{}” → predicate “{}”, score {:.4})",
-                    a.value, a.template, a.predicate, a.score
-                );
-            }
-            _ => println!("  Q: {question}\n  A: <no answer>"),
+    ]
+    .into_iter()
+    .map(QaRequest::new)
+    .collect();
+    for (request, response) in requests.iter().zip(service.answer_batch(&requests)) {
+        match response.answers.first() {
+            Some(a) => println!(
+                "  Q: {}\n  A: {} (template “{}” → predicate “{}”, score {:.4})",
+                request.question, a.value, a.template, a.predicate, a.score
+            ),
+            None => println!(
+                "  Q: {}\n  A: <refused: {}>",
+                request.question,
+                response.refusal.map(|r| r.to_string()).unwrap_or_default()
+            ),
         }
     }
 
-    // Refusal on non-factoid input — precision over recall.
-    let off_topic = "why is the sky blue";
-    match QaSystem::answer(&engine, off_topic) {
-        Some(_) => println!("\n  Q: {off_topic}\n  A: (unexpected)"),
-        None => println!("\n  Q: {off_topic}\n  A: <refused — not a BFQ>"),
+    // Refusals are typed, not silent: each names the first pipeline stage
+    // that came up empty (precision over recall, paper Sec 7.3).
+    println!("\nrefusal taxonomy in action:");
+    for question in [
+        "why is the sky blue",                                       // no entity
+        &format!("please enumerate the inhabitants of {city_name}"), // no template
+    ] {
+        let response = service.answer_text(question);
+        println!(
+            "  Q: {question}\n  A: <refused: {}>",
+            response
+                .refusal
+                .map(|r| r.to_string())
+                .unwrap_or_else(|| "answered?!".into())
+        );
+    }
+
+    // Per-request overrides: a stricter θ gate for one caller, explain mode
+    // for another — no engine rebuilds, no shared-state mutation.
+    let question = format!("what is the population of {city_name}");
+    let strict = service.answer(&QaRequest::new(&question).with_min_theta(0.9).with_top_k(1));
+    println!(
+        "\nstrict request (θ ≥ 0.9, top-1): {} answer(s)",
+        strict.answers.len()
+    );
+    let explained = service.answer(&QaRequest::new(&question).with_explain(true));
+    if let Some(stats) = explained.stats {
+        println!(
+            "explain mode: {} entities, {:.1} templates/pair, {:.1} predicates/template",
+            stats.entities, stats.templates_per_pair, stats.predicates_per_template
+        );
     }
 }

@@ -19,12 +19,18 @@
 //! | [`taxonomy`] | `kbqa-taxonomy` | Probase-like isA network, conceptualization |
 //! | [`nlp`] | `kbqa-nlp` | tokenizer, NER, UIUC question classification |
 //! | [`corpus`] | `kbqa-corpus` | synthetic worlds, QA corpora, benchmarks |
-//! | [`core`] | `kbqa-core` | templates, EM, online engine, decomposition, expansion |
+//! | [`core`] | `kbqa-core` | templates, EM, serving API, decomposition, expansion |
 //! | [`baselines`] | `kbqa-baselines` | rule/keyword/synonym systems, BOA bootstrapping |
 //!
 //! ## Quickstart
 //!
+//! Learn a model offline, then serve it through the owned, thread-shareable
+//! [`KbqaService`](crate::prelude::KbqaService): typed requests in, ranked
+//! answers (or a typed [`Refusal`](crate::prelude::Refusal)) out.
+//!
 //! ```
+//! use std::sync::Arc;
+//!
 //! use kbqa::prelude::*;
 //!
 //! // A deterministic world standing in for the KB + Yahoo! Answers.
@@ -32,7 +38,7 @@
 //! let corpus = QaCorpus::generate(&world, &CorpusConfig::with_pairs(1, 400));
 //!
 //! // Offline: expansion → extraction → EM (paper Sections 4 & 6).
-//! let ner = GazetteerNer::from_store(&world.store);
+//! let ner = Arc::new(GazetteerNer::from_store(&world.store));
 //! let learner = Learner::new(
 //!     &world.store,
 //!     &world.conceptualizer,
@@ -46,8 +52,15 @@
 //!     .collect();
 //! let (model, _expansion) = learner.learn(&pairs, &LearnerConfig::default());
 //!
-//! // Online: probabilistic inference (paper Section 3).
-//! let engine = QaEngine::new(&world.store, &world.conceptualizer, &model);
+//! // Online: an owned service over shared artifacts (paper Section 3).
+//! let service = KbqaService::builder(
+//!     Arc::clone(&world.store),
+//!     Arc::clone(&world.conceptualizer),
+//!     Arc::new(model),
+//! )
+//! .ner(ner)
+//! .build();
+//!
 //! let intent = world.intent_by_name("city_population").unwrap();
 //! let city = world
 //!     .subjects_of(intent)
@@ -59,8 +72,18 @@
 //!     "how many people are there in {}",
 //!     world.store.surface(city)
 //! );
-//! let answers = engine.answer_bfq(&question);
-//! assert!(!answers.is_empty());
+//!
+//! // Single request — with provenance on every answer.
+//! let response = service.answer(&QaRequest::new(&question));
+//! assert!(response.answered());
+//! assert_eq!(response.answers[0].predicate, "population");
+//!
+//! // Batched requests fan out across threads; responses keep request order
+//! // and match sequential answering exactly.
+//! let batch = vec![QaRequest::new(&question), QaRequest::new("why is the sky blue")];
+//! let responses = service.answer_batch(&batch);
+//! assert!(responses[0].answered());
+//! assert_eq!(responses[1].refusal, Some(Refusal::NoEntityGrounded));
 //! ```
 
 pub use kbqa_baselines as baselines;
@@ -75,11 +98,12 @@ pub use kbqa_taxonomy as taxonomy;
 pub mod prelude {
     pub use kbqa_baselines::{KeywordQa, RuleBasedQa, SynonymQa};
     pub use kbqa_core::decompose::PatternIndex;
-    pub use kbqa_core::engine::{Answer, EngineConfig, QaEngine, QaSystem, SystemAnswer};
+    pub use kbqa_core::engine::{Answer, ChoiceStats, EngineConfig};
     pub use kbqa_core::eval::{self, EvalQuestion};
     pub use kbqa_core::expansion::ExpansionConfig;
     pub use kbqa_core::hybrid::HybridSystem;
     pub use kbqa_core::learner::{LearnedModel, Learner, LearnerConfig};
+    pub use kbqa_core::service::{KbqaService, QaRequest, QaResponse, QaSystem, Refusal};
     pub use kbqa_core::template::{Template, TemplateCatalog};
     pub use kbqa_corpus::{benchmark, CorpusConfig, QaCorpus, World, WorldConfig};
     pub use kbqa_nlp::{tokenize, GazetteerNer};

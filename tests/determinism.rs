@@ -60,7 +60,11 @@ fn different_seeds_differ() {
 #[test]
 fn answers_are_deterministic() {
     let (world, _, model) = learn(11);
-    let engine = QaEngine::new(&world.store, &world.conceptualizer, &model);
+    let service = KbqaService::new(
+        std::sync::Arc::clone(&world.store),
+        std::sync::Arc::clone(&world.conceptualizer),
+        std::sync::Arc::new(model),
+    );
     let intent = world.intent_by_name("city_population").unwrap();
     let city = world
         .subjects_of(intent)
@@ -69,7 +73,8 @@ fn answers_are_deterministic() {
         .find(|&c| !world.gold_values(intent, c).is_empty())
         .unwrap();
     let q = format!("what is the population of {}", world.store.surface(city));
-    let a1 = engine.answer_bfq(&q);
-    let a2 = engine.answer_bfq(&q);
+    let a1 = service.answer_text(&q);
+    let a2 = service.answer_text(&q);
     assert_eq!(a1, a2);
+    assert!(a1.answered());
 }

@@ -2,19 +2,21 @@
 //! answering → evaluation, asserting the paper's headline *shape* claims on
 //! a small world.
 
+use std::sync::Arc;
+
 use kbqa::prelude::*;
 
 struct Pipeline {
     world: World,
     corpus: QaCorpus,
-    model: LearnedModel,
-    index: PatternIndex,
+    model: Arc<LearnedModel>,
+    service: KbqaService,
 }
 
 fn pipeline(seed: u64, pairs: usize) -> Pipeline {
     let world = World::generate(WorldConfig::small(seed));
     let corpus = QaCorpus::generate(&world, &CorpusConfig::with_pairs(seed + 1, pairs));
-    let ner = GazetteerNer::from_store(&world.store);
+    let ner = Arc::new(GazetteerNer::from_store(&world.store));
     let learner = Learner::new(
         &world.store,
         &world.conceptualizer,
@@ -27,12 +29,21 @@ fn pipeline(seed: u64, pairs: usize) -> Pipeline {
         .map(|p| (p.question.as_str(), p.answer.as_str()))
         .collect();
     let (model, _) = learner.learn(&pair_refs, &LearnerConfig::default());
+    let model = Arc::new(model);
     let index = PatternIndex::build(corpus.pairs.iter().map(|p| p.question.as_str()), &ner);
+    let service = KbqaService::builder(
+        Arc::clone(&world.store),
+        Arc::clone(&world.conceptualizer),
+        Arc::clone(&model),
+    )
+    .ner(ner)
+    .pattern_index(Arc::new(index))
+    .build();
     Pipeline {
         world,
         corpus,
         model,
-        index,
+        service,
     }
 }
 
@@ -54,9 +65,7 @@ fn kbqa_beats_keyword_and_rule_baselines() {
     let p = pipeline(42, 6_000);
     let questions = eval_questions(&p.world);
 
-    let engine = QaEngine::new(&p.world.store, &p.world.conceptualizer, &p.model)
-        .with_pattern_index(p.index.clone());
-    let kbqa = eval::evaluate_qald(&engine, &questions);
+    let kbqa = eval::evaluate_qald(&p.service, &questions);
 
     let rule = RuleBasedQa::new(&p.world.store);
     let rule_outcome = eval::evaluate_qald(&rule, &questions);
@@ -99,9 +108,7 @@ fn hybrid_lifts_recall_without_precision_collapse() {
     let keyword = KeywordQa::new(&p.world.store);
     let alone = eval::evaluate_qald(&keyword, &questions);
 
-    let engine = QaEngine::new(&p.world.store, &p.world.conceptualizer, &p.model)
-        .with_pattern_index(p.index.clone());
-    let hybrid = HybridSystem::new(engine, KeywordQa::new(&p.world.store));
+    let hybrid = HybridSystem::new(p.service.clone(), KeywordQa::new(&p.world.store));
     let combined = eval::evaluate_qald(&hybrid, &questions);
 
     assert!(
@@ -121,21 +128,16 @@ fn hybrid_lifts_recall_without_precision_collapse() {
 #[test]
 fn complex_suite_mostly_answered() {
     let p = pipeline(42, 6_000);
-    let engine = QaEngine::new(&p.world.store, &p.world.conceptualizer, &p.model)
-        .with_pattern_index(p.index.clone());
     let suite = benchmark::complex_suite(&p.world);
     assert!(suite.len() >= 5, "suite too small: {}", suite.len());
     let right = suite
         .iter()
         .filter(|q| {
-            engine
-                .answer(&q.question)
-                .map(|a| {
-                    a.value_strings()
-                        .iter()
-                        .any(|v| eval::matches_gold(v, &q.gold_answers))
-                })
-                .unwrap_or(false)
+            p.service
+                .answer_text(&q.question)
+                .value_strings()
+                .iter()
+                .any(|v| eval::matches_gold(v, &q.gold_answers))
         })
         .count();
     assert!(

@@ -1,9 +1,19 @@
 //! Failure injection: the pipeline must degrade, not panic, under
 //! adversarial corpora, pathological graphs, and hostile question strings.
 
+use std::sync::Arc;
+
 use kbqa::core::decompose::PatternIndex;
 use kbqa::core::expansion::{expand, ExpansionConfig};
 use kbqa::prelude::*;
+
+fn service_for(world: &World, model: LearnedModel) -> KbqaService {
+    KbqaService::new(
+        Arc::clone(&world.store),
+        Arc::clone(&world.conceptualizer),
+        Arc::new(model),
+    )
+}
 
 fn learn_with(world: &World, pairs: Vec<(String, String)>) -> LearnedModel {
     let ner = GazetteerNer::from_store(&world.store);
@@ -27,8 +37,10 @@ fn empty_corpus_learns_empty_model_and_engine_refuses() {
     let model = learn_with(&world, vec![]);
     assert_eq!(model.stats.observations, 0);
     assert_eq!(model.templates.len(), 0);
-    let engine = QaEngine::new(&world.store, &world.conceptualizer, &model);
-    assert!(engine.answer_bfq("what is the population of anywhere").is_empty());
+    let service = service_for(&world, model);
+    let response = service.answer_text("what is the population of anywhere");
+    assert!(!response.answered());
+    assert!(response.refusal.is_some());
 }
 
 #[test]
@@ -116,10 +128,16 @@ fn hostile_question_strings_do_not_panic() {
         .map(|p| (p.question.clone(), p.answer.clone()))
         .collect();
     let model = learn_with(&world, pairs);
-    let ner = GazetteerNer::from_store(&world.store);
+    let ner = Arc::new(GazetteerNer::from_store(&world.store));
     let index = PatternIndex::build(corpus.pairs.iter().map(|p| p.question.as_str()), &ner);
-    let engine = QaEngine::new(&world.store, &world.conceptualizer, &model)
-        .with_pattern_index(index);
+    let service = KbqaService::builder(
+        Arc::clone(&world.store),
+        Arc::clone(&world.conceptualizer),
+        Arc::new(model),
+    )
+    .ner(ner)
+    .pattern_index(Arc::new(index))
+    .build();
 
     let long = "why ".repeat(500);
     let hostile = [
@@ -135,8 +153,8 @@ fn hostile_question_strings_do_not_panic() {
     ];
     for q in hostile {
         // Must not panic; refusal is fine.
-        let _ = QaSystem::answer(&engine, q);
-        let _ = engine.question_statistics(q);
+        let _ = service.answer_text(q);
+        let _ = service.question_statistics(q);
     }
 }
 

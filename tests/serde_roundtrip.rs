@@ -30,15 +30,20 @@ fn learned_model_roundtrips_through_json() {
     assert_eq!(model.stats.observations, restored.stats.observations);
 
     // Answers agree before/after.
-    let engine_a = QaEngine::new(&world.store, &world.conceptualizer, &model);
-    let engine_b = QaEngine::new(&world.store, &world.conceptualizer, &restored);
+    let service_a = KbqaService::new(
+        std::sync::Arc::clone(&world.store),
+        std::sync::Arc::clone(&world.conceptualizer),
+        std::sync::Arc::new(model),
+    );
+    let service_b = KbqaService::new(
+        std::sync::Arc::clone(&world.store),
+        std::sync::Arc::clone(&world.conceptualizer),
+        std::sync::Arc::new(restored),
+    );
     let intent = world.intent_by_name("city_population").unwrap();
     for &city in world.subjects_of(intent).iter().take(5) {
-        let q = format!(
-            "what is the population of {}",
-            world.store.surface(city)
-        );
-        assert_eq!(engine_a.answer_bfq(&q), engine_b.answer_bfq(&q));
+        let q = format!("what is the population of {}", world.store.surface(city));
+        assert_eq!(service_a.answer_text(&q), service_b.answer_text(&q));
     }
 }
 

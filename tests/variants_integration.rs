@@ -1,19 +1,21 @@
 //! End-to-end checks for the BFQ-variant extension (ranking / comparison /
 //! listing, paper Sec 1) against world gold.
 
+use std::sync::Arc;
+
 use kbqa::core::variants::VariantQa;
 use kbqa::prelude::*;
 use kbqa::rdf::NodeId;
 
 struct Setup {
     world: World,
-    model: LearnedModel,
+    service: KbqaService,
 }
 
 fn setup() -> Setup {
     let world = World::generate(WorldConfig::small(42));
     let corpus = QaCorpus::generate(&world, &CorpusConfig::with_pairs(7, 5_000));
-    let ner = GazetteerNer::from_store(&world.store);
+    let ner = Arc::new(GazetteerNer::from_store(&world.store));
     let learner = Learner::new(
         &world.store,
         &world.conceptualizer,
@@ -26,7 +28,14 @@ fn setup() -> Setup {
         .map(|p| (p.question.as_str(), p.answer.as_str()))
         .collect();
     let (model, _) = learner.learn(&pairs, &LearnerConfig::default());
-    Setup { world, model }
+    let service = KbqaService::builder(
+        Arc::clone(&world.store),
+        Arc::clone(&world.conceptualizer),
+        Arc::new(model),
+    )
+    .ner(ner)
+    .build();
+    Setup { world, service }
 }
 
 /// Cities with unambiguous names and known population, with their values.
@@ -56,41 +65,38 @@ fn ranked_cities(world: &World) -> Vec<(i64, String)> {
 #[test]
 fn ranking_matches_world_gold() {
     let s = setup();
-    let engine = QaEngine::new(&s.world.store, &s.world.conceptualizer, &s.model);
-    let variants = VariantQa::new(&engine);
+    let variants = VariantQa::new(s.service.clone());
     let gold = ranked_cities(&s.world);
     assert!(gold.len() >= 3);
 
-    let answer = QaSystem::answer(&variants, "which city has the 2nd largest population")
-        .expect("ranking answered");
+    let answer = variants.answer_text("which city has the 2nd largest population");
+    assert!(answer.answered(), "ranking refused: {:?}", answer.refusal);
     assert_eq!(answer.top(), Some(gold[1].1.as_str()), "gold: {gold:?}");
 }
 
 #[test]
 fn comparison_picks_the_larger_city() {
     let s = setup();
-    let engine = QaEngine::new(&s.world.store, &s.world.conceptualizer, &s.model);
-    let variants = VariantQa::new(&engine);
+    let variants = VariantQa::new(s.service.clone());
     let gold = ranked_cities(&s.world);
     let (big, small) = (&gold[0].1, &gold[gold.len() - 1].1);
     let q = format!("which city has more people , {small} or {big}");
-    let answer = QaSystem::answer(&variants, &q).expect("comparison answered");
+    let answer = variants.answer_text(&q);
     assert_eq!(answer.top(), Some(big.as_str()));
 
     // And the reverse phrasing with `fewer`.
     let q = format!("which city has fewer people , {small} or {big}");
-    let answer = QaSystem::answer(&variants, &q).expect("comparison answered");
+    let answer = variants.answer_text(&q);
     assert_eq!(answer.top(), Some(small.as_str()));
 }
 
 #[test]
 fn listing_returns_descending_population_order() {
     let s = setup();
-    let engine = QaEngine::new(&s.world.store, &s.world.conceptualizer, &s.model);
-    let variants = VariantQa::new(&engine);
+    let variants = VariantQa::new(s.service.clone());
     let gold = ranked_cities(&s.world);
-    let answer = QaSystem::answer(&variants, "list cities ordered by population")
-        .expect("listing answered");
+    let answer = variants.answer_text("list cities ordered by population");
+    assert!(answer.answered(), "listing refused: {:?}", answer.refusal);
     let values = answer.value_strings();
     assert!(values.len() >= 3);
     assert_eq!(values[0], gold[0].1, "top of listing wrong");
@@ -111,13 +117,14 @@ fn listing_returns_descending_population_order() {
 #[test]
 fn variants_refuse_plain_bfqs() {
     let s = setup();
-    let engine = QaEngine::new(&s.world.store, &s.world.conceptualizer, &s.model);
-    let variants = VariantQa::new(&engine);
+    let variants = VariantQa::new(s.service.clone());
     let gold = ranked_cities(&s.world);
     let q = format!("what is the population of {}", gold[0].1);
-    // The variant layer passes; only the base engine answers BFQs.
-    assert!(QaSystem::answer(&variants, &q).is_none());
-    assert!(!engine.answer_bfq(&q).is_empty());
+    // The variant layer passes (with a typed cause); only the base service
+    // answers BFQs.
+    let response = variants.answer_text(&q);
+    assert_eq!(response.refusal, Some(Refusal::NoTemplateMatched));
+    assert!(s.service.answer_text(&q).answered());
 }
 
 #[test]

@@ -1,0 +1,225 @@
+//! Minimal, offline-friendly stand-in for the `criterion` benchmark harness.
+//!
+//! Provides the API surface the workspace's benches use — `Criterion`,
+//! benchmark groups, `BenchmarkId`, `Throughput`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros — with a simple
+//! measure-and-print runner: a short warm-up, then a fixed number of timed
+//! samples whose mean/min are reported on stdout. No statistics engine, no
+//! HTML reports; the point is that `cargo bench` compiles, runs, and prints
+//! comparable numbers.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 30 }
+    }
+}
+
+impl Criterion {
+    /// Run a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.sample_size, None, &mut f);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_owned(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declare the work per iteration (reported as a rate).
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmark a function against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(&label, self.sample_size, self.throughput, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Benchmark a function without input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(&label, self.sample_size, self.throughput, &mut f);
+        self
+    }
+
+    /// Finish the group (no-op; exists for API parity).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter value.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        Self {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Just a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self {
+            label: s.to_owned(),
+        }
+    }
+}
+
+/// Work performed per iteration, for rate reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`].
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    pending: usize,
+}
+
+impl Bencher {
+    /// Time the routine. Runs a warm-up, then the configured samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: also sizes iterations so each sample takes ≳1ms.
+        let warm_start = Instant::now();
+        black_box(routine());
+        let once = warm_start.elapsed();
+        let target = Duration::from_millis(1);
+        let iters = if once.is_zero() {
+            1000
+        } else {
+            (target.as_nanos() / once.as_nanos().max(1)).clamp(1, 10_000) as u64
+        };
+        self.iters_per_sample = iters;
+        for _ in 0..self.pending {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / iters as u32);
+        }
+    }
+}
+
+fn run_one(
+    label: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut bencher = Bencher {
+        samples: Vec::with_capacity(sample_size),
+        iters_per_sample: 0,
+        pending: sample_size,
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{label}: no samples (closure never called iter)");
+        return;
+    }
+    let total: Duration = bencher.samples.iter().sum();
+    let mean = total / bencher.samples.len() as u32;
+    let min = bencher.samples.iter().min().copied().unwrap_or_default();
+    let rate = throughput
+        .map(|t| match t {
+            Throughput::Elements(n) => {
+                format!("  ({:.0} elem/s)", n as f64 / mean.as_secs_f64().max(1e-12))
+            }
+            Throughput::Bytes(n) => {
+                format!("  ({:.0} B/s)", n as f64 / mean.as_secs_f64().max(1e-12))
+            }
+        })
+        .unwrap_or_default();
+    println!(
+        "{label}: mean {mean:?}, min {min:?} over {} samples × {} iters{rate}",
+        bencher.samples.len(),
+        bencher.iters_per_sample,
+    );
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

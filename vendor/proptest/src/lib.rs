@@ -1,0 +1,506 @@
+//! Minimal, offline-friendly stand-in for the `proptest` crate.
+//!
+//! Supports the subset this workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! * [`Strategy`] implementations for integer/float ranges, tuples,
+//!   string patterns (a regex-lite subset: classes, groups, `{m,n}`, `?`,
+//!   and `\PC` for printable chars), [`collection::vec`], and [`any`],
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`.
+//!
+//! No shrinking: failures report the sampled inputs via the assertion
+//! message instead. Sampling is deterministic per test name, so failures
+//! reproduce across runs.
+
+/// Runner configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of sampled cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config with an explicit case count.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// The deterministic generator driving all strategies.
+#[derive(Clone, Debug)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Seed from a test name (stable across runs → reproducible failures).
+    pub fn from_name(name: &str) -> Self {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Self(h)
+    }
+
+    /// Next 64 random bits (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A value generator.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+    /// Sample one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                (lo as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + (self.end - self.start) * rng.unit_f64()
+    }
+}
+
+impl Strategy for std::ops::Range<f32> {
+    type Value = f32;
+    fn sample(&self, rng: &mut TestRng) -> f32 {
+        self.start + (self.end - self.start) * rng.unit_f64() as f32
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+/// `any::<T>()` — uniform over the whole type.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// Marker struct returned by [`any`].
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+/// Types with a canonical full-range strategy.
+pub trait Arbitrary: Sized {
+    /// Sample uniformly over the type.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+impl Arbitrary for u8 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() as u8
+    }
+}
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() as u32
+    }
+}
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// String patterns (regex-lite)
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+enum Node {
+    Literal(char),
+    /// Inclusive char ranges; single chars are degenerate ranges.
+    Class(Vec<(char, char)>),
+    /// Any printable char (proptest's `\PC`).
+    Printable,
+    Group(Vec<(Node, (usize, usize))>),
+}
+
+fn parse_pattern(pattern: &str) -> Vec<(Node, (usize, usize))> {
+    let mut chars: std::iter::Peekable<std::str::Chars<'_>> = pattern.chars().peekable();
+    parse_sequence(&mut chars, None)
+}
+
+fn parse_sequence(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    terminator: Option<char>,
+) -> Vec<(Node, (usize, usize))> {
+    let mut out = Vec::new();
+    while let Some(&c) = chars.peek() {
+        if Some(c) == terminator {
+            chars.next();
+            break;
+        }
+        chars.next();
+        let node = match c {
+            '[' => {
+                let mut entries = Vec::new();
+                while let Some(&cc) = chars.peek() {
+                    if cc == ']' {
+                        chars.next();
+                        break;
+                    }
+                    chars.next();
+                    // Range `a-z` (a '-' not followed by ']' is a range).
+                    if chars.peek() == Some(&'-') {
+                        let mut look = chars.clone();
+                        look.next();
+                        if look.peek().is_some() && look.peek() != Some(&']') {
+                            chars.next(); // consume '-'
+                            let hi = chars.next().expect("range end");
+                            entries.push((cc, hi));
+                            continue;
+                        }
+                    }
+                    entries.push((cc, cc));
+                }
+                Node::Class(entries)
+            }
+            '(' => Node::Group(parse_sequence(chars, Some(')'))),
+            '\\' => match chars.next() {
+                Some('P') => {
+                    // `\PC`: any char not in Unicode category C (printable).
+                    let tag = chars.next();
+                    assert_eq!(tag, Some('C'), "only \\PC is supported");
+                    Node::Printable
+                }
+                Some(escaped) => Node::Literal(escaped),
+                None => panic!("dangling escape in pattern"),
+            },
+            '.' => Node::Printable,
+            other => Node::Literal(other),
+        };
+        let quant = parse_quantifier(chars);
+        out.push((node, quant));
+    }
+    out
+}
+
+fn parse_quantifier(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> (usize, usize) {
+    match chars.peek() {
+        Some('{') => {
+            chars.next();
+            let mut min = String::new();
+            let mut max = String::new();
+            let mut in_max = false;
+            for c in chars.by_ref() {
+                match c {
+                    '}' => break,
+                    ',' => in_max = true,
+                    d => {
+                        if in_max {
+                            max.push(d);
+                        } else {
+                            min.push(d);
+                        }
+                    }
+                }
+            }
+            let lo: usize = min.parse().expect("quantifier min");
+            let hi: usize = if in_max {
+                max.parse().expect("quantifier max")
+            } else {
+                lo
+            };
+            (lo, hi)
+        }
+        Some('?') => {
+            chars.next();
+            (0, 1)
+        }
+        Some('+') => {
+            chars.next();
+            (1, 8)
+        }
+        Some('*') => {
+            chars.next();
+            (0, 8)
+        }
+        _ => (1, 1),
+    }
+}
+
+/// Mostly-ASCII printable sampling with occasional multi-byte characters, so
+/// `\PC` inputs exercise UTF-8 handling.
+const UNICODE_POOL: &[char] = &[
+    'é', 'Ω', 'λ', 'π', 'ß', 'ç', '→', '€', '日', '本', '界', '你', '好', '😀', '📚',
+];
+
+fn sample_node(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Literal(c) => out.push(*c),
+        Node::Class(entries) => {
+            if entries.is_empty() {
+                return;
+            }
+            let (lo, hi) = entries[rng.below(entries.len() as u64) as usize];
+            let span = (hi as u32) - (lo as u32) + 1;
+            let c = char::from_u32(lo as u32 + rng.below(u64::from(span)) as u32).unwrap_or(lo);
+            out.push(c);
+        }
+        Node::Printable => {
+            if rng.below(5) == 0 {
+                out.push(UNICODE_POOL[rng.below(UNICODE_POOL.len() as u64) as usize]);
+            } else {
+                // ASCII 0x20..=0x7e.
+                let c = (0x20 + rng.below(0x5f)) as u8 as char;
+                out.push(c);
+            }
+        }
+        Node::Group(seq) => sample_sequence(seq, rng, out),
+    }
+}
+
+fn sample_sequence(seq: &[(Node, (usize, usize))], rng: &mut TestRng, out: &mut String) {
+    for (node, (lo, hi)) in seq {
+        let reps = *lo as u64 + rng.below((*hi - *lo + 1) as u64);
+        for _ in 0..reps {
+            sample_node(node, rng, out);
+        }
+    }
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let seq = parse_pattern(self);
+        let mut out = String::new();
+        sample_sequence(&seq, rng, &mut out);
+        out
+    }
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Length specification: a fixed size or a range.
+    pub trait IntoSize {
+        /// Sample a length.
+        fn sample_len(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl IntoSize for usize {
+        fn sample_len(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl IntoSize for std::ops::Range<usize> {
+        fn sample_len(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end);
+            self.start + rng.below((self.end - self.start) as u64) as usize
+        }
+    }
+
+    impl IntoSize for std::ops::RangeInclusive<usize> {
+        fn sample_len(&self, rng: &mut TestRng) -> usize {
+            *self.start() + rng.below((*self.end() - *self.start() + 1) as u64) as usize
+        }
+    }
+
+    /// Strategy for `Vec<T>` with lengths drawn from `size`.
+    pub fn vec<S: Strategy, L: IntoSize>(element: S, size: L) -> VecStrategy<S, L> {
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S, L> {
+        element: S,
+        size: L,
+    }
+
+    impl<S: Strategy, L: IntoSize> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.sample_len(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// The names tests import with `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, ProptestConfig,
+        Strategy,
+    };
+}
+
+/// Assert inside a property (panics with the formatted message).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Define property tests: each function runs its body over sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__config.cases {
+                let _ = __case;
+                $(let $arg = $crate::Strategy::sample(&$strat, &mut __rng);)*
+                // Bodies may `return Ok(())` to skip a case, as in real
+                // proptest; run them in a Result-returning closure.
+                #[allow(clippy::redundant_closure_call)]
+                let __outcome: ::core::result::Result<(), ()> = (|| {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                let _ = __outcome;
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn string_patterns_match_shape() {
+        let mut rng = TestRng::from_name("shape");
+        for _ in 0..200 {
+            let s = "[a-z]{1,8}".sample(&mut rng);
+            assert!((1..=8).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+
+            let name = "[A-Za-z]{2,10}( [A-Za-z]{2,10})?".sample(&mut rng);
+            assert!(name.chars().count() >= 2);
+
+            let free = "\\PC{0,40}".sample(&mut rng);
+            assert!(free.chars().count() <= 40);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3u8..9, y in -4i64..4, f in 0.0f64..1.0) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-4..4).contains(&y));
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_lengths(v in collection::vec(0u32..5, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            for item in v {
+                prop_assert!(item < 5);
+            }
+        }
+
+        #[test]
+        fn tuples_and_any(t in (0u8..4, 0u8..4), b in any::<bool>()) {
+            prop_assert!(t.0 < 4 && t.1 < 4);
+            let _ = b;
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Offline stand-in for `rand_chacha`: a real ChaCha8 keystream generator
+//! behind the `ChaCha8Rng` name, seeded via `SeedableRng::seed_from_u64`
+//! (SplitMix64 key expansion). The workspace pins ChaCha8 for bit-stable
+//! reproducibility across releases; this vendored copy is the stability
+//! boundary now, so its output must never change.
+
+use rand::RngCore;
+
+/// Re-exports mirroring the `rand_core` facade `rand_chacha` exposes.
+pub mod rand_core {
+    pub use rand::{RngCore, SeedableRng};
+}
+
+/// ChaCha with 8 rounds, counter-mode keystream, 64-bit output chunks.
+#[derive(Clone, Debug)]
+pub struct ChaCha8Rng {
+    /// Key + constants + counter state (the 16-word ChaCha state).
+    state: [u32; 16],
+    /// Current 64-byte block, as 8 u64 outputs.
+    block: [u64; 8],
+    /// Next unread index into `block`; 8 means "generate a new block".
+    cursor: usize,
+}
+
+const CHACHA_CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut working = self.state;
+        for _ in 0..4 {
+            // 8 rounds = 4 double-rounds.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (w, s) in working.iter_mut().zip(self.state.iter()) {
+            *w = w.wrapping_add(*s);
+        }
+        for i in 0..8 {
+            self.block[i] = u64::from(working[2 * i]) | (u64::from(working[2 * i + 1]) << 32);
+        }
+        // 64-bit block counter in words 12..14.
+        let counter =
+            (u64::from(self.state[12]) | (u64::from(self.state[13]) << 32)).wrapping_add(1);
+        self.state[12] = counter as u32;
+        self.state[13] = (counter >> 32) as u32;
+        self.cursor = 0;
+    }
+}
+
+impl rand::SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 key expansion, as `rand_core`'s default does.
+        let mut sm = seed;
+        let mut next = move || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let mut key = [0u32; 8];
+        for pair in key.chunks_mut(2) {
+            let w = next();
+            pair[0] = w as u32;
+            pair[1] = (w >> 32) as u32;
+        }
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CHACHA_CONSTANTS);
+        state[4..12].copy_from_slice(&key);
+        // Counter and nonce start at zero.
+        Self {
+            state,
+            block: [0; 8],
+            cursor: 8,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u64(&mut self) -> u64 {
+        if self.cursor >= 8 {
+            self.refill();
+        }
+        let v = self.block[self.cursor];
+        self.cursor += 1;
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_diverge() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn keystream_crosses_blocks() {
+        let mut a = ChaCha8Rng::seed_from_u64(3);
+        let first: Vec<u64> = (0..20).map(|_| a.next_u64()).collect();
+        let distinct: std::collections::BTreeSet<_> = first.iter().collect();
+        assert!(distinct.len() > 16, "keystream repeats suspiciously");
+    }
+}

@@ -1,0 +1,502 @@
+//! Minimal, offline-friendly stand-in for the `serde` crate.
+//!
+//! The build environment has no network access, so the workspace vendors a
+//! small serialization framework exposing the subset of serde's surface the
+//! codebase uses: the `Serialize`/`Deserialize` traits, the derive macros
+//! (re-exported from `serde_derive`), `#[serde(skip)]` and
+//! `#[serde(transparent)]`, and `serde::de::DeserializeOwned`.
+//!
+//! Instead of serde's visitor-based zero-copy data model, values round-trip
+//! through an owned [`Value`] tree which `serde_json` then renders as JSON.
+//! That is slower than real serde but simple, dependency-free, and exact:
+//! floats are emitted with shortest round-trippable formatting and integers
+//! are carried as `i128`, so persisted models restore bit-for-bit.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::hash::{BuildHasher, Hash};
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+
+/// The self-describing value tree every type serializes into.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// Booleans.
+    Bool(bool),
+    /// All integers (wide enough for `u64` fingerprints and `u128` millis).
+    Int(i128),
+    /// Floating point numbers.
+    Float(f64),
+    /// Strings.
+    Str(String),
+    /// Sequences.
+    Seq(Vec<Value>),
+    /// String-keyed maps (struct fields, enum tags); order-preserving.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Borrow as a map, if this is one.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Borrow as a sequence, if this is one.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A short name for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+/// Serialization: convert into the [`Value`] tree.
+pub trait Serialize {
+    /// Render `self` as a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Serialization half of the API, mirroring `serde::ser`.
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+/// Deserialization half of the API, mirroring `serde::de`.
+pub mod de {
+    pub use crate::{Deserialize as DeserializeTrait, Value};
+
+    /// Deserialization error.
+    #[derive(Debug, Clone)]
+    pub struct Error(pub String);
+
+    impl Error {
+        /// A type-mismatch error.
+        pub fn expected(what: &str, got: &Value) -> Self {
+            Error(format!("expected {what}, found {}", got.kind()))
+        }
+
+        /// A missing-field error.
+        pub fn missing(field: &str) -> Self {
+            Error(format!("missing field `{field}`"))
+        }
+    }
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    /// Deserialization: reconstruct from a [`Value`] tree.
+    pub trait Deserialize: Sized {
+        /// Rebuild `Self` from a value tree.
+        fn from_value(v: &Value) -> Result<Self, Error>;
+    }
+
+    /// Owned deserialization (our values are always owned).
+    pub trait DeserializeOwned: Deserialize {}
+    impl<T: Deserialize> DeserializeOwned for T {}
+
+    /// Look up and deserialize a struct field (derive-macro helper).
+    pub fn field<T: Deserialize>(map: &[(String, Value)], name: &str) -> Result<T, Error> {
+        match map.iter().find(|(k, _)| k == name) {
+            Some((_, v)) => T::from_value(v),
+            None => Err(Error::missing(name)),
+        }
+    }
+
+    /// Like [`field`], but `#[serde(default)]`: an absent key yields
+    /// `Default::default()` instead of an error.
+    pub fn field_or_default<T: Deserialize + Default>(
+        map: &[(String, Value)],
+        name: &str,
+    ) -> Result<T, Error> {
+        match map.iter().find(|(k, _)| k == name) {
+            Some((_, v)) => T::from_value(v),
+            None => Ok(T::default()),
+        }
+    }
+}
+
+pub use de::{Deserialize, DeserializeOwned};
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i128)
+            }
+        }
+        impl de::Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, de::Error> {
+                match v {
+                    Value::Int(i) => <$t>::try_from(*i)
+                        .map_err(|_| de::Error(format!("integer {i} out of range"))),
+                    Value::Float(f) if f.fract() == 0.0 => Ok(*f as $t),
+                    other => Err(de::Error::expected("integer", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for u128 {
+    fn to_value(&self) -> Value {
+        Value::Int(*self as i128)
+    }
+}
+impl de::Deserialize for u128 {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Int(i) => {
+                u128::try_from(*i).map_err(|_| de::Error(format!("integer {i} out of range")))
+            }
+            other => Err(de::Error::expected("integer", other)),
+        }
+    }
+}
+
+impl Serialize for i128 {
+    fn to_value(&self) -> Value {
+        Value::Int(*self)
+    }
+}
+impl de::Deserialize for i128 {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Int(i) => Ok(*i),
+            other => Err(de::Error::expected("integer", other)),
+        }
+    }
+}
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Float(f64::from(*self))
+            }
+        }
+        impl de::Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, de::Error> {
+                match v {
+                    Value::Float(f) => Ok(*f as $t),
+                    Value::Int(i) => Ok(*i as $t),
+                    other => Err(de::Error::expected("float", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl de::Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(de::Error::expected("bool", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl de::Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(de::Error::expected("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl de::Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(de::Error::expected("single-char string", other)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Containers
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: de::Deserialize> de::Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: de::Deserialize> de::Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        v.as_seq()
+            .ok_or_else(|| de::Error::expected("sequence", v))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+impl<T: de::Deserialize> de::Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl Serialize for Box<str> {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl de::Deserialize for Box<str> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        String::from_value(v).map(String::into_boxed_str)
+    }
+}
+
+impl<T: Serialize> Serialize for Arc<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+impl<T: de::Deserialize> de::Deserialize for Arc<T> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        T::from_value(v).map(Arc::new)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: de::Deserialize),+> de::Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, de::Error> {
+                let seq = v.as_seq().ok_or_else(|| de::Error::expected("tuple", v))?;
+                let mut it = seq.iter();
+                Ok(($(
+                    $name::from_value(
+                        it.next().ok_or_else(|| de::Error("tuple too short".into()))?,
+                    )?,
+                )+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+}
+
+// Maps and sets serialize as sequences of entries: keys in this workspace
+// are often numeric or structured, which JSON objects cannot carry.
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        Value::Seq(
+            self.iter()
+                .map(|(k, v)| Value::Seq(vec![k.to_value(), v.to_value()]))
+                .collect(),
+        )
+    }
+}
+impl<K, V, S> de::Deserialize for HashMap<K, V, S>
+where
+    K: de::Deserialize + Eq + Hash,
+    V: de::Deserialize,
+    S: BuildHasher + Default,
+{
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        let seq = v
+            .as_seq()
+            .ok_or_else(|| de::Error::expected("map entries", v))?;
+        let mut out = HashMap::with_capacity_and_hasher(seq.len(), S::default());
+        for entry in seq {
+            let pair = entry
+                .as_seq()
+                .filter(|s| s.len() == 2)
+                .ok_or_else(|| de::Error::expected("[key, value] entry", entry))?;
+            out.insert(K::from_value(&pair[0])?, V::from_value(&pair[1])?);
+        }
+        Ok(out)
+    }
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Seq(
+            self.iter()
+                .map(|(k, v)| Value::Seq(vec![k.to_value(), v.to_value()]))
+                .collect(),
+        )
+    }
+}
+impl<K: de::Deserialize + Ord, V: de::Deserialize> de::Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        let seq = v
+            .as_seq()
+            .ok_or_else(|| de::Error::expected("map entries", v))?;
+        let mut out = BTreeMap::new();
+        for entry in seq {
+            let pair = entry
+                .as_seq()
+                .filter(|s| s.len() == 2)
+                .ok_or_else(|| de::Error::expected("[key, value] entry", entry))?;
+            out.insert(K::from_value(&pair[0])?, V::from_value(&pair[1])?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Serialize, S> Serialize for HashSet<T, S> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T, S> de::Deserialize for HashSet<T, S>
+where
+    T: de::Deserialize + Eq + Hash,
+    S: BuildHasher + Default,
+{
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        let seq = v
+            .as_seq()
+            .ok_or_else(|| de::Error::expected("sequence", v))?;
+        let mut out = HashSet::with_capacity_and_hasher(seq.len(), S::default());
+        for item in seq {
+            out.insert(T::from_value(item)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: de::Deserialize + Ord> de::Deserialize for BTreeSet<T> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        let seq = v
+            .as_seq()
+            .ok_or_else(|| de::Error::expected("sequence", v))?;
+        seq.iter().map(T::from_value).collect()
+    }
+}
+
+// AtomicU64 appears in store telemetry; serialize by observed value so the
+// field works even when not `#[serde(skip)]`ed.
+impl Serialize for AtomicU64 {
+    fn to_value(&self) -> Value {
+        Value::Int(self.load(std::sync::atomic::Ordering::Relaxed) as i128)
+    }
+}
+impl de::Deserialize for AtomicU64 {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        u64::from_value(v).map(AtomicU64::new)
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl de::Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        Ok(v.clone())
+    }
+}

@@ -1,0 +1,473 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Parses the item's token stream directly (no `syn`/`quote` in the offline
+//! build environment) and emits `Serialize`/`Deserialize` impls against the
+//! value-tree data model. Supported shapes — the ones this workspace uses:
+//!
+//! * named-field structs, with `#[serde(skip)]` fields restored via
+//!   `Default::default()`;
+//! * tuple structs (single-field ones are transparent, matching
+//!   `#[serde(transparent)]`);
+//! * unit structs;
+//! * enums with unit, tuple, and struct variants (externally tagged).
+//!
+//! Generic type parameters are intentionally unsupported: no serialized type
+//! in the workspace is generic, and rejecting them keeps the parser honest.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A parsed field: name (named structs/variants only) and its skip flag.
+struct Field {
+    name: Option<String>,
+    skip: bool,
+    /// `#[serde(default)]`: restore via `Default::default()` when the field
+    /// is absent from the input (wire-compat for added fields).
+    default: bool,
+}
+
+enum Shape {
+    Unit,
+    Tuple(Vec<Field>),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Outer attribute: consume the bracket group.
+                tokens.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                // Visibility, possibly `pub(crate)`.
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
+                let name = expect_ident(&mut tokens);
+                reject_generics(&mut tokens, &name);
+                let shape = match tokens.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        Shape::Named(parse_fields(g.stream(), true))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        Shape::Tuple(parse_fields(g.stream(), false))
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+                    other => panic!("unexpected token after struct {name}: {other:?}"),
+                };
+                return Item::Struct { name, shape };
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                let name = expect_ident(&mut tokens);
+                reject_generics(&mut tokens, &name);
+                let Some(TokenTree::Group(g)) = tokens.next() else {
+                    panic!("expected enum body for {name}");
+                };
+                return Item::Enum {
+                    name,
+                    variants: parse_variants(g.stream()),
+                };
+            }
+            Some(_) => {}
+            None => panic!("no struct or enum found in derive input"),
+        }
+    }
+}
+
+fn expect_ident(tokens: &mut impl Iterator<Item = TokenTree>) -> String {
+    match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected identifier, found {other:?}"),
+    }
+}
+
+fn reject_generics(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>, name: &str) {
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            panic!("serde derive (vendored) does not support generics on `{name}`");
+        }
+    }
+}
+
+/// Parse a comma-separated field list. `named` selects `name: Type` parsing;
+/// tuple fields are `vis Type`.
+fn parse_fields(stream: TokenStream, named: bool) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        if tokens.peek().is_none() {
+            break;
+        }
+        let (skip, default) = consume_attrs(&mut tokens);
+        if tokens.peek().is_none() {
+            break; // trailing attributes only (shouldn't happen)
+        }
+        // Visibility.
+        if let Some(TokenTree::Ident(id)) = tokens.peek() {
+            if id.to_string() == "pub" {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+        }
+        let name = if named {
+            let n = expect_ident(&mut tokens);
+            match tokens.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                other => panic!("expected `:` after field {n}, found {other:?}"),
+            }
+            Some(n)
+        } else {
+            None
+        };
+        skip_type_until_comma(&mut tokens);
+        fields.push(Field {
+            name,
+            skip,
+            default,
+        });
+    }
+    fields
+}
+
+/// Consume `#[...]` attributes; return whether `#[serde(skip)]` and/or
+/// `#[serde(default)]` were present.
+fn consume_attrs(
+    tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>,
+) -> (bool, bool) {
+    let mut skip = false;
+    let mut default = false;
+    while let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() != '#' {
+            break;
+        }
+        tokens.next();
+        if let Some(TokenTree::Group(g)) = tokens.next() {
+            let mut inner = g.stream().into_iter();
+            if let Some(TokenTree::Ident(id)) = inner.next() {
+                if id.to_string() == "serde" {
+                    if let Some(TokenTree::Group(args)) = inner.next() {
+                        let text = args.stream().to_string();
+                        if text.contains("skip") {
+                            skip = true;
+                        }
+                        if text.contains("default") {
+                            default = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    (skip, default)
+}
+
+/// Consume type tokens up to (and including) the next top-level comma,
+/// tracking `<`/`>` depth so generic arguments don't split early.
+fn skip_type_until_comma(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    let mut angle_depth = 0i32;
+    for tt in tokens.by_ref() {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        if tokens.peek().is_none() {
+            break;
+        }
+        let _ = consume_attrs(&mut tokens);
+        if tokens.peek().is_none() {
+            break;
+        }
+        let name = expect_ident(&mut tokens);
+        let shape = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_fields(g.stream(), true);
+                tokens.next();
+                Shape::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let fields = parse_fields(g.stream(), false);
+                tokens.next();
+                Shape::Tuple(fields)
+            }
+            _ => Shape::Unit,
+        };
+        // Consume the separating comma, if any.
+        if let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() == ',' {
+                tokens.next();
+            } else if p.as_char() == '=' {
+                panic!("discriminant values are not supported (variant {name})");
+            }
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Unit => "::serde::Value::Null".to_owned(),
+                Shape::Tuple(fields) if fields.len() == 1 => {
+                    "::serde::Serialize::to_value(&self.0)".to_owned()
+                }
+                Shape::Tuple(fields) => {
+                    let items: Vec<String> = (0..fields.len())
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+                }
+                Shape::Named(fields) => named_ser(fields, "self."),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),\n"
+                    )),
+                    Shape::Tuple(fields) => {
+                        let binds: Vec<String> =
+                            (0..fields.len()).map(|i| format!("__f{i}")).collect();
+                        let inner = if fields.len() == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_owned()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => ::serde::Value::Map(vec![(\"{vn}\".to_string(), {inner})]),\n",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let names: Vec<&str> =
+                            fields.iter().map(|f| f.name.as_deref().unwrap()).collect();
+                        let entries: Vec<String> = names
+                            .iter()
+                            .map(|n| {
+                                format!("(\"{n}\".to_string(), ::serde::Serialize::to_value({n}))")
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => ::serde::Value::Map(vec![(\"{vn}\".to_string(), ::serde::Value::Map(vec![{entries}]))]),\n",
+                            binds = names.join(", "),
+                            entries = entries.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{arms}}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn named_ser(fields: &[Field], access: &str) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .filter(|f| !f.skip)
+        .map(|f| {
+            let n = f.name.as_deref().unwrap();
+            format!("(\"{n}\".to_string(), ::serde::Serialize::to_value(&{access}{n}))")
+        })
+        .collect();
+    format!("::serde::Value::Map(vec![{}])", entries.join(", "))
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let body = match item {
+        Item::Struct { name, shape } => match shape {
+            Shape::Unit => format!("::core::result::Result::Ok({name})"),
+            Shape::Tuple(fields) if fields.len() == 1 => format!(
+                "::core::result::Result::Ok({name}(::serde::de::Deserialize::from_value(__v)?))"
+            ),
+            Shape::Tuple(fields) => {
+                let n = fields.len();
+                let items: Vec<String> = (0..n)
+                    .map(|i| format!("::serde::de::Deserialize::from_value(&__s[{i}])?"))
+                    .collect();
+                format!(
+                    "let __s = __v.as_seq().ok_or_else(|| ::serde::de::Error::expected(\"sequence\", __v))?;\n\
+                     if __s.len() != {n} {{ return ::core::result::Result::Err(::serde::de::Error(format!(\"expected {n} elements, found {{}}\", __s.len()))); }}\n\
+                     ::core::result::Result::Ok({name}({items}))",
+                    items = items.join(", ")
+                )
+            }
+            Shape::Named(fields) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        let n = f.name.as_deref().unwrap();
+                        if f.skip {
+                            format!("{n}: ::core::default::Default::default()")
+                        } else if f.default {
+                            format!("{n}: ::serde::de::field_or_default(__m, \"{n}\")?")
+                        } else {
+                            format!("{n}: ::serde::de::field(__m, \"{n}\")?")
+                        }
+                    })
+                    .collect();
+                format!(
+                    "let __m = __v.as_map().ok_or_else(|| ::serde::de::Error::expected(\"map\", __v))?;\n\
+                     ::core::result::Result::Ok({name} {{ {inits} }})",
+                    inits = inits.join(", ")
+                )
+            }
+        },
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    Shape::Tuple(fields) if fields.len() == 1 => data_arms.push_str(&format!(
+                        "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}(::serde::de::Deserialize::from_value(__inner)?)),\n"
+                    )),
+                    Shape::Tuple(fields) => {
+                        let n = fields.len();
+                        let items: Vec<String> = (0..n)
+                            .map(|i| format!("::serde::de::Deserialize::from_value(&__s[{i}])?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                                 let __s = __inner.as_seq().ok_or_else(|| ::serde::de::Error::expected(\"sequence\", __inner))?;\n\
+                                 if __s.len() != {n} {{ return ::core::result::Result::Err(::serde::de::Error(format!(\"expected {n} elements for {vn}, found {{}}\", __s.len()))); }}\n\
+                                 ::core::result::Result::Ok({name}::{vn}({items}))\n\
+                             }}\n",
+                            items = items.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                let n = f.name.as_deref().unwrap();
+                                if f.skip {
+                                    format!("{n}: ::core::default::Default::default()")
+                                } else if f.default {
+                                    format!("{n}: ::serde::de::field_or_default(__mm, \"{n}\")?")
+                                } else {
+                                    format!("{n}: ::serde::de::field(__mm, \"{n}\")?")
+                                }
+                            })
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                                 let __mm = __inner.as_map().ok_or_else(|| ::serde::de::Error::expected(\"map\", __inner))?;\n\
+                                 ::core::result::Result::Ok({name}::{vn} {{ {inits} }})\n\
+                             }}\n",
+                            inits = inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                     ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                         {unit_arms}\
+                         __other => ::core::result::Result::Err(::serde::de::Error(format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                     }},\n\
+                     ::serde::Value::Map(__m) if __m.len() == 1 => {{\n\
+                         let (__tag, __inner) = &__m[0];\n\
+                         match __tag.as_str() {{\n\
+                             {data_arms}\
+                             __other => ::core::result::Result::Err(::serde::de::Error(format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     __other => ::core::result::Result::Err(::serde::de::Error::expected(\"enum\", __other)),\n\
+                 }}"
+            )
+        }
+    };
+    let name = match item {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name,
+    };
+    format!(
+        "impl ::serde::de::Deserialize for {name} {{\n\
+             #[allow(unused_variables)]\n\
+             fn from_value(__v: &::serde::Value) -> ::core::result::Result<Self, ::serde::de::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
