@@ -1,0 +1,90 @@
+//! Cold vs cached answer latency — the case for the server's answer cache.
+//!
+//! "QA Is the New KR" argues repeated QA-pair lookups dominate live QA
+//! traffic; the cache turns each repeat from a full Eq (7) enumeration into
+//! a sharded-LRU probe plus an `Arc` clone. This bench quantifies the gap on
+//! the same question suite:
+//!
+//! * `cold`   — every question runs the engine (`KbqaService::answer`);
+//! * `cached` — every question probes a pre-warmed `AnswerCache` first, the
+//!   steady state of a server seeing recurring traffic;
+//! * `miss_then_hit` — a cleared cache absorbing the suite once, then being
+//!   re-asked: one warm-up pass amortized over two.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use kbqa_bench::Session;
+use kbqa_core::service::QaRequest;
+use kbqa_corpus::benchmark;
+use kbqa_server::{AnswerCache, CacheConfig};
+
+fn bench_cached_answer(c: &mut Criterion) {
+    let session = Session::build("bench", kbqa_corpus::WorldConfig::small(42), 3000);
+    let bench = benchmark::qald_like(&session.world, "cache", 40, 30, 0.2, 75);
+    let service = session.service();
+    let requests: Vec<QaRequest> = bench
+        .questions
+        .iter()
+        .map(|q| QaRequest::new(&q.question))
+        .collect();
+    let keys: Vec<String> = requests
+        .iter()
+        .map(|r| r.cache_key(service.config()))
+        .collect();
+
+    let mut group = c.benchmark_group("cached_answer");
+    group.sample_size(20);
+
+    group.bench_function("cold", |b| {
+        b.iter(|| {
+            let mut answered = 0usize;
+            for request in &requests {
+                if service.answer(std::hint::black_box(request)).answered() {
+                    answered += 1;
+                }
+            }
+            answered
+        })
+    });
+
+    let warm = AnswerCache::new(CacheConfig::default());
+    for (request, key) in requests.iter().zip(&keys) {
+        warm.get_or_compute(key.clone(), || service.answer(request));
+    }
+    group.bench_function("cached", |b| {
+        b.iter(|| {
+            let mut answered = 0usize;
+            for key in &keys {
+                if warm
+                    .get(std::hint::black_box(key))
+                    .expect("pre-warmed")
+                    .answered()
+                {
+                    answered += 1;
+                }
+            }
+            answered
+        })
+    });
+
+    group.bench_function("miss_then_hit", |b| {
+        b.iter(|| {
+            let cache = AnswerCache::new(CacheConfig::default());
+            let mut answered = 0usize;
+            for _round in 0..2 {
+                for (request, key) in requests.iter().zip(&keys) {
+                    let response = cache.get_or_compute(key.clone(), || service.answer(request));
+                    if response.answered() {
+                        answered += 1;
+                    }
+                }
+            }
+            answered
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_cached_answer);
+criterion_main!(benches);

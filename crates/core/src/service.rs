@@ -132,6 +132,60 @@ impl QaRequest {
             ..base.clone()
         }
     }
+
+    /// The question with whitespace collapsed and case folded.
+    ///
+    /// This is the equivalence the NLP front-end already applies: `tokenize`
+    /// lowercases every token and only ever sees alphanumeric runs, so two
+    /// questions with the same normalized form take the identical path
+    /// through the engine. Punctuation is preserved (conservative: `a.b`
+    /// and `a b` tokenize identically but key separately), with one
+    /// exception — U+001F, the cache-key field separator, is folded into
+    /// whitespace. To the tokenizer it is a token boundary exactly like a
+    /// space, so the fold cannot merge observably-different questions, and
+    /// it guarantees the separator never survives into the normalized text.
+    pub fn normalized_question(&self) -> String {
+        let mut out = String::with_capacity(self.question.len());
+        let words = self
+            .question
+            .split(|c: char| c.is_whitespace() || c == '\u{1f}')
+            .filter(|w| !w.is_empty());
+        for word in words {
+            if !out.is_empty() {
+                out.push(' ');
+            }
+            for c in word.chars() {
+                out.extend(c.to_lowercase());
+            }
+        }
+        out
+    }
+
+    /// A stable cache key: the normalized question plus every engine knob
+    /// that can change the response, resolved against `base`.
+    ///
+    /// Two requests share a key **iff** [`KbqaService::answer`] is
+    /// guaranteed to produce equal responses for them: overrides are folded
+    /// into the effective config first, so an explicit override equal to the
+    /// service default keys identically to no override at all. Fields are
+    /// joined with `\u{1f}` (ASCII unit separator), which
+    /// [`QaRequest::normalized_question`] strips from the question — so no
+    /// question can collide with a config suffix, provided (invariant!) no
+    /// config field below ever renders a `\u{1f}` of its own. Floats render
+    /// via `{:?}` — shortest round-trippable form, stable across runs.
+    pub fn cache_key(&self, base: &EngineConfig) -> String {
+        let cfg = self.effective_config(base);
+        format!(
+            "{}\u{1f}{}\u{1f}{:?}\u{1f}{}\u{1f}{}\u{1f}{}\u{1f}{}",
+            self.normalized_question(),
+            cfg.top_k,
+            cfg.min_theta,
+            cfg.max_concepts,
+            cfg.decompose,
+            cfg.chain_width,
+            self.explain,
+        )
+    }
 }
 
 impl From<&str> for QaRequest {
@@ -461,6 +515,61 @@ mod tests {
 
         let plain = QaRequest::new("q").effective_config(&base);
         assert_eq!(plain, base);
+    }
+
+    #[test]
+    fn cache_key_is_insensitive_to_spacing_and_case() {
+        let base = EngineConfig::default();
+        let a = QaRequest::new("What is  the population of Berlin?").cache_key(&base);
+        let b = QaRequest::new("  what is the population of berlin?  ").cache_key(&base);
+        assert_eq!(a, b);
+        // Punctuation is significant — the tokenizer sees it.
+        let c = QaRequest::new("what is the population of berlin").cache_key(&base);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn cache_key_folds_overrides_into_the_effective_config() {
+        let base = EngineConfig::default();
+        let plain = QaRequest::new("q").cache_key(&base);
+        // An explicit override equal to the default is the same request.
+        let explicit = QaRequest::new("q").with_top_k(base.top_k).cache_key(&base);
+        assert_eq!(plain, explicit);
+        // Any knob that changes the response changes the key.
+        assert_ne!(plain, QaRequest::new("q").with_top_k(99).cache_key(&base));
+        assert_ne!(
+            plain,
+            QaRequest::new("q").with_min_theta(0.7).cache_key(&base)
+        );
+        assert_ne!(
+            plain,
+            QaRequest::new("q").with_decompose(false).cache_key(&base)
+        );
+        assert_ne!(
+            plain,
+            QaRequest::new("q").with_explain(true).cache_key(&base)
+        );
+        // And so does the service-level base config.
+        let strict = EngineConfig {
+            min_theta: 0.9,
+            ..EngineConfig::default()
+        };
+        assert_ne!(plain, QaRequest::new("q").cache_key(&strict));
+    }
+
+    #[test]
+    fn cache_key_separator_resists_question_injection() {
+        let base = EngineConfig::default();
+        // A question that tries to spell out another request's config suffix
+        // cannot collide: normalization strips the `\u{1f}` separator.
+        let honest = QaRequest::new("q").cache_key(&base);
+        let forged = QaRequest::new(format!("q\u{1f}{}", &honest["q\u{1f}".len()..]));
+        assert_ne!(honest, forged.cache_key(&base));
+        // The separator folds to a token boundary, same as a space.
+        assert_eq!(
+            QaRequest::new("a\u{1f}b").normalized_question(),
+            QaRequest::new("a b").normalized_question()
+        );
     }
 
     #[test]

@@ -1,0 +1,606 @@
+//! A hand-rolled HTTP/1.1 server on `std::net` — no async runtime, no
+//! external HTTP crate.
+//!
+//! Architecture: one acceptor thread pushes connections onto a
+//! `Mutex<VecDeque>` + `Condvar` queue; a fixed-size pool of worker threads
+//! pops them and drives a keep-alive loop per connection (parse request →
+//! route → write response, until the peer closes, a limit is hit, or
+//! shutdown is requested). This is the classic thread-per-connection server
+//! with admission control by pool size: enough for the reproduction's
+//! traffic while staying entirely inside `std`.
+//!
+//! Protocol coverage is deliberately minimal but honest: request line +
+//! headers (case-insensitive names), `Content-Length` bodies,
+//! `Connection: keep-alive`/`close` semantics with an HTTP/1.1 default of
+//! keep-alive, per-connection request caps, read timeouts, and bounded
+//! header/body sizes so a hostile peer cannot balloon memory.
+//!
+//! Graceful shutdown: [`ServerHandle::shutdown`] flips an atomic flag, wakes
+//! the acceptor with a loopback connect, wakes idle workers via the condvar,
+//! and joins every thread. In-flight requests finish; idle keep-alive
+//! connections close after their current request.
+
+use std::collections::VecDeque;
+use std::io::{self, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use kbqa_core::service::{KbqaService, QaRequest, QaResponse};
+
+use crate::cache::{AnswerCache, CacheConfig};
+use crate::metrics::Metrics;
+
+/// Server tuning knobs.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Worker threads. `0` means auto: `available_parallelism`, clamped to
+    /// `[2, 8]`.
+    pub workers: usize,
+    /// Largest accepted request body, bytes.
+    pub max_body_bytes: usize,
+    /// Requests served per connection before it is closed (keep-alive cap).
+    pub keep_alive_requests: usize,
+    /// Socket read timeout; an idle keep-alive connection is dropped after
+    /// this long with no request.
+    pub read_timeout: Duration,
+    /// Wall-clock budget for reading one *whole* request (headers + body).
+    /// `read_timeout` alone only bounds each individual read, so a client
+    /// trickling one byte per read would hold a worker indefinitely
+    /// (slowloris); this deadline caps the total and answers 408.
+    pub request_timeout: Duration,
+    /// Answer cache sizing.
+    pub cache: CacheConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            workers: 0,
+            max_body_bytes: 1 << 20,
+            keep_alive_requests: 128,
+            read_timeout: Duration::from_secs(5),
+            request_timeout: Duration::from_secs(30),
+            cache: CacheConfig::default(),
+        }
+    }
+}
+
+impl ServerConfig {
+    fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            return self.workers;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(2)
+            .clamp(2, 8)
+    }
+}
+
+/// Everything the request handlers share.
+struct AppState {
+    service: KbqaService,
+    cache: AnswerCache,
+    metrics: Metrics,
+}
+
+/// Acceptor/worker shared state.
+struct Shared {
+    state: AppState,
+    queue: Mutex<VecDeque<TcpStream>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+    config: ServerConfig,
+}
+
+impl Shared {
+    /// Lock the connection queue, tolerating poison: the queue is a plain
+    /// `VecDeque` of sockets, always consistent between push/pop, so a
+    /// panicking worker must not take down the acceptor, its peers, or
+    /// `ServerHandle::drop`.
+    fn lock_queue(&self) -> std::sync::MutexGuard<'_, VecDeque<TcpStream>> {
+        self.queue
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner())
+    }
+}
+
+/// A running server: its address plus the thread handles needed to stop it.
+///
+/// Dropping the handle shuts the server down (blocking until every worker
+/// exits); call [`ServerHandle::shutdown`] to do it explicitly.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+/// Bind `addr` and serve `service` until [`ServerHandle::shutdown`].
+///
+/// Pass port `0` to bind an ephemeral port; read it back from
+/// [`ServerHandle::local_addr`].
+pub fn serve(
+    service: KbqaService,
+    addr: impl ToSocketAddrs,
+    config: ServerConfig,
+) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let workers = config.effective_workers();
+    let shared = Arc::new(Shared {
+        state: AppState {
+            service,
+            cache: AnswerCache::new(config.cache.clone()),
+            metrics: Metrics::new(),
+        },
+        queue: Mutex::new(VecDeque::new()),
+        available: Condvar::new(),
+        shutdown: AtomicBool::new(false),
+        config,
+    });
+
+    let mut threads = Vec::with_capacity(workers + 1);
+    for i in 0..workers {
+        let shared = Arc::clone(&shared);
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("kbqa-http-worker-{i}"))
+                .spawn(move || worker_loop(&shared))?,
+        );
+    }
+    {
+        let shared = Arc::clone(&shared);
+        threads.push(
+            std::thread::Builder::new()
+                .name("kbqa-http-acceptor".into())
+                .spawn(move || acceptor_loop(&shared, listener))?,
+        );
+    }
+
+    Ok(ServerHandle {
+        addr,
+        shared,
+        threads,
+    })
+}
+
+impl ServerHandle {
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, drain in-flight requests, join every thread.
+    /// Idempotent.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the acceptor out of its blocking `accept`.
+        let _ = TcpStream::connect(self.addr);
+        // Wake idle workers. Taking the queue lock first closes the lost
+        // wake-up race: any worker that read `shutdown == false` is either
+        // already waiting (and gets the notify) or has yet to take the lock
+        // (and will re-read the flag once it does).
+        drop(self.shared.lock_queue());
+        self.shared.available.notify_all();
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn acceptor_loop(shared: &Shared, listener: TcpListener) {
+    for conn in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match conn {
+            Ok(stream) => stream,
+            // Transient accept errors (peer reset mid-handshake) are not
+            // fatal to the listener.
+            Err(_) => continue,
+        };
+        let mut queue = shared.lock_queue();
+        queue.push_back(stream);
+        drop(queue);
+        shared.available.notify_one();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let conn = {
+            let mut queue = shared.lock_queue();
+            loop {
+                if let Some(conn) = queue.pop_front() {
+                    break Some(conn);
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                queue = shared
+                    .available
+                    .wait(queue)
+                    .unwrap_or_else(|poison| poison.into_inner());
+            }
+        };
+        match conn {
+            // A panic while serving (engine bug, broken invariant) must cost
+            // one connection, not one worker: a fixed-size pool has no
+            // respawn, so unisolated panics would bleed the server dry until
+            // it accepts connections it never serves.
+            Some(stream) => {
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    handle_connection(shared, stream)
+                }));
+            }
+            None => return,
+        }
+    }
+}
+
+/// Drive one connection's keep-alive loop. Errors close the connection —
+/// there is nobody to report them to beyond a best-effort 4xx.
+fn handle_connection(shared: &Shared, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+    let _ = stream.set_nodelay(true);
+    let mut reader = BufReader::new(stream);
+    for _ in 0..shared.config.keep_alive_requests.max(1) {
+        // The deadline starts when we begin reading a request, so long
+        // keep-alive sessions are fine; only a single slow request is not.
+        let deadline = Instant::now() + shared.config.request_timeout;
+        let request = match read_request(&mut reader, shared.config.max_body_bytes, deadline) {
+            Ok(Some(request)) => request,
+            // Clean close (EOF between requests) or timeout.
+            Ok(None) => break,
+            Err(status) => {
+                shared.state.metrics.record_response(status);
+                let body = format!("{{\"error\":\"{}\"}}", reason(status));
+                let _ = write_response(reader.get_mut(), &Response { status, body }, false);
+                break;
+            }
+        };
+        let keep_alive = request.keep_alive();
+        let response = route(&shared.state, &request);
+        if write_response(reader.get_mut(), &response, keep_alive).is_err() {
+            break;
+        }
+        if !keep_alive || shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+}
+
+/// One parsed request. Only the pieces the router needs survive parsing.
+struct Request {
+    method: String,
+    /// Path with any query string stripped.
+    path: String,
+    http11: bool,
+    connection: Option<String>,
+    body: Vec<u8>,
+}
+
+impl Request {
+    /// HTTP/1.1 defaults to keep-alive; `Connection: close` (either
+    /// version) and bare HTTP/1.0 do not.
+    fn keep_alive(&self) -> bool {
+        match self.connection.as_deref() {
+            Some("close") => false,
+            Some("keep-alive") => true,
+            _ => self.http11,
+        }
+    }
+}
+
+const MAX_HEADER_LINE: usize = 8 << 10;
+const MAX_HEADERS: usize = 64;
+
+/// Read one request off the wire. `Ok(None)` means the peer closed (or went
+/// idle past the timeout) between requests; `Err(status)` is a protocol
+/// violation to answer with `status` before closing.
+fn read_request(
+    reader: &mut BufReader<TcpStream>,
+    max_body: usize,
+    deadline: Instant,
+) -> Result<Option<Request>, u16> {
+    // Request line; leading blank lines are tolerated per RFC 9112 §2.2.
+    let line = loop {
+        match read_header_line(reader, deadline) {
+            Ok(None) => return Ok(None),
+            Ok(Some(line)) if line.is_empty() => continue,
+            Ok(Some(line)) => break line,
+            Err(status) => return Err(status),
+        }
+    };
+    let mut parts = line.split(' ').filter(|p| !p.is_empty());
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) => (m.to_string(), t.to_string(), v.to_string()),
+        _ => return Err(400),
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(400);
+    }
+
+    let mut connection = None;
+    let mut content_length: Option<usize> = None;
+    for _ in 0..MAX_HEADERS {
+        let line = match read_header_line(reader, deadline) {
+            Ok(Some(line)) => line,
+            // EOF mid-headers is malformed, not a clean close.
+            Ok(None) => return Err(400),
+            Err(status) => return Err(status),
+        };
+        if line.is_empty() {
+            let path = target.split('?').next().unwrap_or("").to_string();
+            let content_length = content_length.unwrap_or(0);
+            if content_length > max_body {
+                return Err(413);
+            }
+            let body = read_body(reader, content_length, deadline)?;
+            return Ok(Some(Request {
+                method,
+                path,
+                http11: version == "HTTP/1.1",
+                connection,
+                body,
+            }));
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(400);
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            let parsed: usize = value.parse().map_err(|_| 400u16)?;
+            // Conflicting duplicates desync keep-alive framing (request
+            // smuggling); identical repeats are legal to collapse.
+            if content_length.is_some_and(|prev| prev != parsed) {
+                return Err(400);
+            }
+            content_length = Some(parsed);
+        } else if name.eq_ignore_ascii_case("connection") {
+            connection = Some(value.to_ascii_lowercase());
+        } else if name.eq_ignore_ascii_case("transfer-encoding") {
+            // We only frame by Content-Length. Silently ignoring chunked
+            // bodies would desync the connection (and is the classic
+            // smuggling vector behind a proxy), so refuse loudly.
+            return Err(501);
+        }
+    }
+    // Header section never ended within the cap.
+    Err(431)
+}
+
+/// Read exactly `content_length` body bytes in bounded chunks, checking the
+/// request deadline between reads so a trickling client cannot hold a
+/// worker past it.
+fn read_body(
+    reader: &mut BufReader<TcpStream>,
+    content_length: usize,
+    deadline: Instant,
+) -> Result<Vec<u8>, u16> {
+    let mut body = vec![0u8; content_length];
+    let mut filled = 0usize;
+    while filled < content_length {
+        if Instant::now() >= deadline {
+            return Err(408);
+        }
+        let chunk = (content_length - filled).min(64 << 10);
+        match reader.read(&mut body[filled..filled + chunk]) {
+            Ok(0) => return Err(400),
+            Ok(n) => filled += n,
+            Err(_) => return Err(400),
+        }
+    }
+    Ok(body)
+}
+
+/// One CRLF-terminated header line, bounded by [`MAX_HEADER_LINE`] and the
+/// whole-request `deadline`. `Ok(None)` is EOF before any byte.
+fn read_header_line(
+    reader: &mut BufReader<TcpStream>,
+    deadline: Instant,
+) -> Result<Option<String>, u16> {
+    let mut raw = Vec::new();
+    loop {
+        if Instant::now() >= deadline {
+            return Err(408);
+        }
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte) {
+            Ok(0) => {
+                return if raw.is_empty() { Ok(None) } else { Err(400) };
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    if raw.last() == Some(&b'\r') {
+                        raw.pop();
+                    }
+                    let line = String::from_utf8(raw).map_err(|_| 400u16)?;
+                    return Ok(Some(line));
+                }
+                raw.push(byte[0]);
+                if raw.len() > MAX_HEADER_LINE {
+                    return Err(431);
+                }
+            }
+            // Timeout or reset: treat as a close. If it happened mid-line
+            // the connection is broken anyway.
+            Err(_) => return Ok(None),
+        }
+    }
+}
+
+/// A response ready for the wire. Bodies are always JSON.
+struct Response {
+    status: u16,
+    body: String,
+}
+
+impl Response {
+    fn ok(body: String) -> Self {
+        Self { status: 200, body }
+    }
+
+    fn error(status: u16, message: &str) -> Self {
+        // `message` comes from our own serde errors; escape the two
+        // characters that could break the JSON literal.
+        let escaped = message.replace('\\', "\\\\").replace('"', "\\\"");
+        Self {
+            status,
+            body: format!("{{\"error\":\"{escaped}\"}}"),
+        }
+    }
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        501 => "Not Implemented",
+        _ => "Internal Server Error",
+    }
+}
+
+fn write_response(stream: &mut TcpStream, response: &Response, keep_alive: bool) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        response.status,
+        reason(response.status),
+        response.body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(response.body.as_bytes())?;
+    stream.flush()
+}
+
+const ROUTES: [(&str, &str); 5] = [
+    ("POST", "/answer"),
+    ("POST", "/batch"),
+    ("GET", "/healthz"),
+    ("GET", "/metrics"),
+    ("GET", "/cache/stats"),
+];
+
+fn route(state: &AppState, request: &Request) -> Response {
+    state.metrics.record_request();
+    let response = match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/answer") => handle_answer(state, &request.body),
+        ("POST", "/batch") => handle_batch(state, &request.body),
+        ("GET", "/healthz") => Response::ok("{\"status\":\"ok\"}".to_string()),
+        ("GET", "/metrics") => match serde_json::to_string(&state.metrics.snapshot()) {
+            Ok(body) => Response::ok(body),
+            Err(e) => Response::error(500, &e.to_string()),
+        },
+        ("GET", "/cache/stats") => match serde_json::to_string(&state.cache.stats()) {
+            Ok(body) => Response::ok(body),
+            Err(e) => Response::error(500, &e.to_string()),
+        },
+        (_, path) if ROUTES.iter().any(|(_, p)| *p == path) => {
+            Response::error(405, "method not allowed")
+        }
+        _ => Response::error(404, "not found"),
+    };
+    state.metrics.record_response(response.status);
+    response
+}
+
+fn parse_body<T: serde::de::DeserializeOwned>(body: &[u8]) -> Result<T, Response> {
+    let text =
+        std::str::from_utf8(body).map_err(|_| Response::error(400, "body is not valid UTF-8"))?;
+    serde_json::from_str(text).map_err(|e| Response::error(400, &e.to_string()))
+}
+
+/// `POST /answer`: one `QaRequest` in, one `QaResponse` out, consulting the
+/// cache first. A hit serializes the very `QaResponse` a cold run produced,
+/// so the body is byte-identical either way.
+fn handle_answer(state: &AppState, body: &[u8]) -> Response {
+    let started = Instant::now();
+    let request: QaRequest = match parse_body(body) {
+        Ok(request) => request,
+        Err(response) => return response,
+    };
+    state.metrics.record_answer_request();
+    let key = request.cache_key(state.service.config());
+    let response = state
+        .cache
+        .get_or_compute(key, || state.service.answer(&request));
+    state.metrics.record_outcome(&response);
+    let rendered = match serde_json::to_string(&*response) {
+        Ok(body) => Response::ok(body),
+        Err(e) => Response::error(500, &e.to_string()),
+    };
+    state.metrics.answer_latency.record(started.elapsed());
+    rendered
+}
+
+/// `POST /batch`: a `Vec<QaRequest>` in, a `Vec<QaResponse>` out in request
+/// order. Cache hits are filled in directly; only the misses fan out through
+/// [`KbqaService::answer_batch`], then enter the cache.
+fn handle_batch(state: &AppState, body: &[u8]) -> Response {
+    let started = Instant::now();
+    let requests: Vec<QaRequest> = match parse_body(body) {
+        Ok(requests) => requests,
+        Err(response) => return response,
+    };
+    state.metrics.record_batch_request(requests.len());
+
+    let keys: Vec<String> = requests
+        .iter()
+        .map(|r| r.cache_key(state.service.config()))
+        .collect();
+    let mut responses: Vec<Option<Arc<QaResponse>>> =
+        keys.iter().map(|key| state.cache.get(key)).collect();
+    let miss_indices: Vec<usize> = responses
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.is_none())
+        .map(|(i, _)| i)
+        .collect();
+    if !miss_indices.is_empty() {
+        // Duplicate questions within one batch each miss independently and
+        // are computed redundantly; correctness is unaffected (the engine is
+        // deterministic) and the next request hits.
+        let misses: Vec<QaRequest> = miss_indices.iter().map(|&i| requests[i].clone()).collect();
+        let computed = state.service.answer_batch(&misses);
+        for (&i, response) in miss_indices.iter().zip(computed) {
+            let response = Arc::new(response);
+            state.cache.insert(keys[i].clone(), Arc::clone(&response));
+            responses[i] = Some(response);
+        }
+    }
+
+    let responses: Vec<Arc<QaResponse>> = responses
+        .into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect();
+    for response in &responses {
+        state.metrics.record_outcome(response);
+    }
+    let rendered = match serde_json::to_string(&responses) {
+        Ok(body) => Response::ok(body),
+        Err(e) => Response::error(500, &e.to_string()),
+    };
+    state.metrics.batch_latency.record(started.elapsed());
+    rendered
+}

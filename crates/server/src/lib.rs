@@ -1,0 +1,54 @@
+#![warn(missing_docs)]
+
+//! The network face of the KBQA reproduction: a dependency-free HTTP/1.1
+//! server over [`kbqa_core::service::KbqaService`].
+//!
+//! The paper frames KBQA as an *online* QA system over a billion-scale KB;
+//! PR 1 gave the engine an owned, `Send + Sync`, batch-first serving API,
+//! and this crate puts that API on a socket. Three design constraints shape
+//! everything here:
+//!
+//! 1. **`std` only.** The build environment is offline, so instead of
+//!    hyper/tokio the server is a hand-rolled HTTP/1.1 implementation on
+//!    [`std::net::TcpListener`] with a fixed-size worker thread pool —
+//!    request parsing, routing, keep-alive and graceful shutdown included.
+//!    The vendored `serde_json` stand-in handles the wire format.
+//! 2. **Repeated questions dominate real QA traffic** ("QA Is the New KR",
+//!    Chen et al., 2022), so a sharded, lock-striped LRU [`cache`] sits in
+//!    front of the engine. It is keyed by
+//!    [`kbqa_core::service::QaRequest::cache_key`] — normalized question +
+//!    effective engine config — so a hit is *guaranteed* to serialize
+//!    byte-identically to what the engine would have produced.
+//! 3. **A server you cannot observe is a server you cannot operate**:
+//!    atomic counters and fixed-bucket latency histograms ([`metrics`]) are
+//!    exported as JSON, and the cache exports hit/miss/eviction counts.
+//!
+//! # Routes
+//!
+//! | Route              | Body                | Response                  |
+//! |--------------------|---------------------|---------------------------|
+//! | `POST /answer`     | `QaRequest` JSON    | `QaResponse` JSON         |
+//! | `POST /batch`      | `[QaRequest]` JSON  | `[QaResponse]` JSON       |
+//! | `GET /healthz`     | —                   | liveness JSON             |
+//! | `GET /metrics`     | —                   | [`metrics::MetricsSnapshot`] |
+//! | `GET /cache/stats` | —                   | [`cache::CacheStats`]     |
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use kbqa_server::{serve, ServerConfig};
+//! # fn service() -> kbqa_core::service::KbqaService { unimplemented!() }
+//!
+//! let handle = serve(service(), "127.0.0.1:0", ServerConfig::default()).unwrap();
+//! println!("listening on http://{}", handle.local_addr());
+//! // … later:
+//! handle.shutdown();
+//! ```
+
+pub mod cache;
+pub mod http;
+pub mod metrics;
+
+pub use cache::{AnswerCache, CacheConfig, CacheStats};
+pub use http::{serve, ServerConfig, ServerHandle};
+pub use metrics::{HistogramSnapshot, LatencyHistogram, Metrics, MetricsSnapshot};

@@ -1,0 +1,337 @@
+//! Lock-free server telemetry: atomic counters and fixed-bucket latency
+//! histograms, exported as JSON at `GET /metrics`.
+//!
+//! Recording is wait-free (`fetch_add` on relaxed atomics) so the hot path
+//! never serializes behind telemetry. Snapshots are taken field-by-field
+//! without stopping writers, so a snapshot racing live traffic can be off by
+//! in-flight increments — fine for operational counters, which only ever
+//! move forward.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+
+use kbqa_core::service::QaResponse;
+
+/// Upper bounds (µs, inclusive) of the fixed latency buckets; an implicit
+/// overflow bucket catches everything slower. Spans 50 µs (cache hit) to
+/// 250 ms (pathological decomposition) in roughly ×2–×2.5 steps.
+pub const BUCKET_BOUNDS_US: [u64; 12] = [
+    50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000,
+];
+
+/// A fixed-bucket latency histogram with wait-free recording.
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    /// One counter per bound plus the overflow bucket.
+    buckets: [AtomicU64; BUCKET_BOUNDS_US.len() + 1],
+    count: AtomicU64,
+    total_us: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one observation.
+    pub fn record(&self, elapsed: Duration) {
+        let us = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+        let idx = BUCKET_BOUNDS_US.partition_point(|&bound| bound < us);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy, with derived mean and quantile estimates.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count: u64 = counts.iter().sum();
+        let total_us = self.total_us.load(Ordering::Relaxed);
+        let buckets = counts
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| BucketCount {
+                le_us: BUCKET_BOUNDS_US.get(i).copied(),
+                count: n,
+            })
+            .collect();
+        HistogramSnapshot {
+            count,
+            total_us,
+            mean_us: if count == 0 {
+                0.0
+            } else {
+                total_us as f64 / count as f64
+            },
+            p50_us: quantile_upper_bound(&counts, count, 0.50),
+            p95_us: quantile_upper_bound(&counts, count, 0.95),
+            p99_us: quantile_upper_bound(&counts, count, 0.99),
+            buckets,
+        }
+    }
+}
+
+/// The bucket upper bound containing the `q`-quantile observation. An
+/// estimate from above: the true value lies at or below it. Observations in
+/// the overflow bucket report the largest finite bound (the histogram cannot
+/// resolve past it).
+fn quantile_upper_bound(counts: &[u64], count: u64, q: f64) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    let target = ((q * count as f64).ceil() as u64).max(1);
+    let mut seen = 0u64;
+    for (i, &n) in counts.iter().enumerate() {
+        seen += n;
+        if seen >= target {
+            return BUCKET_BOUNDS_US
+                .get(i)
+                .copied()
+                .unwrap_or(BUCKET_BOUNDS_US[BUCKET_BOUNDS_US.len() - 1]);
+        }
+    }
+    BUCKET_BOUNDS_US[BUCKET_BOUNDS_US.len() - 1]
+}
+
+/// One histogram bucket in a snapshot.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BucketCount {
+    /// Inclusive upper bound in µs; `None` is the overflow bucket.
+    pub le_us: Option<u64>,
+    /// Observations in this bucket.
+    pub count: u64,
+}
+
+/// A serializable view of a [`LatencyHistogram`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observations, µs.
+    pub total_us: u64,
+    /// Mean observation, µs.
+    pub mean_us: f64,
+    /// Median estimate (bucket upper bound), µs.
+    pub p50_us: u64,
+    /// 95th percentile estimate (bucket upper bound), µs.
+    pub p95_us: u64,
+    /// 99th percentile estimate (bucket upper bound), µs.
+    pub p99_us: u64,
+    /// Per-bucket counts, in bound order.
+    pub buckets: Vec<BucketCount>,
+}
+
+/// All server counters. One instance per server, shared by every worker.
+#[derive(Debug)]
+pub struct Metrics {
+    started: Instant,
+    requests_total: AtomicU64,
+    responses_2xx: AtomicU64,
+    responses_4xx: AtomicU64,
+    responses_5xx: AtomicU64,
+    answer_requests: AtomicU64,
+    batch_requests: AtomicU64,
+    batch_questions: AtomicU64,
+    answered: AtomicU64,
+    refused: AtomicU64,
+    /// `POST /answer` end-to-end latency (parse → serialize).
+    pub answer_latency: LatencyHistogram,
+    /// `POST /batch` end-to-end latency (whole batch).
+    pub batch_latency: LatencyHistogram,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Metrics {
+    /// Fresh counters; uptime starts now.
+    pub fn new() -> Self {
+        Self {
+            started: Instant::now(),
+            requests_total: AtomicU64::new(0),
+            responses_2xx: AtomicU64::new(0),
+            responses_4xx: AtomicU64::new(0),
+            responses_5xx: AtomicU64::new(0),
+            answer_requests: AtomicU64::new(0),
+            batch_requests: AtomicU64::new(0),
+            batch_questions: AtomicU64::new(0),
+            answered: AtomicU64::new(0),
+            refused: AtomicU64::new(0),
+            answer_latency: LatencyHistogram::new(),
+            batch_latency: LatencyHistogram::new(),
+        }
+    }
+
+    /// Count one parsed HTTP request (any route).
+    pub fn record_request(&self) {
+        self.requests_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one response by status class.
+    pub fn record_response(&self, status: u16) {
+        let counter = match status {
+            200..=299 => &self.responses_2xx,
+            400..=499 => &self.responses_4xx,
+            _ => &self.responses_5xx,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one `POST /answer`.
+    pub fn record_answer_request(&self) {
+        self.answer_requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one `POST /batch` carrying `questions` requests.
+    pub fn record_batch_request(&self, questions: usize) {
+        self.batch_requests.fetch_add(1, Ordering::Relaxed);
+        self.batch_questions
+            .fetch_add(questions as u64, Ordering::Relaxed);
+    }
+
+    /// Classify one engine outcome (answered vs refused).
+    pub fn record_outcome(&self, response: &QaResponse) {
+        let counter = if response.answered() {
+            &self.answered
+        } else {
+            &self.refused
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy, as served at `/metrics`.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            uptime_secs: self.started.elapsed().as_secs_f64(),
+            requests_total: self.requests_total.load(Ordering::Relaxed),
+            responses_2xx: self.responses_2xx.load(Ordering::Relaxed),
+            responses_4xx: self.responses_4xx.load(Ordering::Relaxed),
+            responses_5xx: self.responses_5xx.load(Ordering::Relaxed),
+            answer_requests: self.answer_requests.load(Ordering::Relaxed),
+            batch_requests: self.batch_requests.load(Ordering::Relaxed),
+            batch_questions: self.batch_questions.load(Ordering::Relaxed),
+            answered: self.answered.load(Ordering::Relaxed),
+            refused: self.refused.load(Ordering::Relaxed),
+            answer_latency: self.answer_latency.snapshot(),
+            batch_latency: self.batch_latency.snapshot(),
+        }
+    }
+}
+
+/// A serializable view of [`Metrics`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Seconds since the server started.
+    pub uptime_secs: f64,
+    /// Parsed HTTP requests, any route.
+    pub requests_total: u64,
+    /// Responses with 2xx status.
+    pub responses_2xx: u64,
+    /// Responses with 4xx status.
+    pub responses_4xx: u64,
+    /// Responses with 5xx status.
+    pub responses_5xx: u64,
+    /// `POST /answer` requests.
+    pub answer_requests: u64,
+    /// `POST /batch` requests.
+    pub batch_requests: u64,
+    /// Questions carried inside `/batch` bodies.
+    pub batch_questions: u64,
+    /// Engine outcomes that produced at least one answer.
+    pub answered: u64,
+    /// Engine outcomes that refused.
+    pub refused: u64,
+    /// `/answer` latency histogram.
+    pub answer_latency: HistogramSnapshot,
+    /// `/batch` latency histogram.
+    pub batch_latency: HistogramSnapshot,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_observations_by_bound() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_micros(10)); // → le 50
+        h.record(Duration::from_micros(50)); // boundary is inclusive → le 50
+        h.record(Duration::from_micros(51)); // → le 100
+        h.record(Duration::from_millis(300)); // → overflow
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 4);
+        assert_eq!(
+            snap.buckets[0],
+            BucketCount {
+                le_us: Some(50),
+                count: 2
+            }
+        );
+        assert_eq!(snap.buckets[1].count, 1);
+        let overflow = snap.buckets.last().unwrap();
+        assert_eq!(overflow.le_us, None);
+        assert_eq!(overflow.count, 1);
+    }
+
+    #[test]
+    fn quantiles_are_upper_bounds() {
+        let h = LatencyHistogram::new();
+        for _ in 0..99 {
+            h.record(Duration::from_micros(80)); // le 100
+        }
+        h.record(Duration::from_micros(40_000)); // le 50_000
+        let snap = h.snapshot();
+        assert_eq!(snap.p50_us, 100);
+        assert_eq!(snap.p95_us, 100);
+        assert_eq!(snap.p99_us, 100);
+        // The single slow observation only surfaces past p99.
+        assert_eq!(quantile_upper_bound(&[0; 0], 0, 0.5), 0);
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_is_all_zero() {
+        let snap = LatencyHistogram::new().snapshot();
+        assert_eq!(snap.count, 0);
+        assert_eq!(snap.mean_us, 0.0);
+        assert_eq!(snap.p99_us, 0);
+        assert!(snap.buckets.iter().all(|b| b.count == 0));
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_json() {
+        let m = Metrics::new();
+        m.record_request();
+        m.record_response(200);
+        m.record_answer_request();
+        m.record_batch_request(7);
+        m.answer_latency.record(Duration::from_micros(123));
+        let snap = m.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let restored: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(snap, restored);
+        assert_eq!(restored.requests_total, 1);
+        assert_eq!(restored.batch_questions, 7);
+        assert_eq!(restored.answer_latency.count, 1);
+    }
+
+    #[test]
+    fn outcome_classification() {
+        use kbqa_core::engine::Answer;
+        use kbqa_core::service::Refusal;
+        let m = Metrics::new();
+        m.record_outcome(&QaResponse::from_answers(vec![Answer::ranked("v", 1.0)]));
+        m.record_outcome(&QaResponse::refused(Refusal::NoEntityGrounded));
+        let snap = m.snapshot();
+        assert_eq!((snap.answered, snap.refused), (1, 1));
+    }
+}

@@ -1,0 +1,123 @@
+//! Serve the toy world over HTTP and drive it end-to-end through real
+//! sockets: scripted questions against `POST /answer` and `POST /batch`,
+//! then the observability routes.
+//!
+//! ```sh
+//! cargo run --release --example serve
+//! # or keep the server up for manual curl:
+//! KBQA_SERVE_ADDR=127.0.0.1:8080 cargo run --release --example serve
+//! curl -s localhost:8080/answer -d '{"question":"what is the population of <city>"}'
+//! ```
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+
+use kbqa::prelude::*;
+use kbqa_server::{serve, ServerConfig};
+
+fn main() {
+    // 1. Substrate: toy world, corpus, learned model — the same offline
+    //    pipeline as the quickstart example.
+    println!("generating world and learning the model…");
+    let world = World::generate(WorldConfig::tiny(42));
+    let corpus = QaCorpus::generate(&world, &CorpusConfig::with_pairs(1, 800));
+    let ner = Arc::new(GazetteerNer::from_store(&world.store));
+    let learner = Learner::new(
+        &world.store,
+        &world.conceptualizer,
+        &ner,
+        &world.predicate_classes,
+    );
+    let pairs: Vec<(&str, &str)> = corpus
+        .pairs
+        .iter()
+        .map(|p| (p.question.as_str(), p.answer.as_str()))
+        .collect();
+    let (model, _) = learner.learn(&pairs, &LearnerConfig::default());
+    let index = PatternIndex::build(corpus.pairs.iter().map(|p| p.question.as_str()), &ner);
+    let service = KbqaService::builder(
+        Arc::clone(&world.store),
+        Arc::clone(&world.conceptualizer),
+        Arc::new(model),
+    )
+    .ner(ner)
+    .pattern_index(Arc::new(index))
+    .build();
+
+    // 2. The server. With KBQA_SERVE_ADDR set, bind there and serve until
+    //    killed; otherwise take an ephemeral port and run the script below.
+    let manual_addr = std::env::var("KBQA_SERVE_ADDR").ok();
+    let bind = manual_addr.as_deref().unwrap_or("127.0.0.1:0");
+    let handle = serve(service, bind, ServerConfig::default()).expect("bind server");
+    let addr = handle.local_addr();
+    println!("listening on http://{addr}");
+
+    if manual_addr.is_some() {
+        println!("serving until killed (ctrl-c)…");
+        loop {
+            std::thread::park();
+        }
+    }
+
+    // 3. Scripted traffic over real sockets.
+    let intent = world.intent_by_name("city_population").expect("intent");
+    let cities: Vec<String> = world
+        .subjects_of(intent)
+        .iter()
+        .copied()
+        .filter(|&c| !world.gold_values(intent, c).is_empty())
+        .take(3)
+        .map(|c| world.store.surface(c).to_string())
+        .collect();
+
+    println!("\nPOST /answer — one question per request, asked twice:");
+    let question = format!("what is the population of {}", cities[0]);
+    let body = serde_json::to_string(&QaRequest::new(&question)).expect("serialize request");
+    for round in ["cold", "cached"] {
+        let (status, response) = http(addr, "POST", "/answer", &body);
+        println!("  [{round}] {status} ← {question}\n         → {response}");
+    }
+
+    println!("\nPOST /batch — the whole script in one request:");
+    let batch: Vec<QaRequest> = cities
+        .iter()
+        .map(|c| QaRequest::new(format!("what is the population of {c}")))
+        .chain(std::iter::once(QaRequest::new("why is the sky blue")))
+        .collect();
+    let body = serde_json::to_string(&batch).expect("serialize batch");
+    let (status, response) = http(addr, "POST", "/batch", &body);
+    println!("  {status} → {response}");
+
+    println!("\nGET /healthz, /cache/stats, /metrics:");
+    for path in ["/healthz", "/cache/stats", "/metrics"] {
+        let (status, response) = http(addr, "GET", path, "");
+        println!("  {status} {path} → {response}");
+    }
+
+    handle.shutdown();
+    println!("\nserver drained and shut down cleanly");
+}
+
+/// One-shot HTTP request on a fresh connection.
+fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: example\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("write request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let status = raw
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}

@@ -48,6 +48,97 @@ fn learned_model_roundtrips_through_json() {
 }
 
 #[test]
+fn qa_request_roundtrips_through_json() {
+    // Every override set.
+    let full = QaRequest::new("what is the population of berlin?")
+        .with_top_k(3)
+        .with_min_theta(0.25)
+        .with_decompose(false)
+        .with_explain(true);
+    let json = serde_json::to_string(&full).expect("serialize request");
+    let restored: QaRequest = serde_json::from_str(&json).expect("deserialize request");
+    assert_eq!(full, restored);
+
+    // Defaults (None overrides) survive too, and a sparse wire body —
+    // omitted optional fields — parses to the same request a client
+    // constructor would build.
+    let plain = QaRequest::new("who founded rome");
+    let json = serde_json::to_string(&plain).expect("serialize request");
+    assert_eq!(plain, serde_json::from_str::<QaRequest>(&json).unwrap());
+    let sparse: QaRequest = serde_json::from_str("{\"question\":\"who founded rome\"}")
+        .expect("sparse body parses via serde defaults");
+    assert_eq!(plain, sparse);
+}
+
+#[test]
+fn qa_response_and_answers_roundtrip_through_json() {
+    // A response with full provenance, exercising Answer with and without a
+    // node id, plus stats.
+    let world = World::generate(WorldConfig::tiny(42));
+    let corpus = QaCorpus::generate(&world, &CorpusConfig::with_pairs(1, 400));
+    let ner = GazetteerNer::from_store(&world.store);
+    let learner = Learner::new(
+        &world.store,
+        &world.conceptualizer,
+        &ner,
+        &world.predicate_classes,
+    );
+    let pairs: Vec<(&str, &str)> = corpus
+        .pairs
+        .iter()
+        .map(|p| (p.question.as_str(), p.answer.as_str()))
+        .collect();
+    let (model, _) = learner.learn(&pairs, &LearnerConfig::default());
+    let service = KbqaService::new(
+        std::sync::Arc::clone(&world.store),
+        std::sync::Arc::clone(&world.conceptualizer),
+        std::sync::Arc::new(model),
+    );
+    let intent = world.intent_by_name("city_population").unwrap();
+    let city = world
+        .subjects_of(intent)
+        .iter()
+        .copied()
+        .find(|&c| !world.gold_values(intent, c).is_empty())
+        .expect("answerable city");
+    let question = format!("what is the population of {}", world.store.surface(city));
+
+    let live = service.answer(&QaRequest::new(&question).with_explain(true));
+    assert!(live.answered(), "fixture question must be answerable");
+    let json = serde_json::to_string(&live).expect("serialize response");
+    let restored: QaResponse = serde_json::from_str(&json).expect("deserialize response");
+    assert_eq!(live, restored);
+    // Re-serialization is byte-identical — the property the server's answer
+    // cache depends on.
+    assert_eq!(json, serde_json::to_string(&restored).unwrap());
+
+    // A hand-built answer without provenance or node.
+    let bare = QaResponse::from_answers(vec![Answer::ranked("42", 0.5)]);
+    let json = serde_json::to_string(&bare).unwrap();
+    assert_eq!(bare, serde_json::from_str::<QaResponse>(&json).unwrap());
+}
+
+#[test]
+fn every_refusal_variant_roundtrips_through_json() {
+    for refusal in [
+        Refusal::NoEntityGrounded,
+        Refusal::NoTemplateMatched,
+        Refusal::NoPredicateAboveTheta,
+        Refusal::EmptyValueSet,
+    ] {
+        let json = serde_json::to_string(&refusal).expect("serialize refusal");
+        let restored: Refusal = serde_json::from_str(&json).expect("deserialize refusal");
+        assert_eq!(refusal, restored);
+
+        let response = QaResponse::refused(refusal);
+        let json = serde_json::to_string(&response).expect("serialize refusal response");
+        let restored: QaResponse = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(response, restored);
+        assert_eq!(json, serde_json::to_string(&restored).unwrap());
+    }
+}
+
+#[test]
 fn store_roundtrips_through_json() {
     let world = World::generate(WorldConfig::tiny(42));
     let json = serde_json::to_string(&world.store).expect("serialize store");
