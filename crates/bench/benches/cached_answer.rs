@@ -9,7 +9,11 @@
 //! * `cached` — every question probes a pre-warmed `AnswerCache` first, the
 //!   steady state of a server seeing recurring traffic;
 //! * `miss_then_hit` — a cleared cache absorbing the suite once, then being
-//!   re-asked: one warm-up pass amortized over two.
+//!   re-asked: one warm-up pass amortized over two;
+//! * `swap_then_requery` — the live-ops path: a cache warmed under one
+//!   model epoch, then a `swap_model` and a full re-ask under the bumped
+//!   epoch. Every versioned key misses (the invalidation is the epoch
+//!   prefix, not a flush), so this prices a hot swap's cold-cache tax.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
@@ -77,6 +81,32 @@ fn bench_cached_answer(c: &mut Criterion) {
                     if response.answered() {
                         answered += 1;
                     }
+                }
+            }
+            answered
+        })
+    });
+
+    // A sibling service with its own ModelHandle, so the epoch churn below
+    // never leaks into the other benches' un-versioned keys.
+    let swapping = service.with_model(service.model());
+    group.bench_function("swap_then_requery", |b| {
+        b.iter(|| {
+            let cache = AnswerCache::new(CacheConfig::default());
+            let mut answered = 0usize;
+            // Warm under the current epoch…
+            let snapshot = swapping.snapshot();
+            for request in &requests {
+                cache.get_or_compute(snapshot.cache_key(request), || snapshot.answer(request));
+            }
+            // …swap (epoch bump re-keys everything), re-ask the suite cold.
+            swapping.swap_model(swapping.model());
+            let snapshot = swapping.snapshot();
+            for request in &requests {
+                let response =
+                    cache.get_or_compute(snapshot.cache_key(request), || snapshot.answer(request));
+                if response.answered() {
+                    answered += 1;
                 }
             }
             answered

@@ -23,12 +23,15 @@
 //!   `P(v|e,p)` (Sec 3.2).
 //! * [`em`] — EM estimation of `θ = P(p|t)` (Sec 4.2–4.3, Algorithm 1).
 //! * [`learner`] — the offline pipeline wiring expansion → extraction → EM.
+//! * [`persist`] — JSON persistence for the model and the full
+//!   [`persist::ServingArtifacts`] bundle (warm starts, hot reloads).
 //! * [`engine`] — the online answering procedure (Sec 3.3): the borrowed
 //!   inference kernel.
 //! * [`service`] — the serving API: the owned, thread-shareable
 //!   [`service::KbqaService`], typed [`service::QaRequest`] /
-//!   [`service::QaResponse`], the [`service::Refusal`] taxonomy, and the
-//!   [`service::QaSystem`] trait shared with baselines.
+//!   [`service::QaResponse`], the [`service::Refusal`] taxonomy, the
+//!   hot-swappable [`service::ModelHandle`] with its monotonic model epoch,
+//!   and the [`service::QaSystem`] trait shared with baselines.
 //! * [`decompose`] — complex-question decomposition by dynamic programming
 //!   over substrings (Sec 5, Algorithm 2).
 //! * [`hybrid`] — KBQA as the high-precision component of a hybrid system
@@ -59,6 +62,9 @@ pub use engine::{Answer, ChoiceStats, EngineConfig, QaEngine};
 pub use expansion::{ExpansionConfig, ExpansionResult};
 pub use extraction::{ExtractionConfig, Observation};
 pub use learner::{LearnedModel, Learner, LearnerConfig};
-pub use service::{KbqaService, QaRequest, QaResponse, QaSystem, Refusal};
+pub use persist::ServingArtifacts;
+pub use service::{
+    KbqaService, ModelHandle, QaRequest, QaResponse, QaSystem, Refusal, ServiceSnapshot,
+};
 pub use template::{Template, TemplateCatalog, TemplateId};
 pub use variants::{VariantQa, VariantQuestion};

@@ -1,9 +1,17 @@
-//! Model persistence.
+//! Model and serving-artifact persistence.
 //!
 //! The paper's offline procedure takes 1438 minutes; nobody re-learns on
 //! every process start. This module saves and loads the [`LearnedModel`]
 //! (and any other serde-serializable artifact) as JSON through buffered
 //! file I/O, rebuilding the derived lookup tables on load.
+//!
+//! Beyond the single model, [`ServingArtifacts`] bundles **everything a
+//! server needs to answer** — knowledge base, taxonomy, model, and the
+//! optional NER gazetteer and pattern index — into one directory, so a
+//! serving process can *warm start*: [`ServingArtifacts::load`] +
+//! [`ServingArtifacts::into_service`] instead of re-generating the world
+//! and re-running EM. The same files back the server's `POST /admin/reload`
+//! hot-swap path.
 //!
 //! JSON rather than a bespoke binary format: the artifacts are inspectable,
 //! diffable in experiments, and the workspace already carries `serde`. A
@@ -12,13 +20,19 @@
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::path::Path;
+use std::sync::Arc;
 
 use serde::de::DeserializeOwned;
 use serde::Serialize;
 
 use kbqa_common::error::{KbqaError, Result};
+use kbqa_nlp::GazetteerNer;
+use kbqa_rdf::TripleStore;
+use kbqa_taxonomy::Conceptualizer;
 
+use crate::decompose::PatternIndex;
 use crate::learner::LearnedModel;
+use crate::service::KbqaService;
 
 /// Save any serializable artifact as JSON.
 pub fn save_json<T: Serialize>(value: &T, path: &Path) -> Result<()> {
@@ -46,6 +60,134 @@ pub fn load_model(path: &Path) -> Result<LearnedModel> {
     let mut model: LearnedModel = load_json(path)?;
     model.rebuild_index();
     Ok(model)
+}
+
+/// Save a triple store.
+pub fn save_store(store: &TripleStore, path: &Path) -> Result<()> {
+    save_json(store, path)
+}
+
+/// Load a triple store, rebuilding its derived indexes.
+pub fn load_store(path: &Path) -> Result<TripleStore> {
+    let mut store: TripleStore = load_json(path)?;
+    store.rebuild_index();
+    Ok(store)
+}
+
+/// Save a conceptualizer (taxonomy network plus its tuning).
+pub fn save_taxonomy(conceptualizer: &Conceptualizer, path: &Path) -> Result<()> {
+    save_json(conceptualizer, path)
+}
+
+/// Load a conceptualizer, rebuilding its derived indexes.
+pub fn load_taxonomy(path: &Path) -> Result<Conceptualizer> {
+    let mut conceptualizer: Conceptualizer = load_json(path)?;
+    conceptualizer.rebuild_index();
+    Ok(conceptualizer)
+}
+
+/// File name for the knowledge base inside an artifact directory.
+pub const STORE_FILE: &str = "store.json";
+/// File name for the taxonomy inside an artifact directory.
+pub const TAXONOMY_FILE: &str = "taxonomy.json";
+/// File name for the learned model inside an artifact directory.
+pub const MODEL_FILE: &str = "model.json";
+/// File name for the NER gazetteer inside an artifact directory (optional).
+pub const NER_FILE: &str = "ner.json";
+/// File name for the pattern index inside an artifact directory (optional).
+pub const PATTERNS_FILE: &str = "patterns.json";
+
+/// Everything a serving process needs to answer questions, as one bundle.
+///
+/// `store`, `conceptualizer` and `model` are mandatory; `ner` and
+/// `pattern_index` are optional accelerations ([`ServingArtifacts::into_service`]
+/// re-derives the NER from the store when absent, and simply serves without
+/// decomposition when the pattern index is absent).
+pub struct ServingArtifacts {
+    /// The knowledge base.
+    pub store: Arc<TripleStore>,
+    /// The taxonomy.
+    pub conceptualizer: Arc<Conceptualizer>,
+    /// The learned model.
+    pub model: Arc<LearnedModel>,
+    /// The NER gazetteer, when persisted.
+    pub ner: Option<Arc<GazetteerNer>>,
+    /// The corpus pattern index, when persisted.
+    pub pattern_index: Option<Arc<PatternIndex>>,
+}
+
+impl ServingArtifacts {
+    /// Capture a service's current artifacts (the model as currently
+    /// served — a concurrent swap after this call is not reflected).
+    pub fn from_service(service: &KbqaService) -> Self {
+        Self {
+            store: service.store_shared(),
+            conceptualizer: service.conceptualizer_shared(),
+            model: service.model(),
+            ner: Some(service.ner_shared()),
+            pattern_index: service.pattern_index_shared(),
+        }
+    }
+
+    /// Write every artifact into `dir` (created if missing): `store.json`,
+    /// `taxonomy.json`, `model.json`, and — when present — `ner.json` and
+    /// `patterns.json`.
+    pub fn save(&self, dir: &Path) -> Result<()> {
+        std::fs::create_dir_all(dir)?;
+        save_store(&self.store, &dir.join(STORE_FILE))?;
+        save_taxonomy(&self.conceptualizer, &dir.join(TAXONOMY_FILE))?;
+        save_model(&self.model, &dir.join(MODEL_FILE))?;
+        if let Some(ner) = &self.ner {
+            save_json(ner.as_ref(), &dir.join(NER_FILE))?;
+        }
+        if let Some(index) = &self.pattern_index {
+            save_json(index.as_ref(), &dir.join(PATTERNS_FILE))?;
+        }
+        Ok(())
+    }
+
+    /// Load a bundle from `dir`, rebuilding every derived index. The NER and
+    /// pattern-index files are optional; everything else must be present.
+    pub fn load(dir: &Path) -> Result<Self> {
+        let ner_path = dir.join(NER_FILE);
+        let patterns_path = dir.join(PATTERNS_FILE);
+        Ok(Self {
+            store: Arc::new(load_store(&dir.join(STORE_FILE))?),
+            conceptualizer: Arc::new(load_taxonomy(&dir.join(TAXONOMY_FILE))?),
+            model: Arc::new(load_model(&dir.join(MODEL_FILE))?),
+            ner: if ner_path.exists() {
+                Some(Arc::new(load_json(&ner_path)?))
+            } else {
+                None
+            },
+            pattern_index: if patterns_path.exists() {
+                Some(Arc::new(load_json(&patterns_path)?))
+            } else {
+                None
+            },
+        })
+    }
+
+    /// Does `dir` hold a loadable bundle (all three mandatory files)?
+    pub fn present_in(dir: &Path) -> bool {
+        [STORE_FILE, TAXONOMY_FILE, MODEL_FILE]
+            .iter()
+            .all(|f| dir.join(f).exists())
+    }
+
+    /// Build a ready-to-serve [`KbqaService`] from the bundle — the warm
+    /// start path. Derives the NER from the store only when the bundle
+    /// carries none.
+    pub fn into_service(self) -> KbqaService {
+        let mut builder = KbqaService::builder(self.store, self.conceptualizer, self.model);
+        if let Some(ner) = self.ner {
+            builder = builder.ner(ner);
+        }
+        if let Some(index) = self.pattern_index {
+            builder = builder.pattern_index(index);
+        }
+        builder.build()
+    }
 }
 
 #[cfg(test)]
@@ -93,6 +235,72 @@ mod tests {
         // Derived indexes were rebuilt: template lookup works.
         let t = Template::from_canonical("when was $person born");
         assert_eq!(model.templates.get(&t), restored.templates.get(&t));
+    }
+
+    #[test]
+    fn serving_artifacts_roundtrip_through_a_directory() {
+        let world = World::generate(WorldConfig::tiny(43));
+        let corpus = QaCorpus::generate(&world, &CorpusConfig::with_pairs(1, 400));
+        let ner = std::sync::Arc::new(GazetteerNer::from_store(&world.store));
+        let learner = Learner::new(
+            &world.store,
+            &world.conceptualizer,
+            &ner,
+            &world.predicate_classes,
+        );
+        let pairs: Vec<(&str, &str)> = corpus
+            .pairs
+            .iter()
+            .map(|p| (p.question.as_str(), p.answer.as_str()))
+            .collect();
+        let (model, _) = learner.learn(&pairs, &LearnerConfig::default());
+        let index = crate::decompose::PatternIndex::build(
+            corpus.pairs.iter().map(|p| p.question.as_str()),
+            &ner,
+        );
+        let service = KbqaService::builder(
+            std::sync::Arc::clone(&world.store),
+            std::sync::Arc::clone(&world.conceptualizer),
+            std::sync::Arc::new(model),
+        )
+        .ner(ner)
+        .pattern_index(std::sync::Arc::new(index))
+        .build();
+
+        let dir = std::env::temp_dir().join(format!(
+            "kbqa-persist-artifacts-test-{}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        assert!(!ServingArtifacts::present_in(&dir));
+        ServingArtifacts::from_service(&service)
+            .save(&dir)
+            .expect("save bundle");
+        assert!(ServingArtifacts::present_in(&dir));
+
+        // Warm start: a service rebuilt purely from disk answers every
+        // question byte-identically to the original (same model epoch 0, so
+        // the full QaResponse including the stamp must match).
+        let restored = ServingArtifacts::load(&dir)
+            .expect("load bundle")
+            .into_service();
+        std::fs::remove_dir_all(&dir).ok();
+        let questions = [
+            "what is the population of nowhere",
+            &corpus.pairs[0].question,
+            &corpus.pairs[1].question,
+        ];
+        for q in questions {
+            assert_eq!(
+                serde_json::to_string(&service.answer_text(q)).unwrap(),
+                serde_json::to_string(&restored.answer_text(q)).unwrap(),
+                "warm-started service must answer {q:?} identically"
+            );
+        }
+        assert!(
+            restored.pattern_index().is_some(),
+            "pattern index persisted"
+        );
     }
 
     #[test]

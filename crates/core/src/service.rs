@@ -23,8 +23,67 @@
 //! purely an amortization: one engine (and one NER borrow) per worker, and
 //! responses come back in request order, byte-identical to sequential
 //! single-request calls.
+//!
+//! # Live model swaps
+//!
+//! The paper's offline procedure takes 1438 minutes; a serving process must
+//! be able to roll a freshly learned model in **without a restart**. The
+//! service therefore keeps its model in a [`ModelHandle`] — a swappable
+//! slot shared by every clone — and every swap bumps a monotonic **model
+//! epoch**. Request handling goes through a [`ServiceSnapshot`]: one
+//! consistent `(model, epoch)` pair captured at the start of the request, so
+//! an answer computed while a swap lands is consistent with exactly one
+//! model, never a mixture, and carries that model's epoch in
+//! [`QaResponse::model_epoch`]. Caches key on
+//! [`ServiceSnapshot::cache_key`], which prefixes the epoch — a swap
+//! invalidates every stale entry by construction, with no stop-the-world
+//! flush.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use std::sync::Arc;
+//! use kbqa_core::learner::{Learner, LearnerConfig};
+//! use kbqa_core::service::{KbqaService, QaRequest};
+//! use kbqa_corpus::{CorpusConfig, QaCorpus, World, WorldConfig};
+//! use kbqa_nlp::GazetteerNer;
+//!
+//! // Offline: synthetic world + corpus, learn P(p|t) by EM.
+//! let world = World::generate(WorldConfig::tiny(7));
+//! let corpus = QaCorpus::generate(&world, &CorpusConfig::with_pairs(1, 200));
+//! let ner = Arc::new(GazetteerNer::from_store(&world.store));
+//! let learner = Learner::new(
+//!     &world.store,
+//!     &world.conceptualizer,
+//!     &ner,
+//!     &world.predicate_classes,
+//! );
+//! let pairs: Vec<(&str, &str)> = corpus
+//!     .pairs
+//!     .iter()
+//!     .map(|p| (p.question.as_str(), p.answer.as_str()))
+//!     .collect();
+//! let (model, _) = learner.learn(&pairs, &LearnerConfig::default());
+//!
+//! // Online: an owned, thread-shareable service.
+//! let service = KbqaService::builder(
+//!     Arc::clone(&world.store),
+//!     Arc::clone(&world.conceptualizer),
+//!     Arc::new(model),
+//! )
+//! .ner(ner)
+//! .build();
+//! let response = service.answer(&QaRequest::new("what is the population of nowhere"));
+//! assert_eq!(response.model_epoch, 0);
+//!
+//! // Hot swap: same service, new model, bumped epoch.
+//! let epoch = service.swap_model(service.model());
+//! assert_eq!(epoch, 1);
+//! assert_eq!(service.answer_text("anything").model_epoch, 1);
+//! ```
 
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
 
 use serde::{Deserialize, Serialize};
 
@@ -35,6 +94,82 @@ use kbqa_taxonomy::Conceptualizer;
 use crate::decompose::{Decomposition, PatternIndex};
 use crate::engine::{Answer, ChoiceStats, EngineConfig, QaEngine};
 use crate::learner::LearnedModel;
+
+/// A hot-swappable model slot, shared by every clone of a [`KbqaService`].
+///
+/// Serving processes roll new models in without a restart: [`swap`] replaces
+/// the current [`LearnedModel`] atomically (readers blocked only for the
+/// duration of an `Arc` store) and bumps a monotonic **model epoch**. A
+/// reader calls [`load`] and gets one consistent `(model, epoch)` pair —
+/// never a new model with a stale epoch or vice versa — because both sides
+/// agree on the same lock.
+///
+/// Epochs exist so that *derived state can be versioned*: an answer cache
+/// that folds the epoch into its keys is invalidated by a swap without any
+/// flush (stale entries simply stop being addressable and age out by LRU).
+///
+/// [`swap`]: ModelHandle::swap
+/// [`load`]: ModelHandle::load
+#[derive(Debug)]
+pub struct ModelHandle {
+    current: RwLock<Arc<LearnedModel>>,
+    epoch: AtomicU64,
+}
+
+impl ModelHandle {
+    /// A handle at epoch 0.
+    pub fn new(model: Arc<LearnedModel>) -> Self {
+        Self::with_epoch(model, 0)
+    }
+
+    /// A handle starting at a specific epoch (sibling services start past
+    /// their parent's epoch so versioned cache keys never collide).
+    pub fn with_epoch(model: Arc<LearnedModel>, epoch: u64) -> Self {
+        Self {
+            current: RwLock::new(model),
+            epoch: AtomicU64::new(epoch),
+        }
+    }
+
+    /// The current `(model, epoch)` pair, read consistently.
+    ///
+    /// Lock poisoning is tolerated: the slot only ever holds a fully-built
+    /// `Arc`, so a panicking swapper cannot leave it half-written.
+    pub fn load(&self) -> (Arc<LearnedModel>, u64) {
+        let guard = self
+            .current
+            .read()
+            .unwrap_or_else(|poison| poison.into_inner());
+        // Epoch is read while holding the read lock, so it cannot interleave
+        // with a swap (which writes both under the write lock).
+        (Arc::clone(&guard), self.epoch.load(Ordering::Acquire))
+    }
+
+    /// The current epoch, without touching the model.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Replace the model and bump the epoch; returns the new epoch.
+    ///
+    /// In-flight requests that already took a [`ServiceSnapshot`] keep
+    /// answering from the old model; requests snapshotted after `swap`
+    /// returns see the new one. Nothing is ever served from a mixture.
+    pub fn swap(&self, model: Arc<LearnedModel>) -> u64 {
+        let mut guard = self
+            .current
+            .write()
+            .unwrap_or_else(|poison| poison.into_inner());
+        let old = std::mem::replace(&mut *guard, model);
+        let epoch = self.epoch.fetch_add(1, Ordering::AcqRel) + 1;
+        drop(guard);
+        // If no snapshot still holds the old model, this drop deallocates a
+        // potentially huge artifact — do it outside the lock so readers are
+        // blocked only for the Arc store above, never for the teardown.
+        drop(old);
+        epoch
+    }
+}
 
 /// Why the system returned no answer (the paper's `#pro` refusal behaviour,
 /// made inspectable). Variants are ordered by pipeline stage: each one means
@@ -204,6 +339,11 @@ pub struct QaResponse {
     pub refusal: Option<Refusal>,
     /// Per-question choice statistics (when the request set `explain`).
     pub stats: Option<ChoiceStats>,
+    /// The [`ModelHandle`] epoch of the model that produced this response.
+    /// Stamped by [`KbqaService`]; stays 0 for systems without a swappable
+    /// model (baselines, hand-built responses).
+    #[serde(default)]
+    pub model_epoch: u64,
 }
 
 impl QaResponse {
@@ -217,6 +357,7 @@ impl QaResponse {
             answers,
             refusal: None,
             stats: None,
+            model_epoch: 0,
         }
     }
 
@@ -226,6 +367,7 @@ impl QaResponse {
             answers: Vec::new(),
             refusal: Some(reason),
             stats: None,
+            model_epoch: 0,
         }
     }
 
@@ -300,11 +442,130 @@ impl KbqaServiceBuilder {
         KbqaService {
             store: self.store,
             conceptualizer: self.conceptualizer,
-            model: self.model,
+            model: Arc::new(ModelHandle::new(self.model)),
             ner,
             pattern_index: self.pattern_index,
             config: self.config,
         }
+    }
+}
+
+/// One consistent view of the service, captured at the start of a request:
+/// the substrate `Arc`s plus a single `(model, epoch)` pair from the
+/// [`ModelHandle`].
+///
+/// Everything computed through one snapshot — the answer, its
+/// [`QaResponse::model_epoch`] stamp, and its [`cache_key`] — belongs to
+/// exactly one model epoch, even if [`KbqaService::swap_model`] lands midway.
+/// Snapshots are cheap (five `Arc` clones and a config copy) and are taken
+/// once per request or once per batch.
+///
+/// [`cache_key`]: ServiceSnapshot::cache_key
+pub struct ServiceSnapshot {
+    store: Arc<TripleStore>,
+    conceptualizer: Arc<Conceptualizer>,
+    model: Arc<LearnedModel>,
+    model_epoch: u64,
+    ner: Arc<GazetteerNer>,
+    pattern_index: Option<Arc<PatternIndex>>,
+    config: EngineConfig,
+}
+
+impl ServiceSnapshot {
+    /// The model epoch this snapshot answers under.
+    pub fn model_epoch(&self) -> u64 {
+        self.model_epoch
+    }
+
+    /// The snapshotted model.
+    pub fn model(&self) -> &Arc<LearnedModel> {
+        &self.model
+    }
+
+    /// The default engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The borrowed inference kernel over this snapshot's artifacts.
+    /// Construction is free: every component is already built.
+    pub fn engine(&self) -> QaEngine<'_> {
+        let mut engine =
+            QaEngine::with_shared(&self.store, &self.conceptualizer, &self.model, &self.ner)
+                .with_config(self.config.clone());
+        if let Some(index) = self.pattern_index.as_deref() {
+            engine = engine.with_pattern_index_ref(index);
+        }
+        engine
+    }
+
+    /// The versioned cache key for `request`: the snapshot's model epoch
+    /// prefixed onto [`QaRequest::cache_key`].
+    ///
+    /// Two requests share a key **iff** they are guaranteed equal responses:
+    /// same normalized question, same effective config, same model epoch.
+    /// A model swap therefore invalidates every cached answer without a
+    /// flush — old-epoch keys are simply never looked up again. The `\u{1f}`
+    /// separator cannot appear in the normalized question, so the epoch
+    /// prefix is unambiguous.
+    pub fn cache_key(&self, request: &QaRequest) -> String {
+        format!(
+            "{}\u{1f}{}",
+            self.model_epoch,
+            request.cache_key(&self.config)
+        )
+    }
+
+    /// Answer one request under this snapshot's model, stamping the epoch.
+    pub fn answer(&self, request: &QaRequest) -> QaResponse {
+        let mut response = self.engine().answer_request(request);
+        response.model_epoch = self.model_epoch;
+        response
+    }
+
+    /// Answer a batch of requests under this snapshot's model, fanning out
+    /// across a scoped thread pool.
+    ///
+    /// Responses are returned in request order and are identical to what
+    /// sequential [`ServiceSnapshot::answer`] calls would produce: requests
+    /// are independent, so the pool only amortizes engine setup and buys
+    /// wall-clock parallelism. The whole batch answers under one model
+    /// epoch.
+    pub fn answer_batch(&self, requests: &[QaRequest]) -> Vec<QaResponse> {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(requests.len())
+            .min(16);
+        if workers <= 1 {
+            let engine = self.engine();
+            return requests.iter().map(|r| self.stamp(&engine, r)).collect();
+        }
+        let chunk_size = requests.len().div_ceil(workers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = requests
+                .chunks(chunk_size)
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        let engine = self.engine();
+                        chunk
+                            .iter()
+                            .map(|r| self.stamp(&engine, r))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("batch worker panicked"))
+                .collect()
+        })
+    }
+
+    fn stamp(&self, engine: &QaEngine<'_>, request: &QaRequest) -> QaResponse {
+        let mut response = engine.answer_request(request);
+        response.model_epoch = self.model_epoch;
+        response
     }
 }
 
@@ -317,7 +578,8 @@ impl KbqaServiceBuilder {
 pub struct KbqaService {
     store: Arc<TripleStore>,
     conceptualizer: Arc<Conceptualizer>,
-    model: Arc<LearnedModel>,
+    /// Shared by every clone: a swap through any clone is seen by all.
+    model: Arc<ModelHandle>,
     ner: Arc<GazetteerNer>,
     pattern_index: Option<Arc<PatternIndex>>,
     config: EngineConfig,
@@ -358,11 +620,35 @@ impl KbqaService {
     /// A sibling service serving a different model over the same store,
     /// taxonomy, NER and pattern index — ablations and A/B model rollouts
     /// without re-deriving any shared artifact.
+    ///
+    /// The sibling gets its **own** [`ModelHandle`] (swaps on it do not
+    /// affect this service), starting one epoch past this service's so the
+    /// two don't collide on versioned cache keys *at fork time*. The epoch
+    /// lines diverge independently after that, so parent and sibling must
+    /// not share one answer cache once either swaps.
     pub fn with_model(&self, model: Arc<LearnedModel>) -> Self {
         Self {
-            model,
+            model: Arc::new(ModelHandle::with_epoch(model, self.model_epoch() + 1)),
             ..self.clone()
         }
+    }
+
+    /// Replace the served model in place, across **every** clone of this
+    /// service (they share one [`ModelHandle`]); returns the new model
+    /// epoch.
+    ///
+    /// In-flight requests finish under the model they snapshotted; requests
+    /// arriving after the swap answer under the new one. No restart, no
+    /// stop-the-world: callers keying caches through
+    /// [`ServiceSnapshot::cache_key`] see every pre-swap entry invalidated
+    /// by the epoch bump alone.
+    pub fn swap_model(&self, model: Arc<LearnedModel>) -> u64 {
+        self.model.swap(model)
+    }
+
+    /// The current model epoch (bumped by every [`KbqaService::swap_model`]).
+    pub fn model_epoch(&self) -> u64 {
+        self.model.epoch()
     }
 
     /// The knowledge base.
@@ -370,13 +656,29 @@ impl KbqaService {
         &self.store
     }
 
+    /// The knowledge base, shared.
+    pub fn store_shared(&self) -> Arc<TripleStore> {
+        Arc::clone(&self.store)
+    }
+
     /// The taxonomy.
     pub fn conceptualizer(&self) -> &Conceptualizer {
         &self.conceptualizer
     }
 
-    /// The learned model.
-    pub fn model(&self) -> &LearnedModel {
+    /// The taxonomy, shared.
+    pub fn conceptualizer_shared(&self) -> Arc<Conceptualizer> {
+        Arc::clone(&self.conceptualizer)
+    }
+
+    /// The currently served model (a consistent snapshot; a concurrent swap
+    /// does not mutate what this returns).
+    pub fn model(&self) -> Arc<LearnedModel> {
+        self.model.load().0
+    }
+
+    /// The swappable model slot itself.
+    pub fn model_handle(&self) -> &ModelHandle {
         &self.model
     }
 
@@ -385,9 +687,19 @@ impl KbqaService {
         &self.ner
     }
 
+    /// The NER gazetteer, shared.
+    pub fn ner_shared(&self) -> Arc<GazetteerNer> {
+        Arc::clone(&self.ner)
+    }
+
     /// The pattern index, when attached.
     pub fn pattern_index(&self) -> Option<&PatternIndex> {
         self.pattern_index.as_deref()
+    }
+
+    /// The pattern index, shared, when attached.
+    pub fn pattern_index_shared(&self) -> Option<Arc<PatternIndex>> {
+        self.pattern_index.as_ref().map(Arc::clone)
     }
 
     /// The default engine configuration.
@@ -395,21 +707,25 @@ impl KbqaService {
         &self.config
     }
 
-    /// The borrowed inference kernel over this service's artifacts.
-    /// Construction is free: every component is already built.
-    fn engine(&self) -> QaEngine<'_> {
-        let mut engine =
-            QaEngine::with_shared(&self.store, &self.conceptualizer, &self.model, &self.ner)
-                .with_config(self.config.clone());
-        if let Some(index) = self.pattern_index.as_deref() {
-            engine = engine.with_pattern_index_ref(index);
+    /// Capture one consistent view of the service — substrate plus a single
+    /// `(model, epoch)` pair — for request handling that must not straddle a
+    /// [`KbqaService::swap_model`].
+    pub fn snapshot(&self) -> ServiceSnapshot {
+        let (model, model_epoch) = self.model.load();
+        ServiceSnapshot {
+            store: Arc::clone(&self.store),
+            conceptualizer: Arc::clone(&self.conceptualizer),
+            model,
+            model_epoch,
+            ner: Arc::clone(&self.ner),
+            pattern_index: self.pattern_index.as_ref().map(Arc::clone),
+            config: self.config.clone(),
         }
-        engine
     }
 
     /// Answer one request.
     pub fn answer(&self, request: &QaRequest) -> QaResponse {
-        self.engine().answer_request(request)
+        self.snapshot().answer(request)
     }
 
     /// Answer a bare question with default options.
@@ -422,55 +738,30 @@ impl KbqaService {
     /// Responses are returned in request order and are identical to what
     /// sequential [`KbqaService::answer`] calls would produce: requests are
     /// independent, so the pool only amortizes engine setup and buys
-    /// wall-clock parallelism.
+    /// wall-clock parallelism. The whole batch answers under a single model
+    /// epoch (one [`ServiceSnapshot`]).
     pub fn answer_batch(&self, requests: &[QaRequest]) -> Vec<QaResponse> {
-        let workers = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(requests.len())
-            .min(16);
-        if workers <= 1 {
-            let engine = self.engine();
-            return requests.iter().map(|r| engine.answer_request(r)).collect();
-        }
-        let chunk_size = requests.len().div_ceil(workers);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = requests
-                .chunks(chunk_size)
-                .map(|chunk| {
-                    scope.spawn(move || {
-                        let engine = self.engine();
-                        chunk
-                            .iter()
-                            .map(|r| engine.answer_request(r))
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("batch worker panicked"))
-                .collect()
-        })
+        self.snapshot().answer_batch(requests)
     }
 
     /// Table 6 statistics for one question.
     pub fn question_statistics(&self, question: &str) -> ChoiceStats {
-        self.engine().question_statistics(question)
+        self.snapshot().engine().question_statistics(question)
     }
 
     /// Run the Sec 5 decomposition DP on a question (requires a pattern
     /// index). Exposed for tooling; [`KbqaService::answer`] applies it
     /// automatically as a fallback.
     pub fn decompose(&self, question: &str) -> Option<Decomposition> {
-        let engine = self.engine();
-        let index = self.pattern_index.as_deref()?;
-        crate::decompose::decompose(&engine, index, question)
+        let snapshot = self.snapshot();
+        let index = snapshot.pattern_index.as_deref()?;
+        crate::decompose::decompose(&snapshot.engine(), index, question)
     }
 
     /// Execute a decomposition, returning ranked chained answers.
     pub fn execute_decomposition(&self, decomposition: &Decomposition) -> Option<Vec<Answer>> {
-        crate::decompose::execute(&self.engine(), decomposition)
+        let snapshot = self.snapshot();
+        crate::decompose::execute(&snapshot.engine(), decomposition)
     }
 }
 
@@ -496,6 +787,83 @@ mod tests {
         assert_send_sync::<KbqaService>();
         assert_send_sync::<QaRequest>();
         assert_send_sync::<QaResponse>();
+        assert_send_sync::<ModelHandle>();
+        assert_send_sync::<ServiceSnapshot>();
+    }
+
+    #[test]
+    fn model_handle_swap_bumps_a_monotonic_epoch() {
+        let handle = ModelHandle::new(Arc::new(LearnedModel::default()));
+        assert_eq!(handle.epoch(), 0);
+        let (first, epoch) = handle.load();
+        assert_eq!(epoch, 0);
+        let replacement = Arc::new(LearnedModel::default());
+        assert_eq!(handle.swap(Arc::clone(&replacement)), 1);
+        assert_eq!(handle.epoch(), 1);
+        let (second, epoch) = handle.load();
+        assert_eq!(epoch, 1);
+        assert!(Arc::ptr_eq(&second, &replacement));
+        assert!(!Arc::ptr_eq(&first, &second));
+        assert_eq!(handle.swap(first), 2);
+    }
+
+    #[test]
+    fn model_handle_load_is_consistent_under_concurrent_swaps() {
+        // Swappers install models tagged by observation count parity; every
+        // load must see a (model, epoch) pair whose tag matches the epoch's
+        // parity — a torn read would mismatch.
+        let tagged = |tag: u64| {
+            let mut model = LearnedModel::default();
+            model.stats.observations = tag as usize;
+            Arc::new(model)
+        };
+        let handle = ModelHandle::new(tagged(0));
+        std::thread::scope(|scope| {
+            let swapper = scope.spawn(|| {
+                for i in 1..=200u64 {
+                    let epoch = handle.swap(tagged(i % 2));
+                    assert_eq!(epoch, i);
+                }
+            });
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..500 {
+                        let (model, epoch) = handle.load();
+                        assert_eq!(
+                            model.stats.observations as u64,
+                            epoch % 2,
+                            "load() returned a torn (model, epoch) pair"
+                        );
+                    }
+                });
+            }
+            swapper.join().expect("swapper");
+        });
+        assert_eq!(handle.epoch(), 200);
+    }
+
+    #[test]
+    fn versioned_cache_key_changes_with_the_epoch_only() {
+        let handle = ModelHandle::new(Arc::new(LearnedModel::default()));
+        let snapshot_at = |epoch: u64| ServiceSnapshot {
+            store: Arc::new(kbqa_rdf::GraphBuilder::new().build()),
+            conceptualizer: Arc::new(Conceptualizer::new(
+                kbqa_taxonomy::NetworkBuilder::new().build(),
+            )),
+            model: handle.load().0,
+            model_epoch: epoch,
+            ner: Arc::new(GazetteerNer::default()),
+            pattern_index: None,
+            config: EngineConfig::default(),
+        };
+        let request = QaRequest::new("what is the population of berlin");
+        let at_zero = snapshot_at(0).cache_key(&request);
+        let at_one = snapshot_at(1).cache_key(&request);
+        assert_ne!(at_zero, at_one, "an epoch bump must invalidate the key");
+        // The suffix past the epoch prefix is the unversioned key.
+        let base = request.cache_key(&EngineConfig::default());
+        assert_eq!(at_zero, format!("0\u{1f}{base}"));
+        assert_eq!(at_one, format!("1\u{1f}{base}"));
     }
 
     #[test]

@@ -12,6 +12,14 @@
 //! [`Mutex`]. Threads touching different shards never contend, and no lock
 //! is held while the engine computes a miss. Hit/miss/eviction/insertion
 //! counters are lock-free atomics shared across shards.
+//!
+//! **Model hot swaps** need no cache support at all: the HTTP layer keys
+//! entries by
+//! [`ServiceSnapshot::cache_key`](kbqa_core::service::ServiceSnapshot::cache_key),
+//! which prefixes the model epoch. A swap bumps the epoch, so every
+//! post-swap lookup misses (and recomputes under the new model) while stale
+//! entries become unaddressable and age out by LRU pressure — invalidation
+//! without a stop-the-world flush.
 
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -59,6 +67,12 @@ pub struct CacheStats {
     pub capacity: usize,
     /// Lock stripes.
     pub shards: usize,
+    /// The service's current model epoch, stamped onto the snapshot by the
+    /// `/cache/stats` route (the cache itself is epoch-agnostic: keys are
+    /// versioned upstream, so post-swap lookups simply miss and stale
+    /// entries age out by LRU). 0 when the cache is used standalone.
+    #[serde(default)]
+    pub model_epoch: u64,
 }
 
 impl CacheStats {
@@ -300,6 +314,7 @@ impl AnswerCache {
             entries: self.len(),
             capacity: self.shard_capacity * self.shards.len(),
             shards: self.shards.len(),
+            model_epoch: 0,
         }
     }
 }

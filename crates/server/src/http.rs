@@ -1,19 +1,29 @@
 //! A hand-rolled HTTP/1.1 server on `std::net` — no async runtime, no
 //! external HTTP crate.
 //!
-//! Architecture: one acceptor thread pushes connections onto a
+//! Architecture: one acceptor thread pushes connections onto a **bounded**
 //! `Mutex<VecDeque>` + `Condvar` queue; a fixed-size pool of worker threads
 //! pops them and drives a keep-alive loop per connection (parse request →
 //! route → write response, until the peer closes, a limit is hit, or
 //! shutdown is requested). This is the classic thread-per-connection server
-//! with admission control by pool size: enough for the reproduction's
-//! traffic while staying entirely inside `std`.
+//! with explicit admission control: when the pending queue reaches
+//! [`ServerConfig::max_pending`], new connections are **shed** at accept
+//! time with `429 Too Many Requests` + `Retry-After` instead of queueing
+//! unboundedly — under overload the server degrades to fast, honest
+//! rejections rather than unbounded latency and memory.
 //!
 //! Protocol coverage is deliberately minimal but honest: request line +
 //! headers (case-insensitive names), `Content-Length` bodies,
 //! `Connection: keep-alive`/`close` semantics with an HTTP/1.1 default of
 //! keep-alive, per-connection request caps, read timeouts, and bounded
 //! header/body sizes so a hostile peer cannot balloon memory.
+//!
+//! Live operations: `POST /admin/reload` (enabled by configuring
+//! [`ServerConfig::admin_token`] + [`ServerConfig::model_path`], typically
+//! via [`ServerConfig::from_env`]) reloads the model file from the persist
+//! layer and hot-swaps it into the running [`KbqaService`] — the model
+//! epoch bump re-keys the answer cache, so stale answers are never served
+//! post-swap.
 //!
 //! Graceful shutdown: [`ServerHandle::shutdown`] flips an atomic flag, wakes
 //! the acceptor with a loopback connect, wakes idle workers via the condvar,
@@ -23,6 +33,7 @@
 use std::collections::VecDeque;
 use std::io::{self, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -53,6 +64,22 @@ pub struct ServerConfig {
     pub request_timeout: Duration,
     /// Answer cache sizing.
     pub cache: CacheConfig,
+    /// Admission control: maximum connections waiting in the accept queue.
+    /// When the queue is this deep, further connections are shed at accept
+    /// time with `429 Too Many Requests` + `Retry-After` instead of
+    /// queueing unboundedly. `0` disables shedding (unbounded queue).
+    pub max_pending: usize,
+    /// The `Retry-After` value (seconds) sent with shed responses.
+    pub retry_after_secs: u64,
+    /// Shared secret gating `POST /admin/reload`. `None` (the default)
+    /// disables the admin surface entirely (403). Typically supplied via
+    /// the `KBQA_ADMIN_TOKEN` environment variable through
+    /// [`ServerConfig::from_env`].
+    pub admin_token: Option<String>,
+    /// Where `POST /admin/reload` loads the model from (a
+    /// [`kbqa_core::persist::save_model`] JSON file). `None` makes reload
+    /// answer 409.
+    pub model_path: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -64,11 +91,67 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_secs(5),
             request_timeout: Duration::from_secs(30),
             cache: CacheConfig::default(),
+            max_pending: 1024,
+            retry_after_secs: 1,
+            admin_token: None,
+            model_path: None,
         }
     }
 }
 
 impl ServerConfig {
+    /// Defaults overlaid with the `KBQA_*` environment knobs:
+    ///
+    /// | Variable                | Field                |
+    /// |-------------------------|----------------------|
+    /// | `KBQA_WORKERS`          | `workers`            |
+    /// | `KBQA_MAX_BODY_BYTES`   | `max_body_bytes`     |
+    /// | `KBQA_MAX_PENDING`      | `max_pending`        |
+    /// | `KBQA_RETRY_AFTER_SECS` | `retry_after_secs`   |
+    /// | `KBQA_CACHE_CAPACITY`   | `cache.capacity`     |
+    /// | `KBQA_CACHE_SHARDS`     | `cache.shards`       |
+    /// | `KBQA_ADMIN_TOKEN`      | `admin_token`        |
+    /// | `KBQA_MODEL_PATH`       | `model_path`         |
+    ///
+    /// Unset or unparsable variables keep the default; an empty
+    /// `KBQA_ADMIN_TOKEN` stays disabled (an empty shared secret would gate
+    /// nothing). See `docs/OPERATIONS.md` for the full runbook.
+    pub fn from_env() -> Self {
+        fn parsed<T: std::str::FromStr>(var: &str) -> Option<T> {
+            std::env::var(var).ok()?.trim().parse().ok()
+        }
+        let mut config = Self::default();
+        if let Some(v) = parsed("KBQA_WORKERS") {
+            config.workers = v;
+        }
+        if let Some(v) = parsed("KBQA_MAX_BODY_BYTES") {
+            config.max_body_bytes = v;
+        }
+        if let Some(v) = parsed("KBQA_MAX_PENDING") {
+            config.max_pending = v;
+        }
+        if let Some(v) = parsed("KBQA_RETRY_AFTER_SECS") {
+            config.retry_after_secs = v;
+        }
+        if let Some(v) = parsed("KBQA_CACHE_CAPACITY") {
+            config.cache.capacity = v;
+        }
+        if let Some(v) = parsed("KBQA_CACHE_SHARDS") {
+            config.cache.shards = v;
+        }
+        if let Ok(token) = std::env::var("KBQA_ADMIN_TOKEN") {
+            if !token.trim().is_empty() {
+                config.admin_token = Some(token.trim().to_string());
+            }
+        }
+        if let Ok(path) = std::env::var("KBQA_MODEL_PATH") {
+            if !path.trim().is_empty() {
+                config.model_path = Some(PathBuf::from(path.trim()));
+            }
+        }
+        config
+    }
+
     fn effective_workers(&self) -> usize {
         if self.workers > 0 {
             return self.workers;
@@ -215,10 +298,39 @@ fn acceptor_loop(shared: &Shared, listener: TcpListener) {
             Err(_) => continue,
         };
         let mut queue = shared.lock_queue();
+        // Admission control: a full pending queue means the workers are
+        // underwater. Shed *now*, cheaply, instead of letting the queue (and
+        // every queued client's latency) grow without bound.
+        if shared.config.max_pending > 0 && queue.len() >= shared.config.max_pending {
+            drop(queue);
+            shed(shared, stream);
+            continue;
+        }
         queue.push_back(stream);
         drop(queue);
         shared.available.notify_one();
     }
+}
+
+/// Refuse one connection with `429 Too Many Requests` + `Retry-After`.
+///
+/// Runs on the acceptor thread, so it must never block on a slow peer: the
+/// write is bounded by a short timeout and failures are ignored (the client
+/// sees a reset instead of a 429 — it was going to be turned away either
+/// way).
+fn shed(shared: &Shared, mut stream: TcpStream) {
+    shared.state.metrics.record_shed();
+    shared.state.metrics.record_response(429);
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+    let body = "{\"error\":\"server overloaded, retry later\"}";
+    let head = format!(
+        "HTTP/1.1 429 Too Many Requests\r\nContent-Type: application/json\r\nContent-Length: {}\r\nRetry-After: {}\r\nConnection: close\r\n\r\n",
+        body.len(),
+        shared.config.retry_after_secs.max(1),
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
 }
 
 fn worker_loop(shared: &Shared) {
@@ -275,7 +387,7 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
             }
         };
         let keep_alive = request.keep_alive();
-        let response = route(&shared.state, &request);
+        let response = route(shared, &request);
         if write_response(reader.get_mut(), &response, keep_alive).is_err() {
             break;
         }
@@ -292,6 +404,10 @@ struct Request {
     path: String,
     http11: bool,
     connection: Option<String>,
+    /// Raw `Authorization` header value, when present.
+    authorization: Option<String>,
+    /// Raw `X-Admin-Token` header value, when present.
+    x_admin_token: Option<String>,
     body: Vec<u8>,
 }
 
@@ -304,6 +420,21 @@ impl Request {
             Some("keep-alive") => true,
             _ => self.http11,
         }
+    }
+
+    /// The admin credential the client presented: `X-Admin-Token: <secret>`
+    /// or `Authorization: Bearer <secret>` (scheme case-insensitive per
+    /// RFC 7235).
+    fn admin_credential(&self) -> Option<&str> {
+        if let Some(token) = self.x_admin_token.as_deref() {
+            return Some(token);
+        }
+        let auth = self.authorization.as_deref()?;
+        let (scheme, credential) = auth.split_once(' ')?;
+        if !scheme.eq_ignore_ascii_case("bearer") {
+            return None;
+        }
+        Some(credential.trim())
     }
 }
 
@@ -337,6 +468,8 @@ fn read_request(
     }
 
     let mut connection = None;
+    let mut authorization = None;
+    let mut x_admin_token = None;
     let mut content_length: Option<usize> = None;
     for _ in 0..MAX_HEADERS {
         let line = match read_header_line(reader, deadline) {
@@ -357,6 +490,8 @@ fn read_request(
                 path,
                 http11: version == "HTTP/1.1",
                 connection,
+                authorization,
+                x_admin_token,
                 body,
             }));
         }
@@ -374,6 +509,10 @@ fn read_request(
             content_length = Some(parsed);
         } else if name.eq_ignore_ascii_case("connection") {
             connection = Some(value.to_ascii_lowercase());
+        } else if name.eq_ignore_ascii_case("authorization") {
+            authorization = Some(value.to_string());
+        } else if name.eq_ignore_ascii_case("x-admin-token") {
+            x_admin_token = Some(value.to_string());
         } else if name.eq_ignore_ascii_case("transfer-encoding") {
             // We only frame by Content-Length. Silently ignoring chunked
             // bodies would desync the connection (and is the classic
@@ -471,10 +610,14 @@ fn reason(status: u16) -> &'static str {
     match status {
         200 => "OK",
         400 => "Bad Request",
+        401 => "Unauthorized",
+        403 => "Forbidden",
         404 => "Not Found",
         405 => "Method Not Allowed",
         408 => "Request Timeout",
+        409 => "Conflict",
         413 => "Payload Too Large",
+        429 => "Too Many Requests",
         431 => "Request Header Fields Too Large",
         501 => "Not Implemented",
         _ => "Internal Server Error",
@@ -494,28 +637,38 @@ fn write_response(stream: &mut TcpStream, response: &Response, keep_alive: bool)
     stream.flush()
 }
 
-const ROUTES: [(&str, &str); 5] = [
+const ROUTES: [(&str, &str); 6] = [
     ("POST", "/answer"),
     ("POST", "/batch"),
+    ("POST", "/admin/reload"),
     ("GET", "/healthz"),
     ("GET", "/metrics"),
     ("GET", "/cache/stats"),
 ];
 
-fn route(state: &AppState, request: &Request) -> Response {
+fn route(shared: &Shared, request: &Request) -> Response {
+    let state = &shared.state;
     state.metrics.record_request();
     let response = match (request.method.as_str(), request.path.as_str()) {
         ("POST", "/answer") => handle_answer(state, &request.body),
         ("POST", "/batch") => handle_batch(state, &request.body),
-        ("GET", "/healthz") => Response::ok("{\"status\":\"ok\"}".to_string()),
+        ("POST", "/admin/reload") => handle_reload(shared, request),
+        ("GET", "/healthz") => Response::ok(format!(
+            "{{\"status\":\"ok\",\"model_epoch\":{}}}",
+            state.service.model_epoch()
+        )),
         ("GET", "/metrics") => match serde_json::to_string(&state.metrics.snapshot()) {
             Ok(body) => Response::ok(body),
             Err(e) => Response::error(500, &e.to_string()),
         },
-        ("GET", "/cache/stats") => match serde_json::to_string(&state.cache.stats()) {
-            Ok(body) => Response::ok(body),
-            Err(e) => Response::error(500, &e.to_string()),
-        },
+        ("GET", "/cache/stats") => {
+            let mut stats = state.cache.stats();
+            stats.model_epoch = state.service.model_epoch();
+            match serde_json::to_string(&stats) {
+                Ok(body) => Response::ok(body),
+                Err(e) => Response::error(500, &e.to_string()),
+            }
+        }
         (_, path) if ROUTES.iter().any(|(_, p)| *p == path) => {
             Response::error(405, "method not allowed")
         }
@@ -523,6 +676,53 @@ fn route(state: &AppState, request: &Request) -> Response {
     };
     state.metrics.record_response(response.status);
     response
+}
+
+/// Constant-time string comparison for the admin token: a timing oracle on
+/// a shared secret is a cheap thing to not have.
+fn token_matches(presented: &str, expected: &str) -> bool {
+    let (a, b) = (presented.as_bytes(), expected.as_bytes());
+    let mut diff = a.len() ^ b.len();
+    for i in 0..a.len().max(b.len()) {
+        let x = a.get(i).copied().unwrap_or(0);
+        let y = b.get(i).copied().unwrap_or(0);
+        diff |= (x ^ y) as usize;
+    }
+    diff == 0
+}
+
+/// `POST /admin/reload`: re-read the model file from the persist layer and
+/// hot-swap it into the running service. The epoch bump re-keys the answer
+/// cache, so no pre-swap entry is ever served again — no flush needed.
+///
+/// Gating: 403 when no admin token is configured (the surface is off), 401
+/// on a missing/wrong credential, 409 when no model path is configured,
+/// 500 when the file fails to load (the previous model keeps serving).
+fn handle_reload(shared: &Shared, request: &Request) -> Response {
+    let Some(expected) = shared.config.admin_token.as_deref() else {
+        return Response::error(403, "admin interface disabled: no admin token configured");
+    };
+    let authorized = request
+        .admin_credential()
+        .is_some_and(|presented| token_matches(presented, expected));
+    if !authorized {
+        return Response::error(401, "missing or invalid admin token");
+    }
+    let Some(path) = shared.config.model_path.as_deref() else {
+        return Response::error(409, "no model path configured for reload");
+    };
+    match kbqa_core::persist::load_model(path) {
+        Ok(model) => {
+            let epoch = shared.state.service.swap_model(Arc::new(model));
+            shared.state.metrics.record_reload();
+            Response::ok(format!(
+                "{{\"reloaded\":true,\"model_epoch\":{epoch},\"model_path\":{}}}",
+                serde_json::to_string(&path.display().to_string())
+                    .unwrap_or_else(|_| "\"?\"".to_string()),
+            ))
+        }
+        Err(e) => Response::error(500, &format!("model reload failed: {e}")),
+    }
 }
 
 fn parse_body<T: serde::de::DeserializeOwned>(body: &[u8]) -> Result<T, Response> {
@@ -534,6 +734,12 @@ fn parse_body<T: serde::de::DeserializeOwned>(body: &[u8]) -> Result<T, Response
 /// `POST /answer`: one `QaRequest` in, one `QaResponse` out, consulting the
 /// cache first. A hit serializes the very `QaResponse` a cold run produced,
 /// so the body is byte-identical either way.
+///
+/// Key and computation both come from a single [`ServiceSnapshot`], so the
+/// cache entry's epoch-versioned key always matches the epoch of the model
+/// that produced the value — even when a hot swap lands mid-request.
+///
+/// [`ServiceSnapshot`]: kbqa_core::service::ServiceSnapshot
 fn handle_answer(state: &AppState, body: &[u8]) -> Response {
     let started = Instant::now();
     let request: QaRequest = match parse_body(body) {
@@ -541,10 +747,11 @@ fn handle_answer(state: &AppState, body: &[u8]) -> Response {
         Err(response) => return response,
     };
     state.metrics.record_answer_request();
-    let key = request.cache_key(state.service.config());
+    let snapshot = state.service.snapshot();
+    let key = snapshot.cache_key(&request);
     let response = state
         .cache
-        .get_or_compute(key, || state.service.answer(&request));
+        .get_or_compute(key, || snapshot.answer(&request));
     state.metrics.record_outcome(&response);
     let rendered = match serde_json::to_string(&*response) {
         Ok(body) => Response::ok(body),
@@ -556,7 +763,8 @@ fn handle_answer(state: &AppState, body: &[u8]) -> Response {
 
 /// `POST /batch`: a `Vec<QaRequest>` in, a `Vec<QaResponse>` out in request
 /// order. Cache hits are filled in directly; only the misses fan out through
-/// [`KbqaService::answer_batch`], then enter the cache.
+/// the snapshot's `answer_batch`, then enter the cache. The whole batch —
+/// keys and computation — runs under one model epoch.
 fn handle_batch(state: &AppState, body: &[u8]) -> Response {
     let started = Instant::now();
     let requests: Vec<QaRequest> = match parse_body(body) {
@@ -565,10 +773,8 @@ fn handle_batch(state: &AppState, body: &[u8]) -> Response {
     };
     state.metrics.record_batch_request(requests.len());
 
-    let keys: Vec<String> = requests
-        .iter()
-        .map(|r| r.cache_key(state.service.config()))
-        .collect();
+    let snapshot = state.service.snapshot();
+    let keys: Vec<String> = requests.iter().map(|r| snapshot.cache_key(r)).collect();
     let mut responses: Vec<Option<Arc<QaResponse>>> =
         keys.iter().map(|key| state.cache.get(key)).collect();
     let miss_indices: Vec<usize> = responses
@@ -582,7 +788,7 @@ fn handle_batch(state: &AppState, body: &[u8]) -> Response {
         // are computed redundantly; correctness is unaffected (the engine is
         // deterministic) and the next request hits.
         let misses: Vec<QaRequest> = miss_indices.iter().map(|&i| requests[i].clone()).collect();
-        let computed = state.service.answer_batch(&misses);
+        let computed = snapshot.answer_batch(&misses);
         for (&i, response) in miss_indices.iter().zip(computed) {
             let response = Arc::new(response);
             state.cache.insert(keys[i].clone(), Arc::clone(&response));

@@ -21,17 +21,29 @@
 //!    byte-identically to what the engine would have produced.
 //! 3. **A server you cannot observe is a server you cannot operate**:
 //!    atomic counters and fixed-bucket latency histograms ([`metrics`]) are
-//!    exported as JSON, and the cache exports hit/miss/eviction counts.
+//!    exported as JSON, and the cache exports hit/miss/eviction counts plus
+//!    the current model epoch.
+//! 4. **Live operations are routes, not restarts.** The model hot-swaps
+//!    through `POST /admin/reload` (token-gated, reading the persist layer);
+//!    cache keys are versioned by the
+//!    [`ModelHandle`](kbqa_core::service::ModelHandle) epoch so a swap
+//!    invalidates stale answers without a flush; and a **bounded accept
+//!    queue** sheds overload with `429` + `Retry-After` instead of queueing
+//!    without bound. `docs/OPERATIONS.md` is the runbook for all of it.
 //!
 //! # Routes
 //!
-//! | Route              | Body                | Response                  |
-//! |--------------------|---------------------|---------------------------|
-//! | `POST /answer`     | `QaRequest` JSON    | `QaResponse` JSON         |
-//! | `POST /batch`      | `[QaRequest]` JSON  | `[QaResponse]` JSON       |
-//! | `GET /healthz`     | —                   | liveness JSON             |
-//! | `GET /metrics`     | —                   | [`metrics::MetricsSnapshot`] |
-//! | `GET /cache/stats` | —                   | [`cache::CacheStats`]     |
+//! | Route                | Body                | Response                  |
+//! |----------------------|---------------------|---------------------------|
+//! | `POST /answer`       | `QaRequest` JSON    | `QaResponse` JSON         |
+//! | `POST /batch`        | `[QaRequest]` JSON  | `[QaResponse]` JSON       |
+//! | `POST /admin/reload` | — (token header)    | `{reloaded, model_epoch}` |
+//! | `GET /healthz`       | —                   | liveness + model epoch    |
+//! | `GET /metrics`       | —                   | [`metrics::MetricsSnapshot`] |
+//! | `GET /cache/stats`   | —                   | [`cache::CacheStats`]     |
+//!
+//! Any route may instead answer `429 Too Many Requests` (with `Retry-After`)
+//! when admission control sheds the connection at accept time.
 //!
 //! # Quickstart
 //!
@@ -39,8 +51,12 @@
 //! use kbqa_server::{serve, ServerConfig};
 //! # fn service() -> kbqa_core::service::KbqaService { unimplemented!() }
 //!
-//! let handle = serve(service(), "127.0.0.1:0", ServerConfig::default()).unwrap();
+//! // ServerConfig::from_env reads the KBQA_* knobs (admin token, model
+//! // path, queue depth, cache sizing); Default works fine for tests.
+//! let handle = serve(service(), "127.0.0.1:0", ServerConfig::from_env()).unwrap();
 //! println!("listening on http://{}", handle.local_addr());
+//! // … hot-swap the model at any point, from any clone of the service:
+//! // curl -XPOST -H "X-Admin-Token: $KBQA_ADMIN_TOKEN" host:port/admin/reload
 //! // … later:
 //! handle.shutdown();
 //! ```

@@ -141,6 +141,8 @@ pub struct Metrics {
     batch_questions: AtomicU64,
     answered: AtomicU64,
     refused: AtomicU64,
+    requests_shed: AtomicU64,
+    admin_reloads: AtomicU64,
     /// `POST /answer` end-to-end latency (parse → serialize).
     pub answer_latency: LatencyHistogram,
     /// `POST /batch` end-to-end latency (whole batch).
@@ -167,6 +169,8 @@ impl Metrics {
             batch_questions: AtomicU64::new(0),
             answered: AtomicU64::new(0),
             refused: AtomicU64::new(0),
+            requests_shed: AtomicU64::new(0),
+            admin_reloads: AtomicU64::new(0),
             answer_latency: LatencyHistogram::new(),
             batch_latency: LatencyHistogram::new(),
         }
@@ -199,6 +203,18 @@ impl Metrics {
             .fetch_add(questions as u64, Ordering::Relaxed);
     }
 
+    /// Count one connection shed by admission control (answered 429 at
+    /// accept time, before any request was parsed — so it moves
+    /// `requests_shed` and the 4xx class, never `requests_total`).
+    pub fn record_shed(&self) {
+        self.requests_shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one successful `POST /admin/reload` model swap.
+    pub fn record_reload(&self) {
+        self.admin_reloads.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Classify one engine outcome (answered vs refused).
     pub fn record_outcome(&self, response: &QaResponse) {
         let counter = if response.answered() {
@@ -222,6 +238,8 @@ impl Metrics {
             batch_questions: self.batch_questions.load(Ordering::Relaxed),
             answered: self.answered.load(Ordering::Relaxed),
             refused: self.refused.load(Ordering::Relaxed),
+            requests_shed: self.requests_shed.load(Ordering::Relaxed),
+            admin_reloads: self.admin_reloads.load(Ordering::Relaxed),
             answer_latency: self.answer_latency.snapshot(),
             batch_latency: self.batch_latency.snapshot(),
         }
@@ -251,6 +269,13 @@ pub struct MetricsSnapshot {
     pub answered: u64,
     /// Engine outcomes that refused.
     pub refused: u64,
+    /// Connections shed with 429 by admission control (also counted in
+    /// `responses_4xx`, never in `requests_total`).
+    #[serde(default)]
+    pub requests_shed: u64,
+    /// Successful `POST /admin/reload` model swaps.
+    #[serde(default)]
+    pub admin_reloads: u64,
     /// `/answer` latency histogram.
     pub answer_latency: HistogramSnapshot,
     /// `/batch` latency histogram.

@@ -272,7 +272,10 @@ fn healthz_and_metrics_report_traffic() {
     let addr = server.local_addr();
 
     let (status, body) = http(addr, "GET", "/healthz", "");
-    assert_eq!((status, body.as_str()), (200, "{\"status\":\"ok\"}"));
+    assert_eq!(
+        (status, body.as_str()),
+        (200, "{\"status\":\"ok\",\"model_epoch\":0}")
+    );
 
     let answerable = serde_json::to_string(&QaRequest::new(&f.questions[0])).unwrap();
     let refusal = serde_json::to_string(&QaRequest::new("why is the sky blue")).unwrap();

@@ -1,0 +1,407 @@
+//! Live-operations tests for the serving control plane: token-gated
+//! `POST /admin/reload` hot swaps with versioned cache keys (a pre-swap
+//! cache entry is never served post-swap, asserted byte-level), and
+//! admission control (a saturated accept queue sheds with `429` +
+//! `Retry-After`, then recovers after drain).
+//!
+//! Unlike `http_server.rs`, each test here builds its **own** service:
+//! hot swaps mutate the shared `ModelHandle`, which must never leak into
+//! other tests' fixtures.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use kbqa_core::learner::{LearnedModel, Learner, LearnerConfig};
+use kbqa_core::persist::save_model;
+use kbqa_core::service::{KbqaService, QaRequest, QaResponse};
+use kbqa_corpus::{CorpusConfig, QaCorpus, World, WorldConfig};
+use kbqa_nlp::GazetteerNer;
+use kbqa_rdf::GraphBuilder;
+use kbqa_server::{serve, CacheStats, MetricsSnapshot, ServerConfig};
+use kbqa_taxonomy::{Conceptualizer, NetworkBuilder};
+
+/// A real learned service plus a question it demonstrably answers.
+fn learned_service() -> (KbqaService, String) {
+    let world = World::generate(WorldConfig::tiny(42));
+    let corpus = QaCorpus::generate(&world, &CorpusConfig::with_pairs(1, 400));
+    let ner = Arc::new(GazetteerNer::from_store(&world.store));
+    let learner = Learner::new(
+        &world.store,
+        &world.conceptualizer,
+        &ner,
+        &world.predicate_classes,
+    );
+    let pairs: Vec<(&str, &str)> = corpus
+        .pairs
+        .iter()
+        .map(|p| (p.question.as_str(), p.answer.as_str()))
+        .collect();
+    let (model, _) = learner.learn(&pairs, &LearnerConfig::default());
+    let service = KbqaService::builder(
+        Arc::clone(&world.store),
+        Arc::clone(&world.conceptualizer),
+        Arc::new(model),
+    )
+    .ner(ner)
+    .build();
+
+    let intent = world.intent_by_name("city_population").expect("intent");
+    let city = world
+        .subjects_of(intent)
+        .iter()
+        .copied()
+        .find(|&c| {
+            !world.gold_values(intent, c).is_empty()
+                && world.store.entities_named(&world.store.surface(c)).len() == 1
+        })
+        .expect("answerable city");
+    let question = format!("what is the population of {}", world.store.surface(city));
+    assert!(service.answer_text(&question).answered());
+    (service, question)
+}
+
+/// A near-free service over an empty world — enough for protocol-level
+/// tests (admission control, admin gating) that never need real answers.
+fn empty_service() -> KbqaService {
+    KbqaService::new(
+        Arc::new(GraphBuilder::new().build()),
+        Arc::new(Conceptualizer::new(NetworkBuilder::new().build())),
+        Arc::new(LearnedModel::default()),
+    )
+}
+
+/// A unique temp path for a model file.
+fn temp_model_path(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("kbqa-live-ops-tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(format!("{tag}-{}.json", std::process::id()))
+}
+
+// ---------------------------------------------------------------------------
+// A tiny test-side HTTP client (header-aware, unlike http_server.rs's)
+// ---------------------------------------------------------------------------
+
+fn send_request(stream: &mut TcpStream, method: &str, path: &str, headers: &str, body: &str) {
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n{headers}Content-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("write request");
+}
+
+/// Read one full response, returning (status, raw head, body).
+fn read_response(stream: &mut TcpStream) -> (u16, String, String) {
+    let mut raw = Vec::new();
+    let mut byte = [0u8; 1];
+    while !raw.ends_with(b"\r\n\r\n") {
+        match stream.read(&mut byte) {
+            Ok(1) => raw.push(byte[0]),
+            _ => panic!(
+                "connection closed mid-header: {:?}",
+                String::from_utf8_lossy(&raw)
+            ),
+        }
+    }
+    let head = String::from_utf8(raw).expect("utf8 head");
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let content_length: usize = head
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+        .and_then(|v| v.trim().parse().ok())
+        .expect("content-length header");
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body).expect("read body");
+    (status, head, String::from_utf8(body).expect("utf8 body"))
+}
+
+fn http(addr: SocketAddr, method: &str, path: &str, headers: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    send_request(&mut stream, method, path, headers, body);
+    let (status, _, body) = read_response(&mut stream);
+    (status, body)
+}
+
+fn cache_stats(addr: SocketAddr) -> CacheStats {
+    let (status, body) = http(addr, "GET", "/cache/stats", "", "");
+    assert_eq!(status, 200);
+    serde_json::from_str(&body).expect("cache stats JSON")
+}
+
+fn metrics(addr: SocketAddr) -> MetricsSnapshot {
+    let (status, body) = http(addr, "GET", "/metrics", "", "");
+    assert_eq!(status, 200);
+    serde_json::from_str(&body).expect("metrics JSON")
+}
+
+// ---------------------------------------------------------------------------
+// Hot swap through POST /admin/reload
+// ---------------------------------------------------------------------------
+
+#[test]
+fn reload_swaps_the_model_and_invalidates_cached_answers() {
+    let (service, question) = learned_service();
+    let model_path = temp_model_path("reload-swap");
+    // The "new build" waiting on disk: an empty model, observably different
+    // from the learned one (it refuses everything).
+    save_model(&LearnedModel::default(), &model_path).expect("save replacement");
+
+    let config = ServerConfig {
+        admin_token: Some("swordfish".into()),
+        model_path: Some(model_path.clone()),
+        ..ServerConfig::default()
+    };
+    // The test keeps `service`; the server's clone shares its ModelHandle,
+    // so in-process expectations below track the server's swaps exactly.
+    let server = serve(service.clone(), "127.0.0.1:0", config).expect("bind");
+    let addr = server.local_addr();
+
+    let request = QaRequest::new(&question);
+    let body = serde_json::to_string(&request).unwrap();
+    let pre_swap_expected = serde_json::to_string(&service.answer(&request)).unwrap();
+
+    // Warm the cache under epoch 0, then prove the repeat hits.
+    let (status, first) = http(addr, "POST", "/answer", "", &body);
+    assert_eq!(status, 200);
+    assert_eq!(first, pre_swap_expected);
+    let (_, second) = http(addr, "POST", "/answer", "", &body);
+    assert_eq!(second, first);
+    let warm = cache_stats(addr);
+    assert_eq!(warm.model_epoch, 0);
+    assert_eq!((warm.hits, warm.misses, warm.entries), (1, 1, 1));
+
+    // Swap. The route reports the new epoch…
+    let (status, reload) = http(
+        addr,
+        "POST",
+        "/admin/reload",
+        "X-Admin-Token: swordfish\r\n",
+        "",
+    );
+    assert_eq!(status, 200, "reload failed: {reload}");
+    assert!(reload.contains("\"reloaded\":true"), "{reload}");
+    assert!(reload.contains("\"model_epoch\":1"), "{reload}");
+
+    // …and every observability surface agrees.
+    let (status, health) = http(addr, "GET", "/healthz", "", "");
+    assert_eq!(status, 200);
+    assert_eq!(health, "{\"status\":\"ok\",\"model_epoch\":1}");
+    let swapped = cache_stats(addr);
+    assert_eq!(swapped.model_epoch, 1);
+    assert_eq!(
+        swapped.entries, 1,
+        "no flush: the stale entry stays resident until LRU takes it"
+    );
+    assert_eq!(metrics(addr).admin_reloads, 1);
+
+    // The acceptance assertion, byte-level: the same question now MISSES
+    // (the versioned key changed) and is served by the NEW model under the
+    // new epoch — never the cached pre-swap answer.
+    let post_swap_expected = serde_json::to_string(&service.answer(&request)).unwrap();
+    assert_ne!(post_swap_expected, pre_swap_expected);
+    let (status, third) = http(addr, "POST", "/answer", "", &body);
+    assert_eq!(status, 200);
+    assert_eq!(
+        third, post_swap_expected,
+        "post-swap answer must come from the new model"
+    );
+    let parsed: QaResponse = serde_json::from_str(&third).unwrap();
+    assert!(!parsed.answered(), "the empty replacement model refuses");
+    assert_eq!(parsed.model_epoch, 1);
+    let after = cache_stats(addr);
+    assert_eq!(
+        after.misses,
+        warm.misses + 1,
+        "first post-swap request must be a cache miss"
+    );
+    assert_eq!(after.hits, warm.hits, "the pre-swap entry must not hit");
+    assert_eq!(after.entries, 2, "old and new epoch entries coexist");
+
+    // And the new entry caches normally under its epoch.
+    let (_, fourth) = http(addr, "POST", "/answer", "", &body);
+    assert_eq!(fourth, third);
+    assert_eq!(cache_stats(addr).hits, after.hits + 1);
+
+    server.shutdown();
+    std::fs::remove_file(&model_path).ok();
+}
+
+#[test]
+fn reload_is_gated_token_then_path_then_load() {
+    let (status, body) = {
+        // No admin token configured: the surface is off.
+        let server = serve(empty_service(), "127.0.0.1:0", ServerConfig::default()).expect("bind");
+        let out = http(
+            server.local_addr(),
+            "POST",
+            "/admin/reload",
+            "X-Admin-Token: anything\r\n",
+            "",
+        );
+        server.shutdown();
+        out
+    };
+    assert_eq!(status, 403, "{body}");
+
+    // Token configured but no model path: authenticate, then 409.
+    let config = ServerConfig {
+        admin_token: Some("swordfish".into()),
+        ..ServerConfig::default()
+    };
+    let server = serve(empty_service(), "127.0.0.1:0", config).expect("bind");
+    let addr = server.local_addr();
+
+    for bad in [
+        "".to_string(),                               // no credential at all
+        "X-Admin-Token: sword\r\n".to_string(),       // wrong token
+        "Authorization: Bearer fishsword\r\n".into(), // wrong bearer
+        "Authorization: swordfish\r\n".into(),        // not a bearer scheme
+    ] {
+        let (status, _) = http(addr, "POST", "/admin/reload", &bad, "");
+        assert_eq!(status, 401, "credential {bad:?} must be rejected");
+    }
+    // GET on the admin route is a method error, not a 404.
+    let (status, _) = http(addr, "GET", "/admin/reload", "", "");
+    assert_eq!(status, 405);
+
+    // Both header forms authenticate (the bearer scheme case-insensitively,
+    // per RFC 7235); with no path configured that's 409.
+    for good in [
+        "X-Admin-Token: swordfish\r\n",
+        "Authorization: Bearer swordfish\r\n",
+        "Authorization: bearer swordfish\r\n",
+    ] {
+        let (status, body) = http(addr, "POST", "/admin/reload", good, "");
+        assert_eq!(status, 409, "{body}");
+    }
+    assert_eq!(metrics(addr).admin_reloads, 0);
+    server.shutdown();
+
+    // Path configured but unreadable: 500, and the old model keeps serving.
+    let config = ServerConfig {
+        admin_token: Some("swordfish".into()),
+        model_path: Some(PathBuf::from("/nonexistent/kbqa/model.json")),
+        ..ServerConfig::default()
+    };
+    let server = serve(empty_service(), "127.0.0.1:0", config).expect("bind");
+    let addr = server.local_addr();
+    let (status, body) = http(
+        addr,
+        "POST",
+        "/admin/reload",
+        "X-Admin-Token: swordfish\r\n",
+        "",
+    );
+    assert_eq!(status, 500, "{body}");
+    let (status, health) = http(addr, "GET", "/healthz", "", "");
+    assert_eq!(status, 200);
+    assert!(
+        health.contains("\"model_epoch\":0"),
+        "failed reload must not bump the epoch: {health}"
+    );
+    assert_eq!(metrics(addr).admin_reloads, 0);
+    server.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Admission control
+// ---------------------------------------------------------------------------
+
+#[test]
+fn overload_sheds_429_with_retry_after_then_recovers() {
+    let config = ServerConfig {
+        workers: 1,
+        max_pending: 1,
+        retry_after_secs: 7,
+        // Long enough that the held connection outlives the whole test.
+        read_timeout: Duration::from_secs(20),
+        request_timeout: Duration::from_secs(30),
+        ..ServerConfig::default()
+    };
+    let server = serve(empty_service(), "127.0.0.1:0", config).expect("bind");
+    let addr = server.local_addr();
+
+    // Occupy the single worker: a connection whose request never finishes.
+    let mut held = TcpStream::connect(addr).expect("connect held");
+    held.write_all(b"POST /answer HTTP/1.1\r\n").expect("hold");
+    std::thread::sleep(Duration::from_millis(400));
+
+    // Fill the pending queue (depth 1): a connection that just sits there.
+    let filler = TcpStream::connect(addr).expect("connect filler");
+    std::thread::sleep(Duration::from_millis(400));
+
+    // Saturated: further connections are shed at accept with 429.
+    for _ in 0..2 {
+        let mut stream = TcpStream::connect(addr).expect("connect shed");
+        let (status, head, body) = read_response(&mut stream);
+        assert_eq!(status, 429, "saturated server must shed");
+        let retry_after = head
+            .lines()
+            .find_map(|l| l.strip_prefix("Retry-After: "))
+            .expect("Retry-After header on 429");
+        assert_eq!(retry_after.trim(), "7");
+        assert!(body.contains("error"), "{body}");
+    }
+
+    // Drain: release the worker and the queue slot.
+    drop(held);
+    drop(filler);
+    std::thread::sleep(Duration::from_millis(400));
+
+    // Recovered: requests flow again, and the sheds were counted.
+    let (status, health) = http(addr, "GET", "/healthz", "", "");
+    assert_eq!(status, 200, "server must recover after drain");
+    assert!(health.contains("\"status\":\"ok\""));
+    let snap = metrics(addr);
+    assert_eq!(snap.requests_shed, 2, "each shed counted exactly once");
+    assert!(
+        snap.responses_4xx >= 2,
+        "sheds land in the 4xx class: {snap:?}"
+    );
+    // Shed connections never became requests.
+    let (status, _) = http(addr, "POST", "/answer", "", "{\"question\":\"hi\"}");
+    assert_eq!(status, 200);
+
+    server.shutdown();
+}
+
+#[test]
+fn max_pending_zero_disables_shedding() {
+    let config = ServerConfig {
+        workers: 1,
+        max_pending: 0,
+        read_timeout: Duration::from_secs(20),
+        ..ServerConfig::default()
+    };
+    let server = serve(empty_service(), "127.0.0.1:0", config).expect("bind");
+    let addr = server.local_addr();
+
+    // Hold the only worker, then stack several connections: with shedding
+    // disabled they all queue and are eventually served.
+    let mut held = TcpStream::connect(addr).expect("connect held");
+    held.write_all(b"POST /answer HTTP/1.1\r\n").expect("hold");
+    std::thread::sleep(Duration::from_millis(300));
+
+    let mut queued: Vec<TcpStream> = (0..3)
+        .map(|_| {
+            let mut stream = TcpStream::connect(addr).expect("connect queued");
+            send_request(&mut stream, "GET", "/healthz", "", "");
+            stream
+        })
+        .collect();
+    drop(held);
+    for stream in &mut queued {
+        let (status, _, _) = read_response(stream);
+        assert_eq!(status, 200, "unbounded queue must serve everyone");
+    }
+    assert_eq!(metrics(addr).requests_shed, 0);
+
+    server.shutdown();
+}

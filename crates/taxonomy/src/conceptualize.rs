@@ -91,6 +91,12 @@ impl Conceptualizer {
         &self.network
     }
 
+    /// Rebuild the network's derived interner indexes after
+    /// deserialization (see [`ConceptNetwork::rebuild_index`]).
+    pub fn rebuild_index(&mut self) {
+        self.network.rebuild_index();
+    }
+
     /// Plain prior conceptualization: `P(c|e)` ignoring context.
     pub fn prior(&self, entity: NodeId) -> ConceptDistribution {
         ConceptDistribution {

@@ -47,11 +47,18 @@ fn main() {
 
     // 2. The server. With KBQA_SERVE_ADDR set, bind there and serve until
     //    killed; otherwise take an ephemeral port and run the script below.
+    //    `from_env` honours the rest of the KBQA_* knobs (admin token,
+    //    model path, queue depth, cache sizing — see docs/OPERATIONS.md).
     let manual_addr = std::env::var("KBQA_SERVE_ADDR").ok();
     let bind = manual_addr.as_deref().unwrap_or("127.0.0.1:0");
-    let handle = serve(service, bind, ServerConfig::default()).expect("bind server");
+    let config = ServerConfig::from_env();
+    let admin_enabled = config.admin_token.is_some();
+    let handle = serve(service, bind, config).expect("bind server");
     let addr = handle.local_addr();
     println!("listening on http://{addr}");
+    if admin_enabled {
+        println!("admin surface enabled: POST /admin/reload (X-Admin-Token)");
+    }
 
     if manual_addr.is_some() {
         println!("serving until killed (ctrl-c)…");

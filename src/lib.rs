@@ -103,7 +103,10 @@ pub mod prelude {
     pub use kbqa_core::expansion::ExpansionConfig;
     pub use kbqa_core::hybrid::HybridSystem;
     pub use kbqa_core::learner::{LearnedModel, Learner, LearnerConfig};
-    pub use kbqa_core::service::{KbqaService, QaRequest, QaResponse, QaSystem, Refusal};
+    pub use kbqa_core::persist::ServingArtifacts;
+    pub use kbqa_core::service::{
+        KbqaService, ModelHandle, QaRequest, QaResponse, QaSystem, Refusal, ServiceSnapshot,
+    };
     pub use kbqa_core::template::{Template, TemplateCatalog};
     pub use kbqa_corpus::{benchmark, CorpusConfig, QaCorpus, World, WorldConfig};
     pub use kbqa_nlp::{tokenize, GazetteerNer};
