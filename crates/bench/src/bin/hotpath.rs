@@ -1,0 +1,252 @@
+//! `hotpath` — record the BFQ hot-path perf trajectory (`BENCH_*.json`).
+//!
+//! ```text
+//! hotpath [--scale quick|full] [--questions N] [--out PATH]
+//! ```
+//!
+//! Builds the standard KBA-like session, drives the question set through
+//! the retained pre-PR reference kernel ("before") and the optimized kernel
+//! ("after", cold = fresh scratch per call, warm = reused scratch), plus a
+//! batch fan-out pass, and writes the latency/throughput summary as JSON —
+//! committed at the repo root (`BENCH_PR4.json`) so later PRs have a
+//! recorded baseline to compare against.
+
+use std::io::Write;
+use std::time::Instant;
+
+use serde::Serialize;
+
+use kbqa_bench::{session::Scale, Session};
+use kbqa_core::engine::{QaEngine, ScratchSpace};
+use kbqa_core::service::QaRequest;
+use kbqa_nlp::tokenize;
+
+/// Latency profile of one mode over the question set.
+#[derive(Serialize)]
+struct Profile {
+    /// What was measured.
+    mode: &'static str,
+    /// Median per-question latency, microseconds.
+    p50_us: f64,
+    /// 95th-percentile per-question latency, microseconds.
+    p95_us: f64,
+    /// Mean per-question latency, microseconds (per-call samples; noisier
+    /// than the throughput field).
+    mean_us: f64,
+    /// Questions per second from the best whole-set sweep (min over
+    /// rounds — robust to scheduler/frequency noise).
+    questions_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    /// Which PR recorded this file.
+    pr: &'static str,
+    /// Session preset and scale.
+    world: String,
+    /// Number of distinct questions driven (each timed over `rounds`).
+    questions: usize,
+    /// Timed rounds over the question set per mode.
+    rounds: usize,
+    /// Per-mode latency profiles. "reference_kernel" is the pre-PR
+    /// enumeration retained as `QaEngine::bfq_kernel_reference`;
+    /// "optimized_serving" is a cache-cold single question on a per-worker
+    /// reused scratch (how every server worker and batch chunk runs);
+    /// "optimized_one_shot" constructs a fresh `ScratchSpace` per question
+    /// (the synthetic worst case a one-off caller pays).
+    profiles: Vec<Profile>,
+    /// Cold single-question speedup on the serving path: reference mean /
+    /// optimized-serving mean. "Cold" = no answer cache in front; every
+    /// question runs the full kernel.
+    speedup_cold: f64,
+    /// One-shot speedup: reference mean / optimized-one-shot mean (pays
+    /// scratch construction per question).
+    speedup_one_shot: f64,
+    /// `answer_batch` throughput over the full set, questions/sec.
+    batch_questions_per_sec: f64,
+}
+
+fn profile(mode: &'static str, mut samples_us: Vec<f64>) -> Profile {
+    samples_us.sort_by(|a, b| a.total_cmp(b));
+    let n = samples_us.len().max(1);
+    let pct = |p: f64| samples_us[(((n - 1) as f64) * p).round() as usize];
+    let mean = samples_us.iter().sum::<f64>() / n as f64;
+    Profile {
+        mode,
+        p50_us: pct(0.50),
+        p95_us: pct(0.95),
+        mean_us: mean,
+        questions_per_sec: 1e6 / mean.max(1e-9),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Quick;
+    let mut out = "BENCH_PR4.json".to_owned();
+    let mut question_count = 200usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = args
+                    .get(i)
+                    .and_then(|s| Scale::parse(s))
+                    .unwrap_or_else(|| {
+                        eprintln!(
+                            "usage: hotpath [--scale quick|full] [--questions N] [--out PATH]"
+                        );
+                        std::process::exit(2);
+                    });
+            }
+            "--out" => {
+                i += 1;
+                out = args.get(i).cloned().unwrap_or(out);
+            }
+            "--questions" => {
+                i += 1;
+                question_count = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(200);
+            }
+            other => {
+                eprintln!("[hotpath] unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    eprintln!("[hotpath] building KBA-like session…");
+    let session = Session::standard(scale, "kba");
+    let questions: Vec<String> = session
+        .corpus
+        .pairs
+        .iter()
+        .take(question_count)
+        .map(|p| p.question.clone())
+        .collect();
+    let tokenized: Vec<_> = questions.iter().map(|q| tokenize(q)).collect();
+    let engine = QaEngine::with_shared(
+        &session.world.store,
+        &session.world.conceptualizer,
+        &session.model,
+        session.service().ner(),
+    );
+    let rounds = 5usize;
+
+    // Warmup passes (also validates both kernels agree on answerability).
+    let mut warm_scratch = ScratchSpace::new();
+    let mut answered = 0usize;
+    for tokens in &tokenized {
+        let reference = engine.bfq_kernel_reference(tokens);
+        let optimized = engine.answer_bfq_tokens_with(tokens, &mut warm_scratch);
+        assert_eq!(reference.is_ok(), !optimized.is_empty(), "kernels disagree");
+        answered += usize::from(!optimized.is_empty());
+    }
+    eprintln!(
+        "[hotpath] {} questions, {} answerable; timing {} rounds…",
+        tokenized.len(),
+        answered,
+        rounds
+    );
+
+    // Per-question samples feed the (informational) percentiles; per-round
+    // whole-set totals feed the throughput/speedup numbers. Speedups use
+    // the **minimum** round total per mode — the classic noise-robust
+    // estimator: scheduler and frequency-scaling interference only ever add
+    // time, so the fastest sweep is the closest to the machine's truth.
+    // Modes are interleaved within each round so drift hits all equally.
+    let mut reference_us = Vec::new();
+    let mut one_shot_us = Vec::new();
+    let mut serving_us = Vec::new();
+    let mut reference_total = f64::INFINITY;
+    let mut one_shot_total = f64::INFINITY;
+    let mut serving_total = f64::INFINITY;
+    for _ in 0..rounds {
+        let round = Instant::now();
+        for tokens in &tokenized {
+            let start = Instant::now();
+            let _ = std::hint::black_box(engine.bfq_kernel_reference(tokens));
+            reference_us.push(start.elapsed().as_secs_f64() * 1e6);
+        }
+        reference_total = reference_total.min(round.elapsed().as_secs_f64());
+
+        let round = Instant::now();
+        for tokens in &tokenized {
+            // One-shot: a fresh scratch per question — scratch construction
+            // and buffer growth are inside the measurement.
+            let start = Instant::now();
+            let mut scratch = ScratchSpace::new();
+            let _ = std::hint::black_box(engine.answer_bfq_tokens_with(tokens, &mut scratch));
+            one_shot_us.push(start.elapsed().as_secs_f64() * 1e6);
+        }
+        one_shot_total = one_shot_total.min(round.elapsed().as_secs_f64());
+
+        let round = Instant::now();
+        for tokens in &tokenized {
+            // Serving: cache-cold question on the per-worker reused scratch
+            // (how every server worker and batch chunk actually runs).
+            let start = Instant::now();
+            let _ = std::hint::black_box(engine.answer_bfq_tokens_with(tokens, &mut warm_scratch));
+            serving_us.push(start.elapsed().as_secs_f64() * 1e6);
+        }
+        serving_total = serving_total.min(round.elapsed().as_secs_f64());
+    }
+
+    // Batch fan-out throughput over the whole set.
+    let requests: Vec<QaRequest> = questions.iter().map(QaRequest::new).collect();
+    let service = session.service();
+    let _ = std::hint::black_box(service.answer_batch(&requests)); // warmup
+    let start = Instant::now();
+    for _ in 0..rounds {
+        let _ = std::hint::black_box(service.answer_batch(&requests));
+    }
+    let batch_qps = (rounds * requests.len()) as f64 / start.elapsed().as_secs_f64();
+
+    let n = tokenized.len() as f64;
+    let mut reference = profile("reference_kernel", reference_us);
+    let mut one_shot = profile("optimized_one_shot", one_shot_us);
+    let mut serving = profile("optimized_serving", serving_us);
+    // Throughput from the best whole-set sweep, not the per-call mean.
+    reference.questions_per_sec = n / reference_total.max(1e-12);
+    one_shot.questions_per_sec = n / one_shot_total.max(1e-12);
+    serving.questions_per_sec = n / serving_total.max(1e-12);
+    let report = Report {
+        pr: "PR4",
+        world: format!("KBA-like ({scale:?})"),
+        questions: tokenized.len(),
+        rounds,
+        speedup_cold: reference_total / serving_total.max(1e-12),
+        speedup_one_shot: reference_total / one_shot_total.max(1e-12),
+        batch_questions_per_sec: batch_qps,
+        profiles: vec![reference, serving, one_shot],
+    };
+
+    println!(
+        "reference: p50 {:.1}µs p95 {:.1}µs ({:.0} q/s)",
+        report.profiles[0].p50_us, report.profiles[0].p95_us, report.profiles[0].questions_per_sec
+    );
+    println!(
+        "optimized serving (cache-cold, per-worker scratch): p50 {:.1}µs p95 {:.1}µs \
+         ({:.0} q/s) — {:.2}× vs reference",
+        report.profiles[1].p50_us,
+        report.profiles[1].p95_us,
+        report.profiles[1].questions_per_sec,
+        report.speedup_cold
+    );
+    println!(
+        "optimized one-shot (fresh scratch per question): p50 {:.1}µs p95 {:.1}µs \
+         ({:.0} q/s) — {:.2}× vs reference",
+        report.profiles[2].p50_us,
+        report.profiles[2].p95_us,
+        report.profiles[2].questions_per_sec,
+        report.speedup_one_shot
+    );
+    println!("batch: {batch_qps:.0} q/s");
+
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    let mut file = std::fs::File::create(&out).expect("create output file");
+    file.write_all(json.as_bytes()).expect("write report");
+    file.write_all(b"\n").ok();
+    eprintln!("[hotpath] wrote {out}");
+}

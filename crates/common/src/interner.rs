@@ -70,6 +70,26 @@ impl Interner {
             .find(|&sym| &*self.strings[sym as usize] == s)
     }
 
+    /// Look up the space-joined form of `words` without allocating a fresh
+    /// key: the words are assembled into `buf` (cleared first), which the
+    /// caller retains and reuses across lookups. This is the hot-path lookup
+    /// of the online engine's template index, where the joined form is
+    /// derived per request and must not heap-allocate in the steady state.
+    pub fn get_words<'a>(
+        &self,
+        words: impl IntoIterator<Item = &'a str>,
+        buf: &mut String,
+    ) -> Option<u32> {
+        buf.clear();
+        for w in words {
+            if !buf.is_empty() {
+                buf.push(' ');
+            }
+            buf.push_str(w);
+        }
+        self.get(buf)
+    }
+
     /// Resolve a symbol back to its string.
     ///
     /// # Panics
@@ -178,6 +198,23 @@ mod tests {
         assert_eq!(clone.get("population"), None);
         clone.rebuild_index();
         assert_eq!(clone.get("population"), Some(sym));
+    }
+
+    #[test]
+    fn get_words_joins_without_fresh_allocation() {
+        let mut interner = Interner::new();
+        let sym = interner.intern("how many people are there in $city");
+        let mut buf = String::new();
+        let words = ["how", "many", "people", "are", "there", "in", "$city"];
+        assert_eq!(
+            interner.get_words(words.iter().copied(), &mut buf),
+            Some(sym)
+        );
+        assert_eq!(buf, "how many people are there in $city");
+        // A miss leaves the assembled key in the buffer but returns None.
+        assert_eq!(interner.get_words(["nope"].iter().copied(), &mut buf), None);
+        // The buffer is reused: capacity persists, contents are replaced.
+        assert_eq!(buf, "nope");
     }
 
     #[test]

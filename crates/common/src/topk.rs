@@ -21,6 +21,9 @@ pub struct TopK<T> {
     heap: BinaryHeap<Reverse<(OrderedF64, Reverse<u64>, usize)>>,
     items: Vec<Option<T>>,
     next_seq: u64,
+    /// Reused by [`TopK::drain_sorted_into`] so repeated drains stay
+    /// allocation-free once warmed up.
+    drain_keys: Vec<(OrderedF64, u64, usize)>,
 }
 
 impl<T> TopK<T> {
@@ -35,6 +38,7 @@ impl<T> TopK<T> {
             heap: BinaryHeap::with_capacity(capacity + 1),
             items: Vec::with_capacity(capacity + 1),
             next_seq: 0,
+            drain_keys: Vec::new(),
         }
     }
 
@@ -70,6 +74,51 @@ impl<T> TopK<T> {
         } else {
             self.heap.peek().map(|Reverse((s, _, _))| s.get())
         }
+    }
+
+    /// The pruning floor: the k-th best score when the accumulator is full,
+    /// `NEG_INFINITY` otherwise. A candidate whose score cannot exceed the
+    /// floor cannot enter the top-k (equal scores lose the tie to earlier
+    /// insertions), so upstream enumeration may skip it.
+    pub fn floor(&self) -> f64 {
+        self.threshold().unwrap_or(f64::NEG_INFINITY)
+    }
+
+    /// Reset to an empty accumulator with a (possibly new) capacity, keeping
+    /// the allocated heap and item storage — the scratch-reuse path for hot
+    /// loops that rank once per request.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn reset(&mut self, capacity: usize) {
+        assert!(capacity > 0, "TopK capacity must be positive");
+        self.capacity = capacity;
+        self.heap.clear();
+        self.items.clear();
+        self.next_seq = 0;
+    }
+
+    /// Drain the retained items into `out` (cleared first) as `(score, item)`
+    /// pairs sorted by descending score, insertion order breaking ties.
+    /// Equivalent to [`TopK::into_sorted_vec`] but leaves the accumulator
+    /// empty and reusable, and never allocates beyond `out`'s growth
+    /// (`sort_unstable_by` on the unique `(score, seq)` keys is exact).
+    pub fn drain_sorted_into(&mut self, out: &mut Vec<(f64, T)>) {
+        out.clear();
+        self.drain_keys.clear();
+        for Reverse((score, Reverse(seq), slot)) in self.heap.drain() {
+            self.drain_keys.push((score, seq, slot));
+        }
+        // `(score, seq)` keys are unique (seq is), so the unstable sort is
+        // deterministic and matches `into_sorted_vec`'s stable ordering.
+        self.drain_keys
+            .sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        for &(score, _, slot) in &self.drain_keys {
+            let item = self.items[slot].take().expect("retained item present");
+            out.push((score.get(), item));
+        }
+        self.items.clear();
+        self.next_seq = 0;
     }
 
     /// Consume the accumulator, returning `(score, item)` pairs sorted by
@@ -147,5 +196,57 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_panics() {
         let _ = TopK::<i32>::new(0);
+    }
+
+    #[test]
+    fn floor_is_threshold_or_neg_infinity() {
+        let mut topk = TopK::new(2);
+        assert_eq!(topk.floor(), f64::NEG_INFINITY);
+        topk.push(0.4, "a");
+        assert_eq!(topk.floor(), f64::NEG_INFINITY);
+        topk.push(0.8, "b");
+        assert_eq!(topk.floor(), 0.4);
+        topk.push(0.6, "c");
+        assert_eq!(topk.floor(), 0.6);
+    }
+
+    #[test]
+    fn drain_sorted_matches_into_sorted_vec_and_resets() {
+        let scores = [(0.1, 1), (0.9, 2), (0.5, 3), (0.5, 4), (0.7, 5)];
+        let mut owned = TopK::new(3);
+        let mut reused = TopK::new(3);
+        for &(s, v) in &scores {
+            owned.push(s, v);
+            reused.push(s, v);
+        }
+        let mut drained = Vec::new();
+        reused.drain_sorted_into(&mut drained);
+        assert_eq!(drained, owned.into_sorted_vec());
+        // The accumulator is empty and fully reusable afterwards.
+        assert!(reused.is_empty());
+        reused.reset(2);
+        reused.push(1.0, 9);
+        reused.push(2.0, 8);
+        reused.push(3.0, 7);
+        reused.drain_sorted_into(&mut drained);
+        assert_eq!(drained, vec![(3.0, 7), (2.0, 8)]);
+    }
+
+    #[test]
+    fn reset_restores_tie_breaking_sequence() {
+        // After a reset, insertion sequence numbers restart, so tie-breaking
+        // behaves exactly like a fresh accumulator.
+        let mut reused = TopK::new(2);
+        reused.push(0.5, "old");
+        reused.reset(2);
+        reused.push(0.5, "first");
+        reused.push(0.5, "second");
+        reused.push(0.5, "third");
+        let mut out = Vec::new();
+        reused.drain_sorted_into(&mut out);
+        assert_eq!(
+            out.iter().map(|(_, n)| *n).collect::<Vec<_>>(),
+            vec!["first", "second"]
+        );
     }
 }

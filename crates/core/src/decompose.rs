@@ -24,7 +24,7 @@ use serde::{Deserialize, Serialize};
 
 use kbqa_nlp::{tokenize, GazetteerNer, TokenizedText};
 
-use crate::engine::{Answer, QaEngine};
+use crate::engine::{Answer, QaEngine, ScratchSpace};
 
 /// Questions longer than this are not indexed or decomposed (the paper:
 /// over 99% of corpus questions have < 23 words).
@@ -169,6 +169,17 @@ pub fn decompose(
     index: &PatternIndex,
     question: &str,
 ) -> Option<Decomposition> {
+    decompose_with(engine, index, question, &mut ScratchSpace::default())
+}
+
+/// [`decompose`] over a caller-owned engine scratch: the `O(|q|²)` δ-probes
+/// of the DP run the scoring kernel only, reusing one scratch throughout.
+pub fn decompose_with(
+    engine: &QaEngine<'_>,
+    index: &PatternIndex,
+    question: &str,
+    scratch: &mut ScratchSpace,
+) -> Option<Decomposition> {
     let tokens = tokenize(question);
     let n = tokens.len();
     if n == 0 || n > MAX_QUESTION_TOKENS {
@@ -200,7 +211,11 @@ pub fn decompose(
             // δ(qᵢ): primitive BFQ?
             let sub = slice_tokens(&tokens, a, b);
             let mut best = Cell {
-                prob: if engine.is_answerable(&sub) { 1.0 } else { 0.0 },
+                prob: if engine.is_answerable_with(&sub, scratch) {
+                    1.0
+                } else {
+                    0.0
+                },
                 inner: None,
             };
             // max over proper substrings q_j ⊂ q_i.
@@ -255,9 +270,19 @@ pub fn decompose(
 /// (entity/template/predicate/node) is the last hop's, with scores
 /// accumulated along the chain.
 pub fn execute(engine: &QaEngine<'_>, decomposition: &Decomposition) -> Option<Vec<Answer>> {
+    execute_with(engine, decomposition, &mut ScratchSpace::default())
+}
+
+/// [`execute`] over a caller-owned engine scratch.
+pub fn execute_with(
+    engine: &QaEngine<'_>,
+    decomposition: &Decomposition,
+    scratch: &mut ScratchSpace,
+) -> Option<Vec<Answer>> {
     let width = engine.config().chain_width.max(1);
     let mut carried: Vec<Answer> = engine
-        .answer_bfq(&decomposition.primitive)
+        .answer_bfq_explained_with(&decomposition.primitive, scratch)
+        .unwrap_or_default()
         .into_iter()
         .take(width)
         .collect();
@@ -268,7 +293,10 @@ pub fn execute(engine: &QaEngine<'_>, decomposition: &Decomposition) -> Option<V
         let mut next: Vec<Answer> = Vec::new();
         for previous in &carried {
             let question = pattern.replace("$e", &previous.value);
-            for mut a in engine.answer_bfq(&question).into_iter().take(width) {
+            let step = engine
+                .answer_bfq_explained_with(&question, scratch)
+                .unwrap_or_default();
+            for mut a in step.into_iter().take(width) {
                 a.score *= previous.score;
                 next.push(a);
             }
@@ -298,17 +326,30 @@ pub fn answer_complex(
     index: &PatternIndex,
     question: &str,
 ) -> Option<Vec<Answer>> {
-    let decomposition = decompose(engine, index, question)?;
+    answer_complex_with(engine, index, question, &mut ScratchSpace::default())
+}
+
+/// [`answer_complex`] over a caller-owned engine scratch — the engine's
+/// internal fallback path.
+pub fn answer_complex_with(
+    engine: &QaEngine<'_>,
+    index: &PatternIndex,
+    question: &str,
+    scratch: &mut ScratchSpace,
+) -> Option<Vec<Answer>> {
+    let decomposition = decompose_with(engine, index, question, scratch)?;
     if decomposition.patterns.is_empty() {
         // Primitive — answer_bfq already failed upstream, but the DP may
         // have matched a sub-range; re-run on the primitive.
-        let answers = engine.answer_bfq(&decomposition.primitive);
+        let answers = engine
+            .answer_bfq_explained_with(&decomposition.primitive, scratch)
+            .unwrap_or_default();
         if answers.is_empty() {
             return None;
         }
         return Some(answers);
     }
-    execute(engine, &decomposition)
+    execute_with(engine, &decomposition, scratch)
 }
 
 /// The pattern token list for replacing `[c, d)` inside `[a, b)`.

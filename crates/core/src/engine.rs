@@ -22,14 +22,17 @@ use kbqa_common::hash::FxHashMap;
 use kbqa_common::topk::TopK;
 use serde::{Deserialize, Serialize};
 
-use kbqa_nlp::{tokenize, GazetteerNer, Mention, TokenizedText};
+use kbqa_nlp::{tokenize, GazetteerNer, Mention, MentionBuffer, TokenizedText};
+use kbqa_rdf::path::PathWorkspace;
 use kbqa_rdf::{NodeId, TripleStore};
-use kbqa_taxonomy::Conceptualizer;
+use kbqa_taxonomy::{ConceptId, Conceptualizer};
 
+use crate::catalog::PredId;
 use crate::decompose::PatternIndex;
 use crate::learner::LearnedModel;
 use crate::model;
 use crate::service::{QaRequest, QaResponse, Refusal};
+use crate::template::{SlotTable, TemplateId};
 
 /// Online engine parameters.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -47,6 +50,21 @@ pub struct EngineConfig {
     pub decompose: bool,
     /// Values carried between decomposition steps.
     pub chain_width: usize,
+    /// Opt-in top-k floor pruning: skip `(template, predicate)` rows whose
+    /// entire remaining probability mass — plus all mass already pruned —
+    /// cannot close the gap between the current k-th best partial sum and
+    /// the best sum outside the top-k (the runner-up).
+    ///
+    /// **Off by default**, and a *heuristic*: the cumulative gap bound
+    /// covers unseen values and the current runner-up, but a later retained
+    /// row can still reshuffle partial sums in ways no online bound
+    /// forecloses. On the generated benchmark suite the ranked value set is
+    /// unchanged (`tests/kernel_equivalence.rs` pins it); reported scores
+    /// of retained answers may omit pruned tail mass either way, so
+    /// deployments that cache or diff responses byte-for-byte must leave
+    /// this off.
+    #[serde(default)]
+    pub floor_prune: bool,
 }
 
 impl Default for EngineConfig {
@@ -57,6 +75,7 @@ impl Default for EngineConfig {
             max_concepts: 4,
             decompose: true,
             chain_width: 3,
+            floor_prune: false,
         }
     }
 }
@@ -119,6 +138,121 @@ pub struct ChoiceStats {
     pub predicates_per_template: f64,
     /// Values per (entity, predicate), averaged (`P(v|e,p)` choices).
     pub values_per_pair: f64,
+}
+
+/// Best single contribution seen for a value, with the `(entity, template,
+/// predicate)` walk that produced it — the provenance reported on answers.
+#[derive(Clone, Copy, Debug)]
+struct BestProvenance {
+    score: f64,
+    entity: NodeId,
+    template: TemplateId,
+    pred: PredId,
+}
+
+/// Reusable working memory for one engine call-site.
+///
+/// Every transient the Eq (7) enumeration needs — mention buffers, concept
+/// and template distributions, score/provenance maps, the value arena, the
+/// top-k accumulators — lives here and is **cleared, not reallocated**
+/// between requests. A warmed-up scratch makes [`QaEngine::score_bfq`]
+/// allocation-free, which is what keeps the online procedure's cost a
+/// function of `|P|` (paper Sec 3.3) instead of the allocator.
+///
+/// Scratches are plain owned values: create one per worker thread (or per
+/// batch chunk) and thread it through `*_with` entry points. Contents never
+/// leak across requests — every kernel run starts by clearing what it uses —
+/// and the concept→slot table revalidates against the model catalog's
+/// generation, so reusing a scratch against a different engine or a freshly
+/// swapped model is safe.
+#[derive(Debug)]
+pub struct ScratchSpace {
+    /// NER output: flat mention spans + candidate-node arena.
+    mentions: MentionBuffer,
+    /// Widest-mention selection: node → span index.
+    best_mention: FxHashMap<NodeId, u32>,
+    /// Distinct `(entity, widest span)` groundings, sorted by node.
+    groundings: Vec<(NodeId, u32)>,
+    /// Concept distribution of the current mention.
+    concepts: Vec<(ConceptId, f64)>,
+    /// Matched `(template, P(t|e,q))` pairs of the current mention.
+    templates: Vec<(TemplateId, f64)>,
+    /// Memoized concept → slot symbol table (validated per catalog
+    /// generation).
+    slot_table: SlotTable,
+    /// Question-form assembly buffer.
+    form_buf: String,
+    /// Accumulated `P(v|q)` mass per value.
+    scores: FxHashMap<NodeId, f64>,
+    /// Best-contribution provenance per value.
+    provenance: FxHashMap<NodeId, BestProvenance>,
+    /// Values in first-touch order — the deterministic ranking feed.
+    order: Vec<NodeId>,
+    /// `(entity, predicate) → range into `values``: one traversal per pair
+    /// per question, replayed when paraphrase templates repeat a predicate.
+    value_cache: FxHashMap<(NodeId, PredId), (u32, u32)>,
+    /// Value arena backing `value_cache` ranges.
+    values: Vec<NodeId>,
+    /// Path-traversal frontier state.
+    path_ws: PathWorkspace,
+    /// Final ranking accumulator.
+    topk: TopK<NodeId>,
+    /// Ranked `(score, value)` output staging.
+    ranked: Vec<(f64, NodeId)>,
+    /// Scratch accumulator for pruning-slack refreshes (top k+1: the k-th
+    /// best plus the runner-up).
+    floor_topk: TopK<NodeId>,
+    /// Drain staging for `floor_topk`.
+    floor_buf: Vec<(f64, NodeId)>,
+    /// Cumulative count of floor-pruned rows/suffixes (telemetry: lets
+    /// tests and benches confirm the pruning path actually exercises).
+    pruned: u64,
+}
+
+impl Default for ScratchSpace {
+    fn default() -> Self {
+        // Pre-size the maps and vectors for a typical question (a few
+        // groundings, a handful of templates, tens of values): one up-front
+        // allocation each instead of grow-and-rehash churn, which is what a
+        // one-shot caller pays. Reused scratches amortize this to zero.
+        fn map16<K, V>() -> FxHashMap<K, V> {
+            FxHashMap::with_capacity_and_hasher(16, Default::default())
+        }
+        Self {
+            mentions: MentionBuffer::new(),
+            best_mention: map16(),
+            groundings: Vec::with_capacity(16),
+            concepts: Vec::with_capacity(8),
+            templates: Vec::with_capacity(8),
+            slot_table: SlotTable::new(),
+            form_buf: String::with_capacity(64),
+            scores: map16(),
+            provenance: map16(),
+            order: Vec::with_capacity(16),
+            value_cache: map16(),
+            values: Vec::with_capacity(32),
+            path_ws: PathWorkspace::new(),
+            topk: TopK::new(1),
+            ranked: Vec::with_capacity(8),
+            floor_topk: TopK::new(1),
+            floor_buf: Vec::new(),
+            pruned: 0,
+        }
+    }
+}
+
+impl ScratchSpace {
+    /// A fresh scratch. Buffers start empty and grow to their steady-state
+    /// capacity over the first few requests.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// How many θ-rows (or row suffixes) the top-k floor has pruned over
+    /// this scratch's lifetime. Diagnostic only.
+    pub fn pruned_events(&self) -> u64 {
+        self.pruned
+    }
 }
 
 /// The KBQA online engine (the inference kernel behind
@@ -230,19 +364,315 @@ impl<'a> QaEngine<'a> {
 
     /// BFQ answering with the refusal cause on the error path.
     pub fn answer_bfq_explained(&self, question: &str) -> Result<Vec<Answer>, Refusal> {
+        self.answer_bfq_explained_with(question, &mut ScratchSpace::default())
+    }
+
+    /// [`QaEngine::answer_bfq_explained`] over a caller-owned scratch —
+    /// the steady-state serving path.
+    pub fn answer_bfq_explained_with(
+        &self,
+        question: &str,
+        scratch: &mut ScratchSpace,
+    ) -> Result<Vec<Answer>, Refusal> {
         let tokens = tokenize(question);
-        self.bfq_kernel(&tokens)
+        self.bfq_kernel(&tokens, scratch)
     }
 
     /// BFQ answering over pre-tokenized text (the decomposition DP calls
     /// this on substrings).
     pub fn answer_bfq_tokens(&self, tokens: &TokenizedText) -> Vec<Answer> {
-        self.bfq_kernel(tokens).unwrap_or_default()
+        self.answer_bfq_tokens_with(tokens, &mut ScratchSpace::default())
     }
 
-    /// The Eq (7) enumeration with refusal tracking: each stage that comes
-    /// up empty names itself, in pipeline order.
-    fn bfq_kernel(&self, tokens: &TokenizedText) -> Result<Vec<Answer>, Refusal> {
+    /// [`QaEngine::answer_bfq_tokens`] over a caller-owned scratch.
+    pub fn answer_bfq_tokens_with(
+        &self,
+        tokens: &TokenizedText,
+        scratch: &mut ScratchSpace,
+    ) -> Vec<Answer> {
+        self.bfq_kernel(tokens, scratch).unwrap_or_default()
+    }
+
+    /// The optimized Eq (7) enumeration: scoring plus answer
+    /// materialization. Output-equivalent to
+    /// [`QaEngine::bfq_kernel_reference`] (the equivalence suite pins this
+    /// byte-for-byte over the generated benchmark).
+    fn bfq_kernel(
+        &self,
+        tokens: &TokenizedText,
+        scratch: &mut ScratchSpace,
+    ) -> Result<Vec<Answer>, Refusal> {
+        self.score_bfq(tokens, scratch)?;
+        Ok(self.materialize_answers(scratch))
+    }
+
+    /// The scoring phase of the optimized kernel: entity grounding, template
+    /// lookup, predicate scan and value accumulation, ending with the ranked
+    /// `(score, value)` list staged inside `scratch`. Returns the number of
+    /// ranked answers.
+    ///
+    /// This is the engine's **zero-allocation path**: after warmup (buffers
+    /// at their steady-state capacity, slot table populated) a call performs
+    /// no heap allocation — the property the allocation-counting test pins.
+    /// Split from the materializing kernel so benchmarks and tests can
+    /// measure scoring without the cost of building owned [`Answer`]s.
+    ///
+    /// Enumeration order is identical to the reference kernel; on top of it,
+    /// two exact savings and one opt-in pruning rule:
+    ///
+    /// * **Precompiled template lookup** — the question form resolves once
+    ///   per mention and each concept is a `(form, slot)` map probe
+    ///   ([`crate::template::TemplateCatalog`]); no template string exists.
+    /// * **Value-set memoization** — `V(e, p⁺)` is enumerated once per
+    ///   `(entity, predicate)` per question and replayed from an arena when
+    ///   paraphrase templates repeat the predicate. Same values, same order.
+    /// * **Top-k floor pruning** ([`EngineConfig::floor_prune`], off by
+    ///   default) — a template row (or row suffix) is skipped when the mass
+    ///   it could contribute, **plus every previously pruned bound**, cannot
+    ///   close the current gap between the k-th best partial sum and the
+    ///   runner-up outside the top-k: neither an unseen value nor the
+    ///   runner-up, topped up by all pruned mass, could overtake the k-th
+    ///   (ties lose to earlier insertions). The gap only exists once ≥
+    ///   `top_k` values scored, so refusal causes are never affected. A
+    ///   heuristic, not a guarantee — see [`EngineConfig::floor_prune`].
+    pub fn score_bfq(
+        &self,
+        tokens: &TokenizedText,
+        scratch: &mut ScratchSpace,
+    ) -> Result<usize, Refusal> {
+        if tokens.is_empty() {
+            return Err(Refusal::NoEntityGrounded);
+        }
+        self.groundings_into(tokens, scratch);
+        if scratch.groundings.is_empty() {
+            return Err(Refusal::NoEntityGrounded);
+        }
+        let p_entity = model::entity_probability(scratch.groundings.len());
+        let top_k = self.config.top_k;
+
+        let ScratchSpace {
+            mentions,
+            groundings,
+            concepts,
+            templates,
+            slot_table,
+            form_buf,
+            scores,
+            provenance,
+            order,
+            value_cache,
+            values,
+            path_ws,
+            topk,
+            ranked,
+            floor_topk,
+            floor_buf,
+            pruned,
+            ..
+        } = scratch;
+        scores.clear();
+        provenance.clear();
+        order.clear();
+        value_cache.clear();
+        values.clear();
+
+        let floor_prune = self.config.floor_prune;
+        // Prunable slack: the current k-th best partial sum minus the best
+        // partial sum *outside* the current top-k (the runner-up). A prune
+        // is only taken while `lost + bound ≤ gap`, where `lost`
+        // accumulates every previously skipped bound — so neither an unseen
+        // value absorbing all pruned mass nor the runner-up topped up by it
+        // could overtake the current k-th. (Heuristic, not a proof: later
+        // retained rows can still reshuffle sums; the benchmark suite pins
+        // that top-k membership survives in practice.)
+        let mut gap = f64::NEG_INFINITY;
+        let mut lost = 0.0;
+        // Did any contribution land since the last gap refresh?
+        let mut touched = false;
+        // Contributing rows since the last refresh: the gap is refreshed on
+        // a stride so its O(|values| · log k) rebuild doesn't swamp the
+        // savings on wide enumerations. A stale gap only ever under-prunes.
+        let mut rows_since_refresh = 0usize;
+        const GAP_REFRESH_STRIDE: usize = 4;
+        let mut any_template = false;
+        let mut any_predicate = false;
+
+        for &(entity, span_idx) in groundings.iter() {
+            let span = mentions.spans()[span_idx as usize];
+            model::template_ids_for_mention(
+                tokens,
+                span.start,
+                span.end,
+                entity,
+                self.conceptualizer,
+                self.config.max_concepts,
+                &self.model.templates,
+                slot_table,
+                concepts,
+                form_buf,
+                templates,
+            );
+            any_template |= !templates.is_empty();
+            for &(tid, p_template) in templates.iter() {
+                let row = self.model.theta.predicates_for(tid);
+                // Mirror the reference exactly: a row participates iff its
+                // first entry clears min_theta (rows sorted descending).
+                let row_live = row
+                    .first()
+                    .map(|&(_, theta)| theta >= self.config.min_theta)
+                    .unwrap_or(false);
+                if !row_live {
+                    continue;
+                }
+                any_predicate = true;
+                // `remaining` (the θ ≥ min_theta prefix mass) is only
+                // consumed by pruning; exact mode skips the extra row pass.
+                let mut remaining = 0.0;
+                if floor_prune {
+                    for &(_, theta) in row {
+                        if theta < self.config.min_theta {
+                            break;
+                        }
+                        remaining += theta;
+                    }
+                    if lost + p_entity * p_template * remaining <= gap {
+                        lost += p_entity * p_template * remaining;
+                        *pruned += 1;
+                        continue; // whole row below the slack
+                    }
+                }
+                for &(pred, theta) in row {
+                    if theta < self.config.min_theta {
+                        break;
+                    }
+                    if floor_prune {
+                        if lost + p_entity * p_template * remaining <= gap {
+                            lost += p_entity * p_template * remaining;
+                            *pruned += 1;
+                            break; // row suffix below the slack
+                        }
+                        remaining -= theta;
+                    }
+                    let range = match value_cache.get(&(entity, pred)) {
+                        Some(&r) => r,
+                        None => {
+                            let start = values.len() as u32;
+                            let path = self.model.predicates.resolve(pred);
+                            kbqa_rdf::path::objects_via_path_into(
+                                self.store, entity, path, path_ws, values,
+                            );
+                            let end = values.len() as u32;
+                            value_cache.insert((entity, pred), (start, end));
+                            (start, end)
+                        }
+                    };
+                    if range.0 == range.1 {
+                        continue;
+                    }
+                    let p_value = 1.0 / (range.1 - range.0) as f64;
+                    touched = true;
+                    for vi in range.0..range.1 {
+                        let value = values[vi as usize];
+                        let contribution = p_entity * p_template * theta * p_value;
+                        let total = scores.entry(value).or_insert_with(|| {
+                            order.push(value);
+                            0.0
+                        });
+                        *total += contribution;
+                        let better = provenance
+                            .get(&value)
+                            .map(|b| contribution > b.score)
+                            .unwrap_or(true);
+                        if better {
+                            provenance.insert(
+                                value,
+                                BestProvenance {
+                                    score: contribution,
+                                    entity,
+                                    template: tid,
+                                    pred,
+                                },
+                            );
+                        }
+                    }
+                }
+                // Refresh the prunable slack from the current partial sums —
+                // only when contributions landed since the last refresh
+                // (pruned rows cannot move it), and on a stride once a gap
+                // exists. The k-th best and the runner-up both come from one
+                // top-(k+1) pass: [`TopK::floor`] of the (k+1)-capacity
+                // accumulator *is* the runner-up when more than k values
+                // exist; with exactly k values only unseen values compete,
+                // and any sum bounds them, so the slack is the k-th sum.
+                if floor_prune && touched && order.len() >= top_k {
+                    rows_since_refresh += 1;
+                    if gap == f64::NEG_INFINITY || rows_since_refresh >= GAP_REFRESH_STRIDE {
+                        floor_topk.reset(top_k + 1);
+                        for &v in order.iter() {
+                            floor_topk.push(scores[&v], v);
+                        }
+                        let runner_up = floor_topk.floor().max(0.0);
+                        floor_topk.drain_sorted_into(floor_buf);
+                        let kth = floor_buf[top_k - 1].0;
+                        gap = kth - runner_up;
+                        touched = false;
+                        rows_since_refresh = 0;
+                    }
+                }
+            }
+        }
+
+        if scores.is_empty() {
+            return Err(if !any_template {
+                Refusal::NoTemplateMatched
+            } else if !any_predicate {
+                Refusal::NoPredicateAboveTheta
+            } else {
+                Refusal::EmptyValueSet
+            });
+        }
+
+        topk.reset(top_k);
+        for &value in order.iter() {
+            topk.push(scores[&value], value);
+        }
+        topk.drain_sorted_into(ranked);
+        Ok(ranked.len())
+    }
+
+    /// Materialize owned [`Answer`]s from the ranked list staged by
+    /// [`QaEngine::score_bfq`]. The only allocating stage of the kernel —
+    /// answers are owned output by contract.
+    fn materialize_answers(&self, scratch: &ScratchSpace) -> Vec<Answer> {
+        scratch
+            .ranked
+            .iter()
+            .map(|&(score, node)| {
+                let best = &scratch.provenance[&node];
+                Answer {
+                    value: self.store.surface_ref(node).into_owned(),
+                    node: Some(node),
+                    score,
+                    entity: self.store.surface_ref(best.entity).into_owned(),
+                    template: self.model.templates.resolve(best.template).to_owned(),
+                    predicate: self.model.predicates.render(best.pred, self.store),
+                }
+            })
+            .collect()
+    }
+
+    /// The retained **reference enumeration**: the naive Eq (7) kernel the
+    /// optimized path is validated against (`tests/kernel_equivalence.rs`
+    /// asserts byte-identical answers, scores, provenance and refusal causes
+    /// over the generated benchmark suite). It allocates freely — template
+    /// strings per concept, fresh maps per call, cloned mentions — and
+    /// consults no cache; keep it boring.
+    ///
+    /// Both kernels rank equal-scored values by **first-touch enumeration
+    /// order** (entity, then template rank, then predicate rank), the
+    /// deterministic order the engine has always promised via
+    /// [`TopK`]'s insertion-order tie-breaking.
+    pub fn bfq_kernel_reference(&self, tokens: &TokenizedText) -> Result<Vec<Answer>, Refusal> {
         if tokens.is_empty() {
             return Err(Refusal::NoEntityGrounded);
         }
@@ -252,14 +682,9 @@ impl<'a> QaEngine<'a> {
         }
         let p_entity = model::entity_probability(groundings.len());
 
-        struct Best {
-            score: f64,
-            entity: NodeId,
-            template: crate::template::TemplateId,
-            pred: crate::catalog::PredId,
-        }
         let mut scores: FxHashMap<NodeId, f64> = FxHashMap::default();
-        let mut provenance: FxHashMap<NodeId, Best> = FxHashMap::default();
+        let mut provenance: FxHashMap<NodeId, BestProvenance> = FxHashMap::default();
+        let mut order: Vec<NodeId> = Vec::new();
         let mut any_template = false;
         let mut any_predicate = false;
 
@@ -284,7 +709,10 @@ impl<'a> QaEngine<'a> {
                     let path = self.model.predicates.resolve(pred);
                     for (value, p_value) in model::value_distribution(self.store, *entity, path) {
                         let contribution = p_entity * p_template * theta * p_value;
-                        let total = scores.entry(value).or_insert(0.0);
+                        let total = scores.entry(value).or_insert_with(|| {
+                            order.push(value);
+                            0.0
+                        });
                         *total += contribution;
                         let better = provenance
                             .get(&value)
@@ -293,7 +721,7 @@ impl<'a> QaEngine<'a> {
                         if better {
                             provenance.insert(
                                 value,
-                                Best {
+                                BestProvenance {
                                     score: contribution,
                                     entity: *entity,
                                     template: tid,
@@ -317,8 +745,8 @@ impl<'a> QaEngine<'a> {
         }
 
         let mut top = TopK::new(self.config.top_k);
-        for (value, score) in scores {
-            top.push(score, value);
+        for &value in &order {
+            top.push(scores[&value], value);
         }
         Ok(top
             .into_sorted_vec()
@@ -341,15 +769,41 @@ impl<'a> QaEngine<'a> {
     /// per-request configuration overrides. This is the full online
     /// procedure the service exposes.
     pub fn answer_request(&self, request: &QaRequest) -> QaResponse {
+        self.answer_request_with(request, &mut ScratchSpace::default())
+    }
+
+    /// [`QaEngine::answer_request`] over a caller-owned scratch — what the
+    /// service's per-worker serving loop calls. When the request carries no
+    /// overrides (the common case), the engine runs as-is instead of
+    /// building a reconfigured view.
+    pub fn answer_request_with(
+        &self,
+        request: &QaRequest,
+        scratch: &mut ScratchSpace,
+    ) -> QaResponse {
         let config = request.effective_config(&self.config);
-        let engine = self.reconfigured(config);
+        if config == self.config {
+            self.answer_configured(request, scratch)
+        } else {
+            self.reconfigured(config)
+                .answer_configured(request, scratch)
+        }
+    }
+
+    /// The request pipeline under this engine's own configuration.
+    fn answer_configured(&self, request: &QaRequest, scratch: &mut ScratchSpace) -> QaResponse {
         let tokens = tokenize(&request.question);
-        let mut response = match engine.bfq_kernel(&tokens) {
+        let mut response = match self.bfq_kernel(&tokens, scratch) {
             Ok(answers) => QaResponse::from_answers(answers),
             Err(refusal) => {
-                let decomposed = if engine.config.decompose {
-                    engine.pattern_index().and_then(|index| {
-                        crate::decompose::answer_complex(&engine, index, &request.question)
+                let decomposed = if self.config.decompose {
+                    self.pattern_index().and_then(|index| {
+                        crate::decompose::answer_complex_with(
+                            self,
+                            index,
+                            &request.question,
+                            scratch,
+                        )
                     })
                 } else {
                     None
@@ -358,7 +812,7 @@ impl<'a> QaEngine<'a> {
                     Some(mut answers) if !answers.is_empty() => {
                         // The chain executor carries up to chain_width
                         // candidates; the response contract is top_k.
-                        answers.truncate(engine.config.top_k);
+                        answers.truncate(self.config.top_k);
                         QaResponse::from_answers(answers)
                     }
                     // Keep the direct-path cause: it names the first stage
@@ -368,7 +822,7 @@ impl<'a> QaEngine<'a> {
             }
         };
         if request.explain {
-            response.stats = Some(engine.question_statistics(&request.question));
+            response.stats = Some(self.question_statistics(&request.question));
         }
         response
     }
@@ -380,10 +834,19 @@ impl<'a> QaEngine<'a> {
 
     /// Can this text be answered as a primitive BFQ? (The δ of Eq 28.)
     pub fn is_answerable(&self, tokens: &TokenizedText) -> bool {
-        !self.answer_bfq_tokens(tokens).is_empty()
+        self.is_answerable_with(tokens, &mut ScratchSpace::default())
     }
 
-    /// Distinct `(entity, widest mention)` groundings of a question.
+    /// [`QaEngine::is_answerable`] over a caller-owned scratch: runs only
+    /// the scoring phase — the decomposition DP asks this for `O(|q|²)`
+    /// substrings, none of which need materialized answers.
+    pub fn is_answerable_with(&self, tokens: &TokenizedText, scratch: &mut ScratchSpace) -> bool {
+        self.score_bfq(tokens, scratch).is_ok()
+    }
+
+    /// Distinct `(entity, widest mention)` groundings of a question — the
+    /// owned variant backing [`QaEngine::bfq_kernel_reference`] and the
+    /// Table 6 statistics.
     fn groundings(&self, tokens: &TokenizedText) -> Vec<(NodeId, Mention)> {
         let mut best: FxHashMap<NodeId, Mention> = FxHashMap::default();
         for m in self.ner.find_all_mentions(tokens) {
@@ -400,6 +863,34 @@ impl<'a> QaEngine<'a> {
         let mut out: Vec<(NodeId, Mention)> = best.into_iter().collect();
         out.sort_unstable_by_key(|(n, _)| *n);
         out
+    }
+
+    /// [`QaEngine::groundings`] into the scratch: identical selection
+    /// (widest mention per node, first-seen wins ties, sorted by node) with
+    /// mentions kept as **indices into the NER buffer** instead of clones.
+    fn groundings_into(&self, tokens: &TokenizedText, scratch: &mut ScratchSpace) {
+        let ScratchSpace {
+            mentions,
+            best_mention,
+            groundings,
+            ..
+        } = scratch;
+        self.ner.find_all_mentions_into(tokens, mentions);
+        best_mention.clear();
+        for (idx, span) in mentions.spans().iter().enumerate() {
+            for &node in mentions.nodes(span) {
+                let keep = match best_mention.get(&node) {
+                    Some(&prev) => span.len() > mentions.spans()[prev as usize].len(),
+                    None => true,
+                };
+                if keep {
+                    best_mention.insert(node, idx as u32);
+                }
+            }
+        }
+        groundings.clear();
+        groundings.extend(best_mention.iter().map(|(&n, &i)| (n, i)));
+        groundings.sort_unstable_by_key(|&(n, _)| n);
     }
 
     /// Table 6 statistics for one question: how many choices each random

@@ -290,6 +290,25 @@ mod tests {
         panic!("no spouse template was learned");
     }
 
+    /// The learner's template catalog carries the precompiled question-form
+    /// index the online engine depends on: every learned template must be
+    /// reachable through `(form, slot)` lookup, not just by string.
+    #[test]
+    fn learned_catalog_serves_form_lookups() {
+        let (_world, model) = learn_tiny();
+        let template =
+            crate::template::Template::from_canonical("how many people are there in $city");
+        let tid = model.templates.get(&template).expect("template learned");
+        let q = kbqa_nlp::tokenize("how many people are there in Honolulu");
+        let mut buf = String::new();
+        let form = model
+            .templates
+            .form_symbol(&q, 6, 7, &mut buf)
+            .expect("question form indexed at learning time");
+        let slot = model.templates.slot_symbol("$city").expect("slot indexed");
+        assert_eq!(model.templates.template_for(form, slot), Some(tid));
+    }
+
     #[test]
     fn templates_by_support_is_sorted() {
         let (_world, model) = learn_tiny();

@@ -58,7 +58,7 @@ pub mod variants;
 
 pub use catalog::{PredId, PredicateCatalog};
 pub use em::{EmConfig, EmStats, Theta};
-pub use engine::{Answer, ChoiceStats, EngineConfig, QaEngine};
+pub use engine::{Answer, ChoiceStats, EngineConfig, QaEngine, ScratchSpace};
 pub use expansion::{ExpansionConfig, ExpansionResult};
 pub use extraction::{ExtractionConfig, Observation};
 pub use learner::{LearnedModel, Learner, LearnerConfig};
@@ -66,5 +66,5 @@ pub use persist::ServingArtifacts;
 pub use service::{
     KbqaService, ModelHandle, QaRequest, QaResponse, QaSystem, Refusal, ServiceSnapshot,
 };
-pub use template::{Template, TemplateCatalog, TemplateId};
+pub use template::{SlotTable, Template, TemplateCatalog, TemplateId};
 pub use variants::{VariantQa, VariantQuestion};

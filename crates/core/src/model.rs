@@ -16,9 +16,9 @@
 
 use kbqa_nlp::{Mention, TokenizedText};
 use kbqa_rdf::{ExpandedPredicate, NodeId, TripleStore};
-use kbqa_taxonomy::Conceptualizer;
+use kbqa_taxonomy::{ConceptId, Conceptualizer};
 
-use crate::template::Template;
+use crate::template::{SlotTable, Template, TemplateCatalog, TemplateId};
 
 /// Derive the template distribution `P(t|e,q)` for a grounded mention:
 /// one template per candidate concept, weighted by `P(c|e, context)`.
@@ -51,6 +51,55 @@ pub fn templates_for_mention(
             )
         })
         .collect()
+}
+
+/// The hot-path variant of [`templates_for_mention`]: the same distribution,
+/// resolved straight to [`TemplateId`]s through the catalog's precompiled
+/// `(form, slot)` index — no template string is ever formatted or hashed.
+///
+/// Semantics match the naive pipeline exactly: a `(template, probability)`
+/// pair appears in `out` **iff** deriving the template string for that
+/// concept and looking it up in `catalog` would succeed, in the same
+/// (descending-probability) order. Concepts whose slot occurs in no template
+/// are skipped by a cached table probe, and when the question form itself is
+/// unknown the conceptualizer is not even consulted — the result is empty
+/// either way.
+///
+/// All buffers (`slots`, `concepts`, `form_buf`, `out`) are caller-owned and
+/// reused; the steady state performs no heap allocation.
+#[allow(clippy::too_many_arguments)]
+pub fn template_ids_for_mention(
+    question: &TokenizedText,
+    mention_start: usize,
+    mention_end: usize,
+    entity: NodeId,
+    conceptualizer: &Conceptualizer,
+    max_concepts: usize,
+    catalog: &TemplateCatalog,
+    slots: &mut SlotTable,
+    concepts: &mut Vec<(ConceptId, f64)>,
+    form_buf: &mut String,
+    out: &mut Vec<(TemplateId, f64)>,
+) {
+    out.clear();
+    let Some(form) = catalog.form_symbol(question, mention_start, mention_end, form_buf) else {
+        return;
+    };
+    let context = question
+        .tokens
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i < mention_start || *i >= mention_end)
+        .map(|(_, t)| t.text.as_str());
+    conceptualizer.conceptualize_into(entity, context, concepts);
+    for &(concept, prob) in concepts.iter().take(max_concepts) {
+        let Some(slot) = slots.slot_for(catalog, conceptualizer.network(), concept) else {
+            continue;
+        };
+        if let Some(tid) = catalog.template_for(form, slot) {
+            out.push((tid, prob));
+        }
+    }
 }
 
 /// `P(v|e,p)` by live path traversal (Eq 6 / Sec 6.1): `1/|V(e,p)|` when
@@ -146,6 +195,63 @@ mod tests {
         };
         let templates = templates_for_mention(&q, &mention, honolulu, &conceptualizer, 1);
         assert_eq!(templates.len(), 1);
+    }
+
+    #[test]
+    fn template_ids_match_string_derivation() {
+        let (_store, conceptualizer, honolulu) = setup();
+        let mut catalog = TemplateCatalog::new();
+        let q = tokenize("what is the population of Honolulu");
+        let mention = Mention {
+            start: 5,
+            end: 6,
+            nodes: vec![honolulu],
+        };
+        // Index only the $city reading; $location must be skipped exactly as
+        // a failed string lookup would skip it.
+        let city_id = catalog.intern(&Template::derive(&q, 5, 6, "city"));
+
+        let mut slots = SlotTable::new();
+        let mut concepts = Vec::new();
+        let mut form_buf = String::new();
+        let mut out = Vec::new();
+        for max_concepts in [4usize, 1] {
+            template_ids_for_mention(
+                &q,
+                5,
+                6,
+                honolulu,
+                &conceptualizer,
+                max_concepts,
+                &catalog,
+                &mut slots,
+                &mut concepts,
+                &mut form_buf,
+                &mut out,
+            );
+            let expected: Vec<(TemplateId, f64)> =
+                templates_for_mention(&q, &mention, honolulu, &conceptualizer, max_concepts)
+                    .into_iter()
+                    .filter_map(|(t, p)| catalog.get(&t).map(|id| (id, p)))
+                    .collect();
+            assert_eq!(out, expected);
+            assert_eq!(out, vec![(city_id, expected[0].1)]);
+        }
+        // Unknown question form: empty without consulting the taxonomy.
+        template_ids_for_mention(
+            &tokenize("please enumerate Honolulu"),
+            2,
+            3,
+            honolulu,
+            &conceptualizer,
+            4,
+            &catalog,
+            &mut slots,
+            &mut concepts,
+            &mut form_buf,
+            &mut out,
+        );
+        assert!(out.is_empty());
     }
 
     #[test]

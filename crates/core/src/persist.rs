@@ -235,6 +235,27 @@ mod tests {
         // Derived indexes were rebuilt: template lookup works.
         let t = Template::from_canonical("when was $person born");
         assert_eq!(model.templates.get(&t), restored.templates.get(&t));
+        // …including the precompiled question-form index the optimized
+        // kernel uses, which is serde-skipped and rebuilt on load.
+        if let Some(tid) = restored.templates.get(&t) {
+            let q = kbqa_nlp::tokenize("when was Somebody born");
+            let mut buf = String::new();
+            let form = restored
+                .templates
+                .form_symbol(&q, 2, 3, &mut buf)
+                .expect("form index rebuilt on load");
+            let slot = restored
+                .templates
+                .slot_symbol("$person")
+                .expect("slot index rebuilt on load");
+            assert_eq!(restored.templates.template_for(form, slot), Some(tid));
+        }
+        // Loading minted a fresh catalog generation — caches layered on the
+        // pre-save catalog can never be served against the restored one.
+        assert_ne!(
+            model.templates.generation(),
+            restored.templates.generation()
+        );
     }
 
     #[test]

@@ -92,8 +92,22 @@ use kbqa_rdf::TripleStore;
 use kbqa_taxonomy::Conceptualizer;
 
 use crate::decompose::{Decomposition, PatternIndex};
-use crate::engine::{Answer, ChoiceStats, EngineConfig, QaEngine};
+use crate::engine::{Answer, ChoiceStats, EngineConfig, QaEngine, ScratchSpace};
 use crate::learner::LearnedModel;
+
+thread_local! {
+    /// Per-thread engine scratch: a server worker (or batch worker) reuses
+    /// one working set across every request it serves, which is what makes
+    /// the kernel's steady state allocation-free. Scratch contents never
+    /// leak across requests or model swaps (see [`ScratchSpace`]).
+    static ENGINE_SCRATCH: std::cell::RefCell<ScratchSpace> =
+        std::cell::RefCell::new(ScratchSpace::default());
+}
+
+/// Run `f` with this thread's reusable engine scratch.
+fn with_engine_scratch<R>(f: impl FnOnce(&mut ScratchSpace) -> R) -> R {
+    ENGINE_SCRATCH.with(|scratch| f(&mut scratch.borrow_mut()))
+}
 
 /// A hot-swappable model slot, shared by every clone of a [`KbqaService`].
 ///
@@ -311,13 +325,14 @@ impl QaRequest {
     pub fn cache_key(&self, base: &EngineConfig) -> String {
         let cfg = self.effective_config(base);
         format!(
-            "{}\u{1f}{}\u{1f}{:?}\u{1f}{}\u{1f}{}\u{1f}{}\u{1f}{}",
+            "{}\u{1f}{}\u{1f}{:?}\u{1f}{}\u{1f}{}\u{1f}{}\u{1f}{}\u{1f}{}",
             self.normalized_question(),
             cfg.top_k,
             cfg.min_theta,
             cfg.max_concepts,
             cfg.decompose,
             cfg.chain_width,
+            cfg.floor_prune,
             self.explain,
         )
     }
@@ -517,10 +532,13 @@ impl ServiceSnapshot {
     }
 
     /// Answer one request under this snapshot's model, stamping the epoch.
+    /// Runs on the calling thread's reusable [`ScratchSpace`].
     pub fn answer(&self, request: &QaRequest) -> QaResponse {
-        let mut response = self.engine().answer_request(request);
-        response.model_epoch = self.model_epoch;
-        response
+        with_engine_scratch(|scratch| {
+            let mut response = self.engine().answer_request_with(request, scratch);
+            response.model_epoch = self.model_epoch;
+            response
+        })
     }
 
     /// Answer a batch of requests under this snapshot's model, fanning out
@@ -538,8 +556,14 @@ impl ServiceSnapshot {
             .min(requests.len())
             .min(16);
         if workers <= 1 {
-            let engine = self.engine();
-            return requests.iter().map(|r| self.stamp(&engine, r)).collect();
+            // One engine and one scratch for the whole batch.
+            return with_engine_scratch(|scratch| {
+                let engine = self.engine();
+                requests
+                    .iter()
+                    .map(|r| self.stamp(&engine, r, scratch))
+                    .collect()
+            });
         }
         let chunk_size = requests.len().div_ceil(workers);
         std::thread::scope(|scope| {
@@ -547,11 +571,14 @@ impl ServiceSnapshot {
                 .chunks(chunk_size)
                 .map(|chunk| {
                     scope.spawn(move || {
-                        let engine = self.engine();
-                        chunk
-                            .iter()
-                            .map(|r| self.stamp(&engine, r))
-                            .collect::<Vec<_>>()
+                        // Per-worker scratch, reused across the whole chunk.
+                        with_engine_scratch(|scratch| {
+                            let engine = self.engine();
+                            chunk
+                                .iter()
+                                .map(|r| self.stamp(&engine, r, scratch))
+                                .collect::<Vec<_>>()
+                        })
                     })
                 })
                 .collect();
@@ -562,8 +589,13 @@ impl ServiceSnapshot {
         })
     }
 
-    fn stamp(&self, engine: &QaEngine<'_>, request: &QaRequest) -> QaResponse {
-        let mut response = engine.answer_request(request);
+    fn stamp(
+        &self,
+        engine: &QaEngine<'_>,
+        request: &QaRequest,
+        scratch: &mut ScratchSpace,
+    ) -> QaResponse {
+        let mut response = engine.answer_request_with(request, scratch);
         response.model_epoch = self.model_epoch;
         response
     }
@@ -923,6 +955,12 @@ mod tests {
             ..EngineConfig::default()
         };
         assert_ne!(plain, QaRequest::new("q").cache_key(&strict));
+        // floor_prune changes reported scores, so it must change the key.
+        let pruned = EngineConfig {
+            floor_prune: true,
+            ..EngineConfig::default()
+        };
+        assert_ne!(plain, QaRequest::new("q").cache_key(&pruned));
     }
 
     #[test]

@@ -11,11 +11,13 @@
 //! interned to dense [`TemplateId`]s so the EM tables stay flat.
 
 use kbqa_common::define_id;
+use kbqa_common::hash::FxHashMap;
 use kbqa_common::interner::Interner;
 use serde::{Deserialize, Serialize};
 
 use kbqa_nlp::TokenizedText;
-use kbqa_taxonomy::concept::slot_form;
+use kbqa_taxonomy::concept::{slot_form, ConceptId};
+use kbqa_taxonomy::ConceptNetwork;
 
 define_id!(
     /// Dense id of an interned template.
@@ -83,10 +85,62 @@ impl std::fmt::Display for Template {
     }
 }
 
-/// Bidirectional template ⇄ id catalog.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+/// The question-form marker replacing the concept slot inside an indexed
+/// form. U+0001 can never appear in a canonical template: the tokenizer only
+/// emits alphanumeric runs and `'`-clitics, and slot words start with `$`.
+const FORM_MARKER: &str = "\u{1}";
+
+/// Monotonic source of catalog generations (see
+/// [`TemplateCatalog::generation`]).
+fn next_generation() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static GENERATION: AtomicU64 = AtomicU64::new(1);
+    GENERATION.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Bidirectional template ⇄ id catalog, with a precompiled
+/// **question-form index** for the online hot path.
+///
+/// A canonical template `how many people are there in $city` factors into a
+/// *question form* (`how many people are there in ⟨slot⟩`) and a *slot*
+/// (`$city`). The online engine derives one candidate template per concept
+/// for every grounded mention; with only the string interner it would have
+/// to format and hash the full template string once per concept per request.
+/// The form index splits that lookup: the form — which depends only on the
+/// question and the mention window — resolves to a symbol **once**, and each
+/// concept then costs a single `(form, slot)` map probe. Both steps reuse
+/// caller-owned buffers, so the steady state allocates nothing.
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct TemplateCatalog {
     interner: Interner,
+    /// Slot words (`$city`) → dense slot symbol. Derived; rebuilt on load.
+    #[serde(skip)]
+    slots: Interner,
+    /// Question forms (slot replaced by [`FORM_MARKER`]) → form symbol.
+    #[serde(skip)]
+    forms: Interner,
+    /// `(form symbol, slot symbol)` → template id.
+    #[serde(skip)]
+    by_form_slot: FxHashMap<(u32, u32), TemplateId>,
+    /// Identity of the derived index, for caches layered on top (the
+    /// engine's per-scratch concept→slot table): fresh catalogs and every
+    /// mutation get a new generation, so two catalogs share one only when
+    /// they are clones with identical content. Serde-skipped: a deserialized
+    /// catalog has an empty index until [`TemplateCatalog::rebuild_index`].
+    #[serde(skip)]
+    generation: u64,
+}
+
+impl Default for TemplateCatalog {
+    fn default() -> Self {
+        Self {
+            interner: Interner::new(),
+            slots: Interner::new(),
+            forms: Interner::new(),
+            by_form_slot: FxHashMap::default(),
+            generation: next_generation(),
+        }
+    }
 }
 
 impl TemplateCatalog {
@@ -97,7 +151,13 @@ impl TemplateCatalog {
 
     /// Intern a template.
     pub fn intern(&mut self, template: &Template) -> TemplateId {
-        TemplateId::new(self.interner.intern(template.as_str()))
+        let before = self.interner.len();
+        let id = TemplateId::new(self.interner.intern(template.as_str()));
+        if self.interner.len() > before {
+            self.index_template(id);
+            self.generation = next_generation();
+        }
+        id
     }
 
     /// Look up without interning.
@@ -125,9 +185,131 @@ impl TemplateCatalog {
         self.interner.iter().map(|(i, s)| (TemplateId::new(i), s))
     }
 
-    /// Rebuild lookup tables after deserialization.
+    /// Rebuild lookup tables (string interner buckets plus the form index)
+    /// after deserialization.
     pub fn rebuild_index(&mut self) {
         self.interner.rebuild_index();
+        self.slots = Interner::new();
+        self.forms = Interner::new();
+        self.by_form_slot = FxHashMap::default();
+        for i in 0..self.interner.len() {
+            self.index_template(TemplateId::new(i as u32));
+        }
+        self.generation = next_generation();
+    }
+
+    /// Identity of the derived form index. Changes on every mutation, so a
+    /// cache keyed by it can never serve entries from a different catalog
+    /// state.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The symbol of a slot word (`$city`), if any indexed template uses it.
+    /// `None` means **no** template mentions the concept — the engine can
+    /// skip the concept without hashing anything else.
+    pub fn slot_symbol(&self, slot: &str) -> Option<u32> {
+        self.slots.get(slot)
+    }
+
+    /// Resolve the question form of a mention window: the template the
+    /// question would derive with the slot left abstract. `buf` is the
+    /// caller's reusable assembly buffer. `None` means no template in the
+    /// catalog has this form under **any** concept.
+    pub fn form_symbol(
+        &self,
+        question: &TokenizedText,
+        mention_start: usize,
+        mention_end: usize,
+        buf: &mut String,
+    ) -> Option<u32> {
+        debug_assert!(mention_start < mention_end && mention_end <= question.len());
+        let before = question.tokens[..mention_start].iter();
+        let after = question.tokens[mention_end..].iter();
+        let words = before
+            .map(|t| t.text.as_str())
+            .chain(std::iter::once(FORM_MARKER))
+            .chain(after.map(|t| t.text.as_str()));
+        self.forms.get_words(words, buf)
+    }
+
+    /// The template interned for `(form, slot)`, if any. Together with
+    /// [`TemplateCatalog::form_symbol`] and [`TemplateCatalog::slot_symbol`]
+    /// this is the precompiled equivalent of deriving the template string
+    /// and calling [`TemplateCatalog::get`].
+    pub fn template_for(&self, form: u32, slot: u32) -> Option<TemplateId> {
+        self.by_form_slot.get(&(form, slot)).copied()
+    }
+
+    /// Register a template in the form index. Templates without a slot word
+    /// are not indexed: `Template::derive` always inserts one, so they can
+    /// never be produced by a mention lookup. Only the *first* slot word is
+    /// abstracted — the same position [`Template::slot`] reports — so a
+    /// pathological canonical with several `$`-words keys on the first.
+    fn index_template(&mut self, id: TemplateId) {
+        let canonical = self.interner.resolve(id.raw()).to_owned();
+        let Some(slot_pos) = canonical.split(' ').position(|w| w.starts_with('$')) else {
+            return;
+        };
+        let slot = canonical.split(' ').nth(slot_pos).expect("slot in bounds");
+        let slot_sym = self.slots.intern(slot);
+        let form: Vec<&str> = canonical
+            .split(' ')
+            .enumerate()
+            .map(|(i, w)| if i == slot_pos { FORM_MARKER } else { w })
+            .collect();
+        let form_sym = self.forms.intern(&form.join(" "));
+        self.by_form_slot.insert((form_sym, slot_sym), id);
+    }
+}
+
+/// A memoized `concept → slot symbol` table over one catalog state.
+///
+/// Rendering a concept as its slot word (`city` → `$city`) allocates a
+/// string; the online engine does it for every candidate concept of every
+/// grounded mention. This table pays that cost once per concept: after
+/// warmup, a lookup is a vector index. Entries are validated against the
+/// catalog's [`TemplateCatalog::generation`], so reusing one table across
+/// requests — or accidentally across catalogs — can never return a symbol
+/// from a stale index (the table silently resets instead).
+#[derive(Clone, Debug, Default)]
+pub struct SlotTable {
+    generation: u64,
+    /// Indexed by `ConceptId`: `None` = not yet computed; `Some(None)` = the
+    /// concept's slot appears in no template; `Some(Some(sym))` = cached.
+    slots: Vec<Option<Option<u32>>>,
+}
+
+impl SlotTable {
+    /// Empty table; entries materialize on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The slot symbol of `concept` under `catalog`, or `None` when no
+    /// template mentions the concept. Cached after the first call per
+    /// catalog generation.
+    pub fn slot_for(
+        &mut self,
+        catalog: &TemplateCatalog,
+        network: &ConceptNetwork,
+        concept: ConceptId,
+    ) -> Option<u32> {
+        if self.generation != catalog.generation() {
+            self.slots.clear();
+            self.generation = catalog.generation();
+        }
+        let index = concept.index();
+        if index >= self.slots.len() {
+            self.slots.resize(index + 1, None);
+        }
+        if let Some(cached) = self.slots[index] {
+            return cached;
+        }
+        let slot = slot_form(network.concept_name(concept));
+        let sym = catalog.slot_symbol(&slot);
+        self.slots[index] = Some(sym);
+        sym
     }
 }
 
@@ -208,5 +390,78 @@ mod tests {
     fn display_is_canonical() {
         let t = Template::from_canonical("who is $person 's wife");
         assert_eq!(t.to_string(), "who is $person 's wife");
+    }
+
+    /// The precompiled `(form, slot)` lookup must agree with deriving the
+    /// template string and calling `get` — the equivalence the optimized
+    /// kernel rests on.
+    #[test]
+    fn form_index_matches_string_lookup() {
+        let mut catalog = TemplateCatalog::new();
+        let q = tokenize("how many people are there in Honolulu");
+        let city = catalog.intern(&Template::derive(&q, 6, 7, "city"));
+        let location = catalog.intern(&Template::derive(&q, 6, 7, "location"));
+        let mut buf = String::new();
+
+        let form = catalog
+            .form_symbol(&q, 6, 7, &mut buf)
+            .expect("form indexed");
+        let city_slot = catalog.slot_symbol("$city").expect("slot indexed");
+        let location_slot = catalog.slot_symbol("$location").unwrap();
+        assert_eq!(catalog.template_for(form, city_slot), Some(city));
+        assert_eq!(catalog.template_for(form, location_slot), Some(location));
+        // A concept no template mentions has no slot symbol at all.
+        assert_eq!(catalog.slot_symbol("$galaxy"), None);
+        // A window with no indexed form misses before any slot is consulted.
+        assert_eq!(catalog.form_symbol(&q, 0, 2, &mut buf), None);
+        // A different window over the same question is a different form.
+        let wrong_window = catalog.form_symbol(&q, 5, 7, &mut buf);
+        assert!(
+            wrong_window.is_none()
+                || catalog
+                    .template_for(wrong_window.unwrap(), city_slot)
+                    .is_none()
+        );
+    }
+
+    #[test]
+    fn form_index_survives_rebuild_and_bumps_generation() {
+        let mut catalog = TemplateCatalog::new();
+        let q = tokenize("what is the population of Honolulu");
+        let id = catalog.intern(&Template::derive(&q, 5, 6, "city"));
+        let g1 = catalog.generation();
+        catalog.rebuild_index();
+        let g2 = catalog.generation();
+        assert_ne!(g1, g2, "rebuild must invalidate layered caches");
+        let mut buf = String::new();
+        let form = catalog.form_symbol(&q, 5, 6, &mut buf).unwrap();
+        let slot = catalog.slot_symbol("$city").unwrap();
+        assert_eq!(catalog.template_for(form, slot), Some(id));
+        // Re-interning an existing template does not bump the generation.
+        catalog.intern(&Template::derive(&q, 5, 6, "city"));
+        assert_eq!(catalog.generation(), g2);
+    }
+
+    #[test]
+    fn slot_table_caches_per_generation() {
+        let mut nb = kbqa_taxonomy::NetworkBuilder::new();
+        let city = nb.concept("city");
+        let fruit = nb.concept("fruit");
+        let network = nb.build();
+
+        let mut catalog = TemplateCatalog::new();
+        let q = tokenize("what is the population of Honolulu");
+        catalog.intern(&Template::derive(&q, 5, 6, "city"));
+
+        let mut table = SlotTable::new();
+        let city_sym = table.slot_for(&catalog, &network, city);
+        assert_eq!(city_sym, catalog.slot_symbol("$city"));
+        assert!(city_sym.is_some());
+        assert_eq!(table.slot_for(&catalog, &network, fruit), None);
+        // Cached answers repeat.
+        assert_eq!(table.slot_for(&catalog, &network, city), city_sym);
+        // A catalog mutation invalidates the table.
+        catalog.intern(&Template::derive(&q, 5, 6, "fruit"));
+        assert!(table.slot_for(&catalog, &network, fruit).is_some());
     }
 }

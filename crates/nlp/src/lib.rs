@@ -21,6 +21,6 @@ pub mod ner;
 pub mod question_class;
 pub mod token;
 
-pub use ner::{GazetteerNer, HeuristicNer, Mention};
+pub use ner::{GazetteerNer, HeuristicNer, Mention, MentionBuffer, MentionSpan};
 pub use question_class::{classify_question, AnswerClass};
 pub use token::{tokenize, TokenizedText};

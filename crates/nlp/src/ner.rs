@@ -43,6 +43,87 @@ impl Mention {
     }
 }
 
+/// A mention window stored in a [`MentionBuffer`]: token span plus the range
+/// of its candidate nodes inside the buffer's flat node arena.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MentionSpan {
+    /// First token index (inclusive).
+    pub start: usize,
+    /// One past the last token index.
+    pub end: usize,
+    nodes_start: u32,
+    nodes_end: u32,
+}
+
+impl MentionSpan {
+    /// Window length in tokens.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the window is empty (never produced by the recognizers).
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// Reusable, flat storage for recognized mentions: spans index into one
+/// shared node arena, so clearing the buffer between questions retains every
+/// allocation. This is the steady-state entity-grounding path of the online
+/// engine; [`GazetteerNer::find_all_mentions`] is the owned equivalent.
+#[derive(Clone, Debug, Default)]
+pub struct MentionBuffer {
+    spans: Vec<MentionSpan>,
+    nodes: Vec<NodeId>,
+    /// Window-join scratch, reused across probes.
+    window: String,
+}
+
+impl MentionBuffer {
+    /// Empty buffer; allocations grow on use and persist across clears.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Forget all mentions, keeping capacity.
+    pub fn clear(&mut self) {
+        self.spans.clear();
+        self.nodes.clear();
+    }
+
+    /// The recognized spans, in recognition order.
+    pub fn spans(&self) -> &[MentionSpan] {
+        &self.spans
+    }
+
+    /// Candidate nodes of a span.
+    pub fn nodes(&self, span: &MentionSpan) -> &[NodeId] {
+        &self.nodes[span.nodes_start as usize..span.nodes_end as usize]
+    }
+
+    /// Number of recognized mentions.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether no mentions were recognized.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    fn push(&mut self, start: usize, end: usize, nodes: &[NodeId]) {
+        let nodes_start = u32::try_from(self.nodes.len()).expect("mention arena overflow");
+        self.nodes.extend_from_slice(nodes);
+        let nodes_end = u32::try_from(self.nodes.len()).expect("mention arena overflow");
+        self.spans.push(MentionSpan {
+            start,
+            end,
+            nodes_start,
+            nodes_end,
+        });
+    }
+}
+
 /// KB-backed longest-match recognizer.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct GazetteerNer {
@@ -101,6 +182,27 @@ impl GazetteerNer {
             }
         }
         mentions
+    }
+
+    /// [`GazetteerNer::find_all_mentions`] into a reusable [`MentionBuffer`]
+    /// (cleared first): identical mentions in identical order, but the
+    /// steady state performs no heap allocation — spans, candidate nodes and
+    /// the window-join scratch all reuse the buffer's capacity.
+    pub fn find_all_mentions_into(&self, text: &TokenizedText, buf: &mut MentionBuffer) {
+        buf.clear();
+        let n = text.len();
+        for start in 0..n {
+            let max_end = (start + self.max_tokens).min(n);
+            for end in (start + 1..=max_end).rev() {
+                // Split borrow: the window scratch is disjoint from the
+                // span/node arenas `push` writes.
+                let window = &mut buf.window;
+                text.join_into(start, end, window);
+                if let Some(nodes) = self.names.get(window.as_str()) {
+                    buf.push(start, end, nodes);
+                }
+            }
+        }
     }
 
     /// Greedy longest non-overlapping mentions, scanning left to right —
@@ -267,6 +369,32 @@ mod tests {
         assert_eq!(ner.ground("Michelle Obama"), &[michelle]);
         assert_eq!(ner.ground("MICHELLE OBAMA"), &[michelle]);
         assert!(ner.ground("Nobody Special").is_empty());
+    }
+
+    #[test]
+    fn buffered_mentions_match_owned_mentions() {
+        let (store, ..) = sample_store();
+        let ner = GazetteerNer::from_store(&store);
+        let mut buf = MentionBuffer::new();
+        for q in [
+            "When was Barack Obama born?",
+            "was Michelle Obama born in Honolulu",
+            "Obama Obama Honolulu",
+            "nothing to see here",
+            "",
+        ] {
+            let text = tokenize(q);
+            let owned = ner.find_all_mentions(&text);
+            ner.find_all_mentions_into(&text, &mut buf);
+            assert_eq!(buf.len(), owned.len(), "question {q:?}");
+            assert_eq!(buf.is_empty(), owned.is_empty());
+            for (span, mention) in buf.spans().iter().zip(&owned) {
+                assert_eq!((span.start, span.end), (mention.start, mention.end));
+                assert_eq!(span.len(), mention.len());
+                assert!(!span.is_empty());
+                assert_eq!(buf.nodes(span), mention.nodes.as_slice());
+            }
+        }
     }
 
     #[test]

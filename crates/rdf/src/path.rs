@@ -80,31 +80,69 @@ impl From<PredicateId> for ExpandedPredicate {
     }
 }
 
+/// Reusable traversal state for [`objects_via_path_into`]: the BFS frontier
+/// vectors and the per-edge dedup set, retained across calls so the online
+/// engine's value enumeration performs no heap allocation in the steady
+/// state.
+#[derive(Clone, Debug, Default)]
+pub struct PathWorkspace {
+    frontier: Vec<NodeId>,
+    next: Vec<NodeId>,
+    seen: FxHashSet<NodeId>,
+}
+
+impl PathWorkspace {
+    /// Empty workspace; capacity grows on use and persists.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// `V(e, p⁺)` — all objects reachable from `s` along the path, deduplicated.
 ///
 /// This is the online-side computation of Sec 6.1: *"we start the traverse
 /// from node a, then go through b, c"*. Breadth-first frontier per edge;
 /// cycles are harmless because each frontier is a set.
 pub fn objects_via_path(store: &TripleStore, s: NodeId, path: &ExpandedPredicate) -> Vec<NodeId> {
-    let mut frontier: Vec<NodeId> = vec![s];
-    let mut next: Vec<NodeId> = Vec::new();
-    let mut seen: FxHashSet<NodeId> = FxHashSet::default();
+    let mut out = Vec::new();
+    objects_via_path_into(store, s, path, &mut PathWorkspace::new(), &mut out);
+    out
+}
+
+/// [`objects_via_path`] appending into a caller-owned vector: identical
+/// values in identical order, reusing `ws` for the traversal. Single-edge
+/// paths (the overwhelmingly common case) copy the SPO range directly —
+/// stored triples are distinct, so the range is already deduplicated and in
+/// the same order the frontier walk would produce.
+pub fn objects_via_path_into(
+    store: &TripleStore,
+    s: NodeId,
+    path: &ExpandedPredicate,
+    ws: &mut PathWorkspace,
+    out: &mut Vec<NodeId>,
+) {
+    if let [edge] = path.edges() {
+        out.extend(store.objects(s, *edge));
+        return;
+    }
+    ws.frontier.clear();
+    ws.frontier.push(s);
     for &edge in path.edges() {
-        next.clear();
-        seen.clear();
-        for &node in &frontier {
+        ws.next.clear();
+        ws.seen.clear();
+        for &node in &ws.frontier {
             for o in store.objects(node, edge) {
-                if seen.insert(o) {
-                    next.push(o);
+                if ws.seen.insert(o) {
+                    ws.next.push(o);
                 }
             }
         }
-        std::mem::swap(&mut frontier, &mut next);
-        if frontier.is_empty() {
-            return Vec::new();
+        std::mem::swap(&mut ws.frontier, &mut ws.next);
+        if ws.frontier.is_empty() {
+            return;
         }
     }
-    frontier
+    out.extend_from_slice(&ws.frontier);
 }
 
 /// Count of `V(e, p⁺)` without materializing intermediate surface forms.
@@ -203,6 +241,25 @@ mod tests {
         let (store, _, _) = spouse_kb();
         let p = path(&store, &["marriage", "person", "name"]);
         assert_eq!(p.render(&store), "marriage→person→name");
+    }
+
+    #[test]
+    fn into_variant_matches_owned_across_reuse() {
+        let (store, obama, _) = spouse_kb();
+        let mut ws = PathWorkspace::new();
+        let mut out = Vec::new();
+        for names in [
+            vec!["marriage", "person", "name"],
+            vec!["marriage", "person"],
+            vec!["marriage", "dob"],
+            vec!["marriage"],
+        ] {
+            let p = path(&store, &names);
+            let owned = objects_via_path(&store, obama, &p);
+            out.clear();
+            objects_via_path_into(&store, obama, &p, &mut ws, &mut out);
+            assert_eq!(out, owned, "path {names:?}");
+        }
     }
 
     #[test]

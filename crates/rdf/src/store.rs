@@ -200,27 +200,41 @@ impl TripleStore {
 
     /// All names of a resource (objects of its name-predicate edges).
     pub fn names_of(&self, node: NodeId) -> Vec<&str> {
-        let mut names = Vec::new();
-        for &p in &self.name_predicates {
-            for t in range_by(&self.spo, move |t| (t.s, t.p).cmp(&(node, p))) {
-                if let Some(s) = self.dict.render_str(t.o) {
-                    names.push(s);
-                }
-            }
-        }
-        names
+        self.names_of_iter(node).collect()
+    }
+
+    /// Iterate the names of a resource lazily — the allocation-free variant
+    /// of [`TripleStore::names_of`] for hot paths that only need the first
+    /// name (answer rendering materializes thousands of surfaces per second).
+    pub fn names_of_iter(&self, node: NodeId) -> impl Iterator<Item = &str> + '_ {
+        self.name_predicates
+            .iter()
+            .flat_map(move |&p| range_by(&self.spo, move |t| (t.s, t.p).cmp(&(node, p))))
+            .filter_map(|t| self.dict.render_str(t.o))
     }
 
     /// Human-facing surface form: literals render directly; resources render
     /// their first name, falling back to the IRI.
     pub fn surface(&self, node: NodeId) -> String {
+        self.surface_ref(node).into_owned()
+    }
+
+    /// Borrowed variant of [`TripleStore::surface`]: textual nodes (string
+    /// literals, named resources, IRIs) borrow from the store; only numeric
+    /// literals, which must be formatted, allocate.
+    pub fn surface_ref(&self, node: NodeId) -> std::borrow::Cow<'_, str> {
         match self.dict.node_term(node) {
-            Term::Literal(_) => self.dict.render(node),
-            Term::Resource(_) => self
-                .names_of(node)
-                .first()
-                .map(|s| (*s).to_owned())
-                .unwrap_or_else(|| self.dict.render(node)),
+            Term::Literal(_) => match self.dict.render_str(node) {
+                Some(s) => std::borrow::Cow::Borrowed(s),
+                None => std::borrow::Cow::Owned(self.dict.render(node)),
+            },
+            Term::Resource(_) => match self.names_of_iter(node).next() {
+                Some(name) => std::borrow::Cow::Borrowed(name),
+                None => match self.dict.render_str(node) {
+                    Some(iri) => std::borrow::Cow::Borrowed(iri),
+                    None => std::borrow::Cow::Owned(self.dict.render(node)),
+                },
+            },
         }
     }
 
@@ -350,6 +364,38 @@ mod tests {
         assert_eq!(store.surface(ids.michelle), "Michelle Obama");
         // CVT node has no name; falls back to IRI.
         assert_eq!(store.surface(ids.marriage), "res/marriage_1");
+    }
+
+    #[test]
+    fn surface_ref_matches_surface_and_borrows_text() {
+        let (store, ids) = toy_kb();
+        for node in [ids.obama, ids.marriage, ids.michelle, ids.honolulu] {
+            assert_eq!(store.surface_ref(node).as_ref(), store.surface(node));
+        }
+        // Named resources and string literals borrow; numeric literals own.
+        assert!(matches!(
+            store.surface_ref(ids.michelle),
+            std::borrow::Cow::Borrowed(_)
+        ));
+        let pop_val = store
+            .dict()
+            .find_term(crate::Term::Literal(crate::Literal::Int(390_000)))
+            .unwrap();
+        assert_eq!(store.surface_ref(pop_val).as_ref(), "390000");
+        assert!(matches!(
+            store.surface_ref(pop_val),
+            std::borrow::Cow::Owned(_)
+        ));
+    }
+
+    #[test]
+    fn names_of_iter_matches_names_of() {
+        let (store, ids) = toy_kb();
+        for node in [ids.obama, ids.marriage, ids.honolulu] {
+            let eager = store.names_of(node);
+            let lazy: Vec<&str> = store.names_of_iter(node).collect();
+            assert_eq!(eager, lazy);
+        }
     }
 
     #[test]

@@ -111,47 +111,61 @@ impl Conceptualizer {
     /// `context` should contain the question's tokens *excluding* the entity
     /// mention itself (the mention is being replaced by the concept slot).
     pub fn conceptualize(&self, entity: NodeId, context: &[&str]) -> ConceptDistribution {
+        let mut entries = Vec::new();
+        self.conceptualize_into(entity, context.iter().copied(), &mut entries);
+        ConceptDistribution { entries }
+    }
+
+    /// [`Conceptualizer::conceptualize`] into a caller-owned buffer (cleared
+    /// first): the identical distribution — same floating-point operation
+    /// order, same descending sort — with no heap allocation in the steady
+    /// state. Context words stream through; only signal-bearing words (in
+    /// context order, capped) participate, exactly as in the owned variant.
+    pub fn conceptualize_into<'a>(
+        &self,
+        entity: NodeId,
+        context: impl IntoIterator<Item = &'a str>,
+        out: &mut Vec<(ConceptId, f64)>,
+    ) {
+        out.clear();
         let prior = self.network.concepts_of(entity);
         if prior.is_empty() {
-            return ConceptDistribution::default();
+            return;
         }
         if prior.len() == 1 {
-            return ConceptDistribution {
-                entries: vec![(prior[0].0, 1.0)],
-            };
+            out.push((prior[0].0, 1.0));
+            return;
         }
 
-        // Only signal-bearing words participate; cap for cost control.
-        let signal_words: Vec<&str> = context
-            .iter()
-            .copied()
-            .filter(|w| self.network.is_context_word(w))
-            .take(self.max_context_words)
-            .collect();
-
-        let mut log_scores: Vec<(ConceptId, f64)> =
-            prior.iter().map(|&(c, p)| (c, p.ln())).collect();
-        for word in &signal_words {
-            for (c, score) in log_scores.iter_mut() {
+        // Log-space scores, reweighted by each signal word as it streams by.
+        out.extend(prior.iter().map(|&(c, p)| (c, p.ln())));
+        let mut signal_seen = 0usize;
+        for word in context {
+            if signal_seen >= self.max_context_words {
+                break;
+            }
+            if !self.network.is_context_word(word) {
+                continue;
+            }
+            signal_seen += 1;
+            for (c, score) in out.iter_mut() {
                 *score += self.network.context_likelihood(*c, word, self.alpha).ln();
             }
         }
 
         // Log-space normalize.
-        let max = log_scores
+        let max = out
             .iter()
             .map(|(_, s)| *s)
             .fold(f64::NEG_INFINITY, f64::max);
-        let mut entries: Vec<(ConceptId, f64)> = log_scores
-            .into_iter()
-            .map(|(c, s)| (c, (s - max).exp()))
-            .collect();
-        let total: f64 = entries.iter().map(|(_, p)| p).sum();
-        for (_, p) in entries.iter_mut() {
+        for (_, s) in out.iter_mut() {
+            *s = (*s - max).exp();
+        }
+        let total: f64 = out.iter().map(|(_, p)| p).sum();
+        for (_, p) in out.iter_mut() {
             *p /= total;
         }
-        entries.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
-        ConceptDistribution { entries }
+        out.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     }
 }
 
@@ -243,6 +257,34 @@ mod tests {
         let c = Conceptualizer::new(net);
         let dist = c.conceptualize(node(99), &[]);
         assert_eq!(dist.probability(company), 0.0);
+    }
+
+    #[test]
+    fn conceptualize_into_is_bit_identical_and_reusable() {
+        let (net, _, _) = apple_network();
+        let c = Conceptualizer::new(net);
+        let mut buf: Vec<(ConceptId, f64)> = Vec::new();
+        let contexts: [&[&str]; 4] = [
+            &["what", "is", "the", "headquarter", "of"],
+            &["how", "do", "i", "eat", "an"],
+            &["zz", "qq"],
+            &[],
+        ];
+        for context in contexts {
+            for entity in [node(0), node(5), node(99)] {
+                let owned = c.conceptualize(entity, context);
+                c.conceptualize_into(entity, context.iter().copied(), &mut buf);
+                assert_eq!(buf.len(), owned.entries.len());
+                for (a, b) in buf.iter().zip(&owned.entries) {
+                    assert_eq!(a.0, b.0);
+                    assert_eq!(
+                        a.1.to_bits(),
+                        b.1.to_bits(),
+                        "probabilities must be bit-identical"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

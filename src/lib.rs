@@ -98,7 +98,7 @@ pub use kbqa_taxonomy as taxonomy;
 pub mod prelude {
     pub use kbqa_baselines::{KeywordQa, RuleBasedQa, SynonymQa};
     pub use kbqa_core::decompose::PatternIndex;
-    pub use kbqa_core::engine::{Answer, ChoiceStats, EngineConfig};
+    pub use kbqa_core::engine::{Answer, ChoiceStats, EngineConfig, QaEngine, ScratchSpace};
     pub use kbqa_core::eval::{self, EvalQuestion};
     pub use kbqa_core::expansion::ExpansionConfig;
     pub use kbqa_core::hybrid::HybridSystem;

@@ -1,0 +1,102 @@
+//! Steady-state allocation budget of the optimized BFQ kernel (PR 4).
+//!
+//! A counting global allocator wraps the system allocator; after a warmup
+//! pass has grown every scratch buffer to its working capacity, repeated
+//! `QaEngine::score_bfq` calls — entity grounding, template lookup,
+//! predicate scan, value enumeration, ranking — must perform **zero** heap
+//! allocations. Only answer materialization (owned `Answer` output) is
+//! allowed to allocate, and it is excluded here by using the scoring entry
+//! point.
+//!
+//! This file intentionally holds a single test: the allocator counter is
+//! process-global, and a concurrently running test would pollute the delta.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+use kbqa::prelude::*;
+
+#[test]
+fn steady_state_kernel_performs_zero_allocations() {
+    let world = World::generate(WorldConfig::tiny(42));
+    let corpus = QaCorpus::generate(&world, &CorpusConfig::with_pairs(1, 600));
+    let ner = GazetteerNer::from_store(&world.store);
+    let learner = Learner::new(
+        &world.store,
+        &world.conceptualizer,
+        &ner,
+        &world.predicate_classes,
+    );
+    let pairs: Vec<(&str, &str)> = corpus
+        .pairs
+        .iter()
+        .map(|p| (p.question.as_str(), p.answer.as_str()))
+        .collect();
+    let (model, _) = learner.learn(&pairs, &LearnerConfig::default());
+    let engine = QaEngine::with_shared(&world.store, &world.conceptualizer, &model, &ner);
+
+    // A mixed workload: answerable population/spouse/area questions plus a
+    // refusal, all pre-tokenized (tokenization is the caller's cost).
+    let questions: Vec<String> = corpus
+        .pairs
+        .iter()
+        .take(24)
+        .map(|p| p.question.clone())
+        .chain(std::iter::once("why is the sky blue".to_owned()))
+        .collect();
+    let tokenized: Vec<_> = questions.iter().map(|q| tokenize(q)).collect();
+
+    let mut scratch = ScratchSpace::new();
+    // Warmup: grow every buffer (mention arenas, maps, value arena, top-k
+    // storage, slot table) to steady-state capacity.
+    for _ in 0..3 {
+        for tokens in &tokenized {
+            let _ = engine.score_bfq(tokens, &mut scratch);
+        }
+    }
+
+    let before = allocations();
+    let mut answered = 0usize;
+    for _ in 0..50 {
+        for tokens in &tokenized {
+            if engine.score_bfq(tokens, &mut scratch).is_ok() {
+                answered += 1;
+            }
+        }
+    }
+    let delta = allocations() - before;
+    assert!(answered > 0, "workload must answer something");
+    assert_eq!(
+        delta,
+        0,
+        "steady-state score_bfq allocated {delta} times over {} calls",
+        50 * tokenized.len()
+    );
+}
