@@ -1,31 +1,49 @@
-//! `hotpath` — record the BFQ hot-path perf trajectory (`BENCH_*.json`).
+//! `hotpath` — record the BFQ hot-path perf trajectory (`BENCH_*.json`)
+//! and gate CI against regressions.
 //!
 //! ```text
 //! hotpath [--scale quick|full] [--questions N] [--out PATH]
+//!         [--baseline PATH] [--tolerance F]
 //! ```
 //!
 //! Builds the standard KBA-like session, drives the question set through
 //! the retained pre-PR reference kernel ("before") and the optimized kernel
-//! ("after", cold = fresh scratch per call, warm = reused scratch), plus a
-//! batch fan-out pass, and writes the latency/throughput summary as JSON —
-//! committed at the repo root (`BENCH_PR4.json`) so later PRs have a
-//! recorded baseline to compare against.
+//! ("after", cold = fresh scratch per call, warm = reused scratch), a batch
+//! fan-out pass, and — new in PR 5 — the **event-driven HTTP server**
+//! end-to-end (real sockets, concurrent keep-alive clients), writing the
+//! latency/throughput summary as JSON. Each PR commits its report at the
+//! repo root (`BENCH_PR4.json`, `BENCH_PR5.json`, …) so the trajectory is
+//! diffable.
+//!
+//! # The CI regression gate (`--baseline` + `--tolerance`)
+//!
+//! With `--baseline BENCH_PR4.json --tolerance 0.85`, the bin exits
+//! nonzero when the **cache-cold serving speedup** (`speedup_cold`:
+//! optimized-serving vs the reference kernel, both measured *in this run,
+//! on this machine*) drops below `tolerance ×` the baseline's recorded
+//! `speedup_cold`. Comparing the in-run *ratio* rather than absolute
+//! questions/sec makes the gate hardware-independent: CI boxes and dev
+//! laptops measure different absolute numbers, but the reference kernel is
+//! the control group in both. Absolute throughputs are printed alongside
+//! for human eyes.
 
-use std::io::Write;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
 use std::time::Instant;
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use kbqa_bench::{session::Scale, Session};
 use kbqa_core::engine::{QaEngine, ScratchSpace};
 use kbqa_core::service::QaRequest;
 use kbqa_nlp::tokenize;
+use kbqa_server::{serve, ServerConfig};
 
 /// Latency profile of one mode over the question set.
-#[derive(Serialize)]
+#[derive(Serialize, Deserialize)]
 struct Profile {
     /// What was measured.
-    mode: &'static str,
+    mode: String,
     /// Median per-question latency, microseconds.
     p50_us: f64,
     /// 95th-percentile per-question latency, microseconds.
@@ -38,41 +56,53 @@ struct Profile {
     questions_per_sec: f64,
 }
 
-#[derive(Serialize)]
+#[derive(Serialize, Deserialize)]
 struct Report {
     /// Which PR recorded this file.
-    pr: &'static str,
+    pr: String,
     /// Session preset and scale.
     world: String,
     /// Number of distinct questions driven (each timed over `rounds`).
     questions: usize,
     /// Timed rounds over the question set per mode.
     rounds: usize,
-    /// Per-mode latency profiles. "reference_kernel" is the pre-PR
+    /// Per-mode latency profiles. "reference_kernel" is the pre-PR 4
     /// enumeration retained as `QaEngine::bfq_kernel_reference`;
     /// "optimized_serving" is a cache-cold single question on a per-worker
     /// reused scratch (how every server worker and batch chunk runs);
     /// "optimized_one_shot" constructs a fresh `ScratchSpace` per question
     /// (the synthetic worst case a one-off caller pays).
     profiles: Vec<Profile>,
-    /// Cold single-question speedup on the serving path: reference mean /
-    /// optimized-serving mean. "Cold" = no answer cache in front; every
-    /// question runs the full kernel.
+    /// Cold single-question speedup on the serving path: reference best
+    /// sweep / optimized-serving best sweep. "Cold" = no answer cache in
+    /// front; every question runs the full kernel. **This is the CI gate
+    /// metric** — a ratio of two in-run measurements, so it transfers
+    /// across hardware.
     speedup_cold: f64,
-    /// One-shot speedup: reference mean / optimized-one-shot mean (pays
-    /// scratch construction per question).
+    /// One-shot speedup: reference / optimized-one-shot (pays scratch
+    /// construction per question).
     speedup_one_shot: f64,
     /// `answer_batch` throughput over the full set, questions/sec.
     batch_questions_per_sec: f64,
+    /// End-to-end HTTP throughput through the event-driven server (PR 5):
+    /// first pass over the distinct question set, every request a cache
+    /// miss, over concurrent keep-alive connections. Absent in pre-PR 5
+    /// baselines.
+    #[serde(default)]
+    server_cold_questions_per_sec: f64,
+    /// Same driver, best of the repeat rounds — every request an answer
+    /// cache hit (the steady state repeated traffic actually sees).
+    #[serde(default)]
+    server_cached_questions_per_sec: f64,
 }
 
-fn profile(mode: &'static str, mut samples_us: Vec<f64>) -> Profile {
+fn profile(mode: &str, mut samples_us: Vec<f64>) -> Profile {
     samples_us.sort_by(|a, b| a.total_cmp(b));
     let n = samples_us.len().max(1);
     let pct = |p: f64| samples_us[(((n - 1) as f64) * p).round() as usize];
     let mean = samples_us.iter().sum::<f64>() / n as f64;
     Profile {
-        mode,
+        mode: mode.to_string(),
         p50_us: pct(0.50),
         p95_us: pct(0.95),
         mean_us: mean,
@@ -80,11 +110,97 @@ fn profile(mode: &'static str, mut samples_us: Vec<f64>) -> Profile {
     }
 }
 
+/// Drive one keep-alive pass over `bodies` against `POST /answer`,
+/// panicking on any non-200 (a bench with failing requests is meaningless).
+fn http_pass(addr: SocketAddr, bodies: &[String]) {
+    let mut stream = TcpStream::connect(addr).expect("connect bench client");
+    stream.set_nodelay(true).ok();
+    let mut response = Vec::with_capacity(16 << 10);
+    for (i, body) in bodies.iter().enumerate() {
+        let last = i + 1 == bodies.len();
+        write!(
+            stream,
+            "POST /answer HTTP/1.1\r\nHost: bench\r\nConnection: {}\r\nContent-Length: {}\r\n\r\n{body}",
+            if last { "close" } else { "keep-alive" },
+            body.len(),
+        )
+        .expect("write request");
+        // Read one response: headers byte-wise, then Content-Length body.
+        response.clear();
+        let mut byte = [0u8; 1];
+        while !response.ends_with(b"\r\n\r\n") {
+            match stream.read(&mut byte) {
+                Ok(1) => response.push(byte[0]),
+                _ => panic!("server closed mid-response"),
+            }
+        }
+        let head = String::from_utf8_lossy(&response);
+        assert!(
+            head.starts_with("HTTP/1.1 200"),
+            "bench request failed: {head}"
+        );
+        let content_length: usize = head
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .and_then(|v| v.trim().parse().ok())
+            .expect("content-length");
+        let mut body = vec![0u8; content_length];
+        stream.read_exact(&mut body).expect("read body");
+    }
+}
+
+/// End-to-end throughput through the event-driven server: `clients`
+/// concurrent keep-alive connections split the question set. Returns
+/// (cold qps, best cached qps over `rounds`).
+fn http_throughput(
+    service: kbqa_core::service::KbqaService,
+    questions: &[String],
+    rounds: usize,
+) -> (f64, f64) {
+    let config = ServerConfig {
+        event_loops: 2,
+        ..ServerConfig::default()
+    };
+    let server = serve(service, "127.0.0.1:0", config).expect("bind bench server");
+    let addr = server.local_addr();
+    let bodies: Vec<String> = questions
+        .iter()
+        .map(|q| serde_json::to_string(&QaRequest::new(q)).expect("serialize request"))
+        .collect();
+    let clients = 8.min(bodies.len().max(1));
+    let chunk = bodies.len().div_ceil(clients);
+    let run_pass = || {
+        std::thread::scope(|scope| {
+            for part in bodies.chunks(chunk) {
+                scope.spawn(move || http_pass(addr, part));
+            }
+        });
+    };
+
+    // Cold: the very first pass — every request misses the answer cache.
+    let start = Instant::now();
+    run_pass();
+    let cold_qps = bodies.len() as f64 / start.elapsed().as_secs_f64().max(1e-12);
+
+    // Cached: repeat passes hit; min-over-rounds as everywhere else.
+    let mut best = f64::INFINITY;
+    for _ in 0..rounds {
+        let start = Instant::now();
+        run_pass();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    let cached_qps = bodies.len() as f64 / best.max(1e-12);
+    server.shutdown();
+    (cold_qps, cached_qps)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Quick;
-    let mut out = "BENCH_PR4.json".to_owned();
+    let mut out = "BENCH_PR5.json".to_owned();
     let mut question_count = 200usize;
+    let mut baseline: Option<String> = None;
+    let mut tolerance = 0.85f64;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -95,7 +211,8 @@ fn main() {
                     .and_then(|s| Scale::parse(s))
                     .unwrap_or_else(|| {
                         eprintln!(
-                            "usage: hotpath [--scale quick|full] [--questions N] [--out PATH]"
+                            "usage: hotpath [--scale quick|full] [--questions N] [--out PATH] \
+                             [--baseline PATH] [--tolerance F]"
                         );
                         std::process::exit(2);
                     });
@@ -107,6 +224,14 @@ fn main() {
             "--questions" => {
                 i += 1;
                 question_count = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(200);
+            }
+            "--baseline" => {
+                i += 1;
+                baseline = args.get(i).cloned();
+            }
+            "--tolerance" => {
+                i += 1;
+                tolerance = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(0.85);
             }
             other => {
                 eprintln!("[hotpath] unknown argument: {other}");
@@ -203,6 +328,10 @@ fn main() {
     }
     let batch_qps = (rounds * requests.len()) as f64 / start.elapsed().as_secs_f64();
 
+    // End-to-end through the event-driven server, over real sockets.
+    eprintln!("[hotpath] driving the HTTP server end-to-end…");
+    let (server_cold_qps, server_cached_qps) = http_throughput(service.clone(), &questions, rounds);
+
     let n = tokenized.len() as f64;
     let mut reference = profile("reference_kernel", reference_us);
     let mut one_shot = profile("optimized_one_shot", one_shot_us);
@@ -212,13 +341,15 @@ fn main() {
     one_shot.questions_per_sec = n / one_shot_total.max(1e-12);
     serving.questions_per_sec = n / serving_total.max(1e-12);
     let report = Report {
-        pr: "PR4",
+        pr: "PR5".to_string(),
         world: format!("KBA-like ({scale:?})"),
         questions: tokenized.len(),
         rounds,
         speedup_cold: reference_total / serving_total.max(1e-12),
         speedup_one_shot: reference_total / one_shot_total.max(1e-12),
         batch_questions_per_sec: batch_qps,
+        server_cold_questions_per_sec: server_cold_qps,
+        server_cached_questions_per_sec: server_cached_qps,
         profiles: vec![reference, serving, one_shot],
     };
 
@@ -243,10 +374,48 @@ fn main() {
         report.speedup_one_shot
     );
     println!("batch: {batch_qps:.0} q/s");
+    println!(
+        "server (epoll, 8 keep-alive clients): cold {server_cold_qps:.0} q/s, \
+         cached {server_cached_qps:.0} q/s"
+    );
 
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
     let mut file = std::fs::File::create(&out).expect("create output file");
     file.write_all(json.as_bytes()).expect("write report");
     file.write_all(b"\n").ok();
     eprintln!("[hotpath] wrote {out}");
+
+    // ---- CI regression gate ------------------------------------------------
+    if let Some(baseline_path) = baseline {
+        let text = std::fs::read_to_string(&baseline_path).unwrap_or_else(|e| {
+            eprintln!("[hotpath] cannot read baseline {baseline_path}: {e}");
+            std::process::exit(2);
+        });
+        let recorded: Report = serde_json::from_str(&text).unwrap_or_else(|e| {
+            eprintln!("[hotpath] cannot parse baseline {baseline_path}: {e}");
+            std::process::exit(2);
+        });
+        let ratio = report.speedup_cold / recorded.speedup_cold.max(1e-12);
+        println!(
+            "[gate] cache-cold serving speedup vs in-run reference: \
+             baseline ({}) {:.3}×, current {:.3}×, ratio {:.3}, tolerance {:.2}",
+            recorded.pr, recorded.speedup_cold, report.speedup_cold, ratio, tolerance
+        );
+        println!(
+            "[gate] (ratio-of-ratios, so the gate is hardware-independent; \
+             absolute serving throughput this run: {:.0} q/s)",
+            report.profiles[1].questions_per_sec
+        );
+        if ratio < tolerance {
+            eprintln!(
+                "[hotpath] PERF REGRESSION: cache-cold serving speedup fell to {ratio:.3} of \
+                 the {} baseline (tolerance {tolerance}). The serving path got slower relative \
+                 to the reference kernel measured in this same run — see docs/PERFORMANCE.md \
+                 (\"Reading the CI gate\").",
+                recorded.pr
+            );
+            std::process::exit(1);
+        }
+        println!("[gate] OK");
+    }
 }

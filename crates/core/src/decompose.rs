@@ -22,7 +22,7 @@
 use kbqa_common::hash::{FxHashMap, FxHashSet};
 use serde::{Deserialize, Serialize};
 
-use kbqa_nlp::{tokenize, GazetteerNer, TokenizedText};
+use kbqa_nlp::{tokenize, GazetteerNer};
 
 use crate::engine::{Answer, QaEngine, ScratchSpace};
 
@@ -173,7 +173,10 @@ pub fn decompose(
 }
 
 /// [`decompose`] over a caller-owned engine scratch: the `O(|q|²)` δ-probes
-/// of the DP run the scoring kernel only, reusing one scratch throughout.
+/// of the DP run the scoring kernel only, reusing one scratch throughout —
+/// including the substring tokenization, which is **assembled by
+/// [`kbqa_nlp::TokenizedText::slice_into`]** from the parent's tokens into
+/// one reused buffer instead of re-tokenizing each of the `O(|q|²)` ranges.
 pub fn decompose_with(
     engine: &QaEngine<'_>,
     index: &PatternIndex,
@@ -186,6 +189,9 @@ pub fn decompose_with(
         return None;
     }
     let words = tokens.words();
+    // Taken out of the scratch so it can coexist with the scratch borrow
+    // the kernel probes need; put back before every return below.
+    let mut sub = std::mem::take(&mut scratch.sub_tokens);
 
     // DP state per range [a, b): best probability and the inner range the
     // optimum replaces (None = primitive).
@@ -209,7 +215,7 @@ pub fn decompose_with(
         for a in 0..=(n - len) {
             let b = a + len;
             // δ(qᵢ): primitive BFQ?
-            let sub = slice_tokens(&tokens, a, b);
+            tokens.slice_into(a, b, &mut sub);
             let mut best = Cell {
                 prob: if engine.is_answerable_with(&sub, scratch) {
                     1.0
@@ -242,6 +248,8 @@ pub fn decompose_with(
             dp[idx(a, b)] = best;
         }
     }
+
+    scratch.sub_tokens = sub;
 
     let root = dp[idx(0, n)];
     if root.prob <= 0.0 {
@@ -369,12 +377,6 @@ fn replacement_pattern<'w>(
 
 fn join_pattern(words: &[&str], a: usize, b: usize, c: usize, d: usize) -> String {
     replacement_pattern(words, a, b, c, d).join(" ")
-}
-
-/// Tokenized sub-range as its own `TokenizedText` (re-tokenizes the joined
-/// words; cheap at question scale).
-fn slice_tokens(tokens: &TokenizedText, a: usize, b: usize) -> TokenizedText {
-    tokenize(&tokens.join(a, b))
 }
 
 #[cfg(test)]

@@ -22,7 +22,7 @@ use kbqa_common::hash::FxHashMap;
 use kbqa_common::topk::TopK;
 use serde::{Deserialize, Serialize};
 
-use kbqa_nlp::{tokenize, GazetteerNer, Mention, MentionBuffer, TokenizedText};
+use kbqa_nlp::{tokenize, tokenize_into, GazetteerNer, Mention, MentionBuffer, TokenizedText};
 use kbqa_rdf::path::PathWorkspace;
 use kbqa_rdf::{NodeId, TripleStore};
 use kbqa_taxonomy::{ConceptId, Conceptualizer};
@@ -204,6 +204,12 @@ pub struct ScratchSpace {
     floor_topk: TopK<NodeId>,
     /// Drain staging for `floor_topk`.
     floor_buf: Vec<(f64, NodeId)>,
+    /// Reused question tokenization (`tokenize_into` target): the serving
+    /// path stops paying the tokenizer's allocations after warmup.
+    pub(crate) question_tokens: TokenizedText,
+    /// Reused sub-question buffer for the decompose DP's `O(|q|²)`
+    /// substring probes (`TokenizedText::slice_into` target).
+    pub(crate) sub_tokens: TokenizedText,
     /// Cumulative count of floor-pruned rows/suffixes (telemetry: lets
     /// tests and benches confirm the pruning path actually exercises).
     pruned: u64,
@@ -236,6 +242,8 @@ impl Default for ScratchSpace {
             ranked: Vec::with_capacity(8),
             floor_topk: TopK::new(1),
             floor_buf: Vec::new(),
+            question_tokens: TokenizedText::default(),
+            sub_tokens: TokenizedText::default(),
             pruned: 0,
         }
     }
@@ -368,14 +376,19 @@ impl<'a> QaEngine<'a> {
     }
 
     /// [`QaEngine::answer_bfq_explained`] over a caller-owned scratch —
-    /// the steady-state serving path.
+    /// the steady-state serving path. Tokenization reuses the scratch's
+    /// buffer (taken out for the kernel call, put back after), so repeat
+    /// requests stop allocating for it.
     pub fn answer_bfq_explained_with(
         &self,
         question: &str,
         scratch: &mut ScratchSpace,
     ) -> Result<Vec<Answer>, Refusal> {
-        let tokens = tokenize(question);
-        self.bfq_kernel(&tokens, scratch)
+        let mut tokens = std::mem::take(&mut scratch.question_tokens);
+        tokenize_into(question, &mut tokens);
+        let result = self.bfq_kernel(&tokens, scratch);
+        scratch.question_tokens = tokens;
+        result
     }
 
     /// BFQ answering over pre-tokenized text (the decomposition DP calls
@@ -790,10 +803,15 @@ impl<'a> QaEngine<'a> {
         }
     }
 
-    /// The request pipeline under this engine's own configuration.
+    /// The request pipeline under this engine's own configuration. The
+    /// question tokenization reuses the scratch's buffer (taken out for
+    /// the kernel call, put back after).
     fn answer_configured(&self, request: &QaRequest, scratch: &mut ScratchSpace) -> QaResponse {
-        let tokens = tokenize(&request.question);
-        let mut response = match self.bfq_kernel(&tokens, scratch) {
+        let mut tokens = std::mem::take(&mut scratch.question_tokens);
+        tokenize_into(&request.question, &mut tokens);
+        let kernel = self.bfq_kernel(&tokens, scratch);
+        scratch.question_tokens = tokens;
+        let mut response = match kernel {
             Ok(answers) => QaResponse::from_answers(answers),
             Err(refusal) => {
                 let decomposed = if self.config.decompose {

@@ -16,16 +16,34 @@
 //! JSON rather than a bespoke binary format: the artifacts are inspectable,
 //! diffable in experiments, and the workspace already carries `serde`. A
 //! binary codec would only matter at scales our worlds never reach.
+//!
+//! # Atomicity and integrity (PR 5)
+//!
+//! A crash (or a concurrent reader — the server's `POST /admin/reload`)
+//! must never observe a half-written artifact, and a corrupted file must
+//! fail loudly instead of serving garbage. Every [`save_json`] therefore:
+//!
+//! 1. writes the payload to a sibling temp file and `fsync`s it,
+//! 2. renames it into place (atomic on POSIX),
+//! 3. writes a **checksum sidecar** (`<file>.fxsum`, the Fx-64 digest of
+//!    the exact file bytes) the same way.
+//!
+//! [`load_json`] recomputes the digest and refuses a mismatch with a typed
+//! error — covering bit rot and partial copies that still parse as JSON.
+//! A missing sidecar is accepted (legacy artifacts and hand-edited
+//! experiment files stay loadable); a *stale* one (crash between the two
+//! renames) fails closed, and re-saving repairs it.
 
 use std::fs::File;
-use std::io::{BufReader, BufWriter};
-use std::path::Path;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use serde::de::DeserializeOwned;
 use serde::Serialize;
 
 use kbqa_common::error::{KbqaError, Result};
+use kbqa_common::hash::FxHasher;
 use kbqa_nlp::GazetteerNer;
 use kbqa_rdf::TripleStore;
 use kbqa_taxonomy::Conceptualizer;
@@ -34,19 +52,79 @@ use crate::decompose::PatternIndex;
 use crate::learner::LearnedModel;
 use crate::service::KbqaService;
 
-/// Save any serializable artifact as JSON.
-pub fn save_json<T: Serialize>(value: &T, path: &Path) -> Result<()> {
-    let file = File::create(path)?;
-    let writer = BufWriter::new(file);
-    serde_json::to_writer(writer, value)
-        .map_err(|e| KbqaError::Io(format!("serialize {}: {e}", path.display())))
+/// Suffix of the checksum sidecar written next to every artifact.
+pub const CHECKSUM_SUFFIX: &str = ".fxsum";
+
+/// `<path>.fxsum` — the sidecar holding the artifact's digest.
+pub fn checksum_path(path: &Path) -> PathBuf {
+    let mut name = path.as_os_str().to_owned();
+    name.push(CHECKSUM_SUFFIX);
+    PathBuf::from(name)
 }
 
-/// Load a JSON artifact.
+/// Fx-64 digest of raw bytes, rendered as 16 hex digits.
+fn digest(bytes: &[u8]) -> String {
+    use std::hash::Hasher;
+    let mut hasher = FxHasher::default();
+    hasher.write(bytes);
+    format!("{:016x}", hasher.finish())
+}
+
+/// Write `bytes` to `path` atomically: temp file in the same directory,
+/// `fsync`, rename. The temp file is cleaned up on failure.
+fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let mut tmp_name = path.as_os_str().to_owned();
+    tmp_name.push(format!(".tmp.{}", std::process::id()));
+    let tmp = PathBuf::from(tmp_name);
+    let result = (|| {
+        let mut file = File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// Save any serializable artifact as JSON — atomically (temp + fsync +
+/// rename), with a checksum sidecar for integrity validation on load.
+pub fn save_json<T: Serialize>(value: &T, path: &Path) -> Result<()> {
+    let payload = serde_json::to_string(value)
+        .map_err(|e| KbqaError::Io(format!("serialize {}: {e}", path.display())))?;
+    // Payload first, sidecar second: a crash between the renames leaves a
+    // valid new payload with a stale sidecar — load fails closed and a
+    // re-save repairs it, which beats silently trusting either half.
+    write_atomic(path, payload.as_bytes())?;
+    write_atomic(
+        &checksum_path(path),
+        format!("{}\n", digest(payload.as_bytes())).as_bytes(),
+    )?;
+    Ok(())
+}
+
+/// Load a JSON artifact, validating the checksum sidecar when one exists.
+///
+/// Corruption — a digest mismatch, or bytes that fail to parse — returns a
+/// typed [`KbqaError::Io`]; nothing in this path panics. Artifacts without
+/// a sidecar (legacy saves, hand-edited files) load unvalidated.
 pub fn load_json<T: DeserializeOwned>(path: &Path) -> Result<T> {
-    let file = File::open(path)?;
-    let reader = BufReader::new(file);
-    serde_json::from_reader(reader)
+    let bytes = std::fs::read(path)?;
+    if let Ok(expected) = std::fs::read_to_string(checksum_path(path)) {
+        let actual = digest(&bytes);
+        if expected.trim() != actual {
+            return Err(KbqaError::Io(format!(
+                "checksum mismatch for {}: sidecar says {}, file hashes to {actual} \
+                 (corrupt or partially-replaced artifact; re-save to repair)",
+                path.display(),
+                expected.trim(),
+            )));
+        }
+    }
+    let text = std::str::from_utf8(&bytes)
+        .map_err(|e| KbqaError::Io(format!("deserialize {}: {e}", path.display())))?;
+    serde_json::from_str(text)
         .map_err(|e| KbqaError::Io(format!("deserialize {}: {e}", path.display())))
 }
 
@@ -328,6 +406,78 @@ mod tests {
     fn load_missing_file_errors() {
         let result = load_model(Path::new("/nonexistent/kbqa/model.json"));
         assert!(matches!(result, Err(KbqaError::Io(_))));
+    }
+
+    #[test]
+    fn save_is_atomic_and_checksummed() {
+        let dir = std::env::temp_dir().join(format!("kbqa-persist-atomic-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+
+        save_model(&LearnedModel::default(), &path).unwrap();
+        assert!(
+            checksum_path(&path).exists(),
+            "save must write the checksum sidecar"
+        );
+        // No temp litter: the temp files were renamed away.
+        let stray: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(stray.is_empty(), "temp files must not survive: {stray:?}");
+        // The happy path round-trips.
+        load_model(&path).expect("checksummed artifact loads");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_artifact_fails_the_checksum_not_a_panic() {
+        let dir = std::env::temp_dir().join(format!("kbqa-persist-corrupt-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = dir.join("a.json");
+        let b = dir.join("b.json");
+
+        // Two differently-sized models, both validly saved.
+        save_model(&LearnedModel::default(), &a).unwrap();
+        let mut other = LearnedModel::default();
+        other.stats.observations = 123_456;
+        save_model(&other, &b).unwrap();
+
+        // Swap b's payload under a's sidecar: the file is perfectly valid
+        // JSON for a LearnedModel — only the checksum can catch it.
+        std::fs::copy(&b, &a).unwrap();
+        let result = load_model(&a);
+        match result {
+            Err(KbqaError::Io(message)) => assert!(
+                message.contains("checksum mismatch"),
+                "error must name the cause: {message}"
+            ),
+            other => panic!("corrupt artifact must fail to load: {other:?}"),
+        }
+
+        // Truncation (invalid JSON) also errors — never panics.
+        std::fs::write(&a, b"{\"trunc").unwrap();
+        assert!(matches!(load_model(&a), Err(KbqaError::Io(_))));
+
+        // Re-saving repairs the pair.
+        save_model(&LearnedModel::default(), &a).unwrap();
+        load_model(&a).expect("repaired artifact loads");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn legacy_artifact_without_sidecar_still_loads() {
+        let dir = std::env::temp_dir().join(format!("kbqa-persist-legacy-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        save_model(&LearnedModel::default(), &path).unwrap();
+        std::fs::remove_file(checksum_path(&path)).unwrap();
+        load_model(&path).expect("legacy artifact (no sidecar) must load");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

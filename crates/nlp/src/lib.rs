@@ -23,4 +23,4 @@ pub mod token;
 
 pub use ner::{GazetteerNer, HeuristicNer, Mention, MentionBuffer, MentionSpan};
 pub use question_class::{classify_question, AnswerClass};
-pub use token::{tokenize, TokenizedText};
+pub use token::{tokenize, tokenize_into, TokenizedText};

@@ -1,38 +1,71 @@
-//! A hand-rolled HTTP/1.1 server on `std::net` — no async runtime, no
-//! external HTTP crate.
+//! An event-driven HTTP/1.1 server on raw epoll readiness — no async
+//! runtime, no external HTTP crate.
 //!
-//! Architecture: one acceptor thread pushes connections onto a **bounded**
-//! `Mutex<VecDeque>` + `Condvar` queue; a fixed-size pool of worker threads
-//! pops them and drives a keep-alive loop per connection (parse request →
-//! route → write response, until the peer closes, a limit is hit, or
-//! shutdown is requested). This is the classic thread-per-connection server
-//! with explicit admission control: when the pending queue reaches
-//! [`ServerConfig::max_pending`], new connections are **shed** at accept
-//! time with `429 Too Many Requests` + `Retry-After` instead of queueing
-//! unboundedly — under overload the server degrades to fast, honest
-//! rejections rather than unbounded latency and memory.
+//! Architecture (PR 5, replacing the PR 2 thread-per-connection loop): a
+//! small fixed pool of **event-loop threads** each runs a level-triggered
+//! [`crate::epoll`] instance. The shared listener is registered in every
+//! loop with `EPOLLEXCLUSIVE`, so accepts spread across loops without a
+//! thundering herd. Each accepted connection is owned by exactly one loop
+//! and driven through a nonblocking state machine:
 //!
-//! Protocol coverage is deliberately minimal but honest: request line +
-//! headers (case-insensitive names), `Content-Length` bodies,
-//! `Connection: keep-alive`/`close` semantics with an HTTP/1.1 default of
-//! keep-alive, per-connection request caps, read timeouts, and bounded
-//! header/body sizes so a hostile peer cannot balloon memory.
+//! ```text
+//! Idle ── first byte ──▶ Reading ── full request ──▶ Dispatched
+//!  ▲                                                     │ worker pool
+//!  └────────── keep-alive ◀── Writing ◀── completion ────┘
+//! ```
 //!
-//! Live operations: `POST /admin/reload` (enabled by configuring
-//! [`ServerConfig::admin_token`] + [`ServerConfig::model_path`], typically
-//! via [`ServerConfig::from_env`]) reloads the model file from the persist
-//! layer and hot-swaps it into the running [`KbqaService`] — the model
-//! epoch bump re-keys the answer cache, so stale answers are never served
-//! post-swap.
+//! Fully-read requests are handed to the existing **worker pool** (a
+//! `Mutex<VecDeque>` + `Condvar`, exactly as before), so every worker keeps
+//! its thread-local [`kbqa_core::engine::ScratchSpace`] and the PR 4
+//! allocation-free kernel path is untouched. Workers push finished
+//! responses onto the owning loop's completion queue and wake it through an
+//! `eventfd`; the loop writes response bytes with nonblocking writes
+//! (waiting on `EPOLLOUT` only when the socket pushes back).
 //!
-//! Graceful shutdown: [`ServerHandle::shutdown`] flips an atomic flag, wakes
-//! the acceptor with a loopback connect, wakes idle workers via the condvar,
-//! and joins every thread. In-flight requests finish; idle keep-alive
-//! connections close after their current request.
+//! Deadlines are a **timer wheel** per loop (granularity
+//! [`ServerConfig::timer_granularity`]) instead of blocking read timeouts:
+//! an idle keep-alive connection closes silently after
+//! [`ServerConfig::read_timeout`], a request that trickles past
+//! [`ServerConfig::request_timeout`] is answered `408` (anti-slowloris),
+//! and a peer that stops reading mid-response is dropped on the same
+//! budget.
+//!
+//! Admission control has two layers:
+//!
+//! * **Connection-level** (accept time): when
+//!   `open connections ≥ workers + max_pending`, new connections are shed
+//!   with `429 Too Many Requests` + `Retry-After` — the same observable
+//!   bound as the old bounded accept queue (workers each held one
+//!   connection, plus `max_pending` queued).
+//! * **Route-level** (dispatch time, per-route priority): when the worker
+//!   queue is [`ServerConfig::max_queued`] deep, `POST /answer` and
+//!   `POST /batch` are shed with `429` while `/healthz`, `/metrics`,
+//!   `/cache/stats` and `/admin/reload` still go through — under overload
+//!   the control plane stays reachable while the data plane degrades to
+//!   fast, honest rejections.
+//!
+//! Protocol coverage is unchanged from the blocking server and pinned
+//! byte-identical by the test suite: request line + headers
+//! (case-insensitive names, per-line and count bounds), `Content-Length`
+//! bodies, `Connection` semantics with an HTTP/1.1 keep-alive default,
+//! per-connection request caps, `501` on `Transfer-Encoding`, `400` on
+//! conflicting `Content-Length`s, `413`/`431` size guards. Pipelined
+//! requests are served in order (the parse buffer simply carries the next
+//! request).
+//!
+//! Live operations (`POST /admin/reload`, token-gated model hot swap) are
+//! identical to PR 3 — the route handlers did not move.
+//!
+//! Graceful shutdown: [`ServerHandle::shutdown`] flips an atomic flag and
+//! wakes every loop via its eventfd. Loops stop accepting, close idle
+//! connections, and drain in-flight requests (reading connections may
+//! finish their current request, bounded by the request deadline); workers
+//! are joined after the loops, so every dispatched request completes.
 
 use std::collections::VecDeque;
-use std::io::{self, BufReader, Read, Write};
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::fd::AsRawFd;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -42,33 +75,48 @@ use std::time::{Duration, Instant};
 use kbqa_core::service::{KbqaService, QaRequest, QaResponse};
 
 use crate::cache::{AnswerCache, CacheConfig};
+use crate::epoll::{
+    Epoll, EpollEvent, WakeFd, EPOLLERR, EPOLLEXCLUSIVE, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP,
+};
 use crate::metrics::Metrics;
 
 /// Server tuning knobs.
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
-    /// Worker threads. `0` means auto: `available_parallelism`, clamped to
-    /// `[2, 8]`.
+    /// Worker threads (request compute). `0` means auto:
+    /// `available_parallelism`, clamped to `[2, 8]`.
     pub workers: usize,
+    /// Event-loop threads (connection I/O). `0` means auto: half the CPUs,
+    /// clamped to `[1, 4]`.
+    pub event_loops: usize,
     /// Largest accepted request body, bytes.
     pub max_body_bytes: usize,
     /// Requests served per connection before it is closed (keep-alive cap).
     pub keep_alive_requests: usize,
-    /// Socket read timeout; an idle keep-alive connection is dropped after
-    /// this long with no request.
+    /// An idle keep-alive connection is closed after this long with no
+    /// request bytes.
     pub read_timeout: Duration,
-    /// Wall-clock budget for reading one *whole* request (headers + body).
-    /// `read_timeout` alone only bounds each individual read, so a client
-    /// trickling one byte per read would hold a worker indefinitely
-    /// (slowloris); this deadline caps the total and answers 408.
+    /// Wall-clock budget for one *whole* request (first byte → parsed) and,
+    /// separately, for writing one response. A client trickling bytes
+    /// (slowloris) is answered `408` when the reading budget expires; a
+    /// client that stops reading its response is dropped when the writing
+    /// budget does. Enforced by the timer wheel.
     pub request_timeout: Duration,
+    /// Timer-wheel tick. Deadlines fire within one tick of their nominal
+    /// instant; smaller ticks cost more idle wakeups per loop.
+    pub timer_granularity: Duration,
     /// Answer cache sizing.
     pub cache: CacheConfig,
-    /// Admission control: maximum connections waiting in the accept queue.
-    /// When the queue is this deep, further connections are shed at accept
-    /// time with `429 Too Many Requests` + `Retry-After` instead of
-    /// queueing unboundedly. `0` disables shedding (unbounded queue).
+    /// Connection-level admission: new connections are shed at accept time
+    /// with `429` + `Retry-After` once `open connections ≥ workers +
+    /// max_pending` (the same observable bound as the old bounded accept
+    /// queue). `0` disables connection shedding.
     pub max_pending: usize,
+    /// Route-level admission (per-route priority): when this many parsed
+    /// requests are queued for the worker pool, `POST /answer` and
+    /// `POST /batch` are shed with `429` while observability and admin
+    /// routes still dispatch. `0` disables route shedding.
+    pub max_queued: usize,
     /// The `Retry-After` value (seconds) sent with shed responses.
     pub retry_after_secs: u64,
     /// Shared secret gating `POST /admin/reload`. `None` (the default)
@@ -86,12 +134,15 @@ impl Default for ServerConfig {
     fn default() -> Self {
         Self {
             workers: 0,
+            event_loops: 0,
             max_body_bytes: 1 << 20,
             keep_alive_requests: 128,
             read_timeout: Duration::from_secs(5),
             request_timeout: Duration::from_secs(30),
+            timer_granularity: Duration::from_millis(25),
             cache: CacheConfig::default(),
             max_pending: 1024,
+            max_queued: 256,
             retry_after_secs: 1,
             admin_token: None,
             model_path: None,
@@ -102,16 +153,19 @@ impl Default for ServerConfig {
 impl ServerConfig {
     /// Defaults overlaid with the `KBQA_*` environment knobs:
     ///
-    /// | Variable                | Field                |
-    /// |-------------------------|----------------------|
-    /// | `KBQA_WORKERS`          | `workers`            |
-    /// | `KBQA_MAX_BODY_BYTES`   | `max_body_bytes`     |
-    /// | `KBQA_MAX_PENDING`      | `max_pending`        |
-    /// | `KBQA_RETRY_AFTER_SECS` | `retry_after_secs`   |
-    /// | `KBQA_CACHE_CAPACITY`   | `cache.capacity`     |
-    /// | `KBQA_CACHE_SHARDS`     | `cache.shards`       |
-    /// | `KBQA_ADMIN_TOKEN`      | `admin_token`        |
-    /// | `KBQA_MODEL_PATH`       | `model_path`         |
+    /// | Variable                   | Field                |
+    /// |----------------------------|----------------------|
+    /// | `KBQA_WORKERS`             | `workers`            |
+    /// | `KBQA_EVENT_LOOPS`         | `event_loops`        |
+    /// | `KBQA_MAX_BODY_BYTES`      | `max_body_bytes`     |
+    /// | `KBQA_MAX_PENDING`         | `max_pending`        |
+    /// | `KBQA_MAX_QUEUED`          | `max_queued`         |
+    /// | `KBQA_RETRY_AFTER_SECS`    | `retry_after_secs`   |
+    /// | `KBQA_TIMER_GRANULARITY_MS`| `timer_granularity`  |
+    /// | `KBQA_CACHE_CAPACITY`      | `cache.capacity`     |
+    /// | `KBQA_CACHE_SHARDS`        | `cache.shards`       |
+    /// | `KBQA_ADMIN_TOKEN`         | `admin_token`        |
+    /// | `KBQA_MODEL_PATH`          | `model_path`         |
     ///
     /// Unset or unparsable variables keep the default; an empty
     /// `KBQA_ADMIN_TOKEN` stays disabled (an empty shared secret would gate
@@ -124,14 +178,23 @@ impl ServerConfig {
         if let Some(v) = parsed("KBQA_WORKERS") {
             config.workers = v;
         }
+        if let Some(v) = parsed("KBQA_EVENT_LOOPS") {
+            config.event_loops = v;
+        }
         if let Some(v) = parsed("KBQA_MAX_BODY_BYTES") {
             config.max_body_bytes = v;
         }
         if let Some(v) = parsed("KBQA_MAX_PENDING") {
             config.max_pending = v;
         }
+        if let Some(v) = parsed("KBQA_MAX_QUEUED") {
+            config.max_queued = v;
+        }
         if let Some(v) = parsed("KBQA_RETRY_AFTER_SECS") {
             config.retry_after_secs = v;
+        }
+        if let Some(v) = parsed::<u64>("KBQA_TIMER_GRANULARITY_MS") {
+            config.timer_granularity = Duration::from_millis(v.max(1));
         }
         if let Some(v) = parsed("KBQA_CACHE_CAPACITY") {
             config.cache.capacity = v;
@@ -161,6 +224,17 @@ impl ServerConfig {
             .unwrap_or(2)
             .clamp(2, 8)
     }
+
+    fn effective_event_loops(&self) -> usize {
+        if self.event_loops > 0 {
+            return self.event_loops;
+        }
+        (std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(2)
+            / 2)
+        .clamp(1, 4)
+    }
 }
 
 /// Everything the request handlers share.
@@ -170,35 +244,76 @@ struct AppState {
     metrics: Metrics,
 }
 
-/// Acceptor/worker shared state.
+/// One parsed request handed from an event loop to the worker pool.
+struct Job {
+    loop_idx: usize,
+    slot: u32,
+    generation: u64,
+    request: Request,
+}
+
+/// A finished response travelling back from a worker to the owning loop.
+struct Completion {
+    slot: u32,
+    generation: u64,
+    response: Response,
+    /// What the request's `Connection` semantics asked for; the loop folds
+    /// in the keep-alive cap, shutdown, and peer half-close.
+    keep_alive_requested: bool,
+}
+
+/// Per-event-loop shared state: the completion queue workers push into and
+/// the eventfd that pulls the loop out of `epoll_wait`.
+struct LoopShared {
+    completions: Mutex<Vec<Completion>>,
+    wake: WakeFd,
+}
+
+/// Acceptor/worker/loop shared state.
 struct Shared {
     state: AppState,
-    queue: Mutex<VecDeque<TcpStream>>,
+    jobs: Mutex<VecDeque<Job>>,
     available: Condvar,
     shutdown: AtomicBool,
+    /// Set only after every event loop has exited; workers drain the job
+    /// queue until then, so no dispatched request is ever orphaned.
+    workers_exit: AtomicBool,
+    loops: Vec<LoopShared>,
+    workers: usize,
     config: ServerConfig,
 }
 
 impl Shared {
-    /// Lock the connection queue, tolerating poison: the queue is a plain
-    /// `VecDeque` of sockets, always consistent between push/pop, so a
-    /// panicking worker must not take down the acceptor, its peers, or
-    /// `ServerHandle::drop`.
-    fn lock_queue(&self) -> std::sync::MutexGuard<'_, VecDeque<TcpStream>> {
-        self.queue
+    /// Lock the job queue, tolerating poison: the queue is a plain
+    /// `VecDeque`, always consistent between push/pop, so a panicking
+    /// worker must not take down its peers or the event loops.
+    fn lock_jobs(&self) -> std::sync::MutexGuard<'_, VecDeque<Job>> {
+        self.jobs
             .lock()
             .unwrap_or_else(|poison| poison.into_inner())
+    }
+
+    fn lock_completions(&self, idx: usize) -> std::sync::MutexGuard<'_, Vec<Completion>> {
+        self.loops[idx]
+            .completions
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner())
+    }
+
+    fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
     }
 }
 
 /// A running server: its address plus the thread handles needed to stop it.
 ///
-/// Dropping the handle shuts the server down (blocking until every worker
+/// Dropping the handle shuts the server down (blocking until every thread
 /// exits); call [`ServerHandle::shutdown`] to do it explicitly.
 pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
-    threads: Vec<JoinHandle<()>>,
+    loop_threads: Vec<JoinHandle<()>>,
+    worker_threads: Vec<JoinHandle<()>>,
 }
 
 /// Bind `addr` and serve `service` until [`ServerHandle::shutdown`].
@@ -211,42 +326,59 @@ pub fn serve(
     config: ServerConfig,
 ) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
+    let listener = Arc::new(listener);
     let workers = config.effective_workers();
+    let loops = config.effective_event_loops();
+
+    let mut loop_shared = Vec::with_capacity(loops);
+    for _ in 0..loops {
+        loop_shared.push(LoopShared {
+            completions: Mutex::new(Vec::new()),
+            wake: WakeFd::new()?,
+        });
+    }
     let shared = Arc::new(Shared {
         state: AppState {
             service,
             cache: AnswerCache::new(config.cache.clone()),
             metrics: Metrics::new(),
         },
-        queue: Mutex::new(VecDeque::new()),
+        jobs: Mutex::new(VecDeque::new()),
         available: Condvar::new(),
         shutdown: AtomicBool::new(false),
+        workers_exit: AtomicBool::new(false),
+        loops: loop_shared,
+        workers,
         config,
     });
 
-    let mut threads = Vec::with_capacity(workers + 1);
+    let mut worker_threads = Vec::with_capacity(workers);
     for i in 0..workers {
         let shared = Arc::clone(&shared);
-        threads.push(
+        worker_threads.push(
             std::thread::Builder::new()
                 .name(format!("kbqa-http-worker-{i}"))
                 .spawn(move || worker_loop(&shared))?,
         );
     }
-    {
+    let mut loop_threads = Vec::with_capacity(loops);
+    for idx in 0..loops {
         let shared = Arc::clone(&shared);
-        threads.push(
+        let listener = Arc::clone(&listener);
+        loop_threads.push(
             std::thread::Builder::new()
-                .name("kbqa-http-acceptor".into())
-                .spawn(move || acceptor_loop(&shared, listener))?,
+                .name(format!("kbqa-http-loop-{idx}"))
+                .spawn(move || EventLoop::new(shared, idx, listener).run())?,
         );
     }
 
     Ok(ServerHandle {
         addr,
         shared,
-        threads,
+        loop_threads,
+        worker_threads,
     })
 }
 
@@ -266,15 +398,20 @@ impl ServerHandle {
         if self.shared.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
-        // Wake the acceptor out of its blocking `accept`.
-        let _ = TcpStream::connect(self.addr);
-        // Wake idle workers. Taking the queue lock first closes the lost
-        // wake-up race: any worker that read `shutdown == false` is either
-        // already waiting (and gets the notify) or has yet to take the lock
-        // (and will re-read the flag once it does).
-        drop(self.shared.lock_queue());
+        // Wake every loop out of epoll_wait; they stop accepting, close
+        // idle connections and drain in-flight work.
+        for l in &self.shared.loops {
+            l.wake.wake();
+        }
+        for handle in self.loop_threads.drain(..) {
+            let _ = handle.join();
+        }
+        // Loops are gone, so no further jobs can arrive: release the
+        // workers. Taking the lock first closes the lost wake-up race.
+        self.shared.workers_exit.store(true, Ordering::SeqCst);
+        drop(self.shared.lock_jobs());
         self.shared.available.notify_all();
-        for handle in self.threads.drain(..) {
+        for handle in self.worker_threads.drain(..) {
             let _ = handle.join();
         }
     }
@@ -286,38 +423,737 @@ impl Drop for ServerHandle {
     }
 }
 
-fn acceptor_loop(shared: &Shared, listener: TcpListener) {
-    for conn in listener.incoming() {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            break;
-        }
-        let stream = match conn {
-            Ok(stream) => stream,
-            // Transient accept errors (peer reset mid-handshake) are not
-            // fatal to the listener.
-            Err(_) => continue,
+// ---------------------------------------------------------------------------
+// Worker pool (request compute)
+// ---------------------------------------------------------------------------
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut jobs = shared.lock_jobs();
+            loop {
+                if let Some(job) = jobs.pop_front() {
+                    break Some(job);
+                }
+                if shared.workers_exit.load(Ordering::SeqCst) {
+                    break None;
+                }
+                jobs = shared
+                    .available
+                    .wait(jobs)
+                    .unwrap_or_else(|poison| poison.into_inner());
+            }
         };
-        let mut queue = shared.lock_queue();
-        // Admission control: a full pending queue means the workers are
-        // underwater. Shed *now*, cheaply, instead of letting the queue (and
-        // every queued client's latency) grow without bound.
-        if shared.config.max_pending > 0 && queue.len() >= shared.config.max_pending {
-            drop(queue);
-            shed(shared, stream);
-            continue;
-        }
-        queue.push_back(stream);
-        drop(queue);
-        shared.available.notify_one();
+        let Some(job) = job else { return };
+        let keep_alive_requested = job.request.keep_alive();
+        // A panic while routing (engine bug, broken invariant) must cost
+        // one request, not one worker: the fixed-size pool has no respawn.
+        // The connection still gets a response (500) so the event loop's
+        // state machine never waits on a completion that will not come.
+        let response =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| route(shared, &job.request)))
+                .unwrap_or_else(|_| {
+                    let response = Response::error(500, "internal error");
+                    shared.state.metrics.record_response(response.status);
+                    response
+                });
+        shared.lock_completions(job.loop_idx).push(Completion {
+            slot: job.slot,
+            generation: job.generation,
+            response,
+            keep_alive_requested,
+        });
+        shared.loops[job.loop_idx].wake.wake();
     }
 }
 
-/// Refuse one connection with `429 Too Many Requests` + `Retry-After`.
+// ---------------------------------------------------------------------------
+// The event loop
+// ---------------------------------------------------------------------------
+
+const TOKEN_LISTENER: u64 = u64::MAX;
+const TOKEN_WAKE: u64 = u64::MAX - 1;
+const READ_CHUNK: usize = 16 << 10;
+const WHEEL_SLOTS: usize = 256;
+/// Grown parse/write buffers above this are shrunk once drained, so one
+/// large body does not pin its high-water mark for the connection's life.
+const BUF_SHRINK_THRESHOLD: usize = 256 << 10;
+
+fn conn_token(slot: u32, generation: u64) -> u64 {
+    ((generation & 0xFFFF_FFFF) << 32) | u64::from(slot)
+}
+
+/// What a fired deadline means for the connection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum DeadlineKind {
+    /// Idle keep-alive expiry: close silently.
+    Idle,
+    /// Whole-request reading budget: answer `408`, then close.
+    Request,
+    /// Response writing budget: the peer stopped reading; close.
+    Write,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ConnState {
+    /// Keep-alive, no request bytes yet.
+    Idle,
+    /// Accumulating one request's bytes.
+    Reading,
+    /// A parsed request is with the worker pool.
+    Dispatched,
+    /// Response bytes are draining to the socket.
+    Writing,
+}
+
+/// Per-connection state machine.
+struct Conn {
+    stream: TcpStream,
+    state: ConnState,
+    /// Currently-registered epoll interest (avoids redundant `EPOLL_CTL_MOD`).
+    interest: u32,
+    /// Inbound bytes; `buf[buf_start..]` is the unparsed remainder (and the
+    /// start of the next pipelined request once one completes).
+    buf: Vec<u8>,
+    buf_start: usize,
+    /// Outbound response bytes; `out[out_pos..]` still needs writing.
+    out: Vec<u8>,
+    out_pos: usize,
+    requests_served: usize,
+    generation: u64,
+    deadline: Option<Instant>,
+    deadline_kind: DeadlineKind,
+    /// Bumped by every [`EventLoop::arm`]; wheel entries carry the value
+    /// they were scheduled under, so entries from superseded deadlines are
+    /// dropped when they fire instead of being rescheduled forever.
+    timer_seq: u64,
+    /// Peer half-closed its write side (`EPOLLRDHUP`): serve what is in
+    /// flight, then close instead of keeping alive.
+    peer_closed: bool,
+    /// Whether the response being written allows another request after it.
+    keep_alive_after_write: bool,
+}
+
+/// A hashed timer wheel: deadlines land in `(deadline - now) / granularity`
+/// slots ahead (clamped to the horizon), and entries past the horizon are
+/// simply rescheduled when their slot fires. Entries are `(slot, gen,
+/// timer_seq)` triples validated against live connections on expiry, so
+/// cancellation is free: a dead generation — or a sequence superseded by a
+/// later `arm` — is dropped when it fires, which bounds a connection to
+/// one live wheel entry at a time no matter how many requests it serves.
+struct TimerWheel {
+    slots: Vec<Vec<(u32, u64, u64)>>,
+    granularity: Duration,
+    cursor: usize,
+    last_tick: Instant,
+}
+
+impl TimerWheel {
+    fn new(granularity: Duration) -> Self {
+        Self {
+            slots: (0..WHEEL_SLOTS).map(|_| Vec::new()).collect(),
+            granularity: granularity.max(Duration::from_millis(1)),
+            cursor: 0,
+            last_tick: Instant::now(),
+        }
+    }
+
+    fn schedule(&mut self, slot: u32, generation: u64, seq: u64, deadline: Instant, now: Instant) {
+        let delta = deadline.saturating_duration_since(now);
+        let ticks = (delta.as_nanos() / self.granularity.as_nanos().max(1)) as usize;
+        let offset = (ticks + 1).min(WHEEL_SLOTS - 1);
+        let index = (self.cursor + offset) % WHEEL_SLOTS;
+        self.slots[index].push((slot, generation, seq));
+    }
+
+    /// Advance the cursor to `now`, draining every fired slot into `due`.
+    fn advance(&mut self, now: Instant, due: &mut Vec<(u32, u64, u64)>) {
+        let elapsed = now.saturating_duration_since(self.last_tick);
+        let mut ticks = (elapsed.as_nanos() / self.granularity.as_nanos().max(1)) as usize;
+        if ticks == 0 {
+            return;
+        }
+        if ticks >= WHEEL_SLOTS {
+            // A long stall: one full rotation visits every slot.
+            ticks = WHEEL_SLOTS;
+            self.last_tick = now;
+        } else {
+            self.last_tick += self.granularity * ticks as u32;
+        }
+        for _ in 0..ticks {
+            self.cursor = (self.cursor + 1) % WHEEL_SLOTS;
+            due.append(&mut self.slots[self.cursor]);
+        }
+    }
+}
+
+struct EventLoop {
+    shared: Arc<Shared>,
+    idx: usize,
+    epoll: Epoll,
+    listener: Arc<TcpListener>,
+    conns: Vec<Option<Conn>>,
+    free: Vec<u32>,
+    live: usize,
+    next_generation: u64,
+    wheel: TimerWheel,
+    due: Vec<(u32, u64, u64)>,
+    completions_buf: Vec<Completion>,
+    draining: bool,
+}
+
+impl EventLoop {
+    fn new(shared: Arc<Shared>, idx: usize, listener: Arc<TcpListener>) -> Self {
+        let granularity = shared.config.timer_granularity;
+        Self {
+            shared,
+            idx,
+            epoll: Epoll::new().expect("epoll_create1"),
+            listener,
+            conns: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            next_generation: 0,
+            wheel: TimerWheel::new(granularity),
+            due: Vec::new(),
+            completions_buf: Vec::new(),
+            draining: false,
+        }
+    }
+
+    fn metrics(&self) -> &Metrics {
+        &self.shared.state.metrics
+    }
+
+    fn run(mut self) {
+        self.epoll
+            .add(
+                self.listener.as_raw_fd(),
+                EPOLLIN | EPOLLEXCLUSIVE,
+                TOKEN_LISTENER,
+            )
+            .expect("register listener");
+        self.epoll
+            .add(self.shared.loops[self.idx].wake.raw(), EPOLLIN, TOKEN_WAKE)
+            .expect("register wake fd");
+        let mut events = vec![EpollEvent::default(); 256];
+        loop {
+            let n = self
+                .epoll
+                .wait(&mut events, Some(self.wheel.granularity))
+                .unwrap_or(0);
+            if n > 0 {
+                self.metrics().record_epoll_wakeup();
+            }
+            for &event in events.iter().take(n) {
+                match event.token() {
+                    TOKEN_LISTENER => self.accept_ready(),
+                    TOKEN_WAKE => self.shared.loops[self.idx].wake.drain(),
+                    token => {
+                        let slot = (token & 0xFFFF_FFFF) as u32;
+                        let generation = token >> 32;
+                        self.conn_event(slot, generation, event.readiness());
+                    }
+                }
+            }
+            self.drain_completions();
+            self.expire_timers();
+            if self.shared.is_shutdown() {
+                self.begin_drain();
+                if self.live == 0 {
+                    return;
+                }
+            }
+        }
+    }
+
+    /// First shutdown pass: stop accepting and close idle connections.
+    /// Reading/dispatched/writing connections finish their current request
+    /// (bounded by their deadlines) and then close.
+    fn begin_drain(&mut self) {
+        if self.draining {
+            return;
+        }
+        self.draining = true;
+        let _ = self.epoll.delete(self.listener.as_raw_fd());
+        let idle: Vec<u32> = self
+            .conns
+            .iter()
+            .enumerate()
+            .filter_map(|(slot, conn)| match conn {
+                Some(c) if c.state == ConnState::Idle => Some(slot as u32),
+                _ => None,
+            })
+            .collect();
+        for slot in idle {
+            self.close(slot);
+        }
+    }
+
+    // -- accept path --------------------------------------------------------
+
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if self.shared.is_shutdown() {
+                        // Raced past shutdown: drop without a response, the
+                        // same outcome as the old acceptor breaking its loop.
+                        continue;
+                    }
+                    let open = self.metrics().open_connections();
+                    let config = &self.shared.config;
+                    if config.max_pending > 0
+                        && open as usize >= self.shared.workers + config.max_pending
+                    {
+                        shed(&self.shared, stream);
+                        continue;
+                    }
+                    self.register(stream);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                // Transient accept errors (peer reset mid-handshake) are not
+                // fatal to the listener.
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn register(&mut self, stream: TcpStream) {
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        let _ = stream.set_nodelay(true);
+        let slot = match self.free.pop() {
+            Some(slot) => slot,
+            None => {
+                self.conns.push(None);
+                (self.conns.len() - 1) as u32
+            }
+        };
+        self.next_generation += 1;
+        let generation = self.next_generation;
+        let interest = EPOLLIN | EPOLLRDHUP;
+        if self
+            .epoll
+            .add(stream.as_raw_fd(), interest, conn_token(slot, generation))
+            .is_err()
+        {
+            self.free.push(slot);
+            return;
+        }
+        let now = Instant::now();
+        let deadline = now + self.shared.config.read_timeout;
+        self.conns[slot as usize] = Some(Conn {
+            stream,
+            state: ConnState::Idle,
+            interest,
+            buf: Vec::new(),
+            buf_start: 0,
+            out: Vec::new(),
+            out_pos: 0,
+            requests_served: 0,
+            generation,
+            deadline: Some(deadline),
+            deadline_kind: DeadlineKind::Idle,
+            timer_seq: 0,
+            peer_closed: false,
+            keep_alive_after_write: false,
+        });
+        self.wheel.schedule(slot, generation, 0, deadline, now);
+        self.live += 1;
+        self.metrics().connection_opened();
+    }
+
+    // -- connection plumbing ------------------------------------------------
+
+    fn conn(&mut self, slot: u32, generation_low: u64) -> Option<&mut Conn> {
+        match self.conns.get_mut(slot as usize) {
+            Some(Some(conn)) if conn.generation & 0xFFFF_FFFF == generation_low & 0xFFFF_FFFF => {
+                Some(conn)
+            }
+            _ => None,
+        }
+    }
+
+    fn close(&mut self, slot: u32) {
+        if let Some(conn) = self.conns.get_mut(slot as usize).and_then(Option::take) {
+            let _ = self.epoll.delete(conn.stream.as_raw_fd());
+            drop(conn);
+            self.free.push(slot);
+            self.live -= 1;
+            self.metrics().connection_closed();
+        }
+    }
+
+    fn set_interest(&mut self, slot: u32, interest: u32) {
+        let Some(Some(conn)) = self.conns.get_mut(slot as usize) else {
+            return;
+        };
+        if conn.interest == interest {
+            return;
+        }
+        let token = conn_token(slot, conn.generation);
+        let fd = conn.stream.as_raw_fd();
+        conn.interest = interest;
+        let _ = self.epoll.modify(fd, interest, token);
+    }
+
+    fn arm(&mut self, slot: u32, kind: DeadlineKind, budget: Duration) {
+        let now = Instant::now();
+        let Some(Some(conn)) = self.conns.get_mut(slot as usize) else {
+            return;
+        };
+        let deadline = now + budget;
+        conn.deadline = Some(deadline);
+        conn.deadline_kind = kind;
+        // Supersede every previously scheduled entry: they drop on fire.
+        conn.timer_seq += 1;
+        let (generation, seq) = (conn.generation, conn.timer_seq);
+        self.wheel.schedule(slot, generation, seq, deadline, now);
+    }
+
+    // -- readiness events ---------------------------------------------------
+
+    fn conn_event(&mut self, slot: u32, generation: u64, readiness: u32) {
+        let Some(conn) = self.conn(slot, generation) else {
+            return;
+        };
+        if readiness & (EPOLLERR | EPOLLHUP) != 0 {
+            self.close(slot);
+            return;
+        }
+        if readiness & EPOLLRDHUP != 0 {
+            conn.peer_closed = true;
+        }
+        let state = conn.state;
+        match state {
+            ConnState::Idle | ConnState::Reading if readiness & (EPOLLIN | EPOLLRDHUP) != 0 => {
+                self.do_read(slot)
+            }
+            ConnState::Writing if readiness & EPOLLOUT != 0 => self.do_write(slot),
+            _ => {}
+        }
+    }
+
+    fn do_read(&mut self, slot: u32) {
+        let mut saw_eof = false;
+        loop {
+            let Some(Some(conn)) = self.conns.get_mut(slot as usize) else {
+                return;
+            };
+            let start = conn.buf.len();
+            conn.buf.resize(start + READ_CHUNK, 0);
+            match conn.stream.read(&mut conn.buf[start..]) {
+                Ok(0) => {
+                    conn.buf.truncate(start);
+                    saw_eof = true;
+                    break;
+                }
+                Ok(n) => conn.buf.truncate(start + n),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    conn.buf.truncate(start);
+                    break;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+                    conn.buf.truncate(start);
+                }
+                Err(_) => {
+                    conn.buf.truncate(start);
+                    self.close(slot);
+                    return;
+                }
+            }
+        }
+        let Some(Some(conn)) = self.conns.get_mut(slot as usize) else {
+            return;
+        };
+        let has_bytes = conn.buf.len() > conn.buf_start;
+        if conn.state == ConnState::Idle {
+            if has_bytes {
+                // First byte of a new request: the whole-request budget
+                // starts here.
+                conn.state = ConnState::Reading;
+                let budget = self.shared.config.request_timeout;
+                self.arm(slot, DeadlineKind::Request, budget);
+            } else if saw_eof {
+                // Clean close between requests.
+                self.close(slot);
+                return;
+            }
+        }
+        let Some(Some(conn)) = self.conns.get_mut(slot as usize) else {
+            return;
+        };
+        if conn.state == ConnState::Reading {
+            self.try_parse(slot, saw_eof);
+        }
+    }
+
+    /// Attempt to parse one request out of the connection's buffer; drives
+    /// dispatch, protocol errors, and EOF handling.
+    fn try_parse(&mut self, slot: u32, saw_eof: bool) {
+        let Some(Some(conn)) = self.conns.get_mut(slot as usize) else {
+            return;
+        };
+        // Consume the tolerated leading blank lines *now*, not just inside
+        // the parser: a peer streaming endless CRLFs must not grow the
+        // buffer (or force quadratic rescans) until the request deadline —
+        // the blocking reader discarded them as it went, and so do we.
+        while conn.buf[conn.buf_start..].starts_with(b"\r\n")
+            || conn.buf[conn.buf_start..].starts_with(b"\n")
+        {
+            conn.buf_start += if conn.buf[conn.buf_start] == b'\r' {
+                2
+            } else {
+                1
+            };
+        }
+        let max_body = self.shared.config.max_body_bytes;
+        match parse_request(&conn.buf[conn.buf_start..], max_body) {
+            Parsed::Incomplete => {
+                if saw_eof {
+                    let rest = &conn.buf[conn.buf_start..];
+                    if rest.iter().all(|&b| b == b'\r' || b == b'\n') {
+                        // EOF with nothing but blank lines pending: clean.
+                        self.close(slot);
+                        return;
+                    }
+                    // EOF mid-request is malformed, not a clean close.
+                    self.respond_error(slot, 400);
+                    return;
+                }
+                // Free the consumed prefix immediately — waiting for
+                // `finish_response` would let discarded bytes pile up.
+                if conn.buf_start > 0 {
+                    let len = conn.buf.len();
+                    conn.buf.copy_within(conn.buf_start.., 0);
+                    conn.buf.truncate(len - conn.buf_start);
+                    conn.buf_start = 0;
+                }
+            }
+            Parsed::Error(status) => self.respond_error(slot, status),
+            Parsed::Request(request, consumed) => {
+                conn.buf_start += consumed;
+                self.dispatch(slot, request);
+            }
+        }
+    }
+
+    fn dispatch(&mut self, slot: u32, request: Request) {
+        let config = &self.shared.config;
+        // Route-level admission, by priority: the data plane (`/answer`,
+        // `/batch`) sheds when the worker queue is saturated; the control
+        // plane (health, metrics, cache stats, admin) always dispatches, so
+        // an overloaded server stays observable and operable.
+        let sheddable =
+            request.method == "POST" && (request.path == "/answer" || request.path == "/batch");
+        if sheddable && config.max_queued > 0 {
+            let depth = self.shared.lock_jobs().len();
+            if depth >= config.max_queued {
+                let metrics = self.metrics();
+                metrics.record_request();
+                metrics.record_route_shed();
+                metrics.record_response(429);
+                let response = Response {
+                    status: 429,
+                    body: "{\"error\":\"server overloaded, retry later\"}".to_string(),
+                    retry_after: Some(config.retry_after_secs.max(1)),
+                };
+                let keep_alive = self.response_keep_alive(slot, request.keep_alive());
+                self.start_response(slot, &response, keep_alive);
+                return;
+            }
+        }
+        let Some(Some(conn)) = self.conns.get_mut(slot as usize) else {
+            return;
+        };
+        conn.state = ConnState::Dispatched;
+        conn.deadline = None;
+        let generation = conn.generation;
+        self.set_interest(slot, 0);
+        self.shared.lock_jobs().push_back(Job {
+            loop_idx: self.idx,
+            slot,
+            generation,
+            request,
+        });
+        self.shared.available.notify_one();
+    }
+
+    /// Fold the keep-alive cap, shutdown, and peer half-close into the
+    /// request's own `Connection` semantics, counting the response.
+    fn response_keep_alive(&mut self, slot: u32, requested: bool) -> bool {
+        let shutdown = self.shared.is_shutdown();
+        let cap = self.shared.config.keep_alive_requests.max(1);
+        let Some(Some(conn)) = self.conns.get_mut(slot as usize) else {
+            return false;
+        };
+        conn.requests_served += 1;
+        requested && conn.requests_served < cap && !shutdown && !conn.peer_closed
+    }
+
+    fn respond_error(&mut self, slot: u32, status: u16) {
+        self.metrics().record_response(status);
+        let response = Response {
+            status,
+            body: format!("{{\"error\":\"{}\"}}", reason(status)),
+            retry_after: None,
+        };
+        self.start_response(slot, &response, false);
+    }
+
+    fn start_response(&mut self, slot: u32, response: &Response, keep_alive: bool) {
+        let budget = self.shared.config.request_timeout;
+        let Some(Some(conn)) = self.conns.get_mut(slot as usize) else {
+            return;
+        };
+        conn.out.clear();
+        conn.out_pos = 0;
+        render_response(&mut conn.out, response, keep_alive);
+        conn.state = ConnState::Writing;
+        conn.keep_alive_after_write = keep_alive;
+        self.arm(slot, DeadlineKind::Write, budget);
+        self.do_write(slot);
+    }
+
+    fn do_write(&mut self, slot: u32) {
+        loop {
+            let Some(Some(conn)) = self.conns.get_mut(slot as usize) else {
+                return;
+            };
+            if conn.out_pos >= conn.out.len() {
+                self.finish_response(slot);
+                return;
+            }
+            match conn.stream.write(&conn.out[conn.out_pos..]) {
+                Ok(0) => {
+                    self.close(slot);
+                    return;
+                }
+                Ok(n) => conn.out_pos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    self.set_interest(slot, EPOLLOUT);
+                    return;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                // Mid-write disconnect: the peer is gone; nothing to report.
+                Err(_) => {
+                    self.close(slot);
+                    return;
+                }
+            }
+        }
+    }
+
+    fn finish_response(&mut self, slot: u32) {
+        let shutdown = self.shared.is_shutdown();
+        let read_timeout = self.shared.config.read_timeout;
+        let Some(Some(conn)) = self.conns.get_mut(slot as usize) else {
+            return;
+        };
+        if !conn.keep_alive_after_write || shutdown || conn.peer_closed {
+            self.close(slot);
+            return;
+        }
+        conn.out.clear();
+        conn.out_pos = 0;
+        if conn.out.capacity() > BUF_SHRINK_THRESHOLD {
+            conn.out.shrink_to(READ_CHUNK);
+        }
+        // Compact the consumed prefix; pipelined bytes (the next request)
+        // slide to the front.
+        if conn.buf_start > 0 {
+            let len = conn.buf.len();
+            conn.buf.copy_within(conn.buf_start.., 0);
+            conn.buf.truncate(len - conn.buf_start);
+            conn.buf_start = 0;
+        }
+        if conn.buf.is_empty() && conn.buf.capacity() > BUF_SHRINK_THRESHOLD {
+            conn.buf.shrink_to(READ_CHUNK);
+        }
+        let pipelined = !conn.buf.is_empty();
+        conn.state = if pipelined {
+            ConnState::Reading
+        } else {
+            ConnState::Idle
+        };
+        self.set_interest(slot, EPOLLIN | EPOLLRDHUP);
+        if pipelined {
+            let budget = self.shared.config.request_timeout;
+            self.arm(slot, DeadlineKind::Request, budget);
+            self.try_parse(slot, false);
+        } else {
+            self.arm(slot, DeadlineKind::Idle, read_timeout);
+        }
+    }
+
+    // -- completions and timers ---------------------------------------------
+
+    fn drain_completions(&mut self) {
+        {
+            let mut queue = self.shared.lock_completions(self.idx);
+            if queue.is_empty() {
+                return;
+            }
+            std::mem::swap(&mut *queue, &mut self.completions_buf);
+        }
+        let mut batch = std::mem::take(&mut self.completions_buf);
+        for completion in batch.drain(..) {
+            let Some(conn) = self.conn(completion.slot, completion.generation) else {
+                // The connection died while its request was being computed
+                // (peer hang-up): the response has nowhere to go.
+                continue;
+            };
+            if conn.state != ConnState::Dispatched || conn.generation != completion.generation {
+                continue;
+            }
+            let keep_alive =
+                self.response_keep_alive(completion.slot, completion.keep_alive_requested);
+            self.start_response(completion.slot, &completion.response, keep_alive);
+        }
+        self.completions_buf = batch;
+    }
+
+    fn expire_timers(&mut self) {
+        let now = Instant::now();
+        let mut due = std::mem::take(&mut self.due);
+        self.wheel.advance(now, &mut due);
+        for (slot, generation, seq) in due.drain(..) {
+            let Some(conn) = self.conn(slot, generation) else {
+                continue;
+            };
+            if conn.generation != generation || conn.timer_seq != seq {
+                // Dead connection or superseded deadline: drop the entry.
+                continue;
+            }
+            let Some(deadline) = conn.deadline else {
+                continue;
+            };
+            if deadline > now {
+                // Fired early (beyond-horizon wrap): push the live entry
+                // out to its real deadline.
+                self.wheel.schedule(slot, generation, seq, deadline, now);
+                continue;
+            }
+            match conn.deadline_kind {
+                DeadlineKind::Idle => self.close(slot),
+                DeadlineKind::Request => self.respond_error(slot, 408),
+                DeadlineKind::Write => self.close(slot),
+            }
+        }
+        self.due = due;
+    }
+}
+
+/// Refuse one connection with `429 Too Many Requests` + `Retry-After` at
+/// accept time.
 ///
-/// Runs on the acceptor thread, so it must never block on a slow peer: the
-/// write is bounded by a short timeout and failures are ignored (the client
-/// sees a reset instead of a 429 — it was going to be turned away either
-/// way).
+/// Runs on an event-loop thread, so it must never block on a slow peer: the
+/// freshly-accepted stream is still in blocking mode, the write is bounded
+/// by a short timeout, and failures are ignored (the client sees a reset
+/// instead of a 429 — it was going to be turned away either way).
 fn shed(shared: &Shared, mut stream: TcpStream) {
     shared.state.metrics.record_shed();
     shared.state.metrics.record_response(429);
@@ -333,69 +1169,9 @@ fn shed(shared: &Shared, mut stream: TcpStream) {
     let _ = stream.flush();
 }
 
-fn worker_loop(shared: &Shared) {
-    loop {
-        let conn = {
-            let mut queue = shared.lock_queue();
-            loop {
-                if let Some(conn) = queue.pop_front() {
-                    break Some(conn);
-                }
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    break None;
-                }
-                queue = shared
-                    .available
-                    .wait(queue)
-                    .unwrap_or_else(|poison| poison.into_inner());
-            }
-        };
-        match conn {
-            // A panic while serving (engine bug, broken invariant) must cost
-            // one connection, not one worker: a fixed-size pool has no
-            // respawn, so unisolated panics would bleed the server dry until
-            // it accepts connections it never serves.
-            Some(stream) => {
-                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    handle_connection(shared, stream)
-                }));
-            }
-            None => return,
-        }
-    }
-}
-
-/// Drive one connection's keep-alive loop. Errors close the connection —
-/// there is nobody to report them to beyond a best-effort 4xx.
-fn handle_connection(shared: &Shared, stream: TcpStream) {
-    let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
-    let _ = stream.set_nodelay(true);
-    let mut reader = BufReader::new(stream);
-    for _ in 0..shared.config.keep_alive_requests.max(1) {
-        // The deadline starts when we begin reading a request, so long
-        // keep-alive sessions are fine; only a single slow request is not.
-        let deadline = Instant::now() + shared.config.request_timeout;
-        let request = match read_request(&mut reader, shared.config.max_body_bytes, deadline) {
-            Ok(Some(request)) => request,
-            // Clean close (EOF between requests) or timeout.
-            Ok(None) => break,
-            Err(status) => {
-                shared.state.metrics.record_response(status);
-                let body = format!("{{\"error\":\"{}\"}}", reason(status));
-                let _ = write_response(reader.get_mut(), &Response { status, body }, false);
-                break;
-            }
-        };
-        let keep_alive = request.keep_alive();
-        let response = route(shared, &request);
-        if write_response(reader.get_mut(), &response, keep_alive).is_err() {
-            break;
-        }
-        if !keep_alive || shared.shutdown.load(Ordering::SeqCst) {
-            break;
-        }
-    }
-}
+// ---------------------------------------------------------------------------
+// Incremental HTTP parsing
+// ---------------------------------------------------------------------------
 
 /// One parsed request. Only the pieces the router needs survive parsing.
 struct Request {
@@ -441,70 +1217,103 @@ impl Request {
 const MAX_HEADER_LINE: usize = 8 << 10;
 const MAX_HEADERS: usize = 64;
 
-/// Read one request off the wire. `Ok(None)` means the peer closed (or went
-/// idle past the timeout) between requests; `Err(status)` is a protocol
-/// violation to answer with `status` before closing.
-fn read_request(
-    reader: &mut BufReader<TcpStream>,
-    max_body: usize,
-    deadline: Instant,
-) -> Result<Option<Request>, u16> {
-    // Request line; leading blank lines are tolerated per RFC 9112 §2.2.
+/// Outcome of one incremental parse attempt over buffered bytes.
+enum Parsed {
+    /// Not enough bytes yet; read more.
+    Incomplete,
+    /// Protocol violation to answer with this status before closing.
+    Error(u16),
+    /// One complete request and how many input bytes it consumed.
+    Request(Request, usize),
+}
+
+/// Take one CRLF-terminated line starting at `pos`. `Ok(None)` means the
+/// line is not complete yet (and within bounds); `Err` is the status for a
+/// violated bound or malformed bytes.
+fn take_line(input: &[u8], pos: usize) -> Result<Option<(&str, usize)>, u16> {
+    let rest = &input[pos..];
+    match rest.iter().position(|&b| b == b'\n') {
+        None => {
+            if rest.len() > MAX_HEADER_LINE {
+                Err(431)
+            } else {
+                Ok(None)
+            }
+        }
+        Some(i) => {
+            let mut line = &rest[..i];
+            if line.last() == Some(&b'\r') {
+                line = &line[..line.len() - 1];
+            }
+            if line.len() > MAX_HEADER_LINE {
+                return Err(431);
+            }
+            let line = std::str::from_utf8(line).map_err(|_| 400u16)?;
+            Ok(Some((line, pos + i + 1)))
+        }
+    }
+}
+
+/// Parse one request from `input`. Identical acceptance/rejection behaviour
+/// to the old blocking reader: leading blank lines tolerated (RFC 9112
+/// §2.2), per-line and header-count bounds (431), `Content-Length` framing
+/// only (501 on `Transfer-Encoding`), conflicting duplicates rejected
+/// (400), bodies bounded (413).
+fn parse_request(input: &[u8], max_body: usize) -> Parsed {
+    let mut pos = 0usize;
     let line = loop {
-        match read_header_line(reader, deadline) {
-            Ok(None) => return Ok(None),
-            Ok(Some(line)) if line.is_empty() => continue,
-            Ok(Some(line)) => break line,
-            Err(status) => return Err(status),
+        match take_line(input, pos) {
+            Ok(None) => return Parsed::Incomplete,
+            Ok(Some((line, next))) => {
+                pos = next;
+                if line.is_empty() {
+                    continue;
+                }
+                break line;
+            }
+            Err(status) => return Parsed::Error(status),
         }
     };
     let mut parts = line.split(' ').filter(|p| !p.is_empty());
     let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
-        (Some(m), Some(t), Some(v)) => (m.to_string(), t.to_string(), v.to_string()),
-        _ => return Err(400),
+        (Some(m), Some(t), Some(v)) => (m, t, v),
+        _ => return Parsed::Error(400),
     };
     if version != "HTTP/1.1" && version != "HTTP/1.0" {
-        return Err(400);
+        return Parsed::Error(400);
     }
 
     let mut connection = None;
     let mut authorization = None;
     let mut x_admin_token = None;
     let mut content_length: Option<usize> = None;
+    let mut headers_done = false;
     for _ in 0..MAX_HEADERS {
-        let line = match read_header_line(reader, deadline) {
-            Ok(Some(line)) => line,
-            // EOF mid-headers is malformed, not a clean close.
-            Ok(None) => return Err(400),
-            Err(status) => return Err(status),
-        };
-        if line.is_empty() {
-            let path = target.split('?').next().unwrap_or("").to_string();
-            let content_length = content_length.unwrap_or(0);
-            if content_length > max_body {
-                return Err(413);
+        let header = match take_line(input, pos) {
+            Ok(None) => return Parsed::Incomplete,
+            Ok(Some((line, next))) => {
+                pos = next;
+                line
             }
-            let body = read_body(reader, content_length, deadline)?;
-            return Ok(Some(Request {
-                method,
-                path,
-                http11: version == "HTTP/1.1",
-                connection,
-                authorization,
-                x_admin_token,
-                body,
-            }));
+            Err(status) => return Parsed::Error(status),
+        };
+        if header.is_empty() {
+            headers_done = true;
+            break;
         }
-        let Some((name, value)) = line.split_once(':') else {
-            return Err(400);
+        let Some((name, value)) = header.split_once(':') else {
+            return Parsed::Error(400);
         };
         let value = value.trim();
         if name.eq_ignore_ascii_case("content-length") {
-            let parsed: usize = value.parse().map_err(|_| 400u16)?;
+            let parsed: usize = match value.parse() {
+                Ok(v) => v,
+                Err(_) => return Parsed::Error(400),
+            };
             // Conflicting duplicates desync keep-alive framing (request
             // smuggling); identical repeats are legal to collapse.
             if content_length.is_some_and(|prev| prev != parsed) {
-                return Err(400);
+                return Parsed::Error(400);
             }
             content_length = Some(parsed);
         } else if name.eq_ignore_ascii_case("connection") {
@@ -517,82 +1326,52 @@ fn read_request(
             // We only frame by Content-Length. Silently ignoring chunked
             // bodies would desync the connection (and is the classic
             // smuggling vector behind a proxy), so refuse loudly.
-            return Err(501);
+            return Parsed::Error(501);
         }
     }
-    // Header section never ended within the cap.
-    Err(431)
+    if !headers_done {
+        // Header section never ended within the cap.
+        return Parsed::Error(431);
+    }
+
+    let content_length = content_length.unwrap_or(0);
+    if content_length > max_body {
+        return Parsed::Error(413);
+    }
+    if input.len() < pos + content_length {
+        return Parsed::Incomplete;
+    }
+    let request = Request {
+        method: method.to_string(),
+        path: target.split('?').next().unwrap_or("").to_string(),
+        http11: version == "HTTP/1.1",
+        connection,
+        authorization,
+        x_admin_token,
+        body: input[pos..pos + content_length].to_vec(),
+    };
+    Parsed::Request(request, pos + content_length)
 }
 
-/// Read exactly `content_length` body bytes in bounded chunks, checking the
-/// request deadline between reads so a trickling client cannot hold a
-/// worker past it.
-fn read_body(
-    reader: &mut BufReader<TcpStream>,
-    content_length: usize,
-    deadline: Instant,
-) -> Result<Vec<u8>, u16> {
-    let mut body = vec![0u8; content_length];
-    let mut filled = 0usize;
-    while filled < content_length {
-        if Instant::now() >= deadline {
-            return Err(408);
-        }
-        let chunk = (content_length - filled).min(64 << 10);
-        match reader.read(&mut body[filled..filled + chunk]) {
-            Ok(0) => return Err(400),
-            Ok(n) => filled += n,
-            Err(_) => return Err(400),
-        }
-    }
-    Ok(body)
-}
-
-/// One CRLF-terminated header line, bounded by [`MAX_HEADER_LINE`] and the
-/// whole-request `deadline`. `Ok(None)` is EOF before any byte.
-fn read_header_line(
-    reader: &mut BufReader<TcpStream>,
-    deadline: Instant,
-) -> Result<Option<String>, u16> {
-    let mut raw = Vec::new();
-    loop {
-        if Instant::now() >= deadline {
-            return Err(408);
-        }
-        let mut byte = [0u8; 1];
-        match reader.read(&mut byte) {
-            Ok(0) => {
-                return if raw.is_empty() { Ok(None) } else { Err(400) };
-            }
-            Ok(_) => {
-                if byte[0] == b'\n' {
-                    if raw.last() == Some(&b'\r') {
-                        raw.pop();
-                    }
-                    let line = String::from_utf8(raw).map_err(|_| 400u16)?;
-                    return Ok(Some(line));
-                }
-                raw.push(byte[0]);
-                if raw.len() > MAX_HEADER_LINE {
-                    return Err(431);
-                }
-            }
-            // Timeout or reset: treat as a close. If it happened mid-line
-            // the connection is broken anyway.
-            Err(_) => return Ok(None),
-        }
-    }
-}
+// ---------------------------------------------------------------------------
+// Responses and routing (unchanged handler logic)
+// ---------------------------------------------------------------------------
 
 /// A response ready for the wire. Bodies are always JSON.
 struct Response {
     status: u16,
     body: String,
+    /// `Retry-After` seconds, set only on admission-control sheds.
+    retry_after: Option<u64>,
 }
 
 impl Response {
     fn ok(body: String) -> Self {
-        Self { status: 200, body }
+        Self {
+            status: 200,
+            body,
+            retry_after: None,
+        }
     }
 
     fn error(status: u16, message: &str) -> Self {
@@ -602,6 +1381,7 @@ impl Response {
         Self {
             status,
             body: format!("{{\"error\":\"{escaped}\"}}"),
+            retry_after: None,
         }
     }
 }
@@ -624,17 +1404,28 @@ fn reason(status: u16) -> &'static str {
     }
 }
 
-fn write_response(stream: &mut TcpStream, response: &Response, keep_alive: bool) -> io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
-        response.status,
-        reason(response.status),
-        response.body.len(),
-        if keep_alive { "keep-alive" } else { "close" },
+/// Render head + body into `out` (cleared by the caller).
+fn render_response(out: &mut Vec<u8>, response: &Response, keep_alive: bool) {
+    out.extend_from_slice(
+        format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n",
+            response.status,
+            reason(response.status),
+            response.body.len(),
+        )
+        .as_bytes(),
     );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(response.body.as_bytes())?;
-    stream.flush()
+    if let Some(seconds) = response.retry_after {
+        out.extend_from_slice(format!("Retry-After: {seconds}\r\n").as_bytes());
+    }
+    out.extend_from_slice(
+        format!(
+            "Connection: {}\r\n\r\n",
+            if keep_alive { "keep-alive" } else { "close" }
+        )
+        .as_bytes(),
+    );
+    out.extend_from_slice(response.body.as_bytes());
 }
 
 const ROUTES: [(&str, &str); 6] = [
@@ -809,4 +1600,109 @@ fn handle_batch(state: &AppState, body: &[u8]) -> Response {
     };
     state.metrics.batch_latency.record(started.elapsed());
     rendered
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(bytes: &[u8]) -> Parsed {
+        parse_request(bytes, 1 << 20)
+    }
+
+    #[test]
+    fn parser_is_incremental() {
+        let full = b"POST /answer HTTP/1.1\r\nHost: t\r\nContent-Length: 2\r\n\r\nhi";
+        for cut in 0..full.len() {
+            assert!(
+                matches!(parse(&full[..cut]), Parsed::Incomplete),
+                "prefix of {cut} bytes must be incomplete"
+            );
+        }
+        match parse(full) {
+            Parsed::Request(request, consumed) => {
+                assert_eq!(consumed, full.len());
+                assert_eq!(request.method, "POST");
+                assert_eq!(request.path, "/answer");
+                assert_eq!(request.body, b"hi");
+                assert!(request.http11);
+            }
+            _ => panic!("complete request must parse"),
+        }
+    }
+
+    #[test]
+    fn parser_consumes_exactly_one_pipelined_request() {
+        let two = b"GET /healthz HTTP/1.1\r\n\r\nGET /metrics HTTP/1.1\r\n\r\n";
+        let Parsed::Request(first, consumed) = parse(two) else {
+            panic!("first request must parse");
+        };
+        assert_eq!(first.path, "/healthz");
+        let Parsed::Request(second, rest) = parse(&two[consumed..]) else {
+            panic!("second request must parse");
+        };
+        assert_eq!(second.path, "/metrics");
+        assert_eq!(consumed + rest, two.len());
+    }
+
+    #[test]
+    fn parser_rejections_match_the_blocking_reader() {
+        assert!(matches!(parse(b"garbage\r\n\r\n"), Parsed::Error(400)));
+        assert!(matches!(
+            parse(b"GET / HTTP/2.0\r\n\r\n"),
+            Parsed::Error(400)
+        ));
+        assert!(matches!(
+            parse(b"POST /answer HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            Parsed::Error(501)
+        ));
+        assert!(matches!(
+            parse(b"POST /a HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 3\r\n\r\n"),
+            Parsed::Error(400)
+        ));
+        assert!(matches!(
+            parse(b"POST /a HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 2\r\n\r\nok"),
+            Parsed::Request(_, _)
+        ));
+        let oversized = format!("POST /a HTTP/1.1\r\nContent-Length: {}\r\n\r\n", 2 << 20);
+        assert!(matches!(parse(oversized.as_bytes()), Parsed::Error(413)));
+        let long_line = vec![b'x'; MAX_HEADER_LINE + 2];
+        assert!(matches!(parse(&long_line), Parsed::Error(431)));
+        let mut many_headers = b"GET / HTTP/1.1\r\n".to_vec();
+        for i in 0..MAX_HEADERS {
+            many_headers.extend_from_slice(format!("X-{i}: y\r\n").as_bytes());
+        }
+        many_headers.extend_from_slice(b"\r\n");
+        assert!(matches!(parse(&many_headers), Parsed::Error(431)));
+    }
+
+    #[test]
+    fn parser_tolerates_leading_blank_lines() {
+        match parse(b"\r\n\r\nGET /healthz HTTP/1.1\r\n\r\n") {
+            Parsed::Request(request, _) => assert_eq!(request.path, "/healthz"),
+            _ => panic!("blank lines before the request line are legal"),
+        }
+    }
+
+    #[test]
+    fn timer_wheel_fires_once_per_deadline() {
+        let mut wheel = TimerWheel::new(Duration::from_millis(1));
+        let now = Instant::now();
+        wheel.schedule(3, 1, 1, now + Duration::from_millis(2), now);
+        wheel.schedule(4, 1, 1, now + Duration::from_millis(200), now);
+        let mut due = Vec::new();
+        wheel.advance(now + Duration::from_millis(10), &mut due);
+        assert!(due.contains(&(3, 1, 1)), "short deadline fired: {due:?}");
+        assert!(!due.contains(&(4, 1, 1)), "long deadline still pending");
+        due.clear();
+        wheel.advance(now + Duration::from_millis(600), &mut due);
+        assert!(due.contains(&(4, 1, 1)), "long deadline fired: {due:?}");
+    }
+
+    #[test]
+    fn conn_tokens_roundtrip_slot_and_generation() {
+        let token = conn_token(42, 0x1_0000_0007);
+        assert_eq!((token & 0xFFFF_FFFF) as u32, 42);
+        assert_eq!(token >> 32, 0x7);
+    }
 }

@@ -9,10 +9,15 @@
 //! everything here:
 //!
 //! 1. **`std` only.** The build environment is offline, so instead of
-//!    hyper/tokio the server is a hand-rolled HTTP/1.1 implementation on
-//!    [`std::net::TcpListener`] with a fixed-size worker thread pool —
-//!    request parsing, routing, keep-alive and graceful shutdown included.
-//!    The vendored `serde_json` stand-in handles the wire format.
+//!    hyper/tokio the server is a hand-rolled HTTP/1.1 implementation:
+//!    a small pool of **event-loop threads** on raw epoll readiness
+//!    ([`epoll`] declares `epoll_create1`/`epoll_ctl`/`epoll_wait` directly
+//!    against the libc `std` already links), nonblocking accept,
+//!    per-connection state machines with incremental parse/write buffers,
+//!    timer-wheel deadlines, and a fixed-size worker pool for request
+//!    compute — so thousands of idle keep-alive connections cost buffers,
+//!    not threads. The vendored `serde_json` stand-in handles the wire
+//!    format.
 //! 2. **Repeated questions dominate real QA traffic** ("QA Is the New KR",
 //!    Chen et al., 2022), so a sharded, lock-striped LRU [`cache`] sits in
 //!    front of the engine. It is keyed by
@@ -27,9 +32,13 @@
 //!    through `POST /admin/reload` (token-gated, reading the persist layer);
 //!    cache keys are versioned by the
 //!    [`ModelHandle`](kbqa_core::service::ModelHandle) epoch so a swap
-//!    invalidates stale answers without a flush; and a **bounded accept
-//!    queue** sheds overload with `429` + `Retry-After` instead of queueing
-//!    without bound. `docs/OPERATIONS.md` is the runbook for all of it.
+//!    invalidates stale answers without a flush; and **two-layer admission
+//!    control** sheds overload with `429` + `Retry-After` instead of
+//!    queueing without bound — whole connections at accept time past the
+//!    open-connection bound, and `/answer`/`/batch` requests at dispatch
+//!    time when the worker queue saturates (per-route priority: health,
+//!    metrics and admin always dispatch). `docs/OPERATIONS.md` is the
+//!    runbook for all of it.
 //!
 //! # Routes
 //!
@@ -62,6 +71,7 @@
 //! ```
 
 pub mod cache;
+pub mod epoll;
 pub mod http;
 pub mod metrics;
 

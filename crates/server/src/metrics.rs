@@ -142,7 +142,10 @@ pub struct Metrics {
     answered: AtomicU64,
     refused: AtomicU64,
     requests_shed: AtomicU64,
+    requests_shed_by_route: AtomicU64,
     admin_reloads: AtomicU64,
+    open_connections: AtomicU64,
+    epoll_wakeups: AtomicU64,
     /// `POST /answer` end-to-end latency (parse → serialize).
     pub answer_latency: LatencyHistogram,
     /// `POST /batch` end-to-end latency (whole batch).
@@ -170,7 +173,10 @@ impl Metrics {
             answered: AtomicU64::new(0),
             refused: AtomicU64::new(0),
             requests_shed: AtomicU64::new(0),
+            requests_shed_by_route: AtomicU64::new(0),
             admin_reloads: AtomicU64::new(0),
+            open_connections: AtomicU64::new(0),
+            epoll_wakeups: AtomicU64::new(0),
             answer_latency: LatencyHistogram::new(),
             batch_latency: LatencyHistogram::new(),
         }
@@ -210,9 +216,37 @@ impl Metrics {
         self.requests_shed.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Count one request shed by **route-level** admission (a parsed
+    /// `POST /answer` or `POST /batch` answered 429 because the worker
+    /// queue was saturated — so it moves `requests_total`, this counter,
+    /// and the 4xx class, while the connection stays open).
+    pub fn record_route_shed(&self) {
+        self.requests_shed_by_route.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Count one successful `POST /admin/reload` model swap.
     pub fn record_reload(&self) {
         self.admin_reloads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Track a connection entering the event loop (gauge up).
+    pub fn connection_opened(&self) {
+        self.open_connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Track a connection leaving the event loop (gauge down).
+    pub fn connection_closed(&self) {
+        self.open_connections.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// The open-connection gauge (accept-time admission reads this).
+    pub fn open_connections(&self) -> u64 {
+        self.open_connections.load(Ordering::Relaxed)
+    }
+
+    /// Count one `epoll_wait` return that carried at least one event.
+    pub fn record_epoll_wakeup(&self) {
+        self.epoll_wakeups.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Classify one engine outcome (answered vs refused).
@@ -239,7 +273,10 @@ impl Metrics {
             answered: self.answered.load(Ordering::Relaxed),
             refused: self.refused.load(Ordering::Relaxed),
             requests_shed: self.requests_shed.load(Ordering::Relaxed),
+            requests_shed_by_route: self.requests_shed_by_route.load(Ordering::Relaxed),
             admin_reloads: self.admin_reloads.load(Ordering::Relaxed),
+            open_connections: self.open_connections.load(Ordering::Relaxed),
+            epoll_wakeups: self.epoll_wakeups.load(Ordering::Relaxed),
             answer_latency: self.answer_latency.snapshot(),
             batch_latency: self.batch_latency.snapshot(),
         }
@@ -269,13 +306,25 @@ pub struct MetricsSnapshot {
     pub answered: u64,
     /// Engine outcomes that refused.
     pub refused: u64,
-    /// Connections shed with 429 by admission control (also counted in
-    /// `responses_4xx`, never in `requests_total`).
+    /// Connections shed with 429 by **connection-level** admission control
+    /// at accept time (also counted in `responses_4xx`, never in
+    /// `requests_total`: no request was parsed).
     #[serde(default)]
     pub requests_shed: u64,
+    /// Parsed `POST /answer` / `POST /batch` requests shed with 429 by
+    /// **route-level** admission (worker queue saturated; counted in
+    /// `requests_total` and `responses_4xx`; the connection stays open).
+    #[serde(default)]
+    pub requests_shed_by_route: u64,
     /// Successful `POST /admin/reload` model swaps.
     #[serde(default)]
     pub admin_reloads: u64,
+    /// Connections currently owned by the event loops (gauge).
+    #[serde(default)]
+    pub open_connections: u64,
+    /// `epoll_wait` returns that carried at least one event (counter).
+    #[serde(default)]
+    pub epoll_wakeups: u64,
     /// `/answer` latency histogram.
     pub answer_latency: HistogramSnapshot,
     /// `/batch` latency histogram.

@@ -1,0 +1,606 @@
+//! Protocol hardening and concurrency tests for the event-driven server
+//! core (PR 5): timer-wheel deadlines (slowloris → 408, idle close),
+//! pipelining, mid-write client disconnects, per-route admission priority,
+//! the new observability gauges — plus the high-concurrency soak suite CI
+//! drives with `cargo test --release -p kbqa-server -- --ignored soak`.
+//!
+//! The smuggling-guard cases (`Transfer-Encoding` → 501, conflicting
+//! `Content-Length` → 400, garbage request line → 400, oversized body →
+//! 413) stay pinned byte-identically in `tests/http_server.rs`, which runs
+//! unchanged against the event loop.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+use kbqa_core::learner::LearnedModel;
+use kbqa_core::service::KbqaService;
+use kbqa_rdf::GraphBuilder;
+use kbqa_server::{serve, MetricsSnapshot, ServerConfig, ServerHandle};
+use kbqa_taxonomy::{Conceptualizer, NetworkBuilder};
+
+/// A near-free service over an empty world — these tests exercise the
+/// connection state machine, not the engine.
+fn empty_service() -> KbqaService {
+    KbqaService::new(
+        Arc::new(GraphBuilder::new().build()),
+        Arc::new(Conceptualizer::new(NetworkBuilder::new().build())),
+        Arc::new(LearnedModel::default()),
+    )
+}
+
+fn start(config: ServerConfig) -> ServerHandle {
+    serve(empty_service(), "127.0.0.1:0", config).expect("bind ephemeral port")
+}
+
+// ---------------------------------------------------------------------------
+// A tiny test-side HTTP client
+// ---------------------------------------------------------------------------
+
+fn request_bytes(method: &str, path: &str, body: &str, close: bool) -> Vec<u8> {
+    format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nConnection: {}\r\nContent-Length: {}\r\n\r\n{body}",
+        if close { "close" } else { "keep-alive" },
+        body.len()
+    )
+    .into_bytes()
+}
+
+/// Read one response (keep-alive safe). Returns (status, head, body).
+fn read_response(stream: &mut TcpStream) -> (u16, String, String) {
+    let mut raw = Vec::new();
+    let mut byte = [0u8; 1];
+    while !raw.ends_with(b"\r\n\r\n") {
+        match stream.read(&mut byte) {
+            Ok(1) => raw.push(byte[0]),
+            _ => panic!(
+                "connection closed mid-header: {:?}",
+                String::from_utf8_lossy(&raw)
+            ),
+        }
+    }
+    let head = String::from_utf8(raw).expect("utf8 head");
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let content_length: usize = head
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+        .and_then(|v| v.trim().parse().ok())
+        .expect("content-length header");
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body).expect("read body");
+    (status, head, String::from_utf8(body).expect("utf8 body"))
+}
+
+fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(&request_bytes(method, path, body, true))
+        .expect("write request");
+    let (status, _, body) = read_response(&mut stream);
+    (status, body)
+}
+
+fn metrics(addr: SocketAddr) -> MetricsSnapshot {
+    let (status, body) = http(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    serde_json::from_str(&body).expect("metrics JSON")
+}
+
+// ---------------------------------------------------------------------------
+// Timer-wheel deadlines
+// ---------------------------------------------------------------------------
+
+#[test]
+fn slowloris_trickle_is_answered_408_by_the_timer_wheel() {
+    let config = ServerConfig {
+        request_timeout: Duration::from_millis(400),
+        read_timeout: Duration::from_secs(10),
+        timer_granularity: Duration::from_millis(10),
+        ..ServerConfig::default()
+    };
+    let server = start(config);
+    let addr = server.local_addr();
+
+    // Trickle a request that never completes: the whole-request deadline
+    // must fire even though bytes keep arriving (each read resets nothing).
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(b"POST /answer HTTP/1.1\r\n").unwrap();
+    for _ in 0..6 {
+        std::thread::sleep(Duration::from_millis(100));
+        // Writes after the 408 may fail with a reset; that is the point.
+        if stream.write_all(b"X-Slow: 1\r\n").is_err() {
+            break;
+        }
+    }
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let (status, _, body) = read_response(&mut stream);
+    assert_eq!(status, 408, "slowloris must time out: {body}");
+    assert_eq!(body, "{\"error\":\"Request Timeout\"}");
+    // The 408 closes the connection.
+    let mut rest = Vec::new();
+    assert_eq!(stream.read_to_end(&mut rest).unwrap_or(0), 0);
+
+    // The server is unharmed.
+    let (status, _) = http(addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    server.shutdown();
+}
+
+#[test]
+fn idle_keep_alive_connection_is_closed_after_read_timeout() {
+    let config = ServerConfig {
+        read_timeout: Duration::from_millis(300),
+        timer_granularity: Duration::from_millis(10),
+        ..ServerConfig::default()
+    };
+    let server = start(config);
+    let addr = server.local_addr();
+
+    // A connection that never sends anything is dropped silently (no 408 —
+    // nothing was being read).
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut buf = Vec::new();
+    let n = stream.read_to_end(&mut buf).unwrap_or(0);
+    assert_eq!(n, 0, "idle connection must close without a response");
+
+    // A keep-alive connection goes idle *between* requests on the same
+    // budget: first request served, then the silent close.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(&request_bytes("GET", "/healthz", "", false))
+        .unwrap();
+    let (status, _, _) = read_response(&mut stream);
+    assert_eq!(status, 200);
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let n = stream.read_to_end(&mut buf).unwrap_or(0);
+    assert_eq!(n, 0, "idle keep-alive must close without a response");
+
+    server.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Pipelining and disconnects
+// ---------------------------------------------------------------------------
+
+#[test]
+fn pipelined_requests_are_served_in_order_on_one_connection() {
+    let server = start(ServerConfig::default());
+    let addr = server.local_addr();
+
+    // Three requests in one write; the loop parses them back-to-back out of
+    // the same buffer without waiting for new readiness.
+    let mut wire = Vec::new();
+    wire.extend_from_slice(&request_bytes("GET", "/healthz", "", false));
+    wire.extend_from_slice(&request_bytes(
+        "POST",
+        "/answer",
+        "{\"question\":\"why is the sky blue\"}",
+        false,
+    ));
+    wire.extend_from_slice(&request_bytes("GET", "/cache/stats", "", true));
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(&wire).expect("write pipeline");
+
+    let (status_a, _, body_a) = read_response(&mut stream);
+    let (status_b, _, body_b) = read_response(&mut stream);
+    let (status_c, head_c, body_c) = read_response(&mut stream);
+    assert_eq!((status_a, status_b, status_c), (200, 200, 200));
+    assert!(body_a.contains("\"status\":\"ok\""), "{body_a}");
+    assert!(body_b.contains("refusal"), "{body_b}");
+    assert!(body_c.contains("\"misses\":1"), "{body_c}");
+    assert!(head_c.contains("Connection: close"), "{head_c}");
+    let mut rest = Vec::new();
+    assert_eq!(stream.read_to_end(&mut rest).unwrap_or(0), 0);
+
+    server.shutdown();
+}
+
+#[test]
+fn blank_line_floods_are_discarded_not_buffered() {
+    let server = start(ServerConfig::default());
+    let addr = server.local_addr();
+
+    // RFC 9112 tolerates blank lines before a request line; a flood of them
+    // must be consumed as it arrives (not accumulated until the request
+    // deadline), and a real request after the flood still parses.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let flood = "\r\n".repeat(64 << 10);
+    stream.write_all(flood.as_bytes()).expect("write flood");
+    stream
+        .write_all(&request_bytes("GET", "/healthz", "", true))
+        .expect("write request");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let (status, _, body) = read_response(&mut stream);
+    assert_eq!(status, 200, "request after a blank-line flood: {body}");
+
+    server.shutdown();
+}
+
+#[test]
+fn eof_mid_request_is_malformed_not_a_clean_close() {
+    let server = start(ServerConfig::default());
+    let addr = server.local_addr();
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(b"POST /answer HTTP/1.1\r\nHost: t\r\n")
+        .unwrap();
+    stream.shutdown(std::net::Shutdown::Write).unwrap();
+    let (status, _, _) = read_response(&mut stream);
+    assert_eq!(status, 400, "EOF mid-headers is malformed");
+
+    server.shutdown();
+}
+
+#[test]
+fn mid_write_client_disconnects_do_not_poison_the_server() {
+    let server = start(ServerConfig::default());
+    let addr = server.local_addr();
+
+    // A wave of clients that send a request and vanish without reading the
+    // response: the loop hits EPIPE/reset mid-write and must just close.
+    for _ in 0..16 {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(&request_bytes(
+                "POST",
+                "/answer",
+                "{\"question\":\"why is the sky blue\"}",
+                false,
+            ))
+            .expect("write request");
+        drop(stream);
+    }
+
+    // Give the loops a beat to observe the disconnects, then verify health.
+    std::thread::sleep(Duration::from_millis(200));
+    let (status, _) = http(addr, "GET", "/healthz", "");
+    assert_eq!(status, 200, "server must survive mid-write disconnects");
+    let snap = metrics(addr);
+    assert_eq!(snap.responses_5xx, 0, "{snap:?}");
+
+    server.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Per-route admission priority + gauges
+// ---------------------------------------------------------------------------
+
+#[test]
+fn route_priority_sheds_answer_while_serving_healthz() {
+    let config = ServerConfig {
+        workers: 1,
+        max_queued: 1,
+        max_pending: 1024,
+        retry_after_secs: 9,
+        max_body_bytes: 64 << 20,
+        ..ServerConfig::default()
+    };
+    let server = start(config);
+    let addr = server.local_addr();
+
+    // Saturate the single worker with /batch work, then probe /answer until
+    // one probe lands while the queue is non-empty. The dance is
+    // self-correcting across debug/release speed differences: a probe that
+    // gets *queued* (read times out) itself raises the queue depth, so the
+    // next probe during the same busy window is shed deterministically.
+    let question = "{\"question\":\"what is the population of nowhere at all\"},";
+    let mut batch = String::with_capacity(question.len() * 2_000 + 2);
+    batch.push('[');
+    for _ in 0..2_000 {
+        batch.push_str(question);
+    }
+    batch.pop();
+    batch.push(']');
+
+    let mut busy: Vec<TcpStream> = Vec::new();
+    let mut queued: Vec<TcpStream> = Vec::new();
+    let mut shed_head: Option<String> = None;
+    'outer: for _ in 0..20 {
+        let mut stream = TcpStream::connect(addr).expect("connect busy");
+        stream
+            .write_all(&request_bytes("POST", "/batch", &batch, true))
+            .expect("write batch");
+        busy.push(stream);
+        loop {
+            let mut probe = TcpStream::connect(addr).expect("connect probe");
+            probe
+                .write_all(&request_bytes(
+                    "POST",
+                    "/answer",
+                    "{\"question\":\"hi\"}",
+                    false,
+                ))
+                .unwrap();
+            probe
+                .set_read_timeout(Some(Duration::from_millis(50)))
+                .unwrap();
+            let mut raw = Vec::new();
+            let mut byte = [0u8; 1];
+            let complete = loop {
+                match probe.read(&mut byte) {
+                    Ok(1) => {
+                        raw.push(byte[0]);
+                        if raw.ends_with(b"\r\n\r\n") {
+                            break true;
+                        }
+                    }
+                    _ => break false,
+                }
+            };
+            if !complete {
+                // No response within the window: the probe was *queued*
+                // behind the running batch — keep it alive so the queue
+                // stays non-empty for the next probe.
+                queued.push(probe);
+                continue;
+            }
+            let head = String::from_utf8_lossy(&raw).to_string();
+            let status: u16 = head
+                .split(' ')
+                .nth(1)
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0);
+            match status {
+                429 => {
+                    shed_head = Some(head);
+                    break 'outer;
+                }
+                // Served immediately: the batch already finished (or was
+                // not yet dispatched); start another busy window.
+                200 => break,
+                other => panic!("unexpected probe status {other}: {head}"),
+            }
+        }
+    }
+
+    let head = shed_head.expect("a probe must be shed while the queue is saturated");
+    let retry_after = head
+        .lines()
+        .find_map(|l| l.strip_prefix("Retry-After: "))
+        .expect("Retry-After on route shed");
+    assert_eq!(retry_after.trim(), "9");
+    assert!(
+        head.contains("Connection: keep-alive"),
+        "route sheds keep the connection: {head}"
+    );
+
+    // Priority route on the SAME saturated server: /healthz dispatches
+    // (never route-shed) and is served once the worker drains the backlog.
+    let mut health = TcpStream::connect(addr).expect("connect health");
+    health
+        .write_all(&request_bytes("GET", "/healthz", "", true))
+        .unwrap();
+    health
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+    let (status, _, body) = read_response(&mut health);
+    assert_eq!(status, 200, "healthz must never be route-shed: {body}");
+    drop(busy);
+    drop(queued);
+
+    let snap = metrics(addr);
+    assert!(snap.requests_shed_by_route >= 1, "{snap:?}");
+    assert_eq!(snap.requests_shed, 0, "no accept-time sheds here");
+    assert!(
+        snap.requests_total > snap.requests_shed_by_route,
+        "route sheds count as parsed requests: {snap:?}"
+    );
+
+    server.shutdown();
+}
+
+#[test]
+fn event_loop_gauges_are_exported() {
+    let server = start(ServerConfig::default());
+    let addr = server.local_addr();
+
+    // A held keep-alive connection is visible in the gauge.
+    let mut held = TcpStream::connect(addr).expect("connect held");
+    held.write_all(&request_bytes("GET", "/healthz", "", false))
+        .unwrap();
+    let (status, _, _) = read_response(&mut held);
+    assert_eq!(status, 200);
+
+    let snap = metrics(addr);
+    assert!(
+        snap.open_connections >= 1,
+        "held connection must show in the gauge: {snap:?}"
+    );
+    assert!(
+        snap.epoll_wakeups > 0,
+        "served traffic implies wakeups: {snap:?}"
+    );
+    drop(held);
+
+    server.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Soak suite (ignored; CI runs: cargo test --release -- --ignored soak)
+// ---------------------------------------------------------------------------
+
+/// ≥256 concurrent keep-alive connections, mixed routes, on ≤4 event-loop
+/// threads: zero dropped responses, zero sheds, zero 5xx below the
+/// admission bound.
+#[test]
+#[ignore = "soak: run explicitly with --ignored (CI does, in release mode)"]
+fn soak_256_keep_alive_connections_mixed_routes() {
+    const CONNECTIONS: usize = 256;
+    const ROUNDS: usize = 24;
+    let config = ServerConfig {
+        event_loops: 4,
+        max_pending: 1024,
+        read_timeout: Duration::from_secs(30),
+        request_timeout: Duration::from_secs(60),
+        ..ServerConfig::default()
+    };
+    let server = start(config);
+    let addr = server.local_addr();
+
+    let barrier = Arc::new(Barrier::new(CONNECTIONS));
+    let served = Arc::new(AtomicUsize::new(0));
+    std::thread::scope(|scope| {
+        for i in 0..CONNECTIONS {
+            let barrier = Arc::clone(&barrier);
+            let served = Arc::clone(&served);
+            scope.spawn(move || {
+                let mut stream = TcpStream::connect(addr).expect("connect");
+                stream
+                    .set_read_timeout(Some(Duration::from_secs(120)))
+                    .unwrap();
+                // Everyone connects before anyone talks: the server holds
+                // all 256 connections open simultaneously.
+                barrier.wait();
+                for round in 0..ROUNDS {
+                    let close = round + 1 == ROUNDS;
+                    let wire = match (i + round) % 3 {
+                        0 => request_bytes(
+                            "POST",
+                            "/answer",
+                            "{\"question\":\"what is the population of nowhere\"}",
+                            close,
+                        ),
+                        1 => request_bytes(
+                            "POST",
+                            "/batch",
+                            "[{\"question\":\"who is nobody married to\"},{\"question\":\"hi\"}]",
+                            close,
+                        ),
+                        _ => request_bytes("GET", "/healthz", "", close),
+                    };
+                    stream.write_all(&wire).expect("write request");
+                    let (status, _, _) = read_response(&mut stream);
+                    assert_eq!(status, 200, "connection {i} round {round}");
+                    served.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+
+    assert_eq!(served.load(Ordering::Relaxed), CONNECTIONS * ROUNDS);
+    let snap = metrics(addr);
+    assert_eq!(snap.requests_shed, 0, "below the bound nothing sheds");
+    assert_eq!(snap.requests_shed_by_route, 0, "{snap:?}");
+    assert_eq!(snap.responses_5xx, 0, "{snap:?}");
+    assert!(
+        snap.requests_total >= (CONNECTIONS * ROUNDS) as u64,
+        "{snap:?}"
+    );
+    server.shutdown();
+}
+
+/// Above the admission bound, excess connections get a correct
+/// `429` + `Retry-After` at accept time; admitted ones are served.
+#[test]
+#[ignore = "soak: run explicitly with --ignored (CI does, in release mode)"]
+fn soak_overload_sheds_429_above_the_admission_bound() {
+    const CONNECTIONS: usize = 64;
+    let config = ServerConfig {
+        workers: 2,
+        event_loops: 2,
+        max_pending: 8, // admission bound: workers + max_pending = 10 open
+        retry_after_secs: 3,
+        read_timeout: Duration::from_secs(30),
+        ..ServerConfig::default()
+    };
+    let server = start(config);
+    let addr = server.local_addr();
+
+    let barrier = Arc::new(Barrier::new(CONNECTIONS));
+    let served = Arc::new(AtomicUsize::new(0));
+    let shed = Arc::new(AtomicUsize::new(0));
+    std::thread::scope(|scope| {
+        for _ in 0..CONNECTIONS {
+            let barrier = Arc::clone(&barrier);
+            let served = Arc::clone(&served);
+            let shed = Arc::clone(&shed);
+            scope.spawn(move || {
+                let mut stream = TcpStream::connect(addr).expect("connect");
+                stream
+                    .set_read_timeout(Some(Duration::from_secs(60)))
+                    .unwrap();
+                // Hold all connections open concurrently so the bound is
+                // genuinely exceeded, then speak.
+                barrier.wait();
+                stream
+                    .write_all(&request_bytes("GET", "/healthz", "", true))
+                    .expect("write request");
+                // Shed connections were answered 429 at accept, before the
+                // request was even sent; admitted ones answer it with 200.
+                let mut raw = Vec::new();
+                let mut byte = [0u8; 1];
+                while !raw.ends_with(b"\r\n\r\n") {
+                    match stream.read(&mut byte) {
+                        Ok(1) => raw.push(byte[0]),
+                        Ok(_) | Err(_) => break,
+                    }
+                }
+                let head = String::from_utf8_lossy(&raw).to_string();
+                let status: u16 = head
+                    .split(' ')
+                    .nth(1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(0);
+                // Everyone still holds their socket until the whole wave is
+                // classified.
+                barrier.wait();
+                match status {
+                    200 => {
+                        served.fetch_add(1, Ordering::Relaxed);
+                    }
+                    429 => {
+                        let retry = head
+                            .lines()
+                            .find_map(|l| l.strip_prefix("Retry-After: "))
+                            .expect("Retry-After header on shed 429");
+                        assert_eq!(retry.trim(), "3");
+                        assert!(head.contains("Connection: close"), "{head}");
+                        shed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    // A raced hard reset while shedding: the client was
+                    // refused either way.
+                    0 => {
+                        shed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    other => panic!("unexpected status {other}: {head}"),
+                }
+            });
+        }
+    });
+
+    let served = served.load(Ordering::Relaxed);
+    let shed = shed.load(Ordering::Relaxed);
+    assert_eq!(served + shed, CONNECTIONS);
+    assert!(
+        shed >= CONNECTIONS - 20,
+        "with 64 held connections over a bound of 10, most must shed \
+         (served {served}, shed {shed})"
+    );
+    assert!(served >= 1, "the admitted handful is actually served");
+    let snap = metrics(addr);
+    assert!(
+        snap.requests_shed as usize >= shed.saturating_sub(2),
+        "{snap:?}"
+    );
+
+    // The wave is gone: the server recovers.
+    let (status, _) = http(addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    server.shutdown();
+}

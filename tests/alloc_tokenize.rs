@@ -1,0 +1,112 @@
+//! Steady-state allocation budget of the reusable tokenizer (PR 5).
+//!
+//! A counting global allocator wraps the system allocator; after a warmup
+//! pass has grown the reused `TokenizedText` buffers (raw string, token
+//! vec, per-token strings) to the workload's working capacity, repeated
+//! `tokenize_into` calls — and the decompose DP's `slice_into` substring
+//! assembly — must perform **zero** heap allocations. This is the PR 4
+//! follow-up pinned the same way `tests/alloc_steady_state.rs` pins the
+//! kernel: the serving path's remaining per-request allocation
+//! (tokenization) is now scratch-reused too.
+//!
+//! This file intentionally holds a single test: the allocator counter is
+//! process-global, and a concurrently running test would pollute the delta.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+use kbqa_nlp::{tokenize, tokenize_into, TokenizedText};
+
+#[test]
+fn steady_state_tokenize_into_and_slice_into_perform_zero_allocations() {
+    // A mixed workload: short and long questions, possessives, digits,
+    // unicode, punctuation-only — everything the tokenizer special-cases.
+    let questions = [
+        "How many people are there in Honolulu?",
+        "When was Barack Obama's wife born?",
+        "what is the population of the capital of the republic",
+        "It's 390000.",
+        "Tōkyō’s 区 population?",
+        "a",
+        "?!,.",
+        "who is the vice-president of the United States of America",
+    ];
+
+    let mut buffer = TokenizedText::default();
+    let mut sub = TokenizedText::default();
+
+    // Correctness first: the reused buffer must match a fresh tokenization
+    // on every input, and slices must match tokenize-of-join.
+    for q in questions {
+        tokenize_into(q, &mut buffer);
+        assert_eq!(buffer, tokenize(q), "reused buffer diverged on {q:?}");
+        for a in 0..=buffer.len() {
+            for b in a..=buffer.len() {
+                buffer.slice_into(a, b, &mut sub);
+                assert_eq!(sub, tokenize(&buffer.join(a, b)));
+            }
+        }
+    }
+
+    // Warmup: grow every reused allocation to its steady-state capacity.
+    for _ in 0..3 {
+        for q in questions {
+            tokenize_into(q, &mut buffer);
+            let n = buffer.len();
+            for a in 0..=n {
+                for b in a..=n {
+                    buffer.slice_into(a, b, &mut sub);
+                }
+            }
+        }
+    }
+
+    let before = allocations();
+    let mut tokens_seen = 0usize;
+    for _ in 0..50 {
+        for q in questions {
+            tokenize_into(q, &mut buffer);
+            tokens_seen += buffer.len();
+            let n = buffer.len();
+            for a in 0..=n {
+                for b in a..=n {
+                    buffer.slice_into(a, b, &mut sub);
+                    tokens_seen += sub.len();
+                }
+            }
+        }
+    }
+    let delta = allocations() - before;
+    assert!(tokens_seen > 0, "workload must produce tokens");
+    assert_eq!(
+        delta, 0,
+        "steady-state tokenize_into/slice_into allocated {delta} times"
+    );
+}
