@@ -16,7 +16,7 @@ fn bench_expansion(c: &mut Criterion) {
     let all_sources: Vec<NodeId> = store
         .dict()
         .nodes()
-        .filter(|&n| store.dict().node_term(n).is_resource() && !store.out_edges(n).is_empty())
+        .filter(|&n| store.dict().node_term(n).is_resource() && store.out_edges(n).next().is_some())
         .collect();
 
     let mut group = c.benchmark_group("expansion_bfs");

@@ -45,6 +45,9 @@ pub mod ids {
 
 /// Define a newtyped `u32` id with the standard trait surface.
 ///
+/// Generated types are `#[repr(transparent)]` over their `u32`, so columnar
+/// storage layers may reinterpret `&[u32]` runs as id slices without copying.
+///
 /// ```
 /// kbqa_common::define_id!(
 ///     /// Identifies a widget.
@@ -63,6 +66,7 @@ macro_rules! define_id {
             serde::Serialize, serde::Deserialize,
         )]
         #[serde(transparent)]
+        #[repr(transparent)]
         pub struct $name(pub u32);
 
         impl $name {

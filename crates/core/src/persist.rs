@@ -13,9 +13,12 @@
 //! and re-running EM. The same files back the server's `POST /admin/reload`
 //! hot-swap path.
 //!
-//! JSON rather than a bespoke binary format: the artifacts are inspectable,
-//! diffable in experiments, and the workspace already carries `serde`. A
-//! binary codec would only matter at scales our worlds never reach.
+//! JSON for the model, taxonomy, NER and pattern index: those artifacts are
+//! small, inspectable and diffable in experiments. The **knowledge base**
+//! is the exception — at million-entity scale a JSON parse dominates start
+//! time, so the store is persisted as a zero-copy snapshot (`store.snap`,
+//! see `kbqa_rdf::snapshot`) that loads by `mmap` with no rebuild; legacy
+//! `store.json` bundles remain loadable as a fallback.
 //!
 //! # Atomicity and integrity (PR 5)
 //!
@@ -45,7 +48,7 @@ use serde::Serialize;
 use kbqa_common::error::{KbqaError, Result};
 use kbqa_common::hash::FxHasher;
 use kbqa_nlp::GazetteerNer;
-use kbqa_rdf::TripleStore;
+use kbqa_rdf::{Snapshot, TripleStore};
 use kbqa_taxonomy::Conceptualizer;
 
 use crate::decompose::PatternIndex;
@@ -140,13 +143,44 @@ pub fn load_model(path: &Path) -> Result<LearnedModel> {
     Ok(model)
 }
 
-/// Save a triple store.
+/// Save a triple store as a zero-copy snapshot (`store.snap`) with a
+/// checksum sidecar. The snapshot writer is itself atomic (temp + fsync +
+/// rename), so this follows the same crash discipline as [`save_json`].
 pub fn save_store(store: &TripleStore, path: &Path) -> Result<()> {
-    save_json(store, path)
+    let file_digest = store.write_snapshot(path)?;
+    write_atomic(
+        &checksum_path(path),
+        format!("{file_digest:016x}\n").as_bytes(),
+    )?;
+    Ok(())
 }
 
-/// Load a triple store, rebuilding its derived indexes.
+/// Load a triple store by mapping its snapshot file read-only — no parse,
+/// no rebuild; the columns are served straight out of the page cache.
+///
+/// The snapshot's embedded checksum is always verified by
+/// [`Snapshot::open`]; when a `.fxsum` sidecar exists, the full-file digest
+/// is cross-checked against it too (same convention as [`load_json`]).
 pub fn load_store(path: &Path) -> Result<TripleStore> {
+    let snapshot = Snapshot::open(path)?;
+    if let Ok(expected) = std::fs::read_to_string(checksum_path(path)) {
+        let actual = digest(snapshot.bytes());
+        if expected.trim() != actual {
+            return Err(KbqaError::Io(format!(
+                "checksum mismatch for {}: sidecar says {}, file hashes to {actual} \
+                 (corrupt or partially-replaced artifact; re-save to repair)",
+                path.display(),
+                expected.trim(),
+            )));
+        }
+    }
+    Ok(TripleStore::from_snapshot(snapshot))
+}
+
+/// Load a triple store from the legacy JSON format (`store.json`),
+/// rebuilding its derived indexes. Kept so artifact directories written
+/// before the snapshot format stay warm-startable.
+pub fn load_store_json(path: &Path) -> Result<TripleStore> {
     let mut store: TripleStore = load_json(path)?;
     store.rebuild_index();
     Ok(store)
@@ -164,8 +198,11 @@ pub fn load_taxonomy(path: &Path) -> Result<Conceptualizer> {
     Ok(conceptualizer)
 }
 
-/// File name for the knowledge base inside an artifact directory.
-pub const STORE_FILE: &str = "store.json";
+/// File name for the knowledge base snapshot inside an artifact directory.
+pub const STORE_FILE: &str = "store.snap";
+/// Legacy JSON file name for the knowledge base; read as a fallback when no
+/// snapshot is present, never written by current saves.
+pub const LEGACY_STORE_FILE: &str = "store.json";
 /// File name for the taxonomy inside an artifact directory.
 pub const TAXONOMY_FILE: &str = "taxonomy.json";
 /// File name for the learned model inside an artifact directory.
@@ -207,7 +244,7 @@ impl ServingArtifacts {
         }
     }
 
-    /// Write every artifact into `dir` (created if missing): `store.json`,
+    /// Write every artifact into `dir` (created if missing): `store.snap`,
     /// `taxonomy.json`, `model.json`, and — when present — `ner.json` and
     /// `patterns.json`.
     pub fn save(&self, dir: &Path) -> Result<()> {
@@ -224,13 +261,21 @@ impl ServingArtifacts {
         Ok(())
     }
 
-    /// Load a bundle from `dir`, rebuilding every derived index. The NER and
-    /// pattern-index files are optional; everything else must be present.
+    /// Load a bundle from `dir`. The store is mapped from its snapshot
+    /// (warm start: no parse, no index rebuild) — or parsed from the legacy
+    /// `store.json` when no snapshot exists. The NER and pattern-index
+    /// files are optional; everything else must be present.
     pub fn load(dir: &Path) -> Result<Self> {
         let ner_path = dir.join(NER_FILE);
         let patterns_path = dir.join(PATTERNS_FILE);
+        let snap_path = dir.join(STORE_FILE);
+        let store = if snap_path.exists() {
+            load_store(&snap_path)?
+        } else {
+            load_store_json(&dir.join(LEGACY_STORE_FILE))?
+        };
         Ok(Self {
-            store: Arc::new(load_store(&dir.join(STORE_FILE))?),
+            store: Arc::new(store),
             conceptualizer: Arc::new(load_taxonomy(&dir.join(TAXONOMY_FILE))?),
             model: Arc::new(load_model(&dir.join(MODEL_FILE))?),
             ner: if ner_path.exists() {
@@ -246,11 +291,12 @@ impl ServingArtifacts {
         })
     }
 
-    /// Does `dir` hold a loadable bundle (all three mandatory files)?
+    /// Does `dir` hold a loadable bundle (a store in either format, plus
+    /// the taxonomy and model)?
     pub fn present_in(dir: &Path) -> bool {
-        [STORE_FILE, TAXONOMY_FILE, MODEL_FILE]
-            .iter()
-            .all(|f| dir.join(f).exists())
+        (dir.join(STORE_FILE).exists() || dir.join(LEGACY_STORE_FILE).exists())
+            && dir.join(TAXONOMY_FILE).exists()
+            && dir.join(MODEL_FILE).exists()
     }
 
     /// Build a ready-to-serve [`KbqaService`] from the bundle — the warm
@@ -400,6 +446,69 @@ mod tests {
             restored.pattern_index().is_some(),
             "pattern index persisted"
         );
+    }
+
+    #[test]
+    fn store_snapshot_roundtrip_is_mapped_and_checksummed() {
+        let world = World::generate(WorldConfig::tiny(44));
+        let dir = std::env::temp_dir().join(format!("kbqa-persist-snap-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(STORE_FILE);
+
+        save_store(&world.store, &path).unwrap();
+        assert!(checksum_path(&path).exists(), "snapshot sidecar written");
+        let restored = load_store(&path).unwrap();
+        assert_eq!(restored.backend_kind(), kbqa_rdf::BackendKind::Mapped);
+        assert_eq!(restored.len(), world.store.len());
+        // Same logical content: identical N-Triples export.
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        kbqa_rdf::ntriples::export(&world.store, &mut a).unwrap();
+        kbqa_rdf::ntriples::export(&restored, &mut b).unwrap();
+        assert_eq!(a, b);
+
+        // Flip one byte mid-file: the embedded checksum rejects it.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        match load_store(&path) {
+            Err(KbqaError::Io(message)) => {
+                assert!(message.contains("snapshot"), "typed error: {message}")
+            }
+            other => panic!("corrupt snapshot must fail to load: {other:?}"),
+        }
+
+        // Re-saving repairs; a stale sidecar then fails closed.
+        save_store(&world.store, &path).unwrap();
+        std::fs::write(checksum_path(&path), "0000000000000000\n").unwrap();
+        match load_store(&path) {
+            Err(KbqaError::Io(message)) => {
+                assert!(message.contains("checksum mismatch"), "got: {message}")
+            }
+            other => panic!("stale sidecar must fail closed: {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn legacy_json_store_still_warm_starts() {
+        let world = World::generate(WorldConfig::tiny(45));
+        let dir =
+            std::env::temp_dir().join(format!("kbqa-persist-legacyjson-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        // Write the store the pre-snapshot way.
+        let json_path = dir.join(LEGACY_STORE_FILE);
+        save_json(world.store.as_ref(), &json_path).unwrap();
+        let restored = load_store_json(&json_path).unwrap();
+        assert_eq!(restored.backend_kind(), kbqa_rdf::BackendKind::InMemory);
+        assert_eq!(restored.len(), world.store.len());
+        assert!(
+            !ServingArtifacts::present_in(&dir),
+            "store alone is not a full bundle"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -86,6 +86,12 @@ pub struct WorldConfig {
     /// Probability that a person gets a single-token alias (their family
     /// name), creating nested/ambiguous mentions.
     pub alias_rate: f64,
+    /// Skip materializing the Infobox gold-fact table (the per-intent walk
+    /// over every subject). Only the Sec 6.3 extraction experiments read
+    /// it; the million-entity serving profiles skip the walk so world
+    /// build time stays dominated by the store itself.
+    #[serde(default)]
+    pub skip_infobox: bool,
 }
 
 impl WorldConfig {
@@ -102,6 +108,7 @@ impl WorldConfig {
             ambiguous_name_rate: 0.05,
             fact_dropout: 0.0,
             alias_rate: 0.2,
+            skip_infobox: false,
         }
     }
 
@@ -172,6 +179,41 @@ impl WorldConfig {
             bands: 50,
             books: 250,
             fact_dropout: 0.01,
+            ..Self::tiny(seed)
+        }
+    }
+
+    /// ≈1.2M-triple, ≈300k-node world: the medium-scale serving profile
+    /// used by the CI snapshot job (build → snapshot → mmap → answer).
+    pub fn large_1m(seed: u64) -> Self {
+        Self {
+            countries: 200,
+            cities: 20_000,
+            people: 110_000,
+            companies: 15_000,
+            bands: 2_000,
+            books: 20_000,
+            fact_dropout: 0.03,
+            skip_infobox: true,
+            ..Self::tiny(seed)
+        }
+    }
+
+    /// 10M+-triple, 1M+-entity world — the paper's KB scale, for
+    /// exercising the zero-copy snapshot path end to end. Build it
+    /// streaming (entities feed the graph builder as they are drawn;
+    /// nothing is materialized per-entity beyond the node id), snapshot
+    /// it once, serve it mapped.
+    pub fn mega_10m(seed: u64) -> Self {
+        Self {
+            countries: 2_000,
+            cities: 150_000,
+            people: 1_200_000,
+            companies: 100_000,
+            bands: 20_000,
+            books: 150_000,
+            fact_dropout: 0.03,
+            skip_infobox: true,
             ..Self::tiny(seed)
         }
     }
@@ -650,13 +692,21 @@ impl Builder {
     }
 
     /// Pick a fresh or (rarely) deliberately reused name.
+    ///
+    /// The reuse pool is capped: million-entity worlds would otherwise
+    /// retain every name ever drawn just to sample ambiguity from it. The
+    /// cap is far above any small profile's total name count, so existing
+    /// worlds generate byte-identically.
     fn pick_name(&mut self, mut fresh: impl FnMut(&mut DetRng) -> String) -> String {
+        const NAME_POOL_CAP: usize = 65_536;
         if !self.used_names.is_empty() && self.rng_names.gen_bool(self.config.ambiguous_name_rate) {
             let i = self.rng_names.gen_range(0..self.used_names.len());
             return self.used_names[i].clone();
         }
         let name = fresh(&mut self.rng_names);
-        self.used_names.push(name.clone());
+        if self.used_names.len() < NAME_POOL_CAP {
+            self.used_names.push(name.clone());
+        }
         name
     }
 
@@ -1023,13 +1073,16 @@ impl Builder {
                 (c, nodes.clone())
             })
             .collect();
-        for intent in &intents {
-            // Subjects are *all* entities of the subject concept's domain —
-            // including profession sub-concepts of person.
-            let subject_pool = subjects_for_infobox(&by_concept_resolved, &conceptualizer, intent);
-            for &s in subject_pool {
-                for o in kbqa_rdf::path::objects_via_path(&store, s, &intent.path) {
-                    infobox.insert((s, o));
+        if !self.config.skip_infobox {
+            for intent in &intents {
+                // Subjects are *all* entities of the subject concept's
+                // domain — including profession sub-concepts of person.
+                let subject_pool =
+                    subjects_for_infobox(&by_concept_resolved, &conceptualizer, intent);
+                for &s in subject_pool {
+                    for o in kbqa_rdf::path::objects_via_path(&store, s, &intent.path) {
+                        infobox.insert((s, o));
+                    }
                 }
             }
         }

@@ -19,6 +19,7 @@ fn world_config(seed: u64, scale: u8) -> WorldConfig {
         ambiguous_name_rate: 0.05,
         fact_dropout: 0.05,
         alias_rate: 0.2,
+        skip_infobox: false,
     }
 }
 

@@ -179,6 +179,147 @@ impl Dictionary {
     pub fn strings_mut(&mut self) -> &mut Interner {
         &mut self.strings
     }
+
+    /// Borrow the raw parts the snapshot writer serializes.
+    pub(crate) fn raw_parts(&self) -> (&Interner, &[Term], &[u32]) {
+        (&self.strings, &self.terms, &self.predicates)
+    }
+
+    /// Reassemble a dictionary from snapshot parts, rebuilding lookup maps.
+    pub(crate) fn from_raw_parts(
+        strings: Interner,
+        terms: Vec<Term>,
+        predicates: Vec<u32>,
+    ) -> Self {
+        let mut dict = Self {
+            strings,
+            terms,
+            term_ids: FxHashMap::default(),
+            predicates,
+            predicate_ids: FxHashMap::default(),
+        };
+        dict.rebuild_index();
+        dict
+    }
+}
+
+/// A backend-polymorphic, copyable dictionary handle.
+///
+/// [`crate::TripleStore::dict`] hands out one of these instead of
+/// `&Dictionary` so the same call sites work whether the store owns its
+/// dictionary ([`DictRef::Owned`], hash-map lookups) or maps it from a
+/// snapshot ([`DictRef::Mapped`], binary search over sorted permutation
+/// sections). The read API mirrors [`Dictionary`]'s exactly; returned `&str`
+/// borrows carry the store's lifetime, not the handle's.
+#[derive(Clone, Copy, Debug)]
+pub enum DictRef<'a> {
+    /// Borrowed in-memory dictionary.
+    Owned(&'a Dictionary),
+    /// Zero-copy view over mapped snapshot sections.
+    Mapped(crate::snapshot::MappedDict<'a>),
+}
+
+impl<'a> DictRef<'a> {
+    /// Look up a resource id by IRI.
+    pub fn find_resource(&self, iri: &str) -> Option<NodeId> {
+        match self {
+            Self::Owned(d) => d.find_resource(iri),
+            Self::Mapped(d) => d.find_resource(iri),
+        }
+    }
+
+    /// Look up a string-literal node.
+    pub fn find_str_literal(&self, value: &str) -> Option<NodeId> {
+        match self {
+            Self::Owned(d) => d.find_str_literal(value),
+            Self::Mapped(d) => d.find_str_literal(value),
+        }
+    }
+
+    /// Look up an arbitrary term.
+    pub fn find_term(&self, term: Term) -> Option<NodeId> {
+        match self {
+            Self::Owned(d) => d.find_term(term),
+            Self::Mapped(d) => d.find_term(term),
+        }
+    }
+
+    /// Look up a predicate id by name.
+    pub fn find_predicate(&self, name: &str) -> Option<PredicateId> {
+        match self {
+            Self::Owned(d) => d.find_predicate(name),
+            Self::Mapped(d) => d.find_predicate(name),
+        }
+    }
+
+    /// The term behind a node id.
+    pub fn node_term(&self, id: NodeId) -> Term {
+        match self {
+            Self::Owned(d) => d.node_term(id),
+            Self::Mapped(d) => d.node_term(id),
+        }
+    }
+
+    /// The name of a predicate id.
+    pub fn predicate_name(&self, id: PredicateId) -> &'a str {
+        match self {
+            Self::Owned(d) => d.strings.resolve(d.predicates[id.index()]),
+            Self::Mapped(d) => d.predicate_name(id),
+        }
+    }
+
+    /// Resolve an interned string symbol (IRI/literal text).
+    pub fn resolve_sym(&self, sym: u32) -> &'a str {
+        match self {
+            Self::Owned(d) => d.strings.resolve(sym),
+            Self::Mapped(d) => d.resolve_sym(sym),
+        }
+    }
+
+    /// Render a node's surface form; see [`Dictionary::render`].
+    pub fn render(&self, id: NodeId) -> String {
+        match self.node_term(id) {
+            Term::Resource(sym) | Term::Literal(Literal::Str(sym)) => {
+                self.resolve_sym(sym).to_owned()
+            }
+            Term::Literal(Literal::Int(v)) => v.to_string(),
+            Term::Literal(Literal::Year(y)) => y.to_string(),
+        }
+    }
+
+    /// Borrowed fast path of [`DictRef::render`] for textual nodes.
+    pub fn render_str(&self, id: NodeId) -> Option<&'a str> {
+        match self.node_term(id) {
+            Term::Resource(sym) | Term::Literal(Literal::Str(sym)) => Some(self.resolve_sym(sym)),
+            _ => None,
+        }
+    }
+
+    /// Number of distinct nodes.
+    pub fn node_count(&self) -> usize {
+        match self {
+            Self::Owned(d) => d.node_count(),
+            Self::Mapped(d) => d.node_count(),
+        }
+    }
+
+    /// Number of distinct predicates.
+    pub fn predicate_count(&self) -> usize {
+        match self {
+            Self::Owned(d) => d.predicate_count(),
+            Self::Mapped(d) => d.predicate_count(),
+        }
+    }
+
+    /// Iterate all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + 'a {
+        (0..self.node_count()).map(|i| NodeId::new(i as u32))
+    }
+
+    /// Iterate all predicate ids.
+    pub fn predicates(&self) -> impl Iterator<Item = PredicateId> + 'a {
+        (0..self.predicate_count()).map(|i| PredicateId::new(i as u32))
+    }
 }
 
 #[cfg(test)]

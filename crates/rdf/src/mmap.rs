@@ -1,0 +1,172 @@
+//! A thin, raw-syscall shim over `mmap` for read-only file mappings.
+//!
+//! The offline build rules out the `memmap2` crate, so — exactly like the
+//! server's `epoll` shim — this module declares the two syscalls the snapshot
+//! loader needs (`mmap`, `munmap`) directly against the libc that `std`
+//! already links (`extern "C"`, no new crates). The surface is one type:
+//! [`Mmap`], a read-only, private mapping of an open file that derefs to
+//! `&[u8]` and unmaps on drop.
+//!
+//! `MAP_PRIVATE | PROT_READ`: the snapshot format is immutable once written,
+//! readers never fault pages dirty, and the kernel is free to share the page
+//! cache between every process serving the same snapshot — which is the whole
+//! point of the zero-copy load path. Linux-only by construction, like the
+//! rest of the serving deployment story.
+
+use std::fs::File;
+use std::io;
+use std::os::fd::AsRawFd;
+use std::os::raw::{c_int, c_void};
+
+const PROT_READ: c_int = 0x1;
+const MAP_PRIVATE: c_int = 0x02;
+
+extern "C" {
+    fn mmap(
+        addr: *mut c_void,
+        length: usize,
+        prot: c_int,
+        flags: c_int,
+        fd: c_int,
+        offset: i64,
+    ) -> *mut c_void;
+    fn munmap(addr: *mut c_void, length: usize) -> c_int;
+}
+
+/// A read-only memory mapping of a file. Unmapped on drop.
+///
+/// Zero-length files are represented without a kernel mapping (POSIX `mmap`
+/// rejects `length == 0`); the slice is simply empty.
+#[derive(Debug)]
+pub struct Mmap {
+    ptr: *mut c_void,
+    len: usize,
+}
+
+// SAFETY: the mapping is read-only (`PROT_READ`) and private; the underlying
+// pages never change through this handle, so sharing references across
+// threads is sound.
+unsafe impl Send for Mmap {}
+unsafe impl Sync for Mmap {}
+
+impl Mmap {
+    /// Map the whole of `file` read-only.
+    pub fn map_file(file: &File) -> io::Result<Self> {
+        let len = usize::try_from(file.metadata()?.len())
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "file too large to map"))?;
+        if len == 0 {
+            return Ok(Self {
+                ptr: std::ptr::null_mut(),
+                len: 0,
+            });
+        }
+        let ptr = unsafe {
+            mmap(
+                std::ptr::null_mut(),
+                len,
+                PROT_READ,
+                MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        // MAP_FAILED is (void*)-1, not NULL.
+        if ptr as isize == -1 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Self { ptr, len })
+    }
+
+    /// The mapped bytes. Page-aligned by the kernel, so any section layout
+    /// that keeps 8-byte-aligned offsets yields correctly aligned typed
+    /// views.
+    pub fn bytes(&self) -> &[u8] {
+        if self.len == 0 {
+            return &[];
+        }
+        // SAFETY: `ptr` is a live PROT_READ mapping of exactly `len` bytes,
+        // valid until `munmap` in `Drop`.
+        unsafe { std::slice::from_raw_parts(self.ptr as *const u8, self.len) }
+    }
+
+    /// Mapped length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the mapping is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl std::ops::Deref for Mmap {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.bytes()
+    }
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        if self.len > 0 {
+            // Failure here is unrecoverable and harmless to ignore: the
+            // address range simply stays reserved until process exit.
+            unsafe {
+                munmap(self.ptr, self.len);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("kbqa-mmap-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn maps_file_contents() {
+        let path = temp_path("basic");
+        let mut f = File::create(&path).unwrap();
+        f.write_all(b"hello mapped world").unwrap();
+        f.sync_all().unwrap();
+        drop(f);
+
+        let map = Mmap::map_file(&File::open(&path).unwrap()).unwrap();
+        assert_eq!(&*map, b"hello mapped world");
+        assert_eq!(map.len(), 18);
+        assert!(!map.is_empty());
+        // Page alignment: u64 views at 8-aligned offsets are sound.
+        assert_eq!(map.bytes().as_ptr() as usize % 4096, 0);
+        drop(map);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_file_maps_to_empty_slice() {
+        let path = temp_path("empty");
+        File::create(&path).unwrap().sync_all().unwrap();
+        let map = Mmap::map_file(&File::open(&path).unwrap()).unwrap();
+        assert!(map.is_empty());
+        assert_eq!(&*map, b"");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mapping_survives_file_close() {
+        let path = temp_path("close");
+        std::fs::write(&path, b"still here").unwrap();
+        let map = {
+            let f = File::open(&path).unwrap();
+            Mmap::map_file(&f).unwrap()
+            // `f` drops here; the mapping keeps the pages alive.
+        };
+        assert_eq!(&*map, b"still here");
+        std::fs::remove_file(&path).ok();
+    }
+}

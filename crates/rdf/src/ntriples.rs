@@ -60,12 +60,12 @@ fn render_node(store: &TripleStore, node: NodeId, out: &mut String) {
     match store.dict().node_term(node) {
         Term::Resource(sym) => {
             out.push('<');
-            out.push_str(store.dict().strings().resolve(sym));
+            out.push_str(store.dict().resolve_sym(sym));
             out.push('>');
         }
         Term::Literal(Literal::Str(sym)) => {
             out.push('"');
-            escape(store.dict().strings().resolve(sym), out);
+            escape(store.dict().resolve_sym(sym), out);
             out.push('"');
         }
         Term::Literal(Literal::Int(v)) => {
@@ -157,17 +157,26 @@ fn parse_term(input: &str) -> Result<(ParsedTerm, &str)> {
 
 /// Import a store from N-Triples lines. Lines starting with `#` and blank
 /// lines are skipped; every other line must parse or the import fails.
-pub fn import<R: BufRead>(reader: R) -> Result<TripleStore> {
+///
+/// Streaming: one line is read at a time into a reused buffer and fed to the
+/// builder immediately, so importing a multi-gigabyte dump never buffers the
+/// file — peak memory is the builder's interned graph, not the text.
+pub fn import<R: BufRead>(mut reader: R) -> Result<TripleStore> {
     let mut builder = GraphBuilder::new();
-    for (lineno, line) in reader.lines().enumerate() {
-        let line = line?;
+    let mut line = String::with_capacity(256);
+    let mut lineno = 0usize;
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        lineno += 1;
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
         }
-        let err = |why: &str| {
-            KbqaError::MalformedRecord(format!("line {}: {why}: {trimmed:?}", lineno + 1))
-        };
+        let err =
+            |why: &str| KbqaError::MalformedRecord(format!("line {lineno}: {why}: {trimmed:?}"));
         let (subject, rest) = parse_term(trimmed).map_err(|_| err("bad subject"))?;
         let ParsedTerm::Resource(s_iri) = subject else {
             return Err(err("subject must be a resource"));

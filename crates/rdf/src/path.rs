@@ -122,7 +122,7 @@ pub fn objects_via_path_into(
     out: &mut Vec<NodeId>,
 ) {
     if let [edge] = path.edges() {
-        out.extend(store.objects(s, *edge));
+        out.extend_from_slice(store.objects_slice(s, *edge));
         return;
     }
     ws.frontier.clear();

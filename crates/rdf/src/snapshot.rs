@@ -1,0 +1,955 @@
+//! Zero-copy store snapshots: one relocatable file, mapped read-only.
+//!
+//! A snapshot freezes an entire [`crate::TripleStore`] — dictionary, columnar
+//! triple arrangements, name index — into a single file of flat integer/byte
+//! sections. Loading is [`Snapshot::open`]: `mmap` the file, verify the
+//! checksum, validate section geometry, done. No parse, no rebuild, no
+//! allocation proportional to store size; warm start and `/admin/reload`
+//! become "map the file, flip the epoch".
+//!
+//! # File layout
+//!
+//! ```text
+//! header   32 B   magic "KBQASNAP", version u32, section count u32,
+//!                 file length u64, checksum u64 (Fx-64 of every byte
+//!                 after the header)
+//! table    22×16  (offset u64, byte length u64) per section
+//! sections …      each 8-byte aligned, zero-padded between
+//! ```
+//!
+//! All integers are **native-endian** (in practice little-endian: the
+//! serving fleet and CI are x86-64/aarch64); a snapshot is a serving
+//! artifact, not an interchange format — interchange goes through
+//! [`crate::ntriples`]. Offsets are relative to the file start, so the file
+//! is position-independent and the kernel may map it anywhere.
+//!
+//! Lookup structures that the in-memory store keeps as hash maps are stored
+//! as *sorted permutation arrays* instead (strings, terms, predicates by
+//! name, lowercased surface names), so a mapped store resolves
+//! `find_*`/`entities_named` by binary search over the mapped data — nothing
+//! is rebuilt on load. See `docs/STORAGE.md` for the full section catalog.
+
+use std::fs::File;
+use std::hash::Hasher as _;
+use std::io::{BufWriter, Write as _};
+use std::path::{Path, PathBuf};
+
+use kbqa_common::error::{KbqaError, Result};
+use kbqa_common::hash::FxHasher;
+use kbqa_common::interner::Interner;
+
+use crate::columnar::ColsView;
+use crate::dictionary::Dictionary;
+use crate::mmap::Mmap;
+use crate::term::{Literal, Term};
+use crate::triple::{NodeId, PredicateId, Triple};
+
+/// Magic bytes opening every snapshot file.
+pub const MAGIC: [u8; 8] = *b"KBQASNAP";
+/// Current format version. Bump on any layout change.
+pub const VERSION: u32 = 1;
+
+const HEADER_LEN: usize = 32;
+const CHECKSUM_OFFSET: usize = 24;
+const SECTION_COUNT: usize = 22;
+const TABLE_LEN: usize = SECTION_COUNT * 16;
+
+/// Element width of each section, in file order.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Elem {
+    U8,
+    U32,
+    U64,
+}
+
+impl Elem {
+    fn size(self) -> usize {
+        match self {
+            Elem::U8 => 1,
+            Elem::U32 => 4,
+            Elem::U64 => 8,
+        }
+    }
+}
+
+/// Section indices. Kept as named constants (not an enum) so the table
+/// layout reads off directly.
+mod sec {
+    pub const STRING_BYTES: usize = 0;
+    pub const STRING_OFFSETS: usize = 1;
+    pub const STRING_SORTED: usize = 2;
+    pub const TERM_TAGS: usize = 3;
+    pub const TERM_PAYLOADS: usize = 4;
+    pub const TERM_SORTED: usize = 5;
+    pub const PREDICATE_SYMS: usize = 6;
+    pub const PREDICATE_SORTED: usize = 7;
+    pub const NAME_PREDICATES: usize = 8;
+    pub const LOG_S: usize = 9;
+    pub const LOG_P: usize = 10;
+    pub const LOG_O: usize = 11;
+    pub const SO_BOUNDS: usize = 12;
+    pub const SO_S: usize = 13;
+    pub const SO_O: usize = 14;
+    pub const OS_BOUNDS: usize = 15;
+    pub const OS_O: usize = 16;
+    pub const OS_S: usize = 17;
+    pub const NAME_BYTES: usize = 18;
+    pub const NAME_OFFSETS: usize = 19;
+    pub const NAME_NODE_BOUNDS: usize = 20;
+    pub const NAME_NODE_IDS: usize = 21;
+}
+
+const ELEMS: [Elem; SECTION_COUNT] = [
+    Elem::U8,  // string bytes
+    Elem::U64, // string offsets
+    Elem::U32, // string sorted perm
+    Elem::U8,  // term tags
+    Elem::U64, // term payloads
+    Elem::U32, // term sorted perm
+    Elem::U32, // predicate syms
+    Elem::U32, // predicate sorted perm
+    Elem::U32, // name predicates
+    Elem::U32, // log s
+    Elem::U32, // log p
+    Elem::U32, // log o
+    Elem::U64, // so bounds
+    Elem::U32, // so s
+    Elem::U32, // so o
+    Elem::U64, // os bounds
+    Elem::U32, // os o
+    Elem::U32, // os s
+    Elem::U8,  // name bytes
+    Elem::U64, // name offsets
+    Elem::U64, // name node bounds
+    Elem::U32, // name node ids
+];
+
+fn bad(why: impl std::fmt::Display) -> KbqaError {
+    KbqaError::Io(format!("snapshot: {why}"))
+}
+
+// ---------------------------------------------------------------------------
+// Checksumming
+// ---------------------------------------------------------------------------
+
+/// Incremental Fx-64 over a byte stream, chunk-boundary independent: feeding
+/// the same bytes in any split produces exactly what `FxHasher::write` would
+/// produce for the concatenation. This keeps the snapshot's internal
+/// checksum and the `.fxsum` sidecar convention (PR 5) on one algorithm.
+#[derive(Default)]
+pub struct Fx64Stream {
+    hasher: FxHasher,
+    pending: [u8; 8],
+    pending_len: usize,
+}
+
+impl Fx64Stream {
+    /// Feed more bytes.
+    pub fn update(&mut self, mut bytes: &[u8]) {
+        if self.pending_len > 0 {
+            let take = bytes.len().min(8 - self.pending_len);
+            self.pending[self.pending_len..self.pending_len + take].copy_from_slice(&bytes[..take]);
+            self.pending_len += take;
+            bytes = &bytes[take..];
+            if self.pending_len < 8 {
+                return;
+            }
+            self.hasher.write_u64(u64::from_le_bytes(self.pending));
+            self.pending_len = 0;
+        }
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.hasher
+                .write_u64(u64::from_le_bytes(chunk.try_into().expect("chunk of 8")));
+        }
+        let tail = chunks.remainder();
+        self.pending[..tail.len()].copy_from_slice(tail);
+        self.pending_len = tail.len();
+    }
+
+    /// Finish, returning the digest.
+    pub fn finish(mut self) -> u64 {
+        if self.pending_len > 0 {
+            // Matches FxHasher::write's tail handling for a final short chunk.
+            let pending_len = self.pending_len;
+            self.hasher.write(&self.pending[..pending_len]);
+        }
+        self.hasher.finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Typed views over raw bytes
+// ---------------------------------------------------------------------------
+
+fn cast_u32(bytes: &[u8]) -> &[u32] {
+    debug_assert_eq!(bytes.as_ptr() as usize % 4, 0);
+    debug_assert_eq!(bytes.len() % 4, 0);
+    // SAFETY: alignment and length are validated at open (section offsets
+    // are 8-aligned within a page-aligned mapping; lengths are multiples of
+    // the element size); u32 has no invalid bit patterns.
+    unsafe { std::slice::from_raw_parts(bytes.as_ptr().cast::<u32>(), bytes.len() / 4) }
+}
+
+fn cast_u64(bytes: &[u8]) -> &[u64] {
+    debug_assert_eq!(bytes.as_ptr() as usize % 8, 0);
+    debug_assert_eq!(bytes.len() % 8, 0);
+    // SAFETY: as above.
+    unsafe { std::slice::from_raw_parts(bytes.as_ptr().cast::<u64>(), bytes.len() / 8) }
+}
+
+/// Reinterpret a raw `u32` column as node ids (`NodeId` is
+/// `#[repr(transparent)]` over `u32`).
+pub(crate) fn as_node_ids(raw: &[u32]) -> &[NodeId] {
+    // SAFETY: NodeId is repr(transparent) over u32.
+    unsafe { std::slice::from_raw_parts(raw.as_ptr().cast::<NodeId>(), raw.len()) }
+}
+
+/// Reinterpret a raw `u32` column as predicate ids.
+pub(crate) fn as_predicate_ids(raw: &[u32]) -> &[PredicateId] {
+    // SAFETY: PredicateId is repr(transparent) over u32.
+    unsafe { std::slice::from_raw_parts(raw.as_ptr().cast::<PredicateId>(), raw.len()) }
+}
+
+fn ids_as_u32(ids: &[PredicateId]) -> &[u32] {
+    // SAFETY: PredicateId is repr(transparent) over u32.
+    unsafe { std::slice::from_raw_parts(ids.as_ptr().cast::<u32>(), ids.len()) }
+}
+
+fn node_ids_as_u32(ids: &[NodeId]) -> &[u32] {
+    // SAFETY: NodeId is repr(transparent) over u32.
+    unsafe { std::slice::from_raw_parts(ids.as_ptr().cast::<u32>(), ids.len()) }
+}
+
+// ---------------------------------------------------------------------------
+// Term encoding
+// ---------------------------------------------------------------------------
+
+const TAG_RESOURCE: u8 = 0;
+const TAG_STR: u8 = 1;
+const TAG_INT: u8 = 2;
+const TAG_YEAR: u8 = 3;
+
+fn encode_term(term: Term) -> (u8, u64) {
+    match term {
+        Term::Resource(sym) => (TAG_RESOURCE, u64::from(sym)),
+        Term::Literal(Literal::Str(sym)) => (TAG_STR, u64::from(sym)),
+        Term::Literal(Literal::Int(v)) => (TAG_INT, v as u64),
+        Term::Literal(Literal::Year(y)) => (TAG_YEAR, y as i64 as u64),
+    }
+}
+
+fn decode_term(tag: u8, payload: u64) -> Term {
+    match tag {
+        TAG_RESOURCE => Term::Resource(payload as u32),
+        TAG_STR => Term::Literal(Literal::Str(payload as u32)),
+        TAG_INT => Term::Literal(Literal::Int(payload as i64)),
+        TAG_YEAR => Term::Literal(Literal::Year(payload as i64 as i32)),
+        other => unreachable!("term tag {other} rejected at open"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+/// Everything the writer needs, borrowed from the in-memory backend.
+pub(crate) struct SnapshotSource<'a> {
+    pub strings: &'a Interner,
+    pub terms: &'a [Term],
+    pub predicate_syms: &'a [u32],
+    pub cols: ColsView<'a>,
+    pub name_predicates: &'a [PredicateId],
+    /// `(lowercased name, nodes)` pairs in any order; the writer sorts.
+    pub name_entries: Vec<(&'a str, &'a [NodeId])>,
+}
+
+enum Col<'a> {
+    U8(&'a [u8]),
+    U32(&'a [u32]),
+    U64(&'a [u64]),
+}
+
+impl Col<'_> {
+    fn byte_len(&self) -> usize {
+        match self {
+            Col::U8(s) => s.len(),
+            Col::U32(s) => s.len() * 4,
+            Col::U64(s) => s.len() * 8,
+        }
+    }
+
+    fn elem(&self) -> Elem {
+        match self {
+            Col::U8(_) => Elem::U8,
+            Col::U32(_) => Elem::U32,
+            Col::U64(_) => Elem::U64,
+        }
+    }
+
+    /// Feed the column's bytes to `f` in file order, in bounded chunks
+    /// (native-endian reinterpretation, no element-wise encoding).
+    fn for_each_chunk(&self, mut f: impl FnMut(&[u8])) {
+        match self {
+            Col::U8(s) => f(s),
+            Col::U32(s) => {
+                // SAFETY: plain-old-data reinterpretation for writing.
+                let bytes =
+                    unsafe { std::slice::from_raw_parts(s.as_ptr().cast::<u8>(), s.len() * 4) };
+                f(bytes);
+            }
+            Col::U64(s) => {
+                // SAFETY: as above.
+                let bytes =
+                    unsafe { std::slice::from_raw_parts(s.as_ptr().cast::<u8>(), s.len() * 8) };
+                f(bytes);
+            }
+        }
+    }
+}
+
+/// Derived (owned) arrays the writer materializes before laying out the file.
+struct DerivedSections {
+    string_bytes: Vec<u8>,
+    string_offsets: Vec<u64>,
+    string_sorted: Vec<u32>,
+    term_tags: Vec<u8>,
+    term_payloads: Vec<u64>,
+    term_sorted: Vec<u32>,
+    predicate_sorted: Vec<u32>,
+    name_bytes: Vec<u8>,
+    name_offsets: Vec<u64>,
+    name_node_bounds: Vec<u64>,
+    name_node_ids: Vec<u32>,
+}
+
+fn derive_sections(src: &SnapshotSource<'_>) -> DerivedSections {
+    let string_count = src.strings.len();
+    let mut string_bytes = Vec::new();
+    let mut string_offsets = Vec::with_capacity(string_count + 1);
+    string_offsets.push(0);
+    for (_, s) in src.strings.iter() {
+        string_bytes.extend_from_slice(s.as_bytes());
+        string_offsets.push(string_bytes.len() as u64);
+    }
+    let mut string_sorted: Vec<u32> = (0..string_count as u32).collect();
+    string_sorted.sort_unstable_by_key(|&sym| src.strings.resolve(sym));
+
+    let mut term_tags = Vec::with_capacity(src.terms.len());
+    let mut term_payloads = Vec::with_capacity(src.terms.len());
+    for &t in src.terms {
+        let (tag, payload) = encode_term(t);
+        term_tags.push(tag);
+        term_payloads.push(payload);
+    }
+    let mut term_sorted: Vec<u32> = (0..src.terms.len() as u32).collect();
+    term_sorted.sort_unstable_by_key(|&i| (term_tags[i as usize], term_payloads[i as usize]));
+
+    let mut predicate_sorted: Vec<u32> = (0..src.predicate_syms.len() as u32).collect();
+    predicate_sorted.sort_unstable_by_key(|&i| src.strings.resolve(src.predicate_syms[i as usize]));
+
+    let mut entries = src.name_entries.clone();
+    entries.sort_unstable_by_key(|&(name, _)| name);
+    let mut name_bytes = Vec::new();
+    let mut name_offsets = Vec::with_capacity(entries.len() + 1);
+    let mut name_node_bounds = Vec::with_capacity(entries.len() + 1);
+    let mut name_node_ids = Vec::new();
+    name_offsets.push(0);
+    name_node_bounds.push(0);
+    for (name, nodes) in entries {
+        name_bytes.extend_from_slice(name.as_bytes());
+        name_offsets.push(name_bytes.len() as u64);
+        name_node_ids.extend_from_slice(node_ids_as_u32(nodes));
+        name_node_bounds.push(name_node_ids.len() as u64);
+    }
+
+    DerivedSections {
+        string_bytes,
+        string_offsets,
+        string_sorted,
+        term_tags,
+        term_payloads,
+        term_sorted,
+        predicate_sorted,
+        name_bytes,
+        name_offsets,
+        name_node_bounds,
+        name_node_ids,
+    }
+}
+
+/// Write a snapshot for `src` to `path` — atomically (same-directory temp
+/// file, `fsync`, rename) — and return the Fx-64 digest of the final file
+/// bytes (what a `.fxsum` sidecar records).
+pub(crate) fn write_source(src: &SnapshotSource<'_>, path: &Path) -> Result<u64> {
+    let derived = derive_sections(src);
+    let cols: [Col<'_>; SECTION_COUNT] = [
+        Col::U8(&derived.string_bytes),
+        Col::U64(&derived.string_offsets),
+        Col::U32(&derived.string_sorted),
+        Col::U8(&derived.term_tags),
+        Col::U64(&derived.term_payloads),
+        Col::U32(&derived.term_sorted),
+        Col::U32(src.predicate_syms),
+        Col::U32(&derived.predicate_sorted),
+        Col::U32(ids_as_u32(src.name_predicates)),
+        Col::U32(src.cols.log_s),
+        Col::U32(src.cols.log_p),
+        Col::U32(src.cols.log_o),
+        Col::U64(src.cols.so_bounds),
+        Col::U32(src.cols.so_s),
+        Col::U32(src.cols.so_o),
+        Col::U64(src.cols.os_bounds),
+        Col::U32(src.cols.os_o),
+        Col::U32(src.cols.os_s),
+        Col::U8(&derived.name_bytes),
+        Col::U64(&derived.name_offsets),
+        Col::U64(&derived.name_node_bounds),
+        Col::U32(&derived.name_node_ids),
+    ];
+    for (i, col) in cols.iter().enumerate() {
+        debug_assert_eq!(col.elem(), ELEMS[i], "section {i} element width");
+    }
+
+    // Lay out: every section starts 8-aligned, zero padding between.
+    let mut table = [(0u64, 0u64); SECTION_COUNT];
+    let mut at = (HEADER_LEN + TABLE_LEN) as u64;
+    for (i, col) in cols.iter().enumerate() {
+        table[i] = (at, col.byte_len() as u64);
+        at += col.byte_len() as u64;
+        at = (at + 7) & !7;
+    }
+    let file_len = at;
+
+    let mut table_bytes = Vec::with_capacity(TABLE_LEN);
+    for &(off, len) in &table {
+        table_bytes.extend_from_slice(&off.to_ne_bytes());
+        table_bytes.extend_from_slice(&len.to_ne_bytes());
+    }
+
+    // Pass 1: checksum of everything after the header (table + sections).
+    const PAD: [u8; 8] = [0; 8];
+    let feed_body = |stream: &mut Fx64Stream| {
+        stream.update(&table_bytes);
+        for col in &cols {
+            col.for_each_chunk(|chunk| stream.update(chunk));
+            let pad = (8 - col.byte_len() % 8) % 8;
+            stream.update(&PAD[..pad]);
+        }
+    };
+    let mut body = Fx64Stream::default();
+    feed_body(&mut body);
+    let checksum = body.finish();
+
+    let mut header = [0u8; HEADER_LEN];
+    header[0..8].copy_from_slice(&MAGIC);
+    header[8..12].copy_from_slice(&VERSION.to_ne_bytes());
+    header[12..16].copy_from_slice(&(SECTION_COUNT as u32).to_ne_bytes());
+    header[16..24].copy_from_slice(&file_len.to_ne_bytes());
+    header[CHECKSUM_OFFSET..CHECKSUM_OFFSET + 8].copy_from_slice(&checksum.to_ne_bytes());
+
+    // Pass 2: digest of the complete final file, for the sidecar convention.
+    let mut whole = Fx64Stream::default();
+    whole.update(&header);
+    feed_body(&mut whole);
+    let file_digest = whole.finish();
+
+    // Single sequential write to a temp sibling, fsync, rename into place.
+    let mut tmp_name = path.as_os_str().to_owned();
+    tmp_name.push(format!(".tmp.{}", std::process::id()));
+    let tmp = PathBuf::from(tmp_name);
+    let result = (|| -> std::io::Result<()> {
+        let file = File::create(&tmp)?;
+        let mut w = BufWriter::with_capacity(1 << 20, file);
+        w.write_all(&header)?;
+        w.write_all(&table_bytes)?;
+        for col in &cols {
+            let mut io_err = None;
+            col.for_each_chunk(|chunk| {
+                if io_err.is_none() {
+                    io_err = w.write_all(chunk).err();
+                }
+            });
+            if let Some(e) = io_err {
+                return Err(e);
+            }
+            let pad = (8 - col.byte_len() % 8) % 8;
+            w.write_all(&PAD[..pad])?;
+        }
+        let file = w.into_inner().map_err(|e| e.into_error())?;
+        file.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result?;
+    Ok(file_digest)
+}
+
+/// Atomically write already-encoded snapshot `bytes` to `path` (temp +
+/// `fsync` + rename) and return their Fx-64 digest. Used when a mapped store
+/// re-snapshots: its mapping already *is* the file format.
+pub(crate) fn write_bytes(bytes: &[u8], path: &Path) -> Result<u64> {
+    let mut tmp_name = path.as_os_str().to_owned();
+    tmp_name.push(format!(".tmp.{}", std::process::id()));
+    let tmp = PathBuf::from(tmp_name);
+    let result = (|| -> std::io::Result<()> {
+        let mut file = File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result?;
+    let mut stream = Fx64Stream::default();
+    stream.update(bytes);
+    Ok(stream.finish())
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+/// An open, validated, memory-mapped snapshot. All accessors are zero-copy
+/// views into the mapping.
+#[derive(Debug)]
+pub struct Snapshot {
+    map: Mmap,
+    ranges: [(usize, usize); SECTION_COUNT],
+}
+
+impl Snapshot {
+    /// Map `path` read-only and validate it end to end: magic, version,
+    /// length, checksum, section geometry, cross-section invariants (offset
+    /// monotonicity, id ranges, UTF-8). Any violation is a typed
+    /// [`KbqaError::Io`] — corruption never panics a loader.
+    pub fn open(path: &Path) -> Result<Self> {
+        let file =
+            File::open(path).map_err(|e| bad(format_args!("open {}: {e}", path.display())))?;
+        let map =
+            Mmap::map_file(&file).map_err(|e| bad(format_args!("mmap {}: {e}", path.display())))?;
+        Self::from_map(map).map_err(|e| match e {
+            KbqaError::Io(why) => KbqaError::Io(format!("{why} ({})", path.display())),
+            other => other,
+        })
+    }
+
+    fn from_map(map: Mmap) -> Result<Self> {
+        let bytes = map.bytes();
+        if bytes.len() < HEADER_LEN + TABLE_LEN {
+            return Err(bad("file shorter than header"));
+        }
+        if bytes[0..8] != MAGIC {
+            return Err(bad("bad magic"));
+        }
+        let version = u32::from_ne_bytes(bytes[8..12].try_into().expect("4 bytes"));
+        if version != VERSION {
+            return Err(bad(format_args!(
+                "unsupported version {version} (expected {VERSION})"
+            )));
+        }
+        let section_count = u32::from_ne_bytes(bytes[12..16].try_into().expect("4 bytes"));
+        if section_count as usize != SECTION_COUNT {
+            return Err(bad(format_args!(
+                "unexpected section count {section_count}"
+            )));
+        }
+        let file_len = u64::from_ne_bytes(bytes[16..24].try_into().expect("8 bytes"));
+        if file_len != bytes.len() as u64 {
+            return Err(bad(format_args!(
+                "length mismatch: header says {file_len}, file is {} (truncated?)",
+                bytes.len()
+            )));
+        }
+        let stored = u64::from_ne_bytes(
+            bytes[CHECKSUM_OFFSET..CHECKSUM_OFFSET + 8]
+                .try_into()
+                .expect("8 bytes"),
+        );
+        let mut stream = Fx64Stream::default();
+        stream.update(&bytes[HEADER_LEN..]);
+        let actual = stream.finish();
+        if stored != actual {
+            return Err(bad(format_args!(
+                "checksum mismatch: header says {stored:016x}, contents hash to {actual:016x}"
+            )));
+        }
+
+        let mut ranges = [(0usize, 0usize); SECTION_COUNT];
+        for (i, range) in ranges.iter_mut().enumerate() {
+            let at = HEADER_LEN + i * 16;
+            let off = u64::from_ne_bytes(bytes[at..at + 8].try_into().expect("8 bytes"));
+            let len = u64::from_ne_bytes(bytes[at + 8..at + 16].try_into().expect("8 bytes"));
+            let (off, len) = (off as usize, len as usize);
+            if off % 8 != 0 {
+                return Err(bad(format_args!("section {i} misaligned at {off}")));
+            }
+            if off.checked_add(len).is_none_or(|end| end > bytes.len()) {
+                return Err(bad(format_args!("section {i} out of bounds")));
+            }
+            if len % ELEMS[i].size() != 0 {
+                return Err(bad(format_args!("section {i} has ragged length {len}")));
+            }
+            *range = (off, len);
+        }
+
+        let snap = Self { map, ranges };
+        snap.validate_invariants()?;
+        Ok(snap)
+    }
+
+    /// Cross-section semantic validation; establishes the invariants the
+    /// unsafe UTF-8 and slice casts rely on.
+    fn validate_invariants(&self) -> Result<()> {
+        let string_bytes = self.raw(sec::STRING_BYTES);
+        let string_offsets = self.u64s(sec::STRING_OFFSETS);
+        let string_sorted = self.u32s(sec::STRING_SORTED);
+        let string_count = string_sorted.len();
+        check_offsets(
+            "string offsets",
+            string_offsets,
+            string_count,
+            string_bytes.len(),
+        )?;
+        let text = std::str::from_utf8(string_bytes)
+            .map_err(|e| bad(format_args!("string bytes not UTF-8: {e}")))?;
+        for &off in string_offsets {
+            if !text.is_char_boundary(off as usize) {
+                return Err(bad("string offset splits a UTF-8 sequence"));
+            }
+        }
+        check_perm("string perm", string_sorted, string_count)?;
+
+        let term_tags = self.raw(sec::TERM_TAGS);
+        let term_payloads = self.u64s(sec::TERM_PAYLOADS);
+        let term_sorted = self.u32s(sec::TERM_SORTED);
+        if term_tags.len() != term_payloads.len() || term_tags.len() != term_sorted.len() {
+            return Err(bad("term sections disagree on length"));
+        }
+        check_perm("term perm", term_sorted, term_tags.len())?;
+        for (i, (&tag, &payload)) in term_tags.iter().zip(term_payloads).enumerate() {
+            match tag {
+                TAG_RESOURCE | TAG_STR => {
+                    if payload >= string_count as u64 {
+                        return Err(bad(format_args!(
+                            "term {i} references string {payload} of {string_count}"
+                        )));
+                    }
+                }
+                TAG_INT | TAG_YEAR => {}
+                other => return Err(bad(format_args!("term {i} has unknown tag {other}"))),
+            }
+        }
+
+        let predicate_syms = self.u32s(sec::PREDICATE_SYMS);
+        let predicate_sorted = self.u32s(sec::PREDICATE_SORTED);
+        let predicate_count = predicate_syms.len();
+        check_perm("predicate perm", predicate_sorted, predicate_count)?;
+        if predicate_syms.iter().any(|&s| s as usize >= string_count) {
+            return Err(bad("predicate references out-of-range string"));
+        }
+        for &p in self.u32s(sec::NAME_PREDICATES) {
+            if p as usize >= predicate_count {
+                return Err(bad("name predicate out of range"));
+            }
+        }
+
+        let node_count = term_tags.len();
+        let triple_count = self.u32s(sec::LOG_S).len();
+        for (name, section) in [
+            ("log p", sec::LOG_P),
+            ("log o", sec::LOG_O),
+            ("so s", sec::SO_S),
+            ("so o", sec::SO_O),
+            ("os o", sec::OS_O),
+            ("os s", sec::OS_S),
+        ] {
+            if self.u32s(section).len() != triple_count {
+                return Err(bad(format_args!("{name} column length mismatch")));
+            }
+        }
+        for (name, section) in [
+            ("log s", sec::LOG_S),
+            ("log o", sec::LOG_O),
+            ("so s", sec::SO_S),
+            ("so o", sec::SO_O),
+            ("os o", sec::OS_O),
+            ("os s", sec::OS_S),
+        ] {
+            if self.u32s(section).iter().any(|&v| v as usize >= node_count) {
+                return Err(bad(format_args!(
+                    "{name} column references out-of-range node"
+                )));
+            }
+        }
+        if self
+            .u32s(sec::LOG_P)
+            .iter()
+            .any(|&v| v as usize >= predicate_count)
+        {
+            return Err(bad("log p column references out-of-range predicate"));
+        }
+        check_offsets(
+            "so bounds",
+            self.u64s(sec::SO_BOUNDS),
+            predicate_count,
+            triple_count,
+        )?;
+        check_offsets(
+            "os bounds",
+            self.u64s(sec::OS_BOUNDS),
+            predicate_count,
+            triple_count,
+        )?;
+
+        let name_bytes = self.raw(sec::NAME_BYTES);
+        let name_offsets = self.u64s(sec::NAME_OFFSETS);
+        let name_bounds = self.u64s(sec::NAME_NODE_BOUNDS);
+        let name_ids = self.u32s(sec::NAME_NODE_IDS);
+        let name_count = name_offsets.len().saturating_sub(1);
+        check_offsets("name offsets", name_offsets, name_count, name_bytes.len())?;
+        check_offsets("name node bounds", name_bounds, name_count, name_ids.len())?;
+        let names = std::str::from_utf8(name_bytes)
+            .map_err(|e| bad(format_args!("name bytes not UTF-8: {e}")))?;
+        for &off in name_offsets {
+            if !names.is_char_boundary(off as usize) {
+                return Err(bad("name offset splits a UTF-8 sequence"));
+            }
+        }
+        if name_ids.iter().any(|&v| v as usize >= node_count) {
+            return Err(bad("name index references out-of-range node"));
+        }
+        Ok(())
+    }
+
+    /// The raw mapped file bytes (for sidecar digesting).
+    pub fn bytes(&self) -> &[u8] {
+        self.map.bytes()
+    }
+
+    fn raw(&self, i: usize) -> &[u8] {
+        let (off, len) = self.ranges[i];
+        &self.map.bytes()[off..off + len]
+    }
+
+    fn u32s(&self, i: usize) -> &[u32] {
+        cast_u32(self.raw(i))
+    }
+
+    fn u64s(&self, i: usize) -> &[u64] {
+        cast_u64(self.raw(i))
+    }
+
+    /// The mapped dictionary view.
+    pub fn dict(&self) -> MappedDict<'_> {
+        MappedDict {
+            string_bytes: self.raw(sec::STRING_BYTES),
+            string_offsets: self.u64s(sec::STRING_OFFSETS),
+            string_sorted: self.u32s(sec::STRING_SORTED),
+            term_tags: self.raw(sec::TERM_TAGS),
+            term_payloads: self.u64s(sec::TERM_PAYLOADS),
+            term_sorted: self.u32s(sec::TERM_SORTED),
+            predicate_syms: self.u32s(sec::PREDICATE_SYMS),
+            predicate_sorted: self.u32s(sec::PREDICATE_SORTED),
+        }
+    }
+
+    /// The mapped columnar triple view.
+    pub fn cols(&self) -> ColsView<'_> {
+        ColsView {
+            log_s: self.u32s(sec::LOG_S),
+            log_p: self.u32s(sec::LOG_P),
+            log_o: self.u32s(sec::LOG_O),
+            so_bounds: self.u64s(sec::SO_BOUNDS),
+            so_s: self.u32s(sec::SO_S),
+            so_o: self.u32s(sec::SO_O),
+            os_bounds: self.u64s(sec::OS_BOUNDS),
+            os_o: self.u32s(sec::OS_O),
+            os_s: self.u32s(sec::OS_S),
+        }
+    }
+
+    /// The configured name predicates.
+    pub fn name_predicates(&self) -> &[PredicateId] {
+        as_predicate_ids(self.u32s(sec::NAME_PREDICATES))
+    }
+
+    /// Number of distinct lowercased names in the name index.
+    pub fn name_entry_count(&self) -> usize {
+        self.u64s(sec::NAME_OFFSETS).len().saturating_sub(1)
+    }
+
+    /// The `i`-th name entry, in sorted name order.
+    pub fn name_entry(&self, i: usize) -> (&str, &[NodeId]) {
+        let offsets = self.u64s(sec::NAME_OFFSETS);
+        let bounds = self.u64s(sec::NAME_NODE_BOUNDS);
+        let name_bytes = &self.raw(sec::NAME_BYTES)[offsets[i] as usize..offsets[i + 1] as usize];
+        // SAFETY: UTF-8 of the section and offset boundaries validated at open.
+        let name = unsafe { std::str::from_utf8_unchecked(name_bytes) };
+        let ids = &self.u32s(sec::NAME_NODE_IDS)[bounds[i] as usize..bounds[i + 1] as usize];
+        (name, as_node_ids(ids))
+    }
+
+    /// Nodes bearing `lower` (an already-lowercased surface name); binary
+    /// search over the sorted name section.
+    pub fn entities_named(&self, lower: &str) -> &[NodeId] {
+        let n = self.name_entry_count();
+        let (mut lo, mut hi) = (0usize, n);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.name_entry(mid).0 < lower {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        if lo < n {
+            let (name, ids) = self.name_entry(lo);
+            if name == lower {
+                return ids;
+            }
+        }
+        &[]
+    }
+
+    /// Materialize the owned parts (dictionary, triple log, name
+    /// predicates) — the slow path used when a mapped store must be
+    /// re-serialized into the legacy JSON form.
+    pub fn to_parts(&self) -> (Dictionary, Vec<Triple>, Vec<PredicateId>) {
+        let md = self.dict();
+        let mut strings = Interner::with_capacity(md.string_count());
+        for sym in 0..md.string_count() as u32 {
+            strings.intern(md.resolve_sym(sym));
+        }
+        let terms: Vec<Term> = (0..md.node_count())
+            .map(|i| decode_term(md.term_tags[i], md.term_payloads[i]))
+            .collect();
+        let dict = Dictionary::from_raw_parts(strings, terms, md.predicate_syms.to_vec());
+        let cols = self.cols();
+        let triples: Vec<Triple> = (0..cols.len()).map(|i| cols.triple_at(i)).collect();
+        (dict, triples, self.name_predicates().to_vec())
+    }
+}
+
+fn check_offsets(what: &str, offsets: &[u64], expect_entries: usize, end: usize) -> Result<()> {
+    if offsets.len() != expect_entries + 1 {
+        return Err(bad(format_args!(
+            "{what}: {} entries, expected {}",
+            offsets.len(),
+            expect_entries + 1
+        )));
+    }
+    if offsets.first() != Some(&0) || offsets.last() != Some(&(end as u64)) {
+        return Err(bad(format_args!("{what}: endpoints out of range")));
+    }
+    if offsets.windows(2).any(|w| w[0] > w[1]) {
+        return Err(bad(format_args!("{what}: not monotone")));
+    }
+    Ok(())
+}
+
+fn check_perm(what: &str, perm: &[u32], n: usize) -> Result<()> {
+    if perm.len() != n {
+        return Err(bad(format_args!("{what}: length mismatch")));
+    }
+    if perm.iter().any(|&v| v as usize >= n) {
+        return Err(bad(format_args!("{what}: index out of range")));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Mapped dictionary
+// ---------------------------------------------------------------------------
+
+/// Read-only dictionary view over mapped snapshot sections. Every lookup the
+/// owned [`Dictionary`] answers through hash maps is answered here by binary
+/// search over sorted permutation arrays — nothing was rebuilt at load time.
+#[derive(Clone, Copy, Debug)]
+pub struct MappedDict<'a> {
+    string_bytes: &'a [u8],
+    string_offsets: &'a [u64],
+    string_sorted: &'a [u32],
+    term_tags: &'a [u8],
+    term_payloads: &'a [u64],
+    term_sorted: &'a [u32],
+    predicate_syms: &'a [u32],
+    predicate_sorted: &'a [u32],
+}
+
+impl<'a> MappedDict<'a> {
+    /// Number of interned strings.
+    pub fn string_count(&self) -> usize {
+        self.string_sorted.len()
+    }
+
+    /// Resolve an interned string symbol.
+    pub fn resolve_sym(&self, sym: u32) -> &'a str {
+        let lo = self.string_offsets[sym as usize] as usize;
+        let hi = self.string_offsets[sym as usize + 1] as usize;
+        // SAFETY: section UTF-8 and offset boundaries validated at open.
+        unsafe { std::str::from_utf8_unchecked(&self.string_bytes[lo..hi]) }
+    }
+
+    /// Find the symbol of `s`, if interned.
+    pub fn find_sym(&self, s: &str) -> Option<u32> {
+        let i = self
+            .string_sorted
+            .partition_point(|&sym| self.resolve_sym(sym) < s);
+        let &sym = self.string_sorted.get(i)?;
+        (self.resolve_sym(sym) == s).then_some(sym)
+    }
+
+    /// The term behind a node id.
+    pub fn node_term(&self, id: NodeId) -> Term {
+        decode_term(self.term_tags[id.index()], self.term_payloads[id.index()])
+    }
+
+    /// Look up a term's node id.
+    pub fn find_term(&self, term: Term) -> Option<NodeId> {
+        let key = encode_term(term);
+        let i = self.term_sorted.partition_point(|&t| {
+            (self.term_tags[t as usize], self.term_payloads[t as usize]) < key
+        });
+        let &t = self.term_sorted.get(i)?;
+        ((self.term_tags[t as usize], self.term_payloads[t as usize]) == key)
+            .then_some(NodeId::new(t))
+    }
+
+    /// Look up a resource node by IRI.
+    pub fn find_resource(&self, iri: &str) -> Option<NodeId> {
+        self.find_term(Term::Resource(self.find_sym(iri)?))
+    }
+
+    /// Look up a string-literal node.
+    pub fn find_str_literal(&self, value: &str) -> Option<NodeId> {
+        self.find_term(Term::Literal(Literal::Str(self.find_sym(value)?)))
+    }
+
+    /// Look up a predicate id by name.
+    pub fn find_predicate(&self, name: &str) -> Option<PredicateId> {
+        let i = self
+            .predicate_sorted
+            .partition_point(|&p| self.resolve_sym(self.predicate_syms[p as usize]) < name);
+        let &p = self.predicate_sorted.get(i)?;
+        (self.resolve_sym(self.predicate_syms[p as usize]) == name).then_some(PredicateId::new(p))
+    }
+
+    /// The name of a predicate id.
+    pub fn predicate_name(&self, id: PredicateId) -> &'a str {
+        self.resolve_sym(self.predicate_syms[id.index()])
+    }
+
+    /// Number of distinct nodes.
+    pub fn node_count(&self) -> usize {
+        self.term_tags.len()
+    }
+
+    /// Number of distinct predicates.
+    pub fn predicate_count(&self) -> usize {
+        self.predicate_syms.len()
+    }
+}

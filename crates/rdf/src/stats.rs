@@ -9,6 +9,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::store::TripleStore;
 use crate::term::Term;
+use crate::triple::PredicateId;
 
 /// Aggregate statistics of a [`TripleStore`].
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -44,11 +45,7 @@ impl StoreStats {
         let categories = dict
             .find_predicate(crate::builder::CATEGORY_PREDICATE)
             .map(|cat| {
-                let mut values: Vec<_> = store
-                    .triples_for_predicate(cat)
-                    .iter()
-                    .map(|t| t.o)
-                    .collect();
+                let mut values: Vec<_> = store.triples_for_predicate(cat).map(|t| t.o).collect();
                 values.sort_unstable();
                 values.dedup();
                 values.len()
@@ -75,6 +72,62 @@ impl std::fmt::Display for StoreStats {
             self.categories, self.names
         )
     }
+}
+
+/// Per-predicate cardinality and fan-out summary, read directly off the
+/// columnar runs (each run is sorted, so distinct counts and maximum group
+/// sizes are one linear pass — no hashing).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PredicateStats {
+    /// Predicate name.
+    pub predicate: String,
+    /// Triples carrying this predicate.
+    pub triples: usize,
+    /// Distinct subjects in the predicate's extent.
+    pub distinct_subjects: usize,
+    /// Distinct objects in the predicate's extent.
+    pub distinct_objects: usize,
+    /// Largest `|V(s, p)|` over all subjects (out fan-out).
+    pub max_out_fanout: usize,
+    /// Largest subject count over all objects (in fan-out).
+    pub max_in_fanout: usize,
+}
+
+/// Compute [`PredicateStats`] for every predicate, in predicate-id order.
+pub fn per_predicate(store: &TripleStore) -> Vec<PredicateStats> {
+    let cols = store.backend().cols();
+    let dict = store.dict();
+    (0..cols.predicate_count())
+        .map(|i| {
+            let p = PredicateId::new(i as u32);
+            let (so_s, _) = cols.so_run(p);
+            let (os_o, _) = cols.os_run(p);
+            let (distinct_subjects, max_out_fanout) = distinct_and_max_run(so_s);
+            let (distinct_objects, max_in_fanout) = distinct_and_max_run(os_o);
+            PredicateStats {
+                predicate: dict.predicate_name(p).to_owned(),
+                triples: so_s.len(),
+                distinct_subjects,
+                distinct_objects,
+                max_out_fanout,
+                max_in_fanout,
+            }
+        })
+        .collect()
+}
+
+/// `(distinct values, longest equal run)` of a sorted column.
+fn distinct_and_max_run(sorted: &[u32]) -> (usize, usize) {
+    let mut distinct = 0usize;
+    let mut max_run = 0usize;
+    let mut i = 0usize;
+    while i < sorted.len() {
+        let run = sorted[i..].partition_point(|&v| v == sorted[i]);
+        distinct += 1;
+        max_run = max_run.max(run);
+        i += run;
+    }
+    (distinct, max_run)
 }
 
 #[cfg(test)]
@@ -110,5 +163,28 @@ mod tests {
         assert_eq!(stats.triples, 0);
         assert_eq!(stats.nodes, 0);
         assert_eq!(stats.categories, 0);
+    }
+
+    #[test]
+    fn per_predicate_cardinalities_and_fanout() {
+        let mut b = GraphBuilder::new();
+        let a = b.resource("a");
+        let c = b.resource("c");
+        let d = b.resource("d");
+        b.link(a, "knows", c);
+        b.link(a, "knows", d);
+        b.link(c, "knows", d);
+        let store = b.build();
+        let all = per_predicate(&store);
+        let knows = all.iter().find(|s| s.predicate == "knows").unwrap();
+        assert_eq!(knows.triples, 3);
+        assert_eq!(knows.distinct_subjects, 2); // a, c
+        assert_eq!(knows.distinct_objects, 2); // c, d
+        assert_eq!(knows.max_out_fanout, 2); // a → {c, d}
+        assert_eq!(knows.max_in_fanout, 2); // d ← {a, c}
+                                            // Unused predicates report empty extents, not garbage.
+        let alias = all.iter().find(|s| s.predicate == "alias").unwrap();
+        assert_eq!(alias.triples, 0);
+        assert_eq!(alias.max_out_fanout, 0);
     }
 }

@@ -1,48 +1,49 @@
-//! The triple store: sorted-array indexes over dictionary-encoded triples.
+//! The triple store: a backend-polymorphic query surface over
+//! dictionary-encoded, predicate-partitioned columnar triples.
 //!
-//! Four index orders cover every access pattern KBQA issues:
+//! The data plane lives in [`crate::columnar`]: per-predicate `(s, o)` and
+//! `(o, s)` sorted runs over parallel `u32` columns, plus the insertion-order
+//! log. Every access pattern KBQA issues maps onto one of them:
 //!
-//! | index | sorted by | answers |
-//! |-------|-----------|---------|
-//! | SPO   | (s, p, o) | `V(e, p)` value lookups (Eq 6), out-edges |
-//! | SOP   | (s, o, p) | "which predicates connect e and v?" (Eq 8) |
-//! | POS   | (p, o, s) | per-predicate extents, reverse lookups |
-//! | OPS   | (o, p, s) | in-edges, value→entity grounding |
+//! | lookup | run | answers |
+//! |--------|-----|---------|
+//! | `objects(s, p)` | SO | `V(e, p)` value lookups (Eq 6) — zero-copy slice |
+//! | `subjects(p, o)` | OS | reverse lookups, value→entity grounding |
+//! | `predicates_between(s, o)` | SO probe per `p` | "which predicates connect e and v?" (Eq 8) |
+//! | `out_edges` / `in_edges` | SO / OS across `p` | neighborhood walks |
+//! | `scan()` | log | the "read the KB file once" primitive of Sec 6.2 |
 //!
-//! Additionally, the store keeps the original insertion order (`log`) and
-//! exposes it via [`TripleStore::scan`]: the predicate-expansion BFS of
-//! Sec 6.2 is defined in terms of *sequential scans over the on-disk triple
-//! file* joined against an in-memory frontier, and the harness counts scan
-//! passes through this API to validate the O(k·|K|) claim.
+//! Storage is behind [`StoreBackend`]: [`BackendKind::InMemory`] owns the
+//! columns on the heap, [`BackendKind::Mapped`] serves them straight out of
+//! an `mmap`ed [`Snapshot`] — same code paths, pinned equivalent by
+//! `rdf/tests/backend_equivalence.rs`. The expansion harness still counts
+//! [`TripleStore::scan`] passes to validate the O(k·|K|) claim.
 
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use kbqa_common::hash::FxHashMap;
-use serde::{Deserialize, Serialize};
+use serde::{Serialize, Value};
 
-use crate::dictionary::Dictionary;
+use crate::backend::{BackendKind, InMemoryBackend, MappedBackend, StoreBackend};
+use crate::columnar::ColsView;
+use crate::dictionary::{DictRef, Dictionary};
+use crate::snapshot::{self, Snapshot, SnapshotSource};
 use crate::term::Term;
 use crate::triple::{NodeId, PredicateId, Triple};
 
 /// An immutable, fully indexed RDF store. Construct via
-/// [`crate::GraphBuilder`].
-#[derive(Debug, Serialize, Deserialize)]
+/// [`crate::GraphBuilder`], deserialization, or [`TripleStore::from_snapshot`].
+#[derive(Debug)]
 pub struct TripleStore {
-    dict: Dictionary,
-    /// Insertion ("disk") order.
-    log: Vec<Triple>,
-    spo: Vec<Triple>,
-    sop: Vec<Triple>,
-    pos: Vec<Triple>,
-    ops: Vec<Triple>,
-    /// Predicates whose objects are treated as human-readable names
-    /// (`name`, `alias`, …) for entity grounding.
-    name_predicates: Vec<PredicateId>,
-    /// Lowercased surface name → resource nodes bearing it.
-    name_index: FxHashMap<String, Vec<NodeId>>,
+    backend: Backend,
     /// Scan-pass telemetry (not persisted; diagnostic only).
-    #[serde(skip)]
     scan_passes: AtomicU64,
+}
+
+#[derive(Debug)]
+enum Backend {
+    InMemory(InMemoryBackend),
+    Mapped(MappedBackend),
 }
 
 impl TripleStore {
@@ -50,74 +51,91 @@ impl TripleStore {
     /// drive the entity-name index.
     pub(crate) fn build(
         dict: Dictionary,
-        mut triples: Vec<Triple>,
+        triples: Vec<Triple>,
         name_predicates: Vec<PredicateId>,
     ) -> Self {
-        // Deduplicate while preserving first-seen ("disk") order.
-        let mut seen = kbqa_common::hash::FxHashSet::default();
-        triples.retain(|t| seen.insert(*t));
-
-        let log = triples;
-        let mut spo = log.clone();
-        spo.sort_unstable_by_key(Triple::spo_key);
-        let mut sop = log.clone();
-        sop.sort_unstable_by_key(Triple::sop_key);
-        let mut pos = log.clone();
-        pos.sort_unstable_by_key(Triple::pos_key);
-        let mut ops = log.clone();
-        ops.sort_unstable_by_key(Triple::ops_key);
-
-        let mut store = Self {
-            dict,
-            log,
-            spo,
-            sop,
-            pos,
-            ops,
-            name_predicates,
-            name_index: FxHashMap::default(),
+        Self {
+            backend: Backend::InMemory(InMemoryBackend::build(dict, triples, name_predicates)),
             scan_passes: AtomicU64::new(0),
-        };
-        store.build_name_index();
-        store
-    }
-
-    fn build_name_index(&mut self) {
-        let mut index: FxHashMap<String, Vec<NodeId>> = FxHashMap::default();
-        for &p in &self.name_predicates {
-            for t in self.triples_for_predicate(p) {
-                if let Some(name) = self.dict.render_str(t.o) {
-                    let key = name.to_lowercase();
-                    let nodes = index.entry(key).or_default();
-                    if !nodes.contains(&t.s) {
-                        nodes.push(t.s);
-                    }
-                }
-            }
         }
-        self.name_index = index;
     }
 
-    /// The dictionary backing this store.
-    pub fn dict(&self) -> &Dictionary {
-        &self.dict
+    /// Serve directly out of an open snapshot — the zero-copy load path.
+    pub fn from_snapshot(snap: Snapshot) -> Self {
+        Self {
+            backend: Backend::Mapped(MappedBackend::new(snap)),
+            scan_passes: AtomicU64::new(0),
+        }
+    }
+
+    /// The active storage backend, as the [`StoreBackend`] contract.
+    pub fn backend(&self) -> &dyn StoreBackend {
+        match &self.backend {
+            Backend::InMemory(b) => b,
+            Backend::Mapped(m) => m,
+        }
+    }
+
+    /// Which backend this store runs on (`in_memory` / `mapped`).
+    pub fn backend_kind(&self) -> BackendKind {
+        self.backend().kind()
+    }
+
+    /// Write this store as a snapshot file at `path` (atomic: temp +
+    /// `fsync` + rename). Returns the Fx-64 digest of the final file, which
+    /// callers record in the `.fxsum` sidecar.
+    pub fn write_snapshot(&self, path: &Path) -> kbqa_common::error::Result<u64> {
+        match &self.backend {
+            Backend::InMemory(b) => {
+                let (strings, terms, predicate_syms) = b.dict.raw_parts();
+                let src = SnapshotSource {
+                    strings,
+                    terms,
+                    predicate_syms,
+                    cols: b.cols.view(),
+                    name_predicates: &b.name_predicates,
+                    name_entries: b
+                        .name_index
+                        .iter()
+                        .map(|(k, v)| (k.as_str(), v.as_slice()))
+                        .collect(),
+                };
+                snapshot::write_source(&src, path)
+            }
+            // A mapped store already *is* its snapshot; re-snapshotting is a
+            // verbatim byte copy.
+            Backend::Mapped(m) => snapshot::write_bytes(m.snapshot().bytes(), path),
+        }
+    }
+
+    fn cols(&self) -> ColsView<'_> {
+        match &self.backend {
+            Backend::InMemory(b) => b.cols.view(),
+            Backend::Mapped(m) => m.snapshot().cols(),
+        }
+    }
+
+    /// The dictionary view backing this store.
+    pub fn dict(&self) -> DictRef<'_> {
+        self.backend().dict()
     }
 
     /// Total number of stored (distinct) triples.
     pub fn len(&self) -> usize {
-        self.log.len()
+        self.cols().len()
     }
 
     /// Whether the store holds no triples.
     pub fn is_empty(&self) -> bool {
-        self.log.is_empty()
+        self.cols().is_empty()
     }
 
     /// Sequential scan in insertion order — the "read the KB file once"
     /// primitive of Sec 6.2. Each call counts as one scan pass.
-    pub fn scan(&self) -> &[Triple] {
+    pub fn scan(&self) -> impl Iterator<Item = Triple> + '_ {
         self.scan_passes.fetch_add(1, Ordering::Relaxed);
-        &self.log
+        let v = self.cols();
+        (0..v.len()).map(move |i| v.triple_at(i))
     }
 
     /// How many full scans have been issued (telemetry for the expansion
@@ -126,38 +144,63 @@ impl TripleStore {
         self.scan_passes.load(Ordering::Relaxed)
     }
 
-    /// All triples with subject `s` (SPO range).
-    pub fn out_edges(&self, s: NodeId) -> &[Triple] {
-        range_by(&self.spo, |t| t.s.cmp(&s))
+    /// All triples with subject `s`, ordered by `(p, o)`.
+    pub fn out_edges(&self, s: NodeId) -> impl Iterator<Item = Triple> + '_ {
+        let v = self.cols();
+        (0..v.predicate_count() as u32).flat_map(move |p| {
+            let pid = PredicateId::new(p);
+            v.objects(s.raw(), pid)
+                .iter()
+                .map(move |&o| Triple::new(s, pid, NodeId::new(o)))
+        })
     }
 
-    /// All triples with object `o` (OPS range).
-    pub fn in_edges(&self, o: NodeId) -> &[Triple] {
-        range_by(&self.ops, |t| t.o.cmp(&o))
+    /// All triples with object `o`, ordered by `(p, s)`.
+    pub fn in_edges(&self, o: NodeId) -> impl Iterator<Item = Triple> + '_ {
+        let v = self.cols();
+        (0..v.predicate_count() as u32).flat_map(move |p| {
+            let pid = PredicateId::new(p);
+            v.subjects(pid, o.raw())
+                .iter()
+                .map(move |&s| Triple::new(NodeId::new(s), pid, o))
+        })
     }
 
-    /// All triples with predicate `p` (POS range).
-    pub fn triples_for_predicate(&self, p: PredicateId) -> &[Triple] {
-        range_by(&self.pos, |t| t.p.cmp(&p))
+    /// All triples with predicate `p`, ordered by `(s, o)`.
+    pub fn triples_for_predicate(&self, p: PredicateId) -> PredicateTriples<'_> {
+        let (subjects, objects) = self.cols().so_run(p);
+        PredicateTriples {
+            subjects,
+            objects,
+            p,
+        }
     }
 
-    /// `V(e, p)` — objects reachable from `s` via `p` (paper Table 2).
+    /// `V(e, p)` — objects reachable from `s` via `p` (paper Table 2),
+    /// ascending by id.
     pub fn objects(&self, s: NodeId, p: PredicateId) -> impl Iterator<Item = NodeId> + '_ {
-        range_by(&self.spo, move |t| (t.s, t.p).cmp(&(s, p)))
-            .iter()
-            .map(|t| t.o)
+        self.objects_slice(s, p).iter().copied()
+    }
+
+    /// `V(e, p)` as a zero-copy slice straight off the SO run — the
+    /// allocation-free bulk form for path traversal.
+    pub fn objects_slice(&self, s: NodeId, p: PredicateId) -> &[NodeId] {
+        snapshot::as_node_ids(self.cols().objects(s.raw(), p))
     }
 
     /// `|V(e, p)|` without materializing, for `P(v|e,p)` (Eq 6).
     pub fn object_count(&self, s: NodeId, p: PredicateId) -> usize {
-        range_by(&self.spo, move |t| (t.s, t.p).cmp(&(s, p))).len()
+        self.cols().objects(s.raw(), p).len()
     }
 
-    /// Subjects `s` with `(s, p, o)` in the store.
+    /// Subjects `s` with `(s, p, o)` in the store, ascending by id.
     pub fn subjects(&self, p: PredicateId, o: NodeId) -> impl Iterator<Item = NodeId> + '_ {
-        range_by(&self.pos, move |t| (t.p, t.o).cmp(&(p, o)))
-            .iter()
-            .map(|t| t.s)
+        self.subjects_slice(p, o).iter().copied()
+    }
+
+    /// The subjects of `(·, p, o)` as a zero-copy slice off the OS run.
+    pub fn subjects_slice(&self, p: PredicateId, o: NodeId) -> &[NodeId] {
+        snapshot::as_node_ids(self.cols().subjects(p, o.raw()))
     }
 
     /// Predicates directly connecting `s` to `o` — the Eq (8) probe
@@ -167,21 +210,21 @@ impl TripleStore {
         s: NodeId,
         o: NodeId,
     ) -> impl Iterator<Item = PredicateId> + '_ {
-        range_by(&self.sop, move |t| (t.s, t.o).cmp(&(s, o)))
-            .iter()
-            .map(|t| t.p)
+        let v = self.cols();
+        (0..v.predicate_count() as u32).filter_map(move |p| {
+            let pid = PredicateId::new(p);
+            v.contains(s.raw(), pid, o.raw()).then_some(pid)
+        })
     }
 
     /// Membership test.
     pub fn contains(&self, s: NodeId, p: PredicateId, o: NodeId) -> bool {
-        self.spo
-            .binary_search_by(|t| t.spo_key().cmp(&(s, p, o)))
-            .is_ok()
+        self.cols().contains(s.raw(), p, o.raw())
     }
 
     /// The configured name predicates.
     pub fn name_predicates(&self) -> &[PredicateId] {
-        &self.name_predicates
+        self.backend().name_predicates()
     }
 
     /// Resources whose name matches `name` case-insensitively — the KB-side
@@ -190,12 +233,9 @@ impl TripleStore {
     pub fn entities_named(&self, name: &str) -> &[NodeId] {
         // Fast path: already lowercase (tokenizer output), no allocation.
         if name.chars().all(|c| !c.is_uppercase()) {
-            return self.name_index.get(name).map(Vec::as_slice).unwrap_or(&[]);
+            return self.backend().entities_named_lower(name);
         }
-        self.name_index
-            .get(&name.to_lowercase())
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.backend().entities_named_lower(&name.to_lowercase())
     }
 
     /// All names of a resource (objects of its name-predicate edges).
@@ -207,10 +247,13 @@ impl TripleStore {
     /// of [`TripleStore::names_of`] for hot paths that only need the first
     /// name (answer rendering materializes thousands of surfaces per second).
     pub fn names_of_iter(&self, node: NodeId) -> impl Iterator<Item = &str> + '_ {
-        self.name_predicates
+        let b = self.backend();
+        let v = b.cols();
+        let dict = b.dict();
+        b.name_predicates()
             .iter()
-            .flat_map(move |&p| range_by(&self.spo, move |t| (t.s, t.p).cmp(&(node, p))))
-            .filter_map(|t| self.dict.render_str(t.o))
+            .flat_map(move |&p| v.objects(node.raw(), p).iter().copied())
+            .filter_map(move |o| dict.render_str(NodeId::new(o)))
     }
 
     /// Human-facing surface form: literals render directly; resources render
@@ -223,47 +266,111 @@ impl TripleStore {
     /// literals, named resources, IRIs) borrow from the store; only numeric
     /// literals, which must be formatted, allocate.
     pub fn surface_ref(&self, node: NodeId) -> std::borrow::Cow<'_, str> {
-        match self.dict.node_term(node) {
-            Term::Literal(_) => match self.dict.render_str(node) {
+        let dict = self.dict();
+        match dict.node_term(node) {
+            Term::Literal(_) => match dict.render_str(node) {
                 Some(s) => std::borrow::Cow::Borrowed(s),
-                None => std::borrow::Cow::Owned(self.dict.render(node)),
+                None => std::borrow::Cow::Owned(dict.render(node)),
             },
             Term::Resource(_) => match self.names_of_iter(node).next() {
                 Some(name) => std::borrow::Cow::Borrowed(name),
-                None => match self.dict.render_str(node) {
+                None => match dict.render_str(node) {
                     Some(iri) => std::borrow::Cow::Borrowed(iri),
-                    None => std::borrow::Cow::Owned(self.dict.render(node)),
+                    None => std::borrow::Cow::Owned(dict.render(node)),
                 },
             },
         }
     }
 
     /// Iterate every distinct `(name, nodes)` pair in the name index
-    /// (gazetteer construction).
+    /// (gazetteer construction). Order is backend-defined.
     pub fn name_entries(&self) -> impl Iterator<Item = (&str, &[NodeId])> {
-        self.name_index
-            .iter()
-            .map(|(k, v)| (k.as_str(), v.as_slice()))
+        self.backend().name_entries()
     }
 
-    /// Rebuild derived state after deserialization.
+    /// Rebuild derived state after deserialization. A mapped store has no
+    /// derived state — everything is searched in place — so this is a no-op
+    /// there.
     pub fn rebuild_index(&mut self) {
-        self.dict.rebuild_index();
-        self.build_name_index();
+        if let Backend::InMemory(b) = &mut self.backend {
+            b.dict.rebuild_index();
+            b.rebuild_name_index();
+        }
     }
 }
 
-/// Binary-search the contiguous run of `sorted` where `cmp` returns `Equal`.
-/// `cmp` must be monotone w.r.t. the slice's sort order (compare a prefix of
-/// the sort key against a fixed probe).
-fn range_by<F>(sorted: &[Triple], cmp: F) -> &[Triple]
-where
-    F: Fn(&Triple) -> std::cmp::Ordering,
-{
-    let start = sorted.partition_point(|t| cmp(t) == std::cmp::Ordering::Less);
-    let rest = &sorted[start..];
-    let len = rest.partition_point(|t| cmp(t) == std::cmp::Ordering::Equal);
-    &rest[..len]
+/// Iterator over all triples of one predicate, in `(s, o)` order; returned
+/// by [`TripleStore::triples_for_predicate`].
+#[derive(Clone, Debug)]
+pub struct PredicateTriples<'a> {
+    subjects: &'a [u32],
+    objects: &'a [u32],
+    p: PredicateId,
+}
+
+impl PredicateTriples<'_> {
+    /// Whether the predicate has no (remaining) triples.
+    pub fn is_empty(&self) -> bool {
+        self.subjects.is_empty()
+    }
+}
+
+impl Iterator for PredicateTriples<'_> {
+    type Item = Triple;
+
+    fn next(&mut self) -> Option<Triple> {
+        let (&s, rest_s) = self.subjects.split_first()?;
+        let (&o, rest_o) = self.objects.split_first()?;
+        self.subjects = rest_s;
+        self.objects = rest_o;
+        Some(Triple::new(NodeId::new(s), self.p, NodeId::new(o)))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.subjects.len(), Some(self.subjects.len()))
+    }
+}
+
+impl ExactSizeIterator for PredicateTriples<'_> {}
+
+// Persisted (JSON) form: the logical content only — dictionary, deduplicated
+// triple log, name-predicate configuration. Derived structures (runs, name
+// index, lookup maps) are rebuilt on load. Mapped stores serialize by
+// materializing the same logical content, so a JSON roundtrip of either
+// backend yields an equivalent in-memory store.
+impl Serialize for TripleStore {
+    fn to_value(&self) -> Value {
+        let (dict_value, triples, name_predicates) = match &self.backend {
+            Backend::InMemory(b) => {
+                let v = b.cols.view();
+                let triples: Vec<Triple> = (0..v.len()).map(|i| v.triple_at(i)).collect();
+                (b.dict.to_value(), triples, b.name_predicates.clone())
+            }
+            Backend::Mapped(m) => {
+                let (dict, triples, name_predicates) = m.snapshot().to_parts();
+                (dict.to_value(), triples, name_predicates)
+            }
+        };
+        Value::Map(vec![
+            ("dict".to_owned(), dict_value),
+            ("triples".to_owned(), triples.to_value()),
+            ("name_predicates".to_owned(), name_predicates.to_value()),
+        ])
+    }
+}
+
+impl serde::de::Deserialize for TripleStore {
+    fn from_value(v: &Value) -> std::result::Result<Self, serde::de::Error> {
+        let map = v
+            .as_map()
+            .ok_or_else(|| serde::de::Error::expected("map", v))?;
+        let dict: Dictionary = serde::de::field(map, "dict")?;
+        let triples: Vec<Triple> = serde::de::field(map, "triples")?;
+        let name_predicates: Vec<PredicateId> = serde::de::field(map, "name_predicates")?;
+        let mut store = Self::build(dict, triples, name_predicates);
+        store.rebuild_index();
+        Ok(store)
+    }
 }
 
 #[cfg(test)]
@@ -322,6 +429,7 @@ mod tests {
             .collect();
         assert_eq!(values, vec!["1961"]);
         assert_eq!(store.object_count(ids.obama, dob), 1);
+        assert_eq!(store.objects_slice(ids.obama, dob).len(), 1);
     }
 
     #[test]
@@ -402,8 +510,8 @@ mod tests {
     fn in_and_out_edges() {
         let (store, ids) = toy_kb();
         // obama: dob, category x2, marriage, pob, name = 6 out-edges.
-        assert_eq!(store.out_edges(ids.obama).len(), 6);
-        let michelle_in = store.in_edges(ids.michelle);
+        assert_eq!(store.out_edges(ids.obama).count(), 6);
+        let michelle_in: Vec<_> = store.in_edges(ids.michelle).collect();
         assert_eq!(michelle_in.len(), 1);
         assert_eq!(michelle_in[0].s, ids.marriage);
     }
@@ -434,9 +542,9 @@ mod tests {
     fn scan_counts_passes() {
         let (store, _) = toy_kb();
         assert_eq!(store.scan_passes(), 0);
-        let n = store.scan().len();
+        let n = store.scan().count();
         assert_eq!(n, store.len());
-        store.scan();
+        let _ = store.scan();
         assert_eq!(store.scan_passes(), 2);
     }
 
@@ -474,5 +582,22 @@ mod tests {
         let store = b.build();
         let hits = store.entities_named("springfield");
         assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn built_stores_run_in_memory() {
+        let (store, _) = toy_kb();
+        assert_eq!(store.backend_kind(), crate::BackendKind::InMemory);
+        assert_eq!(store.backend_kind().as_str(), "in_memory");
+    }
+
+    #[test]
+    fn triples_for_predicate_is_exact_size() {
+        let (store, _) = toy_kb();
+        let cat = store.dict().find_predicate("category").unwrap();
+        let iter = store.triples_for_predicate(cat);
+        assert_eq!(iter.len(), 5);
+        assert!(!iter.is_empty());
+        assert_eq!(iter.count(), 5);
     }
 }

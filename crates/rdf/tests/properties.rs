@@ -86,7 +86,7 @@ proptest! {
         links in proptest::collection::vec((0u8..8, 0u8..3, 0u8..8), 1..40),
     ) {
         let store = arbitrary_store(&links, &[], &[]);
-        let scanned = store.scan();
+        let scanned: Vec<_> = store.scan().collect();
         prop_assert_eq!(scanned.len(), store.len());
         for t in scanned {
             prop_assert!(store.contains(t.s, t.p, t.o));

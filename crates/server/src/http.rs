@@ -1444,10 +1444,15 @@ fn route(shared: &Shared, request: &Request) -> Response {
         ("POST", "/answer") => handle_answer(state, &request.body),
         ("POST", "/batch") => handle_batch(state, &request.body),
         ("POST", "/admin/reload") => handle_reload(shared, request),
-        ("GET", "/healthz") => Response::ok(format!(
-            "{{\"status\":\"ok\",\"model_epoch\":{}}}",
-            state.service.model_epoch()
-        )),
+        ("GET", "/healthz") => {
+            let store = state.service.store();
+            Response::ok(format!(
+                "{{\"status\":\"ok\",\"model_epoch\":{},\"store_triples\":{},\"store_backend\":\"{}\"}}",
+                state.service.model_epoch(),
+                store.len(),
+                store.backend_kind().as_str()
+            ))
+        }
         ("GET", "/metrics") => match serde_json::to_string(&state.metrics.snapshot()) {
             Ok(body) => Response::ok(body),
             Err(e) => Response::error(500, &e.to_string()),

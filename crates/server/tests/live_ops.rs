@@ -192,7 +192,14 @@ fn reload_swaps_the_model_and_invalidates_cached_answers() {
     // …and every observability surface agrees.
     let (status, health) = http(addr, "GET", "/healthz", "", "");
     assert_eq!(status, 200);
-    assert_eq!(health, "{\"status\":\"ok\",\"model_epoch\":1}");
+    assert!(
+        health.starts_with("{\"status\":\"ok\",\"model_epoch\":1"),
+        "{health}"
+    );
+    assert!(
+        health.contains("\"store_backend\":\"in_memory\""),
+        "{health}"
+    );
     let swapped = cache_stats(addr);
     assert_eq!(swapped.model_epoch, 1);
     assert_eq!(

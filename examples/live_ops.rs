@@ -116,6 +116,11 @@ fn main() {
     let addr = handle.local_addr();
     println!("listening on http://{addr} (admin token: {token:?})\n");
 
+    // Liveness first: on a warm start the store backend is "mapped" — the
+    // server answers straight out of the mmap'd snapshot.
+    let (_, health) = http(addr, "GET", "/healthz", "", "");
+    println!("GET /healthz → {health}\n");
+
     // 3. Query twice: miss then hit, both under model epoch 0.
     let question = &questions[0];
     let body = serde_json::to_string(&QaRequest::new(question)).expect("serialize request");

@@ -97,8 +97,8 @@ proptest! {
             prop_assert!(store.objects(s, p).any(|x| x == o));
             prop_assert!(store.subjects(p, o).any(|x| x == s));
             prop_assert!(store.predicates_between(s, o).any(|x| x == p));
-            prop_assert!(store.out_edges(s).iter().any(|t| t.p == p && t.o == o));
-            prop_assert!(store.in_edges(o).iter().any(|t| t.s == s && t.p == p));
+            prop_assert!(store.out_edges(s).any(|t| t.p == p && t.o == o));
+            prop_assert!(store.in_edges(o).any(|t| t.s == s && t.p == p));
         }
         // Dedup: store size ≤ inserted edges.
         prop_assert!(store.len() <= edges.len());

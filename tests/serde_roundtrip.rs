@@ -155,7 +155,7 @@ fn store_roundtrips_through_json() {
         restored.entities_named(&name)
     );
     // Lookups agree on a sample of triples.
-    for t in world.store.scan().iter().take(50) {
+    for t in world.store.scan().take(50) {
         assert!(restored.contains(t.s, t.p, t.o));
     }
 }
