@@ -20,6 +20,7 @@ use std::borrow::Cow;
 
 use kbqa_common::hash::FxHashMap;
 use kbqa_common::topk::TopK;
+use kbqa_obs::{Stage, StageTrace};
 use serde::{Deserialize, Serialize};
 
 use kbqa_nlp::{tokenize, tokenize_into, GazetteerNer, Mention, MentionBuffer, TokenizedText};
@@ -213,6 +214,12 @@ pub struct ScratchSpace {
     /// Cumulative count of floor-pruned rows/suffixes (telemetry: lets
     /// tests and benches confirm the pruning path actually exercises).
     pruned: u64,
+    /// Per-request stage timer. Disarmed by default (a single predicted
+    /// branch per stage boundary); the service arms it for sampled or
+    /// `explain` requests, and callers owning a scratch can arm it
+    /// directly via [`kbqa_obs::StageTrace::begin`]. Fixed-size — keeps
+    /// the kernel allocation-free either way.
+    pub trace: StageTrace,
 }
 
 impl Default for ScratchSpace {
@@ -245,6 +252,7 @@ impl Default for ScratchSpace {
             question_tokens: TokenizedText::default(),
             sub_tokens: TokenizedText::default(),
             pruned: 0,
+            trace: StageTrace::new(),
         }
     }
 }
@@ -416,7 +424,11 @@ impl<'a> QaEngine<'a> {
         scratch: &mut ScratchSpace,
     ) -> Result<Vec<Answer>, Refusal> {
         self.score_bfq(tokens, scratch)?;
-        Ok(self.materialize_answers(scratch))
+        let answers = self.materialize_answers(scratch);
+        // Materialization folds into the rank/top-k stage: it walks the
+        // ranked list score_bfq staged.
+        scratch.trace.lap(Stage::RankTopK);
+        Ok(answers)
     }
 
     /// The scoring phase of the optimized kernel: entity grounding, template
@@ -457,6 +469,7 @@ impl<'a> QaEngine<'a> {
             return Err(Refusal::NoEntityGrounded);
         }
         self.groundings_into(tokens, scratch);
+        scratch.trace.lap(Stage::NerGrounding);
         if scratch.groundings.is_empty() {
             return Err(Refusal::NoEntityGrounded);
         }
@@ -481,6 +494,7 @@ impl<'a> QaEngine<'a> {
             floor_topk,
             floor_buf,
             pruned,
+            trace,
             ..
         } = scratch;
         scores.clear();
@@ -512,19 +526,33 @@ impl<'a> QaEngine<'a> {
 
         for &(entity, span_idx) in groundings.iter() {
             let span = mentions.spans()[span_idx as usize];
-            model::template_ids_for_mention(
+            // The two halves of `model::template_ids_for_mention`, called
+            // separately so taxonomy time and template-probe time land in
+            // their own stages. Semantics are identical to the fused call.
+            let form = model::conceptualize_mention(
                 tokens,
                 span.start,
                 span.end,
                 entity,
                 self.conceptualizer,
-                self.config.max_concepts,
                 &self.model.templates,
-                slot_table,
-                concepts,
                 form_buf,
-                templates,
+                concepts,
             );
+            trace.lap(Stage::Conceptualize);
+            templates.clear();
+            if let Some(form) = form {
+                model::resolve_template_ids(
+                    form,
+                    self.config.max_concepts,
+                    &self.model.templates,
+                    self.conceptualizer,
+                    slot_table,
+                    concepts,
+                    templates,
+                );
+            }
+            trace.lap(Stage::TemplateMatch);
             any_template |= !templates.is_empty();
             for &(tid, p_template) in templates.iter() {
                 let row = self.model.theta.predicates_for(tid);
@@ -569,6 +597,9 @@ impl<'a> QaEngine<'a> {
                     let range = match value_cache.get(&(entity, pred)) {
                         Some(&r) => r,
                         None => {
+                            // Time up to here is θ-row scanning; the KB
+                            // traversal itself is the value-lookup stage.
+                            trace.lap(Stage::PredicateScore);
                             let start = values.len() as u32;
                             let path = self.model.predicates.resolve(pred);
                             kbqa_rdf::path::objects_via_path_into(
@@ -576,6 +607,7 @@ impl<'a> QaEngine<'a> {
                             );
                             let end = values.len() as u32;
                             value_cache.insert((entity, pred), (start, end));
+                            trace.lap(Stage::ValueLookup);
                             (start, end)
                         }
                     };
@@ -633,6 +665,10 @@ impl<'a> QaEngine<'a> {
                     }
                 }
             }
+            // Flush this grounding's tail (contribution accumulation, gap
+            // refreshes, θ-row scanning after the last lookup) so it cannot
+            // smear into the next mention's conceptualize lap.
+            trace.lap(Stage::PredicateScore);
         }
 
         if scores.is_empty() {
@@ -650,6 +686,7 @@ impl<'a> QaEngine<'a> {
             topk.push(scores[&value], value);
         }
         topk.drain_sorted_into(ranked);
+        trace.lap(Stage::RankTopK);
         Ok(ranked.len())
     }
 
@@ -809,6 +846,7 @@ impl<'a> QaEngine<'a> {
     fn answer_configured(&self, request: &QaRequest, scratch: &mut ScratchSpace) -> QaResponse {
         let mut tokens = std::mem::take(&mut scratch.question_tokens);
         tokenize_into(&request.question, &mut tokens);
+        scratch.trace.lap(Stage::Parse);
         let kernel = self.bfq_kernel(&tokens, scratch);
         scratch.question_tokens = tokens;
         let mut response = match kernel {

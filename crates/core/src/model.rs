@@ -67,6 +67,10 @@ pub fn templates_for_mention(
 ///
 /// All buffers (`slots`, `concepts`, `form_buf`, `out`) are caller-owned and
 /// reused; the steady state performs no heap allocation.
+///
+/// Composed from [`conceptualize_mention`] and [`resolve_template_ids`] —
+/// the engine calls the halves directly so its stage tracer can attribute
+/// taxonomy time and template-probe time separately.
 #[allow(clippy::too_many_arguments)]
 pub fn template_ids_for_mention(
     question: &TokenizedText,
@@ -82,9 +86,46 @@ pub fn template_ids_for_mention(
     out: &mut Vec<(TemplateId, f64)>,
 ) {
     out.clear();
-    let Some(form) = catalog.form_symbol(question, mention_start, mention_end, form_buf) else {
+    let Some(form) = conceptualize_mention(
+        question,
+        mention_start,
+        mention_end,
+        entity,
+        conceptualizer,
+        catalog,
+        form_buf,
+        concepts,
+    ) else {
         return;
     };
+    resolve_template_ids(
+        form,
+        max_concepts,
+        catalog,
+        conceptualizer,
+        slots,
+        concepts,
+        out,
+    );
+}
+
+/// The conceptualization half of [`template_ids_for_mention`]: resolve the
+/// mention's question form against the catalog and fill `concepts` with the
+/// context-aware `P(c|e, context)` distribution. Returns the interned form
+/// symbol, or `None` when no catalog template has this form — in which case
+/// the conceptualizer is never consulted.
+#[allow(clippy::too_many_arguments)]
+pub fn conceptualize_mention(
+    question: &TokenizedText,
+    mention_start: usize,
+    mention_end: usize,
+    entity: NodeId,
+    conceptualizer: &Conceptualizer,
+    catalog: &TemplateCatalog,
+    form_buf: &mut String,
+    concepts: &mut Vec<(ConceptId, f64)>,
+) -> Option<u32> {
+    let form = catalog.form_symbol(question, mention_start, mention_end, form_buf)?;
     let context = question
         .tokens
         .iter()
@@ -92,6 +133,21 @@ pub fn template_ids_for_mention(
         .filter(|(i, _)| *i < mention_start || *i >= mention_end)
         .map(|(_, t)| t.text.as_str());
     conceptualizer.conceptualize_into(entity, context, concepts);
+    Some(form)
+}
+
+/// The template-resolution half of [`template_ids_for_mention`]: probe the
+/// catalog's precompiled `(form, slot)` index for each candidate concept,
+/// appending `(template, probability)` pairs to `out` in concept order.
+pub fn resolve_template_ids(
+    form: u32,
+    max_concepts: usize,
+    catalog: &TemplateCatalog,
+    conceptualizer: &Conceptualizer,
+    slots: &mut SlotTable,
+    concepts: &[(ConceptId, f64)],
+    out: &mut Vec<(TemplateId, f64)>,
+) {
     for &(concept, prob) in concepts.iter().take(max_concepts) {
         let Some(slot) = slots.slot_for(catalog, conceptualizer.network(), concept) else {
             continue;

@@ -88,6 +88,7 @@ use std::sync::{Arc, RwLock};
 use serde::{Deserialize, Serialize};
 
 use kbqa_nlp::GazetteerNer;
+use kbqa_obs::{Observability, StageBreakdown};
 use kbqa_rdf::TripleStore;
 use kbqa_taxonomy::Conceptualizer;
 
@@ -232,8 +233,15 @@ pub struct QaRequest {
     #[serde(default)]
     pub decompose: Option<bool>,
     /// Attach per-question [`ChoiceStats`] to the response (paper Table 6).
+    /// When the service has an [`Observability`] sink installed, `explain`
+    /// also forces a stage trace and attaches [`QaResponse::stage_us`].
     #[serde(default)]
     pub explain: bool,
+    /// Caller-assigned request ID for cross-log correlation. The server
+    /// assigns one when absent. **Not** part of the cache key — two
+    /// requests differing only by ID are the same question.
+    #[serde(default)]
+    pub request_id: Option<u64>,
 }
 
 impl QaRequest {
@@ -245,6 +253,7 @@ impl QaRequest {
             min_theta: None,
             decompose: None,
             explain: false,
+            request_id: None,
         }
     }
 
@@ -269,6 +278,12 @@ impl QaRequest {
     /// Attach uncertainty statistics to the response.
     pub fn with_explain(mut self, explain: bool) -> Self {
         self.explain = explain;
+        self
+    }
+
+    /// Tag the request with a correlation ID (see [`QaRequest::request_id`]).
+    pub fn with_request_id(mut self, id: u64) -> Self {
+        self.request_id = Some(id);
         self
     }
 
@@ -322,6 +337,9 @@ impl QaRequest {
     /// question can collide with a config suffix, provided (invariant!) no
     /// config field below ever renders a `\u{1f}` of its own. Floats render
     /// via `{:?}` — shortest round-trippable form, stable across runs.
+    ///
+    /// [`QaRequest::request_id`] is deliberately **excluded**: it names the
+    /// request, not the question, and must never fragment the cache.
     pub fn cache_key(&self, base: &EngineConfig) -> String {
         let cfg = self.effective_config(base);
         format!(
@@ -359,6 +377,13 @@ pub struct QaResponse {
     /// model (baselines, hand-built responses).
     #[serde(default)]
     pub model_epoch: u64,
+    /// Per-stage engine timings, attached when the request set `explain`
+    /// **and** the service had an [`Observability`] sink installed (engines
+    /// driven without one never time stages). A cached response replays the
+    /// timings of the run that computed it, consistent with the cache's
+    /// byte-identical-replay contract.
+    #[serde(default)]
+    pub stage_us: Option<StageBreakdown>,
 }
 
 impl QaResponse {
@@ -373,6 +398,7 @@ impl QaResponse {
             refusal: None,
             stats: None,
             model_epoch: 0,
+            stage_us: None,
         }
     }
 
@@ -383,6 +409,7 @@ impl QaResponse {
             refusal: Some(reason),
             stats: None,
             model_epoch: 0,
+            stage_us: None,
         }
     }
 
@@ -426,6 +453,7 @@ pub struct KbqaServiceBuilder {
     ner: Option<Arc<GazetteerNer>>,
     pattern_index: Option<Arc<PatternIndex>>,
     config: EngineConfig,
+    obs: Option<Arc<Observability>>,
 }
 
 impl KbqaServiceBuilder {
@@ -448,6 +476,15 @@ impl KbqaServiceBuilder {
         self
     }
 
+    /// Install an observability sink: per-stage latency recording for
+    /// sampled requests and stage timings on `explain` responses. Without
+    /// one the engine's stage tracer stays disarmed (a predicted branch per
+    /// stage boundary — the kernel path is unaffected).
+    pub fn observability(mut self, obs: Arc<Observability>) -> Self {
+        self.obs = Some(obs);
+        self
+    }
+
     /// Build the service. Derives the NER gazetteer from the store if none
     /// was supplied — this is the one expensive step, paid once.
     pub fn build(self) -> KbqaService {
@@ -461,6 +498,7 @@ impl KbqaServiceBuilder {
             ner,
             pattern_index: self.pattern_index,
             config: self.config,
+            obs: self.obs,
         }
     }
 }
@@ -484,6 +522,7 @@ pub struct ServiceSnapshot {
     ner: Arc<GazetteerNer>,
     pattern_index: Option<Arc<PatternIndex>>,
     config: EngineConfig,
+    obs: Option<Arc<Observability>>,
 }
 
 impl ServiceSnapshot {
@@ -534,10 +573,20 @@ impl ServiceSnapshot {
     /// Answer one request under this snapshot's model, stamping the epoch.
     /// Runs on the calling thread's reusable [`ScratchSpace`].
     pub fn answer(&self, request: &QaRequest) -> QaResponse {
+        self.answer_traced(request).0
+    }
+
+    /// [`ServiceSnapshot::answer`], additionally returning the per-stage
+    /// breakdown when this request was traced (an [`Observability`] sink is
+    /// installed and the request was sampled or asked to `explain`).
+    ///
+    /// The breakdown is returned even when `explain` is off — callers such
+    /// as a slow-query log want stage attribution without inflating the
+    /// cacheable response body.
+    pub fn answer_traced(&self, request: &QaRequest) -> (QaResponse, Option<StageBreakdown>) {
         with_engine_scratch(|scratch| {
-            let mut response = self.engine().answer_request_with(request, scratch);
-            response.model_epoch = self.model_epoch;
-            response
+            let engine = self.engine();
+            self.answer_with(&engine, request, scratch)
         })
     }
 
@@ -595,9 +644,35 @@ impl ServiceSnapshot {
         request: &QaRequest,
         scratch: &mut ScratchSpace,
     ) -> QaResponse {
+        self.answer_with(engine, request, scratch).0
+    }
+
+    /// The one place a request actually runs: arm the scratch tracer when
+    /// this request should be traced, answer, then drain stage timings into
+    /// the sink's histograms. Stage timings attach to the response only for
+    /// `explain` requests, so responses stay byte-identical across sampled
+    /// and unsampled runs of the same question (the cache contract).
+    fn answer_with(
+        &self,
+        engine: &QaEngine<'_>,
+        request: &QaRequest,
+        scratch: &mut ScratchSpace,
+    ) -> (QaResponse, Option<StageBreakdown>) {
+        let trace_this = match &self.obs {
+            Some(obs) => request.explain || obs.should_trace(),
+            None => false,
+        };
+        scratch.trace.begin(trace_this);
         let mut response = engine.answer_request_with(request, scratch);
+        let breakdown = self
+            .obs
+            .as_ref()
+            .and_then(|obs| scratch.trace.finish(obs.stats()));
+        if request.explain {
+            response.stage_us = breakdown;
+        }
         response.model_epoch = self.model_epoch;
-        response
+        (response, breakdown)
     }
 }
 
@@ -615,6 +690,7 @@ pub struct KbqaService {
     ner: Arc<GazetteerNer>,
     pattern_index: Option<Arc<PatternIndex>>,
     config: EngineConfig,
+    obs: Option<Arc<Observability>>,
 }
 
 impl KbqaService {
@@ -631,6 +707,7 @@ impl KbqaService {
             ner: None,
             pattern_index: None,
             config: EngineConfig::default(),
+            obs: None,
         }
     }
 
@@ -647,6 +724,19 @@ impl KbqaService {
     pub fn with_config(mut self, config: EngineConfig) -> Self {
         self.config = config;
         self
+    }
+
+    /// Install an observability sink after construction (see
+    /// [`KbqaServiceBuilder::observability`]). Only clones and snapshots
+    /// taken from the returned service trace through it.
+    pub fn with_observability(mut self, obs: Arc<Observability>) -> Self {
+        self.obs = Some(obs);
+        self
+    }
+
+    /// The installed observability sink, if any.
+    pub fn observability(&self) -> Option<&Arc<Observability>> {
+        self.obs.as_ref()
     }
 
     /// A sibling service serving a different model over the same store,
@@ -752,12 +842,19 @@ impl KbqaService {
             ner: Arc::clone(&self.ner),
             pattern_index: self.pattern_index.as_ref().map(Arc::clone),
             config: self.config.clone(),
+            obs: self.obs.as_ref().map(Arc::clone),
         }
     }
 
     /// Answer one request.
     pub fn answer(&self, request: &QaRequest) -> QaResponse {
         self.snapshot().answer(request)
+    }
+
+    /// Answer one request, additionally returning the per-stage breakdown
+    /// when the request was traced (see [`ServiceSnapshot::answer_traced`]).
+    pub fn answer_traced(&self, request: &QaRequest) -> (QaResponse, Option<StageBreakdown>) {
+        self.snapshot().answer_traced(request)
     }
 
     /// Answer a bare question with default options.
@@ -887,6 +984,7 @@ mod tests {
             ner: Arc::new(GazetteerNer::default()),
             pattern_index: None,
             config: EngineConfig::default(),
+            obs: None,
         };
         let request = QaRequest::new("what is the population of berlin");
         let at_zero = snapshot_at(0).cache_key(&request);
@@ -896,6 +994,43 @@ mod tests {
         let base = request.cache_key(&EngineConfig::default());
         assert_eq!(at_zero, format!("0\u{1f}{base}"));
         assert_eq!(at_one, format!("1\u{1f}{base}"));
+    }
+
+    #[test]
+    fn stage_timings_attach_only_with_a_sink_and_explain() {
+        let store = Arc::new(kbqa_rdf::GraphBuilder::new().build());
+        let conceptualizer = Arc::new(Conceptualizer::new(
+            kbqa_taxonomy::NetworkBuilder::new().build(),
+        ));
+        let model = Arc::new(LearnedModel::default());
+        let stats = Arc::new(kbqa_obs::StageStats::new());
+        let traced = KbqaService::builder(
+            Arc::clone(&store),
+            Arc::clone(&conceptualizer),
+            Arc::clone(&model),
+        )
+        .observability(Arc::new(Observability::always(Arc::clone(&stats))))
+        .build();
+        let plain = KbqaService::new(store, conceptualizer, model);
+
+        let explain = QaRequest::new("who founded rome").with_explain(true);
+        let quiet = QaRequest::new("who founded rome");
+
+        // No sink: no timings, even when asked to explain.
+        assert_eq!(plain.answer(&explain).stage_us, None);
+
+        // Sink + explain: timings on the response AND in the histograms.
+        let response = traced.answer(&explain);
+        assert!(response.stage_us.is_some());
+        assert_eq!(stats.traced_requests(), 1);
+
+        // Sink without explain: sampled into the histograms but the response
+        // body stays identical to an untraced run (the cache contract).
+        let (response, breakdown) = traced.answer_traced(&quiet);
+        assert_eq!(response.stage_us, None);
+        assert!(breakdown.is_some());
+        assert_eq!(stats.traced_requests(), 2);
+        assert_eq!(response, plain.answer(&quiet));
     }
 
     #[test]

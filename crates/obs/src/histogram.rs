@@ -1,0 +1,254 @@
+//! Fixed-bucket latency histograms with wait-free recording.
+//!
+//! Moved here from `kbqa-server::metrics` (which re-exports these types for
+//! compatibility) so the engine, bench binaries, and server all record into
+//! the same shape. Recording is `fetch_add` on relaxed atomics; snapshots
+//! are taken field-by-field without stopping writers, so a snapshot racing
+//! live traffic can be off by in-flight increments — fine for operational
+//! counters, which only ever move forward.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// Upper bounds (µs, inclusive) of the fixed latency buckets; an implicit
+/// overflow bucket catches everything slower. Spans 50 µs (cache hit) to
+/// 250 ms (pathological decomposition) in roughly ×2–×2.5 steps.
+pub const BUCKET_BOUNDS_US: [u64; 12] = [
+    50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000,
+];
+
+/// A fixed-bucket latency histogram with wait-free recording.
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    /// One counter per bound plus the overflow bucket.
+    buckets: [AtomicU64; BUCKET_BOUNDS_US.len() + 1],
+    count: AtomicU64,
+    total_us: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one observation.
+    pub fn record(&self, elapsed: Duration) {
+        self.record_us(u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX));
+    }
+
+    /// Record one observation already expressed in microseconds.
+    pub fn record_us(&self, us: u64) {
+        let idx = BUCKET_BOUNDS_US.partition_point(|&bound| bound < us);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy, with derived mean and quantile estimates.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count: u64 = counts.iter().sum();
+        let total_us = self.total_us.load(Ordering::Relaxed);
+        let buckets = counts
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| BucketCount {
+                le_us: BUCKET_BOUNDS_US.get(i).copied(),
+                count: n,
+            })
+            .collect();
+        HistogramSnapshot {
+            count,
+            total_us,
+            mean_us: if count == 0 {
+                0.0
+            } else {
+                total_us as f64 / count as f64
+            },
+            p50_us: quantile_upper_bound(&counts, count, 0.50),
+            p95_us: quantile_upper_bound(&counts, count, 0.95),
+            p99_us: quantile_upper_bound(&counts, count, 0.99),
+            buckets,
+        }
+    }
+}
+
+/// The bucket upper bound containing the `q`-quantile observation. An
+/// estimate from above: the true value lies at or below it. Observations in
+/// the overflow bucket report the largest finite bound (the histogram cannot
+/// resolve past it).
+fn quantile_upper_bound(counts: &[u64], count: u64, q: f64) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    let target = ((q * count as f64).ceil() as u64).max(1);
+    let mut seen = 0u64;
+    for (i, &n) in counts.iter().enumerate() {
+        seen += n;
+        if seen >= target {
+            return BUCKET_BOUNDS_US
+                .get(i)
+                .copied()
+                .unwrap_or(BUCKET_BOUNDS_US[BUCKET_BOUNDS_US.len() - 1]);
+        }
+    }
+    BUCKET_BOUNDS_US[BUCKET_BOUNDS_US.len() - 1]
+}
+
+/// One histogram bucket in a snapshot.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BucketCount {
+    /// Inclusive upper bound in µs; `None` is the overflow bucket.
+    pub le_us: Option<u64>,
+    /// Observations in this bucket.
+    pub count: u64,
+}
+
+/// A serializable view of a [`LatencyHistogram`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observations, µs.
+    pub total_us: u64,
+    /// Mean observation, µs.
+    pub mean_us: f64,
+    /// Median estimate (bucket upper bound), µs.
+    pub p50_us: u64,
+    /// 95th percentile estimate (bucket upper bound), µs.
+    pub p95_us: u64,
+    /// 99th percentile estimate (bucket upper bound), µs.
+    pub p99_us: u64,
+    /// Per-bucket counts, in bound order.
+    pub buckets: Vec<BucketCount>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_observations_by_bound() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_micros(10)); // → le 50
+        h.record(Duration::from_micros(50)); // boundary is inclusive → le 50
+        h.record(Duration::from_micros(51)); // → le 100
+        h.record(Duration::from_millis(300)); // → overflow
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 4);
+        assert_eq!(
+            snap.buckets[0],
+            BucketCount {
+                le_us: Some(50),
+                count: 2
+            }
+        );
+        assert_eq!(snap.buckets[1].count, 1);
+        let overflow = snap.buckets.last().unwrap();
+        assert_eq!(overflow.le_us, None);
+        assert_eq!(overflow.count, 1);
+    }
+
+    #[test]
+    fn quantiles_are_upper_bounds() {
+        let h = LatencyHistogram::new();
+        for _ in 0..99 {
+            h.record(Duration::from_micros(80)); // le 100
+        }
+        h.record(Duration::from_micros(40_000)); // le 50_000
+        let snap = h.snapshot();
+        assert_eq!(snap.p50_us, 100);
+        assert_eq!(snap.p95_us, 100);
+        assert_eq!(snap.p99_us, 100);
+        // The single slow observation only surfaces past p99.
+        assert_eq!(quantile_upper_bound(&[0; 0], 0, 0.5), 0);
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_is_all_zero() {
+        let snap = LatencyHistogram::new().snapshot();
+        assert_eq!(snap.count, 0);
+        assert_eq!(snap.mean_us, 0.0);
+        assert_eq!(snap.p99_us, 0);
+        assert!(snap.buckets.iter().all(|b| b.count == 0));
+    }
+
+    /// Satellite: exact-boundary and overflow behavior of the quantile
+    /// estimator. Each bound is inclusive (`partition_point(bound < us)`),
+    /// `bound + 1` spills into the next bucket, and `u64::MAX`-µs
+    /// observations land in the overflow bucket, whose quantile estimate
+    /// saturates at the largest finite bound.
+    #[test]
+    fn quantile_estimation_at_bucket_boundaries() {
+        for (i, &bound) in BUCKET_BOUNDS_US.iter().enumerate() {
+            let h = LatencyHistogram::new();
+            h.record(Duration::from_micros(bound));
+            let snap = h.snapshot();
+            assert_eq!(
+                snap.buckets[i].count, 1,
+                "exactly-on-bound observation {bound}µs must land in its own bucket"
+            );
+            assert_eq!(snap.p50_us, bound);
+            assert_eq!(snap.p95_us, bound);
+            assert_eq!(snap.p99_us, bound);
+
+            let h = LatencyHistogram::new();
+            h.record(Duration::from_micros(bound + 1));
+            let snap = h.snapshot();
+            let expected = BUCKET_BOUNDS_US
+                .get(i + 1)
+                .copied()
+                .unwrap_or(BUCKET_BOUNDS_US[BUCKET_BOUNDS_US.len() - 1]);
+            assert_eq!(
+                snap.buckets[i + 1].count,
+                1,
+                "{bound}+1µs must spill into the next bucket"
+            );
+            assert_eq!(snap.p50_us, expected);
+            assert_eq!(snap.p99_us, expected);
+        }
+    }
+
+    #[test]
+    fn overflow_bucket_saturates_quantiles_at_largest_finite_bound() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_micros(u64::MAX));
+        h.record_us(u64::MAX);
+        let snap = h.snapshot();
+        let last_finite = BUCKET_BOUNDS_US[BUCKET_BOUNDS_US.len() - 1];
+        assert_eq!(snap.buckets.last().unwrap().count, 2);
+        assert_eq!(snap.p50_us, last_finite);
+        assert_eq!(snap.p95_us, last_finite);
+        assert_eq!(snap.p99_us, last_finite);
+        assert_eq!(snap.count, 2);
+    }
+
+    /// A mixed population: 50 fast + 45 medium + 5 slow observations.
+    /// p50 must sit in the fast bucket, p95 in the medium one, p99 in the
+    /// slow one — pinning that `target = ceil(q·count).max(1)` walks the
+    /// cumulative counts correctly at the 50/95/99 cut points.
+    #[test]
+    fn quantiles_split_mixed_population_by_bucket() {
+        let h = LatencyHistogram::new();
+        for _ in 0..50 {
+            h.record_us(40); // le 50
+        }
+        for _ in 0..45 {
+            h.record_us(400); // le 500
+        }
+        for _ in 0..5 {
+            h.record_us(9_000); // le 10_000
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.p50_us, 50);
+        assert_eq!(snap.p95_us, 500);
+        assert_eq!(snap.p99_us, 10_000);
+    }
+}

@@ -1,0 +1,502 @@
+//! Prometheus text exposition (format version 0.0.4) and a line-format
+//! validator.
+//!
+//! [`PromWriter`] renders counters, gauges, and histograms into the
+//! classic `# HELP` / `# TYPE` / sample-line layout. Histograms follow the
+//! Prometheus contract exactly: `_bucket` samples carry **cumulative**
+//! counts (our [`HistogramSnapshot`] stores per-bucket counts, so the
+//! writer converts), `le` bounds are rendered in **seconds**, and every
+//! histogram ends with a `+Inf` bucket, `_sum`, and `_count`.
+//!
+//! [`validate_exposition`] is the small hand-rolled checker the test suite
+//! (and CI) runs against `GET /metrics?format=prometheus`: metric-name and
+//! label syntax, float parsing, `TYPE`-before-samples ordering, bucket
+//! monotonicity, and `_sum`/`_count` presence per histogram series.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::histogram::HistogramSnapshot;
+
+/// Incremental renderer for one exposition document.
+#[derive(Debug, Default)]
+pub struct PromWriter {
+    out: String,
+}
+
+impl PromWriter {
+    /// An empty document.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Finish and take the rendered text.
+    pub fn finish(self) -> String {
+        self.out
+    }
+
+    /// Emit the `# HELP` / `# TYPE` header for a metric family.
+    pub fn family(&mut self, name: &str, help: &str, kind: &str) {
+        let _ = writeln!(self.out, "# HELP {name} {help}");
+        let _ = writeln!(self.out, "# TYPE {name} {kind}");
+    }
+
+    /// Emit one sample line with optional labels.
+    pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.out.push_str(name);
+        if !labels.is_empty() {
+            self.out.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    self.out.push(',');
+                }
+                let _ = write!(self.out, "{k}=\"{}\"", escape_label(v));
+            }
+            self.out.push('}');
+        }
+        let _ = writeln!(self.out, " {}", render_value(value));
+    }
+
+    /// A complete single-sample counter family.
+    pub fn counter(&mut self, name: &str, help: &str, value: u64) {
+        self.family(name, help, "counter");
+        self.sample(name, &[], value as f64);
+    }
+
+    /// A complete single-sample gauge family.
+    pub fn gauge(&mut self, name: &str, help: &str, value: f64) {
+        self.family(name, help, "gauge");
+        self.sample(name, &[], value);
+    }
+
+    /// Histogram samples for one series: cumulative `_bucket`s with `le`
+    /// in seconds, then `_sum` (seconds) and `_count`. Emit
+    /// [`family`](Self::family) with kind `histogram` once per metric name
+    /// before the first series.
+    pub fn histogram_series(
+        &mut self,
+        name: &str,
+        labels: &[(&str, &str)],
+        snapshot: &HistogramSnapshot,
+    ) {
+        let bucket_name = format!("{name}_bucket");
+        let mut cumulative = 0u64;
+        for bucket in &snapshot.buckets {
+            cumulative += bucket.count;
+            let le = match bucket.le_us {
+                Some(us) => render_value(us as f64 / 1e6),
+                None => "+Inf".to_string(),
+            };
+            let mut with_le: Vec<(&str, &str)> = Vec::with_capacity(labels.len() + 1);
+            with_le.extend_from_slice(labels);
+            with_le.push(("le", le.as_str()));
+            self.sample(&bucket_name, &with_le, cumulative as f64);
+        }
+        self.sample(
+            &format!("{name}_sum"),
+            labels,
+            snapshot.total_us as f64 / 1e6,
+        );
+        self.sample(&format!("{name}_count"), labels, snapshot.count as f64);
+    }
+
+    /// A complete histogram family with a single unlabeled series.
+    pub fn histogram(&mut self, name: &str, help: &str, snapshot: &HistogramSnapshot) {
+        self.family(name, help, "histogram");
+        self.histogram_series(name, &[], snapshot);
+    }
+}
+
+fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a value the way Prometheus clients expect: integral values
+/// without a fractional part, everything else via shortest-roundtrip
+/// float formatting (Rust's `Display` never uses exponent notation).
+fn render_value(value: f64) -> String {
+    if value == value.trunc() && value.is_finite() && value.abs() < 1e15 {
+        format!("{}", value as i64)
+    } else {
+        format!("{value}")
+    }
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// One parsed sample line.
+struct Sample {
+    name: String,
+    /// Label pairs in appearance order.
+    labels: Vec<(String, String)>,
+    value: f64,
+}
+
+fn parse_sample(line: &str, lineno: usize) -> Result<Sample, String> {
+    let err = |msg: &str| format!("line {lineno}: {msg}: `{line}`");
+    let (name_and_labels, rest) = match line.find(['{', ' ']) {
+        Some(i) if line.as_bytes()[i] == b'{' => {
+            let close = line[i..]
+                .find('}')
+                .map(|j| i + j)
+                .ok_or_else(|| err("unterminated label set"))?;
+            (&line[..=close], line[close + 1..].trim_start())
+        }
+        Some(i) => (&line[..i], line[i + 1..].trim_start()),
+        None => return Err(err("sample line has no value")),
+    };
+    let (name, labels) = match name_and_labels.find('{') {
+        Some(i) => {
+            let name = &name_and_labels[..i];
+            let body = &name_and_labels[i + 1..name_and_labels.len() - 1];
+            (name, parse_labels(body).map_err(|m| err(&m))?)
+        }
+        None => (name_and_labels, Vec::new()),
+    };
+    if !valid_metric_name(name) {
+        return Err(err("invalid metric name"));
+    }
+    // Value, optionally followed by a timestamp.
+    let mut parts = rest.split_whitespace();
+    let value_str = parts.next().ok_or_else(|| err("missing value"))?;
+    let value = value_str
+        .parse::<f64>()
+        .map_err(|_| err("unparseable value"))?;
+    if let Some(ts) = parts.next() {
+        ts.parse::<i64>()
+            .map_err(|_| err("unparseable timestamp"))?;
+    }
+    if parts.next().is_some() {
+        return Err(err("trailing tokens after timestamp"));
+    }
+    Ok(Sample {
+        name: name.to_string(),
+        labels,
+        value,
+    })
+}
+
+fn parse_labels(body: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut rest = body;
+    while !rest.is_empty() {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| "label without `=`".to_string())?;
+        let key = &rest[..eq];
+        if !valid_label_name(key) {
+            return Err(format!("invalid label name `{key}`"));
+        }
+        rest = &rest[eq + 1..];
+        if !rest.starts_with('"') {
+            return Err("label value not quoted".to_string());
+        }
+        rest = &rest[1..];
+        let mut value = String::new();
+        let mut chars = rest.char_indices();
+        let mut end = None;
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '\\' => match chars.next() {
+                    Some((_, 'n')) => value.push('\n'),
+                    Some((_, '\\')) => value.push('\\'),
+                    Some((_, '"')) => value.push('"'),
+                    _ => return Err("bad escape in label value".to_string()),
+                },
+                '"' => {
+                    end = Some(i);
+                    break;
+                }
+                c => value.push(c),
+            }
+        }
+        let end = end.ok_or_else(|| "unterminated label value".to_string())?;
+        labels.push((key.to_string(), value));
+        rest = &rest[end + 1..];
+        if let Some(stripped) = rest.strip_prefix(',') {
+            rest = stripped;
+        } else if !rest.is_empty() {
+            return Err("labels not comma-separated".to_string());
+        }
+    }
+    Ok(labels)
+}
+
+/// The family a sample belongs to: histogram suffixes fold into their base
+/// name when the base is a declared histogram.
+fn family_of<'a>(name: &'a str, types: &HashMap<String, String>) -> &'a str {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = name.strip_suffix(suffix) {
+            if types.get(base).map(String::as_str) == Some("histogram") {
+                return base;
+            }
+        }
+    }
+    name
+}
+
+/// Validate a Prometheus text-format (0.0.4) document. Returns the first
+/// violation found: syntax (names, labels, values), a sample appearing
+/// before its family's `# TYPE`, non-cumulative histogram buckets, a
+/// histogram series missing `+Inf`/`_sum`/`_count`, or a `_count` that
+/// disagrees with the `+Inf` bucket.
+pub fn validate_exposition(text: &str) -> Result<(), String> {
+    let mut types: HashMap<String, String> = HashMap::new();
+    // Per histogram series (family + non-le labels): buckets seen, in order.
+    let mut series_buckets: HashMap<String, Vec<(f64, f64)>> = HashMap::new();
+    let mut series_sum: HashMap<String, f64> = HashMap::new();
+    let mut series_count: HashMap<String, f64> = HashMap::new();
+
+    for (i, line) in text.lines().enumerate() {
+        let lineno = i + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let comment = comment.trim_start();
+            if let Some(rest) = comment.strip_prefix("TYPE ") {
+                let mut parts = rest.splitn(2, ' ');
+                let name = parts.next().unwrap_or("");
+                let kind = parts.next().unwrap_or("").trim();
+                if !valid_metric_name(name) {
+                    return Err(format!("line {lineno}: TYPE for invalid name `{name}`"));
+                }
+                if !matches!(
+                    kind,
+                    "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                ) {
+                    return Err(format!("line {lineno}: unknown metric type `{kind}`"));
+                }
+                if types.insert(name.to_string(), kind.to_string()).is_some() {
+                    return Err(format!("line {lineno}: duplicate TYPE for `{name}`"));
+                }
+            } else if let Some(rest) = comment.strip_prefix("HELP ") {
+                let name = rest.split(' ').next().unwrap_or("");
+                if !valid_metric_name(name) {
+                    return Err(format!("line {lineno}: HELP for invalid name `{name}`"));
+                }
+            }
+            continue;
+        }
+        let sample = parse_sample(line, lineno)?;
+        let family = family_of(&sample.name, &types);
+        let family_type = types
+            .get(family)
+            .ok_or_else(|| {
+                format!(
+                    "line {lineno}: sample `{}` precedes its # TYPE",
+                    sample.name
+                )
+            })?
+            .clone();
+        if family_type == "histogram" {
+            let series_key = |labels: &[(String, String)]| {
+                let mut rest: Vec<String> = labels
+                    .iter()
+                    .filter(|(k, _)| k != "le")
+                    .map(|(k, v)| format!("{k}={v}"))
+                    .collect();
+                rest.sort();
+                format!("{family}|{}", rest.join(","))
+            };
+            if sample.name.ends_with("_bucket") {
+                let le = sample
+                    .labels
+                    .iter()
+                    .find(|(k, _)| k == "le")
+                    .ok_or_else(|| format!("line {lineno}: histogram bucket without `le`"))?;
+                let le_value =
+                    le.1.parse::<f64>()
+                        .map_err(|_| format!("line {lineno}: unparseable `le` `{}`", le.1))?;
+                series_buckets
+                    .entry(series_key(&sample.labels))
+                    .or_default()
+                    .push((le_value, sample.value));
+            } else if sample.name.ends_with("_sum") {
+                series_sum.insert(series_key(&sample.labels), sample.value);
+            } else if sample.name.ends_with("_count") {
+                series_count.insert(series_key(&sample.labels), sample.value);
+            } else {
+                return Err(format!(
+                    "line {lineno}: bare sample `{}` for histogram family `{family}`",
+                    sample.name
+                ));
+            }
+        }
+    }
+
+    for (key, buckets) in &series_buckets {
+        let mut prev_le = f64::NEG_INFINITY;
+        let mut prev_count = 0.0f64;
+        for &(le, count) in buckets {
+            if le <= prev_le {
+                return Err(format!(
+                    "histogram series `{key}`: `le` bounds not increasing"
+                ));
+            }
+            if count < prev_count {
+                return Err(format!(
+                    "histogram series `{key}`: bucket counts not cumulative"
+                ));
+            }
+            prev_le = le;
+            prev_count = count;
+        }
+        let last = buckets.last().expect("series has at least one bucket");
+        if last.0 != f64::INFINITY {
+            return Err(format!("histogram series `{key}`: missing `+Inf` bucket"));
+        }
+        let count = series_count
+            .get(key)
+            .ok_or_else(|| format!("histogram series `{key}`: missing `_count`"))?;
+        if !series_sum.contains_key(key) {
+            return Err(format!("histogram series `{key}`: missing `_sum`"));
+        }
+        if *count != last.1 {
+            return Err(format!(
+                "histogram series `{key}`: `_count` {count} != `+Inf` bucket {}",
+                last.1
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histogram::LatencyHistogram;
+    use std::time::Duration;
+
+    #[test]
+    fn writer_produces_valid_exposition() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_micros(40));
+        h.record(Duration::from_micros(700));
+        h.record(Duration::from_millis(400)); // overflow bucket
+        let mut w = PromWriter::new();
+        w.counter("kbqa_requests_total", "Parsed HTTP requests.", 17);
+        w.gauge("kbqa_open_connections", "Open connections.", 3.0);
+        w.family(
+            "kbqa_stage_latency_seconds",
+            "Per-stage latency.",
+            "histogram",
+        );
+        w.histogram_series(
+            "kbqa_stage_latency_seconds",
+            &[("stage", "parse")],
+            &h.snapshot(),
+        );
+        w.histogram_series(
+            "kbqa_stage_latency_seconds",
+            &[("stage", "value_lookup")],
+            &LatencyHistogram::new().snapshot(),
+        );
+        w.histogram(
+            "kbqa_answer_latency_seconds",
+            "Answer latency.",
+            &h.snapshot(),
+        );
+        let text = w.finish();
+        validate_exposition(&text).unwrap();
+        // Buckets are cumulative: the +Inf bucket equals the count.
+        assert!(text.contains("kbqa_stage_latency_seconds_bucket{stage=\"parse\",le=\"+Inf\"} 3"));
+        // Bounds render in seconds.
+        assert!(text.contains("le=\"0.00005\""));
+        assert!(text.contains("kbqa_stage_latency_seconds_count{stage=\"parse\"} 3"));
+        assert!(text.contains("kbqa_requests_total 17"));
+    }
+
+    #[test]
+    fn validator_rejects_samples_before_type() {
+        let text = "kbqa_requests_total 1\n# TYPE kbqa_requests_total counter\n";
+        assert!(validate_exposition(text).unwrap_err().contains("precedes"));
+    }
+
+    #[test]
+    fn validator_rejects_non_cumulative_buckets() {
+        let text = "\
+# TYPE h histogram
+h_bucket{le=\"0.1\"} 5
+h_bucket{le=\"+Inf\"} 3
+h_sum 1
+h_count 3
+";
+        assert!(validate_exposition(text)
+            .unwrap_err()
+            .contains("not cumulative"));
+    }
+
+    #[test]
+    fn validator_rejects_missing_inf_bucket_and_count_mismatch() {
+        let no_inf = "# TYPE h histogram\nh_bucket{le=\"0.1\"} 5\nh_sum 1\nh_count 5\n";
+        assert!(validate_exposition(no_inf).unwrap_err().contains("+Inf"));
+        let mismatch = "\
+# TYPE h histogram
+h_bucket{le=\"+Inf\"} 5
+h_sum 1
+h_count 4
+";
+        assert!(validate_exposition(mismatch).unwrap_err().contains("!="));
+    }
+
+    #[test]
+    fn validator_rejects_bad_names_and_labels() {
+        assert!(validate_exposition("# TYPE 9bad counter\n9bad 1\n").is_err());
+        assert!(validate_exposition("# TYPE ok counter\nok{9bad=\"x\"} 1\n")
+            .unwrap_err()
+            .contains("label"));
+        assert!(validate_exposition("# TYPE ok counter\nok{a=\"x} 1\n").is_err());
+        assert!(validate_exposition("# TYPE ok counter\nok notanumber\n")
+            .unwrap_err()
+            .contains("value"));
+    }
+
+    #[test]
+    fn validator_accepts_escapes_and_timestamps() {
+        let text = "# TYPE ok counter\nok{q=\"say \\\"hi\\\"\\n\\\\\"} 2 1700000000\n";
+        validate_exposition(text).unwrap();
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut w = PromWriter::new();
+        w.family("m", "help", "counter");
+        w.sample("m", &[("q", "a\"b\\c\nd")], 1.0);
+        let text = w.finish();
+        assert!(text.contains("m{q=\"a\\\"b\\\\c\\nd\"} 1"));
+        validate_exposition(&text).unwrap();
+    }
+
+    #[test]
+    fn integral_values_render_without_fraction() {
+        assert_eq!(render_value(3.0), "3");
+        assert_eq!(render_value(0.25), "0.25");
+        assert_eq!(render_value(0.00005), "0.00005");
+    }
+}

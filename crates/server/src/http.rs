@@ -73,12 +73,13 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use kbqa_core::service::{KbqaService, QaRequest, QaResponse};
+use kbqa_obs::{Observability, SlowQuery, SlowQueryLog, Stage};
 
 use crate::cache::{AnswerCache, CacheConfig};
 use crate::epoll::{
     Epoll, EpollEvent, WakeFd, EPOLLERR, EPOLLEXCLUSIVE, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP,
 };
-use crate::metrics::Metrics;
+use crate::metrics::{Metrics, MetricsSnapshot};
 
 /// Server tuning knobs.
 #[derive(Clone, Debug)]
@@ -128,6 +129,13 @@ pub struct ServerConfig {
     /// [`kbqa_core::persist::save_model`] JSON file). `None` makes reload
     /// answer 409.
     pub model_path: Option<PathBuf>,
+    /// Stage-trace sampling period: every Nth request arms a per-stage
+    /// trace (requests with `explain` always do). `1` traces everything;
+    /// values are clamped to ≥ 1.
+    pub trace_sample_every: u64,
+    /// Slots in the slow-query log served at `GET /debug/slow` (clamped to
+    /// ≥ 1).
+    pub slow_log_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -146,6 +154,8 @@ impl Default for ServerConfig {
             retry_after_secs: 1,
             admin_token: None,
             model_path: None,
+            trace_sample_every: 16,
+            slow_log_capacity: 16,
         }
     }
 }
@@ -166,6 +176,8 @@ impl ServerConfig {
     /// | `KBQA_CACHE_SHARDS`        | `cache.shards`       |
     /// | `KBQA_ADMIN_TOKEN`         | `admin_token`        |
     /// | `KBQA_MODEL_PATH`          | `model_path`         |
+    /// | `KBQA_TRACE_SAMPLE_EVERY`  | `trace_sample_every` |
+    /// | `KBQA_SLOW_LOG_CAPACITY`   | `slow_log_capacity`  |
     ///
     /// Unset or unparsable variables keep the default; an empty
     /// `KBQA_ADMIN_TOKEN` stays disabled (an empty shared secret would gate
@@ -201,6 +213,12 @@ impl ServerConfig {
         }
         if let Some(v) = parsed("KBQA_CACHE_SHARDS") {
             config.cache.shards = v;
+        }
+        if let Some(v) = parsed("KBQA_TRACE_SAMPLE_EVERY") {
+            config.trace_sample_every = v;
+        }
+        if let Some(v) = parsed("KBQA_SLOW_LOG_CAPACITY") {
+            config.slow_log_capacity = v;
         }
         if let Ok(token) = std::env::var("KBQA_ADMIN_TOKEN") {
             if !token.trim().is_empty() {
@@ -242,6 +260,7 @@ struct AppState {
     service: KbqaService,
     cache: AnswerCache,
     metrics: Metrics,
+    slow: SlowQueryLog,
 }
 
 /// One parsed request handed from an event loop to the worker pool.
@@ -339,11 +358,21 @@ pub fn serve(
             wake: WakeFd::new()?,
         });
     }
+    // The server owns serving-side observability: stage traces land in the
+    // metrics' histograms (replacing any sink the caller installed), and
+    // requests asking to `explain` always arm regardless of sampling.
+    let metrics = Metrics::new();
+    let observability = Arc::new(Observability::new(
+        metrics.stage_stats(),
+        config.trace_sample_every,
+    ));
+    let service = service.with_observability(observability);
     let shared = Arc::new(Shared {
         state: AppState {
             service,
             cache: AnswerCache::new(config.cache.clone()),
-            metrics: Metrics::new(),
+            metrics,
+            slow: SlowQueryLog::new(config.slow_log_capacity),
         },
         jobs: Mutex::new(VecDeque::new()),
         available: Condvar::new(),
@@ -936,7 +965,7 @@ impl EventLoop {
             Parsed::Error(status) => self.respond_error(slot, status),
             Parsed::Request(request, consumed) => {
                 conn.buf_start += consumed;
-                self.dispatch(slot, request);
+                self.dispatch(slot, *request);
             }
         }
     }
@@ -960,6 +989,7 @@ impl EventLoop {
                     status: 429,
                     body: "{\"error\":\"server overloaded, retry later\"}".to_string(),
                     retry_after: Some(config.retry_after_secs.max(1)),
+                    content_type: "application/json",
                 };
                 let keep_alive = self.response_keep_alive(slot, request.keep_alive());
                 self.start_response(slot, &response, keep_alive);
@@ -1000,6 +1030,7 @@ impl EventLoop {
             status,
             body: format!("{{\"error\":\"{}\"}}", reason(status)),
             retry_after: None,
+            content_type: "application/json",
         };
         self.start_response(slot, &response, false);
     }
@@ -1178,12 +1209,16 @@ struct Request {
     method: String,
     /// Path with any query string stripped.
     path: String,
+    /// Raw query string (without the `?`), when present.
+    query: Option<String>,
     http11: bool,
     connection: Option<String>,
     /// Raw `Authorization` header value, when present.
     authorization: Option<String>,
     /// Raw `X-Admin-Token` header value, when present.
     x_admin_token: Option<String>,
+    /// Raw `Accept` header value, when present.
+    accept: Option<String>,
     body: Vec<u8>,
 }
 
@@ -1212,6 +1247,20 @@ impl Request {
         }
         Some(credential.trim())
     }
+
+    /// Whether the client asked for Prometheus text exposition: either
+    /// `?format=prometheus` or an `Accept` header preferring `text/plain`
+    /// (what a Prometheus scraper sends).
+    fn wants_prometheus(&self) -> bool {
+        if let Some(query) = self.query.as_deref() {
+            if query.split('&').any(|pair| pair == "format=prometheus") {
+                return true;
+            }
+        }
+        self.accept
+            .as_deref()
+            .is_some_and(|accept| accept.contains("text/plain"))
+    }
 }
 
 const MAX_HEADER_LINE: usize = 8 << 10;
@@ -1224,7 +1273,9 @@ enum Parsed {
     /// Protocol violation to answer with this status before closing.
     Error(u16),
     /// One complete request and how many input bytes it consumed.
-    Request(Request, usize),
+    /// Boxed: a parsed request (path, query, header fields, body vec) is an
+    /// order of magnitude larger than the other variants.
+    Request(Box<Request>, usize),
 }
 
 /// Take one CRLF-terminated line starting at `pos`. `Ok(None)` means the
@@ -1286,6 +1337,7 @@ fn parse_request(input: &[u8], max_body: usize) -> Parsed {
     let mut connection = None;
     let mut authorization = None;
     let mut x_admin_token = None;
+    let mut accept = None;
     let mut content_length: Option<usize> = None;
     let mut headers_done = false;
     for _ in 0..MAX_HEADERS {
@@ -1322,6 +1374,8 @@ fn parse_request(input: &[u8], max_body: usize) -> Parsed {
             authorization = Some(value.to_string());
         } else if name.eq_ignore_ascii_case("x-admin-token") {
             x_admin_token = Some(value.to_string());
+        } else if name.eq_ignore_ascii_case("accept") {
+            accept = Some(value.to_string());
         } else if name.eq_ignore_ascii_case("transfer-encoding") {
             // We only frame by Content-Length. Silently ignoring chunked
             // bodies would desync the connection (and is the classic
@@ -1341,28 +1395,40 @@ fn parse_request(input: &[u8], max_body: usize) -> Parsed {
     if input.len() < pos + content_length {
         return Parsed::Incomplete;
     }
+    let (path, query) = match target.split_once('?') {
+        Some((path, query)) => (path, Some(query.to_string())),
+        None => (target, None),
+    };
     let request = Request {
         method: method.to_string(),
-        path: target.split('?').next().unwrap_or("").to_string(),
+        path: path.to_string(),
+        query,
         http11: version == "HTTP/1.1",
         connection,
         authorization,
         x_admin_token,
+        accept,
         body: input[pos..pos + content_length].to_vec(),
     };
-    Parsed::Request(request, pos + content_length)
+    Parsed::Request(Box::new(request), pos + content_length)
 }
 
 // ---------------------------------------------------------------------------
 // Responses and routing (unchanged handler logic)
 // ---------------------------------------------------------------------------
 
-/// A response ready for the wire. Bodies are always JSON.
+/// The Prometheus text exposition content type (format version 0.0.4).
+const PROMETHEUS_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// A response ready for the wire. Bodies are JSON unless `content_type`
+/// says otherwise (the Prometheus exposition is plain text).
 struct Response {
     status: u16,
     body: String,
     /// `Retry-After` seconds, set only on admission-control sheds.
     retry_after: Option<u64>,
+    /// `Content-Type` header value.
+    content_type: &'static str,
 }
 
 impl Response {
@@ -1371,6 +1437,16 @@ impl Response {
             status: 200,
             body,
             retry_after: None,
+            content_type: "application/json",
+        }
+    }
+
+    fn ok_text(body: String, content_type: &'static str) -> Self {
+        Self {
+            status: 200,
+            body,
+            retry_after: None,
+            content_type,
         }
     }
 
@@ -1382,6 +1458,7 @@ impl Response {
             status,
             body: format!("{{\"error\":\"{escaped}\"}}"),
             retry_after: None,
+            content_type: "application/json",
         }
     }
 }
@@ -1408,9 +1485,10 @@ fn reason(status: u16) -> &'static str {
 fn render_response(out: &mut Vec<u8>, response: &Response, keep_alive: bool) {
     out.extend_from_slice(
         format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
             response.status,
             reason(response.status),
+            response.content_type,
             response.body.len(),
         )
         .as_bytes(),
@@ -1428,13 +1506,14 @@ fn render_response(out: &mut Vec<u8>, response: &Response, keep_alive: bool) {
     out.extend_from_slice(response.body.as_bytes());
 }
 
-const ROUTES: [(&str, &str); 6] = [
+const ROUTES: [(&str, &str); 7] = [
     ("POST", "/answer"),
     ("POST", "/batch"),
     ("POST", "/admin/reload"),
     ("GET", "/healthz"),
     ("GET", "/metrics"),
     ("GET", "/cache/stats"),
+    ("GET", "/debug/slow"),
 ];
 
 fn route(shared: &Shared, request: &Request) -> Response {
@@ -1453,10 +1532,8 @@ fn route(shared: &Shared, request: &Request) -> Response {
                 store.backend_kind().as_str()
             ))
         }
-        ("GET", "/metrics") => match serde_json::to_string(&state.metrics.snapshot()) {
-            Ok(body) => Response::ok(body),
-            Err(e) => Response::error(500, &e.to_string()),
-        },
+        ("GET", "/metrics") => handle_metrics(state, request),
+        ("GET", "/debug/slow") => handle_slow(shared, request),
         ("GET", "/cache/stats") => {
             let mut stats = state.cache.stats();
             stats.model_epoch = state.service.model_epoch();
@@ -1521,6 +1598,53 @@ fn handle_reload(shared: &Shared, request: &Request) -> Response {
     }
 }
 
+/// The counter snapshot enriched with everything only the serving layer
+/// knows: cache stats (with the epoch stamped, as at `/cache/stats`), the
+/// store gauges previously visible only at `/healthz`, and the model epoch.
+fn metrics_snapshot(state: &AppState) -> MetricsSnapshot {
+    let mut snapshot = state.metrics.snapshot();
+    snapshot.cache = state.cache.stats();
+    snapshot.cache.model_epoch = state.service.model_epoch();
+    let store = state.service.store();
+    snapshot.store_backend = store.backend_kind().as_str().to_string();
+    snapshot.store_triples = store.len() as u64;
+    snapshot.model_epoch = state.service.model_epoch();
+    snapshot
+}
+
+/// `GET /metrics`: the JSON snapshot by default; Prometheus text exposition
+/// when the client asks via `?format=prometheus` or `Accept: text/plain`.
+fn handle_metrics(state: &AppState, request: &Request) -> Response {
+    let snapshot = metrics_snapshot(state);
+    if request.wants_prometheus() {
+        return Response::ok_text(snapshot.to_prometheus(), PROMETHEUS_CONTENT_TYPE);
+    }
+    match serde_json::to_string(&snapshot) {
+        Ok(body) => Response::ok(body),
+        Err(e) => Response::error(500, &e.to_string()),
+    }
+}
+
+/// `GET /debug/slow`: the N slowest requests with per-stage breakdowns,
+/// slowest first. Question text can be sensitive, so the route is gated by
+/// the same admin token as `/admin/reload`: 403 when no token is
+/// configured, 401 on a missing/wrong credential.
+fn handle_slow(shared: &Shared, request: &Request) -> Response {
+    let Some(expected) = shared.config.admin_token.as_deref() else {
+        return Response::error(403, "debug interface disabled: no admin token configured");
+    };
+    let authorized = request
+        .admin_credential()
+        .is_some_and(|presented| token_matches(presented, expected));
+    if !authorized {
+        return Response::error(401, "missing or invalid admin token");
+    }
+    match serde_json::to_string(&shared.state.slow.snapshot()) {
+        Ok(body) => Response::ok(body),
+        Err(e) => Response::error(500, &e.to_string()),
+    }
+}
+
 fn parse_body<T: serde::de::DeserializeOwned>(body: &[u8]) -> Result<T, Response> {
     let text =
         std::str::from_utf8(body).map_err(|_| Response::error(400, "body is not valid UTF-8"))?;
@@ -1538,21 +1662,56 @@ fn parse_body<T: serde::de::DeserializeOwned>(body: &[u8]) -> Result<T, Response
 /// [`ServiceSnapshot`]: kbqa_core::service::ServiceSnapshot
 fn handle_answer(state: &AppState, body: &[u8]) -> Response {
     let started = Instant::now();
-    let request: QaRequest = match parse_body(body) {
+    let mut request: QaRequest = match parse_body(body) {
         Ok(request) => request,
         Err(response) => return response,
     };
     state.metrics.record_answer_request();
+    if request.request_id.is_none() {
+        // Deliberately after cache_key's inputs are fixed: the ID is
+        // excluded from the key, so assigning it cannot split cache entries.
+        request.request_id = Some(state.metrics.next_request_id());
+    }
     let snapshot = state.service.snapshot();
     let key = snapshot.cache_key(&request);
-    let response = state
-        .cache
-        .get_or_compute(key, || snapshot.answer(&request));
+    let mut cache_hit = true;
+    let mut breakdown = None;
+    let response = match state.cache.get(&key) {
+        Some(cached) => cached,
+        None => {
+            cache_hit = false;
+            let (computed, traced) = snapshot.answer_traced(&request);
+            breakdown = traced;
+            let computed = Arc::new(computed);
+            state.cache.insert(key, Arc::clone(&computed));
+            computed
+        }
+    };
     state.metrics.record_outcome(&response);
+    let serialize_started = Instant::now();
     let rendered = match serde_json::to_string(&*response) {
         Ok(body) => Response::ok(body),
         Err(e) => Response::error(500, &e.to_string()),
     };
+    if let Some(breakdown) = breakdown.as_mut() {
+        // The engine cannot time serialization (it happens here, after the
+        // response exists), so the route records the serialize stage.
+        let us = u64::try_from(serialize_started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        breakdown.set(Stage::Serialize, us);
+        state.metrics.stage_stats().record_us(Stage::Serialize, us);
+    }
+    let total_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+    state.slow.offer(total_us, || SlowQuery {
+        request_id: request.request_id.unwrap_or(0),
+        question: request.question.clone(),
+        total_us,
+        stages: breakdown.unwrap_or_default(),
+        refusal: response.refusal.map(|r| r.to_string()),
+        cache_hit,
+        model_epoch: response.model_epoch,
+        store_backend: state.service.store().backend_kind().as_str().to_string(),
+        traced: breakdown.is_some(),
+    });
     state.metrics.answer_latency.record(started.elapsed());
     rendered
 }

@@ -26,8 +26,13 @@
 //!    byte-identically to what the engine would have produced.
 //! 3. **A server you cannot observe is a server you cannot operate**:
 //!    atomic counters and fixed-bucket latency histograms ([`metrics`]) are
-//!    exported as JSON, and the cache exports hit/miss/eviction counts plus
-//!    the current model epoch.
+//!    exported as JSON *and* as Prometheus text exposition
+//!    (`GET /metrics?format=prometheus`), including per-pipeline-stage
+//!    latency histograms fed by the engine's sampled stage tracer
+//!    ([`kbqa_obs`]), per-refusal-cause counters, and inline cache/store
+//!    gauges. The N slowest requests — question, stage breakdown, refusal
+//!    cause, cache/backend/epoch — are captured in a lock-free ring and
+//!    served at the token-gated `GET /debug/slow`.
 //! 4. **Live operations are routes, not restarts.** The model hot-swaps
 //!    through `POST /admin/reload` (token-gated, reading the persist layer);
 //!    cache keys are versioned by the
@@ -48,8 +53,9 @@
 //! | `POST /batch`        | `[QaRequest]` JSON  | `[QaResponse]` JSON       |
 //! | `POST /admin/reload` | — (token header)    | `{reloaded, model_epoch}` |
 //! | `GET /healthz`       | —                   | liveness + model epoch    |
-//! | `GET /metrics`       | —                   | [`metrics::MetricsSnapshot`] |
+//! | `GET /metrics`       | —                   | [`metrics::MetricsSnapshot`] JSON, or Prometheus text via `?format=prometheus` / `Accept: text/plain` |
 //! | `GET /cache/stats`   | —                   | [`cache::CacheStats`]     |
+//! | `GET /debug/slow`    | — (token header)    | `[`[`SlowQuery`]`]`, slowest first |
 //!
 //! Any route may instead answer `429 Too Many Requests` (with `Retry-After`)
 //! when admission control sheds the connection at accept time.
@@ -77,4 +83,7 @@ pub mod metrics;
 
 pub use cache::{AnswerCache, CacheConfig, CacheStats};
 pub use http::{serve, ServerConfig, ServerHandle};
+pub use kbqa_obs::{
+    validate_exposition, SlowQuery, SlowQueryLog, StageBreakdown, StageStatsSnapshot,
+};
 pub use metrics::{HistogramSnapshot, LatencyHistogram, Metrics, MetricsSnapshot};

@@ -1,132 +1,28 @@
 //! Lock-free server telemetry: atomic counters and fixed-bucket latency
-//! histograms, exported as JSON at `GET /metrics`.
+//! histograms, exported as JSON (and Prometheus text format) at
+//! `GET /metrics`.
 //!
 //! Recording is wait-free (`fetch_add` on relaxed atomics) so the hot path
 //! never serializes behind telemetry. Snapshots are taken field-by-field
 //! without stopping writers, so a snapshot racing live traffic can be off by
 //! in-flight increments — fine for operational counters, which only ever
 //! move forward.
+//!
+//! The histogram machinery lives in [`kbqa_obs`] (shared with the engine's
+//! per-stage tracer) and is re-exported here for compatibility.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::{Duration, Instant};
+use std::sync::Arc;
+use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 
-use kbqa_core::service::QaResponse;
+use kbqa_core::service::{QaResponse, Refusal};
+use kbqa_obs::{StageStats, StageStatsSnapshot};
 
-/// Upper bounds (µs, inclusive) of the fixed latency buckets; an implicit
-/// overflow bucket catches everything slower. Spans 50 µs (cache hit) to
-/// 250 ms (pathological decomposition) in roughly ×2–×2.5 steps.
-pub const BUCKET_BOUNDS_US: [u64; 12] = [
-    50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000,
-];
+pub use kbqa_obs::{BucketCount, HistogramSnapshot, LatencyHistogram, BUCKET_BOUNDS_US};
 
-/// A fixed-bucket latency histogram with wait-free recording.
-#[derive(Debug, Default)]
-pub struct LatencyHistogram {
-    /// One counter per bound plus the overflow bucket.
-    buckets: [AtomicU64; BUCKET_BOUNDS_US.len() + 1],
-    count: AtomicU64,
-    total_us: AtomicU64,
-}
-
-impl LatencyHistogram {
-    /// An empty histogram.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Record one observation.
-    pub fn record(&self, elapsed: Duration) {
-        let us = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
-        let idx = BUCKET_BOUNDS_US.partition_point(|&bound| bound < us);
-        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.total_us.fetch_add(us, Ordering::Relaxed);
-    }
-
-    /// A point-in-time copy, with derived mean and quantile estimates.
-    pub fn snapshot(&self) -> HistogramSnapshot {
-        let counts: Vec<u64> = self
-            .buckets
-            .iter()
-            .map(|b| b.load(Ordering::Relaxed))
-            .collect();
-        let count: u64 = counts.iter().sum();
-        let total_us = self.total_us.load(Ordering::Relaxed);
-        let buckets = counts
-            .iter()
-            .enumerate()
-            .map(|(i, &n)| BucketCount {
-                le_us: BUCKET_BOUNDS_US.get(i).copied(),
-                count: n,
-            })
-            .collect();
-        HistogramSnapshot {
-            count,
-            total_us,
-            mean_us: if count == 0 {
-                0.0
-            } else {
-                total_us as f64 / count as f64
-            },
-            p50_us: quantile_upper_bound(&counts, count, 0.50),
-            p95_us: quantile_upper_bound(&counts, count, 0.95),
-            p99_us: quantile_upper_bound(&counts, count, 0.99),
-            buckets,
-        }
-    }
-}
-
-/// The bucket upper bound containing the `q`-quantile observation. An
-/// estimate from above: the true value lies at or below it. Observations in
-/// the overflow bucket report the largest finite bound (the histogram cannot
-/// resolve past it).
-fn quantile_upper_bound(counts: &[u64], count: u64, q: f64) -> u64 {
-    if count == 0 {
-        return 0;
-    }
-    let target = ((q * count as f64).ceil() as u64).max(1);
-    let mut seen = 0u64;
-    for (i, &n) in counts.iter().enumerate() {
-        seen += n;
-        if seen >= target {
-            return BUCKET_BOUNDS_US
-                .get(i)
-                .copied()
-                .unwrap_or(BUCKET_BOUNDS_US[BUCKET_BOUNDS_US.len() - 1]);
-        }
-    }
-    BUCKET_BOUNDS_US[BUCKET_BOUNDS_US.len() - 1]
-}
-
-/// One histogram bucket in a snapshot.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
-pub struct BucketCount {
-    /// Inclusive upper bound in µs; `None` is the overflow bucket.
-    pub le_us: Option<u64>,
-    /// Observations in this bucket.
-    pub count: u64,
-}
-
-/// A serializable view of a [`LatencyHistogram`].
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
-pub struct HistogramSnapshot {
-    /// Total observations.
-    pub count: u64,
-    /// Sum of all observations, µs.
-    pub total_us: u64,
-    /// Mean observation, µs.
-    pub mean_us: f64,
-    /// Median estimate (bucket upper bound), µs.
-    pub p50_us: u64,
-    /// 95th percentile estimate (bucket upper bound), µs.
-    pub p95_us: u64,
-    /// 99th percentile estimate (bucket upper bound), µs.
-    pub p99_us: u64,
-    /// Per-bucket counts, in bound order.
-    pub buckets: Vec<BucketCount>,
-}
+use crate::cache::CacheStats;
 
 /// All server counters. One instance per server, shared by every worker.
 #[derive(Debug)]
@@ -141,11 +37,19 @@ pub struct Metrics {
     batch_questions: AtomicU64,
     answered: AtomicU64,
     refused: AtomicU64,
+    refused_no_entity: AtomicU64,
+    refused_no_template: AtomicU64,
+    refused_no_predicate: AtomicU64,
+    refused_empty_values: AtomicU64,
     requests_shed: AtomicU64,
     requests_shed_by_route: AtomicU64,
     admin_reloads: AtomicU64,
     open_connections: AtomicU64,
     epoll_wakeups: AtomicU64,
+    request_ids: AtomicU64,
+    /// Per-pipeline-stage latency histograms, shared with the engine's
+    /// [`kbqa_obs::Observability`] sink.
+    stage: Arc<StageStats>,
     /// `POST /answer` end-to-end latency (parse → serialize).
     pub answer_latency: LatencyHistogram,
     /// `POST /batch` end-to-end latency (whole batch).
@@ -172,11 +76,17 @@ impl Metrics {
             batch_questions: AtomicU64::new(0),
             answered: AtomicU64::new(0),
             refused: AtomicU64::new(0),
+            refused_no_entity: AtomicU64::new(0),
+            refused_no_template: AtomicU64::new(0),
+            refused_no_predicate: AtomicU64::new(0),
+            refused_empty_values: AtomicU64::new(0),
             requests_shed: AtomicU64::new(0),
             requests_shed_by_route: AtomicU64::new(0),
             admin_reloads: AtomicU64::new(0),
             open_connections: AtomicU64::new(0),
             epoll_wakeups: AtomicU64::new(0),
+            request_ids: AtomicU64::new(0),
+            stage: Arc::new(StageStats::new()),
             answer_latency: LatencyHistogram::new(),
             batch_latency: LatencyHistogram::new(),
         }
@@ -249,17 +159,42 @@ impl Metrics {
         self.epoll_wakeups.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Classify one engine outcome (answered vs refused).
+    /// The next server-assigned request ID (a process-local monotonic
+    /// counter, starting at 1).
+    pub fn next_request_id(&self) -> u64 {
+        self.request_ids.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// The per-stage latency histograms, shared with the engine's
+    /// observability sink.
+    pub fn stage_stats(&self) -> Arc<StageStats> {
+        Arc::clone(&self.stage)
+    }
+
+    /// Classify one engine outcome (answered vs refused, and refusal cause).
     pub fn record_outcome(&self, response: &QaResponse) {
-        let counter = if response.answered() {
-            &self.answered
-        } else {
-            &self.refused
+        if response.answered() {
+            self.answered.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        self.refused.fetch_add(1, Ordering::Relaxed);
+        let by_cause = match response.refusal {
+            Some(Refusal::NoEntityGrounded) => &self.refused_no_entity,
+            Some(Refusal::NoTemplateMatched) => &self.refused_no_template,
+            Some(Refusal::NoPredicateAboveTheta) => &self.refused_no_predicate,
+            // `answered()` is false with no refusal only for a malformed
+            // response; fold it into the terminal cause rather than
+            // inventing a fifth family.
+            Some(Refusal::EmptyValueSet) | None => &self.refused_empty_values,
         };
-        counter.fetch_add(1, Ordering::Relaxed);
+        by_cause.fetch_add(1, Ordering::Relaxed);
     }
 
     /// A point-in-time copy, as served at `/metrics`.
+    ///
+    /// Deployment-level fields that counters cannot know — cache stats, the
+    /// store gauges, the model epoch — are left at their defaults; the HTTP
+    /// layer fills them in before serializing (see `http::metrics_snapshot`).
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
             uptime_secs: self.started.elapsed().as_secs_f64(),
@@ -272,6 +207,10 @@ impl Metrics {
             batch_questions: self.batch_questions.load(Ordering::Relaxed),
             answered: self.answered.load(Ordering::Relaxed),
             refused: self.refused.load(Ordering::Relaxed),
+            refused_no_entity: self.refused_no_entity.load(Ordering::Relaxed),
+            refused_no_template: self.refused_no_template.load(Ordering::Relaxed),
+            refused_no_predicate: self.refused_no_predicate.load(Ordering::Relaxed),
+            refused_empty_values: self.refused_empty_values.load(Ordering::Relaxed),
             requests_shed: self.requests_shed.load(Ordering::Relaxed),
             requests_shed_by_route: self.requests_shed_by_route.load(Ordering::Relaxed),
             admin_reloads: self.admin_reloads.load(Ordering::Relaxed),
@@ -279,6 +218,11 @@ impl Metrics {
             epoll_wakeups: self.epoll_wakeups.load(Ordering::Relaxed),
             answer_latency: self.answer_latency.snapshot(),
             batch_latency: self.batch_latency.snapshot(),
+            stage: self.stage.snapshot(),
+            cache: CacheStats::default(),
+            store_backend: String::new(),
+            store_triples: 0,
+            model_epoch: 0,
         }
     }
 }
@@ -306,6 +250,18 @@ pub struct MetricsSnapshot {
     pub answered: u64,
     /// Engine outcomes that refused.
     pub refused: u64,
+    /// Refusals at entity grounding (pipeline step 1).
+    #[serde(default)]
+    pub refused_no_entity: u64,
+    /// Refusals at template matching (pipeline step 2).
+    #[serde(default)]
+    pub refused_no_template: u64,
+    /// Refusals at predicate scoring — nothing above θ (pipeline step 3).
+    #[serde(default)]
+    pub refused_no_predicate: u64,
+    /// Refusals at value lookup — empty `V(e, p)` (pipeline step 4).
+    #[serde(default)]
+    pub refused_empty_values: u64,
     /// Connections shed with 429 by **connection-level** admission control
     /// at accept time (also counted in `responses_4xx`, never in
     /// `requests_total`: no request was parsed).
@@ -329,57 +285,213 @@ pub struct MetricsSnapshot {
     pub answer_latency: HistogramSnapshot,
     /// `/batch` latency histogram.
     pub batch_latency: HistogramSnapshot,
+    /// Per-pipeline-stage latency histograms (traced requests only).
+    #[serde(default)]
+    pub stage: StageStatsSnapshot,
+    /// Answer-cache effectiveness (filled by the HTTP layer).
+    #[serde(default)]
+    pub cache: CacheStats,
+    /// Store backend kind, e.g. `"heap"` or `"mmap"` (filled by the HTTP
+    /// layer; previously only visible at `/healthz`).
+    #[serde(default)]
+    pub store_backend: String,
+    /// Triples in the serving store (filled by the HTTP layer).
+    #[serde(default)]
+    pub store_triples: u64,
+    /// Current model epoch (filled by the HTTP layer).
+    #[serde(default)]
+    pub model_epoch: u64,
+}
+
+impl MetricsSnapshot {
+    /// Render as Prometheus text exposition (format 0.0.4), served at
+    /// `GET /metrics?format=prometheus` (or via `Accept: text/plain`).
+    ///
+    /// Families and labels are documented in the "Telemetry reference"
+    /// section of `docs/OPERATIONS.md`; the output always passes
+    /// [`kbqa_obs::validate_exposition`].
+    pub fn to_prometheus(&self) -> String {
+        use kbqa_obs::PromWriter;
+        let mut w = PromWriter::new();
+        w.gauge(
+            "kbqa_uptime_seconds",
+            "Seconds since the server started.",
+            self.uptime_secs,
+        );
+        w.counter(
+            "kbqa_http_requests_total",
+            "Parsed HTTP requests, any route.",
+            self.requests_total,
+        );
+        w.family(
+            "kbqa_http_responses_total",
+            "Responses by status class.",
+            "counter",
+        );
+        for (class, count) in [
+            ("2xx", self.responses_2xx),
+            ("4xx", self.responses_4xx),
+            ("5xx", self.responses_5xx),
+        ] {
+            w.sample(
+                "kbqa_http_responses_total",
+                &[("class", class)],
+                count as f64,
+            );
+        }
+        w.counter(
+            "kbqa_answer_requests_total",
+            "POST /answer requests.",
+            self.answer_requests,
+        );
+        w.counter(
+            "kbqa_batch_requests_total",
+            "POST /batch requests.",
+            self.batch_requests,
+        );
+        w.counter(
+            "kbqa_batch_questions_total",
+            "Questions carried inside /batch bodies.",
+            self.batch_questions,
+        );
+        w.family(
+            "kbqa_outcomes_total",
+            "Engine outcomes (answered vs refused).",
+            "counter",
+        );
+        w.sample(
+            "kbqa_outcomes_total",
+            &[("outcome", "answered")],
+            self.answered as f64,
+        );
+        w.sample(
+            "kbqa_outcomes_total",
+            &[("outcome", "refused")],
+            self.refused as f64,
+        );
+        w.family(
+            "kbqa_refusals_total",
+            "Refusals by pipeline cause.",
+            "counter",
+        );
+        for (cause, count) in [
+            ("no_entity_grounded", self.refused_no_entity),
+            ("no_template_matched", self.refused_no_template),
+            ("no_predicate_above_theta", self.refused_no_predicate),
+            ("empty_value_set", self.refused_empty_values),
+        ] {
+            w.sample("kbqa_refusals_total", &[("cause", cause)], count as f64);
+        }
+        w.family(
+            "kbqa_requests_shed_total",
+            "Requests shed by admission control, by level.",
+            "counter",
+        );
+        w.sample(
+            "kbqa_requests_shed_total",
+            &[("level", "connection")],
+            self.requests_shed as f64,
+        );
+        w.sample(
+            "kbqa_requests_shed_total",
+            &[("level", "route")],
+            self.requests_shed_by_route as f64,
+        );
+        w.counter(
+            "kbqa_admin_reloads_total",
+            "Successful POST /admin/reload model swaps.",
+            self.admin_reloads,
+        );
+        w.gauge(
+            "kbqa_open_connections",
+            "Connections currently owned by the event loops.",
+            self.open_connections as f64,
+        );
+        w.counter(
+            "kbqa_epoll_wakeups_total",
+            "epoll_wait returns that carried at least one event.",
+            self.epoll_wakeups,
+        );
+        w.family(
+            "kbqa_request_latency_seconds",
+            "End-to-end request latency by route.",
+            "histogram",
+        );
+        w.histogram_series(
+            "kbqa_request_latency_seconds",
+            &[("route", "answer")],
+            &self.answer_latency,
+        );
+        w.histogram_series(
+            "kbqa_request_latency_seconds",
+            &[("route", "batch")],
+            &self.batch_latency,
+        );
+        w.counter(
+            "kbqa_traced_requests_total",
+            "Requests that flushed a per-stage trace.",
+            self.stage.traced_requests,
+        );
+        w.family(
+            "kbqa_stage_latency_seconds",
+            "Per-pipeline-stage latency, traced requests only.",
+            "histogram",
+        );
+        for stage in &self.stage.stages {
+            w.histogram_series(
+                "kbqa_stage_latency_seconds",
+                &[("stage", stage.stage.as_str())],
+                &stage.latency,
+            );
+        }
+        w.family("kbqa_cache_events_total", "Answer-cache events.", "counter");
+        for (event, count) in [
+            ("hit", self.cache.hits),
+            ("miss", self.cache.misses),
+            ("eviction", self.cache.evictions),
+            ("insertion", self.cache.insertions),
+        ] {
+            w.sample("kbqa_cache_events_total", &[("event", event)], count as f64);
+        }
+        w.gauge(
+            "kbqa_cache_entries",
+            "Answer-cache entries currently resident.",
+            self.cache.entries as f64,
+        );
+        w.gauge(
+            "kbqa_cache_capacity",
+            "Answer-cache maximum resident entries.",
+            self.cache.capacity as f64,
+        );
+        w.gauge(
+            "kbqa_cache_hit_ratio",
+            "Fraction of cache lookups served from cache.",
+            self.cache.hit_rate(),
+        );
+        w.gauge(
+            "kbqa_store_triples",
+            "Triples in the serving store.",
+            self.store_triples as f64,
+        );
+        w.family(
+            "kbqa_store_info",
+            "Store backend as a label; the value is always 1.",
+            "gauge",
+        );
+        w.sample("kbqa_store_info", &[("backend", &self.store_backend)], 1.0);
+        w.gauge(
+            "kbqa_model_epoch",
+            "Current model epoch.",
+            self.model_epoch as f64,
+        );
+        w.finish()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn histogram_buckets_observations_by_bound() {
-        let h = LatencyHistogram::new();
-        h.record(Duration::from_micros(10)); // → le 50
-        h.record(Duration::from_micros(50)); // boundary is inclusive → le 50
-        h.record(Duration::from_micros(51)); // → le 100
-        h.record(Duration::from_millis(300)); // → overflow
-        let snap = h.snapshot();
-        assert_eq!(snap.count, 4);
-        assert_eq!(
-            snap.buckets[0],
-            BucketCount {
-                le_us: Some(50),
-                count: 2
-            }
-        );
-        assert_eq!(snap.buckets[1].count, 1);
-        let overflow = snap.buckets.last().unwrap();
-        assert_eq!(overflow.le_us, None);
-        assert_eq!(overflow.count, 1);
-    }
-
-    #[test]
-    fn quantiles_are_upper_bounds() {
-        let h = LatencyHistogram::new();
-        for _ in 0..99 {
-            h.record(Duration::from_micros(80)); // le 100
-        }
-        h.record(Duration::from_micros(40_000)); // le 50_000
-        let snap = h.snapshot();
-        assert_eq!(snap.p50_us, 100);
-        assert_eq!(snap.p95_us, 100);
-        assert_eq!(snap.p99_us, 100);
-        // The single slow observation only surfaces past p99.
-        assert_eq!(quantile_upper_bound(&[0; 0], 0, 0.5), 0);
-    }
-
-    #[test]
-    fn empty_histogram_snapshot_is_all_zero() {
-        let snap = LatencyHistogram::new().snapshot();
-        assert_eq!(snap.count, 0);
-        assert_eq!(snap.mean_us, 0.0);
-        assert_eq!(snap.p99_us, 0);
-        assert!(snap.buckets.iter().all(|b| b.count == 0));
-    }
+    use std::time::Duration;
 
     #[test]
     fn snapshot_roundtrips_through_json() {
@@ -399,13 +511,94 @@ mod tests {
     }
 
     #[test]
+    fn pre_stage_snapshots_still_deserialize() {
+        // A snapshot serialized before the per-stage / per-cause / cache
+        // fields existed must load with defaults (the rolling-deploy
+        // contract).
+        let hist = r#"{"count":0,"total_us":0,"mean_us":0.0,"p50_us":0,"p95_us":0,"p99_us":0,"buckets":[]}"#;
+        let legacy = format!(
+            concat!(
+                r#"{{"uptime_secs":1.5,"requests_total":9,"responses_2xx":9,"#,
+                r#""responses_4xx":0,"responses_5xx":0,"answer_requests":5,"#,
+                r#""batch_requests":0,"batch_questions":0,"answered":4,"#,
+                r#""refused":1,"answer_latency":{hist},"batch_latency":{hist}}}"#
+            ),
+            hist = hist
+        );
+        let restored: MetricsSnapshot = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(restored.requests_total, 9);
+        assert_eq!(restored.refused, 1);
+        assert_eq!(restored.refused_no_entity, 0);
+        assert_eq!(restored.stage.traced_requests, 0);
+        assert_eq!(restored.cache, CacheStats::default());
+        assert_eq!(restored.store_backend, "");
+    }
+
+    #[test]
     fn outcome_classification() {
         use kbqa_core::engine::Answer;
-        use kbqa_core::service::Refusal;
         let m = Metrics::new();
         m.record_outcome(&QaResponse::from_answers(vec![Answer::ranked("v", 1.0)]));
-        m.record_outcome(&QaResponse::refused(Refusal::NoEntityGrounded));
+        for refusal in [
+            Refusal::NoEntityGrounded,
+            Refusal::NoEntityGrounded,
+            Refusal::NoTemplateMatched,
+            Refusal::NoPredicateAboveTheta,
+            Refusal::EmptyValueSet,
+        ] {
+            m.record_outcome(&QaResponse::refused(refusal));
+        }
         let snap = m.snapshot();
-        assert_eq!((snap.answered, snap.refused), (1, 1));
+        assert_eq!((snap.answered, snap.refused), (1, 5));
+        assert_eq!(snap.refused_no_entity, 2);
+        assert_eq!(snap.refused_no_template, 1);
+        assert_eq!(snap.refused_no_predicate, 1);
+        assert_eq!(snap.refused_empty_values, 1);
+    }
+
+    #[test]
+    fn request_ids_are_monotonic_from_one() {
+        let m = Metrics::new();
+        assert_eq!(m.next_request_id(), 1);
+        assert_eq!(m.next_request_id(), 2);
+    }
+
+    #[test]
+    fn prometheus_exposition_validates_and_names_every_family() {
+        use kbqa_obs::{validate_exposition, Stage};
+        let m = Metrics::new();
+        m.record_request();
+        m.record_response(200);
+        m.answer_latency.record(Duration::from_micros(900));
+        m.record_outcome(&QaResponse::refused(Refusal::NoTemplateMatched));
+        m.stage_stats().record_us(Stage::ValueLookup, 75);
+        let mut snap = m.snapshot();
+        snap.store_backend = "mmap".to_string();
+        snap.store_triples = 1234;
+        let text = snap.to_prometheus();
+        validate_exposition(&text).expect("exposition must be valid");
+        for family in [
+            "kbqa_http_requests_total",
+            "kbqa_refusals_total{cause=\"no_template_matched\"} 1",
+            "kbqa_request_latency_seconds_bucket{route=\"answer\",le=\"+Inf\"} 1",
+            "kbqa_stage_latency_seconds_bucket{stage=\"value_lookup\",le=\"0.0001\"} 1",
+            "kbqa_cache_events_total{event=\"hit\"} 0",
+            "kbqa_store_info{backend=\"mmap\"} 1",
+            "kbqa_store_triples 1234",
+        ] {
+            assert!(text.contains(family), "missing `{family}` in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn stage_stats_surface_in_the_snapshot() {
+        use kbqa_obs::Stage;
+        let m = Metrics::new();
+        m.stage_stats().record_us(Stage::Parse, 40);
+        let snap = m.snapshot();
+        assert_eq!(snap.stage.stages.len(), Stage::COUNT);
+        let parse = &snap.stage.stages[Stage::Parse as usize];
+        assert_eq!(parse.stage, "parse");
+        assert_eq!(parse.latency.count, 1);
     }
 }

@@ -91,6 +91,7 @@ pub use kbqa_common as common;
 pub use kbqa_core as core;
 pub use kbqa_corpus as corpus;
 pub use kbqa_nlp as nlp;
+pub use kbqa_obs as obs;
 pub use kbqa_rdf as rdf;
 pub use kbqa_taxonomy as taxonomy;
 
@@ -110,6 +111,7 @@ pub mod prelude {
     pub use kbqa_core::template::{Template, TemplateCatalog};
     pub use kbqa_corpus::{benchmark, CorpusConfig, QaCorpus, World, WorldConfig};
     pub use kbqa_nlp::{tokenize, GazetteerNer};
+    pub use kbqa_obs::{Observability, Stage, StageBreakdown, StageStats, StageTrace};
     pub use kbqa_rdf::{ExpandedPredicate, GraphBuilder, TripleStore};
     pub use kbqa_taxonomy::Conceptualizer;
 }

@@ -8,6 +8,12 @@
 //! allowed to allocate, and it is excluded here by using the scoring entry
 //! point.
 //!
+//! PR 7 extends the budget to the stage tracer: the same workload with the
+//! tracer armed on every call — eight lap timestamps per question folded
+//! into shared atomic histograms — must also allocate **zero** times.
+//! Observability that costs heap on the hot path would be observability
+//! the server could not afford to leave on.
+//!
 //! This file intentionally holds a single test: the allocator counter is
 //! process-global, and a concurrently running test would pollute the delta.
 
@@ -97,6 +103,37 @@ fn steady_state_kernel_performs_zero_allocations() {
         delta,
         0,
         "steady-state score_bfq allocated {delta} times over {} calls",
+        50 * tokenized.len()
+    );
+
+    // Phase 2: the same steady state with stage tracing armed on every
+    // call. Laps write into the scratch-resident breakdown, finish() folds
+    // it into pre-sized atomic histograms — none of which may touch the
+    // heap.
+    let stats = StageStats::new();
+    for tokens in &tokenized {
+        scratch.trace.begin(true);
+        let _ = engine.score_bfq(tokens, &mut scratch);
+        let _ = scratch.trace.finish(&stats);
+    }
+
+    let before = allocations();
+    for _ in 0..50 {
+        for tokens in &tokenized {
+            scratch.trace.begin(true);
+            let _ = engine.score_bfq(tokens, &mut scratch);
+            let _ = scratch.trace.finish(&stats);
+        }
+    }
+    let delta = allocations() - before;
+    assert!(
+        stats.traced_requests() > 0,
+        "tracer must have recorded the traced phase"
+    );
+    assert_eq!(
+        delta,
+        0,
+        "traced steady-state score_bfq allocated {delta} times over {} calls",
         50 * tokenized.len()
     );
 }
