@@ -214,6 +214,13 @@ pub struct ScratchSpace {
     /// Cumulative count of floor-pruned rows/suffixes (telemetry: lets
     /// tests and benches confirm the pruning path actually exercises).
     pruned: u64,
+    /// Bitmask of shards this request's value lookups routed to (bit =
+    /// shard id; [`kbqa_rdf::shard::MAX_SHARDS`] caps shard counts at 64).
+    /// Reset by the service per request; popcount = `shard_fanout`.
+    pub(crate) shard_mask: u64,
+    /// First shard a lookup routed to (`u32::MAX` = none): the lane the
+    /// service attributes this question's telemetry to.
+    pub(crate) shard_primary: u32,
     /// Per-request stage timer. Disarmed by default (a single predicted
     /// branch per stage boundary); the service arms it for sampled or
     /// `explain` requests, and callers owning a scratch can arm it
@@ -252,6 +259,8 @@ impl Default for ScratchSpace {
             question_tokens: TokenizedText::default(),
             sub_tokens: TokenizedText::default(),
             pruned: 0,
+            shard_mask: 0,
+            shard_primary: u32::MAX,
             trace: StageTrace::new(),
         }
     }
@@ -269,6 +278,13 @@ impl ScratchSpace {
     pub fn pruned_events(&self) -> u64 {
         self.pruned
     }
+
+    /// Bitmask of shards value lookups have routed to (bit = shard id).
+    /// The service resets it per request; callers driving the engine
+    /// directly see the ORed mask across their calls. Diagnostic only.
+    pub fn shard_mask(&self) -> u64 {
+        self.shard_mask
+    }
 }
 
 /// The KBQA online engine (the inference kernel behind
@@ -279,6 +295,10 @@ pub struct QaEngine<'a> {
     model: &'a LearnedModel,
     ner: Cow<'a, GazetteerNer>,
     pattern_index: Option<Cow<'a, PatternIndex>>,
+    /// When set, `V(e, p)` lookups route to the owning shard's store (the
+    /// scatter half of scatter-gather); everything else stays global. See
+    /// [`crate::shard::ShardRouter`].
+    shards: Option<&'a crate::shard::ShardRouter>,
     config: EngineConfig,
 }
 
@@ -297,6 +317,7 @@ impl<'a> QaEngine<'a> {
             model,
             ner: Cow::Owned(GazetteerNer::from_store(store)),
             pattern_index: None,
+            shards: None,
             config: EngineConfig::default(),
         }
     }
@@ -315,6 +336,7 @@ impl<'a> QaEngine<'a> {
             model,
             ner: Cow::Borrowed(ner),
             pattern_index: None,
+            shards: None,
             config: EngineConfig::default(),
         }
     }
@@ -322,6 +344,14 @@ impl<'a> QaEngine<'a> {
     /// Override the configuration.
     pub fn with_config(mut self, config: EngineConfig) -> Self {
         self.config = config;
+        self
+    }
+
+    /// Route value lookups through a shard router (scatter-gather mode).
+    /// Grounding, materialization, and accumulation stay global, so answers
+    /// are byte-identical to the unsharded kernel.
+    pub fn with_shards(mut self, router: &'a crate::shard::ShardRouter) -> Self {
+        self.shards = Some(router);
         self
     }
 
@@ -367,6 +397,7 @@ impl<'a> QaEngine<'a> {
             model: self.model,
             ner: Cow::Borrowed(self.ner.as_ref()),
             pattern_index: self.pattern_index.as_deref().map(Cow::Borrowed),
+            shards: self.shards,
             config,
         }
     }
@@ -494,6 +525,8 @@ impl<'a> QaEngine<'a> {
             floor_topk,
             floor_buf,
             pruned,
+            shard_mask,
+            shard_primary,
             trace,
             ..
         } = scratch;
@@ -602,8 +635,32 @@ impl<'a> QaEngine<'a> {
                             trace.lap(Stage::PredicateScore);
                             let start = values.len() as u32;
                             let path = self.model.predicates.resolve(pred);
+                            // Scatter: the traversal runs on the entity's
+                            // owning shard when the path fits the closure
+                            // the cut replicated; longer paths (a swapped
+                            // model can intern them) fall back to the
+                            // global store so correctness never depends on
+                            // closure depth.
+                            let lookup_store = match self.shards {
+                                Some(router)
+                                    if !router.is_degenerate()
+                                        && path.len() <= router.plan().closure_depth() =>
+                                {
+                                    let owner = router.owner(entity);
+                                    *shard_mask |= 1u64 << owner;
+                                    if *shard_primary == u32::MAX {
+                                        *shard_primary = owner as u32;
+                                    }
+                                    router.shard_store(owner)
+                                }
+                                _ => self.store,
+                            };
                             kbqa_rdf::path::objects_via_path_into(
-                                self.store, entity, path, path_ws, values,
+                                lookup_store,
+                                entity,
+                                path,
+                                path_ws,
+                                values,
                             );
                             let end = values.len() as u32;
                             value_cache.insert((entity, pred), (start, end));

@@ -53,6 +53,7 @@ pub mod learner;
 pub mod model;
 pub mod persist;
 pub mod service;
+pub mod shard;
 pub mod template;
 pub mod variants;
 
@@ -61,10 +62,12 @@ pub use em::{EmConfig, EmStats, Theta};
 pub use engine::{Answer, ChoiceStats, EngineConfig, QaEngine, ScratchSpace};
 pub use expansion::{ExpansionConfig, ExpansionResult};
 pub use extraction::{ExtractionConfig, Observation};
+pub use kbqa_rdf::ShardPlan;
 pub use learner::{LearnedModel, Learner, LearnerConfig};
 pub use persist::ServingArtifacts;
 pub use service::{
     KbqaService, ModelHandle, QaRequest, QaResponse, QaSystem, Refusal, ServiceSnapshot,
 };
+pub use shard::{ShardPanic, ShardRouter};
 pub use template::{SlotTable, Template, TemplateCatalog, TemplateId};
 pub use variants::{VariantQa, VariantQuestion};

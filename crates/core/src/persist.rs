@@ -36,6 +36,27 @@
 //! A missing sidecar is accepted (legacy artifacts and hand-edited
 //! experiment files stay loadable); a *stale* one (crash between the two
 //! renames) fails closed, and re-saving repairs it.
+//!
+//! # Bundle-level integrity (PR 8)
+//!
+//! Per-file sidecars cannot catch a **cross-file mismatch**: a bundle whose
+//! `store.snap` came from save N but whose `model.json` came from save N+1
+//! has every sidecar individually consistent, yet serves a model against a
+//! store it was never learned on (restore-from-backup and partial-rsync
+//! accidents produce exactly this). Every [`ServingArtifacts::save`]
+//! therefore writes a `manifest.json` **last**, recording the digest of
+//! every file in the bundle; [`ServingArtifacts::load`] re-hashes each
+//! listed file against the manifest and refuses the bundle on any mismatch.
+//! Directories without a manifest (pre-PR8 saves) load under the per-file
+//! rules only.
+//!
+//! # Sharded bundles (PR 8)
+//!
+//! A service built with a [`ShardPlan`] persists each
+//! shard as its own snapshot (`store.shard-{i}.snap`) next to the global
+//! `store.snap`; the manifest records the plan and the cut's balance stats.
+//! Warm start then maps N+1 files and rebuilds only the shards' in-memory
+//! adjacency indexes — no re-partitioning.
 
 use std::fs::File;
 use std::io::Write as _;
@@ -51,9 +72,12 @@ use kbqa_nlp::GazetteerNer;
 use kbqa_rdf::{Snapshot, TripleStore};
 use kbqa_taxonomy::Conceptualizer;
 
+use kbqa_rdf::shard::{ShardPlan, ShardStats};
+
 use crate::decompose::PatternIndex;
 use crate::learner::LearnedModel;
 use crate::service::KbqaService;
+use crate::shard::ShardRouter;
 
 /// Suffix of the checksum sidecar written next to every artifact.
 pub const CHECKSUM_SUFFIX: &str = ".fxsum";
@@ -93,18 +117,17 @@ fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
 
 /// Save any serializable artifact as JSON — atomically (temp + fsync +
 /// rename), with a checksum sidecar for integrity validation on load.
-pub fn save_json<T: Serialize>(value: &T, path: &Path) -> Result<()> {
+/// Returns the file's digest (16 hex digits) for bundle manifests.
+pub fn save_json<T: Serialize>(value: &T, path: &Path) -> Result<String> {
     let payload = serde_json::to_string(value)
         .map_err(|e| KbqaError::Io(format!("serialize {}: {e}", path.display())))?;
+    let file_digest = digest(payload.as_bytes());
     // Payload first, sidecar second: a crash between the renames leaves a
     // valid new payload with a stale sidecar — load fails closed and a
     // re-save repairs it, which beats silently trusting either half.
     write_atomic(path, payload.as_bytes())?;
-    write_atomic(
-        &checksum_path(path),
-        format!("{}\n", digest(payload.as_bytes())).as_bytes(),
-    )?;
-    Ok(())
+    write_atomic(&checksum_path(path), format!("{file_digest}\n").as_bytes())?;
+    Ok(file_digest)
 }
 
 /// Load a JSON artifact, validating the checksum sidecar when one exists.
@@ -131,8 +154,8 @@ pub fn load_json<T: DeserializeOwned>(path: &Path) -> Result<T> {
         .map_err(|e| KbqaError::Io(format!("deserialize {}: {e}", path.display())))
 }
 
-/// Save a learned model.
-pub fn save_model(model: &LearnedModel, path: &Path) -> Result<()> {
+/// Save a learned model. Returns the file's digest.
+pub fn save_model(model: &LearnedModel, path: &Path) -> Result<String> {
     save_json(model, path)
 }
 
@@ -146,13 +169,11 @@ pub fn load_model(path: &Path) -> Result<LearnedModel> {
 /// Save a triple store as a zero-copy snapshot (`store.snap`) with a
 /// checksum sidecar. The snapshot writer is itself atomic (temp + fsync +
 /// rename), so this follows the same crash discipline as [`save_json`].
-pub fn save_store(store: &TripleStore, path: &Path) -> Result<()> {
-    let file_digest = store.write_snapshot(path)?;
-    write_atomic(
-        &checksum_path(path),
-        format!("{file_digest:016x}\n").as_bytes(),
-    )?;
-    Ok(())
+/// Returns the file's digest.
+pub fn save_store(store: &TripleStore, path: &Path) -> Result<String> {
+    let file_digest = format!("{:016x}", store.write_snapshot(path)?);
+    write_atomic(&checksum_path(path), format!("{file_digest}\n").as_bytes())?;
+    Ok(file_digest)
 }
 
 /// Load a triple store by mapping its snapshot file read-only — no parse,
@@ -186,8 +207,9 @@ pub fn load_store_json(path: &Path) -> Result<TripleStore> {
     Ok(store)
 }
 
-/// Save a conceptualizer (taxonomy network plus its tuning).
-pub fn save_taxonomy(conceptualizer: &Conceptualizer, path: &Path) -> Result<()> {
+/// Save a conceptualizer (taxonomy network plus its tuning). Returns the
+/// file's digest.
+pub fn save_taxonomy(conceptualizer: &Conceptualizer, path: &Path) -> Result<String> {
     save_json(conceptualizer, path)
 }
 
@@ -211,6 +233,32 @@ pub const MODEL_FILE: &str = "model.json";
 pub const NER_FILE: &str = "ner.json";
 /// File name for the pattern index inside an artifact directory (optional).
 pub const PATTERNS_FILE: &str = "patterns.json";
+/// File name for the bundle manifest binding every artifact's digest into
+/// one consistent set (written last by [`ServingArtifacts::save`]).
+pub const MANIFEST_FILE: &str = "manifest.json";
+
+/// File name for shard `i`'s snapshot inside an artifact directory.
+pub fn shard_store_file(i: usize) -> String {
+    format!("store.shard-{i}.snap")
+}
+
+/// The bundle manifest: one digest per file, written after every other
+/// artifact so a complete manifest implies a complete save. Loads verify
+/// each listed file against it — catching cross-file mixes (store from save
+/// N, model from save N+1) that per-file sidecars cannot see.
+#[derive(Serialize, serde::Deserialize)]
+struct BundleManifest {
+    /// Manifest format version.
+    version: u32,
+    /// Artifact file name → Fx-64 digest of its exact bytes.
+    files: std::collections::BTreeMap<String, String>,
+    /// The shard plan this bundle was partitioned under, when sharded.
+    #[serde(default)]
+    shard_plan: Option<ShardPlan>,
+    /// Balance/replication stats of the persisted cut, when sharded.
+    #[serde(default)]
+    shard_stats: Option<ShardStats>,
+}
 
 /// Everything a serving process needs to answer questions, as one bundle.
 ///
@@ -229,6 +277,9 @@ pub struct ServingArtifacts {
     pub ner: Option<Arc<GazetteerNer>>,
     /// The corpus pattern index, when persisted.
     pub pattern_index: Option<Arc<PatternIndex>>,
+    /// The shard router, when the service serves sharded (persisted as one
+    /// snapshot per shard).
+    pub shards: Option<Arc<ShardRouter>>,
 }
 
 impl ServingArtifacts {
@@ -241,23 +292,66 @@ impl ServingArtifacts {
             model: service.model(),
             ner: Some(service.ner_shared()),
             pattern_index: service.pattern_index_shared(),
+            // A degenerate (1-shard) router carries no stores — nothing to
+            // persist; warm start re-attaches it from KBQA_SHARDS=1 alone.
+            shards: service
+                .shard_router()
+                .filter(|r| !r.is_degenerate())
+                .map(Arc::clone),
         }
     }
 
     /// Write every artifact into `dir` (created if missing): `store.snap`,
-    /// `taxonomy.json`, `model.json`, and — when present — `ner.json` and
-    /// `patterns.json`.
+    /// `taxonomy.json`, `model.json`, and — when present — `ner.json`,
+    /// `patterns.json` and one `store.shard-{i}.snap` per shard. The
+    /// bundle manifest (file → digest, plus the shard plan) is written
+    /// **last**, so a manifest's presence implies a complete save.
     pub fn save(&self, dir: &Path) -> Result<()> {
         std::fs::create_dir_all(dir)?;
-        save_store(&self.store, &dir.join(STORE_FILE))?;
-        save_taxonomy(&self.conceptualizer, &dir.join(TAXONOMY_FILE))?;
-        save_model(&self.model, &dir.join(MODEL_FILE))?;
+        let mut files = std::collections::BTreeMap::new();
+        files.insert(
+            STORE_FILE.to_string(),
+            save_store(&self.store, &dir.join(STORE_FILE))?,
+        );
+        files.insert(
+            TAXONOMY_FILE.to_string(),
+            save_taxonomy(&self.conceptualizer, &dir.join(TAXONOMY_FILE))?,
+        );
+        files.insert(
+            MODEL_FILE.to_string(),
+            save_model(&self.model, &dir.join(MODEL_FILE))?,
+        );
         if let Some(ner) = &self.ner {
-            save_json(ner.as_ref(), &dir.join(NER_FILE))?;
+            files.insert(
+                NER_FILE.to_string(),
+                save_json(ner.as_ref(), &dir.join(NER_FILE))?,
+            );
         }
         if let Some(index) = &self.pattern_index {
-            save_json(index.as_ref(), &dir.join(PATTERNS_FILE))?;
+            files.insert(
+                PATTERNS_FILE.to_string(),
+                save_json(index.as_ref(), &dir.join(PATTERNS_FILE))?,
+            );
         }
+        let mut shard_plan = None;
+        let mut shard_stats = None;
+        if let Some(router) = self.shards.as_deref().filter(|r| !r.is_degenerate()) {
+            for (i, store) in router.stores().iter().enumerate() {
+                let name = shard_store_file(i);
+                files.insert(name.clone(), save_store(store, &dir.join(name))?);
+            }
+            shard_plan = Some(*router.plan());
+            shard_stats = Some(router.stats().clone());
+        }
+        save_json(
+            &BundleManifest {
+                version: 1,
+                files,
+                shard_plan,
+                shard_stats,
+            },
+            &dir.join(MANIFEST_FILE),
+        )?;
         Ok(())
     }
 
@@ -265,7 +359,41 @@ impl ServingArtifacts {
     /// (warm start: no parse, no index rebuild) — or parsed from the legacy
     /// `store.json` when no snapshot exists. The NER and pattern-index
     /// files are optional; everything else must be present.
+    ///
+    /// When a `manifest.json` is present, every file it lists is re-hashed
+    /// against its recorded digest before anything is parsed — a bundle
+    /// whose files are individually sidecar-consistent but come from
+    /// *different saves* (store from save N, model from save N+1) is
+    /// refused with a typed error. Pre-manifest directories load under the
+    /// per-file rules only.
+    ///
+    /// Sharded bundles map one snapshot per shard and rebuild each shard's
+    /// in-memory adjacency index — no re-partitioning.
     pub fn load(dir: &Path) -> Result<Self> {
+        let manifest_path = dir.join(MANIFEST_FILE);
+        let manifest: Option<BundleManifest> = if manifest_path.exists() {
+            let manifest: BundleManifest = load_json(&manifest_path)?;
+            for (name, expected) in &manifest.files {
+                let path = dir.join(name);
+                let bytes = std::fs::read(&path).map_err(|e| {
+                    KbqaError::Io(format!(
+                        "bundle manifest lists {name} but it cannot be read: {e}"
+                    ))
+                })?;
+                let actual = digest(&bytes);
+                if actual != *expected {
+                    return Err(KbqaError::Io(format!(
+                        "bundle manifest mismatch for {}: manifest says {expected}, file \
+                         hashes to {actual} — the bundle mixes files from different saves \
+                         (each may still pass its own sidecar); re-save the bundle",
+                        path.display(),
+                    )));
+                }
+            }
+            Some(manifest)
+        } else {
+            None
+        };
         let ner_path = dir.join(NER_FILE);
         let patterns_path = dir.join(PATTERNS_FILE);
         let snap_path = dir.join(STORE_FILE);
@@ -273,6 +401,22 @@ impl ServingArtifacts {
             load_store(&snap_path)?
         } else {
             load_store_json(&dir.join(LEGACY_STORE_FILE))?
+        };
+        let shards = match manifest.as_ref().and_then(|m| m.shard_plan) {
+            Some(plan) => {
+                let mut stores = Vec::with_capacity(plan.shards());
+                for i in 0..plan.shards() {
+                    let mut shard = load_store(&dir.join(shard_store_file(i)))?;
+                    shard.build_adjacency_index();
+                    stores.push(Arc::new(shard));
+                }
+                let stats = manifest
+                    .as_ref()
+                    .and_then(|m| m.shard_stats.clone())
+                    .unwrap_or_default();
+                Some(Arc::new(ShardRouter::from_stores(plan, stores, stats)))
+            }
+            None => None,
         };
         Ok(Self {
             store: Arc::new(store),
@@ -288,6 +432,7 @@ impl ServingArtifacts {
             } else {
                 None
             },
+            shards,
         })
     }
 
@@ -309,6 +454,9 @@ impl ServingArtifacts {
         }
         if let Some(index) = self.pattern_index {
             builder = builder.pattern_index(index);
+        }
+        if let Some(router) = self.shards {
+            builder = builder.shard_router(router);
         }
         builder.build()
     }
@@ -446,6 +594,128 @@ mod tests {
             restored.pattern_index().is_some(),
             "pattern index persisted"
         );
+    }
+
+    /// A tiny learned service for bundle tests, optionally sharded, plus a
+    /// handful of corpus questions it can actually answer.
+    fn learned_service(seed: u64, plan: Option<ShardPlan>) -> (KbqaService, Vec<String>) {
+        let world = World::generate(WorldConfig::tiny(seed));
+        let corpus = QaCorpus::generate(&world, &CorpusConfig::with_pairs(1, 400));
+        let ner = std::sync::Arc::new(GazetteerNer::from_store(&world.store));
+        let learner = Learner::new(
+            &world.store,
+            &world.conceptualizer,
+            &ner,
+            &world.predicate_classes,
+        );
+        let pairs: Vec<(&str, &str)> = corpus
+            .pairs
+            .iter()
+            .map(|p| (p.question.as_str(), p.answer.as_str()))
+            .collect();
+        let (model, _) = learner.learn(&pairs, &LearnerConfig::default());
+        let mut builder = KbqaService::builder(
+            std::sync::Arc::clone(&world.store),
+            std::sync::Arc::clone(&world.conceptualizer),
+            std::sync::Arc::new(model),
+        )
+        .ner(ner);
+        if let Some(plan) = plan {
+            builder = builder.shards(plan);
+        }
+        let questions = corpus
+            .pairs
+            .iter()
+            .take(8)
+            .map(|p| p.question.clone())
+            .collect();
+        (builder.build(), questions)
+    }
+
+    #[test]
+    fn sharded_bundle_roundtrips_per_shard_snapshots() {
+        let (service, questions) = learned_service(47, Some(ShardPlan::new(3)));
+        let dir = std::env::temp_dir().join(format!("kbqa-persist-sharded-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        ServingArtifacts::from_service(&service)
+            .save(&dir)
+            .expect("save sharded bundle");
+        for i in 0..3 {
+            assert!(dir.join(shard_store_file(i)).exists(), "shard {i} snap");
+        }
+        assert!(dir.join(MANIFEST_FILE).exists(), "manifest written");
+
+        let restored = ServingArtifacts::load(&dir).expect("load sharded bundle");
+        let router = restored.shards.as_ref().expect("router restored");
+        assert_eq!(router.shard_count(), 3);
+        assert_eq!(router.plan(), &ShardPlan::new(3));
+        assert!(
+            router.stores().iter().all(|s| s.has_adjacency_index()),
+            "shard adjacency indexes rebuilt on warm start"
+        );
+        let restored = restored.into_service();
+        std::fs::remove_dir_all(&dir).ok();
+        assert!(restored.shard_router().is_some(), "service serves sharded");
+        for q in &questions {
+            assert_eq!(
+                serde_json::to_string(&service.answer_text(q)).unwrap(),
+                serde_json::to_string(&restored.answer_text(q)).unwrap(),
+                "warm-started sharded service must answer {q:?} identically"
+            );
+        }
+    }
+
+    #[test]
+    fn manifest_catches_cross_file_mixes_that_sidecars_accept() {
+        // The satellite bug: every file individually passes its own .fxsum
+        // sidecar, but the files come from *different saves* — store from
+        // save N, model from save N+1. Pre-manifest loads accepted this.
+        let (service, _) = learned_service(48, None);
+        let dir =
+            std::env::temp_dir().join(format!("kbqa-persist-crossmix-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        ServingArtifacts::from_service(&service)
+            .save(&dir)
+            .expect("save bundle");
+
+        // "Save N+1" of just the model, landing in a sibling directory —
+        // then a partial rsync copies the pair (file + sidecar) over.
+        let other = dir.join("next-save");
+        std::fs::create_dir_all(&other).unwrap();
+        let next_model = other.join(MODEL_FILE);
+        save_model(&LearnedModel::default(), &next_model).expect("save next model");
+        let mixed = dir.join(MODEL_FILE);
+        std::fs::copy(&next_model, &mixed).unwrap();
+        std::fs::copy(checksum_path(&next_model), checksum_path(&mixed)).unwrap();
+
+        // The mixed-in file is self-consistent: its own sidecar passes.
+        load_model(&mixed).expect("per-file sidecar still passes");
+        // But the bundle-level manifest refuses the set.
+        let err = match ServingArtifacts::load(&dir) {
+            Ok(_) => panic!("manifest must refuse the mix"),
+            Err(err) => err,
+        };
+        assert!(
+            err.to_string().contains("manifest mismatch"),
+            "typed bundle error, got: {err}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bundle_without_manifest_still_loads() {
+        let (service, _) = learned_service(49, None);
+        let dir = std::env::temp_dir().join(format!("kbqa-persist-legacy-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        ServingArtifacts::from_service(&service)
+            .save(&dir)
+            .expect("save bundle");
+        let manifest = dir.join(MANIFEST_FILE);
+        std::fs::remove_file(&manifest).unwrap();
+        std::fs::remove_file(checksum_path(&manifest)).unwrap();
+        let restored = ServingArtifacts::load(&dir).expect("pre-manifest bundle loads");
+        assert!(restored.shards.is_none());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

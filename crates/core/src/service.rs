@@ -89,12 +89,14 @@ use serde::{Deserialize, Serialize};
 
 use kbqa_nlp::GazetteerNer;
 use kbqa_obs::{Observability, StageBreakdown};
+use kbqa_rdf::shard::ShardPlan;
 use kbqa_rdf::TripleStore;
 use kbqa_taxonomy::Conceptualizer;
 
 use crate::decompose::{Decomposition, PatternIndex};
 use crate::engine::{Answer, ChoiceStats, EngineConfig, QaEngine, ScratchSpace};
 use crate::learner::LearnedModel;
+use crate::shard::{ShardPanic, ShardRouter};
 
 thread_local! {
     /// Per-thread engine scratch: a server worker (or batch worker) reuses
@@ -108,6 +110,16 @@ thread_local! {
 /// Run `f` with this thread's reusable engine scratch.
 fn with_engine_scratch<R>(f: impl FnOnce(&mut ScratchSpace) -> R) -> R {
     ENGINE_SCRATCH.with(|scratch| f(&mut scratch.borrow_mut()))
+}
+
+/// Stable worker-lane affinity for a batch request: a deterministic hash of
+/// the raw question bytes, so repeated questions always land on the same
+/// scatter-gather lane (warm per-lane value caches) without allocating.
+fn question_affinity(request: &QaRequest) -> u64 {
+    use std::hash::Hasher as _;
+    let mut h = kbqa_common::hash::FxHasher::default();
+    h.write(request.question.as_bytes());
+    h.finish()
 }
 
 /// A hot-swappable model slot, shared by every clone of a [`KbqaService`].
@@ -204,6 +216,12 @@ pub enum Refusal {
     /// Confident predicates existed, but the KB holds no value for any
     /// grounded `(entity, predicate)` pair (`P(v|e,p)` has no support).
     EmptyValueSet,
+    /// A shard this question's lookups route to is unavailable (poisoned or
+    /// panicked mid-query); the router isolated the failure and degraded
+    /// this question instead of taking the service down. Unlike the other
+    /// causes this is *operational*, not semantic — retrying after the
+    /// shard heals may answer.
+    ShardUnavailable,
 }
 
 impl std::fmt::Display for Refusal {
@@ -213,6 +231,7 @@ impl std::fmt::Display for Refusal {
             Refusal::NoTemplateMatched => "no template matched",
             Refusal::NoPredicateAboveTheta => "no predicate above θ",
             Refusal::EmptyValueSet => "empty value set",
+            Refusal::ShardUnavailable => "shard unavailable",
         };
         f.write_str(text)
     }
@@ -454,6 +473,8 @@ pub struct KbqaServiceBuilder {
     pattern_index: Option<Arc<PatternIndex>>,
     config: EngineConfig,
     obs: Option<Arc<Observability>>,
+    shard_plan: Option<ShardPlan>,
+    shard_router: Option<Arc<ShardRouter>>,
 }
 
 impl KbqaServiceBuilder {
@@ -485,12 +506,34 @@ impl KbqaServiceBuilder {
         self
     }
 
+    /// Shard the service per `plan`: the store is partitioned at build
+    /// time and requests route value lookups through a
+    /// [`ShardRouter`]. A 1-shard plan builds the degenerate router (the
+    /// plain single-store path, with shard telemetry attached).
+    pub fn shards(mut self, plan: ShardPlan) -> Self {
+        self.shard_plan = Some(plan);
+        self
+    }
+
+    /// Use a pre-built shard router (the persist warm-start path: per-shard
+    /// snapshots map straight in, no re-partitioning). Takes precedence
+    /// over [`KbqaServiceBuilder::shards`].
+    pub fn shard_router(mut self, router: Arc<ShardRouter>) -> Self {
+        self.shard_router = Some(router);
+        self
+    }
+
     /// Build the service. Derives the NER gazetteer from the store if none
-    /// was supplied — this is the one expensive step, paid once.
+    /// was supplied — this is the one expensive step, paid once — and
+    /// partitions the store if a shard plan was requested.
     pub fn build(self) -> KbqaService {
         let ner = self
             .ner
             .unwrap_or_else(|| Arc::new(GazetteerNer::from_store(&self.store)));
+        let shards = self.shard_router.or_else(|| {
+            self.shard_plan
+                .map(|plan| Arc::new(ShardRouter::from_store(&self.store, plan)))
+        });
         KbqaService {
             store: self.store,
             conceptualizer: self.conceptualizer,
@@ -499,6 +542,7 @@ impl KbqaServiceBuilder {
             pattern_index: self.pattern_index,
             config: self.config,
             obs: self.obs,
+            shards,
         }
     }
 }
@@ -523,6 +567,7 @@ pub struct ServiceSnapshot {
     pattern_index: Option<Arc<PatternIndex>>,
     config: EngineConfig,
     obs: Option<Arc<Observability>>,
+    shards: Option<Arc<ShardRouter>>,
 }
 
 impl ServiceSnapshot {
@@ -550,7 +595,15 @@ impl ServiceSnapshot {
         if let Some(index) = self.pattern_index.as_deref() {
             engine = engine.with_pattern_index_ref(index);
         }
+        if let Some(router) = self.router() {
+            engine = engine.with_shards(router);
+        }
         engine
+    }
+
+    /// The non-degenerate shard router, when this snapshot serves sharded.
+    fn router(&self) -> Option<&ShardRouter> {
+        self.shards.as_deref().filter(|r| !r.is_degenerate())
     }
 
     /// The versioned cache key for `request`: the snapshot's model epoch
@@ -599,6 +652,11 @@ impl ServiceSnapshot {
     /// wall-clock parallelism. The whole batch answers under one model
     /// epoch.
     pub fn answer_batch(&self, requests: &[QaRequest]) -> Vec<QaResponse> {
+        if requests.len() > 1 {
+            if let Some(router) = self.router() {
+                return self.answer_batch_sharded(router, requests);
+            }
+        }
         let workers = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
@@ -647,6 +705,59 @@ impl ServiceSnapshot {
         self.answer_with(engine, request, scratch).0
     }
 
+    /// The scatter-gather batch path: one worker (thread + engine +
+    /// scratch) per shard, questions assigned to workers by stable
+    /// question hash so repeated questions keep lane affinity, per-shard
+    /// queue depths surfaced on the router's telemetry lanes. Responses
+    /// come back in request order; the whole batch answers under this one
+    /// snapshot, so no batch ever straddles mixed model epochs.
+    fn answer_batch_sharded(
+        &self,
+        router: &ShardRouter,
+        requests: &[QaRequest],
+    ) -> Vec<QaResponse> {
+        let workers = router.shard_count().min(requests.len()).min(16);
+        let mut assign: Vec<Vec<u32>> = vec![Vec::new(); workers];
+        for (i, request) in requests.iter().enumerate() {
+            let lane = (question_affinity(request) % workers as u64) as usize;
+            assign[lane].push(i as u32);
+        }
+        for (lane, idxs) in assign.iter().enumerate() {
+            router.obs().lane(lane).enqueue(idxs.len() as u64);
+        }
+        let mut out: Vec<Option<QaResponse>> = Vec::with_capacity(requests.len());
+        out.resize_with(requests.len(), || None);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = assign
+                .iter()
+                .enumerate()
+                .filter(|(_, idxs)| !idxs.is_empty())
+                .map(|(lane, idxs)| {
+                    scope.spawn(move || {
+                        with_engine_scratch(|scratch| {
+                            let engine = self.engine();
+                            idxs.iter()
+                                .map(|&i| {
+                                    let resp = self.stamp(&engine, &requests[i as usize], scratch);
+                                    router.obs().lane(lane).dequeue(1);
+                                    (i, resp)
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (i, resp) in handle.join().expect("shard batch worker panicked") {
+                    out[i as usize] = Some(resp);
+                }
+            }
+        });
+        out.into_iter()
+            .map(|r| r.expect("every request index answered"))
+            .collect()
+    }
+
     /// The one place a request actually runs: arm the scratch tracer when
     /// this request should be traced, answer, then drain stage timings into
     /// the sink's histograms. Stage timings attach to the response only for
@@ -663,16 +774,71 @@ impl ServiceSnapshot {
             None => false,
         };
         scratch.trace.begin(trace_this);
-        let mut response = engine.answer_request_with(request, scratch);
+        let mut response = match self.router() {
+            None => engine.answer_request_with(request, scratch),
+            Some(router) => self.answer_sharded(router, engine, request, scratch),
+        };
         let breakdown = self
             .obs
             .as_ref()
             .and_then(|obs| scratch.trace.finish(obs.stats()));
+        if let (Some(router), Some(bd)) = (self.router(), breakdown.as_ref()) {
+            // Per-shard stage histograms: the whole-question breakdown is
+            // attributed to the primary shard (the first one a lookup
+            // routed to).
+            if scratch.shard_primary != u32::MAX {
+                router
+                    .obs()
+                    .lane(scratch.shard_primary as usize)
+                    .record_breakdown(bd);
+            }
+        }
         if request.explain {
             response.stage_us = breakdown;
         }
         response.model_epoch = self.model_epoch;
         (response, breakdown)
+    }
+
+    /// Run one request through the shard router with fault isolation: a
+    /// shard panicking mid-query ([`crate::shard::ShardPanic`]) degrades
+    /// *this question* to a typed [`Refusal::ShardUnavailable`] — the
+    /// service stays up, the failure is counted on the shard's lane, and
+    /// any other panic keeps unwinding (shard isolation is not a license to
+    /// swallow engine bugs).
+    fn answer_sharded(
+        &self,
+        router: &ShardRouter,
+        engine: &QaEngine<'_>,
+        request: &QaRequest,
+        scratch: &mut ScratchSpace,
+    ) -> QaResponse {
+        scratch.shard_mask = 0;
+        scratch.shard_primary = u32::MAX;
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            engine.answer_request_with(request, scratch)
+        }));
+        match result {
+            Ok(response) => {
+                let obs = router.obs();
+                obs.record_fanout(scratch.shard_mask.count_ones() as usize);
+                if scratch.shard_primary != u32::MAX {
+                    obs.lane(scratch.shard_primary as usize).record_query();
+                }
+                response
+            }
+            Err(payload) => {
+                let Some(&ShardPanic(shard)) = payload.downcast_ref::<ShardPanic>() else {
+                    std::panic::resume_unwind(payload);
+                };
+                // Drop any half-recorded stage timings from the unwound
+                // request; the scratch clears the rest of its state at next
+                // use by construction.
+                let _ = scratch.trace.take();
+                router.obs().lane(shard).record_failure();
+                QaResponse::refused(Refusal::ShardUnavailable)
+            }
+        }
     }
 }
 
@@ -691,6 +857,7 @@ pub struct KbqaService {
     pattern_index: Option<Arc<PatternIndex>>,
     config: EngineConfig,
     obs: Option<Arc<Observability>>,
+    shards: Option<Arc<ShardRouter>>,
 }
 
 impl KbqaService {
@@ -708,6 +875,8 @@ impl KbqaService {
             pattern_index: None,
             config: EngineConfig::default(),
             obs: None,
+            shard_plan: None,
+            shard_router: None,
         }
     }
 
@@ -718,6 +887,38 @@ impl KbqaService {
         model: Arc<LearnedModel>,
     ) -> Self {
         Self::builder(store, conceptualizer, model).build()
+    }
+
+    /// A sharded service: the store is partitioned per `plan` at build time
+    /// and every request's value lookups scatter-gather through the
+    /// resulting [`ShardRouter`]. Answers are byte-identical to
+    /// [`KbqaService::new`] — sharding changes *where* lookups read, never
+    /// what the kernel computes (`tests/shard_equivalence.rs` pins this).
+    pub fn sharded(
+        plan: ShardPlan,
+        store: Arc<TripleStore>,
+        conceptualizer: Arc<Conceptualizer>,
+        model: Arc<LearnedModel>,
+    ) -> Self {
+        Self::builder(store, conceptualizer, model)
+            .shards(plan)
+            .build()
+    }
+
+    /// A sibling service re-sharded per `plan` over the same substrate
+    /// (store, taxonomy, NER, pattern index, shared [`ModelHandle`]).
+    /// Re-partitions the current store; the original keeps its own router.
+    pub fn with_shards(&self, plan: ShardPlan) -> Self {
+        Self {
+            shards: Some(Arc::new(ShardRouter::from_store(&self.store, plan))),
+            ..self.clone()
+        }
+    }
+
+    /// The shard router, when this service was built sharded (includes the
+    /// degenerate 1-shard router, which carries telemetry but no stores).
+    pub fn shard_router(&self) -> Option<&Arc<ShardRouter>> {
+        self.shards.as_ref()
     }
 
     /// Replace the default engine configuration.
@@ -843,6 +1044,7 @@ impl KbqaService {
             pattern_index: self.pattern_index.as_ref().map(Arc::clone),
             config: self.config.clone(),
             obs: self.obs.as_ref().map(Arc::clone),
+            shards: self.shards.as_ref().map(Arc::clone),
         }
     }
 
@@ -985,6 +1187,7 @@ mod tests {
             pattern_index: None,
             config: EngineConfig::default(),
             obs: None,
+            shards: None,
         };
         let request = QaRequest::new("what is the population of berlin");
         let at_zero = snapshot_at(0).cache_key(&request);
@@ -1128,6 +1331,7 @@ mod tests {
             Refusal::NoTemplateMatched,
             Refusal::NoPredicateAboveTheta,
             Refusal::EmptyValueSet,
+            Refusal::ShardUnavailable,
         ];
         let rendered: std::collections::BTreeSet<String> =
             all.iter().map(|r| r.to_string()).collect();

@@ -1,0 +1,221 @@
+//! The in-process scatter-gather shard router.
+//!
+//! [`ShardRouter`] owns the materialized shards of a
+//! [`ShardPlan`]: N self-contained
+//! [`TripleStore`]s, per-shard fault flags, and the per-shard telemetry
+//! lanes ([`kbqa_obs::ShardObs`]). The engine consults it at exactly one
+//! point — the `V(e, p)` value lookup in the BFQ kernel — so a sharded
+//! engine *grounds globally, looks up shard-locally, and accumulates
+//! globally*:
+//!
+//! 1. NER grounding and conceptualization run against the global store and
+//!    gazetteer (entity identity is global — the paper's Eq (7) enumerates
+//!    one global grounding set).
+//! 2. Each grounding's KB traversals fan out to **only the owning shard**
+//!    (subject hash). Distinct groundings may hit distinct shards; the
+//!    union is the question's `shard_fanout`.
+//! 3. Contributions accumulate in the same sequential global grounding
+//!    order as the unsharded kernel, into one global
+//!    [`TopK`](kbqa_common::topk::TopK) whose `floor` bound rejects every
+//!    non-winner at push time — so the merged ranking (answers, score
+//!    bits, provenance, tie order) is byte-identical to the single-store
+//!    kernel. `tests/shard_equivalence.rs` pins this across shard counts.
+//!
+//! Paths longer than the plan's closure depth (a swapped-in model may
+//! intern longer expanded predicates than the cut replicated) fall back to
+//! the global store per lookup — correctness never depends on the closure
+//! being deep enough.
+//!
+//! **Fault isolation:** each shard carries a poison flag (for fault
+//! injection and, later, multi-process workers whose sockets die). Routing
+//! to a poisoned shard panics with a typed [`ShardPanic`] payload; the
+//! service catches it at the request boundary and degrades that question to
+//! a typed [`Refusal::ShardUnavailable`](crate::service::Refusal) instead
+//! of taking the process down.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
+
+use kbqa_obs::ShardObs;
+use kbqa_rdf::shard::{partition, ShardPlan, ShardStats};
+use kbqa_rdf::{NodeId, TripleStore};
+
+/// Panic payload carried when a lookup routes to a poisoned shard; the
+/// service downcasts it to attribute the failure to the right lane.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardPanic(pub usize);
+
+/// The shard router: plan + materialized shard stores + fault flags +
+/// telemetry lanes.
+///
+/// With a 1-shard plan the router is **degenerate**: no shard stores are
+/// materialized and the engine runs the plain single-store path — `--shards
+/// 1` is the PR4-baseline path, not a copy of the world.
+#[derive(Debug)]
+pub struct ShardRouter {
+    plan: ShardPlan,
+    stores: Vec<Arc<TripleStore>>,
+    faults: Vec<AtomicU8>,
+    stats: ShardStats,
+    obs: ShardObs,
+}
+
+impl ShardRouter {
+    /// Partition `store` per `plan` and build the router. A 1-shard plan
+    /// builds the degenerate router (no partitioning, no copies).
+    pub fn from_store(store: &TripleStore, plan: ShardPlan) -> Self {
+        if plan.shards() <= 1 {
+            return Self::degenerate(plan);
+        }
+        let (stores, stats) = partition(store, &plan);
+        Self::assemble(plan, stores.into_iter().map(Arc::new).collect(), stats)
+    }
+
+    /// A router over pre-built shard stores — the persist warm-start path
+    /// (per-shard snapshots map straight in, no re-partitioning).
+    pub fn from_stores(plan: ShardPlan, stores: Vec<Arc<TripleStore>>, stats: ShardStats) -> Self {
+        assert_eq!(
+            stores.len(),
+            plan.shards(),
+            "shard store count must match the plan"
+        );
+        Self::assemble(plan, stores, stats)
+    }
+
+    fn degenerate(plan: ShardPlan) -> Self {
+        Self {
+            plan,
+            stores: Vec::new(),
+            faults: (0..1).map(|_| AtomicU8::new(0)).collect(),
+            stats: ShardStats::default(),
+            obs: ShardObs::new(1),
+        }
+    }
+
+    fn assemble(plan: ShardPlan, stores: Vec<Arc<TripleStore>>, stats: ShardStats) -> Self {
+        let n = stores.len();
+        Self {
+            plan,
+            stores,
+            faults: (0..n).map(|_| AtomicU8::new(0)).collect(),
+            stats,
+            obs: ShardObs::new(n),
+        }
+    }
+
+    /// The plan this router materializes.
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// Balance/replication stats of the cut (empty for a degenerate
+    /// router).
+    pub fn stats(&self) -> &ShardStats {
+        &self.stats
+    }
+
+    /// Per-shard telemetry lanes + fan-out distribution.
+    pub fn obs(&self) -> &ShardObs {
+        &self.obs
+    }
+
+    /// Whether this is the 1-shard degenerate router (engine runs the
+    /// plain single-store path).
+    pub fn is_degenerate(&self) -> bool {
+        self.stores.is_empty()
+    }
+
+    /// Number of shards actually materialized (0 when degenerate).
+    pub fn shard_count(&self) -> usize {
+        self.stores.len()
+    }
+
+    /// The materialized shard stores, indexed by shard id.
+    pub fn stores(&self) -> &[Arc<TripleStore>] {
+        &self.stores
+    }
+
+    /// The shard store for shard `i`, fault-checked: panics with a typed
+    /// [`ShardPanic`] payload when the shard is poisoned — the simulated
+    /// equivalent of a dead shard worker mid-query.
+    #[inline]
+    pub fn shard_store(&self, i: usize) -> &TripleStore {
+        if self.faults[i].load(Ordering::Relaxed) != 0 {
+            std::panic::panic_any(ShardPanic(i));
+        }
+        &self.stores[i]
+    }
+
+    /// The owner shard of `entity` under the plan.
+    #[inline]
+    pub fn owner(&self, entity: NodeId) -> usize {
+        self.plan.owner(entity)
+    }
+
+    /// Poison shard `i`: subsequent lookups routed there panic (and are
+    /// isolated by the service). Fault-injection/testing surface.
+    pub fn inject_fault(&self, i: usize) {
+        self.faults[i].store(1, Ordering::Relaxed);
+    }
+
+    /// Heal a poisoned shard.
+    pub fn heal(&self, i: usize) {
+        self.faults[i].store(0, Ordering::Relaxed);
+    }
+
+    /// Whether shard `i` is currently poisoned.
+    pub fn is_poisoned(&self, i: usize) -> bool {
+        self.faults
+            .get(i)
+            .map(|f| f.load(Ordering::Relaxed) != 0)
+            .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kbqa_rdf::GraphBuilder;
+
+    fn store() -> TripleStore {
+        let mut b = GraphBuilder::new();
+        for i in 0..20 {
+            let c = b.resource(&format!("e{i}"));
+            b.name(c, &format!("Entity {i}"));
+            b.fact_int(c, "population", i64::from(i));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn one_shard_plan_is_degenerate() {
+        let router = ShardRouter::from_store(&store(), ShardPlan::new(1));
+        assert!(router.is_degenerate());
+        assert_eq!(router.shard_count(), 0);
+        assert_eq!(router.obs().shards(), 1);
+    }
+
+    #[test]
+    fn poisoned_shard_panics_with_typed_payload() {
+        let router = ShardRouter::from_store(&store(), ShardPlan::new(2));
+        assert!(!router.is_poisoned(1));
+        router.inject_fault(1);
+        assert!(router.is_poisoned(1));
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            router.shard_store(1);
+        }))
+        .unwrap_err();
+        let panic = err.downcast_ref::<ShardPanic>().expect("typed payload");
+        assert_eq!(panic.0, 1);
+        router.heal(1);
+        let _ = router.shard_store(1);
+    }
+
+    #[test]
+    fn shard_stores_carry_adjacency_indexes() {
+        let router = ShardRouter::from_store(&store(), ShardPlan::new(4));
+        for s in router.stores() {
+            assert!(s.has_adjacency_index());
+        }
+    }
+}

@@ -33,6 +33,7 @@ pub mod mmap;
 pub mod ntriples;
 pub mod path;
 pub mod query;
+pub mod shard;
 pub mod snapshot;
 pub mod stats;
 pub mod store;
@@ -44,6 +45,7 @@ pub use builder::GraphBuilder;
 pub use columnar::ColsView;
 pub use dictionary::{DictRef, Dictionary};
 pub use path::ExpandedPredicate;
+pub use shard::{ShardPlan, ShardStat, ShardStats};
 pub use snapshot::Snapshot;
 pub use stats::StoreStats;
 pub use store::TripleStore;

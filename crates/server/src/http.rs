@@ -136,6 +136,11 @@ pub struct ServerConfig {
     /// Slots in the slow-query log served at `GET /debug/slow` (clamped to
     /// ≥ 1).
     pub slow_log_capacity: usize,
+    /// Shard the serving store N ways at startup (`0` = leave the service
+    /// as built; `1` = the degenerate single-store router, carrying shard
+    /// telemetry on the plain path). Services that already carry a shard
+    /// router — e.g. warm-started from a sharded bundle — are left alone.
+    pub shards: usize,
 }
 
 impl Default for ServerConfig {
@@ -156,6 +161,7 @@ impl Default for ServerConfig {
             model_path: None,
             trace_sample_every: 16,
             slow_log_capacity: 16,
+            shards: 0,
         }
     }
 }
@@ -178,6 +184,7 @@ impl ServerConfig {
     /// | `KBQA_MODEL_PATH`          | `model_path`         |
     /// | `KBQA_TRACE_SAMPLE_EVERY`  | `trace_sample_every` |
     /// | `KBQA_SLOW_LOG_CAPACITY`   | `slow_log_capacity`  |
+    /// | `KBQA_SHARDS`              | `shards`             |
     ///
     /// Unset or unparsable variables keep the default; an empty
     /// `KBQA_ADMIN_TOKEN` stays disabled (an empty shared secret would gate
@@ -219,6 +226,9 @@ impl ServerConfig {
         }
         if let Some(v) = parsed("KBQA_SLOW_LOG_CAPACITY") {
             config.slow_log_capacity = v;
+        }
+        if let Some(v) = parsed("KBQA_SHARDS") {
+            config.shards = v;
         }
         if let Ok(token) = std::env::var("KBQA_ADMIN_TOKEN") {
             if !token.trim().is_empty() {
@@ -367,6 +377,13 @@ pub fn serve(
         config.trace_sample_every,
     ));
     let service = service.with_observability(observability);
+    // `KBQA_SHARDS` / `config.shards` partitions at startup; a service that
+    // already carries a router (warm-started from a sharded bundle) wins.
+    let service = if config.shards > 0 && service.shard_router().is_none() {
+        service.with_shards(kbqa_core::ShardPlan::new(config.shards))
+    } else {
+        service
+    };
     let shared = Arc::new(Shared {
         state: AppState {
             service,
@@ -1609,6 +1626,10 @@ fn metrics_snapshot(state: &AppState) -> MetricsSnapshot {
     snapshot.store_backend = store.backend_kind().as_str().to_string();
     snapshot.store_triples = store.len() as u64;
     snapshot.model_epoch = state.service.model_epoch();
+    snapshot.shards = state
+        .service
+        .shard_router()
+        .map(|router| router.obs().snapshot());
     snapshot
 }
 

@@ -41,6 +41,7 @@ pub struct Metrics {
     refused_no_template: AtomicU64,
     refused_no_predicate: AtomicU64,
     refused_empty_values: AtomicU64,
+    refused_shard_unavailable: AtomicU64,
     requests_shed: AtomicU64,
     requests_shed_by_route: AtomicU64,
     admin_reloads: AtomicU64,
@@ -80,6 +81,7 @@ impl Metrics {
             refused_no_template: AtomicU64::new(0),
             refused_no_predicate: AtomicU64::new(0),
             refused_empty_values: AtomicU64::new(0),
+            refused_shard_unavailable: AtomicU64::new(0),
             requests_shed: AtomicU64::new(0),
             requests_shed_by_route: AtomicU64::new(0),
             admin_reloads: AtomicU64::new(0),
@@ -182,6 +184,7 @@ impl Metrics {
             Some(Refusal::NoEntityGrounded) => &self.refused_no_entity,
             Some(Refusal::NoTemplateMatched) => &self.refused_no_template,
             Some(Refusal::NoPredicateAboveTheta) => &self.refused_no_predicate,
+            Some(Refusal::ShardUnavailable) => &self.refused_shard_unavailable,
             // `answered()` is false with no refusal only for a malformed
             // response; fold it into the terminal cause rather than
             // inventing a fifth family.
@@ -211,6 +214,7 @@ impl Metrics {
             refused_no_template: self.refused_no_template.load(Ordering::Relaxed),
             refused_no_predicate: self.refused_no_predicate.load(Ordering::Relaxed),
             refused_empty_values: self.refused_empty_values.load(Ordering::Relaxed),
+            refused_shard_unavailable: self.refused_shard_unavailable.load(Ordering::Relaxed),
             requests_shed: self.requests_shed.load(Ordering::Relaxed),
             requests_shed_by_route: self.requests_shed_by_route.load(Ordering::Relaxed),
             admin_reloads: self.admin_reloads.load(Ordering::Relaxed),
@@ -223,6 +227,7 @@ impl Metrics {
             store_backend: String::new(),
             store_triples: 0,
             model_epoch: 0,
+            shards: None,
         }
     }
 }
@@ -262,6 +267,10 @@ pub struct MetricsSnapshot {
     /// Refusals at value lookup — empty `V(e, p)` (pipeline step 4).
     #[serde(default)]
     pub refused_empty_values: u64,
+    /// Refusals because a shard was unavailable mid-query (the router
+    /// isolated a shard panic).
+    #[serde(default)]
+    pub refused_shard_unavailable: u64,
     /// Connections shed with 429 by **connection-level** admission control
     /// at accept time (also counted in `responses_4xx`, never in
     /// `requests_total`: no request was parsed).
@@ -301,6 +310,13 @@ pub struct MetricsSnapshot {
     /// Current model epoch (filled by the HTTP layer).
     #[serde(default)]
     pub model_epoch: u64,
+    /// Per-shard serving telemetry (filled by the HTTP layer when the
+    /// service serves sharded; `null` otherwise). Deliberately NOT
+    /// `skip_serializing_if`: the vendored serde_derive reads any serde
+    /// attribute containing `skip` as a full `#[serde(skip)]` and would
+    /// drop the field from the wire entirely.
+    #[serde(default)]
+    pub shards: Option<kbqa_obs::ShardObsSnapshot>,
 }
 
 impl MetricsSnapshot {
@@ -379,6 +395,7 @@ impl MetricsSnapshot {
             ("no_template_matched", self.refused_no_template),
             ("no_predicate_above_theta", self.refused_no_predicate),
             ("empty_value_set", self.refused_empty_values),
+            ("shard_unavailable", self.refused_shard_unavailable),
         ] {
             w.sample("kbqa_refusals_total", &[("cause", cause)], count as f64);
         }
@@ -484,6 +501,9 @@ impl MetricsSnapshot {
             "Current model epoch.",
             self.model_epoch as f64,
         );
+        if let Some(shards) = &self.shards {
+            shards.write_prometheus(&mut w);
+        }
         w.finish()
     }
 }
@@ -545,15 +565,17 @@ mod tests {
             Refusal::NoTemplateMatched,
             Refusal::NoPredicateAboveTheta,
             Refusal::EmptyValueSet,
+            Refusal::ShardUnavailable,
         ] {
             m.record_outcome(&QaResponse::refused(refusal));
         }
         let snap = m.snapshot();
-        assert_eq!((snap.answered, snap.refused), (1, 5));
+        assert_eq!((snap.answered, snap.refused), (1, 6));
         assert_eq!(snap.refused_no_entity, 2);
         assert_eq!(snap.refused_no_template, 1);
         assert_eq!(snap.refused_no_predicate, 1);
         assert_eq!(snap.refused_empty_values, 1);
+        assert_eq!(snap.refused_shard_unavailable, 1);
     }
 
     #[test]
@@ -575,11 +597,18 @@ mod tests {
         let mut snap = m.snapshot();
         snap.store_backend = "mmap".to_string();
         snap.store_triples = 1234;
+        let shard_obs = kbqa_obs::ShardObs::new(2);
+        shard_obs.lane(1).record_query();
+        shard_obs.record_fanout(1);
+        snap.shards = Some(shard_obs.snapshot());
         let text = snap.to_prometheus();
         validate_exposition(&text).expect("exposition must be valid");
         for family in [
             "kbqa_http_requests_total",
             "kbqa_refusals_total{cause=\"no_template_matched\"} 1",
+            "kbqa_refusals_total{cause=\"shard_unavailable\"} 0",
+            "kbqa_shard_queries_total{shard=\"1\"} 1",
+            "kbqa_shard_fanout_total{shards=\"1\"} 1",
             "kbqa_request_latency_seconds_bucket{route=\"answer\",le=\"+Inf\"} 1",
             "kbqa_stage_latency_seconds_bucket{stage=\"value_lookup\",le=\"0.0001\"} 1",
             "kbqa_cache_events_total{event=\"hit\"} 0",

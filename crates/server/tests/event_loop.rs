@@ -505,6 +505,131 @@ fn soak_256_keep_alive_connections_mixed_routes() {
     server.shutdown();
 }
 
+/// 64 keep-alive connections through the SHARDED scatter-gather router
+/// (PR 8): a real learned service partitioned into 4 shards via
+/// `ServerConfig::shards`, mixed `/answer` + `/batch` + `/healthz` traffic,
+/// zero 5xx, and the per-shard telemetry visible in `/metrics`.
+#[test]
+#[ignore = "soak: run explicitly with --ignored (CI does, in release mode)"]
+fn soak_sharded_64_connections_through_the_router() {
+    use kbqa_core::learner::{Learner, LearnerConfig};
+    use kbqa_corpus::{CorpusConfig, QaCorpus, World, WorldConfig};
+    use kbqa_nlp::GazetteerNer;
+
+    const CONNECTIONS: usize = 64;
+    const ROUNDS: usize = 24;
+
+    let world = World::generate(WorldConfig::tiny(42));
+    let corpus = QaCorpus::generate(&world, &CorpusConfig::with_pairs(1, 400));
+    let ner = Arc::new(GazetteerNer::from_store(&world.store));
+    let learner = Learner::new(
+        &world.store,
+        &world.conceptualizer,
+        &ner,
+        &world.predicate_classes,
+    );
+    let pairs: Vec<(&str, &str)> = corpus
+        .pairs
+        .iter()
+        .map(|p| (p.question.as_str(), p.answer.as_str()))
+        .collect();
+    let (model, _) = learner.learn(&pairs, &LearnerConfig::default());
+    let service = KbqaService::builder(
+        Arc::clone(&world.store),
+        Arc::clone(&world.conceptualizer),
+        Arc::new(model),
+    )
+    .ner(ner)
+    .build();
+
+    let mut seen = std::collections::HashSet::new();
+    let questions: Vec<String> = corpus
+        .pairs
+        .iter()
+        .map(|p| p.question.clone())
+        .filter(|q| seen.insert(q.clone()))
+        .take(CONNECTIONS)
+        .collect();
+    assert!(questions.len() >= CONNECTIONS, "need a question per client");
+
+    let config = ServerConfig {
+        shards: 4,
+        event_loops: 2,
+        max_pending: 256,
+        read_timeout: Duration::from_secs(30),
+        request_timeout: Duration::from_secs(60),
+        ..ServerConfig::default()
+    };
+    let server = serve(service, "127.0.0.1:0", config).expect("bind ephemeral port");
+    let addr = server.local_addr();
+
+    let barrier = Arc::new(Barrier::new(CONNECTIONS));
+    let served = Arc::new(AtomicUsize::new(0));
+    std::thread::scope(|scope| {
+        for i in 0..CONNECTIONS {
+            let barrier = Arc::clone(&barrier);
+            let served = Arc::clone(&served);
+            let question = questions[i].clone();
+            let other = questions[(i + 7) % questions.len()].clone();
+            scope.spawn(move || {
+                let mut stream = TcpStream::connect(addr).expect("connect");
+                stream
+                    .set_read_timeout(Some(Duration::from_secs(120)))
+                    .unwrap();
+                barrier.wait();
+                for round in 0..ROUNDS {
+                    let close = round + 1 == ROUNDS;
+                    let quoted = |q: &str| serde_json::to_string(q).expect("quote question");
+                    let wire = match (i + round) % 3 {
+                        0 => request_bytes(
+                            "POST",
+                            "/answer",
+                            &format!("{{\"question\":{}}}", quoted(&question)),
+                            close,
+                        ),
+                        1 => request_bytes(
+                            "POST",
+                            "/batch",
+                            &format!(
+                                "[{{\"question\":{}}},{{\"question\":{}}}]",
+                                quoted(&question),
+                                quoted(&other)
+                            ),
+                            close,
+                        ),
+                        _ => request_bytes("GET", "/healthz", "", close),
+                    };
+                    stream.write_all(&wire).expect("write request");
+                    let (status, _, _) = read_response(&mut stream);
+                    assert_eq!(status, 200, "connection {i} round {round}");
+                    served.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+
+    assert_eq!(served.load(Ordering::Relaxed), CONNECTIONS * ROUNDS);
+    let snap = metrics(addr);
+    assert_eq!(snap.responses_5xx, 0, "{snap:?}");
+    assert_eq!(snap.refused_shard_unavailable, 0, "{snap:?}");
+    let shards = snap.shards.as_ref().expect("sharded metrics section");
+    assert_eq!(shards.lanes.len(), 4);
+    assert!(
+        shards.lanes.iter().map(|l| l.queries).sum::<u64>() > 0,
+        "no question was ever attributed to a shard lane: {shards:?}"
+    );
+    assert_eq!(
+        shards.lanes.iter().map(|l| l.failures).sum::<u64>(),
+        0,
+        "{shards:?}"
+    );
+    assert!(
+        shards.fanout.iter().skip(1).sum::<u64>() > 0,
+        "no routed fan-out recorded: {shards:?}"
+    );
+    server.shutdown();
+}
+
 /// Above the admission bound, excess connections get a correct
 /// `429` + `Retry-After` at accept time; admitted ones are served.
 #[test]

@@ -108,10 +108,13 @@ pub mod prelude {
     pub use kbqa_core::service::{
         KbqaService, ModelHandle, QaRequest, QaResponse, QaSystem, Refusal, ServiceSnapshot,
     };
+    pub use kbqa_core::shard::{ShardPanic, ShardRouter};
     pub use kbqa_core::template::{Template, TemplateCatalog};
     pub use kbqa_corpus::{benchmark, CorpusConfig, QaCorpus, World, WorldConfig};
     pub use kbqa_nlp::{tokenize, GazetteerNer};
     pub use kbqa_obs::{Observability, Stage, StageBreakdown, StageStats, StageTrace};
-    pub use kbqa_rdf::{ExpandedPredicate, GraphBuilder, TripleStore};
+    pub use kbqa_rdf::{
+        ExpandedPredicate, GraphBuilder, ShardPlan, ShardStat, ShardStats, TripleStore,
+    };
     pub use kbqa_taxonomy::Conceptualizer;
 }
