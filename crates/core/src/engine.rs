@@ -299,6 +299,10 @@ pub struct QaEngine<'a> {
     /// scatter half of scatter-gather); everything else stays global. See
     /// [`crate::shard::ShardRouter`].
     shards: Option<&'a crate::shard::ShardRouter>,
+    /// The model epoch value lookups are pinned to when the router's lanes
+    /// are remote workers (the two-phase reload refuses a mixed-epoch
+    /// merge); irrelevant to local lanes.
+    shard_epoch: u64,
     config: EngineConfig,
 }
 
@@ -318,6 +322,7 @@ impl<'a> QaEngine<'a> {
             ner: Cow::Owned(GazetteerNer::from_store(store)),
             pattern_index: None,
             shards: None,
+            shard_epoch: 0,
             config: EngineConfig::default(),
         }
     }
@@ -337,6 +342,7 @@ impl<'a> QaEngine<'a> {
             ner: Cow::Borrowed(ner),
             pattern_index: None,
             shards: None,
+            shard_epoch: 0,
             config: EngineConfig::default(),
         }
     }
@@ -352,6 +358,14 @@ impl<'a> QaEngine<'a> {
     /// are byte-identical to the unsharded kernel.
     pub fn with_shards(mut self, router: &'a crate::shard::ShardRouter) -> Self {
         self.shards = Some(router);
+        self
+    }
+
+    /// Pin remote value lookups to `epoch` (the snapshot's model epoch).
+    /// Workers refuse an epoch they have not committed, so a two-phase
+    /// reload can never mix epochs within one request or batch.
+    pub fn with_shard_epoch(mut self, epoch: u64) -> Self {
+        self.shard_epoch = epoch;
         self
     }
 
@@ -398,6 +412,7 @@ impl<'a> QaEngine<'a> {
             ner: Cow::Borrowed(self.ner.as_ref()),
             pattern_index: self.pattern_index.as_deref().map(Cow::Borrowed),
             shards: self.shards,
+            shard_epoch: self.shard_epoch,
             config,
         }
     }
@@ -641,7 +656,7 @@ impl<'a> QaEngine<'a> {
                             // model can intern them) fall back to the
                             // global store so correctness never depends on
                             // closure depth.
-                            let lookup_store = match self.shards {
+                            match self.shards {
                                 Some(router)
                                     if !router.is_degenerate()
                                         && path.len() <= router.plan().closure_depth() =>
@@ -651,17 +666,19 @@ impl<'a> QaEngine<'a> {
                                     if *shard_primary == u32::MAX {
                                         *shard_primary = owner as u32;
                                     }
-                                    router.shard_store(owner)
+                                    router.lookup_into(
+                                        owner,
+                                        entity,
+                                        path,
+                                        self.shard_epoch,
+                                        path_ws,
+                                        values,
+                                    );
                                 }
-                                _ => self.store,
-                            };
-                            kbqa_rdf::path::objects_via_path_into(
-                                lookup_store,
-                                entity,
-                                path,
-                                path_ws,
-                                values,
-                            );
+                                _ => kbqa_rdf::path::objects_via_path_into(
+                                    self.store, entity, path, path_ws, values,
+                                ),
+                            }
                             let end = values.len() as u32;
                             value_cache.insert((entity, pred), (start, end));
                             trace.lap(Stage::ValueLookup);

@@ -260,6 +260,34 @@ struct BundleManifest {
     shard_stats: Option<ShardStats>,
 }
 
+/// Read just the shard plan (and cut stats) out of a bundle's manifest —
+/// what the server's supervisor needs to spawn one worker per shard
+/// without mapping any snapshot itself. Returns `Ok(None)` for an
+/// unsharded bundle or a pre-manifest directory. Verifies each listed
+/// `store.shard-{i}.snap` exists (the workers will map them) but leaves
+/// digest checking to the workers' own snapshot/sidecar validation.
+pub fn load_shard_manifest(dir: &Path) -> Result<Option<(ShardPlan, ShardStats)>> {
+    let manifest_path = dir.join(MANIFEST_FILE);
+    if !manifest_path.exists() {
+        return Ok(None);
+    }
+    let manifest: BundleManifest = load_json(&manifest_path)?;
+    let Some(plan) = manifest.shard_plan else {
+        return Ok(None);
+    };
+    for i in 0..plan.shards() {
+        let path = dir.join(shard_store_file(i));
+        if !path.exists() {
+            return Err(KbqaError::Io(format!(
+                "bundle manifest declares {} shards but {} is missing",
+                plan.shards(),
+                path.display()
+            )));
+        }
+    }
+    Ok(Some((plan, manifest.shard_stats.unwrap_or_default())))
+}
+
 /// Everything a serving process needs to answer questions, as one bundle.
 ///
 /// `store`, `conceptualizer` and `model` are mandatory; `ner` and
@@ -294,9 +322,13 @@ impl ServingArtifacts {
             pattern_index: service.pattern_index_shared(),
             // A degenerate (1-shard) router carries no stores — nothing to
             // persist; warm start re-attaches it from KBQA_SHARDS=1 alone.
+            // A remote router's stores live in its worker processes: the
+            // bundle they were spawned from already holds the shard
+            // snapshots, so persisting from this side would record a plan
+            // with no files.
             shards: service
                 .shard_router()
-                .filter(|r| !r.is_degenerate())
+                .filter(|r| !r.is_degenerate() && r.is_local())
                 .map(Arc::clone),
         }
     }
@@ -335,7 +367,11 @@ impl ServingArtifacts {
         }
         let mut shard_plan = None;
         let mut shard_stats = None;
-        if let Some(router) = self.shards.as_deref().filter(|r| !r.is_degenerate()) {
+        if let Some(router) = self
+            .shards
+            .as_deref()
+            .filter(|r| !r.is_degenerate() && r.is_local())
+        {
             for (i, store) in router.stores().iter().enumerate() {
                 let name = shard_store_file(i);
                 files.insert(name.clone(), save_store(store, &dir.join(name))?);

@@ -261,6 +261,14 @@ pub struct QaRequest {
     /// requests differing only by ID are the same question.
     #[serde(default)]
     pub request_id: Option<u64>,
+    /// Minimum model epoch the caller will accept. The server rejects the
+    /// request with HTTP 409 when the serving epoch is below this — the
+    /// read-your-reloads guard for clients that just observed a
+    /// `/admin/reload`. **Not** part of the cache key: a request that
+    /// passes the gate is answered identically to one without the pin
+    /// (the epoch already prefixes every cache key).
+    #[serde(default)]
+    pub min_epoch: Option<u64>,
 }
 
 impl QaRequest {
@@ -273,6 +281,7 @@ impl QaRequest {
             decompose: None,
             explain: false,
             request_id: None,
+            min_epoch: None,
         }
     }
 
@@ -303,6 +312,13 @@ impl QaRequest {
     /// Tag the request with a correlation ID (see [`QaRequest::request_id`]).
     pub fn with_request_id(mut self, id: u64) -> Self {
         self.request_id = Some(id);
+        self
+    }
+
+    /// Refuse to be answered below model epoch `epoch` (see
+    /// [`QaRequest::min_epoch`]).
+    pub fn with_min_epoch(mut self, epoch: u64) -> Self {
+        self.min_epoch = Some(epoch);
         self
     }
 
@@ -596,7 +612,9 @@ impl ServiceSnapshot {
             engine = engine.with_pattern_index_ref(index);
         }
         if let Some(router) = self.router() {
-            engine = engine.with_shards(router);
+            engine = engine
+                .with_shards(router)
+                .with_shard_epoch(self.model_epoch);
         }
         engine
     }
@@ -911,6 +929,17 @@ impl KbqaService {
     pub fn with_shards(&self, plan: ShardPlan) -> Self {
         Self {
             shards: Some(Arc::new(ShardRouter::from_store(&self.store, plan))),
+            ..self.clone()
+        }
+    }
+
+    /// A sibling service scatter-gathering through `router` — how the
+    /// server attaches the remote (multi-process worker) router built by
+    /// its supervisor over the same substrate. Shares the [`ModelHandle`]
+    /// with `self`.
+    pub fn with_shard_router(&self, router: Arc<ShardRouter>) -> Self {
+        Self {
+            shards: Some(router),
             ..self.clone()
         }
     }

@@ -1,0 +1,57 @@
+//! `kbqa-shardd` — one shard worker process.
+//!
+//! Spawned and supervised by `kbqa-server` (see
+//! `kbqa_server::supervisor`): maps one `store.shard-{i}.snap` read-only
+//! and serves the shard wire protocol on a unix socket until told to
+//! terminate. Never run by hand in production; for debugging:
+//!
+//! ```text
+//! kbqa-shardd --shard 0 --snapshot bundle/store.shard-0.snap \
+//!             --socket /tmp/shard-0.sock --epoch 0
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use kbqa_core::shardworker::{run, WorkerConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: kbqa-shardd --shard <i> --snapshot <store.shard-i.snap> \
+         --socket <path.sock> [--epoch <n>]"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut shard: Option<usize> = None;
+    let mut snapshot: Option<PathBuf> = None;
+    let mut socket: Option<PathBuf> = None;
+    let mut epoch: u64 = 0;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let Some(value) = args.next() else { usage() };
+        match flag.as_str() {
+            "--shard" => shard = value.parse().ok(),
+            "--snapshot" => snapshot = Some(PathBuf::from(value)),
+            "--socket" => socket = Some(PathBuf::from(value)),
+            "--epoch" => epoch = value.parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+    }
+    let (Some(shard), Some(snapshot), Some(socket)) = (shard, snapshot, socket) else {
+        usage()
+    };
+    match run(WorkerConfig {
+        shard,
+        snapshot,
+        socket,
+        epoch,
+    }) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("kbqa-shardd[{shard}]: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

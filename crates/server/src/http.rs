@@ -80,6 +80,7 @@ use crate::epoll::{
     Epoll, EpollEvent, WakeFd, EPOLLERR, EPOLLEXCLUSIVE, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP,
 };
 use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::supervisor::{splitmix64, Supervisor, SupervisorConfig};
 
 /// Server tuning knobs.
 #[derive(Clone, Debug)]
@@ -141,6 +142,48 @@ pub struct ServerConfig {
     /// telemetry on the plain path). Services that already carry a shard
     /// router — e.g. warm-started from a sharded bundle — are left alone.
     pub shards: usize,
+    /// Non-zero switches shard serving **out of process**: one supervised
+    /// `kbqa-shardd` worker per shard of the bundle's plan (the value only
+    /// enables the tier; the worker count always comes from the bundle
+    /// manifest). Requires [`ServerConfig::bundle_dir`]. Takes precedence
+    /// over [`ServerConfig::shards`]; services already carrying a router
+    /// are left alone.
+    pub shard_workers: usize,
+    /// Directory of the serving bundle (`manifest.json` +
+    /// `store.shard-{i}.snap`) the shard workers map. Required when
+    /// `shard_workers > 0`.
+    pub bundle_dir: Option<PathBuf>,
+    /// Path of the `kbqa-shardd` worker binary. `None` defaults to a
+    /// sibling of the current executable named `kbqa-shardd`.
+    pub shardd_path: Option<PathBuf>,
+    /// Directory for worker unix sockets. `None` defaults to a
+    /// per-process subdirectory of the system temp dir.
+    pub worker_socket_dir: Option<PathBuf>,
+    /// `GET /healthz` reports `"degraded"` with HTTP 503 when more than
+    /// this many shard workers are not `up`. The default `0` means any
+    /// down worker flips health — load balancers drain the replica while
+    /// the supervisor restarts the shard.
+    pub health_max_degraded: usize,
+    /// Upper bound of the deterministic per-connection jitter added to the
+    /// `Retry-After` of shed responses: clients see `retry_after_secs +
+    /// hash(connection) % (jitter + 1)`, spreading the retry herd instead
+    /// of synchronizing it. `0` (the default) keeps the exact configured
+    /// value.
+    pub retry_after_jitter_secs: u64,
+    /// Supervisor monitor tick / worker ping cadence.
+    pub worker_heartbeat_ms: u64,
+    /// Per-lookup wall-clock budget on a shard worker (covers retries);
+    /// also the per-ping reply deadline.
+    pub worker_deadline_ms: u64,
+    /// Transient-error retries per worker lookup.
+    pub worker_retries: u32,
+    /// Worker crashes tolerated per breaker window before the shard is
+    /// parked (crash-loop containment).
+    pub worker_breaker_max_restarts: u32,
+    /// Sliding window for the crash-loop breaker.
+    pub worker_breaker_window_ms: u64,
+    /// Grace between the clean `Terminate` frame and SIGKILL at shutdown.
+    pub worker_terminate_grace_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -162,6 +205,18 @@ impl Default for ServerConfig {
             trace_sample_every: 16,
             slow_log_capacity: 16,
             shards: 0,
+            shard_workers: 0,
+            bundle_dir: None,
+            shardd_path: None,
+            worker_socket_dir: None,
+            health_max_degraded: 0,
+            retry_after_jitter_secs: 0,
+            worker_heartbeat_ms: 200,
+            worker_deadline_ms: 500,
+            worker_retries: 1,
+            worker_breaker_max_restarts: 5,
+            worker_breaker_window_ms: 30_000,
+            worker_terminate_grace_ms: 2_000,
         }
     }
 }
@@ -185,6 +240,18 @@ impl ServerConfig {
     /// | `KBQA_TRACE_SAMPLE_EVERY`  | `trace_sample_every` |
     /// | `KBQA_SLOW_LOG_CAPACITY`   | `slow_log_capacity`  |
     /// | `KBQA_SHARDS`              | `shards`             |
+    /// | `KBQA_SHARD_WORKERS`       | `shard_workers`      |
+    /// | `KBQA_BUNDLE_DIR`          | `bundle_dir`         |
+    /// | `KBQA_SHARDD_PATH`         | `shardd_path`        |
+    /// | `KBQA_WORKER_SOCKET_DIR`   | `worker_socket_dir`  |
+    /// | `KBQA_HEALTH_MAX_DEGRADED` | `health_max_degraded`|
+    /// | `KBQA_RETRY_AFTER_JITTER_SECS` | `retry_after_jitter_secs` |
+    /// | `KBQA_WORKER_HEARTBEAT_MS` | `worker_heartbeat_ms`|
+    /// | `KBQA_WORKER_DEADLINE_MS`  | `worker_deadline_ms` |
+    /// | `KBQA_WORKER_RETRIES`      | `worker_retries`     |
+    /// | `KBQA_WORKER_BREAKER_MAX_RESTARTS` | `worker_breaker_max_restarts` |
+    /// | `KBQA_WORKER_BREAKER_WINDOW_MS` | `worker_breaker_window_ms` |
+    /// | `KBQA_WORKER_TERMINATE_GRACE_MS` | `worker_terminate_grace_ms` |
     ///
     /// Unset or unparsable variables keep the default; an empty
     /// `KBQA_ADMIN_TOKEN` stays disabled (an empty shared secret would gate
@@ -230,6 +297,44 @@ impl ServerConfig {
         if let Some(v) = parsed("KBQA_SHARDS") {
             config.shards = v;
         }
+        if let Some(v) = parsed("KBQA_SHARD_WORKERS") {
+            config.shard_workers = v;
+        }
+        if let Some(v) = parsed("KBQA_HEALTH_MAX_DEGRADED") {
+            config.health_max_degraded = v;
+        }
+        if let Some(v) = parsed("KBQA_RETRY_AFTER_JITTER_SECS") {
+            config.retry_after_jitter_secs = v;
+        }
+        if let Some(v) = parsed("KBQA_WORKER_HEARTBEAT_MS") {
+            config.worker_heartbeat_ms = v;
+        }
+        if let Some(v) = parsed("KBQA_WORKER_DEADLINE_MS") {
+            config.worker_deadline_ms = v;
+        }
+        if let Some(v) = parsed("KBQA_WORKER_RETRIES") {
+            config.worker_retries = v;
+        }
+        if let Some(v) = parsed("KBQA_WORKER_BREAKER_MAX_RESTARTS") {
+            config.worker_breaker_max_restarts = v;
+        }
+        if let Some(v) = parsed("KBQA_WORKER_BREAKER_WINDOW_MS") {
+            config.worker_breaker_window_ms = v;
+        }
+        if let Some(v) = parsed("KBQA_WORKER_TERMINATE_GRACE_MS") {
+            config.worker_terminate_grace_ms = v;
+        }
+        for (var, field) in [
+            ("KBQA_BUNDLE_DIR", &mut config.bundle_dir),
+            ("KBQA_SHARDD_PATH", &mut config.shardd_path),
+            ("KBQA_WORKER_SOCKET_DIR", &mut config.worker_socket_dir),
+        ] {
+            if let Ok(path) = std::env::var(var) {
+                if !path.trim().is_empty() {
+                    *field = Some(PathBuf::from(path.trim()));
+                }
+            }
+        }
         if let Ok(token) = std::env::var("KBQA_ADMIN_TOKEN") {
             if !token.trim().is_empty() {
                 config.admin_token = Some(token.trim().to_string());
@@ -263,6 +368,55 @@ impl ServerConfig {
             / 2)
         .clamp(1, 4)
     }
+
+    /// The supervisor tuning this server config implies. Errors when
+    /// `shard_workers > 0` but no bundle directory is configured.
+    fn supervisor_config(&self) -> io::Result<SupervisorConfig> {
+        let bundle_dir = self.bundle_dir.clone().ok_or_else(|| {
+            io::Error::other(
+                "KBQA_SHARD_WORKERS is set but KBQA_BUNDLE_DIR is not: shard workers \
+                 map their snapshots from the serving bundle",
+            )
+        })?;
+        let worker_binary = match &self.shardd_path {
+            Some(path) => path.clone(),
+            // The worker ships next to the server binary; a bare name
+            // falls back to $PATH resolution in Command::spawn.
+            None => std::env::current_exe()
+                .ok()
+                .and_then(|exe| Some(exe.parent()?.join("kbqa-shardd")))
+                .unwrap_or_else(|| PathBuf::from("kbqa-shardd")),
+        };
+        let socket_dir = self.worker_socket_dir.clone().unwrap_or_else(|| {
+            std::env::temp_dir().join(format!("kbqa-workers-{}", std::process::id()))
+        });
+        let deadline = Duration::from_millis(self.worker_deadline_ms.max(1));
+        Ok(SupervisorConfig {
+            bundle_dir,
+            worker_binary,
+            socket_dir,
+            heartbeat_interval: Duration::from_millis(self.worker_heartbeat_ms.max(1)),
+            heartbeat_timeout: deadline,
+            breaker_window: Duration::from_millis(self.worker_breaker_window_ms.max(1)),
+            breaker_max_restarts: self.worker_breaker_max_restarts,
+            lookup_deadline: deadline,
+            lookup_retries: self.worker_retries,
+            terminate_grace: Duration::from_millis(self.worker_terminate_grace_ms),
+            ..SupervisorConfig::default()
+        })
+    }
+}
+
+/// The `Retry-After` (seconds) for one shed response: the configured base
+/// plus a deterministic per-connection jitter in `[0, jitter]` hashed from
+/// `seed` — no wall-clock randomness, same connection same answer, but a
+/// herd of shed clients spreads instead of retrying in lockstep.
+fn jittered_retry_after(config: &ServerConfig, seed: u64) -> u64 {
+    let base = config.retry_after_secs.max(1);
+    if config.retry_after_jitter_secs == 0 {
+        return base;
+    }
+    base + splitmix64(seed) % (config.retry_after_jitter_secs + 1)
 }
 
 /// Everything the request handlers share.
@@ -310,6 +464,11 @@ struct Shared {
     loops: Vec<LoopShared>,
     workers: usize,
     config: ServerConfig,
+    /// The shard-worker supervision tier, when `shard_workers > 0`. Behind
+    /// a mutex so [`ServerHandle::stop`] can take it out for a deterministic
+    /// loops → workers → worker-processes shutdown order (in-flight
+    /// dispatched requests drain before any worker is terminated).
+    supervisor: Mutex<Option<Supervisor>>,
 }
 
 impl Shared {
@@ -331,6 +490,12 @@ impl Shared {
 
     fn is_shutdown(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst)
+    }
+
+    fn lock_supervisor(&self) -> std::sync::MutexGuard<'_, Option<Supervisor>> {
+        self.supervisor
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner())
     }
 }
 
@@ -377,12 +542,21 @@ pub fn serve(
         config.trace_sample_every,
     ));
     let service = service.with_observability(observability);
-    // `KBQA_SHARDS` / `config.shards` partitions at startup; a service that
-    // already carries a router (warm-started from a sharded bundle) wins.
-    let service = if config.shards > 0 && service.shard_router().is_none() {
-        service.with_shards(kbqa_core::ShardPlan::new(config.shards))
+    // Shard-serving topology, in precedence order: a router the service
+    // already carries (warm-started from a sharded bundle) wins; then
+    // `KBQA_SHARD_WORKERS` spawns the supervised out-of-process worker
+    // tier; then `KBQA_SHARDS` partitions in-process at startup.
+    let (service, supervisor) = if service.shard_router().is_some() {
+        (service, None)
+    } else if config.shard_workers > 0 {
+        let supervisor = Supervisor::start(config.supervisor_config()?, service.model_epoch())?;
+        let service = service.with_shard_router(supervisor.router());
+        (service, Some(supervisor))
+    } else if config.shards > 0 {
+        let service = service.with_shards(kbqa_core::ShardPlan::new(config.shards));
+        (service, None)
     } else {
-        service
+        (service, None)
     };
     let shared = Arc::new(Shared {
         state: AppState {
@@ -398,6 +572,7 @@ pub fn serve(
         loops: loop_shared,
         workers,
         config,
+        supervisor: Mutex::new(supervisor),
     });
 
     let mut worker_threads = Vec::with_capacity(workers);
@@ -459,6 +634,12 @@ impl ServerHandle {
         self.shared.available.notify_all();
         for handle in self.worker_threads.drain(..) {
             let _ = handle.join();
+        }
+        // Workers are drained: no in-flight request can still scatter to a
+        // shard, so the worker processes terminate last (clean `Terminate`
+        // frame, SIGKILL after the grace deadline).
+        if let Some(supervisor) = self.shared.lock_supervisor().take() {
+            supervisor.shutdown();
         }
     }
 }
@@ -1002,10 +1183,14 @@ impl EventLoop {
                 metrics.record_request();
                 metrics.record_route_shed();
                 metrics.record_response(429);
+                let generation = match self.conns.get(slot as usize) {
+                    Some(Some(conn)) => conn.generation,
+                    _ => 0,
+                };
                 let response = Response {
                     status: 429,
                     body: "{\"error\":\"server overloaded, retry later\"}".to_string(),
-                    retry_after: Some(config.retry_after_secs.max(1)),
+                    retry_after: Some(jittered_retry_after(config, conn_token(slot, generation))),
                     content_type: "application/json",
                 };
                 let keep_alive = self.response_keep_alive(slot, request.keep_alive());
@@ -1207,10 +1392,28 @@ fn shed(shared: &Shared, mut stream: TcpStream) {
     shared.state.metrics.record_response(429);
     let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
     let body = "{\"error\":\"server overloaded, retry later\"}";
+    // No connection slot exists yet at accept time, so the jitter seed is
+    // the peer address — still per-connection (the ephemeral port varies),
+    // still free of wall-clock randomness.
+    let seed = stream
+        .peer_addr()
+        .map(|addr| {
+            let ip = match addr.ip() {
+                std::net::IpAddr::V4(v4) => u64::from(u32::from(v4)),
+                std::net::IpAddr::V6(v6) => {
+                    let octets = v6.octets();
+                    let hi = u64::from_le_bytes(octets[..8].try_into().unwrap());
+                    let lo = u64::from_le_bytes(octets[8..].try_into().unwrap());
+                    hi ^ lo
+                }
+            };
+            ip ^ (u64::from(addr.port()) << 48)
+        })
+        .unwrap_or(0);
     let head = format!(
         "HTTP/1.1 429 Too Many Requests\r\nContent-Type: application/json\r\nContent-Length: {}\r\nRetry-After: {}\r\nConnection: close\r\n\r\n",
         body.len(),
-        shared.config.retry_after_secs.max(1),
+        jittered_retry_after(&shared.config, seed),
     );
     let _ = stream.write_all(head.as_bytes());
     let _ = stream.write_all(body.as_bytes());
@@ -1540,16 +1743,8 @@ fn route(shared: &Shared, request: &Request) -> Response {
         ("POST", "/answer") => handle_answer(state, &request.body),
         ("POST", "/batch") => handle_batch(state, &request.body),
         ("POST", "/admin/reload") => handle_reload(shared, request),
-        ("GET", "/healthz") => {
-            let store = state.service.store();
-            Response::ok(format!(
-                "{{\"status\":\"ok\",\"model_epoch\":{},\"store_triples\":{},\"store_backend\":\"{}\"}}",
-                state.service.model_epoch(),
-                store.len(),
-                store.backend_kind().as_str()
-            ))
-        }
-        ("GET", "/metrics") => handle_metrics(state, request),
+        ("GET", "/healthz") => handle_healthz(shared),
+        ("GET", "/metrics") => handle_metrics(shared, request),
         ("GET", "/debug/slow") => handle_slow(shared, request),
         ("GET", "/cache/stats") => {
             let mut stats = state.cache.stats();
@@ -1566,6 +1761,42 @@ fn route(shared: &Shared, request: &Request) -> Response {
     };
     state.metrics.record_response(response.status);
     response
+}
+
+/// `GET /healthz`: liveness plus — when shard serving runs out of process —
+/// per-worker supervision state. `"ok"` turns `"degraded"` (HTTP 503, so a
+/// load balancer drains the replica) when more than
+/// [`ServerConfig::health_max_degraded`] workers are not `up`; parked and
+/// restarting shards are listed either way, with restart counts and
+/// heartbeat age.
+fn handle_healthz(shared: &Shared) -> Response {
+    let state = &shared.state;
+    let store = state.service.store();
+    let base = format!(
+        "\"model_epoch\":{},\"store_triples\":{},\"store_backend\":\"{}\"",
+        state.service.model_epoch(),
+        store.len(),
+        store.backend_kind().as_str()
+    );
+    let supervisor = shared.lock_supervisor();
+    let Some(supervisor) = supervisor.as_ref() else {
+        return Response::ok(format!("{{\"status\":\"ok\",{base}}}"));
+    };
+    let workers = supervisor.status();
+    let degraded = workers.iter().filter(|w| w.state != "up").count();
+    let healthy = degraded <= shared.config.health_max_degraded;
+    let status = if healthy { "ok" } else { "degraded" };
+    let workers_json = serde_json::to_string(&workers).unwrap_or_else(|_| "[]".to_string());
+    let body = format!(
+        "{{\"status\":\"{status}\",{base},\"degraded_shards\":{degraded},\
+         \"shard_workers\":{workers_json}}}"
+    );
+    Response {
+        status: if healthy { 200 } else { 503 },
+        body,
+        retry_after: None,
+        content_type: "application/json",
+    }
 }
 
 /// Constant-time string comparison for the admin token: a timing oracle on
@@ -1603,7 +1834,24 @@ fn handle_reload(shared: &Shared, request: &Request) -> Response {
     };
     match kbqa_core::persist::load_model(path) {
         Ok(model) => {
+            // Out-of-process sharding makes reload two-phase: stage the
+            // next epoch on every up worker, commit everywhere, and only
+            // then swap the model handle — no request can ever pin an
+            // epoch no worker has committed, and a batch never merges
+            // values from two epochs. Holding the supervisor lock across
+            // stage+swap serializes concurrent reloads.
+            let supervisor = shared.lock_supervisor();
+            if let Some(supervisor) = supervisor.as_ref() {
+                let next = shared.state.service.model_epoch() + 1;
+                if let Err(e) = supervisor.stage_and_commit(next) {
+                    return Response::error(
+                        500,
+                        &format!("two-phase shard epoch swap failed, old model keeps serving: {e}"),
+                    );
+                }
+            }
             let epoch = shared.state.service.swap_model(Arc::new(model));
+            drop(supervisor);
             shared.state.metrics.record_reload();
             Response::ok(format!(
                 "{{\"reloaded\":true,\"model_epoch\":{epoch},\"model_path\":{}}}",
@@ -1618,7 +1866,8 @@ fn handle_reload(shared: &Shared, request: &Request) -> Response {
 /// The counter snapshot enriched with everything only the serving layer
 /// knows: cache stats (with the epoch stamped, as at `/cache/stats`), the
 /// store gauges previously visible only at `/healthz`, and the model epoch.
-fn metrics_snapshot(state: &AppState) -> MetricsSnapshot {
+fn metrics_snapshot(shared: &Shared) -> MetricsSnapshot {
+    let state = &shared.state;
     let mut snapshot = state.metrics.snapshot();
     snapshot.cache = state.cache.stats();
     snapshot.cache.model_epoch = state.service.model_epoch();
@@ -1630,13 +1879,16 @@ fn metrics_snapshot(state: &AppState) -> MetricsSnapshot {
         .service
         .shard_router()
         .map(|router| router.obs().snapshot());
+    if let Some(supervisor) = shared.lock_supervisor().as_ref() {
+        snapshot.shard_workers = supervisor.status();
+    }
     snapshot
 }
 
 /// `GET /metrics`: the JSON snapshot by default; Prometheus text exposition
 /// when the client asks via `?format=prometheus` or `Accept: text/plain`.
-fn handle_metrics(state: &AppState, request: &Request) -> Response {
-    let snapshot = metrics_snapshot(state);
+fn handle_metrics(shared: &Shared, request: &Request) -> Response {
+    let snapshot = metrics_snapshot(shared);
     if request.wants_prometheus() {
         return Response::ok_text(snapshot.to_prometheus(), PROMETHEUS_CONTENT_TYPE);
     }
@@ -1694,6 +1946,20 @@ fn handle_answer(state: &AppState, body: &[u8]) -> Response {
         request.request_id = Some(state.metrics.next_request_id());
     }
     let snapshot = state.service.snapshot();
+    // Read-your-reload: a client that just drove `/admin/reload` may pin a
+    // floor epoch; a replica still serving below it answers 409 instead of
+    // silently serving stale answers.
+    if let Some(min_epoch) = request.min_epoch {
+        if snapshot.model_epoch() < min_epoch {
+            return Response::error(
+                409,
+                &format!(
+                    "serving model epoch {} is below requested min_epoch {min_epoch}",
+                    snapshot.model_epoch()
+                ),
+            );
+        }
+    }
     let key = snapshot.cache_key(&request);
     let mut cache_hit = true;
     let mut breakdown = None;
@@ -1750,6 +2016,20 @@ fn handle_batch(state: &AppState, body: &[u8]) -> Response {
     state.metrics.record_batch_request(requests.len());
 
     let snapshot = state.service.snapshot();
+    // The whole batch runs under one model epoch, so one member pinning a
+    // floor the snapshot cannot meet rejects the whole batch — mixed-epoch
+    // partial batches are exactly what `min_epoch` exists to prevent.
+    if let Some(min_epoch) = requests.iter().filter_map(|r| r.min_epoch).max() {
+        if snapshot.model_epoch() < min_epoch {
+            return Response::error(
+                409,
+                &format!(
+                    "serving model epoch {} is below requested min_epoch {min_epoch}",
+                    snapshot.model_epoch()
+                ),
+            );
+        }
+    }
     let keys: Vec<String> = requests.iter().map(|r| snapshot.cache_key(r)).collect();
     let mut responses: Vec<Option<Arc<QaResponse>>> =
         keys.iter().map(|key| state.cache.get(key)).collect();
@@ -1889,5 +2169,36 @@ mod tests {
         let token = conn_token(42, 0x1_0000_0007);
         assert_eq!((token & 0xFFFF_FFFF) as u32, 42);
         assert_eq!(token >> 32, 0x7);
+    }
+
+    #[test]
+    fn retry_after_jitter_is_off_by_default_and_bounded_when_on() {
+        let mut config = ServerConfig {
+            retry_after_secs: 9,
+            ..ServerConfig::default()
+        };
+        // Default: the exact configured value, whatever the seed.
+        for seed in 0..64 {
+            assert_eq!(jittered_retry_after(&config, seed), 9);
+        }
+        // With jitter: deterministic per seed, bounded to [base, base+jitter],
+        // and actually spread across connections.
+        config.retry_after_jitter_secs = 30;
+        let values: Vec<u64> = (0..64).map(|s| jittered_retry_after(&config, s)).collect();
+        for (seed, &v) in values.iter().enumerate() {
+            assert!((9..=39).contains(&v), "seed {seed}: {v} outside [9, 39]");
+            assert_eq!(
+                v,
+                jittered_retry_after(&config, seed as u64),
+                "deterministic"
+            );
+        }
+        let distinct: std::collections::BTreeSet<u64> = values.iter().copied().collect();
+        assert!(distinct.len() > 8, "jitter spreads the herd: {distinct:?}");
+        // Zero-base configs still send at least 1 second.
+        config.retry_after_secs = 0;
+        for seed in 0..16 {
+            assert!(jittered_retry_after(&config, seed) >= 1);
+        }
     }
 }

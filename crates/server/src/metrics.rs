@@ -228,6 +228,7 @@ impl Metrics {
             store_triples: 0,
             model_epoch: 0,
             shards: None,
+            shard_workers: Vec::new(),
         }
     }
 }
@@ -317,6 +318,11 @@ pub struct MetricsSnapshot {
     /// drop the field from the wire entirely.
     #[serde(default)]
     pub shards: Option<kbqa_obs::ShardObsSnapshot>,
+    /// Per-shard worker-process supervision state (filled by the HTTP
+    /// layer when the service runs multi-process shard workers; empty for
+    /// in-process sharding and unsharded serving).
+    #[serde(default)]
+    pub shard_workers: Vec<crate::supervisor::WorkerStatus>,
 }
 
 impl MetricsSnapshot {
@@ -503,6 +509,52 @@ impl MetricsSnapshot {
         );
         if let Some(shards) = &self.shards {
             shards.write_prometheus(&mut w);
+        }
+        if !self.shard_workers.is_empty() {
+            w.family(
+                "kbqa_shard_worker_restarts_total",
+                "Lifetime restarts per shard worker process.",
+                "counter",
+            );
+            w.family(
+                "kbqa_shard_worker_heartbeat_age_seconds",
+                "Seconds since the shard worker's last successful heartbeat.",
+                "gauge",
+            );
+            w.family(
+                "kbqa_shard_worker_up",
+                "1 when the shard worker is up, 0 while restarting or parked.",
+                "gauge",
+            );
+            w.family(
+                "kbqa_shard_worker_parked",
+                "1 when the crash-loop breaker has parked the shard worker.",
+                "gauge",
+            );
+            for worker in &self.shard_workers {
+                let shard = worker.shard.to_string();
+                let labels = [("shard", shard.as_str())];
+                w.sample(
+                    "kbqa_shard_worker_restarts_total",
+                    &labels,
+                    worker.restarts as f64,
+                );
+                w.sample(
+                    "kbqa_shard_worker_heartbeat_age_seconds",
+                    &labels,
+                    worker.heartbeat_age_ms as f64 / 1000.0,
+                );
+                w.sample(
+                    "kbqa_shard_worker_up",
+                    &labels,
+                    if worker.state == "up" { 1.0 } else { 0.0 },
+                );
+                w.sample(
+                    "kbqa_shard_worker_parked",
+                    &labels,
+                    if worker.state == "parked" { 1.0 } else { 0.0 },
+                );
+            }
         }
         w.finish()
     }

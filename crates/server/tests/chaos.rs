@@ -1,0 +1,760 @@
+//! Chaos suite for the multi-process shard-worker tier (PR 9).
+//!
+//! A healthy fleet of `kbqa-shardd` workers must be **byte-identical** to
+//! in-process sharding over the full 300+-question benchmark mix; an
+//! unhealthy one must degrade *typed* (every affected question answers
+//! `Refusal::ShardUnavailable` inside the lookup deadline, a batch never
+//! wedges) and recover to byte-identity once the supervisor restarts the
+//! worker. The faults injected here, in escalating nastiness:
+//!
+//! * `kill -9` mid-workload — crash detection, fast-fail, backoff restart;
+//! * `SIGSTOP` — a hung-not-dead worker: per-lookup deadlines bound
+//!   latency until heartbeat age trips the hang kill;
+//! * corrupted and truncated reply frames (worker-side chaos hooks) —
+//!   checksum detection plus bounded retry hide them entirely;
+//! * crash-looping worker — the breaker parks the shard and `/healthz`
+//!   turns 503 `degraded`;
+//! * two-phase `/admin/reload` under continuous batches — no batch ever
+//!   merges answers from two model epochs, `min_epoch` gates with 409;
+//! * shutdown under load — in-flight requests drain, worker processes are
+//!   reaped.
+//!
+//! Worker-spawning tests serialize on one lock: chaos hooks travel through
+//! process-global environment variables that spawned workers inherit.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::time::{Duration, Instant};
+
+use kbqa_core::persist::ServingArtifacts;
+use kbqa_core::service::{KbqaService, QaRequest, QaResponse, Refusal};
+use kbqa_core::ShardPlan;
+use kbqa_corpus::{benchmark, CorpusConfig, QaCorpus, World, WorldConfig};
+use kbqa_nlp::GazetteerNer;
+use kbqa_server::{serve, BackoffPolicy, ServerConfig, Supervisor, SupervisorConfig};
+
+const SHARDS: usize = 3;
+
+// ---------------------------------------------------------------------------
+// Fixture: one learned service, one saved sharded bundle
+// ---------------------------------------------------------------------------
+
+struct Fixture {
+    world: World,
+    corpus: QaCorpus,
+    /// The unsharded service (global store; supervisors attach routers to
+    /// clones of this).
+    service: KbqaService,
+    /// The in-process sharded twin — the byte-identity baseline.
+    sharded: KbqaService,
+    /// Bundle directory holding `manifest.json` + `store.shard-{i}.snap`.
+    bundle: PathBuf,
+}
+
+fn chaos_root() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("kbqa-chaos-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("chaos temp root");
+    dir
+}
+
+fn build_fixture() -> Fixture {
+    let world = World::generate(WorldConfig::tiny(42));
+    let corpus = QaCorpus::generate(&world, &CorpusConfig::with_pairs(1, 400));
+    let ner = Arc::new(GazetteerNer::from_store(&world.store));
+    let learner = kbqa_core::Learner::new(
+        &world.store,
+        &world.conceptualizer,
+        &ner,
+        &world.predicate_classes,
+    );
+    let pairs: Vec<(&str, &str)> = corpus
+        .pairs
+        .iter()
+        .map(|p| (p.question.as_str(), p.answer.as_str()))
+        .collect();
+    let (model, _) = learner.learn(&pairs, &kbqa_core::LearnerConfig::default());
+    let service = KbqaService::builder(
+        Arc::clone(&world.store),
+        Arc::clone(&world.conceptualizer),
+        Arc::new(model),
+    )
+    .ner(ner)
+    .build();
+    let sharded = service.with_shards(ShardPlan::new(SHARDS));
+    let bundle = chaos_root().join("bundle");
+    ServingArtifacts::from_service(&sharded)
+        .save(&bundle)
+        .expect("save sharded bundle");
+    Fixture {
+        world,
+        corpus,
+        service,
+        sharded,
+        bundle,
+    }
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(build_fixture)
+}
+
+/// ≥300 requests spanning corpus questions, QALD-like and
+/// WebQuestions-like benchmarks, the complex suite and refusal probes,
+/// cycling per-request overrides. `explain` stays off: stage timings are
+/// wall-clock and would break byte-comparison.
+fn request_set(f: &Fixture) -> Vec<QaRequest> {
+    let mut questions: Vec<String> = f
+        .corpus
+        .pairs
+        .iter()
+        .map(|p| p.question.clone())
+        .take(160)
+        .collect();
+    let qald = benchmark::qald_like(&f.world, "chaos-qald", 120, 90, 0.3, 7);
+    questions.extend(qald.questions.into_iter().map(|q| q.question));
+    let webq = benchmark::webquestions_like(&f.world, 120, 11);
+    questions.extend(webq.questions.into_iter().map(|q| q.question));
+    for complex in benchmark::complex_suite(&f.world) {
+        questions.push(complex.question);
+    }
+    questions.extend(
+        [
+            "",
+            "why is the sky blue",
+            "please enumerate the inhabitant count of somewhere",
+            "what is the meaning of life",
+        ]
+        .into_iter()
+        .map(str::to_owned),
+    );
+    assert!(questions.len() >= 300, "floor: {}", questions.len());
+    questions
+        .into_iter()
+        .enumerate()
+        .map(|(i, q)| {
+            let mut request = QaRequest::new(q);
+            match i % 4 {
+                1 => request.top_k = Some(1),
+                2 => {
+                    request.top_k = Some(12);
+                    request.min_theta = Some(0.0);
+                }
+                3 => request.decompose = Some(false),
+                _ => {}
+            }
+            request
+        })
+        .collect()
+}
+
+/// Baseline answers from the in-process sharded twin, serialized — the
+/// byte-identity reference every chaos test compares against.
+fn baselines() -> &'static Vec<String> {
+    static BASELINES: OnceLock<Vec<String>> = OnceLock::new();
+    BASELINES.get_or_init(|| {
+        let f = fixture();
+        f.sharded
+            .answer_batch(&request_set(f))
+            .iter()
+            .map(|r| serde_json::to_string(r).expect("serialize baseline"))
+            .collect()
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Worker-spawning tests serialize here (chaos env vars are process-global)
+// ---------------------------------------------------------------------------
+
+fn spawn_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|poison| poison.into_inner())
+}
+
+fn signal(pid: u32, sig: i32) {
+    extern "C" {
+        fn kill(pid: i32, sig: i32) -> i32;
+    }
+    unsafe {
+        kill(pid as i32, sig);
+    }
+}
+
+fn pid_alive(pid: u32) -> bool {
+    extern "C" {
+        fn kill(pid: i32, sig: i32) -> i32;
+    }
+    unsafe { kill(pid as i32, 0) == 0 }
+}
+
+/// A fast-twitch supervisor config: millisecond heartbeats and deadlines
+/// so chaos detection fits a test's time budget.
+fn fast_config(tag: &str) -> SupervisorConfig {
+    SupervisorConfig {
+        bundle_dir: fixture().bundle.clone(),
+        worker_binary: PathBuf::from(env!("CARGO_BIN_EXE_kbqa-shardd")),
+        socket_dir: chaos_root().join(format!("sock-{tag}")),
+        heartbeat_interval: Duration::from_millis(50),
+        heartbeat_timeout: Duration::from_millis(250),
+        hang_grace: Duration::from_millis(500),
+        backoff: BackoffPolicy {
+            base: Duration::from_millis(50),
+            max: Duration::from_millis(500),
+        },
+        breaker_window: Duration::from_secs(30),
+        breaker_max_restarts: 8,
+        lookup_deadline: Duration::from_millis(300),
+        lookup_retries: 1,
+        startup_deadline: Duration::from_secs(15),
+        terminate_grace: Duration::from_secs(2),
+    }
+}
+
+/// Start a supervised worker fleet and attach its remote router to a clone
+/// of the fixture service. Panics if the fleet is not fully up.
+fn start_remote(config: SupervisorConfig) -> (Supervisor, KbqaService) {
+    let f = fixture();
+    let supervisor = Supervisor::start(config, f.service.model_epoch()).expect("start supervisor");
+    wait_until_healthy(&supervisor, Duration::from_secs(20));
+    let service = f.service.with_shard_router(supervisor.router());
+    (supervisor, service)
+}
+
+fn wait_until_healthy(supervisor: &Supervisor, budget: Duration) {
+    let deadline = Instant::now() + budget;
+    while supervisor.degraded() > 0 {
+        assert!(
+            Instant::now() < deadline,
+            "fleet not healthy within {budget:?}: {:?}",
+            supervisor.status()
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+/// Every response must be the baseline byte-for-byte or a typed
+/// `ShardUnavailable` refusal; returns how many degraded.
+fn assert_baseline_or_degraded(responses: &[QaResponse], expected: &[String]) -> usize {
+    let mut degraded = 0;
+    for (i, response) in responses.iter().enumerate() {
+        if response.refusal == Some(Refusal::ShardUnavailable) {
+            degraded += 1;
+            continue;
+        }
+        let rendered = serde_json::to_string(response).expect("serialize");
+        assert_eq!(
+            rendered, expected[i],
+            "request {i}: response is neither baseline nor a typed shard refusal"
+        );
+    }
+    degraded
+}
+
+// ---------------------------------------------------------------------------
+// Supervisor-level chaos
+// ---------------------------------------------------------------------------
+
+#[test]
+fn healthy_multi_process_fleet_is_byte_identical_to_in_process_sharding() {
+    let _guard = spawn_lock();
+    let (supervisor, remote) = start_remote(fast_config("equivalence"));
+    let requests = request_set(fixture());
+    let expected = baselines();
+
+    // The batch path (the scatter-gather scheduler over remote lanes).
+    let batch = remote.answer_batch(&requests);
+    assert_eq!(batch.len(), expected.len());
+    for (i, response) in batch.iter().enumerate() {
+        assert_eq!(
+            serde_json::to_string(response).expect("serialize"),
+            expected[i],
+            "batch request {i} diverged across the process boundary"
+        );
+    }
+    // And the single-question path, over a slice.
+    for (i, request) in requests.iter().take(40).enumerate() {
+        assert_eq!(
+            serde_json::to_string(&remote.answer(request)).expect("serialize"),
+            expected[i],
+            "single request {i} diverged across the process boundary"
+        );
+    }
+    assert_eq!(
+        supervisor.degraded(),
+        0,
+        "equivalence run left the fleet degraded"
+    );
+    supervisor.shutdown();
+}
+
+#[test]
+fn kill_nine_mid_workload_degrades_typed_within_deadline_then_recovers() {
+    let _guard = spawn_lock();
+    // Slow backoff: the dead worker must stay down through the mid-crash
+    // batch so the degraded window is observable, not racy.
+    let mut config = fast_config("kill9");
+    config.backoff = BackoffPolicy {
+        base: Duration::from_millis(1500),
+        max: Duration::from_secs(3),
+    };
+    let (supervisor, remote) = start_remote(config);
+    let requests = request_set(fixture());
+    let expected = baselines();
+    let slice = &requests[..120];
+
+    let victim = supervisor.worker_pid(1).expect("shard 1 worker pid");
+    signal(victim, 9); // SIGKILL, no goodbye
+
+    // Mid-crash batch: bounded, never wedged, every response baseline or
+    // typed refusal — and the dead shard's questions do refuse.
+    let started = Instant::now();
+    let batch = remote.answer_batch(slice);
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(10),
+        "mid-crash batch took {elapsed:?}: lookups are not deadline-bounded"
+    );
+    let degraded = assert_baseline_or_degraded(&batch, &expected[..120]);
+    assert!(
+        degraded > 0,
+        "killed a shard worker mid-workload but no question refused ShardUnavailable"
+    );
+
+    // The supervisor restarts the worker with backoff; once the fleet is
+    // healthy the full suite is byte-identical again.
+    wait_until_healthy(&supervisor, Duration::from_secs(20));
+    let recovered = remote.answer_batch(&requests);
+    for (i, response) in recovered.iter().enumerate() {
+        assert_eq!(
+            serde_json::to_string(response).expect("serialize"),
+            expected[i],
+            "request {i} still degraded after restart"
+        );
+    }
+    assert!(
+        supervisor.status()[1].restarts >= 1,
+        "shard 1 recovered without the supervisor counting a restart"
+    );
+    supervisor.shutdown();
+}
+
+#[test]
+fn sigstopped_worker_hits_lookup_deadlines_then_hang_kill_then_recovers() {
+    let _guard = spawn_lock();
+    let mut config = fast_config("sigstop");
+    config.backoff = BackoffPolicy {
+        base: Duration::from_millis(1000),
+        max: Duration::from_secs(3),
+    };
+    let (supervisor, remote) = start_remote(config);
+    let requests = request_set(fixture());
+    let expected = baselines();
+    let slice = &requests[..90];
+
+    let victim = supervisor.worker_pid(0).expect("shard 0 worker pid");
+    signal(victim, 19); // SIGSTOP: alive, silent — the nastiest failure mode
+
+    // Hung-worker lookups burn the per-lookup deadline (not forever) until
+    // heartbeat age trips the hang kill and the lane fails fast.
+    let started = Instant::now();
+    let batch = remote.answer_batch(slice);
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(20),
+        "batch against a hung worker took {elapsed:?}: deadlines are not bounding"
+    );
+    let degraded = assert_baseline_or_degraded(&batch, &expected[..90]);
+    assert!(
+        degraded > 0,
+        "a SIGSTOPped worker should have degraded its owned questions"
+    );
+
+    // The hang kill SIGKILLs the stopped process; restart recovers it.
+    wait_until_healthy(&supervisor, Duration::from_secs(20));
+    let recovered = remote.answer_batch(&requests);
+    for (i, response) in recovered.iter().enumerate() {
+        assert_eq!(
+            serde_json::to_string(response).expect("serialize"),
+            expected[i],
+            "request {i} still degraded after the hang kill + restart"
+        );
+    }
+    supervisor.shutdown();
+}
+
+#[test]
+fn corrupted_and_truncated_reply_frames_are_retried_to_byte_identity() {
+    let _guard = spawn_lock();
+    // Shard 1 corrupts every 5th reply's checksum trailer; shard 2 sends
+    // half a frame every 7th. Both are transient wire faults: detection
+    // (Fx-64 checksum / read timeout) plus one retry must hide them
+    // completely. Generous hang grace keeps sporadic failed pings from
+    // escalating to a hang kill mid-test.
+    std::env::set_var("KBQA_SHARDD_CORRUPT_EVERY", "1:5");
+    std::env::set_var("KBQA_SHARDD_TRUNCATE_EVERY", "2:7");
+    let mut config = fast_config("wire-chaos");
+    config.hang_grace = Duration::from_secs(10);
+    config.lookup_retries = 2;
+    let result = std::panic::catch_unwind(|| {
+        let (supervisor, remote) = start_remote(config);
+        let requests = request_set(fixture());
+        let expected = baselines();
+        let slice = &requests[..150];
+        let batch = remote.answer_batch(slice);
+        for (i, response) in batch.iter().enumerate() {
+            assert_eq!(
+                serde_json::to_string(response).expect("serialize"),
+                expected[i],
+                "request {i}: wire-level corruption leaked past checksum + retry"
+            );
+        }
+        supervisor.shutdown();
+    });
+    std::env::remove_var("KBQA_SHARDD_CORRUPT_EVERY");
+    std::env::remove_var("KBQA_SHARDD_TRUNCATE_EVERY");
+    if let Err(panic) = result {
+        std::panic::resume_unwind(panic);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// HTTP-level chaos (full serve() stack)
+// ---------------------------------------------------------------------------
+
+fn http_request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    headers: &str,
+    body: &str,
+) -> Option<(u16, String, String)> {
+    let mut stream = TcpStream::connect(addr).ok()?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .ok()?;
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n{headers}Content-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .ok()?;
+    let mut raw = Vec::new();
+    let mut byte = [0u8; 1];
+    while !raw.ends_with(b"\r\n\r\n") {
+        match stream.read(&mut byte) {
+            Ok(1) => raw.push(byte[0]),
+            _ => return None,
+        }
+    }
+    let head = String::from_utf8(raw).ok()?;
+    let status: u16 = head.split(' ').nth(1)?.parse().ok()?;
+    let content_length: usize = head
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))?
+        .trim()
+        .parse()
+        .ok()?;
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body).ok()?;
+    Some((status, head, String::from_utf8(body).ok()?))
+}
+
+fn must_request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    headers: &str,
+    body: &str,
+) -> (u16, String, String) {
+    http_request(addr, method, path, headers, body).expect("complete HTTP response")
+}
+
+/// Extract `"key":<u64>` from a flat JSON body without a full parser.
+fn extract_u64(body: &str, key: &str) -> u64 {
+    let needle = format!("\"{key}\":");
+    let at = body.find(&needle).unwrap_or_else(|| {
+        panic!("no {key} in {body}");
+    }) + needle.len();
+    body[at..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .expect("number")
+}
+
+/// Every `"pid":<n>` in a healthz body.
+fn extract_pids(body: &str) -> Vec<u32> {
+    let mut pids = Vec::new();
+    let mut rest = body;
+    while let Some(at) = rest.find("\"pid\":") {
+        rest = &rest[at + 6..];
+        let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+        if let Ok(pid) = digits.parse() {
+            pids.push(pid);
+        }
+    }
+    pids
+}
+
+/// A fresh service rebuilt from the bundle's artifacts **without** the
+/// local shard router — serve() must attach the supervised remote tier.
+/// Fresh model handle too: HTTP reload tests swap models, which must not
+/// leak into the shared fixture's epoch.
+fn service_from_bundle() -> KbqaService {
+    let artifacts = ServingArtifacts::load(&fixture().bundle).expect("load bundle");
+    let mut builder = KbqaService::builder(
+        Arc::clone(&artifacts.store),
+        Arc::clone(&artifacts.conceptualizer),
+        Arc::clone(&artifacts.model),
+    );
+    if let Some(ner) = &artifacts.ner {
+        builder = builder.ner(Arc::clone(ner));
+    }
+    if let Some(index) = &artifacts.pattern_index {
+        builder = builder.pattern_index(Arc::clone(index));
+    }
+    builder.build()
+}
+
+fn shard_server_config(tag: &str) -> ServerConfig {
+    ServerConfig {
+        workers: 2,
+        event_loops: 1,
+        shard_workers: SHARDS,
+        bundle_dir: Some(fixture().bundle.clone()),
+        shardd_path: Some(PathBuf::from(env!("CARGO_BIN_EXE_kbqa-shardd"))),
+        worker_socket_dir: Some(chaos_root().join(format!("sock-http-{tag}"))),
+        worker_heartbeat_ms: 50,
+        worker_deadline_ms: 300,
+        worker_retries: 1,
+        worker_breaker_max_restarts: 8,
+        worker_breaker_window_ms: 30_000,
+        worker_terminate_grace_ms: 2_000,
+        ..ServerConfig::default()
+    }
+}
+
+#[test]
+fn crash_looping_worker_is_parked_and_healthz_reports_degraded_503() {
+    let _guard = spawn_lock();
+    // Shard 1's worker exits right after binding, every time: a crash loop
+    // the breaker must contain by parking the shard, not by restarting
+    // forever. Conceded restarts: breaker_max_restarts 2 → parked on the
+    // 3rd crash inside the window.
+    std::env::set_var("KBQA_SHARDD_EXIT_ON_START", "1");
+    let result = std::panic::catch_unwind(|| {
+        let mut config = shard_server_config("crash-loop");
+        config.worker_breaker_max_restarts = 2;
+        let handle =
+            serve(service_from_bundle(), "127.0.0.1:0", config).expect("serve with shard workers");
+        let addr = handle.local_addr();
+
+        // The breaker parks shard 1 within a few backoff rounds.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let (status, body) = loop {
+            let (status, _, body) = must_request(addr, "GET", "/healthz", "", "");
+            if body.contains("\"state\":\"parked\"") {
+                break (status, body);
+            }
+            assert!(
+                Instant::now() < deadline,
+                "crash-looping shard never parked; last healthz: {body}"
+            );
+            std::thread::sleep(Duration::from_millis(100));
+        };
+        assert_eq!(status, 503, "a parked shard must flip healthz to 503");
+        assert!(
+            body.contains("\"status\":\"degraded\""),
+            "healthz body not degraded: {body}"
+        );
+        assert!(
+            extract_u64(&body, "degraded_shards") >= 1,
+            "degraded_shards not counted: {body}"
+        );
+
+        // Data plane: healthy shards answer, the parked shard refuses
+        // typed — the server serves degraded rather than wedging.
+        let requests = request_set(fixture());
+        let expected = baselines();
+        let payload = serde_json::to_string(&requests[..120]).expect("payload");
+        let (status, _, body) = must_request(addr, "POST", "/batch", "", &payload);
+        assert_eq!(status, 200);
+        let responses: Vec<QaResponse> = serde_json::from_str(&body).expect("batch body");
+        let degraded = assert_baseline_or_degraded(&responses, &expected[..120]);
+        assert!(degraded > 0, "parked shard produced no typed refusals");
+        let answered = responses
+            .iter()
+            .filter(|r| r.refusal != Some(Refusal::ShardUnavailable))
+            .count();
+        assert!(answered > 0, "healthy shards stopped answering too");
+
+        // Prometheus exposition carries the worker families.
+        let (_, _, metrics) = must_request(addr, "GET", "/metrics?format=prometheus", "", "");
+        for family in [
+            "kbqa_shard_worker_restarts_total",
+            "kbqa_shard_worker_heartbeat_age_seconds",
+            "kbqa_shard_worker_up",
+            "kbqa_shard_worker_parked",
+        ] {
+            assert!(metrics.contains(family), "missing {family} in exposition");
+        }
+        handle.shutdown();
+    });
+    std::env::remove_var("KBQA_SHARDD_EXIT_ON_START");
+    if let Err(panic) = result {
+        std::panic::resume_unwind(panic);
+    }
+}
+
+#[test]
+fn two_phase_reload_never_mixes_epochs_and_min_epoch_gates_with_409() {
+    let _guard = spawn_lock();
+    let service = service_from_bundle();
+    let model_path = chaos_root().join("reload-model.json");
+    kbqa_core::persist::save_model(&service.model(), &model_path).expect("save model");
+    let mut config = shard_server_config("reload");
+    config.admin_token = Some("chaos-secret".to_string());
+    config.model_path = Some(model_path);
+    let handle = serve(service, "127.0.0.1:0", config).expect("serve with shard workers");
+    let addr = handle.local_addr();
+
+    // Hammer /batch from a side thread while reloads flip epochs: every
+    // batch must carry ONE model epoch across all its members — the
+    // two-phase stage/commit means no batch ever straddles a flip.
+    let questions: Vec<QaRequest> = request_set(fixture()).into_iter().take(24).collect();
+    let payload = serde_json::to_string(&questions).expect("payload");
+    let stop = Arc::new(AtomicBool::new(false));
+    let hammer = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut batches = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let Some((status, _, body)) = http_request(addr, "POST", "/batch", "", &payload)
+                else {
+                    continue;
+                };
+                assert_eq!(status, 200, "batch failed mid-reload: {body}");
+                let responses: Vec<QaResponse> = serde_json::from_str(&body).expect("batch body");
+                let epochs: std::collections::BTreeSet<u64> =
+                    responses.iter().map(|r| r.model_epoch).collect();
+                assert!(
+                    epochs.len() <= 1,
+                    "one batch straddled model epochs {epochs:?}"
+                );
+                batches += 1;
+            }
+            batches
+        })
+    };
+
+    let token_header = "X-Admin-Token: chaos-secret\r\n";
+    let mut last_epoch = 0;
+    for _ in 0..4 {
+        std::thread::sleep(Duration::from_millis(150));
+        let (status, _, body) = must_request(addr, "POST", "/admin/reload", token_header, "");
+        assert_eq!(status, 200, "two-phase reload failed: {body}");
+        let epoch = extract_u64(&body, "model_epoch");
+        assert!(epoch > last_epoch, "reload did not advance the epoch");
+        last_epoch = epoch;
+    }
+    stop.store(true, Ordering::Relaxed);
+    let batches = hammer.join().expect("hammer thread");
+    assert!(
+        batches > 0,
+        "the hammer never landed a batch during the reloads"
+    );
+
+    // min_epoch: read-your-reload honored at the served epoch, 409 above.
+    let mut pinned = QaRequest::new("what is the population of nowhere");
+    pinned.min_epoch = Some(last_epoch);
+    let body = serde_json::to_string(&pinned).expect("request");
+    let (status, _, _) = must_request(addr, "POST", "/answer", "", &body);
+    assert_eq!(status, 200, "min_epoch at the served epoch must pass");
+    pinned.min_epoch = Some(last_epoch + 1);
+    let body = serde_json::to_string(&pinned).expect("request");
+    let (status, _, reply) = must_request(addr, "POST", "/answer", "", &body);
+    assert_eq!(status, 409, "future min_epoch must 409: {reply}");
+    // And a batch with one future-pinned member rejects whole.
+    let mut batch = questions[..3].to_vec();
+    batch[1].min_epoch = Some(last_epoch + 1);
+    let body = serde_json::to_string(&batch).expect("batch");
+    let (status, _, _) = must_request(addr, "POST", "/batch", "", &body);
+    assert_eq!(status, 409, "a batch pinning a future epoch must 409 whole");
+    handle.shutdown();
+}
+
+#[test]
+fn shutdown_under_load_drains_in_flight_requests_and_reaps_workers() {
+    let _guard = spawn_lock();
+    let handle = serve(
+        service_from_bundle(),
+        "127.0.0.1:0",
+        shard_server_config("shutdown"),
+    )
+    .expect("serve with shard workers");
+    let addr = handle.local_addr();
+    let (_, _, health) = must_request(addr, "GET", "/healthz", "", "");
+    let pids = extract_pids(&health);
+    assert_eq!(
+        pids.len(),
+        SHARDS,
+        "healthz lists every worker pid: {health}"
+    );
+
+    // Clients hammer /answer through the shutdown; each completed reply
+    // must be a full, valid response (drain = no truncated writes, no
+    // orphaned dispatches). Connection errors after shutdown are expected.
+    let stop = Arc::new(AtomicBool::new(false));
+    let questions = request_set(fixture());
+    let clients: Vec<_> = (0..4)
+        .map(|c| {
+            let stop = Arc::clone(&stop);
+            let body = serde_json::to_string(&questions[c * 20..c * 20 + 10]).expect("payload");
+            std::thread::spawn(move || {
+                let mut completed = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    if let Some((status, _, reply)) =
+                        http_request(addr, "POST", "/batch", "", &body)
+                    {
+                        assert_eq!(status, 200);
+                        let parsed: Vec<QaResponse> =
+                            serde_json::from_str(&reply).expect("complete body");
+                        assert_eq!(parsed.len(), 10);
+                        completed += 1;
+                    }
+                }
+                completed
+            })
+        })
+        .collect();
+
+    std::thread::sleep(Duration::from_millis(400));
+    let started = Instant::now();
+    handle.shutdown(); // drains loops, then workers, then the worker fleet
+    let elapsed = started.elapsed();
+    stop.store(true, Ordering::Relaxed);
+    assert!(
+        elapsed < Duration::from_secs(20),
+        "shutdown under load took {elapsed:?}"
+    );
+    let completed: u64 = clients
+        .into_iter()
+        .map(|c| c.join().expect("client thread"))
+        .sum();
+    assert!(
+        completed > 0,
+        "no client ever completed a batch before shutdown"
+    );
+    for pid in pids {
+        assert!(
+            !pid_alive(pid),
+            "worker pid {pid} survived server shutdown (leak)"
+        );
+    }
+}
