@@ -4,7 +4,7 @@
 //! ```text
 //! hotpath [--scale quick|full] [--questions N] [--out PATH]
 //!         [--baseline PATH] [--tolerance F] [--stages] [--folded PATH]
-//!         [--shards N]
+//!         [--shards N] [--server] [--server-tolerance F]
 //! ```
 //!
 //! Builds the standard KBA-like session, drives the question set through
@@ -37,6 +37,19 @@
 //! pre-PR 8 single-store path — no router on the hot path — which is why
 //! the CI gate pins its baseline through `--shards 1`.
 //!
+//! # The server-in-the-loop gate (`--server`, PR 10)
+//!
+//! `--server` adds the chunked-streaming `/batch` pass (a real chunked
+//! decoder on the client side, `server_batch_stream_questions_per_sec` in
+//! the report) and — when combined with `--baseline` — gates the
+//! **end-to-end server throughput** (`server_{cold,cached}_questions_per_sec`)
+//! against the baseline with the same hardware-normalizing ratio-of-ratios
+//! as the kernel gate: each server figure is divided by the in-run
+//! reference-kernel throughput before comparing, so a faster CI box doesn't
+//! mask a serving-edge regression and a slower one doesn't fake one.
+//! `--server-tolerance F` (default 0.80 — sockets are noisier than
+//! kernels) is the server gate's own knob, independent of `--tolerance`.
+//!
 //! # The CI regression gate (`--baseline` + `--tolerance`)
 //!
 //! With `--baseline BENCH_PR4.json --tolerance 0.85`, the bin exits
@@ -63,9 +76,10 @@ use kbqa_obs::{Stage, StageStats};
 use kbqa_server::{serve, ServerConfig};
 
 /// Report layout version. Bumped to 2 in PR 7 when the per-stage cost
-/// table and tracing-overhead fields landed; pre-PR 7 reports (implicit
-/// version 0) still parse because every addition defaults.
-const BENCH_SCHEMA_VERSION: u32 = 2;
+/// table and tracing-overhead fields landed, to 3 in PR 10 when the
+/// streamed-batch server figure landed; older reports (implicit version 0)
+/// still parse because every addition defaults.
+const BENCH_SCHEMA_VERSION: u32 = 3;
 
 /// Latency profile of one mode over the question set.
 #[derive(Serialize, Deserialize)]
@@ -122,6 +136,12 @@ struct Report {
     /// cache hit (the steady state repeated traffic actually sees).
     #[serde(default)]
     server_cached_questions_per_sec: f64,
+    /// Chunked-streaming `POST /batch?stream=1` throughput (PR 10): the
+    /// question set split over concurrent streaming clients, each decoding
+    /// real chunked transfer, best of the repeat rounds. Absent (0) in
+    /// pre-PR 10 baselines and when `--server` was not passed.
+    #[serde(default)]
+    server_batch_stream_questions_per_sec: f64,
     /// Report layout version ([`BENCH_SCHEMA_VERSION`]); 0 in pre-PR 7
     /// reports that predate the field.
     #[serde(default)]
@@ -186,6 +206,9 @@ fn stage_pass(
     let requests: Vec<QaRequest> = questions.iter().map(QaRequest::new).collect();
     let stats = StageStats::new();
     let sampled_stats = StageStats::new(); // sampled sweep's sink, kept out of the table
+                                           // Serialization via the serving edge's allocation-free writer into a
+                                           // reused buffer — exactly how the HTTP layer renders since PR 10.
+    let mut body = Vec::with_capacity(4 << 10);
     let mut disarmed_total = f64::INFINITY;
     let mut sampled_total = f64::INFINITY;
     let mut armed_total = f64::INFINITY;
@@ -194,7 +217,9 @@ fn stage_pass(
         for request in &requests {
             scratch.trace.begin(false);
             let response = std::hint::black_box(engine.answer_request_with(request, scratch));
-            let _ = std::hint::black_box(serde_json::to_string(&response));
+            body.clear();
+            response.serialize_into(&mut body);
+            std::hint::black_box(&body);
         }
         disarmed_total = disarmed_total.min(round.elapsed().as_secs_f64());
 
@@ -205,7 +230,9 @@ fn stage_pass(
             let response = std::hint::black_box(engine.answer_request_with(request, scratch));
             let breakdown = scratch.trace.finish(&sampled_stats);
             let started = Instant::now();
-            let _ = std::hint::black_box(serde_json::to_string(&response));
+            body.clear();
+            response.serialize_into(&mut body);
+            std::hint::black_box(&body);
             if breakdown.is_some() {
                 let us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
                 sampled_stats.record_us(Stage::Serialize, us);
@@ -222,7 +249,9 @@ fn stage_pass(
             // renders JSON); time it here exactly as the HTTP layer does
             // so the table covers the whole pipeline.
             let started = Instant::now();
-            let _ = std::hint::black_box(serde_json::to_string(&response));
+            body.clear();
+            response.serialize_into(&mut body);
+            std::hint::black_box(&body);
             let us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
             stats.record_us(Stage::Serialize, us);
         }
@@ -345,6 +374,103 @@ fn http_throughput(
     (cold_qps, cached_qps)
 }
 
+/// Send one `POST /batch?stream=1` and fully decode the chunked response,
+/// returning the number of de-chunked body bytes. Panics on a non-200 or a
+/// `Content-Length` response (the stream must actually stream).
+fn stream_batch_pass(addr: SocketAddr, body: &str) -> usize {
+    let mut stream = TcpStream::connect(addr).expect("connect stream client");
+    stream.set_nodelay(true).ok();
+    write!(
+        stream,
+        "POST /batch?stream=1 HTTP/1.1\r\nHost: bench\r\nConnection: close\r\n\
+         Content-Length: {}\r\n\r\n{body}",
+        body.len(),
+    )
+    .expect("write request");
+    let mut head = Vec::with_capacity(256);
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") {
+        match stream.read(&mut byte) {
+            Ok(1) => head.push(byte[0]),
+            _ => panic!("server closed mid-head"),
+        }
+    }
+    let head = String::from_utf8_lossy(&head);
+    assert!(head.starts_with("HTTP/1.1 200"), "stream failed: {head}");
+    assert!(
+        head.contains("Transfer-Encoding: chunked"),
+        "batch did not stream: {head}"
+    );
+    // Minimal chunked decoder: hex size line, payload, CRLF, until the
+    // zero-size terminator.
+    let mut raw = Vec::with_capacity(64 << 10);
+    stream.read_to_end(&mut raw).expect("read stream");
+    let mut rest: &[u8] = &raw;
+    let mut total = 0usize;
+    loop {
+        let nl = rest
+            .windows(2)
+            .position(|w| w == b"\r\n")
+            .expect("chunk size line");
+        let size = usize::from_str_radix(
+            std::str::from_utf8(&rest[..nl]).expect("utf8 size").trim(),
+            16,
+        )
+        .expect("hex chunk size");
+        rest = &rest[nl + 2..];
+        if size == 0 {
+            break;
+        }
+        total += size;
+        rest = &rest[size + 2..];
+    }
+    total
+}
+
+/// Chunked-streaming `/batch` throughput: the question set split over
+/// concurrent streaming clients, each sending its part as one streamed
+/// batch and decoding real chunked transfer. Returns the best q/s over
+/// `rounds` (first pass warms the answer cache and is discarded).
+fn stream_batch_throughput(
+    service: kbqa_core::service::KbqaService,
+    questions: &[String],
+    rounds: usize,
+) -> f64 {
+    let config = ServerConfig {
+        event_loops: 2,
+        ..ServerConfig::default()
+    };
+    let server = serve(service, "127.0.0.1:0", config).expect("bind bench server");
+    let addr = server.local_addr();
+    let clients = 4.min(questions.len().max(1));
+    let chunk = questions.len().div_ceil(clients);
+    let bodies: Vec<String> = questions
+        .chunks(chunk)
+        .map(|part| {
+            let requests: Vec<QaRequest> = part.iter().map(QaRequest::new).collect();
+            serde_json::to_string(&requests).expect("serialize batch")
+        })
+        .collect();
+    let run_pass = || {
+        std::thread::scope(|scope| {
+            for body in &bodies {
+                scope.spawn(move || {
+                    assert!(stream_batch_pass(addr, body) > 2, "empty stream body");
+                });
+            }
+        });
+    };
+    run_pass(); // warmup: fills the answer cache, grows every buffer
+    let mut best = f64::INFINITY;
+    for _ in 0..rounds {
+        let start = Instant::now();
+        run_pass();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    server.shutdown();
+    questions.len() as f64 / best.max(1e-12)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Quick;
@@ -355,6 +481,8 @@ fn main() {
     let mut stages = false;
     let mut folded: Option<String> = None;
     let mut shards = 1usize;
+    let mut server_gate = false;
+    let mut server_tolerance = 0.80f64;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -367,7 +495,7 @@ fn main() {
                         eprintln!(
                             "usage: hotpath [--scale quick|full] [--questions N] [--out PATH] \
                              [--baseline PATH] [--tolerance F] [--stages] [--folded PATH] \
-                             [--shards N]"
+                             [--shards N] [--server] [--server-tolerance F]"
                         );
                         std::process::exit(2);
                     });
@@ -389,6 +517,12 @@ fn main() {
                 tolerance = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(0.85);
             }
             "--stages" => stages = true,
+            "--server" => server_gate = true,
+            "--server-tolerance" => {
+                i += 1;
+                server_tolerance = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(0.80);
+                server_gate = true; // a tolerance implies the gate
+            }
             "--shards" => {
                 i += 1;
                 shards = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(1);
@@ -511,6 +645,12 @@ fn main() {
     // End-to-end through the event-driven server, over real sockets.
     eprintln!("[hotpath] driving the HTTP server end-to-end…");
     let (server_cold_qps, server_cached_qps) = http_throughput(service.clone(), &questions, rounds);
+    let server_stream_qps = if server_gate {
+        eprintln!("[hotpath] driving chunked-streaming /batch…");
+        stream_batch_throughput(service.clone(), &questions, rounds)
+    } else {
+        0.0
+    };
 
     // Per-stage cost table + tracer overhead, on request.
     let (stage_costs, tracing_overhead_pct, tracing_overhead_armed_pct) = if stages {
@@ -529,7 +669,7 @@ fn main() {
     one_shot.questions_per_sec = n / one_shot_total.max(1e-12);
     serving.questions_per_sec = n / serving_total.max(1e-12);
     let report = Report {
-        pr: "PR8".to_string(),
+        pr: "PR10".to_string(),
         world: format!("KBA-like ({scale:?})"),
         questions: tokenized.len(),
         rounds,
@@ -539,6 +679,7 @@ fn main() {
         batch_questions_per_sec: batch_qps,
         server_cold_questions_per_sec: server_cold_qps,
         server_cached_questions_per_sec: server_cached_qps,
+        server_batch_stream_questions_per_sec: server_stream_qps,
         schema_version: BENCH_SCHEMA_VERSION,
         stage_costs,
         tracing_overhead_pct,
@@ -575,6 +716,12 @@ fn main() {
         "server (epoll, 8 keep-alive clients): cold {server_cold_qps:.0} q/s, \
          cached {server_cached_qps:.0} q/s"
     );
+    if server_gate {
+        println!(
+            "server streamed /batch (chunked transfer, 4 streaming clients): \
+             {server_stream_qps:.0} q/s"
+        );
+    }
     if !report.stage_costs.is_empty() {
         println!("per-stage costs (cache-cold, tracer armed):");
         println!(
@@ -642,5 +789,65 @@ fn main() {
             std::process::exit(1);
         }
         println!("[gate] OK");
+
+        // ---- Server-in-the-loop gate (--server) ---------------------------
+        // Same hardware normalization, applied to the end-to-end figures:
+        // each server throughput is divided by the in-run reference-kernel
+        // throughput (the control group on both machines) before comparing.
+        if server_gate {
+            let baseline_ref_qps = recorded
+                .profiles
+                .iter()
+                .find(|p| p.mode == "reference_kernel")
+                .map(|p| p.questions_per_sec)
+                .unwrap_or(0.0);
+            let current_ref_qps = report.profiles[0].questions_per_sec;
+            let mut failed = false;
+            for (name, current, recorded_qps) in [
+                (
+                    "server_cold",
+                    report.server_cold_questions_per_sec,
+                    recorded.server_cold_questions_per_sec,
+                ),
+                (
+                    "server_cached",
+                    report.server_cached_questions_per_sec,
+                    recorded.server_cached_questions_per_sec,
+                ),
+            ] {
+                if recorded_qps <= 0.0 || baseline_ref_qps <= 0.0 {
+                    println!(
+                        "[server-gate] {name}: baseline {} predates server figures, skipping",
+                        recorded.pr
+                    );
+                    continue;
+                }
+                let baseline_norm = recorded_qps / baseline_ref_qps;
+                let current_norm = current / current_ref_qps.max(1e-12);
+                let ratio = current_norm / baseline_norm.max(1e-12);
+                println!(
+                    "[server-gate] {name}: baseline ({}) {recorded_qps:.0} q/s \
+                     (normalized {baseline_norm:.4}), current {current:.0} q/s \
+                     (normalized {current_norm:.4}), ratio {ratio:.3}, \
+                     tolerance {server_tolerance:.2}",
+                    recorded.pr
+                );
+                if ratio < server_tolerance {
+                    eprintln!(
+                        "[hotpath] SERVER PERF REGRESSION: {name} fell to {ratio:.3} of the \
+                         {} baseline hardware-normalized (tolerance {server_tolerance}). \
+                         The serving edge got slower relative to the reference kernel \
+                         measured in this same run — see docs/PERFORMANCE.md \
+                         (\"The serving edge\").",
+                        recorded.pr
+                    );
+                    failed = true;
+                }
+            }
+            if failed {
+                std::process::exit(1);
+            }
+            println!("[server-gate] OK");
+        }
     }
 }

@@ -32,6 +32,9 @@
 //!   [`service::QaResponse`], the [`service::Refusal`] taxonomy, the
 //!   hot-swappable [`service::ModelHandle`] with its monotonic model epoch,
 //!   and the [`service::QaSystem`] trait shared with baselines.
+//! * [`serialize`] — allocation-free JSON writer for the serving-edge
+//!   response types (`QaResponse::serialize_into`, byte-identical to the
+//!   vendored `serde_json` output).
 //! * [`wire`] — the shard worker frame protocol (length-prefixed,
 //!   Fx-64-checksummed messages over unix sockets).
 //! * [`remote`] — the router-side client for out-of-process shard workers
@@ -59,6 +62,7 @@ pub mod learner;
 pub mod model;
 pub mod persist;
 pub mod remote;
+pub mod serialize;
 pub mod service;
 pub mod shard;
 pub mod shardworker;

@@ -484,7 +484,18 @@ impl ServingArtifacts {
     /// start path. Derives the NER from the store only when the bundle
     /// carries none.
     pub fn into_service(self) -> KbqaService {
-        let mut builder = KbqaService::builder(self.store, self.conceptualizer, self.model);
+        self.into_service_at_epoch(0)
+    }
+
+    /// Like [`Self::into_service`], but the service's [`ModelHandle`] starts
+    /// at `epoch` instead of 0 — the full-bundle hot-swap path: the server
+    /// rebuilds the service at `old_epoch + 1` so versioned cache keys carry
+    /// straight across the swap without a flush.
+    ///
+    /// [`ModelHandle`]: crate::service::ModelHandle
+    pub fn into_service_at_epoch(self, epoch: u64) -> KbqaService {
+        let mut builder =
+            KbqaService::builder(self.store, self.conceptualizer, self.model).model_epoch(epoch);
         if let Some(ner) = self.ner {
             builder = builder.ner(ner);
         }

@@ -1,0 +1,325 @@
+//! Allocation-free JSON serialization for the serving-edge response types.
+//!
+//! The vendored `serde_json::to_string` builds an owned `Value` tree (a
+//! `String` per key, a `Vec` per sequence) before writing a single byte —
+//! fine for config files, ruinous on the per-response hot path. This module
+//! writes [`QaResponse`] (and its constituents) **directly into a caller
+//! provided byte buffer**, byte-identical to `serde_json::to_string`, with
+//! zero heap allocations once the buffer has warmed to its high-water mark.
+//!
+//! Byte-identity contract (pinned by the `identical_to_serde_json` tests and
+//! by the server's streamed-vs-buffered equivalence suite):
+//!
+//! * struct fields emit in declaration order, compact (no whitespace);
+//! * `Option::None` → `null`, `Some(v)` → the inner value;
+//! * unit enum variants (the [`Refusal`] taxonomy) → `"VariantName"`;
+//! * `#[serde(transparent)]` newtypes ([`kbqa_rdf::NodeId`]) → the bare inner integer;
+//! * finite floats via `{:?}` formatting, non-finite → `null` (JSON has no
+//!   NaN/Infinity — same policy as the vendored writer);
+//! * strings escape `"` `\` `\n` `\r` `\t` and all other control chars
+//!   below 0x20 as lowercase `\u00xx`.
+//!
+//! Integer and float formatting go through [`std::fmt`] into the buffer via
+//! a small adapter — the formatting machinery for primitives is
+//! allocation-free, so the whole path is too (pinned by the counting
+//! allocator test in `tests/alloc_steady_state.rs`).
+
+use crate::engine::{Answer, ChoiceStats};
+use crate::service::{QaResponse, Refusal};
+use kbqa_obs::StageBreakdown;
+
+/// `fmt::Write` over a byte buffer, so primitive formatting (`u64`, `{:?}`
+/// floats) lands directly in the output without an intermediate `String`.
+struct BufWrite<'a>(&'a mut Vec<u8>);
+
+impl std::fmt::Write for BufWrite<'_> {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        self.0.extend_from_slice(s.as_bytes());
+        Ok(())
+    }
+}
+
+fn write_u64(out: &mut Vec<u8>, v: u64) {
+    use std::fmt::Write as _;
+    let _ = write!(BufWrite(out), "{v}");
+}
+
+fn write_usize(out: &mut Vec<u8>, v: usize) {
+    use std::fmt::Write as _;
+    let _ = write!(BufWrite(out), "{v}");
+}
+
+fn write_f64(out: &mut Vec<u8>, v: f64) {
+    if v.is_finite() {
+        use std::fmt::Write as _;
+        let _ = write!(BufWrite(out), "{v:?}");
+    } else {
+        out.extend_from_slice(b"null");
+    }
+}
+
+/// JSON string escaping, byte-identical to the vendored writer. Escapes are
+/// all single-byte ASCII, so we scan bytes and copy unescaped runs wholesale
+/// — multi-byte UTF-8 passes through untouched.
+fn write_str(out: &mut Vec<u8>, s: &str) {
+    out.push(b'"');
+    let bytes = s.as_bytes();
+    let mut run_start = 0;
+    for (i, &b) in bytes.iter().enumerate() {
+        let esc: &[u8] = match b {
+            b'"' => b"\\\"",
+            b'\\' => b"\\\\",
+            b'\n' => b"\\n",
+            b'\r' => b"\\r",
+            b'\t' => b"\\t",
+            b if b < 0x20 => {
+                out.extend_from_slice(&bytes[run_start..i]);
+                const HEX: &[u8; 16] = b"0123456789abcdef";
+                out.extend_from_slice(b"\\u00");
+                out.push(HEX[(b >> 4) as usize]);
+                out.push(HEX[(b & 0xf) as usize]);
+                run_start = i + 1;
+                continue;
+            }
+            _ => continue,
+        };
+        out.extend_from_slice(&bytes[run_start..i]);
+        out.extend_from_slice(esc);
+        run_start = i + 1;
+    }
+    out.extend_from_slice(&bytes[run_start..]);
+    out.push(b'"');
+}
+
+fn write_refusal(out: &mut Vec<u8>, r: Refusal) {
+    let name: &[u8] = match r {
+        Refusal::NoEntityGrounded => b"\"NoEntityGrounded\"",
+        Refusal::NoTemplateMatched => b"\"NoTemplateMatched\"",
+        Refusal::NoPredicateAboveTheta => b"\"NoPredicateAboveTheta\"",
+        Refusal::EmptyValueSet => b"\"EmptyValueSet\"",
+        Refusal::ShardUnavailable => b"\"ShardUnavailable\"",
+    };
+    out.extend_from_slice(name);
+}
+
+fn write_answer(out: &mut Vec<u8>, a: &Answer) {
+    out.extend_from_slice(b"{\"value\":");
+    write_str(out, &a.value);
+    out.extend_from_slice(b",\"node\":");
+    match a.node {
+        Some(node) => write_u64(out, u64::from(node.0)),
+        None => out.extend_from_slice(b"null"),
+    }
+    out.extend_from_slice(b",\"score\":");
+    write_f64(out, a.score);
+    out.extend_from_slice(b",\"entity\":");
+    write_str(out, &a.entity);
+    out.extend_from_slice(b",\"template\":");
+    write_str(out, &a.template);
+    out.extend_from_slice(b",\"predicate\":");
+    write_str(out, &a.predicate);
+    out.push(b'}');
+}
+
+fn write_stats(out: &mut Vec<u8>, s: &ChoiceStats) {
+    out.extend_from_slice(b"{\"entities\":");
+    write_usize(out, s.entities);
+    out.extend_from_slice(b",\"templates_per_pair\":");
+    write_f64(out, s.templates_per_pair);
+    out.extend_from_slice(b",\"predicates_per_template\":");
+    write_f64(out, s.predicates_per_template);
+    out.extend_from_slice(b",\"values_per_pair\":");
+    write_f64(out, s.values_per_pair);
+    out.push(b'}');
+}
+
+fn write_stage_us(out: &mut Vec<u8>, s: &StageBreakdown) {
+    out.extend_from_slice(b"{\"parse_us\":");
+    write_u64(out, s.parse_us);
+    out.extend_from_slice(b",\"ner_grounding_us\":");
+    write_u64(out, s.ner_grounding_us);
+    out.extend_from_slice(b",\"conceptualize_us\":");
+    write_u64(out, s.conceptualize_us);
+    out.extend_from_slice(b",\"template_match_us\":");
+    write_u64(out, s.template_match_us);
+    out.extend_from_slice(b",\"predicate_score_us\":");
+    write_u64(out, s.predicate_score_us);
+    out.extend_from_slice(b",\"value_lookup_us\":");
+    write_u64(out, s.value_lookup_us);
+    out.extend_from_slice(b",\"rank_topk_us\":");
+    write_u64(out, s.rank_topk_us);
+    out.extend_from_slice(b",\"serialize_us\":");
+    write_u64(out, s.serialize_us);
+    out.push(b'}');
+}
+
+impl QaResponse {
+    /// Serialize this response as compact JSON directly into `out`,
+    /// byte-identical to `serde_json::to_string(self)` but without building
+    /// the intermediate `Value` tree. Appends; does not clear the buffer.
+    pub fn serialize_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(b"{\"answers\":[");
+        for (i, a) in self.answers.iter().enumerate() {
+            if i > 0 {
+                out.push(b',');
+            }
+            write_answer(out, a);
+        }
+        out.extend_from_slice(b"],\"refusal\":");
+        match self.refusal {
+            Some(r) => write_refusal(out, r),
+            None => out.extend_from_slice(b"null"),
+        }
+        out.extend_from_slice(b",\"stats\":");
+        match &self.stats {
+            Some(s) => write_stats(out, s),
+            None => out.extend_from_slice(b"null"),
+        }
+        out.extend_from_slice(b",\"model_epoch\":");
+        write_u64(out, self.model_epoch);
+        out.extend_from_slice(b",\"stage_us\":");
+        match &self.stage_us {
+            Some(s) => write_stage_us(out, s),
+            None => out.extend_from_slice(b"null"),
+        }
+        out.push(b'}');
+    }
+
+    /// Exact serialized length in bytes — what [`Self::serialize_into`]
+    /// will append. Used by the server to size Content-Length without
+    /// serializing twice. (Costs one dry serialization walk; only worth it
+    /// when the buffer cannot be framed after the fact.)
+    pub fn serialized_len(&self) -> usize {
+        let mut out = Vec::new();
+        self.serialize_into(&mut out);
+        out.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kbqa_rdf::NodeId;
+
+    fn answer(value: &str, node: Option<u32>, score: f64) -> Answer {
+        Answer {
+            value: value.to_string(),
+            node: node.map(NodeId),
+            score,
+            entity: "Honolulu".to_string(),
+            template: "how many people live in $city".to_string(),
+            predicate: "population".to_string(),
+        }
+    }
+
+    fn assert_identical(resp: &QaResponse) {
+        let via_serde = serde_json::to_string(resp).expect("serde_json");
+        let mut direct = Vec::new();
+        resp.serialize_into(&mut direct);
+        assert_eq!(
+            String::from_utf8(direct).expect("utf8"),
+            via_serde,
+            "serialize_into must be byte-identical to serde_json"
+        );
+    }
+
+    #[test]
+    fn identical_to_serde_json_basic() {
+        let mut resp = QaResponse::from_answers(vec![
+            answer("390k", Some(7), 0.25),
+            answer("400000", None, 1.0),
+        ]);
+        resp.model_epoch = 42;
+        assert_identical(&resp);
+    }
+
+    #[test]
+    fn identical_to_serde_json_refusals() {
+        for refusal in [
+            Refusal::NoEntityGrounded,
+            Refusal::NoTemplateMatched,
+            Refusal::NoPredicateAboveTheta,
+            Refusal::EmptyValueSet,
+            Refusal::ShardUnavailable,
+        ] {
+            let mut resp = QaResponse::refused(refusal);
+            resp.model_epoch = u64::MAX;
+            assert_identical(&resp);
+        }
+    }
+
+    #[test]
+    fn identical_to_serde_json_explain_payload() {
+        let mut resp = QaResponse::from_answers(vec![answer("x", Some(0), 1e-9)]);
+        resp.stats = Some(ChoiceStats {
+            entities: 3,
+            templates_per_pair: 1.5,
+            predicates_per_template: 0.1,
+            values_per_pair: 2.0,
+        });
+        resp.stage_us = Some(StageBreakdown {
+            parse_us: 1,
+            ner_grounding_us: 2,
+            conceptualize_us: 3,
+            template_match_us: 4,
+            predicate_score_us: 5,
+            value_lookup_us: 0,
+            rank_topk_us: u64::MAX,
+            serialize_us: 7,
+        });
+        assert_identical(&resp);
+    }
+
+    #[test]
+    fn identical_to_serde_json_string_escapes() {
+        for value in [
+            "plain",
+            "quote\"back\\slash",
+            "tab\tnewline\ncarriage\r",
+            "ctrl\u{01}\u{1f}bytes",
+            "unicode: θ — 東京 🗼",
+            "",
+            "\u{0}",
+        ] {
+            let resp = QaResponse::from_answers(vec![answer(value, Some(1), 0.5)]);
+            assert_identical(&resp);
+        }
+    }
+
+    #[test]
+    fn identical_to_serde_json_float_edge_cases() {
+        for score in [
+            0.0,
+            -0.0,
+            1.0,
+            -1.5,
+            0.1,
+            1e-9,
+            1e300,
+            f64::MIN_POSITIVE,
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            std::f64::consts::PI,
+        ] {
+            let resp = QaResponse::from_answers(vec![answer("v", None, score)]);
+            assert_identical(&resp);
+        }
+    }
+
+    #[test]
+    fn serialized_len_matches() {
+        let resp = QaResponse::from_answers(vec![answer("390k", Some(7), 0.25)]);
+        let mut out = Vec::new();
+        resp.serialize_into(&mut out);
+        assert_eq!(resp.serialized_len(), out.len());
+    }
+
+    #[test]
+    fn append_only_contract() {
+        let resp = QaResponse::refused(Refusal::EmptyValueSet);
+        let mut out = b"prefix".to_vec();
+        resp.serialize_into(&mut out);
+        assert!(out.starts_with(b"prefix{"));
+    }
+}

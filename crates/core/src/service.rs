@@ -491,9 +491,19 @@ pub struct KbqaServiceBuilder {
     obs: Option<Arc<Observability>>,
     shard_plan: Option<ShardPlan>,
     shard_router: Option<Arc<ShardRouter>>,
+    model_epoch: u64,
 }
 
 impl KbqaServiceBuilder {
+    /// Start the [`ModelHandle`] at a specific epoch instead of 0. A
+    /// full-bundle hot swap builds its replacement service at
+    /// `old_epoch + 1` so versioned cache keys from the previous bundle can
+    /// never collide with the new one.
+    pub fn model_epoch(mut self, epoch: u64) -> Self {
+        self.model_epoch = epoch;
+        self
+    }
+
     /// Use a pre-built NER instead of deriving one from the store.
     pub fn ner(mut self, ner: Arc<GazetteerNer>) -> Self {
         self.ner = Some(ner);
@@ -553,7 +563,7 @@ impl KbqaServiceBuilder {
         KbqaService {
             store: self.store,
             conceptualizer: self.conceptualizer,
-            model: Arc::new(ModelHandle::new(self.model)),
+            model: Arc::new(ModelHandle::with_epoch(self.model, self.model_epoch)),
             ner,
             pattern_index: self.pattern_index,
             config: self.config,
@@ -895,6 +905,7 @@ impl KbqaService {
             obs: None,
             shard_plan: None,
             shard_router: None,
+            model_epoch: 0,
         }
     }
 

@@ -53,8 +53,22 @@
 //! requests are served in order (the parse buffer simply carries the next
 //! request).
 //!
-//! Live operations (`POST /admin/reload`, token-gated model hot swap) are
-//! identical to PR 3 — the route handlers did not move.
+//! The serving edge is allocation-lean (PR 10): responses render through
+//! [`kbqa_core::service::QaResponse::serialize_into`] into reused buffers
+//! (no serde tree, no intermediate `String`), HTTP heads through a
+//! per-loop `ResponseWriter`. `POST /batch?stream=1` switches the response
+//! to HTTP/1.1 **chunked transfer**: answers are serialized in compute
+//! lanes and flushed once [`ServerConfig::stream_flush_bytes`] accumulate,
+//! riding the same write state machine (a stream parked on compute carries
+//! no deadline, exactly like a dispatched request). De-chunked, the
+//! streamed body is byte-identical to the buffered one, and one stream
+//! serves exactly one model epoch.
+//!
+//! Live operations: `POST /admin/reload` (token-gated, PR 3) hot-swaps the
+//! model, and with a bundle dir configured (`?mode=bundle`, the default
+//! then) remaps the **full serving bundle** — store, taxonomy, model —
+//! under the next epoch while in-flight requests finish on the artifacts
+//! they snapshotted.
 //!
 //! Graceful shutdown: [`ServerHandle::shutdown`] flips an atomic flag and
 //! wakes every loop via its eventfd. Loops stop accepting, close idle
@@ -68,7 +82,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::os::fd::AsRawFd;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -184,6 +198,18 @@ pub struct ServerConfig {
     pub worker_breaker_window_ms: u64,
     /// Grace between the clean `Terminate` frame and SIGKILL at shutdown.
     pub worker_terminate_grace_ms: u64,
+    /// Allow HTTP/1.1 chunked streaming on `POST /batch` for clients that
+    /// opt in with `?stream=1`: answers stream out in request order as
+    /// compute lanes complete instead of buffering the whole batch. The
+    /// de-chunked body is byte-identical to the buffered one. On (the
+    /// default) this only changes behaviour for clients that ask; off
+    /// forces every batch through Content-Length framing.
+    pub stream_batch: bool,
+    /// Streamed-batch flush threshold, bytes: serialized answers accumulate
+    /// until at least this many bytes are pending, then ship as one HTTP
+    /// chunk. Smaller values lower time-to-first-answer; larger values
+    /// amortize per-chunk framing and syscalls. Clamped to ≥ 1.
+    pub stream_flush_bytes: usize,
 }
 
 impl Default for ServerConfig {
@@ -217,6 +243,8 @@ impl Default for ServerConfig {
             worker_breaker_max_restarts: 5,
             worker_breaker_window_ms: 30_000,
             worker_terminate_grace_ms: 2_000,
+            stream_batch: true,
+            stream_flush_bytes: 8 << 10,
         }
     }
 }
@@ -252,6 +280,8 @@ impl ServerConfig {
     /// | `KBQA_WORKER_BREAKER_MAX_RESTARTS` | `worker_breaker_max_restarts` |
     /// | `KBQA_WORKER_BREAKER_WINDOW_MS` | `worker_breaker_window_ms` |
     /// | `KBQA_WORKER_TERMINATE_GRACE_MS` | `worker_terminate_grace_ms` |
+    /// | `KBQA_STREAM_BATCH`        | `stream_batch` (`0`/`false`/`off` disable) |
+    /// | `KBQA_STREAM_FLUSH_BYTES`  | `stream_flush_bytes` |
     ///
     /// Unset or unparsable variables keep the default; an empty
     /// `KBQA_ADMIN_TOKEN` stays disabled (an empty shared secret would gate
@@ -323,6 +353,12 @@ impl ServerConfig {
         }
         if let Some(v) = parsed("KBQA_WORKER_TERMINATE_GRACE_MS") {
             config.worker_terminate_grace_ms = v;
+        }
+        if let Ok(v) = std::env::var("KBQA_STREAM_BATCH") {
+            config.stream_batch = !matches!(v.trim(), "0" | "false" | "off" | "no");
+        }
+        if let Some(v) = parsed::<usize>("KBQA_STREAM_FLUSH_BYTES") {
+            config.stream_flush_bytes = v.max(1);
         }
         for (var, field) in [
             ("KBQA_BUNDLE_DIR", &mut config.bundle_dir),
@@ -419,12 +455,41 @@ fn jittered_retry_after(config: &ServerConfig, seed: u64) -> u64 {
     base + splitmix64(seed) % (config.retry_after_jitter_secs + 1)
 }
 
+/// The swappable serving service. Model-only reloads mutate the resident
+/// service in place through its `ModelHandle`; a **full-bundle** reload
+/// replaces the whole [`KbqaService`] (store + taxonomy + model remapped
+/// from disk). Routes take one `Arc` clone per request, so a swap never
+/// blocks in-flight requests — they finish on the service they started on.
+struct ServiceSlot(RwLock<Arc<KbqaService>>);
+
+impl ServiceSlot {
+    fn new(service: KbqaService) -> Self {
+        Self(RwLock::new(Arc::new(service)))
+    }
+
+    /// The current service. Lock poisoning is tolerated: the slot only ever
+    /// holds a fully-built `Arc`, so a panicking swapper cannot leave it
+    /// half-written.
+    fn load(&self) -> Arc<KbqaService> {
+        Arc::clone(&self.0.read().unwrap_or_else(|poison| poison.into_inner()))
+    }
+
+    fn swap(&self, next: KbqaService) {
+        let mut slot = self.0.write().unwrap_or_else(|poison| poison.into_inner());
+        *slot = Arc::new(next);
+    }
+}
+
 /// Everything the request handlers share.
 struct AppState {
-    service: KbqaService,
+    service: ServiceSlot,
     cache: AnswerCache,
     metrics: Metrics,
     slow: SlowQueryLog,
+    /// The serving-side observability sink, re-installed onto the
+    /// replacement service by a full-bundle reload so stage histograms and
+    /// explain traces survive the swap.
+    observability: Arc<Observability>,
 }
 
 /// One parsed request handed from an event loop to the worker pool.
@@ -435,11 +500,32 @@ struct Job {
     request: Request,
 }
 
-/// A finished response travelling back from a worker to the owning loop.
+/// What one completion carries back to the owning loop: a whole buffered
+/// response, or one step of a chunked stream.
+enum Payload {
+    /// A complete `Content-Length` response.
+    Full(Response),
+    /// Open a chunked `200` stream: status line + `Transfer-Encoding:
+    /// chunked` headers. Body bytes follow as [`Payload::Chunk`]s.
+    StreamStart,
+    /// One chunk of stream body bytes (unframed; the loop adds the
+    /// `{len:x}\r\n…\r\n` framing as it writes).
+    Chunk(Vec<u8>),
+    /// Orderly end of stream: the loop writes the terminal `0\r\n\r\n` and
+    /// the connection returns to keep-alive.
+    StreamEnd,
+    /// The worker died mid-stream (panic after the head was sent). A
+    /// truncated chunked body must not look complete, so the loop closes
+    /// the connection without the terminal chunk.
+    StreamAbort,
+}
+
+/// A finished response (or stream step) travelling back from a worker to
+/// the owning loop.
 struct Completion {
     slot: u32,
     generation: u64,
-    response: Response,
+    payload: Payload,
     /// What the request's `Connection` semantics asked for; the loop folds
     /// in the keep-alive cap, shutdown, and peer half-close.
     keep_alive_requested: bool,
@@ -541,7 +627,7 @@ pub fn serve(
         metrics.stage_stats(),
         config.trace_sample_every,
     ));
-    let service = service.with_observability(observability);
+    let service = service.with_observability(Arc::clone(&observability));
     // Shard-serving topology, in precedence order: a router the service
     // already carries (warm-started from a sharded bundle) wins; then
     // `KBQA_SHARD_WORKERS` spawns the supervised out-of-process worker
@@ -560,10 +646,11 @@ pub fn serve(
     };
     let shared = Arc::new(Shared {
         state: AppState {
-            service,
+            service: ServiceSlot::new(service),
             cache: AnswerCache::new(config.cache.clone()),
             metrics,
             slow: SlowQueryLog::new(config.slow_log_capacity),
+            observability,
         },
         jobs: Mutex::new(VecDeque::new()),
         available: Condvar::new(),
@@ -673,6 +760,14 @@ fn worker_loop(shared: &Shared) {
         };
         let Some(job) = job else { return };
         let keep_alive_requested = job.request.keep_alive();
+        if shared.config.stream_batch
+            && job.request.method == "POST"
+            && job.request.path == "/batch"
+            && job.request.stream_requested()
+        {
+            stream_batch_job(shared, &job, keep_alive_requested);
+            continue;
+        }
         // A panic while routing (engine bug, broken invariant) must cost
         // one request, not one worker: the fixed-size pool has no respawn.
         // The connection still gets a response (500) so the event loop's
@@ -684,13 +779,41 @@ fn worker_loop(shared: &Shared) {
                     shared.state.metrics.record_response(response.status);
                     response
                 });
-        shared.lock_completions(job.loop_idx).push(Completion {
-            slot: job.slot,
-            generation: job.generation,
-            response,
-            keep_alive_requested,
-        });
-        shared.loops[job.loop_idx].wake.wake();
+        complete(shared, &job, Payload::Full(response), keep_alive_requested);
+    }
+}
+
+/// Push one completion to the job's owning loop and wake it.
+fn complete(shared: &Shared, job: &Job, payload: Payload, keep_alive_requested: bool) {
+    shared.lock_completions(job.loop_idx).push(Completion {
+        slot: job.slot,
+        generation: job.generation,
+        payload,
+        keep_alive_requested,
+    });
+    shared.loops[job.loop_idx].wake.wake();
+}
+
+/// Drive one streamed `/batch` request, with the same panic containment as
+/// the buffered path: a panic before the stream head became a plain `500`;
+/// a panic after it aborts the stream (the loop closes the connection, so a
+/// truncated chunked body can never be mistaken for a complete one).
+fn stream_batch_job(shared: &Shared, job: &Job, keep_alive_requested: bool) {
+    let started = std::cell::Cell::new(false);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        handle_batch_streaming(shared, job, keep_alive_requested, &started)
+    }));
+    if result.is_err() {
+        let payload = if started.get() {
+            // The 200 head already went out (and was recorded); the abort
+            // surfaces to the client as a truncated stream + closed
+            // connection, not a second status.
+            Payload::StreamAbort
+        } else {
+            shared.state.metrics.record_response(500);
+            Payload::Full(Response::error(500, "internal error"))
+        };
+        complete(shared, job, payload, keep_alive_requested);
     }
 }
 
@@ -759,6 +882,10 @@ struct Conn {
     peer_closed: bool,
     /// Whether the response being written allows another request after it.
     keep_alive_after_write: bool,
+    /// A chunked response stream is open: the worker is still producing
+    /// chunks, so a drained `out` buffer means *wait for more*, not done.
+    /// Cleared by [`Payload::StreamEnd`].
+    streaming: bool,
 }
 
 /// A hashed timer wheel: deadlines land in `(deadline - now) / granularity`
@@ -827,6 +954,9 @@ struct EventLoop {
     due: Vec<(u32, u64, u64)>,
     completions_buf: Vec<Completion>,
     draining: bool,
+    /// Renders heads, bodies and chunk framing straight into each
+    /// connection's write buffer — one per loop, reused for every response.
+    writer: ResponseWriter,
 }
 
 impl EventLoop {
@@ -845,6 +975,7 @@ impl EventLoop {
             due: Vec::new(),
             completions_buf: Vec::new(),
             draining: false,
+            writer: ResponseWriter::new(),
         }
     }
 
@@ -987,6 +1118,7 @@ impl EventLoop {
             timer_seq: 0,
             peer_closed: false,
             keep_alive_after_write: false,
+            streaming: false,
         });
         self.wheel.schedule(slot, generation, 0, deadline, now);
         self.live += 1;
@@ -1189,7 +1321,7 @@ impl EventLoop {
                 };
                 let response = Response {
                     status: 429,
-                    body: "{\"error\":\"server overloaded, retry later\"}".to_string(),
+                    body: b"{\"error\":\"server overloaded, retry later\"}".to_vec(),
                     retry_after: Some(jittered_retry_after(config, conn_token(slot, generation))),
                     content_type: "application/json",
                 };
@@ -1230,7 +1362,7 @@ impl EventLoop {
         self.metrics().record_response(status);
         let response = Response {
             status,
-            body: format!("{{\"error\":\"{}\"}}", reason(status)),
+            body: format!("{{\"error\":\"{}\"}}", reason(status)).into_bytes(),
             retry_after: None,
             content_type: "application/json",
         };
@@ -1244,7 +1376,7 @@ impl EventLoop {
         };
         conn.out.clear();
         conn.out_pos = 0;
-        render_response(&mut conn.out, response, keep_alive);
+        self.writer.render(&mut conn.out, response, keep_alive);
         conn.state = ConnState::Writing;
         conn.keep_alive_after_write = keep_alive;
         self.arm(slot, DeadlineKind::Write, budget);
@@ -1257,6 +1389,16 @@ impl EventLoop {
                 return;
             };
             if conn.out_pos >= conn.out.len() {
+                if conn.streaming {
+                    // Stream drained but still open: park until the worker
+                    // delivers the next chunk (no deadline — compute time is
+                    // the worker's budget, exactly as in `Dispatched`).
+                    conn.out.clear();
+                    conn.out_pos = 0;
+                    conn.deadline = None;
+                    self.set_interest(slot, EPOLLRDHUP);
+                    return;
+                }
                 self.finish_response(slot);
                 return;
             }
@@ -1336,17 +1478,114 @@ impl EventLoop {
         for completion in batch.drain(..) {
             let Some(conn) = self.conn(completion.slot, completion.generation) else {
                 // The connection died while its request was being computed
-                // (peer hang-up): the response has nowhere to go.
+                // (peer hang-up): the response has nowhere to go. Stream
+                // chunks for dead generations land here too — the worker
+                // keeps producing, the loop just drops them, and nothing
+                // ever blocks.
                 continue;
             };
-            if conn.state != ConnState::Dispatched || conn.generation != completion.generation {
+            if conn.generation != completion.generation {
                 continue;
             }
-            let keep_alive =
-                self.response_keep_alive(completion.slot, completion.keep_alive_requested);
-            self.start_response(completion.slot, &completion.response, keep_alive);
+            let slot = completion.slot;
+            match completion.payload {
+                Payload::Full(response) => {
+                    if conn.state != ConnState::Dispatched {
+                        continue;
+                    }
+                    let keep_alive =
+                        self.response_keep_alive(slot, completion.keep_alive_requested);
+                    self.start_response(slot, &response, keep_alive);
+                }
+                Payload::StreamStart => {
+                    if conn.state != ConnState::Dispatched {
+                        continue;
+                    }
+                    let keep_alive =
+                        self.response_keep_alive(slot, completion.keep_alive_requested);
+                    self.start_stream(slot, keep_alive);
+                }
+                Payload::Chunk(bytes) => {
+                    if !conn.streaming {
+                        continue;
+                    }
+                    self.append_chunk(slot, &bytes);
+                }
+                Payload::StreamEnd => {
+                    if !conn.streaming {
+                        continue;
+                    }
+                    self.end_stream(slot);
+                }
+                Payload::StreamAbort => {
+                    if !conn.streaming {
+                        continue;
+                    }
+                    self.close(slot);
+                }
+            }
         }
         self.completions_buf = batch;
+    }
+
+    /// Open a chunked response: status line + `Transfer-Encoding: chunked`
+    /// head into the write buffer, then drive the writer. Body chunks
+    /// follow via [`EventLoop::append_chunk`].
+    fn start_stream(&mut self, slot: u32, keep_alive: bool) {
+        let budget = self.shared.config.request_timeout;
+        let Some(Some(conn)) = self.conns.get_mut(slot as usize) else {
+            return;
+        };
+        conn.out.clear();
+        conn.out_pos = 0;
+        self.writer.stream_head(&mut conn.out, keep_alive);
+        conn.state = ConnState::Writing;
+        conn.streaming = true;
+        conn.keep_alive_after_write = keep_alive;
+        self.arm(slot, DeadlineKind::Write, budget);
+        self.do_write(slot);
+    }
+
+    /// Frame and enqueue one stream chunk, then drive the writer. Each
+    /// chunk re-arms the write deadline: progress resets the clock, but a
+    /// peer that stops reading still gets dropped on the write budget
+    /// (backpressure surfaces as `EPOLLOUT` waits, bounded per chunk).
+    fn append_chunk(&mut self, slot: u32, bytes: &[u8]) {
+        let budget = self.shared.config.request_timeout;
+        let Some(Some(conn)) = self.conns.get_mut(slot as usize) else {
+            return;
+        };
+        // Compact the already-written prefix so a slow peer bounds the
+        // buffer at (unwritten + new chunk), not the whole stream.
+        if conn.out_pos > 0 {
+            let len = conn.out.len();
+            conn.out.copy_within(conn.out_pos.., 0);
+            conn.out.truncate(len - conn.out_pos);
+            conn.out_pos = 0;
+        }
+        self.writer.chunk(&mut conn.out, bytes);
+        self.arm(slot, DeadlineKind::Write, budget);
+        self.do_write(slot);
+    }
+
+    /// Terminate the stream (`0\r\n\r\n`); once drained the connection
+    /// finishes exactly like a buffered response (chunked framing is
+    /// self-delimiting, so keep-alive and pipelining work unchanged).
+    fn end_stream(&mut self, slot: u32) {
+        let budget = self.shared.config.request_timeout;
+        let Some(Some(conn)) = self.conns.get_mut(slot as usize) else {
+            return;
+        };
+        if conn.out_pos > 0 {
+            let len = conn.out.len();
+            conn.out.copy_within(conn.out_pos.., 0);
+            conn.out.truncate(len - conn.out_pos);
+            conn.out_pos = 0;
+        }
+        self.writer.stream_end(&mut conn.out);
+        conn.streaming = false;
+        self.arm(slot, DeadlineKind::Write, budget);
+        self.do_write(slot);
     }
 
     fn expire_timers(&mut self) {
@@ -1466,6 +1705,15 @@ impl Request {
             return None;
         }
         Some(credential.trim())
+    }
+
+    /// Whether the client opted into chunked streaming (`?stream=1`).
+    /// Only honoured on `POST /batch` (and only when
+    /// [`ServerConfig::stream_batch`] allows it).
+    fn stream_requested(&self) -> bool {
+        self.query
+            .as_deref()
+            .is_some_and(|query| query.split('&').any(|pair| pair == "stream=1"))
     }
 
     /// Whether the client asked for Prometheus text exposition: either
@@ -1641,10 +1889,13 @@ fn parse_request(input: &[u8], max_body: usize) -> Parsed {
 const PROMETHEUS_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
 
 /// A response ready for the wire. Bodies are JSON unless `content_type`
-/// says otherwise (the Prometheus exposition is plain text).
+/// says otherwise (the Prometheus exposition is plain text). Bodies are raw
+/// bytes: the hot routes fill them with
+/// [`QaResponse::serialize_into`](kbqa_core::service::QaResponse::serialize_into)
+/// and never pass through an intermediate `String` or serde `Value` tree.
 struct Response {
     status: u16,
-    body: String,
+    body: Vec<u8>,
     /// `Retry-After` seconds, set only on admission-control sheds.
     retry_after: Option<u64>,
     /// `Content-Type` header value.
@@ -1653,6 +1904,10 @@ struct Response {
 
 impl Response {
     fn ok(body: String) -> Self {
+        Self::ok_bytes(body.into_bytes())
+    }
+
+    fn ok_bytes(body: Vec<u8>) -> Self {
         Self {
             status: 200,
             body,
@@ -1664,7 +1919,7 @@ impl Response {
     fn ok_text(body: String, content_type: &'static str) -> Self {
         Self {
             status: 200,
-            body,
+            body: body.into_bytes(),
             retry_after: None,
             content_type,
         }
@@ -1676,7 +1931,7 @@ impl Response {
         let escaped = message.replace('\\', "\\\\").replace('"', "\\\"");
         Self {
             status,
-            body: format!("{{\"error\":\"{escaped}\"}}"),
+            body: format!("{{\"error\":\"{escaped}\"}}").into_bytes(),
             retry_after: None,
             content_type: "application/json",
         }
@@ -1701,29 +1956,100 @@ fn reason(status: u16) -> &'static str {
     }
 }
 
-/// Render head + body into `out` (cleared by the caller).
-fn render_response(out: &mut Vec<u8>, response: &Response, keep_alive: bool) {
-    out.extend_from_slice(
-        format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
-            response.status,
-            reason(response.status),
-            response.content_type,
-            response.body.len(),
-        )
-        .as_bytes(),
-    );
-    if let Some(seconds) = response.retry_after {
-        out.extend_from_slice(format!("Retry-After: {seconds}\r\n").as_bytes());
+/// Append a decimal integer to `out` without going through `format!`.
+fn write_dec(out: &mut Vec<u8>, mut v: u64) {
+    let mut digits = [0u8; 20];
+    let mut i = digits.len();
+    loop {
+        i -= 1;
+        digits[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
     }
-    out.extend_from_slice(
-        format!(
-            "Connection: {}\r\n\r\n",
-            if keep_alive { "keep-alive" } else { "close" }
-        )
-        .as_bytes(),
-    );
-    out.extend_from_slice(response.body.as_bytes());
+    out.extend_from_slice(&digits[i..]);
+}
+
+/// Append a lowercase hexadecimal integer to `out` (HTTP chunk-size field).
+fn write_hex(out: &mut Vec<u8>, mut v: u64) {
+    const HEX: &[u8; 16] = b"0123456789abcdef";
+    let mut digits = [0u8; 16];
+    let mut i = digits.len();
+    loop {
+        i -= 1;
+        digits[i] = HEX[(v & 0xf) as usize];
+        v >>= 4;
+        if v == 0 {
+            break;
+        }
+    }
+    out.extend_from_slice(&digits[i..]);
+}
+
+/// Renders responses straight into a connection's write buffer: head,
+/// body, and chunked-stream framing, all via byte appends — no `format!`,
+/// no intermediate `String` per response. One lives in each event loop and
+/// is reused for every response that loop writes.
+struct ResponseWriter;
+
+impl ResponseWriter {
+    fn new() -> Self {
+        Self
+    }
+
+    fn connection_header(&self, out: &mut Vec<u8>, keep_alive: bool) {
+        out.extend_from_slice(if keep_alive {
+            b"Connection: keep-alive\r\n\r\n"
+        } else {
+            b"Connection: close\r\n\r\n"
+        });
+    }
+
+    /// Head + body with `Content-Length` framing (the buffered path).
+    fn render(&self, out: &mut Vec<u8>, response: &Response, keep_alive: bool) {
+        out.extend_from_slice(b"HTTP/1.1 ");
+        write_dec(out, u64::from(response.status));
+        out.push(b' ');
+        out.extend_from_slice(reason(response.status).as_bytes());
+        out.extend_from_slice(b"\r\nContent-Type: ");
+        out.extend_from_slice(response.content_type.as_bytes());
+        out.extend_from_slice(b"\r\nContent-Length: ");
+        write_dec(out, response.body.len() as u64);
+        out.extend_from_slice(b"\r\n");
+        if let Some(seconds) = response.retry_after {
+            out.extend_from_slice(b"Retry-After: ");
+            write_dec(out, seconds);
+            out.extend_from_slice(b"\r\n");
+        }
+        self.connection_header(out, keep_alive);
+        out.extend_from_slice(&response.body);
+    }
+
+    /// The head of a chunked `200` JSON stream.
+    fn stream_head(&self, out: &mut Vec<u8>, keep_alive: bool) {
+        out.extend_from_slice(
+            b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nTransfer-Encoding: chunked\r\n",
+        );
+        self.connection_header(out, keep_alive);
+    }
+
+    /// One framed chunk: `{len:x}\r\n … \r\n`. Empty chunks are skipped —
+    /// a zero-length chunk would terminate the stream.
+    fn chunk(&self, out: &mut Vec<u8>, bytes: &[u8]) {
+        if bytes.is_empty() {
+            return;
+        }
+        write_hex(out, bytes.len() as u64);
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(bytes);
+        out.extend_from_slice(b"\r\n");
+    }
+
+    /// The terminal chunk.
+    fn stream_end(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(b"0\r\n\r\n");
+    }
 }
 
 const ROUTES: [(&str, &str); 7] = [
@@ -1748,7 +2074,7 @@ fn route(shared: &Shared, request: &Request) -> Response {
         ("GET", "/debug/slow") => handle_slow(shared, request),
         ("GET", "/cache/stats") => {
             let mut stats = state.cache.stats();
-            stats.model_epoch = state.service.model_epoch();
+            stats.model_epoch = state.service.load().model_epoch();
             match serde_json::to_string(&stats) {
                 Ok(body) => Response::ok(body),
                 Err(e) => Response::error(500, &e.to_string()),
@@ -1770,11 +2096,11 @@ fn route(shared: &Shared, request: &Request) -> Response {
 /// restarting shards are listed either way, with restart counts and
 /// heartbeat age.
 fn handle_healthz(shared: &Shared) -> Response {
-    let state = &shared.state;
-    let store = state.service.store();
+    let service = shared.state.service.load();
+    let store = service.store();
     let base = format!(
         "\"model_epoch\":{},\"store_triples\":{},\"store_backend\":\"{}\"",
-        state.service.model_epoch(),
+        service.model_epoch(),
         store.len(),
         store.backend_kind().as_str()
     );
@@ -1793,7 +2119,7 @@ fn handle_healthz(shared: &Shared) -> Response {
     );
     Response {
         status: if healthy { 200 } else { 503 },
-        body,
+        body: body.into_bytes(),
         retry_after: None,
         content_type: "application/json",
     }
@@ -1812,13 +2138,43 @@ fn token_matches(presented: &str, expected: &str) -> bool {
     diff == 0
 }
 
-/// `POST /admin/reload`: re-read the model file from the persist layer and
-/// hot-swap it into the running service. The epoch bump re-keys the answer
-/// cache, so no pre-swap entry is ever served again — no flush needed.
+/// Which artifacts `POST /admin/reload` should swap.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ReloadMode {
+    /// Re-read the model file only (the PR 3 behaviour).
+    Model,
+    /// Remap the full [`ServingArtifacts`] bundle: store + taxonomy +
+    /// model + NER + pattern index, mmap'd back in from the bundle dir.
+    ///
+    /// [`ServingArtifacts`]: kbqa_core::persist::ServingArtifacts
+    Bundle,
+}
+
+/// `POST /admin/reload`: hot-swap serving artifacts under traffic. Two
+/// modes, selected by `?mode=model` / `?mode=bundle`, defaulting to the
+/// widest configured one (bundle when `KBQA_BUNDLE_DIR` points at a
+/// loadable bundle, else model). Either way the epoch bump re-keys the
+/// answer cache, so no pre-swap entry is ever served again — no flush
+/// needed.
+///
+/// **Model** re-reads the model JSON and swaps it through the resident
+/// service's `ModelHandle`. **Bundle** loads the whole bundle from disk
+/// (the store comes back as an mmap — an epoch swap is a file remap, not a
+/// parse), builds a replacement service at `old_epoch + 1` with the same
+/// observability sink, and swaps it into the [`ServiceSlot`]; in-flight
+/// requests finish on the service they started on.
+///
+/// With out-of-process shard workers, both modes run the PR 9 two-phase
+/// protocol first — stage the next epoch on every up worker (each worker
+/// remaps its own shard snapshot from the bundle dir), commit everywhere,
+/// and only then swap the front end — so no request can ever pin an epoch
+/// no worker has committed, and the front end keeps routing through the
+/// supervisor's remote router across a bundle swap.
 ///
 /// Gating: 403 when no admin token is configured (the surface is off), 401
-/// on a missing/wrong credential, 409 when no model path is configured,
-/// 500 when the file fails to load (the previous model keeps serving).
+/// on a missing/wrong credential, 409 when the selected mode has no
+/// configured source, 500 when loading fails (the previous artifacts keep
+/// serving).
 fn handle_reload(shared: &Shared, request: &Request) -> Response {
     let Some(expected) = shared.config.admin_token.as_deref() else {
         return Response::error(403, "admin interface disabled: no admin token configured");
@@ -1829,6 +2185,32 @@ fn handle_reload(shared: &Shared, request: &Request) -> Response {
     if !authorized {
         return Response::error(401, "missing or invalid admin token");
     }
+    let bundle_ready = shared
+        .config
+        .bundle_dir
+        .as_deref()
+        .is_some_and(kbqa_core::persist::ServingArtifacts::present_in);
+    let mode = match request
+        .query
+        .as_deref()
+        .and_then(|query| query.split('&').find_map(|pair| pair.strip_prefix("mode=")))
+    {
+        Some("model") => ReloadMode::Model,
+        Some("bundle") => ReloadMode::Bundle,
+        Some(other) => {
+            return Response::error(400, &format!("unknown reload mode `{other}`"));
+        }
+        None if bundle_ready => ReloadMode::Bundle,
+        None => ReloadMode::Model,
+    };
+    match mode {
+        ReloadMode::Model => reload_model(shared),
+        ReloadMode::Bundle => reload_bundle(shared),
+    }
+}
+
+/// Model-only reload (see [`handle_reload`]).
+fn reload_model(shared: &Shared) -> Response {
     let Some(path) = shared.config.model_path.as_deref() else {
         return Response::error(409, "no model path configured for reload");
     };
@@ -1839,10 +2221,11 @@ fn handle_reload(shared: &Shared, request: &Request) -> Response {
             // then swap the model handle — no request can ever pin an
             // epoch no worker has committed, and a batch never merges
             // values from two epochs. Holding the supervisor lock across
-            // stage+swap serializes concurrent reloads.
+            // stage+swap serializes concurrent reloads (of either mode).
+            let service = shared.state.service.load();
             let supervisor = shared.lock_supervisor();
             if let Some(supervisor) = supervisor.as_ref() {
-                let next = shared.state.service.model_epoch() + 1;
+                let next = service.model_epoch() + 1;
                 if let Err(e) = supervisor.stage_and_commit(next) {
                     return Response::error(
                         500,
@@ -1850,11 +2233,11 @@ fn handle_reload(shared: &Shared, request: &Request) -> Response {
                     );
                 }
             }
-            let epoch = shared.state.service.swap_model(Arc::new(model));
+            let epoch = service.swap_model(Arc::new(model));
             drop(supervisor);
             shared.state.metrics.record_reload();
             Response::ok(format!(
-                "{{\"reloaded\":true,\"model_epoch\":{epoch},\"model_path\":{}}}",
+                "{{\"reloaded\":true,\"mode\":\"model\",\"model_epoch\":{epoch},\"model_path\":{}}}",
                 serde_json::to_string(&path.display().to_string())
                     .unwrap_or_else(|_| "\"?\"".to_string()),
             ))
@@ -1863,22 +2246,69 @@ fn handle_reload(shared: &Shared, request: &Request) -> Response {
     }
 }
 
+/// Full-bundle reload (see [`handle_reload`]).
+fn reload_bundle(shared: &Shared) -> Response {
+    let Some(dir) = shared.config.bundle_dir.as_deref() else {
+        return Response::error(409, "no bundle dir configured for full-bundle reload");
+    };
+    // Load outside the reload lock: mmap + manifest verification can take a
+    // while on a big bundle, and `/healthz` takes the same lock.
+    let artifacts = match kbqa_core::persist::ServingArtifacts::load(dir) {
+        Ok(artifacts) => artifacts,
+        Err(e) => {
+            return Response::error(
+                500,
+                &format!("bundle reload failed, old artifacts keep serving: {e}"),
+            );
+        }
+    };
+    let supervisor = shared.lock_supervisor();
+    let old = shared.state.service.load();
+    let next_epoch = old.model_epoch() + 1;
+    if let Some(supervisor) = supervisor.as_ref() {
+        // Workers remap their per-shard snapshots from the bundle dir as
+        // part of the Stage frame, so this both re-stages the data *and*
+        // moves every shard to the next epoch before the front end flips.
+        if let Err(e) = supervisor.stage_and_commit(next_epoch) {
+            return Response::error(
+                500,
+                &format!("two-phase shard epoch swap failed, old bundle keeps serving: {e}"),
+            );
+        }
+    }
+    let mut service = artifacts
+        .into_service_at_epoch(next_epoch)
+        .with_observability(Arc::clone(&shared.state.observability));
+    if let Some(supervisor) = supervisor.as_ref() {
+        // Out-of-process serving: lookups keep routing through the
+        // supervisor's remote router, not the bundle's in-process one.
+        service = service.with_shard_router(supervisor.router());
+    }
+    let store_triples = service.store().len();
+    shared.state.service.swap(service);
+    drop(supervisor);
+    shared.state.metrics.record_reload();
+    Response::ok(format!(
+        "{{\"reloaded\":true,\"mode\":\"bundle\",\"model_epoch\":{next_epoch},\
+         \"store_triples\":{store_triples},\"bundle_dir\":{}}}",
+        serde_json::to_string(&dir.display().to_string()).unwrap_or_else(|_| "\"?\"".to_string()),
+    ))
+}
+
 /// The counter snapshot enriched with everything only the serving layer
 /// knows: cache stats (with the epoch stamped, as at `/cache/stats`), the
 /// store gauges previously visible only at `/healthz`, and the model epoch.
 fn metrics_snapshot(shared: &Shared) -> MetricsSnapshot {
     let state = &shared.state;
+    let service = state.service.load();
     let mut snapshot = state.metrics.snapshot();
     snapshot.cache = state.cache.stats();
-    snapshot.cache.model_epoch = state.service.model_epoch();
-    let store = state.service.store();
+    snapshot.cache.model_epoch = service.model_epoch();
+    let store = service.store();
     snapshot.store_backend = store.backend_kind().as_str().to_string();
     snapshot.store_triples = store.len() as u64;
-    snapshot.model_epoch = state.service.model_epoch();
-    snapshot.shards = state
-        .service
-        .shard_router()
-        .map(|router| router.obs().snapshot());
+    snapshot.model_epoch = service.model_epoch();
+    snapshot.shards = service.shard_router().map(|router| router.obs().snapshot());
     if let Some(supervisor) = shared.lock_supervisor().as_ref() {
         snapshot.shard_workers = supervisor.status();
     }
@@ -1945,7 +2375,8 @@ fn handle_answer(state: &AppState, body: &[u8]) -> Response {
         // excluded from the key, so assigning it cannot split cache entries.
         request.request_id = Some(state.metrics.next_request_id());
     }
-    let snapshot = state.service.snapshot();
+    let service = state.service.load();
+    let snapshot = service.snapshot();
     // Read-your-reload: a client that just drove `/admin/reload` may pin a
     // floor epoch; a replica still serving below it answers 409 instead of
     // silently serving stale answers.
@@ -1976,10 +2407,9 @@ fn handle_answer(state: &AppState, body: &[u8]) -> Response {
     };
     state.metrics.record_outcome(&response);
     let serialize_started = Instant::now();
-    let rendered = match serde_json::to_string(&*response) {
-        Ok(body) => Response::ok(body),
-        Err(e) => Response::error(500, &e.to_string()),
-    };
+    let mut body = Vec::with_capacity(256);
+    response.serialize_into(&mut body);
+    let rendered = Response::ok_bytes(body);
     if let Some(breakdown) = breakdown.as_mut() {
         // The engine cannot time serialization (it happens here, after the
         // response exists), so the route records the serialize stage.
@@ -1996,75 +2426,208 @@ fn handle_answer(state: &AppState, body: &[u8]) -> Response {
         refusal: response.refusal.map(|r| r.to_string()),
         cache_hit,
         model_epoch: response.model_epoch,
-        store_backend: state.service.store().backend_kind().as_str().to_string(),
+        store_backend: service.store().backend_kind().as_str().to_string(),
         traced: breakdown.is_some(),
     });
     state.metrics.answer_latency.record(started.elapsed());
     rendered
 }
 
-/// `POST /batch`: a `Vec<QaRequest>` in, a `Vec<QaResponse>` out in request
-/// order. Cache hits are filled in directly; only the misses fan out through
-/// the snapshot's `answer_batch`, then enter the cache. The whole batch —
-/// keys and computation — runs under one model epoch.
-fn handle_batch(state: &AppState, body: &[u8]) -> Response {
-    let started = Instant::now();
-    let requests: Vec<QaRequest> = match parse_body(body) {
-        Ok(requests) => requests,
-        Err(response) => return response,
-    };
-    state.metrics.record_batch_request(requests.len());
+/// The parsed-and-admitted prefix of a `/batch` request, shared by the
+/// buffered and streaming paths: requests, epoch-consistent snapshot,
+/// versioned keys, and the cache-hit array (one striped-lock trip for the
+/// whole batch via [`AnswerCache::get_batch`]).
+struct BatchSetup {
+    requests: Vec<QaRequest>,
+    snapshot: kbqa_core::service::ServiceSnapshot,
+    keys: Vec<String>,
+    responses: Vec<Option<Arc<QaResponse>>>,
+}
 
-    let snapshot = state.service.snapshot();
+/// Parse and admit one `/batch` body. `Err` carries the early response
+/// (parse error or `min_epoch` 409).
+fn batch_setup(state: &AppState, body: &[u8]) -> Result<BatchSetup, Response> {
+    let requests: Vec<QaRequest> = parse_body(body)?;
+    state.metrics.record_batch_request(requests.len());
+    let service = state.service.load();
+    let snapshot = service.snapshot();
     // The whole batch runs under one model epoch, so one member pinning a
     // floor the snapshot cannot meet rejects the whole batch — mixed-epoch
     // partial batches are exactly what `min_epoch` exists to prevent.
     if let Some(min_epoch) = requests.iter().filter_map(|r| r.min_epoch).max() {
         if snapshot.model_epoch() < min_epoch {
-            return Response::error(
+            return Err(Response::error(
                 409,
                 &format!(
                     "serving model epoch {} is below requested min_epoch {min_epoch}",
                     snapshot.model_epoch()
                 ),
-            );
+            ));
         }
     }
     let keys: Vec<String> = requests.iter().map(|r| snapshot.cache_key(r)).collect();
-    let mut responses: Vec<Option<Arc<QaResponse>>> =
-        keys.iter().map(|key| state.cache.get(key)).collect();
-    let miss_indices: Vec<usize> = responses
-        .iter()
-        .enumerate()
-        .filter(|(_, r)| r.is_none())
-        .map(|(i, _)| i)
-        .collect();
-    if !miss_indices.is_empty() {
-        // Duplicate questions within one batch each miss independently and
-        // are computed redundantly; correctness is unaffected (the engine is
-        // deterministic) and the next request hits.
-        let misses: Vec<QaRequest> = miss_indices.iter().map(|&i| requests[i].clone()).collect();
-        let computed = snapshot.answer_batch(&misses);
-        for (&i, response) in miss_indices.iter().zip(computed) {
-            let response = Arc::new(response);
-            state.cache.insert(keys[i].clone(), Arc::clone(&response));
-            responses[i] = Some(response);
-        }
-    }
+    let responses = state.cache.get_batch(&keys);
+    Ok(BatchSetup {
+        requests,
+        snapshot,
+        keys,
+        responses,
+    })
+}
 
-    let responses: Vec<Arc<QaResponse>> = responses
-        .into_iter()
-        .map(|r| r.expect("every slot filled"))
-        .collect();
-    for response in &responses {
-        state.metrics.record_outcome(response);
+/// Compute the misses among `setup.responses[range]` in request order and
+/// fill the slots, entering the cache with one striped-lock trip per
+/// touched stripe ([`AnswerCache::insert_batch`]).
+fn fill_misses(state: &AppState, setup: &mut BatchSetup, range: std::ops::Range<usize>) {
+    let miss_indices: Vec<usize> = range.filter(|&i| setup.responses[i].is_none()).collect();
+    if miss_indices.is_empty() {
+        return;
     }
-    let rendered = match serde_json::to_string(&responses) {
-        Ok(body) => Response::ok(body),
-        Err(e) => Response::error(500, &e.to_string()),
+    // Duplicate questions within one batch each miss independently and
+    // are computed redundantly; correctness is unaffected (the engine is
+    // deterministic) and the next request hits.
+    let misses: Vec<QaRequest> = miss_indices
+        .iter()
+        .map(|&i| setup.requests[i].clone())
+        .collect();
+    let computed = setup.snapshot.answer_batch(&misses);
+    let mut fills = Vec::with_capacity(miss_indices.len());
+    for (&i, response) in miss_indices.iter().zip(computed) {
+        let response = Arc::new(response);
+        fills.push((setup.keys[i].clone(), Arc::clone(&response)));
+        setup.responses[i] = Some(response);
+    }
+    state.cache.insert_batch(fills);
+}
+
+/// `POST /batch`: a `Vec<QaRequest>` in, a `Vec<QaResponse>` out in request
+/// order. Cache hits are filled in directly (one lock trip per stripe for
+/// the whole batch); only the misses fan out through the snapshot's
+/// `answer_batch`, then enter the cache the same way. The whole batch —
+/// keys and computation — runs under one model epoch.
+fn handle_batch(state: &AppState, body: &[u8]) -> Response {
+    let started = Instant::now();
+    let mut setup = match batch_setup(state, body) {
+        Ok(setup) => setup,
+        Err(response) => return response,
     };
+    let n = setup.requests.len();
+    fill_misses(state, &mut setup, 0..n);
+
+    let serialize_started = Instant::now();
+    let mut body = Vec::with_capacity(256 * n.max(1));
+    body.push(b'[');
+    for (i, response) in setup.responses.iter().enumerate() {
+        let response = response.as_deref().expect("every slot filled");
+        state.metrics.record_outcome(response);
+        if i > 0 {
+            body.push(b',');
+        }
+        response.serialize_into(&mut body);
+    }
+    body.push(b']');
+    let us = u64::try_from(serialize_started.elapsed().as_micros()).unwrap_or(u64::MAX);
+    state.metrics.stage_stats().record_us(Stage::Serialize, us);
+    let rendered = Response::ok_bytes(body);
     state.metrics.batch_latency.record(started.elapsed());
     rendered
+}
+
+/// Questions computed per streamed sub-batch: small enough that the first
+/// chunk leaves quickly, large enough to keep `answer_batch`'s fan-out
+/// efficient.
+const STREAM_LANE_QUESTIONS: usize = 16;
+
+/// `POST /batch?stream=1`: the chunked-streaming twin of [`handle_batch`].
+/// Runs on a worker thread and pushes completions ([`Payload::StreamStart`]
+/// / [`Payload::Chunk`] / [`Payload::StreamEnd`]) to the owning loop as
+/// compute lanes finish, instead of buffering the whole batch.
+///
+/// Invariants, pinned by `crates/server/tests/streaming.rs`:
+///
+/// * the concatenated chunk bytes are **byte-identical** to the buffered
+///   body — same `[…]` JSON, same order;
+/// * everything runs under the **one** [`ServiceSnapshot`] taken up front,
+///   so a `/admin/reload` landing mid-stream can never mix epochs within
+///   one stream;
+/// * early failures (parse error, `min_epoch` 409) are plain buffered
+///   error responses — the stream head only goes out once success is
+///   certain.
+///
+/// `started` flips once the stream head is pushed; the caller uses it to
+/// tell "answer with 500" apart from "abort the stream" on a panic.
+///
+/// [`ServiceSnapshot`]: kbqa_core::service::ServiceSnapshot
+fn handle_batch_streaming(
+    shared: &Shared,
+    job: &Job,
+    keep_alive_requested: bool,
+    started: &std::cell::Cell<bool>,
+) {
+    let state = &shared.state;
+    let t_start = Instant::now();
+    state.metrics.record_request();
+    let mut setup = match batch_setup(state, &job.request.body) {
+        Ok(setup) => setup,
+        Err(response) => {
+            state.metrics.record_response(response.status);
+            complete(shared, job, Payload::Full(response), keep_alive_requested);
+            return;
+        }
+    };
+    state.metrics.record_batch_stream_request();
+    state.metrics.record_response(200);
+    complete(shared, job, Payload::StreamStart, keep_alive_requested);
+    started.set(true);
+
+    let n = setup.requests.len();
+    let flush_bytes = shared.config.stream_flush_bytes.max(1);
+    let mut pending: Vec<u8> = Vec::with_capacity(flush_bytes * 2);
+    pending.push(b'[');
+    // The serialize lap accumulates across a chunk and is recorded when the
+    // chunk ships, so `/metrics` stage histograms see the streaming path
+    // exactly as they see the buffered one.
+    let mut serialize_ns: u128 = 0;
+    let flush = |pending: &mut Vec<u8>, serialize_ns: &mut u128, final_chunk: bool| {
+        if pending.is_empty() {
+            return;
+        }
+        let us = u64::try_from(*serialize_ns / 1_000).unwrap_or(u64::MAX);
+        if us > 0 || final_chunk {
+            state.metrics.stage_stats().record_us(Stage::Serialize, us);
+        }
+        *serialize_ns = 0;
+        state.metrics.record_batch_stream_chunk();
+        complete(
+            shared,
+            job,
+            Payload::Chunk(std::mem::take(pending)),
+            keep_alive_requested,
+        );
+    };
+    let mut lane_start = 0;
+    while lane_start < n {
+        let lane_end = (lane_start + STREAM_LANE_QUESTIONS).min(n);
+        fill_misses(state, &mut setup, lane_start..lane_end);
+        let serialize_started = Instant::now();
+        for i in lane_start..lane_end {
+            let response = setup.responses[i].as_deref().expect("every slot filled");
+            state.metrics.record_outcome(response);
+            if i > 0 {
+                pending.push(b',');
+            }
+            response.serialize_into(&mut pending);
+        }
+        serialize_ns += serialize_started.elapsed().as_nanos();
+        if pending.len() >= flush_bytes {
+            flush(&mut pending, &mut serialize_ns, false);
+        }
+        lane_start = lane_end;
+    }
+    pending.push(b']');
+    flush(&mut pending, &mut serialize_ns, true);
+    complete(shared, job, Payload::StreamEnd, keep_alive_requested);
+    state.metrics.batch_latency.record(t_start.elapsed());
 }
 
 #[cfg(test)]

@@ -35,6 +35,8 @@ pub struct Metrics {
     answer_requests: AtomicU64,
     batch_requests: AtomicU64,
     batch_questions: AtomicU64,
+    batch_stream_requests: AtomicU64,
+    batch_stream_chunks: AtomicU64,
     answered: AtomicU64,
     refused: AtomicU64,
     refused_no_entity: AtomicU64,
@@ -75,6 +77,8 @@ impl Metrics {
             answer_requests: AtomicU64::new(0),
             batch_requests: AtomicU64::new(0),
             batch_questions: AtomicU64::new(0),
+            batch_stream_requests: AtomicU64::new(0),
+            batch_stream_chunks: AtomicU64::new(0),
             answered: AtomicU64::new(0),
             refused: AtomicU64::new(0),
             refused_no_entity: AtomicU64::new(0),
@@ -119,6 +123,18 @@ impl Metrics {
         self.batch_requests.fetch_add(1, Ordering::Relaxed);
         self.batch_questions
             .fetch_add(questions as u64, Ordering::Relaxed);
+    }
+
+    /// Count one `POST /batch?stream=1` served over chunked transfer (also
+    /// counted in `batch_requests`; this tracks the streamed subset).
+    pub fn record_batch_stream_request(&self) {
+        self.batch_stream_requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one chunk shipped by a streamed `/batch` (the `0\r\n\r\n`
+    /// terminator is framing, not a chunk, and is not counted).
+    pub fn record_batch_stream_chunk(&self) {
+        self.batch_stream_chunks.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Count one connection shed by admission control (answered 429 at
@@ -208,6 +224,8 @@ impl Metrics {
             answer_requests: self.answer_requests.load(Ordering::Relaxed),
             batch_requests: self.batch_requests.load(Ordering::Relaxed),
             batch_questions: self.batch_questions.load(Ordering::Relaxed),
+            batch_stream_requests: self.batch_stream_requests.load(Ordering::Relaxed),
+            batch_stream_chunks: self.batch_stream_chunks.load(Ordering::Relaxed),
             answered: self.answered.load(Ordering::Relaxed),
             refused: self.refused.load(Ordering::Relaxed),
             refused_no_entity: self.refused_no_entity.load(Ordering::Relaxed),
@@ -252,6 +270,13 @@ pub struct MetricsSnapshot {
     pub batch_requests: u64,
     /// Questions carried inside `/batch` bodies.
     pub batch_questions: u64,
+    /// `POST /batch?stream=1` requests served over chunked transfer (a
+    /// subset of `batch_requests`).
+    #[serde(default)]
+    pub batch_stream_requests: u64,
+    /// Chunks shipped by streamed `/batch` responses (terminator excluded).
+    #[serde(default)]
+    pub batch_stream_chunks: u64,
     /// Engine outcomes that produced at least one answer.
     pub answered: u64,
     /// Engine outcomes that refused.
@@ -375,6 +400,16 @@ impl MetricsSnapshot {
             "kbqa_batch_questions_total",
             "Questions carried inside /batch bodies.",
             self.batch_questions,
+        );
+        w.counter(
+            "kbqa_batch_stream_requests_total",
+            "POST /batch requests served over chunked transfer.",
+            self.batch_stream_requests,
+        );
+        w.counter(
+            "kbqa_batch_stream_chunks_total",
+            "Chunks shipped by streamed /batch responses.",
+            self.batch_stream_chunks,
         );
         w.family(
             "kbqa_outcomes_total",

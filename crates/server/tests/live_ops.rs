@@ -318,6 +318,145 @@ fn reload_is_gated_token_then_path_then_load() {
 }
 
 // ---------------------------------------------------------------------------
+// Full-bundle hot swap (store + taxonomy + model)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn bundle_reload_hot_swaps_store_taxonomy_and_model() {
+    use kbqa_core::persist::ServingArtifacts;
+
+    // Serve world A; stage world B (different seed → different store) as a
+    // bundle on disk.
+    let (service_a, question_a) = learned_service();
+    let world_b = World::generate(WorldConfig::tiny(99));
+    let corpus_b = QaCorpus::generate(&world_b, &CorpusConfig::with_pairs(1, 400));
+    let ner_b = Arc::new(GazetteerNer::from_store(&world_b.store));
+    let learner_b = Learner::new(
+        &world_b.store,
+        &world_b.conceptualizer,
+        &ner_b,
+        &world_b.predicate_classes,
+    );
+    let pairs_b: Vec<(&str, &str)> = corpus_b
+        .pairs
+        .iter()
+        .map(|p| (p.question.as_str(), p.answer.as_str()))
+        .collect();
+    let (model_b, _) = learner_b.learn(&pairs_b, &LearnerConfig::default());
+    let service_b = KbqaService::builder(
+        Arc::clone(&world_b.store),
+        Arc::clone(&world_b.conceptualizer),
+        Arc::new(model_b),
+    )
+    .ner(ner_b)
+    .build();
+
+    let dir = std::env::temp_dir().join(format!("kbqa-bundle-reload-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    ServingArtifacts::from_service(&service_b)
+        .save(&dir)
+        .expect("save bundle B");
+
+    let config = ServerConfig {
+        admin_token: Some("swordfish".into()),
+        bundle_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    };
+    let server = serve(service_a.clone(), "127.0.0.1:0", config).expect("bind");
+    let addr = server.local_addr();
+
+    // Warm a cache entry under world A, epoch 0.
+    let request = QaRequest::new(&question_a);
+    let body = serde_json::to_string(&request).unwrap();
+    let (status, pre) = http(addr, "POST", "/answer", "", &body);
+    assert_eq!(status, 200);
+    let pre_parsed: QaResponse = serde_json::from_str(&pre).unwrap();
+    assert!(
+        pre_parsed.answered(),
+        "world A must answer its own question"
+    );
+    assert_eq!(pre_parsed.model_epoch, 0);
+    let triples_a = service_a.store().len();
+
+    // With a bundle dir configured and populated, a bare reload defaults to
+    // the full-bundle swap.
+    let (status, reload) = http(
+        addr,
+        "POST",
+        "/admin/reload",
+        "X-Admin-Token: swordfish\r\n",
+        "",
+    );
+    assert_eq!(status, 200, "bundle reload failed: {reload}");
+    assert!(reload.contains("\"reloaded\":true"), "{reload}");
+    assert!(reload.contains("\"mode\":\"bundle\""), "{reload}");
+    assert!(reload.contains("\"model_epoch\":1"), "{reload}");
+    let triples_b = world_b.store.len();
+    assert_ne!(triples_a, triples_b, "worlds must differ observably");
+    assert!(
+        reload.contains(&format!("\"store_triples\":{triples_b}")),
+        "reload must report the NEW store: {reload}"
+    );
+
+    // Every surface now reports world B under epoch 1.
+    let (status, health) = http(addr, "GET", "/healthz", "", "");
+    assert_eq!(status, 200);
+    assert!(health.contains("\"model_epoch\":1"), "{health}");
+    assert!(
+        health.contains(&format!("\"store_triples\":{triples_b}")),
+        "healthz must see the swapped store: {health}"
+    );
+    let snap = metrics(addr);
+    assert_eq!(snap.model_epoch, 1);
+    assert_eq!(snap.store_triples, triples_b as u64);
+    assert_eq!(snap.admin_reloads, 1);
+
+    // World A's question re-asked: a cache MISS (versioned key), answered by
+    // world B's artifacts under epoch 1 — typically a refusal, since world B
+    // doesn't know world A's entities.
+    let warm = cache_stats(addr);
+    let (status, post) = http(addr, "POST", "/answer", "", &body);
+    assert_eq!(status, 200);
+    let post_parsed: QaResponse = serde_json::from_str(&post).unwrap();
+    assert_eq!(post_parsed.model_epoch, 1);
+    assert_ne!(post, pre, "pre-swap cache entry must never serve post-swap");
+    let after = cache_stats(addr);
+    assert_eq!(after.misses, warm.misses + 1);
+    assert_eq!(after.hits, warm.hits);
+
+    // And explicit `?mode=model` still works (model-only path untouched) —
+    // here unconfigured, so 409, while `?mode=bundle` keeps swapping.
+    let (status, body_409) = http(
+        addr,
+        "POST",
+        "/admin/reload?mode=model",
+        "X-Admin-Token: swordfish\r\n",
+        "",
+    );
+    assert_eq!(status, 409, "{body_409}");
+    let (status, again) = http(
+        addr,
+        "POST",
+        "/admin/reload?mode=bundle",
+        "X-Admin-Token: swordfish\r\n",
+        "",
+    );
+    assert_eq!(status, 200, "{again}");
+    assert!(again.contains("\"model_epoch\":2"), "{again}");
+    let (status, bad) = http(
+        addr,
+        "POST",
+        "/admin/reload?mode=sideways",
+        "X-Admin-Token: swordfish\r\n",
+        "",
+    );
+    assert_eq!(status, 400, "{bad}");
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// ---------------------------------------------------------------------------
 // Admission control
 // ---------------------------------------------------------------------------
 

@@ -1,5 +1,7 @@
 //! Serve the toy world over HTTP and drive it end-to-end through real
 //! sockets: scripted questions against `POST /answer` and `POST /batch`,
+//! the chunked-streaming `POST /batch?stream=1` (answers flow as compute
+//! lanes finish), a full-bundle hot reload through `POST /admin/reload`,
 //! then the observability routes.
 //!
 //! ```sh
@@ -7,6 +9,8 @@
 //! # or keep the server up for manual curl:
 //! KBQA_SERVE_ADDR=127.0.0.1:8080 cargo run --release --example serve
 //! curl -s localhost:8080/answer -d '{"question":"what is the population of <city>"}'
+//! # watch a batch stream chunk by chunk (--no-buffer shows arrival order):
+//! curl -s --no-buffer 'localhost:8080/batch?stream=1' -d '[{"question":"…"},…]'
 //! ```
 
 use std::io::{Read, Write};
@@ -45,13 +49,28 @@ fn main() {
     .pattern_index(Arc::new(index))
     .build();
 
+    // Stage the service's own artifacts as a bundle on disk — the "new
+    // build" the full-bundle reload below hot-swaps in (store + taxonomy +
+    // model remapped, not just the model).
+    let bundle_dir = std::env::temp_dir().join(format!("kbqa-serve-bundle-{}", std::process::id()));
+    ServingArtifacts::from_service(&service)
+        .save(&bundle_dir)
+        .expect("save bundle");
+
     // 2. The server. With KBQA_SERVE_ADDR set, bind there and serve until
     //    killed; otherwise take an ephemeral port and run the script below.
     //    `from_env` honours the rest of the KBQA_* knobs (admin token,
-    //    model path, queue depth, cache sizing — see docs/OPERATIONS.md).
+    //    model path, queue depth, cache sizing, streaming — see
+    //    docs/OPERATIONS.md).
     let manual_addr = std::env::var("KBQA_SERVE_ADDR").ok();
     let bind = manual_addr.as_deref().unwrap_or("127.0.0.1:0");
-    let config = ServerConfig::from_env();
+    let mut config = ServerConfig::from_env();
+    if config.admin_token.is_none() {
+        config.admin_token = Some("example-token".to_string());
+    }
+    if config.bundle_dir.is_none() {
+        config.bundle_dir = Some(bundle_dir.clone());
+    }
     let admin_enabled = config.admin_token.is_some();
     let handle = serve(service, bind, config).expect("bind server");
     let addr = handle.local_addr();
@@ -96,6 +115,45 @@ fn main() {
     let (status, response) = http(addr, "POST", "/batch", &body);
     println!("  {status} → {response}");
 
+    // Streamed twin of the same batch: `?stream=1` switches the response to
+    // HTTP/1.1 chunked transfer — answers leave the server as compute lanes
+    // finish instead of waiting for the whole batch. This is what
+    // `curl --no-buffer 'localhost:PORT/batch?stream=1' -d @batch.json`
+    // sees arriving chunk by chunk. De-chunked, the body is byte-identical
+    // to the buffered response above.
+    println!("\nPOST /batch?stream=1 — same batch over chunked transfer:");
+    let (status, streamed, chunks) = http_stream(addr, "/batch?stream=1", &body);
+    println!("  {status} ({chunks} chunk(s)) → {streamed}");
+    assert_eq!(
+        streamed, response,
+        "de-chunked stream must be byte-identical to the buffered body"
+    );
+
+    // Full-bundle hot reload: with a bundle dir configured, a bare
+    // POST /admin/reload remaps store + taxonomy + model under the next
+    // epoch while in-flight requests finish on the artifacts they started
+    // on. (`?mode=model` would swap just the model file instead.)
+    println!("\nPOST /admin/reload — full-bundle hot swap:");
+    let (status, reload) = http_with_headers(
+        addr,
+        "POST",
+        "/admin/reload",
+        "X-Admin-Token: example-token\r\n",
+        "",
+    );
+    println!("  {status} → {reload}");
+    assert_eq!(status, 200, "bundle reload must succeed: {reload}");
+    assert!(reload.contains("\"mode\":\"bundle\""), "{reload}");
+
+    // The swapped service answers under the new epoch — streamed too.
+    let (status, after, _) = http_stream(addr, "/batch?stream=1", &body);
+    assert_eq!(status, 200);
+    assert!(
+        after.contains("\"model_epoch\":1"),
+        "post-reload answers must carry the new epoch: {after}"
+    );
+    println!("  streamed /batch now serves model_epoch 1");
+
     println!("\nGET /healthz, /cache/stats, /metrics:");
     for path in ["/healthz", "/cache/stats", "/metrics"] {
         let (status, response) = http(addr, "GET", path, "");
@@ -103,15 +161,27 @@ fn main() {
     }
 
     handle.shutdown();
+    std::fs::remove_dir_all(&bundle_dir).ok();
     println!("\nserver drained and shut down cleanly");
 }
 
 /// One-shot HTTP request on a fresh connection.
 fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    http_with_headers(addr, method, path, "", body)
+}
+
+/// One-shot HTTP request with extra headers.
+fn http_with_headers(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    headers: &str,
+    body: &str,
+) -> (u16, String) {
     let mut stream = TcpStream::connect(addr).expect("connect");
     write!(
         stream,
-        "{method} {path} HTTP/1.1\r\nHost: example\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+        "{method} {path} HTTP/1.1\r\nHost: example\r\nConnection: close\r\n{headers}Content-Length: {}\r\n\r\n{body}",
         body.len()
     )
     .expect("write request");
@@ -127,4 +197,58 @@ fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String)
         .map(|(_, b)| b.to_string())
         .unwrap_or_default();
     (status, body)
+}
+
+/// One-shot streaming request: POST, decode the chunked response, return
+/// (status, de-chunked body, chunk count).
+fn http_stream(addr: SocketAddr, path: &str, body: &str) -> (u16, String, usize) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(
+        stream,
+        "POST {path} HTTP/1.1\r\nHost: example\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("write request");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("response head");
+    let head = String::from_utf8_lossy(&raw[..head_end]);
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    assert!(
+        head.contains("Transfer-Encoding: chunked"),
+        "expected a chunked response:\n{head}"
+    );
+    let mut rest = &raw[head_end + 4..];
+    let mut decoded = Vec::new();
+    let mut chunks = 0usize;
+    loop {
+        let nl = rest
+            .windows(2)
+            .position(|w| w == b"\r\n")
+            .expect("chunk size line");
+        let size = usize::from_str_radix(
+            std::str::from_utf8(&rest[..nl]).expect("utf8 size").trim(),
+            16,
+        )
+        .expect("hex chunk size");
+        rest = &rest[nl + 2..];
+        if size == 0 {
+            break;
+        }
+        decoded.extend_from_slice(&rest[..size]);
+        rest = &rest[size + 2..];
+        chunks += 1;
+    }
+    (
+        status,
+        String::from_utf8(decoded).expect("utf8 body"),
+        chunks,
+    )
 }

@@ -181,4 +181,46 @@ fn steady_state_kernel_performs_zero_allocations() {
         "sharded steady-state score_bfq allocated {delta} times over {} calls",
         50 * tokenized.len()
     );
+
+    // Phase 4 (PR 10): the serving-edge serializer. `serialize_into` writes
+    // a QaResponse straight into a caller-owned buffer — after warmup has
+    // grown the buffer to its high-water mark, re-serializing mixed
+    // responses (answers with floats/strings, refusals, real epoch) must
+    // never touch the heap. No serde `Value` tree, no intermediate String.
+    let service = KbqaService::builder(
+        std::sync::Arc::clone(&world.store),
+        std::sync::Arc::clone(&world.conceptualizer),
+        std::sync::Arc::new(model),
+    )
+    .ner(std::sync::Arc::new(ner))
+    .build();
+    let responses: Vec<QaResponse> = questions
+        .iter()
+        .map(|q| service.answer(&QaRequest::new(q)))
+        .collect();
+    assert!(responses.iter().any(|r| r.answered()));
+    assert!(responses.iter().any(|r| !r.answered()));
+    let mut buf = Vec::new();
+    for response in &responses {
+        buf.clear();
+        response.serialize_into(&mut buf);
+    }
+
+    let before = allocations();
+    let mut bytes = 0usize;
+    for _ in 0..50 {
+        for response in &responses {
+            buf.clear();
+            response.serialize_into(&mut buf);
+            bytes += buf.len();
+        }
+    }
+    let delta = allocations() - before;
+    assert!(bytes > 0, "serializer must produce output");
+    assert_eq!(
+        delta,
+        0,
+        "steady-state serialize_into allocated {delta} times over {} calls",
+        50 * responses.len()
+    );
 }
